@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: LUT capacity and levels (DESIGN.md AB2). Sweeps the L1 LUT
+ * from 1 KB to 32 KB with and without a 512 KB L2 LUT and reports hit
+ * rate and speedup, exposing each benchmark's memoization working set —
+ * the effect Fig. 7's "similar to when the data cache outgrows the
+ * working set" comment describes — and what the dedicated SRAM would
+ * cost at each size.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/log.hh"
+
+int
+main()
+{
+    using namespace axmemo;
+    using namespace axmemo::bench;
+
+    setQuiet(true);
+    banner("Ablation AB2: LUT capacity sweep");
+
+    const std::uint64_t sizes[] = {1024, 2048, 4096, 8192, 16384, 32768};
+    const char *subset[] = {"blackscholes", "fft", "inversek2j",
+                            "sobel"};
+
+    TextTable table;
+    table.header({"benchmark", "L1 size", "hit (L1 only)",
+                  "speedup (L1 only)", "hit (+L2 512KB)",
+                  "speedup (+L2 512KB)", "L1 area (mm^2)"});
+
+    for (const char *name : subset) {
+        auto workload = makeWorkload(name);
+        const RunResult base = ExperimentRunner(defaultConfig())
+                                   .run(*workload, Mode::Baseline);
+        for (std::uint64_t size : sizes) {
+            ExperimentConfig l1Only = defaultConfig();
+            l1Only.lut = {size, 0};
+            const Comparison a = ExperimentRunner::score(
+                *workload, base,
+                ExperimentRunner(l1Only).run(*workload, Mode::AxMemo));
+
+            ExperimentConfig twoLevel = defaultConfig();
+            twoLevel.lut = {size, 512 * 1024};
+            const Comparison b = ExperimentRunner::score(
+                *workload, base,
+                ExperimentRunner(twoLevel).run(*workload,
+                                               Mode::AxMemo));
+
+            table.row({name, std::to_string(size / 1024) + "KB",
+                       TextTable::percent(a.subject.hitRate()),
+                       TextTable::times(a.speedup),
+                       TextTable::percent(b.subject.hitRate()),
+                       TextTable::times(b.speedup),
+                       TextTable::num(AreaModel::lutAreaMm2(size), 4)});
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

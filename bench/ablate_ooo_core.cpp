@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: host-core microarchitecture (DESIGN.md extension). The paper
+ * evaluates an in-order HPI core but argues AxMemo also fits
+ * out-of-order processors (Sections 3.2, 6.1). This bench runs both
+ * core models: the OoO baseline is faster (it hides latency itself), so
+ * AxMemo's *latency* benefit shrinks — but the dynamic-instruction
+ * elimination and its energy benefit survive, which is the paper's
+ * central von-Neumann-overhead argument.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+
+int
+main()
+{
+    using namespace axmemo;
+    using namespace axmemo::bench;
+
+    setQuiet(true);
+    banner("Ablation: AxMemo on in-order vs out-of-order cores");
+
+    TextTable table;
+    table.header({"benchmark", "inorder speedup", "inorder energy",
+                  "ooo speedup", "ooo energy", "ooo/io baseline"});
+
+    std::vector<double> inOrderSpeedups, oooSpeedups;
+
+    for (const std::string &name : workloadNames()) {
+        auto workload = makeWorkload(name);
+
+        ExperimentConfig inOrderCfg = defaultConfig();
+        ExperimentConfig oooCfg = defaultConfig();
+        oooCfg.cpu.outOfOrder = true;
+        oooCfg.cpu.robSize = 64;
+
+        const Comparison io =
+            ExperimentRunner(inOrderCfg).compare(*workload,
+                                                 Mode::AxMemo);
+        const Comparison ooo =
+            ExperimentRunner(oooCfg).compare(*workload, Mode::AxMemo);
+
+        const double coreGain =
+            static_cast<double>(io.baseline.stats.cycles) /
+            static_cast<double>(ooo.baseline.stats.cycles);
+
+        table.row({name, TextTable::times(io.speedup),
+                   TextTable::times(io.energyReduction),
+                   TextTable::times(ooo.speedup),
+                   TextTable::times(ooo.energyReduction),
+                   TextTable::times(coreGain)});
+        inOrderSpeedups.push_back(io.speedup);
+        oooSpeedups.push_back(ooo.speedup);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("geomean speedup: %.2fx in-order vs %.2fx out-of-order\n",
+                geometricMean(inOrderSpeedups),
+                geometricMean(oooSpeedups));
+    std::printf("expectation: the OoO core narrows but does not erase "
+                "AxMemo's benefit — eliminated instructions save front-"
+                "end work on any core\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the runtime quality monitor (DESIGN.md AB3). Over-truncating
+ * a benchmark's inputs makes LUT hits return badly wrong values; with
+ * the monitor on, sampled-hit verification trips the kill switch and
+ * output quality is rescued at the cost of the speedup; with it off,
+ * the error lands in the output. Normal Table 2 truncation must never
+ * trip the monitor (the paper observes zero trips).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/log.hh"
+
+int
+main()
+{
+    using namespace axmemo;
+    using namespace axmemo::bench;
+
+    setQuiet(true);
+    banner("Ablation AB3: quality monitor kill switch");
+
+    TextTable table;
+    table.header({"benchmark", "trunc", "monitor", "tripped",
+                  "speedup", "quality loss"});
+
+    const char *subset[] = {"inversek2j", "sobel", "srad"};
+    struct Setting
+    {
+        int trunc; // -1 = Table 2 defaults
+        bool monitor;
+    };
+    const Setting settings[] = {
+        {-1, true},   // normal operation: must not trip
+        {21, false},  // heavy over-truncation, unprotected
+        {21, true},   // heavy over-truncation, protected
+    };
+
+    for (const char *name : subset) {
+        auto workload = makeWorkload(name);
+        const RunResult base = ExperimentRunner(defaultConfig())
+                                   .run(*workload, Mode::Baseline);
+        for (const Setting &s : settings) {
+            ExperimentConfig config = defaultConfig();
+            config.truncOverride = s.trunc;
+            config.qualityMonitor = s.monitor;
+            // A strict monitor so the ablation's over-truncation is
+            // caught even on benign-looking benchmarks.
+            const ExperimentRunner runner(config);
+            RunResult subject = runner.run(*workload, Mode::AxMemo);
+            const bool tripped = subject.stats.memo.monitorTripped;
+            const Comparison cmp = ExperimentRunner::score(
+                *workload, base, std::move(subject));
+            table.row({name,
+                       s.trunc < 0 ? "Table2"
+                                   : std::to_string(s.trunc),
+                       s.monitor ? "on" : "off",
+                       tripped ? "yes" : "no",
+                       TextTable::times(cmp.speedup),
+                       TextTable::percent(cmp.qualityLoss, 3)});
+        }
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("expectation: row 1 never trips (paper: no execution "
+                "disabled memoization); over-truncation without the "
+                "monitor corrupts quality; with it, quality is rescued "
+                "and the speedup collapses toward 1x\n");
+    return 0;
+}

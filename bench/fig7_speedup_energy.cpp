@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Regenerates Fig. 7 of the paper: (a) full-application speedup and
+ * (b) energy saving for every benchmark under the four AxMemo LUT
+ * configurations plus the software-LUT contender, all normalized to the
+ * non-memoized ARM-HPI-like baseline.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+
+int
+main()
+{
+    using namespace axmemo;
+    using namespace axmemo::bench;
+
+    setQuiet(true);
+    banner("Fig. 7: speedup and energy saving vs LUT configuration");
+
+    const auto luts = standardLutConfigs();
+    std::vector<std::string> columns;
+    for (const auto &lut : luts)
+        columns.push_back(lut.label());
+    columns.emplace_back("SoftwareLUT");
+
+    TextTable speedupTable;
+    TextTable energyTable;
+    {
+        std::vector<std::string> head{"benchmark"};
+        head.insert(head.end(), columns.begin(), columns.end());
+        speedupTable.header(head);
+        energyTable.header(head);
+    }
+
+    std::vector<std::vector<double>> speedups(columns.size());
+    std::vector<std::vector<double>> energies(columns.size());
+
+    for (const std::string &name : workloadNames()) {
+        auto workload = makeWorkload(name);
+        std::vector<std::string> srow{name};
+        std::vector<std::string> erow{name};
+
+        // One baseline serves every configuration of this benchmark.
+        const RunResult base =
+            ExperimentRunner(defaultConfig())
+                .run(*workload, Mode::Baseline);
+
+        std::size_t column = 0;
+        auto record = [&](const Comparison &cmp) {
+            srow.push_back(TextTable::times(cmp.speedup));
+            erow.push_back(TextTable::times(cmp.energyReduction));
+            speedups[column].push_back(cmp.speedup);
+            energies[column].push_back(cmp.energyReduction);
+            ++column;
+        };
+
+        for (const auto &lut : luts) {
+            ExperimentConfig config = defaultConfig();
+            config.lut = lut;
+            const ExperimentRunner runner(config);
+            record(ExperimentRunner::score(
+                *workload, base, runner.run(*workload, Mode::AxMemo)));
+        }
+        {
+            const ExperimentRunner runner(defaultConfig());
+            record(ExperimentRunner::score(
+                *workload, base,
+                runner.run(*workload, Mode::SoftwareLut)));
+        }
+        speedupTable.row(srow);
+        energyTable.row(erow);
+    }
+
+    std::vector<std::string> sMean{"geomean"};
+    std::vector<std::string> eMean{"geomean"};
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        sMean.push_back(TextTable::times(geometricMean(speedups[c])));
+        eMean.push_back(TextTable::times(geometricMean(energies[c])));
+    }
+    speedupTable.row(sMean);
+    energyTable.row(eMean);
+
+    std::printf("--- Fig. 7a: speedup over baseline ---\n%s\n",
+                speedupTable.render().c_str());
+    std::printf("--- Fig. 7b: energy saving (E_base / E_axmemo) ---\n%s",
+                energyTable.render().c_str());
+    return 0;
+}

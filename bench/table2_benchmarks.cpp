@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates Table 2: the benchmark roster with each workload's domain,
+ * dataset, measured memoization-input size (from the applied transform),
+ * and the truncation level — both Table 2's shipped default and the
+ * level the profile-driven tuner re-derives on the sample input set
+ * under the paper's error bounds (0.1%, or 1% for image outputs).
+ */
+
+#include "bench/bench_util.hh"
+#include "common/log.hh"
+
+int
+main()
+{
+    using namespace axmemo;
+    using namespace axmemo::bench;
+
+    setQuiet(true);
+    banner("Table 2: evaluated benchmarks and truncation levels");
+
+    TextTable table;
+    table.header({"benchmark", "domain", "dataset",
+                  "memo input (bytes)", "trunc bits (Table 2)",
+                  "trunc bits (tuner)"});
+
+    for (const std::string &name : workloadNames()) {
+        auto workload = makeWorkload(name);
+
+        // Input sizes come from the transform applied to the real
+        // program.
+        ExperimentConfig config = defaultConfig();
+        const RunResult r =
+            ExperimentRunner(config).run(*workload, Mode::AxMemo);
+
+        std::string inputBytes;
+        std::string tableTrunc;
+        {
+            // Distinct logical LUTs -> "(a, b)" style like the paper.
+            std::map<LutId, unsigned> bytesPerLut;
+            for (const auto &region : r.regions)
+                bytesPerLut[region.lut] = region.inputBytes;
+            for (const auto &[lut, bytes] : bytesPerLut) {
+                if (!inputBytes.empty())
+                    inputBytes += ", ";
+                inputBytes += std::to_string(bytes);
+            }
+            std::map<LutId, unsigned> truncPerLut;
+            for (const auto &spec : workload->memoSpec().regions)
+                truncPerLut[spec.lut] = spec.truncBits;
+            for (const auto &[lut, bits] : truncPerLut) {
+                if (!tableTrunc.empty())
+                    tableTrunc += ", ";
+                tableTrunc += std::to_string(bits);
+            }
+        }
+
+        // Tuner on the sample set at reduced scale.
+        ExperimentConfig tunerConfig = defaultConfig();
+        tunerConfig.dataset.scale =
+            std::max(0.01, tunerConfig.dataset.scale / 4.0);
+        const double bound = workload->imageOutput() ? 0.01 : 0.001;
+        TruncationTuner tuner(tunerConfig, bound);
+        const TuningResult tuned = tuner.tune(*workload);
+
+        table.row({name, workload->domain(),
+                   workload->datasetDescription(), inputBytes,
+                   tableTrunc, std::to_string(tuned.chosenBits)});
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper truncation column: 0, 0, 8, 6, (2,7), 16, 16, 8, "
+                "0, 18\n");
+    return 0;
+}

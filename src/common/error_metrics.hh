@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Output-quality metrics from Section 6 of the paper.
+ *
+ * The whole-application metric is the normalized squared error of Equation 2
+ * (E_r = sum((xhat-x)^2) / sum(x^2)); Jmeint uses misclassification rate;
+ * Fig. 10b additionally reports the CDF of element-wise relative error.
+ */
+
+#ifndef AXMEMO_COMMON_ERROR_METRICS_HH
+#define AXMEMO_COMMON_ERROR_METRICS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace axmemo {
+
+/**
+ * Equation 2 of the paper: sum of squared deviations over sum of squared
+ * reference values. @p exact and @p approx must be the same length.
+ */
+double normalizedSquaredError(const std::vector<double> &exact,
+                              const std::vector<double> &approx);
+
+/**
+ * Fraction of positions where the (boolean-interpreted) outputs differ;
+ * the quality metric used for Jmeint's intersect/no-intersect output.
+ */
+double misclassificationRate(const std::vector<double> &exact,
+                             const std::vector<double> &approx);
+
+/**
+ * Element-wise relative errors |xhat - x| / max(|x|, eps), collected into an
+ * EmpiricalCdf for Fig. 10b. @p eps guards division for near-zero exact
+ * values (relative error is reported against eps in that case).
+ */
+EmpiricalCdf elementwiseRelativeErrorCdf(const std::vector<double> &exact,
+                                         const std::vector<double> &approx,
+                                         double eps = 1e-6);
+
+/** Relative error of one pair, with the same eps guard. */
+double relativeError(double exact, double approx, double eps = 1e-6);
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_ERROR_METRICS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * gem5-flavored status and error reporting helpers.
+ *
+ * panic() flags an internal simulator bug and aborts; fatal() flags a user
+ * configuration error and exits cleanly; warn()/inform() report status.
+ */
+
+#ifndef AXMEMO_COMMON_LOG_HH
+#define AXMEMO_COMMON_LOG_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace axmemo {
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Globally silence warn()/inform() (used by benches for clean tables). */
+void setQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is suppressed. */
+bool quiet();
+
+} // namespace axmemo
+
+/** Abort on an internal invariant violation (simulator bug). */
+#define axm_panic(...)                                                       \
+    ::axmemo::detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::axmemo::detail::concat(__VA_ARGS__))
+
+/** Exit on a user-caused error (bad configuration or arguments). */
+#define axm_fatal(...)                                                       \
+    ::axmemo::detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::axmemo::detail::concat(__VA_ARGS__))
+
+/** Report suspicious but survivable conditions. */
+#define axm_warn(...)                                                        \
+    ::axmemo::detail::warnImpl(::axmemo::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define axm_inform(...)                                                      \
+    ::axmemo::detail::informImpl(::axmemo::detail::concat(__VA_ARGS__))
+
+#endif // AXMEMO_COMMON_LOG_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the reproduction (dataset synthesis, ATM index
+ * shuffles, fuzz tests) draws from this xoshiro256** generator so results are
+ * bit-identical across platforms and runs. std::mt19937 is avoided because
+ * the distributions layered on top of it are not standardized.
+ */
+
+#ifndef AXMEMO_COMMON_RNG_HH
+#define AXMEMO_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace axmemo {
+
+/** xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 seeding decorrelates nearby seeds.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** @return the next 64 uniformly distributed bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free mapping is fine here; a
+        // tiny modulo bias is irrelevant for workload synthesis, but we use
+        // 128-bit multiply to keep it uniform anyway.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** @return standard normal deviate (Marsaglia polar method). */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double m = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * m;
+        haveSpare_ = true;
+        return u * m;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_RNG_HH

@@ -1,0 +1,135 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            axm_panic("geometricMean requires positive values, got ", v);
+        logSum += std::log(v);
+    }
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+void
+EmpiricalCdf::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+EmpiricalCdf::fractionAtOrBelow(double x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    q = std::clamp(q, 0.0, 1.0);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[idx];
+}
+
+std::vector<double>
+EmpiricalCdf::evaluate(const std::vector<double> &points) const
+{
+    std::vector<double> out;
+    out.reserve(points.size());
+    for (double p : points)
+        out.push_back(fractionAtOrBelow(p));
+    return out;
+}
+
+void
+CounterSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+} // namespace axmemo

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulator and benches:
+ * running scalar statistics, named counters, and an empirical CDF builder.
+ */
+
+#ifndef AXMEMO_COMMON_STATS_HH
+#define AXMEMO_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace axmemo {
+
+/** Single-pass mean/min/max/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the statistic. */
+    void add(double x);
+
+    /** Number of samples observed. */
+    std::uint64_t count() const { return n_; }
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (0 when fewer than 2 samples). */
+    double variance() const;
+    /** Standard deviation. */
+    double stddev() const;
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Geometric mean over a sequence of strictly positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Empirical cumulative distribution function over collected samples.
+ *
+ * Used to regenerate the element-wise relative-error CDFs of Fig. 10b.
+ */
+class EmpiricalCdf
+{
+  public:
+    /** Record one sample. */
+    void add(double x) { samples_.push_back(x); }
+
+    /** Number of samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** Fraction of samples <= @p x. */
+    double fractionAtOrBelow(double x) const;
+
+    /** @p q-quantile (q in [0,1]); 0 when empty. */
+    double quantile(double q) const;
+
+    /**
+     * Evaluate the CDF at @p points x-values.
+     * @return vector of P(sample <= x) matching @p points.
+     */
+    std::vector<double> evaluate(const std::vector<double> &points) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+};
+
+/** String-keyed event counters, mergeable; backs the energy model. */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** @return counter value, 0 if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Merge all counters of @p other into this set. */
+    void merge(const CounterSet &other);
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_STATS_HH

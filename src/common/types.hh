@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every AxMemo library.
+ */
+
+#ifndef AXMEMO_COMMON_TYPES_HH
+#define AXMEMO_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace axmemo {
+
+/** Simulated byte address in the workload's flat address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulation tick (same granularity as Cycle for this model). */
+using Tick = std::uint64_t;
+
+/** Architectural register index inside a register class. */
+using RegId = std::uint16_t;
+
+/** Logical lookup-table identifier carried by memoization instructions. */
+using LutId = std::uint8_t;
+
+/** Hardware (SMT) thread identifier. */
+using ThreadId = std::uint8_t;
+
+/** Sentinel for "no register". */
+inline constexpr RegId invalidReg = std::numeric_limits<RegId>::max();
+
+/** Sentinel for "no address". */
+inline constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Maximum number of logical LUTs per thread (3-bit LUT_ID, Section 3.3). */
+inline constexpr unsigned maxLutsPerThread = 8;
+
+/** Maximum SMT threads supported by the hash-value register file. */
+inline constexpr unsigned maxSmtThreads = 2;
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_TYPES_HH

@@ -1,0 +1,3 @@
+// AtmTransform is header-only (it delegates to SoftwareMemoTransform);
+// this translation unit only anchors the header into the library.
+#include "compiler/atm_transform.hh"

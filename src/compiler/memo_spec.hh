@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Specification of how a program's hinted regions are memoized — the
+ * contract between a workload (or the region finder + truncation tuner)
+ * and the code-generation transforms.
+ */
+
+#ifndef AXMEMO_COMPILER_MEMO_SPEC_HH
+#define AXMEMO_COMPILER_MEMO_SPEC_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** How one hinted region becomes one logical LUT. */
+struct RegionMemoSpec
+{
+    /** Region marker id in the program. */
+    int regionId = 0;
+    /** Logical LUT assigned to this region. */
+    LutId lut = 0;
+    /** Default LSBs truncated from every input (Table 2 column). */
+    unsigned truncBits = 0;
+    /** Per-input truncation overrides (keyed by input register). */
+    std::map<RegId, unsigned> truncOverride;
+    /** CRC stream bytes for integer inputs without an override. */
+    unsigned intInputBytes = 4;
+    /** Per-input CRC stream bytes for integer inputs. */
+    std::map<RegId, unsigned> sizeOverride;
+    /**
+     * Live-in registers excluded from the hash stream: provably
+     * loop-invariant values (base addresses of state read inside the
+     * region). Correctness relies on the invalidate discipline when the
+     * state they point at changes.
+     */
+    std::set<RegId> excludeInputs;
+};
+
+/** Full memoization plan for one program. */
+struct MemoSpec
+{
+    std::vector<RegionMemoSpec> regions;
+    /**
+     * Empty-region marker ids at which the listed logical LUTs must be
+     * flash-invalidated (e.g., K-means invalidates its distance LUT when
+     * the centroids move between iterations).
+     */
+    std::map<int, std::vector<LutId>> invalidateAt;
+
+    /** Uniform-truncation copy of this spec (Fig. 11's no-approx mode). */
+    MemoSpec
+    withUniformTruncation(unsigned bits) const
+    {
+        MemoSpec copy = *this;
+        for (auto &region : copy.regions) {
+            region.truncBits = bits;
+            region.truncOverride.clear();
+        }
+        return copy;
+    }
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMPILER_MEMO_SPEC_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Candidate-subgraph search over the DDDG (step 3 of Fig. 5, Table 1).
+ *
+ * For each eligible vertex v, a breadth-first search over the transpose of
+ * the DDDG grows the AxMemo-transformable subgraph with v as the sole
+ * output: the backward cone of computational vertices, bounded at loads,
+ * constants, and window-external values (which become the memoization
+ * inputs). A cone qualifies as a candidate when its Compute-to-Input ratio
+ * (Equation 1) clears a threshold and its input count fits the hardware.
+ *
+ * Qualifying cones are then deduplicated by static-instruction signature
+ * (a loop body yields one unique subgraph with many dynamic instances),
+ * subset candidates are dropped, and heavily overlapping survivors merged —
+ * exactly the filtering the paper describes.
+ */
+
+#ifndef AXMEMO_COMPILER_REGION_FINDER_HH
+#define AXMEMO_COMPILER_REGION_FINDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/dddg.hh"
+
+namespace axmemo {
+
+/** Search parameters. */
+struct RegionFinderConfig
+{
+    /** Hardware bound on distinct memoization inputs per LUT. */
+    unsigned maxInputs = 12;
+    /** Minimum CI_Ratio for a cone to qualify. */
+    double minCiRatio = 4.0;
+    /** Cone growth bound (defense against degenerate chains). */
+    unsigned maxConeVertices = 512;
+    /** Jaccard overlap at which two unique subgraphs merge. */
+    double mergeOverlap = 0.5;
+};
+
+/** A deduplicated (unique) candidate subgraph. */
+struct UniqueSubgraph
+{
+    /** Sorted static instruction ids forming the signature. */
+    std::vector<InstIndex> signature;
+    /** Dynamic instances observed with this signature. */
+    std::uint64_t dynamicCount = 0;
+    /** Mean CI_Ratio across instances. */
+    double ciRatio = 0.0;
+    /** Mean input count across instances. */
+    double meanInputs = 0.0;
+    /** Mean per-instance weight. */
+    double meanWeight = 0.0;
+    /** Hinted region id this subgraph falls inside (-1 if none/mixed). */
+    std::int32_t region = -1;
+};
+
+/** Table 1's row for one benchmark. */
+struct RegionAnalysis
+{
+    /** Total # of dynamic (qualifying) subgraphs. */
+    std::uint64_t totalDynamicSubgraphs = 0;
+    /** Unique subgraphs after dedup/subset-filter/merge. */
+    std::vector<UniqueSubgraph> unique;
+    /** Average CI_Ratio over all filtered candidates. */
+    double avgCiRatio = 0.0;
+    /** Memoization coverage: candidate weight / total graph weight. */
+    double coverage = 0.0;
+};
+
+/** The candidate search; see file comment. */
+class RegionFinder
+{
+  public:
+    explicit RegionFinder(const RegionFinderConfig &config = {});
+
+    /** Analyze @p graph and produce Table 1 statistics. */
+    RegionAnalysis analyze(const Dddg &graph) const;
+
+  private:
+    RegionFinderConfig config_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMPILER_REGION_FINDER_HH

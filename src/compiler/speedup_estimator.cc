@@ -1,0 +1,108 @@
+#include "compiler/speedup_estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+SpeedupEstimator::SpeedupEstimator(const EstimatorConfig &config)
+    : config_(config)
+{
+    if (config_.lutEntries == 0 || config_.bytesPerCycle <= 0.0)
+        axm_fatal("speedup estimator: bad configuration");
+}
+
+double
+SpeedupEstimator::predictHitRate(std::uint64_t uniquePatterns,
+                                 std::uint64_t instances) const
+{
+    if (instances == 0 || uniquePatterns == 0)
+        return 0.0;
+    if (uniquePatterns > config_.lutEntries) {
+        // Pattern set overflows the LUT: LRU over a reuse distance
+        // larger than capacity degenerates to streaming.
+        return 0.0;
+    }
+    if (uniquePatterns >= instances)
+        return 0.0;
+    // Every pattern's first occurrence is a compulsory miss.
+    return 1.0 - static_cast<double>(uniquePatterns) /
+                     static_cast<double>(instances);
+}
+
+SubgraphEstimate
+SpeedupEstimator::estimate(const UniqueSubgraph &subgraph,
+                           std::uint64_t totalGraphWeight,
+                           std::uint64_t uniquePatterns) const
+{
+    SubgraphEstimate est;
+    if (totalGraphWeight == 0 || subgraph.dynamicCount == 0)
+        return est;
+
+    est.instanceWeight = subgraph.meanWeight;
+    est.coverage = subgraph.meanWeight *
+                   static_cast<double>(subgraph.dynamicCount) /
+                   static_cast<double>(totalGraphWeight);
+    est.coverage = std::min(est.coverage, 1.0);
+    est.hitRate = predictHitRate(uniquePatterns, subgraph.dynamicCount);
+
+    // A memoized invocation still streams its inputs and probes the LUT
+    // (hit), or does that plus the original work (miss).
+    const double inputBytes = subgraph.meanInputs * 4.0;
+    const double streamCycles =
+        std::ceil(inputBytes / config_.bytesPerCycle);
+    const double hitCost = streamCycles +
+                           static_cast<double>(config_.lookupLatency) +
+                           static_cast<double>(config_.branchOverhead);
+    const double missCost = hitCost + subgraph.meanWeight;
+    est.residualCycles =
+        est.hitRate * hitCost + (1.0 - est.hitRate) * missCost;
+
+    // Amdahl over the covered fraction.
+    const double coveredScale =
+        est.instanceWeight > 0.0
+            ? est.residualCycles / est.instanceWeight
+            : 1.0;
+    const double denominator =
+        (1.0 - est.coverage) + est.coverage * coveredScale;
+    est.speedup = denominator > 0.0 ? 1.0 / denominator : 1.0;
+    return est;
+}
+
+double
+SpeedupEstimator::estimateProgram(
+    const RegionAnalysis &analysis, std::uint64_t totalGraphWeight,
+    const std::vector<std::uint64_t> &uniquePatternsHint) const
+{
+    if (totalGraphWeight == 0)
+        return 1.0;
+
+    // Compose per-subgraph Amdahl terms. The finder's subset/merge
+    // filtering makes coverages near-disjoint, but residual overlaps
+    // can push their sum past 1; cap the total claimed coverage.
+    double denominator = 1.0;
+    double remaining = 1.0;
+    for (std::size_t i = 0; i < analysis.unique.size(); ++i) {
+        const UniqueSubgraph &subgraph = analysis.unique[i];
+        const std::uint64_t patterns =
+            i < uniquePatternsHint.size()
+                ? uniquePatternsHint[i]
+                : std::max<std::uint64_t>(
+                      1, subgraph.dynamicCount / 16);
+        const SubgraphEstimate est =
+            estimate(subgraph, totalGraphWeight, patterns);
+        const double coverage = std::min(est.coverage, remaining);
+        remaining -= coverage;
+        denominator -= coverage;
+        denominator += coverage *
+                       (est.instanceWeight > 0.0
+                            ? est.residualCycles / est.instanceWeight
+                            : 1.0);
+    }
+    denominator = std::max(denominator, 1e-3);
+    return 1.0 / denominator;
+}
+
+} // namespace axmemo

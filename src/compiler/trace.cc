@@ -1,0 +1,24 @@
+#include "compiler/trace.hh"
+
+namespace axmemo {
+
+TraceRecorder::TraceRecorder(std::size_t maxEntries)
+    : maxEntries_(maxEntries)
+{
+    entries_.reserve(std::min<std::size_t>(maxEntries, 1u << 16));
+}
+
+std::function<void(InstIndex, const Inst &)>
+TraceRecorder::hook()
+{
+    return [this](InstIndex staticId, const Inst &inst) {
+        ++observed_;
+        if (entries_.size() >= maxEntries_) {
+            truncated_ = true;
+            return;
+        }
+        entries_.push_back({staticId, inst.op});
+    };
+}
+
+} // namespace axmemo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dynamic AxIR trace capture — the reproduction's LLVM-Tracer (step 1 of
+ * the compilation flow, Fig. 5).
+ *
+ * The recorder hooks the simulator's per-retired-instruction callback and
+ * stores a bounded window of dynamic instruction records. Region markers
+ * are kept in the trace so downstream analyses can attribute dynamic
+ * instances to programmer-hinted scopes.
+ */
+
+#ifndef AXMEMO_COMPILER_TRACE_HH
+#define AXMEMO_COMPILER_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace axmemo {
+
+/** One dynamic instruction record. */
+struct TraceEntry
+{
+    InstIndex staticId = 0;
+    Op op = Op::Halt;
+};
+
+/** Bounded dynamic trace of one program execution. */
+class TraceRecorder
+{
+  public:
+    /** @param maxEntries stop recording after this many records. */
+    explicit TraceRecorder(std::size_t maxEntries = 1u << 20);
+
+    /** Hook suitable for Simulator::setTraceHook. */
+    std::function<void(InstIndex, const Inst &)> hook();
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+
+    /** True if the window filled before the program ended. */
+    bool truncated() const { return truncated_; }
+
+    /** Total dynamic instructions observed (even past the window). */
+    std::uint64_t observed() const { return observed_; }
+
+  private:
+    std::size_t maxEntries_;
+    std::vector<TraceEntry> entries_;
+    bool truncated_ = false;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMPILER_TRACE_HH

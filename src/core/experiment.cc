@@ -1,0 +1,178 @@
+#include "core/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/error_metrics.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::Baseline: return "baseline";
+      case Mode::AxMemo: return "axmemo";
+      case Mode::AxMemoNoTrunc: return "axmemo-notrunc";
+      case Mode::SoftwareLut: return "software-lut";
+      case Mode::Atm: return "atm";
+    }
+    return "???";
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
+    : config_(config)
+{
+}
+
+MemoUnitConfig
+ExperimentRunner::memoConfigFor(const Workload &workload,
+                                unsigned dataBytes) const
+{
+    MemoUnitConfig memo;
+    memo.crc = CrcSpec::ofWidth(config_.crcBits);
+    memo.l1Lut.sizeBytes = config_.lut.l1Bytes;
+    memo.l1Lut.dataBytes = dataBytes;
+    memo.l2LutBytes = config_.lut.l2Bytes;
+    memo.quality.enabled = config_.qualityMonitor;
+    memo.quality.floatLanes = workload.monitorLanes();
+    memo.quality.integerData = workload.integerOutputs();
+    memo.adaptive = config_.adaptive;
+    memo.l2Policy = config_.l2Policy;
+    return memo;
+}
+
+RunResult
+ExperimentRunner::run(Workload &workload, Mode mode) const
+{
+    SimMemory mem;
+    workload.prepare(mem, config_.dataset);
+    const Program baselineProg = workload.build();
+
+    RunResult result;
+    result.mode = mode;
+
+    SimConfig simConfig;
+    simConfig.cpu = config_.cpu;
+    simConfig.hierarchy = config_.hierarchy;
+
+    const EnergyModel energyModel(config_.energy);
+
+    switch (mode) {
+      case Mode::Baseline: {
+        Simulator sim(baselineProg, mem, simConfig);
+        result.stats = sim.run();
+        result.energy = energyModel.compute(result.stats, nullptr);
+        break;
+      }
+      case Mode::AxMemo:
+      case Mode::AxMemoNoTrunc: {
+        MemoSpec spec = workload.memoSpec();
+        if (mode == Mode::AxMemoNoTrunc)
+            spec = spec.withUniformTruncation(0);
+        else if (config_.truncOverride >= 0)
+            spec = spec.withUniformTruncation(
+                static_cast<unsigned>(config_.truncOverride));
+        const TransformResult tr =
+            MemoTransform::apply(baselineProg, spec);
+        simConfig.memoEnabled = true;
+        simConfig.memo = memoConfigFor(workload, tr.dataBytes);
+        Simulator sim(tr.program, mem, simConfig);
+        result.stats = sim.run();
+        result.energy =
+            energyModel.compute(result.stats, &simConfig.memo);
+        result.lookups = result.stats.memo.lookups;
+        result.hits = result.stats.memo.hits();
+        result.regions = tr.regions;
+        break;
+      }
+      case Mode::SoftwareLut:
+      case Mode::Atm: {
+        const MemoSpec spec = workload.memoSpec();
+        SwTransformResult tr =
+            mode == Mode::Atm
+                ? AtmTransform::apply(baselineProg, spec, mem,
+                                      config_.atm)
+                : SoftwareMemoTransform::apply(baselineProg, spec, mem,
+                                               config_.software);
+        Simulator sim(tr.program, mem, simConfig);
+        result.stats = sim.run();
+        result.energy = energyModel.compute(result.stats, nullptr);
+        for (const auto &counter : tr.counters) {
+            result.lookups += sim.intReg(counter.lookups);
+            result.hits += sim.intReg(counter.hits);
+        }
+        result.regions = tr.regions;
+        break;
+      }
+    }
+
+    result.outputs = workload.readOutputs(mem);
+    return result;
+}
+
+Comparison
+ExperimentRunner::compare(Workload &workload, Mode mode) const
+{
+    return score(workload, run(workload, Mode::Baseline),
+                 run(workload, mode));
+}
+
+Comparison
+ExperimentRunner::score(Workload &workload, RunResult baseline,
+                        RunResult subject)
+{
+    Comparison cmp;
+    cmp.baseline = std::move(baseline);
+    cmp.subject = std::move(subject);
+
+    if (cmp.subject.stats.cycles == 0 ||
+        cmp.baseline.stats.cycles == 0)
+        axm_panic("zero-cycle run for ", workload.name());
+
+    cmp.speedup = static_cast<double>(cmp.baseline.stats.cycles) /
+                  static_cast<double>(cmp.subject.stats.cycles);
+    cmp.energyReduction =
+        cmp.baseline.energyPj() / cmp.subject.energyPj();
+    cmp.normalizedUops =
+        static_cast<double>(cmp.subject.stats.uops) /
+        static_cast<double>(cmp.baseline.stats.uops);
+    cmp.memoUopShare =
+        static_cast<double>(cmp.subject.stats.memoUops) /
+        static_cast<double>(cmp.baseline.stats.uops);
+
+    if (workload.qualityMetric() == QualityMetric::Misclassification) {
+        cmp.qualityLoss = misclassificationRate(cmp.baseline.outputs,
+                                                cmp.subject.outputs);
+    } else {
+        cmp.qualityLoss = normalizedSquaredError(cmp.baseline.outputs,
+                                                 cmp.subject.outputs);
+    }
+    // Element-wise relative error with a full-scale floor: deviations on
+    // near-zero elements are judged against 1% of the output range
+    // (the PSNR-style convention for image-like data), not against the
+    // element itself.
+    double maxAbs = 0.0;
+    for (double v : cmp.baseline.outputs)
+        maxAbs = std::max(maxAbs, std::abs(v));
+    cmp.errorCdf = elementwiseRelativeErrorCdf(
+        cmp.baseline.outputs, cmp.subject.outputs,
+        std::max(1e-6, 0.01 * maxAbs));
+    return cmp;
+}
+
+double
+ExperimentRunner::benchScaleFromEnv(double fallback)
+{
+    if (const char *full = std::getenv("AXMEMO_FULL");
+        full && full[0] == '1')
+        return 1.0;
+    if (const char *scale = std::getenv("AXMEMO_SCALE")) {
+        const double parsed = std::atof(scale);
+        if (parsed > 0.0)
+            return parsed;
+    }
+    return fallback;
+}
+
+} // namespace axmemo

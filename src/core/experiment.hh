@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The top-level AxMemo experiment API.
+ *
+ * ExperimentRunner wires the whole co-design together for one benchmark:
+ * dataset synthesis -> AxIR build -> (optional) memoization transform ->
+ * timing simulation -> energy model -> quality scoring. Every figure and
+ * table of the paper's evaluation is a loop over ExperimentRunner calls
+ * with different configurations.
+ */
+
+#ifndef AXMEMO_CORE_EXPERIMENT_HH
+#define AXMEMO_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "compiler/atm_transform.hh"
+#include "compiler/software_transform.hh"
+#include "compiler/transform.hh"
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+/** Execution flavor of one run. */
+enum class Mode
+{
+    Baseline,      ///< unmodified program, no memoization hardware
+    AxMemo,        ///< hardware memoization with Table 2 truncation
+    AxMemoNoTrunc, ///< hardware memoization, truncation disabled (Fig 11)
+    SoftwareLut,   ///< software CRC + array LUT contender
+    Atm            ///< Approximate Task Memoization baseline
+};
+
+/** @return a short display name for @p mode. */
+const char *modeName(Mode mode);
+
+/** LUT sizing of one AxMemo configuration (Fig. 7's x-axis). */
+struct LutSetup
+{
+    std::uint64_t l1Bytes = 8 * 1024;
+    std::uint64_t l2Bytes = 0; ///< 0 disables the L2 LUT
+    std::string
+    label() const
+    {
+        std::string s = "L1(" + std::to_string(l1Bytes / 1024) + "KB)";
+        if (l2Bytes)
+            s += "+L2(" + std::to_string(l2Bytes / 1024) + "KB)";
+        return s;
+    }
+};
+
+/** Everything one experiment needs beyond the workload itself. */
+struct ExperimentConfig
+{
+    WorkloadParams dataset{};
+    LutSetup lut{};
+    unsigned crcBits = 32;
+    HierarchyConfig hierarchy{};
+    bool qualityMonitor = true;
+    /**
+     * When >= 0, overrides every region's truncation level (used by the
+     * ablation benches and the truncation tuner).
+     */
+    int truncOverride = -1;
+    /** Runtime truncation control (Section 3.1's dynamic approach). */
+    AdaptiveTruncationConfig adaptive{};
+    /** L2 LUT content policy (inclusive vs victim; see memo_unit.hh). */
+    L2LutPolicy l2Policy = L2LutPolicy::Inclusive;
+    SwMemoConfig software{};
+    AtmConfig atm{};
+    EnergyParams energy{};
+    CpuConfig cpu{};
+};
+
+/** Results of one simulated run. */
+struct RunResult
+{
+    Mode mode = Mode::Baseline;
+    SimStats stats{};
+    EnergyBreakdown energy{};
+    /** Total LUT lookups and hits (hardware or software counters). */
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    /** Program outputs, for quality scoring. */
+    std::vector<double> outputs;
+    /** What the transform reported (empty for Baseline). */
+    std::vector<RegionTransformInfo> regions;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+    double energyPj() const { return energy.totalPj(); }
+};
+
+/** A subject run scored against its paired baseline. */
+struct Comparison
+{
+    RunResult baseline;
+    RunResult subject;
+    double speedup = 1.0;
+    double energyReduction = 1.0;
+    /** Equation 2 (or misclassification for Jmeint). */
+    double qualityLoss = 0.0;
+    /** Element-wise relative error distribution (Fig. 10b). */
+    EmpiricalCdf errorCdf;
+    /** Normalized dynamic µop count and its memoization share (Fig 8). */
+    double normalizedUops = 1.0;
+    double memoUopShare = 0.0;
+};
+
+/** Runs benchmarks under a configuration; see file comment. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const ExperimentConfig &config = {});
+
+    const ExperimentConfig &config() const { return config_; }
+
+    /** Execute @p workload once under @p mode. */
+    RunResult run(Workload &workload, Mode mode) const;
+
+    /** Execute baseline + @p mode and score the pair. */
+    Comparison compare(Workload &workload, Mode mode) const;
+
+    /**
+     * Score an already-run pair (reuse one baseline across many subject
+     * configurations; the baseline must come from the same dataset
+     * parameters).
+     */
+    static Comparison score(Workload &workload, RunResult baseline,
+                            RunResult subject);
+
+    /** The dataset scale from AXMEMO_FULL / AXMEMO_SCALE (bench use). */
+    static double benchScaleFromEnv(double fallback = 0.125);
+
+  private:
+    MemoUnitConfig memoConfigFor(const Workload &workload,
+                                 unsigned dataBytes) const;
+
+    ExperimentConfig config_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_EXPERIMENT_HH

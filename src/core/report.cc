@@ -1,0 +1,131 @@
+#include "core/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace axmemo {
+
+namespace {
+
+void
+line(std::ostringstream &os, const char *name, double value,
+     const char *unit = "")
+{
+    os << std::left << std::setw(28) << name << std::right
+       << std::setw(16) << std::setprecision(6) << value << ' ' << unit
+       << '\n';
+}
+
+void
+line(std::ostringstream &os, const char *name, std::uint64_t value,
+     const char *unit = "")
+{
+    os << std::left << std::setw(28) << name << std::right
+       << std::setw(16) << value << ' ' << unit << '\n';
+}
+
+} // namespace
+
+std::string
+formatRunReport(const RunResult &result, const ExperimentConfig &config)
+{
+    const SimStats &s = result.stats;
+    std::ostringstream os;
+    os << "---------- run report (" << modeName(result.mode)
+       << ") ----------\n";
+    line(os, "cycles", s.cycles);
+    line(os, "seconds",
+         s.seconds(config.cpu.freqGhz), "s @2GHz");
+    line(os, "macro_insts", s.macroInsts);
+    line(os, "uops", s.uops);
+    line(os, "ipc",
+         s.cycles ? static_cast<double>(s.uops) /
+                        static_cast<double>(s.cycles)
+                  : 0.0);
+    line(os, "memo_uops", s.memoUops);
+    line(os, "branches", s.branches);
+    line(os, "mispredicts", s.mispredicts);
+    line(os, "loads", s.loads);
+    line(os, "stores", s.stores);
+
+    os << "-- memory system --\n";
+    line(os, "l1d_hits", s.events.get("l1d_hit"));
+    line(os, "l1d_misses", s.events.get("l1d_miss"));
+    line(os, "l2_hits", s.events.get("l2_hit"));
+    line(os, "l2_misses", s.events.get("l2_miss"));
+    line(os, "dram_reads", s.events.get("dram_read"));
+    line(os, "dram_writes", s.events.get("dram_write"));
+
+    if (result.mode == Mode::AxMemo ||
+        result.mode == Mode::AxMemoNoTrunc) {
+        os << "-- memoization unit --\n";
+        line(os, "lookups", s.memo.lookups);
+        line(os, "l1_lut_hits", s.memo.l1Hits);
+        line(os, "l2_lut_hits", s.memo.l2Hits);
+        line(os, "misses", s.memo.misses);
+        line(os, "hit_rate", s.memo.hitRate());
+        line(os, "updates", s.memo.updates);
+        line(os, "invalidates", s.memo.invalidates);
+        line(os, "sampled_hits", s.memo.sampledHits);
+        line(os, "profiled_hits", s.memo.profiledHits);
+        line(os, "input_bytes_hashed", s.memo.inputBytesHashed);
+        line(os, "queue_stall_cycles", s.memoQueueStalls);
+        line(os, "monitor_tripped",
+             static_cast<std::uint64_t>(s.memo.monitorTripped));
+    } else if (result.lookups > 0) {
+        os << "-- software memoization --\n";
+        line(os, "lookups", result.lookups);
+        line(os, "hits", result.hits);
+        line(os, "hit_rate", result.hitRate());
+    }
+
+    os << "-- energy --\n";
+    line(os, "core_uj", result.energy.corePj / 1e6, "uJ");
+    line(os, "cache_uj", result.energy.cachePj / 1e6, "uJ");
+    line(os, "dram_uj", result.energy.dramPj / 1e6, "uJ");
+    line(os, "memo_uj", result.energy.memoPj / 1e6, "uJ");
+    line(os, "leakage_uj", result.energy.leakagePj / 1e6, "uJ");
+    line(os, "total_uj", result.energy.totalPj() / 1e6, "uJ");
+
+    for (const auto &region : result.regions) {
+        os << "-- region " << region.regionId << " (lut "
+           << static_cast<int>(region.lut) << ") --\n";
+        line(os, "inputs",
+             static_cast<std::uint64_t>(region.numInputs));
+        line(os, "input_bytes",
+             static_cast<std::uint64_t>(region.inputBytes));
+        line(os, "outputs",
+             static_cast<std::uint64_t>(region.numOutputs));
+        line(os, "fused_loads",
+             static_cast<std::uint64_t>(region.fusedLoads));
+    }
+    return os.str();
+}
+
+std::string
+formatComparison(const Comparison &cmp, const Workload &workload)
+{
+    std::ostringstream os;
+    os << "---------- " << workload.name() << " ("
+       << workload.domain() << ") ----------\n";
+    os << std::fixed << std::setprecision(2);
+    os << "speedup            " << cmp.speedup << "x\n";
+    os << "energy saving      " << cmp.energyReduction << "x\n";
+    os << "dynamic uops       " << 100.0 * cmp.normalizedUops
+       << "% of baseline (" << 100.0 * cmp.memoUopShare
+       << "% memoization ops)\n";
+    os << "hit rate           " << 100.0 * cmp.subject.hitRate()
+       << "%\n";
+    os << std::setprecision(4);
+    os << "quality loss       " << 100.0 * cmp.qualityLoss << "% ("
+       << (workload.qualityMetric() ==
+                   QualityMetric::Misclassification
+               ? "misclassification"
+               : "Equation 2")
+       << ")\n";
+    os << "error p50 / p99    " << cmp.errorCdf.quantile(0.5) << " / "
+       << cmp.errorCdf.quantile(0.99) << "\n";
+    return os.str();
+}
+
+} // namespace axmemo

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Human-readable reports over run results: a gem5-style stats dump for
+ * one run and a side-by-side comparison summary. Used by the CLI
+ * frontend and handy for debugging configurations.
+ */
+
+#ifndef AXMEMO_CORE_REPORT_HH
+#define AXMEMO_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/experiment.hh"
+
+namespace axmemo {
+
+/** Render one run's statistics (cycles, IPC, events, memo, energy). */
+std::string formatRunReport(const RunResult &result,
+                            const ExperimentConfig &config);
+
+/** Render a baseline-vs-subject comparison summary. */
+std::string formatComparison(const Comparison &cmp,
+                             const Workload &workload);
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_REPORT_HH

@@ -1,0 +1,81 @@
+#include "core/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace axmemo {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto grow = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    grow(header_);
+    for (const auto &r : rows_)
+        grow(r);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string &cell =
+                i < cells.size() ? cells[i] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << cell;
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            os << std::string(widths[i], '-');
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::percent(double fraction, int precision)
+{
+    return num(100.0 * fraction, precision) + "%";
+}
+
+std::string
+TextTable::times(double factor, int precision)
+{
+    return num(factor, precision) + "x";
+}
+
+} // namespace axmemo

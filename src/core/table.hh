@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal fixed-width text table used by the bench harnesses to print the
+ * paper's tables and figure series in a uniform, diffable format.
+ */
+
+#ifndef AXMEMO_CORE_TABLE_HH
+#define AXMEMO_CORE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace axmemo {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator under the header. */
+    std::string render() const;
+
+    /** Format helpers. */
+    static std::string num(double value, int precision = 2);
+    static std::string percent(double fraction, int precision = 1);
+    static std::string times(double factor, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_TABLE_HH

@@ -1,0 +1,86 @@
+#include "crc/hw_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+namespace {
+
+// Calibration point: the paper's synthesized CRC32 unit (Table 5),
+// 8-bit-parallel, unrolled x4, pipelined, at 32 nm.
+constexpr double refAreaMm2 = 0.0146;
+constexpr double refEnergyPj = 2.9143;
+constexpr double refLatencyNs = 0.4133;
+constexpr unsigned refWidth = 32;
+constexpr unsigned refUnroll = 4;
+constexpr unsigned refBitsPerStage = 8;
+
+} // namespace
+
+CrcHwModel::CrcHwModel(const CrcHwConfig &config) : config_(config)
+{
+    if (config_.width == 0 || config_.width > 64)
+        axm_fatal("CRC hw model: unsupported width ", config_.width);
+    if (config_.bitsPerStage == 0 || config_.bitsPerStage > 16)
+        axm_fatal("CRC hw model: unsupported bitsPerStage ",
+                  config_.bitsPerStage);
+    if (config_.unroll == 0 || config_.unroll > 16)
+        axm_fatal("CRC hw model: unsupported unroll ", config_.unroll);
+    if ((config_.bitsPerStage * config_.unroll) % 8 != 0)
+        axm_fatal("CRC hw model: stage bits x unroll must be byte-sized");
+}
+
+std::uint64_t
+CrcHwModel::constantRamBits() const
+{
+    return (1ull << config_.bitsPerStage) *
+           static_cast<std::uint64_t>(config_.width) * config_.unroll;
+}
+
+double
+CrcHwModel::areaMm2() const
+{
+    // Dominated by the constant RAM plus per-stage XOR trees; both scale
+    // ~linearly in width and unroll relative to the calibration point.
+    const double widthScale =
+        static_cast<double>(config_.width) / refWidth;
+    const double unrollScale =
+        static_cast<double>(config_.unroll) / refUnroll;
+    const double ramScale =
+        static_cast<double>(1u << config_.bitsPerStage) /
+        static_cast<double>(1u << refBitsPerStage);
+    return refAreaMm2 * widthScale * unrollScale *
+           (0.7 * ramScale + 0.3);
+}
+
+double
+CrcHwModel::energyPerOpPj() const
+{
+    const double widthScale =
+        static_cast<double>(config_.width) / refWidth;
+    const double unrollScale =
+        static_cast<double>(config_.unroll) / refUnroll;
+    return refEnergyPj * widthScale * unrollScale;
+}
+
+double
+CrcHwModel::latencyNs() const
+{
+    // The critical path is one stage's RAM read + XOR tree; widening the
+    // register grows the XOR tree logarithmically.
+    const double widthFactor =
+        std::log2(static_cast<double>(config_.width)) /
+        std::log2(static_cast<double>(refWidth));
+    return refLatencyNs * (0.6 + 0.4 * widthFactor);
+}
+
+Cycle
+CrcHwModel::cyclesForBytes(std::uint64_t bytes) const
+{
+    const unsigned bpc = config_.bytesPerCycle();
+    return (bytes + bpc - 1) / bpc;
+}
+
+} // namespace axmemo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Hardware cost/timing model of the CRC unit (Table 5 and Section 3.1).
+ *
+ * The synthesized unit in the paper is an 8-bit-parallel CRC32 stage,
+ * unrolled four times and pipelined, so it consumes 4 bytes per cycle at a
+ * 0.41 ns critical path, occupies 0.0146 mm^2 at 32 nm, and spends 2.91 pJ
+ * per (4-byte) operation. This model reproduces those calibration points
+ * exactly and extrapolates to other widths/unroll factors for ablations.
+ */
+
+#ifndef AXMEMO_CRC_HW_MODEL_HH
+#define AXMEMO_CRC_HW_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** Static configuration of the hardware CRC unit. */
+struct CrcHwConfig
+{
+    /** Checksum width in bits. */
+    unsigned width = 32;
+    /** Input bits consumed per pipeline stage per cycle. */
+    unsigned bitsPerStage = 8;
+    /** Number of unrolled (pipelined) stages. */
+    unsigned unroll = 4;
+
+    /** Input bytes consumed per cycle when the pipeline is full. */
+    unsigned
+    bytesPerCycle() const
+    {
+        return bitsPerStage * unroll / 8;
+    }
+};
+
+/** Area / energy / latency estimates for a CRC unit configuration. */
+class CrcHwModel
+{
+  public:
+    explicit CrcHwModel(const CrcHwConfig &config = {});
+
+    const CrcHwConfig &config() const { return config_; }
+
+    /** Silicon area in mm^2 at 32 nm. */
+    double areaMm2() const;
+
+    /** Energy of one full-throughput accumulate step, pJ. */
+    double energyPerOpPj() const;
+
+    /** Critical-path latency in ns. */
+    double latencyNs() const;
+
+    /** Bits of constant RAM required (2^bitsPerStage x width per stage). */
+    std::uint64_t constantRamBits() const;
+
+    /**
+     * Cycles for the unit to absorb @p bytes input bytes (streaming;
+     * pipeline fill is hidden behind the producing instructions).
+     */
+    Cycle cyclesForBytes(std::uint64_t bytes) const;
+
+  private:
+    CrcHwConfig config_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_CRC_HW_MODEL_HH

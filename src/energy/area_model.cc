@@ -1,0 +1,90 @@
+#include "energy/area_model.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "crc/hw_model.hh"
+
+namespace axmemo {
+
+namespace {
+
+struct LutPoint
+{
+    double kb;
+    double areaMm2;
+    double energyPj;
+    double latencyNs;
+};
+
+// Table 5 calibration points (8-way, 4-byte data LUTs).
+constexpr LutPoint lutPoints[] = {
+    {4.0, 0.0217, 3.2556, 0.1768},
+    {8.0, 0.0364, 4.4221, 0.2175},
+    {16.0, 0.0666, 7.2340, 0.2658},
+};
+
+/** Piecewise-linear in log2(capacity), extrapolating the edge slopes. */
+double
+interpLog(double kb, double LutPoint::*field)
+{
+    const double x = std::log2(kb);
+    const auto &p = lutPoints;
+    const double x0 = std::log2(p[0].kb);
+    const double x1 = std::log2(p[1].kb);
+    const double x2 = std::log2(p[2].kb);
+    if (x <= x1) {
+        const double t = (x - x0) / (x1 - x0);
+        return p[0].*field + t * (p[1].*field - p[0].*field);
+    }
+    const double t = (x - x1) / (x2 - x1);
+    return p[1].*field + t * (p[2].*field - p[1].*field);
+}
+
+} // namespace
+
+double
+AreaModel::lutAreaMm2(std::uint64_t sizeBytes)
+{
+    if (sizeBytes == 0)
+        return 0.0;
+    // Area is close to linear in capacity: fitting Table 5 gives
+    // ~0.00702 mm^2 of periphery plus ~0.003673 mm^2 per KB.
+    const double kb = static_cast<double>(sizeBytes) / 1024.0;
+    return 0.00702 + 0.003673 * kb;
+}
+
+double
+AreaModel::lutEnergyPj(std::uint64_t sizeBytes)
+{
+    if (sizeBytes == 0)
+        return 0.0;
+    const double kb = static_cast<double>(sizeBytes) / 1024.0;
+    return interpLog(kb, &LutPoint::energyPj);
+}
+
+double
+AreaModel::lutLatencyNs(std::uint64_t sizeBytes)
+{
+    if (sizeBytes == 0)
+        return 0.0;
+    const double kb = static_cast<double>(sizeBytes) / 1024.0;
+    return interpLog(kb, &LutPoint::latencyNs);
+}
+
+double
+AreaModel::memoUnitAreaMm2(const MemoUnitConfig &config)
+{
+    const CrcHwModel crc(config.crcHw);
+    return crc.areaMm2() + hvrAreaMm2() +
+           lutAreaMm2(config.l1Lut.sizeBytes) + qualityMonitorAreaMm2();
+}
+
+double
+AreaModel::overheadFraction(const MemoUnitConfig &config,
+                            unsigned numCores)
+{
+    return numCores * memoUnitAreaMm2(config) / processorAreaMm2();
+}
+
+} // namespace axmemo

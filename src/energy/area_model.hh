@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CACTI/McPAT-like area, energy, and latency estimates at 32 nm,
+ * calibrated to the paper's synthesis results (Table 5):
+ *
+ *   CRC32 unit        0.0146 mm^2   2.9143 pJ/op   0.4133 ns
+ *   Hash registers    0.0018 mm^2   0.2634 pJ      0.1121 ns
+ *   LUT 4 KB          0.0217 mm^2   3.2556 pJ      0.1768 ns
+ *   LUT 8 KB          0.0364 mm^2   4.4221 pJ      0.2175 ns
+ *   LUT 16 KB         0.0666 mm^2   7.2340 pJ      0.2658 ns
+ *
+ * LUT figures interpolate/extrapolate these points (linear in capacity for
+ * area, log-capacity linear for energy/latency). The host processor is the
+ * dual-core HPI estimated at 7.97 mm^2 by McPAT 1.3 (Section 6.1), giving
+ * the paper's 2.08% overhead for the 16 KB configuration.
+ */
+
+#ifndef AXMEMO_ENERGY_AREA_MODEL_HH
+#define AXMEMO_ENERGY_AREA_MODEL_HH
+
+#include <cstdint>
+
+#include "memo/memo_unit.hh"
+
+namespace axmemo {
+
+/** Area/energy/latency estimator; see file comment. */
+class AreaModel
+{
+  public:
+    /** Dedicated-SRAM LUT area in mm^2. */
+    static double lutAreaMm2(std::uint64_t sizeBytes);
+
+    /** LUT access energy in pJ. */
+    static double lutEnergyPj(std::uint64_t sizeBytes);
+
+    /** LUT access latency in ns. */
+    static double lutLatencyNs(std::uint64_t sizeBytes);
+
+    /** Hash-value register file (16 x 32-bit). */
+    static double hvrAreaMm2() { return 0.0018; }
+    static double hvrEnergyPj() { return 0.2634; }
+    static double hvrLatencyNs() { return 0.1121; }
+
+    /** Quality-monitor comparator (Section 6.1). */
+    static double qualityMonitorAreaMm2() { return 16.8e-6; }
+    static double qualityMonitorPowerW() { return 7.47e-6; }
+
+    /** McPAT estimate for the dual-core HPI processor. */
+    static double processorAreaMm2() { return 7.97; }
+
+    /**
+     * Area of one memoization unit (CRC + HVR + L1 LUT + monitor); the L2
+     * LUT is partitioned from the existing LLC and adds no area.
+     */
+    static double memoUnitAreaMm2(const MemoUnitConfig &config);
+
+    /** Fractional processor area overhead for @p numCores units. */
+    static double overheadFraction(const MemoUnitConfig &config,
+                                   unsigned numCores = 2);
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_ENERGY_AREA_MODEL_HH

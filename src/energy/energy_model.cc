@@ -1,0 +1,64 @@
+#include "energy/energy_model.hh"
+
+#include "energy/area_model.hh"
+
+namespace axmemo {
+
+EnergyModel::EnergyModel(const EnergyParams &params) : params_(params) {}
+
+EnergyBreakdown
+EnergyModel::compute(const SimStats &stats,
+                     const MemoUnitConfig *memoConfig) const
+{
+    const CounterSet &ev = stats.events;
+    EnergyBreakdown out;
+
+    const auto count = [&ev](const char *name) {
+        return static_cast<double>(ev.get(name));
+    };
+
+    // Core: per-µop front end plus per-class execution energy.
+    out.corePj += count("frontend_uops") * params_.frontendPerUop;
+    out.corePj += count("uop_int_alu") * params_.intAlu;
+    out.corePj += count("uop_int_mul") * params_.intMul;
+    out.corePj += count("uop_int_div") * params_.intDiv;
+    out.corePj += count("uop_fp_simple") * params_.fpSimple;
+    out.corePj += count("uop_fp_mul") * params_.fpMul;
+    out.corePj += count("uop_fp_div") * params_.fpDiv;
+    out.corePj += count("uop_fp_long") * params_.fpLongPerUop;
+    out.corePj += count("uop_mem") * params_.memAgen;
+    out.corePj += count("uop_branch") * params_.branch;
+    out.corePj += count("uop_memo") * params_.memoIssue;
+
+    // Memory system. Every L1 access (hit or miss) cycles the L1 arrays;
+    // L2 is touched on L1 misses and L1 writebacks; DRAM per line
+    // transfer.
+    out.cachePj += (count("l1d_hit") + count("l1d_miss")) *
+                   params_.l1dAccess;
+    out.cachePj += (count("l2_hit") + count("l2_miss") +
+                    count("l2_wb_access")) *
+                   params_.l2Access;
+    out.dramPj += (count("dram_read") + count("dram_write")) *
+                  params_.dramAccess;
+
+    // Memoization unit datapath.
+    if (memoConfig) {
+        out.memoPj += count("memo_crc_bytes") / 4.0 *
+                      params_.crcPer4Bytes;
+        out.memoPj += count("memo_hvr_access") * params_.hvrAccess;
+        out.memoPj += count("memo_lut_l1_access") *
+                      AreaModel::lutEnergyPj(memoConfig->l1Lut.sizeBytes);
+        // The L2 LUT is LLC ways: charge LLC access energy.
+        out.memoPj += count("memo_lut_l2_access") * params_.l2Access;
+    }
+
+    // Leakage over the run.
+    const double cycles = static_cast<double>(stats.cycles);
+    out.leakagePj += cycles * params_.leakagePerCycle;
+    if (memoConfig)
+        out.leakagePj += cycles * params_.memoLeakagePerCycle;
+
+    return out;
+}
+
+} // namespace axmemo

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * McPAT-style event-based energy accounting.
+ *
+ * The simulator counts events (µops by class, cache/DRAM accesses, memo-
+ * unit operations); this model multiplies them by per-event energies and
+ * adds leakage over the run's cycles, mirroring the paper's methodology of
+ * feeding gem5 statistics into McPAT 1.3 + CACTI 6.5 (Section 6.1).
+ *
+ * Per-event energies are 32 nm estimates. The dominant effect the paper
+ * reports — energy tracking the eliminated instruction work, because
+ * fetch/decode/issue dwarfs execution energy [Keckler et al.] — is carried
+ * by the per-µop front-end charge.
+ */
+
+#ifndef AXMEMO_ENERGY_ENERGY_MODEL_HH
+#define AXMEMO_ENERGY_ENERGY_MODEL_HH
+
+#include <map>
+#include <string>
+
+#include "memo/memo_unit.hh"
+#include "sim/simulator.hh"
+
+namespace axmemo {
+
+/** Per-event energies in pJ and leakage in pJ/cycle (32 nm estimates). */
+struct EnergyParams
+{
+    /** Fetch + decode + rename/issue per µop (the von Neumann tax). */
+    double frontendPerUop = 4.5;
+
+    // Execution energy by µop class.
+    double intAlu = 0.8;
+    double intMul = 2.5;
+    double intDiv = 8.0;
+    double fpSimple = 1.5;
+    double fpMul = 2.8;
+    double fpDiv = 10.0;
+    double fpLongPerUop = 1.8;
+    double memAgen = 0.9;
+    double branch = 0.6;
+    /** Issue cost of a memo-unit request (datapath is counted apart). */
+    double memoIssue = 0.4;
+
+    // Memory system per access (64 B line granularity for L2/DRAM).
+    double l1dAccess = 4.6;
+    double l2Access = 24.0;
+    double dramAccess = 2000.0;
+
+    // Memoization unit (Table 5): CRC energy is per 4-byte step.
+    double crcPer4Bytes = 2.9143;
+    double hvrAccess = 0.2634;
+
+    /** Whole-core + caches static power, expressed per cycle at 2 GHz. */
+    double leakagePerCycle = 30.0;
+    /** Extra leakage per cycle when a memoization unit is present. */
+    double memoLeakagePerCycle = 0.6;
+};
+
+/** Energy totals in pJ, by subsystem. */
+struct EnergyBreakdown
+{
+    double corePj = 0.0;    ///< front end + execution units
+    double cachePj = 0.0;   ///< L1D + L2
+    double dramPj = 0.0;
+    double memoPj = 0.0;    ///< CRC + HVR + LUT arrays
+    double leakagePj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return corePj + cachePj + dramPj + memoPj + leakagePj;
+    }
+};
+
+/** Event-based energy model; see file comment. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {});
+
+    const EnergyParams &params() const { return params_; }
+
+    /**
+     * Energy of one finished run. @p memoConfig selects the L1 LUT access
+     * energy; pass nullptr for runs without a memoization unit.
+     */
+    EnergyBreakdown compute(const SimStats &stats,
+                            const MemoUnitConfig *memoConfig) const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,119 @@
+#include "isa/analysis.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+std::vector<InstIndex>
+successorsOf(const Program &prog, InstIndex i)
+{
+    const Inst &inst = prog.at(i);
+    std::vector<InstIndex> succs;
+    if (inst.fallsThrough() && i + 1 < prog.size())
+        succs.push_back(i + 1);
+    if (inst.isBranch())
+        succs.push_back(inst.imm);
+    // Deduplicate (a conditional branch to the next instruction).
+    std::sort(succs.begin(), succs.end());
+    succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+    return succs;
+}
+
+Liveness::Liveness(const Program &prog)
+    : liveIn_(static_cast<std::size_t>(prog.size()))
+{
+    // Classic backward may-dataflow to fixpoint. Programs are small
+    // (hundreds of static instructions) so the simple iteration is fine.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (InstIndex i = prog.size() - 1; i >= 0; --i) {
+            const Inst &inst = prog.at(i);
+            const OperandInfo ops = operandsOf(inst);
+
+            std::set<RegId> out;
+            for (InstIndex s : successorsOf(prog, i)) {
+                if (s >= prog.size())
+                    continue;
+                const auto &succIn =
+                    liveIn_[static_cast<std::size_t>(s)];
+                out.insert(succIn.begin(), succIn.end());
+            }
+
+            // in = (out - def) + use
+            if (ops.dest != invalidReg)
+                out.erase(ops.dest);
+            for (unsigned k = 0; k < ops.numSources; ++k)
+                out.insert(ops.sources[k]);
+
+            auto &in = liveIn_[static_cast<std::size_t>(i)];
+            if (out != in) {
+                in = std::move(out);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::set<RegId>
+Liveness::liveOut(const Program &prog, InstIndex i) const
+{
+    std::set<RegId> out;
+    for (InstIndex s : successorsOf(prog, i)) {
+        if (s >= prog.size())
+            continue;
+        const auto &succIn = liveIn_[static_cast<std::size_t>(s)];
+        out.insert(succIn.begin(), succIn.end());
+    }
+    return out;
+}
+
+RangeInterface
+analyzeRange(const Program &prog, const Liveness &liveness, InstRange range)
+{
+    if (range.begin < 0 || range.end > prog.size() ||
+        range.begin >= range.end)
+        axm_panic("analyzeRange: bad range [", range.begin, ", ",
+                  range.end, ")");
+
+    RangeInterface iface;
+    std::set<RegId> written;
+    std::set<RegId> inputSet;
+
+    for (InstIndex i = range.begin; i < range.end; ++i) {
+        const Inst &inst = prog.at(i);
+        if (inst.op == Op::St || inst.op == Op::Stf)
+            iface.hasStores = true;
+        if (inst.isBranch() && !range.contains(inst.imm) &&
+            inst.imm != range.end)
+            iface.escapes = true;
+
+        const OperandInfo ops = operandsOf(inst);
+        for (unsigned k = 0; k < ops.numSources; ++k) {
+            const RegId src = ops.sources[k];
+            // Inputs are recorded in first-read program order: the memo
+            // transform streams them to the CRC unit in exactly this
+            // order, satisfying Section 4's ordering requirement.
+            if (!written.count(src) && inputSet.insert(src).second)
+                iface.inputs.push_back(src);
+        }
+        if (ops.dest != invalidReg)
+            written.insert(ops.dest);
+    }
+
+    // Outputs: registers written in the range that are live after it.
+    // Live-out at the last instruction of the range approximates "live
+    // after the range" for single-exit fall-through ranges.
+    std::set<RegId> liveAfter;
+    if (range.end < prog.size())
+        liveAfter = liveness.liveIn(range.end);
+    for (RegId reg : written) {
+        if (liveAfter.count(reg))
+            iface.outputs.push_back(reg);
+    }
+    return iface;
+}
+
+} // namespace axmemo

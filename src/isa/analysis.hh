@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Static analyses over AxIR programs: control-flow successors, live-register
+ * dataflow, and region input/output classification.
+ *
+ * The compiler's memoization transform (Section 5, step 4) uses these to
+ * determine which registers are live-in (memoization inputs) and live-out
+ * (memoization outputs) of a candidate code range.
+ */
+
+#ifndef AXMEMO_ISA_ANALYSIS_HH
+#define AXMEMO_ISA_ANALYSIS_HH
+
+#include <set>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace axmemo {
+
+/** Static successors of instruction @p i in @p prog. */
+std::vector<InstIndex> successorsOf(const Program &prog, InstIndex i);
+
+/** Result of whole-program liveness: live-in set per instruction. */
+class Liveness
+{
+  public:
+    /** Run backward liveness over @p prog (iterates to fixpoint). */
+    explicit Liveness(const Program &prog);
+
+    /** Registers live immediately before instruction @p i executes. */
+    const std::set<RegId> &liveIn(InstIndex i) const
+    {
+        return liveIn_[static_cast<std::size_t>(i)];
+    }
+
+    /** Registers live immediately after instruction @p i. */
+    std::set<RegId> liveOut(const Program &prog, InstIndex i) const;
+
+  private:
+    std::vector<std::set<RegId>> liveIn_;
+};
+
+/** Inputs/outputs of a static range, per the subgraph rules of Section 5. */
+struct RangeInterface
+{
+    /** Registers read inside the range before any write inside it. */
+    std::vector<RegId> inputs;
+    /** Registers written inside the range and live after it. */
+    std::vector<RegId> outputs;
+    /** True if the range contains stores (ineligible for memoization). */
+    bool hasStores = false;
+    /** True if any branch inside the range targets outside it. */
+    bool escapes = false;
+};
+
+/**
+ * Classify the live interface of prog[range.begin, range.end).
+ * Control must enter at range.begin; internal branches may stay inside.
+ */
+RangeInterface analyzeRange(const Program &prog, const Liveness &liveness,
+                            InstRange range);
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_ANALYSIS_HH

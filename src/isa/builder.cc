@@ -1,0 +1,532 @@
+#include "isa/builder.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+KernelBuilder::KernelBuilder(std::string name) : prog_(std::move(name)) {}
+
+IReg
+KernelBuilder::newIReg()
+{
+    return {iregId(nextIntReg_++)};
+}
+
+FReg
+KernelBuilder::newFReg()
+{
+    return {fregId(nextFloatReg_++)};
+}
+
+IReg
+KernelBuilder::emitI(Op op, IReg a, IReg b)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = op, .dst = dst.id, .src1 = a.id, .src2 = b.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::emitI(Op op, IReg a, std::int64_t i)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = op, .dst = dst.id, .src1 = a.id, .imm = i});
+    return dst;
+}
+
+FReg
+KernelBuilder::emitF(Op op, FReg a, FReg b)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = op, .dst = dst.id, .src1 = a.id, .src2 = b.id});
+    return dst;
+}
+
+FReg
+KernelBuilder::emitF1(Op op, FReg a)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = op, .dst = dst.id, .src1 = a.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::imm(std::int64_t value)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Movi, .dst = dst.id, .imm = value});
+    return dst;
+}
+
+IReg KernelBuilder::add(IReg a, IReg b) { return emitI(Op::Add, a, b); }
+IReg KernelBuilder::add(IReg a, std::int64_t i)
+{
+    return emitI(Op::Add, a, i);
+}
+IReg KernelBuilder::sub(IReg a, IReg b) { return emitI(Op::Sub, a, b); }
+IReg KernelBuilder::sub(IReg a, std::int64_t i)
+{
+    return emitI(Op::Sub, a, i);
+}
+IReg KernelBuilder::mul(IReg a, IReg b) { return emitI(Op::Mul, a, b); }
+IReg KernelBuilder::mul(IReg a, std::int64_t i)
+{
+    return emitI(Op::Mul, a, i);
+}
+IReg KernelBuilder::div(IReg a, IReg b) { return emitI(Op::Div, a, b); }
+IReg KernelBuilder::rem(IReg a, IReg b) { return emitI(Op::Rem, a, b); }
+IReg KernelBuilder::rem(IReg a, std::int64_t i)
+{
+    return emitI(Op::Rem, a, i);
+}
+IReg KernelBuilder::band(IReg a, std::int64_t i)
+{
+    return emitI(Op::And, a, i);
+}
+IReg KernelBuilder::band(IReg a, IReg b) { return emitI(Op::And, a, b); }
+IReg KernelBuilder::bor(IReg a, IReg b) { return emitI(Op::Or, a, b); }
+IReg KernelBuilder::bxor(IReg a, IReg b) { return emitI(Op::Xor, a, b); }
+IReg KernelBuilder::bxor(IReg a, std::int64_t i)
+{
+    return emitI(Op::Xor, a, i);
+}
+IReg KernelBuilder::shl(IReg a, std::int64_t i)
+{
+    return emitI(Op::Shl, a, i);
+}
+IReg KernelBuilder::shr(IReg a, std::int64_t i)
+{
+    return emitI(Op::Shr, a, i);
+}
+IReg KernelBuilder::shl(IReg a, IReg b) { return emitI(Op::Shl, a, b); }
+IReg KernelBuilder::shr(IReg a, IReg b) { return emitI(Op::Shr, a, b); }
+IReg KernelBuilder::sra(IReg a, std::int64_t i)
+{
+    return emitI(Op::Sra, a, i);
+}
+IReg
+KernelBuilder::sext(IReg a, unsigned bits)
+{
+    return sra(shl(a, 64 - bits), 64 - bits);
+}
+IReg KernelBuilder::slt(IReg a, IReg b) { return emitI(Op::Slt, a, b); }
+IReg KernelBuilder::slt(IReg a, std::int64_t i)
+{
+    return emitI(Op::Slt, a, i);
+}
+IReg KernelBuilder::sle(IReg a, IReg b) { return emitI(Op::Sle, a, b); }
+IReg KernelBuilder::seq(IReg a, IReg b) { return emitI(Op::Seq, a, b); }
+IReg KernelBuilder::seq(IReg a, std::int64_t i)
+{
+    return emitI(Op::Seq, a, i);
+}
+IReg KernelBuilder::sne(IReg a, IReg b) { return emitI(Op::Sne, a, b); }
+IReg KernelBuilder::sne(IReg a, std::int64_t i)
+{
+    return emitI(Op::Sne, a, i);
+}
+IReg KernelBuilder::imin(IReg a, IReg b) { return emitI(Op::MinI, a, b); }
+IReg KernelBuilder::imax(IReg a, IReg b) { return emitI(Op::MaxI, a, b); }
+
+void
+KernelBuilder::assign(IReg dst, IReg src)
+{
+    prog_.append({.op = Op::Mov, .dst = dst.id, .src1 = src.id});
+}
+
+void
+KernelBuilder::assign(IReg dst, std::int64_t value)
+{
+    prog_.append({.op = Op::Movi, .dst = dst.id, .imm = value});
+}
+
+void
+KernelBuilder::addTo(IReg dst, IReg a, IReg b)
+{
+    prog_.append({.op = Op::Add, .dst = dst.id, .src1 = a.id,
+                  .src2 = b.id});
+}
+
+void
+KernelBuilder::addTo(IReg dst, IReg a, std::int64_t i)
+{
+    prog_.append({.op = Op::Add, .dst = dst.id, .src1 = a.id, .imm = i});
+}
+
+void
+KernelBuilder::assign(FReg dst, FReg src)
+{
+    prog_.append({.op = Op::Fmov, .dst = dst.id, .src1 = src.id});
+}
+
+void
+KernelBuilder::assign(FReg dst, float value)
+{
+    prog_.append({.op = Op::Fmovi, .dst = dst.id,
+                  .imm = static_cast<std::int64_t>(floatBits(value))});
+}
+
+void
+KernelBuilder::faddTo(FReg dst, FReg a, FReg b)
+{
+    prog_.append({.op = Op::Fadd, .dst = dst.id, .src1 = a.id,
+                  .src2 = b.id});
+}
+
+FReg
+KernelBuilder::fimm(float value)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = Op::Fmovi, .dst = dst.id,
+                  .imm = static_cast<std::int64_t>(floatBits(value))});
+    return dst;
+}
+
+FReg KernelBuilder::fadd(FReg a, FReg b) { return emitF(Op::Fadd, a, b); }
+FReg KernelBuilder::fsub(FReg a, FReg b) { return emitF(Op::Fsub, a, b); }
+FReg KernelBuilder::fmul(FReg a, FReg b) { return emitF(Op::Fmul, a, b); }
+FReg KernelBuilder::fdiv(FReg a, FReg b) { return emitF(Op::Fdiv, a, b); }
+FReg KernelBuilder::fsqrt(FReg a) { return emitF1(Op::Fsqrt, a); }
+FReg KernelBuilder::fneg(FReg a) { return emitF1(Op::Fneg, a); }
+FReg KernelBuilder::fabs(FReg a) { return emitF1(Op::Fabs, a); }
+FReg KernelBuilder::fmin(FReg a, FReg b) { return emitF(Op::Fmin, a, b); }
+FReg KernelBuilder::fmax(FReg a, FReg b) { return emitF(Op::Fmax, a, b); }
+
+IReg
+KernelBuilder::flt(FReg a, FReg b)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Flt, .dst = dst.id, .src1 = a.id,
+                  .src2 = b.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::fle(FReg a, FReg b)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Fle, .dst = dst.id, .src1 = a.id,
+                  .src2 = b.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::feq(FReg a, FReg b)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Feq, .dst = dst.id, .src1 = a.id,
+                  .src2 = b.id});
+    return dst;
+}
+
+FReg KernelBuilder::fexp(FReg a) { return emitF1(Op::Fexp, a); }
+FReg KernelBuilder::flog(FReg a) { return emitF1(Op::Flog, a); }
+FReg KernelBuilder::fsin(FReg a) { return emitF1(Op::Fsin, a); }
+FReg KernelBuilder::fcos(FReg a) { return emitF1(Op::Fcos, a); }
+FReg
+KernelBuilder::fatan2(FReg y, FReg x)
+{
+    return emitF(Op::Fatan2, y, x);
+}
+FReg KernelBuilder::facos(FReg a) { return emitF1(Op::Facos, a); }
+FReg KernelBuilder::fasin(FReg a) { return emitF1(Op::Fasin, a); }
+
+FReg
+KernelBuilder::itof(IReg a)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = Op::CvtIF, .dst = dst.id, .src1 = a.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::ftoi(FReg a)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::CvtFI, .dst = dst.id, .src1 = a.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::fbits(FReg a)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::FBits, .dst = dst.id, .src1 = a.id});
+    return dst;
+}
+
+FReg
+KernelBuilder::bitsf(IReg a)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = Op::BitsF, .dst = dst.id, .src1 = a.id});
+    return dst;
+}
+
+IReg
+KernelBuilder::ld(IReg base, std::int64_t offset, unsigned size)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Ld, .dst = dst.id, .src1 = base.id,
+                  .imm = offset, .size = static_cast<std::uint8_t>(size)});
+    return dst;
+}
+
+FReg
+KernelBuilder::ldf(IReg base, std::int64_t offset)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = Op::Ldf, .dst = dst.id, .src1 = base.id,
+                  .imm = offset, .size = 4});
+    return dst;
+}
+
+void
+KernelBuilder::st(IReg base, std::int64_t offset, IReg value,
+                  unsigned size)
+{
+    prog_.append({.op = Op::St, .src1 = base.id, .src2 = value.id,
+                  .imm = offset, .size = static_cast<std::uint8_t>(size)});
+}
+
+void
+KernelBuilder::stf(IReg base, std::int64_t offset, FReg value)
+{
+    prog_.append({.op = Op::Stf, .src1 = base.id, .src2 = value.id,
+                  .imm = offset, .size = 4});
+}
+
+Label
+KernelBuilder::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return {static_cast<int>(labelTargets_.size()) - 1};
+}
+
+void
+KernelBuilder::bind(Label label)
+{
+    if (label.id < 0 ||
+        label.id >= static_cast<int>(labelTargets_.size()))
+        axm_panic("bind of unknown label");
+    if (labelTargets_[label.id] != -1)
+        axm_panic("label bound twice");
+    labelTargets_[label.id] = prog_.size();
+}
+
+void
+KernelBuilder::emitBranch(Op op, RegId cond, Label label)
+{
+    if (label.id < 0 ||
+        label.id >= static_cast<int>(labelTargets_.size()))
+        axm_panic("branch to unknown label");
+    // Encode the unresolved label as a negative immediate; finish()
+    // rewrites it to the bound static index.
+    prog_.append({.op = op, .src1 = cond,
+                  .imm = -1 - static_cast<std::int64_t>(label.id)});
+}
+
+void
+KernelBuilder::br(Label label)
+{
+    emitBranch(Op::Br, invalidReg, label);
+}
+
+void
+KernelBuilder::brTrue(IReg cond, Label label)
+{
+    emitBranch(Op::Bt, cond.id, label);
+}
+
+void
+KernelBuilder::brFalse(IReg cond, Label label)
+{
+    emitBranch(Op::Bf, cond.id, label);
+}
+
+void
+KernelBuilder::halt()
+{
+    prog_.append({.op = Op::Halt});
+}
+
+void
+KernelBuilder::forRange(std::int64_t begin, std::int64_t end,
+                        std::int64_t step,
+                        const std::function<void(IReg)> &body)
+{
+    IReg endReg = imm(end);
+    forRange(begin, endReg, step, body);
+}
+
+void
+KernelBuilder::forRange(std::int64_t begin, IReg end, std::int64_t step,
+                        const std::function<void(IReg)> &body)
+{
+    if (step == 0)
+        axm_panic("forRange with zero step");
+    IReg idx = newIReg();
+    assign(idx, begin);
+    Label head = newLabel();
+    Label exit = newLabel();
+    bind(head);
+    // Condition: idx < end for positive step, idx > end for negative.
+    IReg cont = step > 0 ? slt(idx, end) : slt(end, idx);
+    brFalse(cont, exit);
+    body(idx);
+    addTo(idx, idx, step);
+    br(head);
+    bind(exit);
+}
+
+void
+KernelBuilder::ifThen(IReg cond, const std::function<void()> &then)
+{
+    Label skip = newLabel();
+    brFalse(cond, skip);
+    then();
+    bind(skip);
+}
+
+void
+KernelBuilder::ifThenElse(IReg cond, const std::function<void()> &then,
+                          const std::function<void()> &otherwise)
+{
+    Label elseLabel = newLabel();
+    Label doneLabel = newLabel();
+    brFalse(cond, elseLabel);
+    then();
+    br(doneLabel);
+    bind(elseLabel);
+    otherwise();
+    bind(doneLabel);
+}
+
+void
+KernelBuilder::regionBegin(int regionId)
+{
+    prog_.append({.op = Op::RegionBegin, .imm = regionId});
+}
+
+void
+KernelBuilder::regionEnd(int regionId)
+{
+    prog_.append({.op = Op::RegionEnd, .imm = regionId});
+}
+
+IReg
+KernelBuilder::ldCrc(IReg base, std::int64_t offset, LutId lut,
+                     unsigned trunc, unsigned size)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::LdCrc, .dst = dst.id, .src1 = base.id,
+                  .imm = offset, .size = static_cast<std::uint8_t>(size),
+                  .lut = lut,
+                  .truncBits = static_cast<std::uint8_t>(trunc)});
+    return dst;
+}
+
+FReg
+KernelBuilder::ldfCrc(IReg base, std::int64_t offset, LutId lut,
+                      unsigned trunc)
+{
+    FReg dst = newFReg();
+    prog_.append({.op = Op::LdCrc, .dst = dst.id, .src1 = base.id,
+                  .imm = offset, .size = 4, .lut = lut,
+                  .truncBits = static_cast<std::uint8_t>(trunc)});
+    return dst;
+}
+
+void
+KernelBuilder::regCrc(IReg src, LutId lut, unsigned trunc, unsigned size)
+{
+    prog_.append({.op = Op::RegCrc, .src1 = src.id,
+                  .size = static_cast<std::uint8_t>(size), .lut = lut,
+                  .truncBits = static_cast<std::uint8_t>(trunc)});
+}
+
+void
+KernelBuilder::regCrc(FReg src, LutId lut, unsigned trunc)
+{
+    prog_.append({.op = Op::RegCrc, .src1 = src.id, .size = 4, .lut = lut,
+                  .truncBits = static_cast<std::uint8_t>(trunc)});
+}
+
+IReg
+KernelBuilder::lookup(LutId lut)
+{
+    IReg dst = newIReg();
+    prog_.append({.op = Op::Lookup, .dst = dst.id, .lut = lut});
+    return dst;
+}
+
+void
+KernelBuilder::update(IReg src, LutId lut, unsigned size)
+{
+    prog_.append({.op = Op::Update, .src1 = src.id,
+                  .size = static_cast<std::uint8_t>(size), .lut = lut});
+}
+
+void
+KernelBuilder::invalidate(LutId lut)
+{
+    prog_.append({.op = Op::Invalidate, .lut = lut});
+}
+
+void
+KernelBuilder::brHit(Label label)
+{
+    emitBranch(Op::BrHit, invalidReg, label);
+}
+
+void
+KernelBuilder::brMiss(Label label)
+{
+    emitBranch(Op::BrMiss, invalidReg, label);
+}
+
+Program
+KernelBuilder::finish()
+{
+    if (finished_)
+        axm_panic("KernelBuilder::finish called twice");
+    finished_ = true;
+
+    if (prog_.size() == 0 || prog_.at(prog_.size() - 1).op != Op::Halt)
+        halt();
+
+    // Patch label-encoded branch targets.
+    for (InstIndex i = 0; i < prog_.size(); ++i) {
+        Inst &inst = prog_.at(i);
+        if (inst.isBranch() && inst.imm < 0) {
+            const auto labelId = static_cast<std::size_t>(-1 - inst.imm);
+            if (labelId >= labelTargets_.size())
+                axm_panic(prog_.name(), ": bad label id");
+            if (labelTargets_[labelId] < 0)
+                axm_panic(prog_.name(), ": branch to unbound label ",
+                          labelId);
+            inst.imm = labelTargets_[labelId];
+        }
+    }
+
+    // Record hinted regions: match RegionBegin/RegionEnd pairs by id.
+    for (InstIndex i = 0; i < prog_.size(); ++i) {
+        const Inst &inst = prog_.at(i);
+        if (inst.op != Op::RegionBegin)
+            continue;
+        for (InstIndex j = i + 1; j < prog_.size(); ++j) {
+            const Inst &end = prog_.at(j);
+            if (end.op == Op::RegionEnd && end.imm == inst.imm) {
+                prog_.setRegion(static_cast<int>(inst.imm),
+                                {.begin = i + 1, .end = j});
+                break;
+            }
+        }
+    }
+
+    prog_.verify();
+    return std::move(prog_);
+}
+
+} // namespace axmemo

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * KernelBuilder: an embedded assembler for AxIR.
+ *
+ * Workloads express their full per-item loops in AxIR through this DSL.
+ * Virtual registers are allocated on demand; labels are patched at
+ * finish(); structured helpers (forRange / ifThen / whileLoop) emit the
+ * standard compare-and-branch idioms so kernels stay readable.
+ */
+
+#ifndef AXMEMO_ISA_BUILDER_HH
+#define AXMEMO_ISA_BUILDER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace axmemo {
+
+/** Opaque label handle for branch targets. */
+struct Label
+{
+    int id = -1;
+};
+
+/** Embedded AxIR assembler; see file comment. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name = "kernel");
+
+    /** Allocate a fresh integer register. */
+    IReg newIReg();
+    /** Allocate a fresh float register. */
+    FReg newFReg();
+
+    // --- integer arithmetic (allocating forms) ---
+    IReg imm(std::int64_t value);
+    IReg add(IReg a, IReg b);
+    IReg add(IReg a, std::int64_t i);
+    IReg sub(IReg a, IReg b);
+    IReg sub(IReg a, std::int64_t i);
+    IReg mul(IReg a, IReg b);
+    IReg mul(IReg a, std::int64_t i);
+    IReg div(IReg a, IReg b);
+    IReg rem(IReg a, IReg b);
+    IReg rem(IReg a, std::int64_t i);
+    IReg band(IReg a, std::int64_t i);
+    IReg band(IReg a, IReg b);
+    IReg bor(IReg a, IReg b);
+    IReg bxor(IReg a, IReg b);
+    IReg bxor(IReg a, std::int64_t i);
+    IReg shl(IReg a, std::int64_t i);
+    IReg shr(IReg a, std::int64_t i);
+    IReg shl(IReg a, IReg b);
+    IReg shr(IReg a, IReg b);
+    IReg sra(IReg a, std::int64_t i);
+    /** Sign-extend the low @p bits of @p a (shl + sra pair). */
+    IReg sext(IReg a, unsigned bits);
+    IReg slt(IReg a, IReg b);
+    IReg slt(IReg a, std::int64_t i);
+    IReg sle(IReg a, IReg b);
+    IReg seq(IReg a, IReg b);
+    IReg seq(IReg a, std::int64_t i);
+    IReg sne(IReg a, IReg b);
+    IReg sne(IReg a, std::int64_t i);
+    IReg imin(IReg a, IReg b);
+    IReg imax(IReg a, IReg b);
+
+    // --- in-place forms for loop-carried variables ---
+    void assign(IReg dst, IReg src);
+    void assign(IReg dst, std::int64_t value);
+    void addTo(IReg dst, IReg a, IReg b);
+    void addTo(IReg dst, IReg a, std::int64_t i);
+    void assign(FReg dst, FReg src);
+    void assign(FReg dst, float value);
+    void faddTo(FReg dst, FReg a, FReg b);
+
+    // --- float arithmetic ---
+    FReg fimm(float value);
+    FReg fadd(FReg a, FReg b);
+    FReg fsub(FReg a, FReg b);
+    FReg fmul(FReg a, FReg b);
+    FReg fdiv(FReg a, FReg b);
+    FReg fsqrt(FReg a);
+    FReg fneg(FReg a);
+    FReg fabs(FReg a);
+    FReg fmin(FReg a, FReg b);
+    FReg fmax(FReg a, FReg b);
+    IReg flt(FReg a, FReg b);
+    IReg fle(FReg a, FReg b);
+    IReg feq(FReg a, FReg b);
+
+    // --- intrinsics ---
+    FReg fexp(FReg a);
+    FReg flog(FReg a);
+    FReg fsin(FReg a);
+    FReg fcos(FReg a);
+    FReg fatan2(FReg y, FReg x);
+    FReg facos(FReg a);
+    FReg fasin(FReg a);
+
+    // --- conversions ---
+    FReg itof(IReg a);
+    IReg ftoi(FReg a);
+    IReg fbits(FReg a);
+    FReg bitsf(IReg a);
+
+    // --- memory ---
+    IReg ld(IReg base, std::int64_t offset, unsigned size = 4);
+    FReg ldf(IReg base, std::int64_t offset);
+    void st(IReg base, std::int64_t offset, IReg value, unsigned size = 4);
+    void stf(IReg base, std::int64_t offset, FReg value);
+
+    // --- control ---
+    Label newLabel();
+    void bind(Label label);
+    void br(Label label);
+    void brTrue(IReg cond, Label label);
+    void brFalse(IReg cond, Label label);
+    void halt();
+
+    // --- structured control ---
+    /** for (i = begin; i != end; i += step) body(i) — end/step immediates */
+    void forRange(std::int64_t begin, std::int64_t end, std::int64_t step,
+                  const std::function<void(IReg)> &body);
+    /** for (i = begin; i != endReg; i += step) body(i) */
+    void forRange(std::int64_t begin, IReg end, std::int64_t step,
+                  const std::function<void(IReg)> &body);
+    void ifThen(IReg cond, const std::function<void()> &then);
+    void ifThenElse(IReg cond, const std::function<void()> &then,
+                    const std::function<void()> &otherwise);
+
+    // --- analysis regions (Section 5 programmer hints) ---
+    void regionBegin(int regionId);
+    void regionEnd(int regionId);
+
+    // --- AxMemo ISA extension (Section 4) ---
+    IReg ldCrc(IReg base, std::int64_t offset, LutId lut, unsigned trunc,
+               unsigned size = 4);
+    FReg ldfCrc(IReg base, std::int64_t offset, LutId lut, unsigned trunc);
+    void regCrc(IReg src, LutId lut, unsigned trunc, unsigned size = 8);
+    void regCrc(FReg src, LutId lut, unsigned trunc);
+    IReg lookup(LutId lut);
+    void update(IReg src, LutId lut, unsigned size = 4);
+    void invalidate(LutId lut);
+    void brHit(Label label);
+    void brMiss(Label label);
+
+    /** Current instruction index (the index the next append gets). */
+    InstIndex here() const { return prog_.size(); }
+
+    /** Raw append escape hatch (used by tests). */
+    InstIndex emit(const Inst &inst) { return prog_.append(inst); }
+
+    /**
+     * Patch labels, append a final halt (unless one is already last),
+     * verify, and return the program. The builder must not be reused.
+     */
+    Program finish();
+
+  private:
+    IReg emitI(Op op, IReg a, IReg b);
+    IReg emitI(Op op, IReg a, std::int64_t i);
+    FReg emitF(Op op, FReg a, FReg b);
+    FReg emitF1(Op op, FReg a);
+    void emitBranch(Op op, RegId cond, Label label);
+
+    Program prog_;
+    std::vector<InstIndex> labelTargets_;
+    unsigned nextIntReg_ = 0;
+    unsigned nextFloatReg_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_BUILDER_HH

@@ -1,0 +1,120 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "common/bits.hh"
+
+namespace axmemo {
+
+namespace {
+
+std::string
+regName(RegId reg)
+{
+    if (reg == invalidReg)
+        return "-";
+    std::ostringstream os;
+    os << (isFloatReg(reg) ? 'f' : 'r') << regIndex(reg);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Inst &inst)
+{
+    std::ostringstream os;
+    os << opName(inst.op);
+
+    switch (inst.op) {
+      case Op::Movi:
+        os << ' ' << regName(inst.dst) << ", " << inst.imm;
+        break;
+      case Op::Fmovi:
+        os << ' ' << regName(inst.dst) << ", "
+           << bitsToFloat(static_cast<std::uint32_t>(inst.imm));
+        break;
+      case Op::Ld:
+      case Op::Ldf:
+        os << ' ' << regName(inst.dst) << ", [" << regName(inst.src1)
+           << " + " << inst.imm << "], " << static_cast<int>(inst.size);
+        break;
+      case Op::St:
+      case Op::Stf:
+        os << " [" << regName(inst.src1) << " + " << inst.imm << "], "
+           << regName(inst.src2) << ", " << static_cast<int>(inst.size);
+        break;
+      case Op::Br:
+        os << ' ' << inst.imm;
+        break;
+      case Op::Bt:
+      case Op::Bf:
+        os << ' ' << regName(inst.src1) << ", " << inst.imm;
+        break;
+      case Op::BrHit:
+      case Op::BrMiss:
+        os << ' ' << inst.imm;
+        break;
+      case Op::LdCrc:
+        os << ' ' << regName(inst.dst) << ", [" << regName(inst.src1)
+           << " + " << inst.imm << "], lut" << static_cast<int>(inst.lut)
+           << ", n=" << static_cast<int>(inst.truncBits) << ", "
+           << static_cast<int>(inst.size);
+        break;
+      case Op::RegCrc:
+        os << ' ' << regName(inst.src1) << ", lut"
+           << static_cast<int>(inst.lut) << ", n="
+           << static_cast<int>(inst.truncBits) << ", "
+           << static_cast<int>(inst.size);
+        break;
+      case Op::Lookup:
+        os << ' ' << regName(inst.dst) << ", lut"
+           << static_cast<int>(inst.lut);
+        break;
+      case Op::Update:
+        os << ' ' << regName(inst.src1) << ", lut"
+           << static_cast<int>(inst.lut) << ", "
+           << static_cast<int>(inst.size);
+        break;
+      case Op::Invalidate:
+        os << " lut" << static_cast<int>(inst.lut);
+        break;
+      case Op::RegionBegin:
+      case Op::RegionEnd:
+        os << ' ' << inst.imm;
+        break;
+      case Op::Halt:
+        break;
+      default: {
+        os << ' ' << regName(inst.dst);
+        if (inst.src1 != invalidReg)
+            os << ", " << regName(inst.src1);
+        if (inst.src2 != invalidReg)
+            os << ", " << regName(inst.src2);
+        else if (inst.op != Op::Mov && inst.op != Op::Fmov &&
+                 inst.op != Op::Fneg && inst.op != Op::Fabs &&
+                 inst.op != Op::Fsqrt && inst.op != Op::CvtIF &&
+                 inst.op != Op::CvtFI && inst.op != Op::FBits &&
+                 inst.op != Op::BitsF && inst.op != Op::Fexp &&
+                 inst.op != Op::Flog && inst.op != Op::Fsin &&
+                 inst.op != Op::Fcos && inst.op != Op::Facos &&
+                 inst.op != Op::Fasin)
+            os << ", " << inst.imm;
+        break;
+      }
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    os << "; program " << prog.name() << " (" << prog.size()
+       << " insts)\n";
+    for (InstIndex i = 0; i < prog.size(); ++i)
+        os << i << ":\t" << disassemble(prog.at(i)) << '\n';
+    return os.str();
+}
+
+} // namespace axmemo

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * AxIR disassembler — human-readable program listings for debugging,
+ * golden tests, and the compiler's transform reports.
+ */
+
+#ifndef AXMEMO_ISA_DISASM_HH
+#define AXMEMO_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace axmemo {
+
+/** @return one-line rendering of @p inst. */
+std::string disassemble(const Inst &inst);
+
+/** @return full listing of @p prog with instruction indices. */
+std::string disassemble(const Program &prog);
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_DISASM_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * AxIR instruction word and typed register handles.
+ */
+
+#ifndef AXMEMO_ISA_INST_HH
+#define AXMEMO_ISA_INST_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace axmemo {
+
+/**
+ * Register encoding: one flat RegId space where bit 15 selects the float
+ * register file. AxIR programs use virtual registers (the builder allocates
+ * freely); the timing model charges no cost for register pressure, standing
+ * in for a compiler's register allocator on these small kernels.
+ */
+inline constexpr RegId floatRegFlag = 0x8000;
+
+/** @return the RegId of integer register @p index. */
+constexpr RegId
+iregId(unsigned index)
+{
+    return static_cast<RegId>(index);
+}
+
+/** @return the RegId of float register @p index. */
+constexpr RegId
+fregId(unsigned index)
+{
+    return static_cast<RegId>(index) | floatRegFlag;
+}
+
+/** @return true if @p reg names a float register. */
+constexpr bool
+isFloatReg(RegId reg)
+{
+    return reg != invalidReg && (reg & floatRegFlag) != 0;
+}
+
+/** @return the index within its register file. */
+constexpr unsigned
+regIndex(RegId reg)
+{
+    return reg & ~floatRegFlag;
+}
+
+/** Strongly-typed integer register handle used by the builder. */
+struct IReg
+{
+    RegId id = invalidReg;
+    bool valid() const { return id != invalidReg; }
+};
+
+/** Strongly-typed float register handle used by the builder. */
+struct FReg
+{
+    RegId id = invalidReg;
+    bool valid() const { return id != invalidReg; }
+};
+
+/** One AxIR instruction. */
+struct Inst
+{
+    Op op = Op::Halt;
+
+    RegId dst = invalidReg;
+    RegId src1 = invalidReg;
+    RegId src2 = invalidReg;
+
+    /**
+     * Immediate operand. Meaning depends on op: ALU second operand when
+     * src2 is invalid, load/store byte offset, branch target (static
+     * instruction index), float bit pattern for Fmovi, region id for
+     * markers.
+     */
+    std::int64_t imm = 0;
+
+    /** Memory access / CRC stream size in bytes (Ld/St/LdCrc/RegCrc). */
+    std::uint8_t size = 4;
+
+    /** Logical LUT for memoization ops. */
+    LutId lut = 0;
+
+    /** LSBs truncated before hashing (ld_crc/reg_crc operand n). */
+    std::uint8_t truncBits = 0;
+
+    /** @return true for the five memo ops + memo branches. */
+    bool
+    isMemoOp() const
+    {
+        return op == Op::LdCrc || op == Op::RegCrc || op == Op::Lookup ||
+               op == Op::Update || op == Op::Invalidate ||
+               op == Op::BrHit || op == Op::BrMiss;
+    }
+
+    /** @return true for any branch (target in imm). */
+    bool
+    isBranch() const
+    {
+        return op == Op::Br || op == Op::Bt || op == Op::Bf ||
+               op == Op::BrHit || op == Op::BrMiss;
+    }
+
+    /** @return true if control can fall through to the next instruction. */
+    bool
+    fallsThrough() const
+    {
+        return op != Op::Br && op != Op::Halt;
+    }
+
+    /** @return true for loads/stores (including ld_crc). */
+    bool
+    touchesMemory() const
+    {
+        return op == Op::Ld || op == Op::St || op == Op::Ldf ||
+               op == Op::Stf || op == Op::LdCrc;
+    }
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_INST_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Per-opcode execution traits: functional-unit class, result latency,
+ * dynamic-µop expansion, pipelining, and energy class.
+ *
+ * These numbers define the HPI-like core model (Table 3) and the µop
+ * accounting that keeps dynamic-instruction statistics comparable with the
+ * paper's ARM binaries (intrinsics expand to the cost of their inlined
+ * libm sequences).
+ */
+
+#ifndef AXMEMO_ISA_OP_TRAITS_HH
+#define AXMEMO_ISA_OP_TRAITS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace axmemo {
+
+/** Coarse energy classes mapped to pJ values by the energy model. */
+enum class EnergyClass : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpSimple, ///< add/sub/compare/convert/move
+    FpMul,
+    FpDiv,    ///< div/sqrt
+    FpLong,   ///< transcendental intrinsics (per µop)
+    Mem,      ///< address generation; cache energy is counted separately
+    Branch,
+    Memo,     ///< memo-unit request issue; unit energy counted separately
+    None
+};
+
+/** Static execution traits of one opcode. */
+struct OpTraits
+{
+    FuClass fu = FuClass::IntAlu;
+    /** Cycles until the result is ready (base; memory adds hierarchy). */
+    Cycle latency = 1;
+    /**
+     * Dynamic µops this op stands for. 1 for native ops; the inlined-libm
+     * equivalent for intrinsics. Counted in dynamic-instruction stats and
+     * charged per-µop front-end energy.
+     */
+    unsigned uops = 1;
+    /** False for ops that monopolize their unit (div, sqrt, intrinsics). */
+    bool pipelined = true;
+    EnergyClass energy = EnergyClass::IntAlu;
+};
+
+/** @return the traits of @p op. */
+const OpTraits &opTraits(Op op);
+
+/** @return a stable lowercase name for @p cls (energy event keys). */
+const char *energyClassName(EnergyClass cls);
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_OP_TRAITS_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The AxIR instruction set.
+ *
+ * AxIR is the RISC-style intermediate ISA this reproduction uses in place
+ * of ARMv8: a load/store architecture with separate integer (64-bit) and
+ * single-precision float register spaces, plus the five AxMemo extension
+ * instructions of Section 4 (ld_crc, reg_crc, lookup, update, invalidate).
+ *
+ * Transcendental operations (exp, log, sin, ...) are ISA intrinsics that
+ * stand in for the inlined libm sequences of a real ARM binary; their µop
+ * expansion counts (see op_traits.cc) make dynamic-instruction statistics
+ * comparable to the paper's.
+ */
+
+#ifndef AXMEMO_ISA_OPCODES_HH
+#define AXMEMO_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace axmemo {
+
+/** AxIR opcodes. */
+enum class Op : std::uint8_t
+{
+    // --- integer ALU (64-bit); src2 may be an immediate form ---
+    Movi,  ///< dst = imm
+    Mov,   ///< dst = src1
+    Add,
+    Sub,
+    Mul,
+    Div,   ///< signed divide
+    Rem,   ///< signed remainder
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,   ///< logical shift right
+    Sra,   ///< arithmetic shift right
+    Slt,   ///< dst = (src1 < src2) signed
+    Sle,
+    Seq,
+    Sne,
+    MinI,
+    MaxI,
+
+    // --- single-precision floating point ---
+    Fmovi, ///< dst = float immediate (bit pattern in imm)
+    Fmov,  ///< dst = src1
+    Fadd,
+    Fsub,
+    Fmul,
+    Fdiv,
+    Fsqrt,
+    Fneg,
+    Fabs,
+    Fmin,
+    Fmax,
+    Flt,   ///< int dst = (fsrc1 < fsrc2)
+    Fle,
+    Feq,
+
+    // --- conversions / bit moves ---
+    CvtIF,  ///< float dst = (float)int src1
+    CvtFI,  ///< int dst = (int64)truncate(float src1)
+    FBits,  ///< int dst = 32-bit pattern of float src1 (zero-extended)
+    BitsF,  ///< float dst = pattern of low 32 bits of int src1
+
+    // --- transcendental intrinsics (libm stand-ins) ---
+    Fexp,
+    Flog,
+    Fsin,
+    Fcos,
+    Fatan2, ///< dst = atan2(src1, src2)
+    Facos,
+    Fasin,
+
+    // --- memory ---
+    Ld,  ///< int dst = zero-extended size-byte load at [src1 + imm]
+    St,  ///< store low size bytes of int src2 at [src1 + imm]
+    Ldf, ///< float dst = 4-byte load at [src1 + imm]
+    Stf, ///< store float src2 (4 bytes) at [src1 + imm]
+
+    // --- control ---
+    Br,     ///< unconditional branch to static index imm
+    Bt,     ///< branch if int src1 != 0
+    Bf,     ///< branch if int src1 == 0
+    Halt,   ///< stop the program
+
+    // --- AxMemo ISA extension (Section 4) ---
+    LdCrc,      ///< Ld + stream loaded bytes (trunc n LSBs) into LUT's CRC
+    RegCrc,     ///< stream a register's raw bits (trunc n LSBs) into CRC
+    Lookup,     ///< LUT lookup; int dst = data on hit; sets hit flag
+    Update,     ///< insert int src1's low dataBytes into the missed entry
+    Invalidate, ///< flash-invalidate all entries of a logical LUT
+
+    // --- memoization-aware control (the paper uses plain B.cond on the
+    //     condition code set by lookup; AxIR names them explicitly) ---
+    BrHit,  ///< branch if the last lookup on this thread hit
+    BrMiss, ///< branch if it missed
+
+    // --- zero-cost analysis markers ---
+    RegionBegin, ///< imm = region id (programmer hint, Section 5)
+    RegionEnd,   ///< imm = region id
+
+    NumOps
+};
+
+/** Functional-unit class an op issues to (structural hazards, Table 3). */
+enum class FuClass : std::uint8_t
+{
+    IntAlu,  ///< one of the two ALUs
+    IntMul,  ///< the single multiplier
+    IntDiv,  ///< the single divider
+    Fp,      ///< the single FP unit
+    Mem,     ///< the single load/store unit
+    Branch,  ///< resolved in the ALU stage
+    Memo,    ///< memoization-unit ops
+    None     ///< markers
+};
+
+/** @return the mnemonic for @p op. */
+const char *opName(Op op);
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_OPCODES_HH

@@ -1,0 +1,138 @@
+#include "isa/program.hh"
+
+#include <set>
+
+#include "common/log.hh"
+#include "isa/op_traits.hh"
+
+namespace axmemo {
+
+InstIndex
+Program::append(const Inst &inst)
+{
+    noteReg(inst.dst);
+    noteReg(inst.src1);
+    noteReg(inst.src2);
+    insts_.push_back(inst);
+    return static_cast<InstIndex>(insts_.size()) - 1;
+}
+
+void
+Program::noteReg(RegId reg)
+{
+    if (reg == invalidReg)
+        return;
+    const unsigned idx = regIndex(reg) + 1;
+    if (isFloatReg(reg))
+        numFloatRegs_ = std::max(numFloatRegs_, idx);
+    else
+        numIntRegs_ = std::max(numIntRegs_, idx);
+}
+
+void
+Program::setRegion(int regionId, InstRange range)
+{
+    regions_[regionId] = range;
+}
+
+OperandInfo
+operandsOf(const Inst &inst)
+{
+    OperandInfo info;
+    auto addSrc = [&info](RegId reg) {
+        if (reg != invalidReg)
+            info.sources[info.numSources++] = reg;
+    };
+
+    switch (inst.op) {
+      case Op::Movi:
+      case Op::Fmovi:
+        info.dest = inst.dst;
+        break;
+      case Op::St:
+      case Op::Stf:
+        addSrc(inst.src1); // base address
+        addSrc(inst.src2); // stored value
+        break;
+      case Op::Bt:
+      case Op::Bf:
+        addSrc(inst.src1);
+        break;
+      case Op::Br:
+      case Op::Halt:
+      case Op::BrHit:
+      case Op::BrMiss:
+      case Op::Invalidate:
+      case Op::RegionBegin:
+      case Op::RegionEnd:
+        break;
+      case Op::RegCrc:
+      case Op::Update:
+        addSrc(inst.src1);
+        break;
+      case Op::Lookup:
+        info.dest = inst.dst;
+        break;
+      default:
+        // Generic computational form: dst <- op(src1[, src2]).
+        addSrc(inst.src1);
+        addSrc(inst.src2);
+        info.dest = inst.dst;
+        break;
+    }
+    return info;
+}
+
+void
+Program::verify() const
+{
+    if (insts_.empty())
+        axm_fatal(name_, ": empty program");
+    if (insts_.back().op != Op::Halt &&
+        insts_.back().op != Op::Br)
+        axm_fatal(name_, ": program must end in halt or br");
+
+    int regionDepth = 0;
+    std::set<std::int64_t> beginIds;
+    for (InstIndex i = 0; i < size(); ++i) {
+        const Inst &inst = at(i);
+        if (inst.op == Op::RegionBegin &&
+            !beginIds.insert(inst.imm).second)
+            axm_fatal(name_, ": region id ", inst.imm,
+                      " hinted at two static sites; use distinct ids");
+        if (inst.isBranch()) {
+            if (inst.imm < 0 || inst.imm > size())
+                axm_fatal(name_, ": inst ", i, " branches to ", inst.imm,
+                          " (program size ", size(), ")");
+        }
+        if (inst.op == Op::RegionBegin)
+            ++regionDepth;
+        if (inst.op == Op::RegionEnd) {
+            --regionDepth;
+            if (regionDepth < 0)
+                axm_fatal(name_, ": unmatched region_end at ", i);
+        }
+        if (inst.touchesMemory() && inst.op != Op::St &&
+            inst.op != Op::Stf) {
+            if (inst.src1 == invalidReg)
+                axm_fatal(name_, ": load at ", i, " without base register");
+            if (isFloatReg(inst.src1))
+                axm_fatal(name_, ": load at ", i,
+                          " with float base register");
+        }
+        if ((inst.op == Op::Ld || inst.op == Op::St ||
+             inst.op == Op::LdCrc) &&
+            inst.size != 1 && inst.size != 2 && inst.size != 4 &&
+            inst.size != 8)
+            axm_fatal(name_, ": inst ", i, " has bad access size ",
+                      static_cast<int>(inst.size));
+        if (inst.isMemoOp() && inst.lut >= maxLutsPerThread)
+            axm_fatal(name_, ": inst ", i, " uses LUT id ",
+                      static_cast<int>(inst.lut), " >= ",
+                      maxLutsPerThread);
+    }
+    if (regionDepth != 0)
+        axm_fatal(name_, ": unmatched region_begin");
+}
+
+} // namespace axmemo

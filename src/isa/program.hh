@@ -1,0 +1,99 @@
+/**
+ * @file
+ * AxIR program container, operand introspection, and structural verifier.
+ */
+
+#ifndef AXMEMO_ISA_PROGRAM_HH
+#define AXMEMO_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/inst.hh"
+
+namespace axmemo {
+
+/** Static instruction index inside a Program. */
+using InstIndex = std::int64_t;
+
+/** A [begin, end) range of static instructions. */
+struct InstRange
+{
+    InstIndex begin = 0;
+    InstIndex end = 0;
+
+    bool contains(InstIndex i) const { return i >= begin && i < end; }
+    InstIndex length() const { return end - begin; }
+};
+
+/** A straight-line AxIR program with labeled analysis regions. */
+class Program
+{
+  public:
+    explicit Program(std::string name = "program") : name_(std::move(name))
+    {
+    }
+
+    const std::string &name() const { return name_; }
+
+    /** Append an instruction; @return its static index. */
+    InstIndex append(const Inst &inst);
+
+    /** Number of static instructions. */
+    InstIndex size() const { return static_cast<InstIndex>(insts_.size()); }
+
+    Inst &at(InstIndex i) { return insts_[static_cast<std::size_t>(i)]; }
+    const Inst &at(InstIndex i) const
+    {
+        return insts_[static_cast<std::size_t>(i)];
+    }
+
+    const std::vector<Inst> &insts() const { return insts_; }
+    std::vector<Inst> &insts() { return insts_; }
+
+    /** Record the static extent of a programmer-hinted analysis region. */
+    void setRegion(int regionId, InstRange range);
+
+    /** All hinted regions (id -> static range). */
+    const std::map<int, InstRange> &regions() const { return regions_; }
+
+    /** Highest register index used + 1, per register file. */
+    unsigned numIntRegs() const { return numIntRegs_; }
+    unsigned numFloatRegs() const { return numFloatRegs_; }
+
+    /**
+     * Check structural invariants: in-range branch targets, matched region
+     * markers, trailing Halt, valid operand shapes. Calls axm_fatal on the
+     * first violation.
+     */
+    void verify() const;
+
+  private:
+    void noteReg(RegId reg);
+
+    std::string name_;
+    std::vector<Inst> insts_;
+    std::map<int, InstRange> regions_;
+    unsigned numIntRegs_ = 0;
+    unsigned numFloatRegs_ = 0;
+};
+
+/**
+ * Operand introspection shared by the executor, liveness analysis, and the
+ * DDDG builder: which registers an instruction reads and writes.
+ */
+struct OperandInfo
+{
+    RegId sources[3] = {invalidReg, invalidReg, invalidReg};
+    unsigned numSources = 0;
+    RegId dest = invalidReg;
+};
+
+/** @return the register operands of @p inst. */
+OperandInfo operandsOf(const Inst &inst);
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_PROGRAM_HH

@@ -1,0 +1,80 @@
+#include "memo/hash_value_registers.hh"
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+HashValueRegisters::HashValueRegisters(const CrcEngine &engine,
+                                       unsigned numLuts,
+                                       unsigned numThreads)
+    : engine_(engine), numLuts_(numLuts), numThreads_(numThreads),
+      regs_(static_cast<std::size_t>(numLuts) * numThreads)
+{
+    if (numLuts == 0 || numThreads == 0)
+        axm_fatal("HVR file needs at least one LUT and one thread");
+    resetAll();
+}
+
+std::size_t
+HashValueRegisters::indexOf(LutId lut, ThreadId tid) const
+{
+    if (lut >= numLuts_ || tid >= numThreads_)
+        axm_panic("HVR index {lut=", static_cast<int>(lut), ", tid=",
+                  static_cast<int>(tid), "} out of range");
+    return static_cast<std::size_t>(tid) * numLuts_ + lut;
+}
+
+void
+HashValueRegisters::feed(LutId lut, ThreadId tid, std::uint64_t word,
+                         unsigned nbytes)
+{
+    Reg &reg = regs_[indexOf(lut, tid)];
+    reg.state = engine_.updateWord(reg.state, word, nbytes);
+    reg.bytes += nbytes;
+}
+
+std::uint64_t
+HashValueRegisters::pendingBytes(LutId lut, ThreadId tid) const
+{
+    return regs_[indexOf(lut, tid)].bytes;
+}
+
+std::uint64_t
+HashValueRegisters::readAndReset(LutId lut, ThreadId tid)
+{
+    Reg &reg = regs_[indexOf(lut, tid)];
+    const std::uint64_t hash = engine_.finalize(reg.state);
+    reg.state = engine_.initial();
+    reg.bytes = 0;
+    return hash;
+}
+
+std::uint64_t
+HashValueRegisters::peek(LutId lut, ThreadId tid) const
+{
+    return engine_.finalize(regs_[indexOf(lut, tid)].state);
+}
+
+void
+HashValueRegisters::resetAll()
+{
+    for (auto &reg : regs_) {
+        reg.state = engine_.initial();
+        reg.bytes = 0;
+        reg.readyAt = 0;
+    }
+}
+
+Cycle
+HashValueRegisters::readyAt(LutId lut, ThreadId tid) const
+{
+    return regs_[indexOf(lut, tid)].readyAt;
+}
+
+void
+HashValueRegisters::setReadyAt(LutId lut, ThreadId tid, Cycle cycle)
+{
+    regs_[indexOf(lut, tid)].readyAt = cycle;
+}
+
+} // namespace axmemo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Hash Value Registers (Section 3.2).
+ *
+ * The HVR file holds the streaming CRC state of every in-flight memoization
+ * context, addressed by {LUT_ID, TID}. It is the hardware context that lets
+ * the processor interleave inputs of different logical LUTs: each
+ * ld_crc/reg_crc accumulates into its own register, and lookup reads and
+ * resets it. The timing side tracks when each register's pending CRC work
+ * drains (the memoization unit consumes a fixed number of input bytes per
+ * cycle).
+ */
+
+#ifndef AXMEMO_MEMO_HASH_VALUE_REGISTERS_HH
+#define AXMEMO_MEMO_HASH_VALUE_REGISTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "crc/crc.hh"
+
+namespace axmemo {
+
+/** The {LUT_ID, TID}-indexed CRC context file. */
+class HashValueRegisters
+{
+  public:
+    /**
+     * @param engine CRC algorithm shared with the memoization unit.
+     * @param numLuts logical LUTs per thread (8 in the paper).
+     * @param numThreads SMT contexts (2 in the paper).
+     */
+    HashValueRegisters(const CrcEngine &engine, unsigned numLuts,
+                       unsigned numThreads);
+
+    /** Number of architectural registers in the file. */
+    unsigned count() const { return static_cast<unsigned>(regs_.size()); }
+
+    /** Accumulate @p nbytes of @p word (little-endian) into {lut, tid}. */
+    void feed(LutId lut, ThreadId tid, std::uint64_t word, unsigned nbytes);
+
+    /** Total bytes accumulated since the last read (for timing/debug). */
+    std::uint64_t pendingBytes(LutId lut, ThreadId tid) const;
+
+    /**
+     * Read the finalized hash of {lut, tid} and reset the register to the
+     * CRC initial state for the next invocation.
+     */
+    std::uint64_t readAndReset(LutId lut, ThreadId tid);
+
+    /** Peek at the finalized hash without resetting (quality monitor). */
+    std::uint64_t peek(LutId lut, ThreadId tid) const;
+
+    /** Reset every register (program start / invalidate-all). */
+    void resetAll();
+
+    // --- timing side: when the unit finishes hashing queued bytes ---
+
+    /** Cycle at which {lut, tid}'s last queued input byte is hashed. */
+    Cycle readyAt(LutId lut, ThreadId tid) const;
+
+    /** Record that hashing for {lut, tid} completes at @p cycle. */
+    void setReadyAt(LutId lut, ThreadId tid, Cycle cycle);
+
+  private:
+    struct Reg
+    {
+        std::uint64_t state = 0;
+        std::uint64_t bytes = 0;
+        Cycle readyAt = 0;
+    };
+
+    std::size_t indexOf(LutId lut, ThreadId tid) const;
+
+    const CrcEngine &engine_;
+    unsigned numLuts_;
+    unsigned numThreads_;
+    std::vector<Reg> regs_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMO_HASH_VALUE_REGISTERS_HH

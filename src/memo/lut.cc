@@ -1,0 +1,133 @@
+#include "memo/lut.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+LookupTable::LookupTable(const LutConfig &config) : config_(config)
+{
+    if (config_.dataBytes != 4 && config_.dataBytes != 8)
+        axm_fatal(config_.name, ": LUT data must be 4 or 8 bytes");
+    if (config_.sizeBytes == 0 ||
+        config_.sizeBytes % LutConfig::setBytes != 0)
+        axm_fatal(config_.name, ": LUT size must be a multiple of ",
+                  LutConfig::setBytes, " bytes");
+    const std::uint64_t sets = config_.sizeBytes / LutConfig::setBytes;
+    if (!isPowerOfTwo(sets))
+        axm_fatal(config_.name, ": LUT set count must be a power of two");
+    numSets_ = static_cast<unsigned>(sets);
+    entries_.resize(static_cast<std::size_t>(numSets_) * ways());
+}
+
+std::optional<std::uint64_t>
+LookupTable::lookup(LutId lutId, std::uint64_t hash)
+{
+    const unsigned set = setOf(hash);
+    for (unsigned w = 0; w < ways(); ++w) {
+        Entry *e = entryAt(set, w);
+        if (e->valid && e->lutId == lutId && e->hash == hash) {
+            e->lruStamp = ++stamp_;
+            ++hits_;
+            return e->data;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+bool
+LookupTable::contains(LutId lutId, std::uint64_t hash) const
+{
+    const unsigned set = setOf(hash);
+    for (unsigned w = 0; w < ways(); ++w) {
+        const Entry *e = entryAt(set, w);
+        if (e->valid && e->lutId == lutId && e->hash == hash)
+            return true;
+    }
+    return false;
+}
+
+std::optional<LookupTable::Victim>
+LookupTable::insert(LutId lutId, std::uint64_t hash, std::uint64_t data)
+{
+    const unsigned set = setOf(hash);
+
+    // Overwrite an existing entry for the same key (a collision of
+    // truncated inputs mapping to the same hash simply refreshes data).
+    for (unsigned w = 0; w < ways(); ++w) {
+        Entry *e = entryAt(set, w);
+        if (e->valid && e->lutId == lutId && e->hash == hash) {
+            e->data = data;
+            e->lruStamp = ++stamp_;
+            return std::nullopt;
+        }
+    }
+
+    // Pick victim: first invalid way, else LRU.
+    unsigned victimWay = 0;
+    std::uint64_t oldest = ~0ull;
+    for (unsigned w = 0; w < ways(); ++w) {
+        Entry *e = entryAt(set, w);
+        if (!e->valid) {
+            victimWay = w;
+            oldest = 0;
+            break;
+        }
+        if (e->lruStamp < oldest) {
+            oldest = e->lruStamp;
+            victimWay = w;
+        }
+    }
+
+    Entry *e = entryAt(set, victimWay);
+    std::optional<Victim> victim;
+    if (e->valid)
+        victim = Victim{e->lutId, e->hash, e->data};
+    e->valid = true;
+    e->lutId = lutId;
+    e->hash = hash;
+    e->data = data;
+    e->lruStamp = ++stamp_;
+    return victim;
+}
+
+void
+LookupTable::erase(LutId lutId, std::uint64_t hash)
+{
+    const unsigned set = setOf(hash);
+    for (unsigned w = 0; w < ways(); ++w) {
+        Entry *e = entryAt(set, w);
+        if (e->valid && e->lutId == lutId && e->hash == hash) {
+            e->valid = false;
+            return;
+        }
+    }
+}
+
+void
+LookupTable::invalidateLut(LutId lutId)
+{
+    for (auto &e : entries_) {
+        if (e.valid && e.lutId == lutId)
+            e.valid = false;
+    }
+}
+
+void
+LookupTable::invalidateAll()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+std::uint64_t
+LookupTable::validCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &e : entries_)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace axmemo

@@ -1,0 +1,357 @@
+#include "memo/memo_unit.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+MemoizationUnit::MemoizationUnit(const MemoUnitConfig &config)
+    : config_(config), engine_(config.crc), crcHw_(config.crcHw),
+      hvrs_(engine_, config.numLuts, config.numThreads), l1_(config.l1Lut),
+      monitor_(config.quality),
+      pending_(static_cast<std::size_t>(config.numLuts) *
+               config.numThreads),
+      adaptive_(config.numLuts)
+{
+    if (config_.l2LutBytes > 0) {
+        LutConfig l2cfg;
+        l2cfg.name = "l2lut";
+        l2cfg.sizeBytes = config_.l2LutBytes;
+        l2cfg.dataBytes = config_.l1Lut.dataBytes;
+        l2_ = std::make_unique<LookupTable>(l2cfg);
+    }
+    if (config_.inputQueueBytes == 0)
+        axm_fatal("memoization unit needs a nonzero input queue");
+}
+
+MemoizationUnit::PendingUpdate &
+MemoizationUnit::pendingFor(LutId lut, ThreadId tid)
+{
+    return pending_[static_cast<std::size_t>(tid) * config_.numLuts + lut];
+}
+
+unsigned
+MemoizationUnit::extraTruncBits(LutId lut) const
+{
+    return adaptive_[lut].extraBits;
+}
+
+Cycle
+MemoizationUnit::feed(LutId lut, ThreadId tid, std::uint64_t word,
+                      unsigned nbytes, unsigned truncBits, Cycle now)
+{
+    // Approximation operator: clear the low truncBits of the raw pattern
+    // before it ever reaches the hashing unit (Section 3.1). The runtime
+    // controller may deepen the truncation of inputs the programmer
+    // already marked approximable (n > 0); exact inputs stay exact.
+    if (config_.adaptive.enabled && truncBits > 0)
+        truncBits = std::min(
+            63u, truncBits + adaptive_[lut].extraBits);
+    const std::uint64_t truncated = truncateLsbs(word, truncBits);
+    hvrs_.feed(lut, tid, truncated, nbytes);
+
+    stats_.inputBytesHashed += nbytes;
+    events_.add("memo_crc_bytes", nbytes);
+    events_.add("memo_hvr_access");
+
+    // Timing: the CRC unit drains the input queue at bytesPerCycle. The
+    // producing instruction does not stall unless the backlog exceeds the
+    // queue capacity.
+    const Cycle start = std::max(hvrs_.readyAt(lut, tid), now);
+    const Cycle done = start + crcHw_.cyclesForBytes(nbytes);
+    hvrs_.setReadyAt(lut, tid, done);
+
+    const Cycle backlog = done > now ? done - now : 0;
+    const Cycle queueCycles =
+        crcHw_.cyclesForBytes(config_.inputQueueBytes);
+    return backlog > queueCycles ? backlog - queueCycles : 0;
+}
+
+MemoLookupResult
+MemoizationUnit::lookup(LutId lut, ThreadId tid, Cycle now)
+{
+    MemoLookupResult result;
+    ++stats_.lookups;
+
+    // The lookup must wait for any pending CRC work on this register
+    // (program-order dependency of Section 4).
+    const Cycle ready = hvrs_.readyAt(lut, tid);
+    result.latency = (ready > now ? ready - now : 0);
+
+    const std::uint64_t hash = hvrs_.readAndReset(lut, tid);
+    events_.add("memo_hvr_access");
+
+    result.latency += config_.l1LutLatency;
+    events_.add("memo_lut_l1_access");
+
+    if (!enabled()) {
+        // Kill switch tripped: everything is a miss and nothing is
+        // allocated; updates become no-ops.
+        ++stats_.misses;
+        return result;
+    }
+
+    std::optional<std::uint64_t> data = l1_.lookup(lut, hash);
+    bool fromL2 = false;
+
+    if (!data && l2_) {
+        result.latency += config_.l2LutLatency;
+        events_.add("memo_lut_l2_access");
+        data = l2_->lookup(lut, hash);
+        if (data) {
+            fromL2 = true;
+            // Promote into L1.
+            const auto victim = l1_.insert(lut, hash, *data);
+            events_.add("memo_lut_l1_access");
+            if (config_.l2Policy == L2LutPolicy::Victim) {
+                // Exclusive: the entry moves up; the displaced L1
+                // entry spills down.
+                l2_->erase(lut, hash);
+                if (victim)
+                    l2_->insert(victim->lutId, victim->hash,
+                                victim->data);
+                events_.add("memo_lut_l2_access");
+            }
+            // Inclusive: the L1 victim still lives in L2; drop it.
+        }
+    }
+
+    // Adaptive-truncation bookkeeping: decide whether this lookup falls
+    // into a profiling phase.
+    bool adaptiveProfile = false;
+    if (config_.adaptive.enabled) {
+        AdaptiveState &state = adaptive_[lut];
+        ++state.sinceProfile;
+        if (!state.profiling &&
+            state.sinceProfile >= config_.adaptive.profilePeriod) {
+            state.profiling = true;
+            state.sinceProfile = 0;
+            state.samples = 0;
+            state.profileLookups = 0;
+            state.errorSum = 0.0;
+        }
+        ++state.windowLookups;
+        if (state.profiling) {
+            // A profiling phase can only measure error on hits. If the
+            // hit rate is so low that the phase cannot fill its sample
+            // quota, there is no reuse at the current precision:
+            // deepen the truncation speculatively and immediately
+            // re-profile — the next phase measures the consequences
+            // and backs off if needed.
+            if (++state.profileLookups >=
+                    8 * config_.adaptive.profileLength &&
+                state.samples < config_.adaptive.profileLength) {
+                if (state.extraBits < config_.adaptive.maxExtraBits) {
+                    ++state.extraBits;
+                    ++stats_.adaptiveRaises;
+                }
+                state.profiling = false;
+                // Ramp quickly while there is nothing to lose.
+                state.sinceProfile = config_.adaptive.profilePeriod;
+                state.windowLookups = 0;
+                state.windowHits = 0;
+            }
+        }
+        adaptiveProfile = state.profiling;
+    }
+
+    if (data) {
+        if (monitor_.shouldSample()) {
+            // Sacrifice this hit: report a miss so the processor
+            // recomputes; remember what the LUT would have returned.
+            ++stats_.sampledHits;
+            PendingUpdate &pend = pendingFor(lut, tid);
+            pend = {.active = true, .hash = hash,
+                    .verify = VerifyKind::Monitor, .lutData = *data};
+            return result;
+        }
+        if (config_.adaptive.enabled)
+            ++adaptive_[lut].windowHits;
+        if (adaptiveProfile) {
+            // Profiling phase (Section 3.1's dynamic approach): the
+            // lookup proceeds normally but the CPU is told "miss" so
+            // the recomputed result can be compared.
+            ++stats_.profiledHits;
+            PendingUpdate &pend = pendingFor(lut, tid);
+            pend = {.active = true, .hash = hash,
+                    .verify = VerifyKind::Adaptive, .lutData = *data};
+            return result;
+        }
+        result.hit = true;
+        result.data = *data;
+        result.fromL2 = fromL2;
+        if (fromL2)
+            ++stats_.l2Hits;
+        else
+            ++stats_.l1Hits;
+        return result;
+    }
+
+    ++stats_.misses;
+    // Allocate for the update that will follow once the original code
+    // computes the result (Section 3.4: allocation overlaps computation).
+    PendingUpdate &pend = pendingFor(lut, tid);
+    pend = {.active = true, .hash = hash, .verify = VerifyKind::None,
+            .lutData = 0};
+    return result;
+}
+
+void
+MemoizationUnit::adaptiveObserve(LutId lut, std::uint64_t lutData,
+                                 std::uint64_t exactData)
+{
+    AdaptiveState &state = adaptive_[lut];
+    if (!state.profiling)
+        return;
+
+    // Lane-wise worst relative error, like the quality monitor.
+    const unsigned lanes = config_.quality.floatLanes;
+    double worst = 0.0;
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+        const unsigned shift = 32 * lane;
+        double lutVal, exactVal;
+        if (config_.quality.integerData) {
+            lutVal = static_cast<double>(static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(lutData >> shift)));
+            exactVal = static_cast<double>(static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(exactData >> shift)));
+        } else {
+            lutVal = bitsToFloat(
+                static_cast<std::uint32_t>(lutData >> shift));
+            exactVal = bitsToFloat(
+                static_cast<std::uint32_t>(exactData >> shift));
+        }
+        const double denom = std::max(std::abs(exactVal),
+                                      config_.adaptive.absoluteFloor);
+        worst = std::max(worst,
+                         std::abs(lutVal - exactVal) / denom);
+    }
+
+    state.errorSum += worst;
+    if (++state.samples < config_.adaptive.profileLength)
+        return;
+
+    // Phase complete: steer the truncation level. Raising is gated on
+    // a deficient hit rate — every level change re-keys the LUT, so
+    // deepening past sufficient reuse only costs cold restarts.
+    const double meanError =
+        state.errorSum / static_cast<double>(state.samples);
+    const double hitRate =
+        state.windowLookups
+            ? static_cast<double>(state.windowHits) /
+                  static_cast<double>(state.windowLookups)
+            : 0.0;
+    if (meanError > config_.adaptive.targetError) {
+        if (state.extraBits > 0) {
+            --state.extraBits;
+            ++stats_.adaptiveLowers;
+        }
+        state.raiseBackoff = 1;
+        state.holdPeriods = 0;
+    } else if (meanError < config_.adaptive.targetError *
+                               config_.adaptive.raiseBand &&
+               hitRate < config_.adaptive.hitTarget) {
+        if (state.holdPeriods > 0) {
+            --state.holdPeriods; // still re-warming from the last raise
+        } else if (state.extraBits < config_.adaptive.maxExtraBits) {
+            ++state.extraBits;
+            ++stats_.adaptiveRaises;
+            state.holdPeriods = state.raiseBackoff;
+            state.raiseBackoff = std::min(state.raiseBackoff * 2, 32u);
+        }
+    }
+    state.profiling = false;
+    state.sinceProfile = 0;
+    state.windowLookups = 0;
+    state.windowHits = 0;
+}
+
+void
+MemoizationUnit::insertBoth(LutId lut, std::uint64_t hash,
+                            std::uint64_t data)
+{
+    const auto l1Victim = l1_.insert(lut, hash, data);
+    events_.add("memo_lut_l1_access");
+    if (!l2_)
+        return;
+
+    if (config_.l2Policy == L2LutPolicy::Inclusive) {
+        // An update fills both levels; the L1 victim is dropped (it
+        // remains in L2); an L2 victim is back-invalidated from L1 to
+        // preserve inclusion and then dropped (LUT entries are never
+        // written back to memory, Section 3.4).
+        const auto victim = l2_->insert(lut, hash, data);
+        events_.add("memo_lut_l2_access");
+        if (victim)
+            l1_.erase(victim->lutId, victim->hash);
+    } else {
+        // Victim policy: only the L1 victim spills into L2; L2 victims
+        // are dropped.
+        if (l1Victim) {
+            l2_->insert(l1Victim->lutId, l1Victim->hash,
+                        l1Victim->data);
+            events_.add("memo_lut_l2_access");
+        }
+    }
+}
+
+Cycle
+MemoizationUnit::update(LutId lut, ThreadId tid, std::uint64_t data)
+{
+    PendingUpdate &pend = pendingFor(lut, tid);
+    if (!pend.active) {
+        if (!enabled())
+            return config_.l1LutLatency; // ignored after kill switch
+        axm_panic("update without a preceding missed lookup (lut ",
+                  static_cast<int>(lut), ")");
+    }
+
+    // The LUT entry holds dataBytes of payload; high bits do not exist in
+    // hardware.
+    data &= maskLow(8 * config_.l1Lut.dataBytes);
+
+    ++stats_.updates;
+    if (pend.verify == VerifyKind::Monitor)
+        monitor_.verify(pend.lutData, data);
+    else if (pend.verify == VerifyKind::Adaptive)
+        adaptiveObserve(lut, pend.lutData, data);
+
+    insertBoth(lut, pend.hash, data);
+    pend.active = false;
+    return config_.l1LutLatency;
+}
+
+Cycle
+MemoizationUnit::invalidate(LutId lut, ThreadId tid)
+{
+    ++stats_.invalidates;
+    l1_.invalidateLut(lut);
+    if (l2_)
+        l2_->invalidateLut(lut);
+    // Discard any in-flight context for this LUT on this thread.
+    hvrs_.readAndReset(lut, tid);
+    pendingFor(lut, tid).active = false;
+    events_.add("memo_lut_l1_access");
+    if (l2_)
+        events_.add("memo_lut_l2_access");
+    // Dedicated flash-invalidate logic: one cycle per way in a set.
+    return l1_.ways();
+}
+
+void
+MemoizationUnit::reset()
+{
+    l1_.invalidateAll();
+    if (l2_)
+        l2_->invalidateAll();
+    hvrs_.resetAll();
+    for (auto &p : pending_)
+        p.active = false;
+    for (auto &state : adaptive_)
+        state = AdaptiveState{};
+    stats_ = {};
+    events_ = {};
+    monitor_ = QualityMonitor(config_.quality);
+}
+
+} // namespace axmemo

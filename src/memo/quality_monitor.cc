@@ -1,0 +1,89 @@
+#include "memo/quality_monitor.hh"
+
+#include "common/bits.hh"
+#include "common/error_metrics.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+QualityMonitor::QualityMonitor(const QualityMonitorConfig &config)
+    : config_(config)
+{
+    if (config_.floatLanes != 1 && config_.floatLanes != 2)
+        axm_fatal("quality monitor: floatLanes must be 1 or 2");
+    if (config_.sampleEvery == 0 || config_.windowSize == 0)
+        axm_fatal("quality monitor: sampleEvery/windowSize must be > 0");
+}
+
+bool
+QualityMonitor::shouldSample()
+{
+    if (!config_.enabled || tripped_)
+        return false;
+    if (++hitCounter_ >= config_.sampleEvery) {
+        hitCounter_ = 0;
+        return true;
+    }
+    return false;
+}
+
+void
+QualityMonitor::verify(std::uint64_t lutData, std::uint64_t exactData)
+{
+    if (!config_.enabled || tripped_)
+        return;
+
+    // Compare lane-wise; the comparison's error is the worst lane.
+    double worst = 0.0;
+    for (unsigned lane = 0; lane < config_.floatLanes; ++lane) {
+        const unsigned shift = 32 * lane;
+        const auto lutLane =
+            static_cast<std::uint32_t>(lutData >> shift);
+        const auto exactLane =
+            static_cast<std::uint32_t>(exactData >> shift);
+        double lut, exact;
+        if (config_.integerData) {
+            lut = static_cast<double>(
+                static_cast<std::int32_t>(lutLane));
+            exact = static_cast<double>(
+                static_cast<std::int32_t>(exactLane));
+        } else {
+            lut = static_cast<double>(bitsToFloat(lutLane));
+            exact = static_cast<double>(bitsToFloat(exactLane));
+        }
+        worst = std::max(worst,
+                         relativeError(exact, lut,
+                                       config_.absoluteFloor));
+    }
+
+    ++comparisons_;
+    errorSum_ += worst;
+    ++windowCount_;
+    if (worst > config_.errorThreshold) {
+        ++windowBad_;
+        ++totalBad_;
+    }
+
+    if (windowCount_ >= config_.windowSize) {
+        const double badFraction =
+            static_cast<double>(windowBad_) / windowCount_;
+        if (badFraction > config_.badFractionThreshold) {
+            tripped_ = true;
+            axm_warn("quality monitor tripped: ", windowBad_, "/",
+                     windowCount_, " sampled hits exceeded ",
+                     config_.errorThreshold * 100, "% relative error; "
+                     "memoization disabled");
+        }
+        windowCount_ = 0;
+        windowBad_ = 0;
+    }
+}
+
+double
+QualityMonitor::meanRelativeError() const
+{
+    return comparisons_ ? errorSum_ / static_cast<double>(comparisons_)
+                        : 0.0;
+}
+
+} // namespace axmemo

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Runtime quality monitoring (Section 6, "Quality metric and monitoring").
+ *
+ * Every 1-in-N LUT hits is sacrificed: the lookup proceeds normally but the
+ * processor is told "miss", so it recomputes the exact result and sends an
+ * update. The monitor compares the would-be LUT output against the exact
+ * value; if, over a window of comparisons, too many relative errors exceed
+ * the error bound, memoization is disabled for the rest of the run.
+ */
+
+#ifndef AXMEMO_MEMO_QUALITY_MONITOR_HH
+#define AXMEMO_MEMO_QUALITY_MONITOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** Quality-monitor policy parameters (paper defaults). */
+struct QualityMonitorConfig
+{
+    bool enabled = true;
+    /** One out of this many hits is verified. */
+    std::uint32_t sampleEvery = 100;
+    /** Comparisons per decision window. */
+    std::uint32_t windowSize = 100;
+    /** A comparison is "bad" if relative error exceeds this. */
+    double errorThreshold = 0.10;
+    /**
+     * Denominator floor of the relative error: deviations on outputs
+     * smaller than this are judged relative to the floor, not to the
+     * (near-zero) output itself. Keeps the monitor from tripping on
+     * benign noise in dark/flat/quiescent outputs.
+     */
+    double absoluteFloor = 1.0;
+    /** Disable memoization if bad fraction exceeds this per window. */
+    double badFractionThreshold = 0.10;
+    /** Interpret LUT data as this many float lanes (1 or 2) for error. */
+    unsigned floatLanes = 1;
+    /** Treat LUT data as integer lanes instead of IEEE-754 floats. */
+    bool integerData = false;
+};
+
+/** Tracks sampled-hit verification and the kill switch. */
+class QualityMonitor
+{
+  public:
+    explicit QualityMonitor(const QualityMonitorConfig &config = {});
+
+    const QualityMonitorConfig &config() const { return config_; }
+
+    /**
+     * Called on every LUT hit. @return true if this hit must be sacrificed
+     * (reported to the CPU as a miss and verified on update).
+     */
+    bool shouldSample();
+
+    /**
+     * Verify a sacrificed hit: @p lutData is what the LUT would have
+     * returned, @p exactData is what the processor computed. Updates the
+     * window and may trip the kill switch.
+     */
+    void verify(std::uint64_t lutData, std::uint64_t exactData);
+
+    /** True once the monitor has disabled memoization. */
+    bool tripped() const { return tripped_; }
+
+    std::uint64_t comparisons() const { return comparisons_; }
+    std::uint64_t badComparisons() const { return totalBad_; }
+    /** Mean observed relative error across all comparisons. */
+    double meanRelativeError() const;
+
+  private:
+    QualityMonitorConfig config_;
+    std::uint32_t hitCounter_ = 0;
+    std::uint32_t windowCount_ = 0;
+    std::uint32_t windowBad_ = 0;
+    std::uint64_t comparisons_ = 0;
+    std::uint64_t totalBad_ = 0;
+    double errorSum_ = 0.0;
+    bool tripped_ = false;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMO_QUALITY_MONITOR_HH

@@ -1,0 +1,109 @@
+#include "memsys/cache.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    if (!isPowerOfTwo(config_.lineSize))
+        axm_fatal(config_.name, ": line size must be a power of two");
+    if (config_.assoc == 0)
+        axm_fatal(config_.name, ": associativity must be nonzero");
+    const std::uint64_t lines = config_.sizeBytes / config_.lineSize;
+    if (lines == 0 || lines % config_.assoc != 0)
+        axm_fatal(config_.name, ": size/line/assoc mismatch");
+    const std::uint64_t sets = lines / config_.assoc;
+    if (!isPowerOfTwo(sets))
+        axm_fatal(config_.name, ": number of sets must be a power of two");
+    numSets_ = static_cast<unsigned>(sets);
+    lineShift_ = floorLog2(config_.lineSize);
+    tagShift_ = lineShift_ + floorLog2(sets);
+    lines_.resize(lines);
+}
+
+void
+Cache::reserveWays(unsigned ways)
+{
+    if (ways >= config_.assoc)
+        axm_fatal(config_.name, ": cannot reserve ", ways, " of ",
+                  config_.assoc, " ways");
+    // Invalidate everything: the partition boundary moved, so any line
+    // could now live in a reserved way.
+    invalidateAll();
+    reservedWays_ = ways;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool isWrite)
+{
+    const std::uint64_t tag = tagOf(addr);
+    const unsigned set = setOf(addr);
+    const unsigned ways = usableWays();
+
+    for (unsigned w = 0; w < ways; ++w) {
+        Line *line = lineAt(set, w);
+        if (line->valid && line->tag == tag) {
+            line->lruStamp = ++stamp_;
+            line->dirty = line->dirty || isWrite;
+            ++hits_;
+            return {.hit = true};
+        }
+    }
+
+    ++misses_;
+
+    // Choose a victim: first invalid way, else true-LRU.
+    unsigned victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (unsigned w = 0; w < ways; ++w) {
+        const Line *line = lineAt(set, w);
+        if (!line->valid) {
+            victim = w;
+            oldest = 0;
+            break;
+        }
+        if (line->lruStamp < oldest) {
+            oldest = line->lruStamp;
+            victim = w;
+        }
+    }
+
+    Line *line = lineAt(set, victim);
+    CacheAccessResult result;
+    if (line->valid && line->dirty) {
+        result.writeback = true;
+        result.writebackAddr =
+            (line->tag << tagShift_) |
+            (static_cast<Addr>(set) << lineShift_);
+        ++writebacks_;
+    }
+    line->valid = true;
+    line->dirty = isWrite;
+    line->tag = tag;
+    line->lruStamp = ++stamp_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const std::uint64_t tag = tagOf(addr);
+    const unsigned set = setOf(addr);
+    for (unsigned w = 0; w < usableWays(); ++w) {
+        const Line *line = lineAt(set, w);
+        if (line->valid && line->tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto &line : lines_)
+        line = Line{};
+}
+
+} // namespace axmemo

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tag-only set-associative cache model with true-LRU replacement, write-back
+ * write-allocate policy, and way partitioning.
+ *
+ * Data values live in SimMemory; the cache tracks only tags and dirty bits
+ * to produce hit/miss timing and energy events — the standard trace-driven
+ * arrangement. Way partitioning (reserveWays) models the paper's L2 LUT,
+ * which is carved out of a fixed number of last-level-cache ways
+ * (Section 3.3): reserved ways are invisible to normal accesses.
+ */
+
+#ifndef AXMEMO_MEMSYS_CACHE_HH
+#define AXMEMO_MEMSYS_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    /** Total capacity in bytes (of the full array, before partitioning). */
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 4;
+    unsigned lineSize = 64;
+    /** Hit latency in cycles. */
+    Cycle hitLatency = 1;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A dirty victim was evicted and must be written downstream. */
+    bool writeback = false;
+    /** Line address of the written-back victim (valid iff writeback). */
+    Addr writebackAddr = invalidAddr;
+};
+
+/** One level of tag-only set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Sets in the array. */
+    unsigned numSets() const { return numSets_; }
+
+    /** Ways visible to normal accesses (assoc minus reserved). */
+    unsigned usableWays() const { return config_.assoc - reservedWays_; }
+
+    /**
+     * Reserve @p ways ways of every set (e.g., for an in-LLC LUT). All
+     * lines in reserved ways are invalidated (dirty ones are dropped: the
+     * caller is expected to partition before use).
+     */
+    void reserveWays(unsigned ways);
+
+    /** Currently reserved ways. */
+    unsigned reservedWays() const { return reservedWays_; }
+
+    /** Capacity available for caching after partitioning, bytes. */
+    std::uint64_t usableBytes() const
+    {
+        return static_cast<std::uint64_t>(numSets_) * usableWays() *
+               config_.lineSize;
+    }
+
+    /**
+     * Look up @p addr; on miss, allocate (evicting LRU) and mark dirty if
+     * @p isWrite. On hit with @p isWrite, mark dirty.
+     */
+    CacheAccessResult access(Addr addr, bool isWrite);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate every line (dirty contents are dropped). */
+    void invalidateAll();
+
+    /** Lifetime hit/miss counters. */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        /** Higher = more recently used. */
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t tagOf(Addr addr) const { return addr >> tagShift_; }
+    unsigned setOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_) & (numSets_ - 1));
+    }
+    Line *lineAt(unsigned set, unsigned way)
+    {
+        return &lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+    }
+    const Line *lineAt(unsigned set, unsigned way) const
+    {
+        return &lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+    }
+
+    CacheConfig config_;
+    unsigned numSets_;
+    unsigned lineShift_;
+    unsigned tagShift_;
+    unsigned reservedWays_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMSYS_CACHE_HH

@@ -1,0 +1,35 @@
+#include "memsys/dram.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+Dram::Dram(const DramConfig &config) : config_(config)
+{
+    if (!isPowerOfTwo(config_.rowBytes))
+        axm_fatal("DRAM rowBytes must be a power of two");
+    openRow_.assign(
+        static_cast<std::size_t>(config_.channels) *
+            config_.banksPerChannel,
+        -1);
+}
+
+Cycle
+Dram::access(Addr addr)
+{
+    // Channel/bank interleave on row-sized chunks: consecutive rows map to
+    // different banks, spreading streaming accesses.
+    const std::uint64_t rowNum = addr / config_.rowBytes;
+    const std::size_t bank = rowNum % openRow_.size();
+    const auto row = static_cast<std::int64_t>(rowNum / openRow_.size());
+    if (openRow_[bank] == row) {
+        ++rowHits_;
+        return config_.rowHitLatency;
+    }
+    openRow_[bank] = row;
+    ++rowMisses_;
+    return config_.rowMissLatency;
+}
+
+} // namespace axmemo

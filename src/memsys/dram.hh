@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Open-row DDR3 timing model.
+ *
+ * Models the paper's 4 GB DDR3-1600 dual-channel main memory (Table 3) at
+ * the granularity the simulation needs: per-access latency that depends on
+ * whether the access hits the open row of its bank. Bank-level parallelism
+ * and scheduling are abstracted away; the in-order HPI core exposes at most
+ * one outstanding demand miss anyway.
+ */
+
+#ifndef AXMEMO_MEMSYS_DRAM_HH
+#define AXMEMO_MEMSYS_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** DDR3 channel/bank geometry and timing (in CPU cycles at 2 GHz). */
+struct DramConfig
+{
+    unsigned channels = 2;
+    unsigned banksPerChannel = 8;
+    /** Bytes covered by one row buffer. */
+    std::uint64_t rowBytes = 8 * 1024;
+    /** CAS-only access (row already open). */
+    Cycle rowHitLatency = 90;
+    /** Precharge + activate + CAS. */
+    Cycle rowMissLatency = 165;
+};
+
+/** Per-bank open-row tracker producing access latencies. */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config = {});
+
+    const DramConfig &config() const { return config_; }
+
+    /** @return latency of a line fill / writeback at @p addr. */
+    Cycle access(Addr addr);
+
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t accesses() const { return rowHits_ + rowMisses_; }
+
+  private:
+    DramConfig config_;
+    std::vector<std::int64_t> openRow_;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMSYS_DRAM_HH

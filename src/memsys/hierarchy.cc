@@ -1,0 +1,52 @@
+#include "memsys/hierarchy.hh"
+
+namespace axmemo {
+
+MemHierarchy::MemHierarchy(const HierarchyConfig &config)
+    : config_(config), l1d_(config.l1d), l2_(config.l2), dram_(config.dram)
+{
+}
+
+Cycle
+MemHierarchy::access(Addr addr, bool isWrite)
+{
+    Cycle latency = config_.l1d.hitLatency;
+    const CacheAccessResult l1 = l1d_.access(addr, isWrite);
+    events_.add(l1.hit ? "l1d_hit" : "l1d_miss");
+    if (l1.hit)
+        return latency;
+
+    // L1 victim writeback goes to L2 (write-back hierarchy); it is off the
+    // critical path of the demand access but still generates L2 traffic.
+    if (l1.writeback) {
+        const CacheAccessResult wb = l2_.access(l1.writebackAddr, true);
+        events_.add("l2_wb_access");
+        if (!wb.hit && wb.writeback) {
+            dram_.access(wb.writebackAddr);
+            events_.add("dram_write");
+        }
+    }
+
+    latency += config_.l2.hitLatency;
+    const CacheAccessResult l2 = l2_.access(addr, isWrite);
+    events_.add(l2.hit ? "l2_hit" : "l2_miss");
+    if (l2.hit)
+        return latency;
+
+    if (l2.writeback) {
+        dram_.access(l2.writebackAddr);
+        events_.add("dram_write");
+    }
+
+    latency += dram_.access(addr);
+    events_.add("dram_read");
+    return latency;
+}
+
+void
+MemHierarchy::reserveL2Ways(unsigned ways)
+{
+    l2_.reserveWays(ways);
+}
+
+} // namespace axmemo

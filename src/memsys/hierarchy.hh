@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Two-level cache hierarchy + DRAM, matching Table 3 of the paper:
+ * 32 KB 4-way L1D (1-cycle), shared L2 (16-way, 13-cycle; 1 MB enabled in
+ * the paper's single-core runs), DDR3-1600 main memory.
+ *
+ * The hierarchy also owns the L2 way partition used by the in-LLC L2 LUT:
+ * the memoization unit asks for N ways and the remaining ways keep serving
+ * normal data.
+ */
+
+#ifndef AXMEMO_MEMSYS_HIERARCHY_HH
+#define AXMEMO_MEMSYS_HIERARCHY_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "memsys/cache.hh"
+#include "memsys/dram.hh"
+
+namespace axmemo {
+
+/** Configuration of the whole data-side memory hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1d{.name = "l1d",
+                    .sizeBytes = 32 * 1024,
+                    .assoc = 4,
+                    .lineSize = 64,
+                    .hitLatency = 1};
+    CacheConfig l2{.name = "l2",
+                   .sizeBytes = 1024 * 1024,
+                   .assoc = 16,
+                   .lineSize = 64,
+                   .hitLatency = 13};
+    DramConfig dram{};
+};
+
+/** Data-side memory hierarchy producing per-access latency and events. */
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyConfig &config = {});
+
+    const HierarchyConfig &config() const { return config_; }
+
+    /** @return total latency in cycles of a demand access at @p addr. */
+    Cycle access(Addr addr, bool isWrite);
+
+    /**
+     * Access that bypasses the L1 and goes straight to the L2 array — used
+     * by the memoization unit's L2 LUT traffic, which indexes LLC ways
+     * directly. The LUT occupies reserved ways, so this only models the
+     * array access latency; the reserved ways are not looked up as cache.
+     */
+    Cycle l2ArrayLatency() const { return config_.l2.hitLatency; }
+
+    /** Reserve @p ways of every L2 set for the L2 LUT. */
+    void reserveL2Ways(unsigned ways);
+
+    /** L2 capacity still available for caching, bytes. */
+    std::uint64_t l2UsableBytes() const { return l2_.usableBytes(); }
+
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &l2() const { return l2_; }
+    Dram &dram() { return dram_; }
+    const Dram &dram() const { return dram_; }
+
+    /** Event counters: l1d_hit/l1d_miss/l2_hit/l2_miss/dram_access/... */
+    const CounterSet &events() const { return events_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1d_;
+    Cache l2_;
+    Dram dram_;
+    CounterSet events_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMSYS_HIERARCHY_HH

@@ -1,0 +1,98 @@
+#include "memsys/sim_memory.hh"
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+std::uint8_t *
+SimMemory::pageFor(Addr addr, bool createIfMissing) const
+{
+    const std::uint64_t pageNum = addr >> pageShift;
+    auto it = pages_.find(pageNum);
+    if (it == pages_.end()) {
+        if (!createIfMissing)
+            return nullptr;
+        auto page = std::make_unique<Page>();
+        page->fill(0);
+        it = pages_.emplace(pageNum, std::move(page)).first;
+    }
+    return it->second->data();
+}
+
+std::uint64_t
+SimMemory::read(Addr addr, unsigned nbytes) const
+{
+    if (nbytes == 0 || nbytes > 8)
+        axm_panic("SimMemory::read of ", nbytes, " bytes");
+    std::uint64_t value = 0;
+    for (unsigned i = 0; i < nbytes; ++i) {
+        const Addr a = addr + i;
+        const std::uint8_t *page = pageFor(a, false);
+        const std::uint8_t byte =
+            page ? page[a & (pageSize - 1)] : 0;
+        value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+}
+
+void
+SimMemory::write(Addr addr, std::uint64_t value, unsigned nbytes)
+{
+    if (nbytes == 0 || nbytes > 8)
+        axm_panic("SimMemory::write of ", nbytes, " bytes");
+    for (unsigned i = 0; i < nbytes; ++i) {
+        const Addr a = addr + i;
+        std::uint8_t *page = pageFor(a, true);
+        page[a & (pageSize - 1)] =
+            static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+void
+SimMemory::load(Addr addr, const void *src, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(src);
+    for (std::size_t i = 0; i < len; ++i)
+        write8(addr + i, bytes[i]);
+}
+
+void
+SimMemory::store(Addr addr, void *dst, std::size_t len) const
+{
+    auto *bytes = static_cast<std::uint8_t *>(dst);
+    for (std::size_t i = 0; i < len; ++i)
+        bytes[i] = read8(addr + i);
+}
+
+std::vector<float>
+SimMemory::readFloats(Addr addr, std::size_t count) const
+{
+    std::vector<float> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = readFloat(addr + 4 * i);
+    return out;
+}
+
+void
+SimMemory::writeFloats(Addr addr, const std::vector<float> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        writeFloat(addr + 4 * i, values[i]);
+}
+
+Addr
+SimMemory::allocate(std::size_t len)
+{
+    const Addr base = allocNext_;
+    allocNext_ += (len + 63) & ~static_cast<std::size_t>(63);
+    return base;
+}
+
+void
+SimMemory::clear()
+{
+    pages_.clear();
+    allocNext_ = 0x10000;
+}
+
+} // namespace axmemo

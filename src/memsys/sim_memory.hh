@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sparse, paged, flat simulated memory.
+ *
+ * Workload data (images, option arrays, software LUT arrays, ...) lives in
+ * this address space and is accessed by AxIR load/store instructions. Pages
+ * are allocated lazily so the 1 GB software-LUT array of Section 6.2 costs
+ * only the pages it actually touches. A bump allocator hands out
+ * non-overlapping regions to workloads.
+ */
+
+#ifndef AXMEMO_MEMSYS_SIM_MEMORY_HH
+#define AXMEMO_MEMSYS_SIM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** Lazily-paged simulated byte-addressable memory. */
+class SimMemory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr std::size_t pageSize = 1ull << pageShift;
+
+    /** Read @p nbytes (1..8) little-endian starting at @p addr. */
+    std::uint64_t read(Addr addr, unsigned nbytes) const;
+
+    /** Write the low @p nbytes (1..8) of @p value at @p addr (LE). */
+    void write(Addr addr, std::uint64_t value, unsigned nbytes);
+
+    /** Typed helpers. */
+    std::uint8_t read8(Addr a) const
+    {
+        return static_cast<std::uint8_t>(read(a, 1));
+    }
+    std::uint32_t read32(Addr a) const
+    {
+        return static_cast<std::uint32_t>(read(a, 4));
+    }
+    std::uint64_t read64(Addr a) const { return read(a, 8); }
+    float readFloat(Addr a) const { return bitsToFloat(read32(a)); }
+    double readDouble(Addr a) const { return bitsToDouble(read64(a)); }
+
+    void write8(Addr a, std::uint8_t v) { write(a, v, 1); }
+    void write32(Addr a, std::uint32_t v) { write(a, v, 4); }
+    void write64(Addr a, std::uint64_t v) { write(a, v, 8); }
+    void writeFloat(Addr a, float v) { write32(a, floatBits(v)); }
+    void writeDouble(Addr a, double v) { write64(a, doubleBits(v)); }
+
+    /** Copy a host buffer into simulated memory. */
+    void load(Addr addr, const void *src, std::size_t len);
+
+    /** Copy simulated memory out to a host buffer. */
+    void store(Addr addr, void *dst, std::size_t len) const;
+
+    /** Read a vector of 32-bit floats starting at @p addr. */
+    std::vector<float> readFloats(Addr addr, std::size_t count) const;
+
+    /** Write a vector of 32-bit floats starting at @p addr. */
+    void writeFloats(Addr addr, const std::vector<float> &values);
+
+    /**
+     * Reserve @p len bytes and return the base address. Allocations are
+     * 64-byte aligned so regions never share a cache line.
+     */
+    Addr allocate(std::size_t len);
+
+    /** Number of physical pages materialized so far. */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all contents and reset the allocator. */
+    void clear();
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    std::uint8_t *pageFor(Addr addr, bool createIfMissing) const;
+
+    mutable std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    Addr allocNext_ = 0x10000; // keep address 0 unmapped to catch bugs
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMSYS_SIM_MEMORY_HH

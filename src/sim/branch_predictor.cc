@@ -1,0 +1,41 @@
+#include "sim/branch_predictor.hh"
+
+#include "common/bits.hh"
+#include "common/log.hh"
+
+namespace axmemo {
+
+BranchPredictor::BranchPredictor(unsigned entries)
+    : table_(entries, 2), mask_(entries - 1)
+{
+    if (!isPowerOfTwo(entries))
+        axm_fatal("branch predictor entries must be a power of two");
+}
+
+bool
+BranchPredictor::predict(std::uint64_t pc, bool taken)
+{
+    ++lookups_;
+    std::uint8_t &counter = table_[pc & mask_];
+    const bool predicted = counter >= 2;
+    if (taken && counter < 3)
+        ++counter;
+    else if (!taken && counter > 0)
+        --counter;
+    if (predicted != taken) {
+        ++mispredicts_;
+        return false;
+    }
+    return true;
+}
+
+void
+BranchPredictor::reset()
+{
+    for (auto &c : table_)
+        c = 2;
+    lookups_ = 0;
+    mispredicts_ = 0;
+}
+
+} // namespace axmemo

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bimodal branch predictor for the HPI-like in-order core.
+ *
+ * A table of 2-bit saturating counters indexed by static instruction index.
+ * The HPI model in gem5 uses a more elaborate predictor; for the tight
+ * kernel loops of these workloads a bimodal table captures the relevant
+ * behaviour (loop branches predict well, data-dependent hit/miss branches
+ * do not).
+ */
+
+#ifndef AXMEMO_SIM_BRANCH_PREDICTOR_HH
+#define AXMEMO_SIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace axmemo {
+
+/** 2-bit bimodal predictor. */
+class BranchPredictor
+{
+  public:
+    /** @param entries table size (power of two). */
+    explicit BranchPredictor(unsigned entries = 4096);
+
+    /**
+     * Predict and train on the branch at static index @p pc with actual
+     * direction @p taken. @return true if the prediction was correct.
+     */
+    bool predict(std::uint64_t pc, bool taken);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+    /** Reset counters to weakly-taken and zero the statistics. */
+    void reset();
+
+  private:
+    std::vector<std::uint8_t> table_;
+    std::uint64_t mask_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_SIM_BRANCH_PREDICTOR_HH

@@ -1,0 +1,550 @@
+#include "sim/simulator.hh"
+
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/log.hh"
+#include "isa/disasm.hh"
+
+namespace axmemo {
+
+Simulator::Simulator(const Program &prog, SimMemory &mem,
+                     const SimConfig &config)
+    : prog_(prog), mem_(mem), config_(config),
+      hierarchy_(config.hierarchy), memoUnit_(config.memo),
+      predictor_(config.cpu.predictorEntries),
+      intRegs_(prog.numIntRegs(), 0),
+      floatRegs_(prog.numFloatRegs(), 0.0f),
+      intRegReady_(prog.numIntRegs(), 0),
+      floatRegReady_(prog.numFloatRegs(), 0),
+      aluReady_(config.cpu.numIntAlus, 0)
+{
+    slotsLeft_ = config_.cpu.issueWidth;
+    if (config_.cpu.outOfOrder) {
+        if (config_.cpu.robSize == 0)
+            axm_fatal("out-of-order mode needs a nonzero ROB");
+        retireRing_.assign(config_.cpu.robSize, 0);
+    }
+    // When the memoization unit's L2 LUT lives in LLC ways, carve those
+    // ways out of the L2 cache (Section 3.3).
+    if (config_.memoEnabled && config_.memo.l2LutBytes > 0) {
+        const auto &l2cfg = config_.hierarchy.l2;
+        const std::uint64_t wayBytes = l2cfg.sizeBytes / l2cfg.assoc;
+        const unsigned ways = static_cast<unsigned>(
+            (config_.memo.l2LutBytes + wayBytes - 1) / wayBytes);
+        hierarchy_.reserveL2Ways(ways);
+    }
+}
+
+std::uint64_t
+Simulator::readInt(RegId reg) const
+{
+    if (reg == invalidReg || isFloatReg(reg))
+        axm_panic("readInt of bad register");
+    return intRegs_[regIndex(reg)];
+}
+
+float
+Simulator::readFloat(RegId reg) const
+{
+    if (reg == invalidReg || !isFloatReg(reg))
+        axm_panic("readFloat of bad register");
+    return floatRegs_[regIndex(reg)];
+}
+
+void
+Simulator::writeInt(RegId reg, std::uint64_t value)
+{
+    intRegs_[regIndex(reg)] = value;
+}
+
+void
+Simulator::writeFloat(RegId reg, float value)
+{
+    floatRegs_[regIndex(reg)] = value;
+}
+
+std::uint64_t
+Simulator::intReg(IReg reg) const
+{
+    return readInt(reg.id);
+}
+
+float
+Simulator::floatReg(FReg reg) const
+{
+    return readFloat(reg.id);
+}
+
+Cycle
+Simulator::issueUops(Cycle earliest, unsigned uops)
+{
+    if (frontCycle_ < earliest) {
+        frontCycle_ = earliest;
+        slotsLeft_ = config_.cpu.issueWidth;
+    }
+    const Cycle issued = frontCycle_;
+    unsigned remaining = uops;
+    while (remaining > 0) {
+        const unsigned take = std::min(slotsLeft_, remaining);
+        remaining -= take;
+        slotsLeft_ -= take;
+        if (slotsLeft_ == 0) {
+            ++frontCycle_;
+            slotsLeft_ = config_.cpu.issueWidth;
+        }
+    }
+    return issued;
+}
+
+Cycle &
+Simulator::fuReady(FuClass fu, Cycle earliest)
+{
+    if (fu == FuClass::IntAlu) {
+        // Pick the ALU instance that frees up first.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < aluReady_.size(); ++i) {
+            if (aluReady_[i] < aluReady_[best])
+                best = i;
+        }
+        if (aluReady_[best] < earliest)
+            aluReady_[best] = earliest;
+        return aluReady_[best];
+    }
+    Cycle &slot = unitReady_[static_cast<std::size_t>(fu)];
+    if (slot < earliest)
+        slot = earliest;
+    return slot;
+}
+
+void
+Simulator::chargeUop(const OpTraits &traits, unsigned uops)
+{
+    stats_.uops += uops;
+    stats_.events.add("frontend_uops", uops);
+    if (traits.energy != EnergyClass::None)
+        stats_.events.add(std::string("uop_") +
+                              energyClassName(traits.energy),
+                          uops);
+}
+
+const SimStats &
+Simulator::run()
+{
+    if (ran_)
+        axm_panic("Simulator::run called twice");
+    ran_ = true;
+    if (config_.memoEnabled)
+        memoUnit_.reset();
+
+    Cycle endCycle = 0;
+    InstIndex pc = 0;
+    const ThreadId tid = 0;
+
+    while (pc < prog_.size()) {
+        const Inst &inst = prog_.at(pc);
+        const OpTraits &traits = opTraits(inst.op);
+
+        if (inst.op == Op::RegionBegin || inst.op == Op::RegionEnd) {
+            if (traceHook_)
+                traceHook_(pc, inst);
+            ++pc;
+            continue;
+        }
+
+        if (++stats_.macroInsts > config_.maxMacroInsts)
+            axm_fatal(prog_.name(), ": exceeded max macro instructions (",
+                      config_.maxMacroInsts, ") — runaway loop?");
+
+        // ---- timing: earliest execution start ----
+        const OperandInfo ops = operandsOf(inst);
+        Cycle srcReady = 0;
+        for (unsigned k = 0; k < ops.numSources; ++k) {
+            const RegId src = ops.sources[k];
+            const Cycle ready = isFloatReg(src)
+                                    ? floatRegReady_[regIndex(src)]
+                                    : intRegReady_[regIndex(src)];
+            srcReady = std::max(srcReady, ready);
+        }
+        if (inst.op == Op::BrHit || inst.op == Op::BrMiss)
+            srcReady = std::max(srcReady, hitFlagReady_);
+
+        Cycle &unit = fuReady(traits.fu == FuClass::None ? FuClass::IntAlu
+                                                         : traits.fu,
+                              0);
+
+        Cycle t;
+        if (config_.cpu.outOfOrder) {
+            // Dispatch in order, stalling only when the instruction
+            // robSize back has not retired; execute as soon as operands
+            // and a unit are free.
+            const Cycle robReady = retireRing_[retireHead_];
+            const Cycle dispatch =
+                issueUops(robReady, std::max(1u, traits.uops));
+            t = std::max({dispatch, srcReady, unit});
+        } else {
+            // In-order issue: the front end stalls on operand and
+            // structural hazards.
+            t = issueUops(std::max(srcReady, unit),
+                          std::max(1u, traits.uops));
+        }
+        Cycle latency = traits.latency;
+
+        chargeUop(traits, std::max(1u, traits.uops));
+        if (inst.isMemoOp() && inst.op != Op::LdCrc)
+            stats_.memoUops += std::max(1u, traits.uops);
+
+        // ---- functional execution (+ op-specific timing) ----
+        InstIndex nextPc = pc + 1;
+        bool taken = false;
+        bool isCondBranch = false;
+
+        switch (inst.op) {
+          case Op::Movi:
+            writeInt(inst.dst, static_cast<std::uint64_t>(inst.imm));
+            break;
+          case Op::Mov:
+            writeInt(inst.dst, readInt(inst.src1));
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+          case Op::Div:
+          case Op::Rem:
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Shl:
+          case Op::Shr:
+          case Op::Sra:
+          case Op::Slt:
+          case Op::Sle:
+          case Op::Seq:
+          case Op::Sne:
+          case Op::MinI:
+          case Op::MaxI: {
+            const std::uint64_t a = readInt(inst.src1);
+            const std::uint64_t b =
+                inst.src2 != invalidReg
+                    ? readInt(inst.src2)
+                    : static_cast<std::uint64_t>(inst.imm);
+            const auto sa = static_cast<std::int64_t>(a);
+            const auto sb = static_cast<std::int64_t>(b);
+            std::uint64_t r = 0;
+            switch (inst.op) {
+              case Op::Add: r = a + b; break;
+              case Op::Sub: r = a - b; break;
+              case Op::Mul: r = a * b; break;
+              case Op::Div: r = sb == 0 ? 0 : static_cast<std::uint64_t>(
+                                                  sa / sb); break;
+              case Op::Rem: r = sb == 0 ? a : static_cast<std::uint64_t>(
+                                                  sa % sb); break;
+              case Op::And: r = a & b; break;
+              case Op::Or: r = a | b; break;
+              case Op::Xor: r = a ^ b; break;
+              case Op::Shl: r = a << (b & 63); break;
+              case Op::Shr: r = a >> (b & 63); break;
+              case Op::Sra: r = static_cast<std::uint64_t>(sa >> (b & 63));
+                            break;
+              case Op::Slt: r = sa < sb; break;
+              case Op::Sle: r = sa <= sb; break;
+              case Op::Seq: r = a == b; break;
+              case Op::Sne: r = a != b; break;
+              case Op::MinI: r = static_cast<std::uint64_t>(
+                                 std::min(sa, sb)); break;
+              case Op::MaxI: r = static_cast<std::uint64_t>(
+                                 std::max(sa, sb)); break;
+              default: break;
+            }
+            writeInt(inst.dst, r);
+            break;
+          }
+
+          case Op::Fmovi:
+            writeFloat(inst.dst, bitsToFloat(
+                                     static_cast<std::uint32_t>(inst.imm)));
+            break;
+          case Op::Fmov:
+            writeFloat(inst.dst, readFloat(inst.src1));
+            break;
+          case Op::Fadd:
+            writeFloat(inst.dst,
+                       readFloat(inst.src1) + readFloat(inst.src2));
+            break;
+          case Op::Fsub:
+            writeFloat(inst.dst,
+                       readFloat(inst.src1) - readFloat(inst.src2));
+            break;
+          case Op::Fmul:
+            writeFloat(inst.dst,
+                       readFloat(inst.src1) * readFloat(inst.src2));
+            break;
+          case Op::Fdiv:
+            writeFloat(inst.dst,
+                       readFloat(inst.src1) / readFloat(inst.src2));
+            break;
+          case Op::Fsqrt:
+            writeFloat(inst.dst, std::sqrt(readFloat(inst.src1)));
+            break;
+          case Op::Fneg:
+            writeFloat(inst.dst, -readFloat(inst.src1));
+            break;
+          case Op::Fabs:
+            writeFloat(inst.dst, std::fabs(readFloat(inst.src1)));
+            break;
+          case Op::Fmin:
+            writeFloat(inst.dst, std::fmin(readFloat(inst.src1),
+                                           readFloat(inst.src2)));
+            break;
+          case Op::Fmax:
+            writeFloat(inst.dst, std::fmax(readFloat(inst.src1),
+                                           readFloat(inst.src2)));
+            break;
+          case Op::Flt:
+            writeInt(inst.dst,
+                     readFloat(inst.src1) < readFloat(inst.src2));
+            break;
+          case Op::Fle:
+            writeInt(inst.dst,
+                     readFloat(inst.src1) <= readFloat(inst.src2));
+            break;
+          case Op::Feq:
+            writeInt(inst.dst,
+                     readFloat(inst.src1) == readFloat(inst.src2));
+            break;
+
+          case Op::CvtIF:
+            writeFloat(inst.dst,
+                       static_cast<float>(
+                           static_cast<std::int64_t>(readInt(inst.src1))));
+            break;
+          case Op::CvtFI:
+            writeInt(inst.dst,
+                     static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(readFloat(inst.src1))));
+            break;
+          case Op::FBits:
+            writeInt(inst.dst, floatBits(readFloat(inst.src1)));
+            break;
+          case Op::BitsF:
+            writeFloat(inst.dst,
+                       bitsToFloat(static_cast<std::uint32_t>(
+                           readInt(inst.src1))));
+            break;
+
+          case Op::Fexp:
+            writeFloat(inst.dst, std::exp(readFloat(inst.src1)));
+            break;
+          case Op::Flog:
+            writeFloat(inst.dst, std::log(readFloat(inst.src1)));
+            break;
+          case Op::Fsin:
+            writeFloat(inst.dst, std::sin(readFloat(inst.src1)));
+            break;
+          case Op::Fcos:
+            writeFloat(inst.dst, std::cos(readFloat(inst.src1)));
+            break;
+          case Op::Fatan2:
+            writeFloat(inst.dst, std::atan2(readFloat(inst.src1),
+                                            readFloat(inst.src2)));
+            break;
+          case Op::Facos:
+            writeFloat(inst.dst, std::acos(readFloat(inst.src1)));
+            break;
+          case Op::Fasin:
+            writeFloat(inst.dst, std::asin(readFloat(inst.src1)));
+            break;
+
+          case Op::Ld: {
+            const Addr addr = readInt(inst.src1) +
+                              static_cast<Addr>(inst.imm);
+            latency = hierarchy_.access(addr, false);
+            writeInt(inst.dst, mem_.read(addr, inst.size));
+            ++stats_.loads;
+            break;
+          }
+          case Op::Ldf: {
+            const Addr addr = readInt(inst.src1) +
+                              static_cast<Addr>(inst.imm);
+            latency = hierarchy_.access(addr, false);
+            writeFloat(inst.dst, mem_.readFloat(addr));
+            ++stats_.loads;
+            break;
+          }
+          case Op::St: {
+            const Addr addr = readInt(inst.src1) +
+                              static_cast<Addr>(inst.imm);
+            hierarchy_.access(addr, true);
+            latency = 1; // store buffer hides the hierarchy latency
+            mem_.write(addr, readInt(inst.src2), inst.size);
+            ++stats_.stores;
+            break;
+          }
+          case Op::Stf: {
+            const Addr addr = readInt(inst.src1) +
+                              static_cast<Addr>(inst.imm);
+            hierarchy_.access(addr, true);
+            latency = 1;
+            mem_.writeFloat(addr, readFloat(inst.src2));
+            ++stats_.stores;
+            break;
+          }
+
+          case Op::Br:
+            nextPc = inst.imm;
+            break;
+          case Op::Bt:
+          case Op::Bf: {
+            isCondBranch = true;
+            const bool cond = readInt(inst.src1) != 0;
+            taken = (inst.op == Op::Bt) ? cond : !cond;
+            if (taken)
+                nextPc = inst.imm;
+            break;
+          }
+
+          case Op::Halt:
+            endCycle = std::max(endCycle, t + latency);
+            if (traceHook_)
+                traceHook_(pc, inst);
+            pc = prog_.size();
+            continue;
+
+          // ---- AxMemo extension ----
+          case Op::LdCrc: {
+            if (!config_.memoEnabled)
+                axm_panic(prog_.name(), ": ld_crc without memo unit");
+            const Addr addr = readInt(inst.src1) +
+                              static_cast<Addr>(inst.imm);
+            latency = hierarchy_.access(addr, false);
+            const std::uint64_t raw = mem_.read(addr, inst.size);
+            if (isFloatReg(inst.dst))
+                writeFloat(inst.dst, bitsToFloat(
+                                         static_cast<std::uint32_t>(raw)));
+            else
+                writeInt(inst.dst, raw);
+            ++stats_.loads;
+            const Cycle stall = memoUnit_.feed(inst.lut, tid, raw,
+                                               inst.size, inst.truncBits,
+                                               t);
+            if (stall > 0) {
+                stats_.memoQueueStalls += stall;
+                issueUops(t + stall, 0); // push the front end forward
+            }
+            break;
+          }
+          case Op::RegCrc: {
+            if (!config_.memoEnabled)
+                axm_panic(prog_.name(), ": reg_crc without memo unit");
+            std::uint64_t raw;
+            unsigned nbytes = inst.size;
+            if (isFloatReg(inst.src1)) {
+                raw = floatBits(readFloat(inst.src1));
+                nbytes = 4;
+            } else {
+                raw = readInt(inst.src1);
+            }
+            const Cycle stall = memoUnit_.feed(inst.lut, tid, raw, nbytes,
+                                               inst.truncBits, t);
+            if (stall > 0) {
+                stats_.memoQueueStalls += stall;
+                issueUops(t + stall, 0);
+            }
+            break;
+          }
+          case Op::Lookup: {
+            if (!config_.memoEnabled)
+                axm_panic(prog_.name(), ": lookup without memo unit");
+            const MemoLookupResult res = memoUnit_.lookup(inst.lut, tid,
+                                                          t);
+            latency = res.latency;
+            writeInt(inst.dst, res.data);
+            hitFlag_ = res.hit;
+            hitFlagReady_ = t + latency;
+            break;
+          }
+          case Op::Update: {
+            if (!config_.memoEnabled)
+                axm_panic(prog_.name(), ": update without memo unit");
+            std::uint64_t data;
+            if (isFloatReg(inst.src1))
+                data = floatBits(readFloat(inst.src1));
+            else
+                data = readInt(inst.src1);
+            latency = memoUnit_.update(inst.lut, tid, data);
+            break;
+          }
+          case Op::Invalidate:
+            if (!config_.memoEnabled)
+                axm_panic(prog_.name(), ": invalidate without memo unit");
+            latency = memoUnit_.invalidate(inst.lut, tid);
+            break;
+          case Op::BrHit:
+          case Op::BrMiss:
+            isCondBranch = true;
+            taken = (inst.op == Op::BrHit) ? hitFlag_ : !hitFlag_;
+            if (taken)
+                nextPc = inst.imm;
+            break;
+
+          case Op::RegionBegin:
+          case Op::RegionEnd:
+          case Op::NumOps:
+            break;
+        }
+
+        // ---- branch prediction / result timing ----
+        if (isCondBranch) {
+            ++stats_.branches;
+            const bool correct =
+                predictor_.predict(static_cast<std::uint64_t>(pc), taken);
+            if (!correct) {
+                ++stats_.mispredicts;
+                issueUops(t + 1 + config_.cpu.mispredictPenalty, 0);
+            }
+        }
+
+        const Cycle resultReady = t + latency;
+        if (ops.dest != invalidReg) {
+            if (isFloatReg(ops.dest))
+                floatRegReady_[regIndex(ops.dest)] = resultReady;
+            else
+                intRegReady_[regIndex(ops.dest)] = resultReady;
+        }
+
+        // Functional-unit occupancy (the same unit instance consulted at
+        // issue; pipelined units free after one cycle).
+        if (traits.fu != FuClass::None) {
+            const Cycle busyUntil =
+                traits.pipelined ? t + 1 : resultReady;
+            if (unit < busyUntil)
+                unit = busyUntil;
+        }
+
+        // In-order retirement bounds the OoO window.
+        if (config_.cpu.outOfOrder) {
+            lastRetire_ = std::max(lastRetire_, resultReady);
+            retireRing_[retireHead_] = lastRetire_;
+            retireHead_ = (retireHead_ + 1) % retireRing_.size();
+        }
+
+        endCycle = std::max(endCycle, resultReady);
+
+        if (traceHook_)
+            traceHook_(pc, inst);
+
+        pc = nextPc;
+    }
+
+    stats_.cycles = std::max(endCycle, frontCycle_);
+    if (config_.memoEnabled) {
+        stats_.memo = memoUnit_.stats();
+        stats_.memo.monitorTripped = !memoUnit_.enabled();
+        stats_.events.merge(memoUnit_.events());
+    }
+    stats_.events.merge(hierarchy_.events());
+    stats_.events.add("cycles", stats_.cycles);
+    return stats_;
+}
+
+} // namespace axmemo

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The AxIR core model: functional execution plus an approximate in-order
+ * two-issue timing model of the ARM HPI configuration of Table 3.
+ *
+ * Timing methodology. Rather than a cycle-by-cycle event loop, the model
+ * tracks, per program-order instruction, the earliest cycle it can issue
+ * (front-end slot availability x source-operand readiness x functional-unit
+ * availability) and when its result becomes ready. This reproduces the
+ * stall behaviour of an in-order scoreboarded pipeline at a fraction of the
+ * simulation cost and is the standard "interval" style of timing model.
+ * Instruction supply is ideal (the kernels are loop-resident in a 32 KB
+ * L1I); fetch/decode energy is still charged per µop.
+ *
+ * The memoization unit hangs off the core exactly as in Fig. 2: ld_crc /
+ * reg_crc stream inputs into it (stalling only on a full input queue),
+ * lookup waits for the pending CRC then probes the LUTs with Table 4
+ * latencies, and br_hit/br_miss consume the condition flag it sets.
+ */
+
+#ifndef AXMEMO_SIM_SIMULATOR_HH
+#define AXMEMO_SIM_SIMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/op_traits.hh"
+#include "isa/program.hh"
+#include "memo/memo_unit.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/sim_memory.hh"
+#include "sim/branch_predictor.hh"
+
+namespace axmemo {
+
+/** Core pipeline parameters (Table 3). */
+struct CpuConfig
+{
+    unsigned issueWidth = 2;
+    Cycle mispredictPenalty = 5;
+    double freqGhz = 2.0;
+    unsigned numIntAlus = 2;
+    unsigned predictorEntries = 4096;
+
+    /**
+     * Out-of-order mode (Section 6.1 notes AxMemo also fits OoO cores;
+     * the hash-value registers are renamed like architectural
+     * registers). The front end dispatches in order at issueWidth per
+     * cycle, bounded by the reorder buffer; execution starts as soon as
+     * operands and a unit are ready; retirement is in order. The same
+     * memoization-unit protocol applies unchanged.
+     */
+    bool outOfOrder = false;
+    unsigned robSize = 64;
+};
+
+/** Whole-system configuration for one simulation. */
+struct SimConfig
+{
+    CpuConfig cpu{};
+    HierarchyConfig hierarchy{};
+    /** Attach a memoization unit (memo ops panic without one). */
+    bool memoEnabled = false;
+    MemoUnitConfig memo{};
+    /** Abort if the program executes more macro-instructions than this. */
+    std::uint64_t maxMacroInsts = 4ull << 30;
+};
+
+/** Aggregated results of one simulation run. */
+struct SimStats
+{
+    Cycle cycles = 0;
+    /** Macro AxIR instructions retired (markers excluded). */
+    std::uint64_t macroInsts = 0;
+    /** µops retired (intrinsics expanded; the paper-comparable count). */
+    std::uint64_t uops = 0;
+    /** µops belonging to memoization instructions + memo branches
+     * (ld_crc counts as a normal load, Section 6.2). */
+    std::uint64_t memoUops = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    /** Extra cycles the CPU stalled on a full memo-unit input queue. */
+    Cycle memoQueueStalls = 0;
+
+    MemoUnitStats memo{};
+
+    /** All energy-relevant events (uop classes, cache, dram, memo). */
+    CounterSet events{};
+
+    /** Wall-clock seconds at the configured frequency. */
+    double
+    seconds(double freqGhz) const
+    {
+        return static_cast<double>(cycles) / (freqGhz * 1e9);
+    }
+};
+
+/** Functional + timing execution of one AxIR program. */
+class Simulator
+{
+  public:
+    /**
+     * @param prog verified program to run (must outlive the simulator).
+     * @param mem simulated memory holding the workload's data.
+     */
+    Simulator(const Program &prog, SimMemory &mem,
+              const SimConfig &config = {});
+
+    /** Execute from instruction 0 until Halt. @return final stats. */
+    const SimStats &run();
+
+    const SimStats &stats() const { return stats_; }
+    MemoizationUnit &memoUnit() { return memoUnit_; }
+    MemHierarchy &hierarchy() { return hierarchy_; }
+
+    /** Register state readout for tests and output extraction. */
+    std::uint64_t intReg(IReg reg) const;
+    float floatReg(FReg reg) const;
+
+    /**
+     * Optional per-retired-instruction observer (static index). Used by
+     * the compiler's trace recorder; adds no timing cost.
+     */
+    void setTraceHook(std::function<void(InstIndex, const Inst &)> hook)
+    {
+        traceHook_ = std::move(hook);
+    }
+
+  private:
+    // --- timing helpers ---
+    Cycle issueUops(Cycle earliest, unsigned uops);
+    Cycle &fuReady(FuClass fu, Cycle earliest);
+    void chargeUop(const OpTraits &traits, unsigned uops);
+
+    // --- functional helpers ---
+    std::uint64_t readInt(RegId reg) const;
+    float readFloat(RegId reg) const;
+    void writeInt(RegId reg, std::uint64_t value);
+    void writeFloat(RegId reg, float value);
+
+    const Program &prog_;
+    SimMemory &mem_;
+    SimConfig config_;
+    MemHierarchy hierarchy_;
+    MemoizationUnit memoUnit_;
+    BranchPredictor predictor_;
+
+    std::vector<std::uint64_t> intRegs_;
+    std::vector<float> floatRegs_;
+    std::vector<Cycle> intRegReady_;
+    std::vector<Cycle> floatRegReady_;
+
+    // Front-end slot accounting.
+    Cycle frontCycle_ = 0;
+    unsigned slotsLeft_ = 0;
+
+    // Functional-unit availability (IntAlu has numIntAlus instances).
+    std::vector<Cycle> aluReady_;
+    std::array<Cycle, 8> unitReady_{};
+
+    // Memoization condition flag (set by lookup).
+    bool hitFlag_ = false;
+    Cycle hitFlagReady_ = 0;
+
+    // Out-of-order retirement ring: retire time of the last robSize
+    // instructions (dispatch stalls when the ROB would overflow).
+    std::vector<Cycle> retireRing_;
+    std::size_t retireHead_ = 0;
+    Cycle lastRetire_ = 0;
+
+    SimStats stats_;
+    std::function<void(InstIndex, const Inst &)> traceHook_;
+    bool ran_ = false;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_SIM_SIMULATOR_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Blackscholes (PARSEC / AxBench): prices European-style options with the
+ * Black-Scholes closed form. The memoized region is the entire pricing
+ * kernel — six 4-byte inputs (spot, strike, rate, volatility, expiry,
+ * option type; 24 B total, Table 2) and one float output. No truncation:
+ * market snapshots repeat option parameter tuples exactly, which is the
+ * redundancy the paper's 20x speedup rides on.
+ */
+
+#include <algorithm>
+
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+/** Cumulative normal distribution via the Abramowitz-Stegun polynomial. */
+FReg
+emitCndf(KernelBuilder &b, FReg x)
+{
+    const FReg zero = b.fimm(0.0f);
+    const IReg negative = b.flt(x, zero);
+    const FReg ax = b.fabs(x);
+
+    const FReg one = b.fimm(1.0f);
+    const FReg k = b.fdiv(
+        one, b.fadd(one, b.fmul(b.fimm(0.2316419f), ax)));
+
+    // Horner evaluation of the 5-term polynomial in k.
+    FReg poly = b.fimm(1.330274429f);
+    poly = b.fadd(b.fimm(-1.821255978f), b.fmul(k, poly));
+    poly = b.fadd(b.fimm(1.781477937f), b.fmul(k, poly));
+    poly = b.fadd(b.fimm(-0.356563782f), b.fmul(k, poly));
+    poly = b.fadd(b.fimm(0.31938153f), b.fmul(k, poly));
+    poly = b.fmul(k, poly);
+
+    const FReg gauss = b.fexp(
+        b.fmul(b.fimm(-0.5f), b.fmul(ax, ax)));
+    const FReg n =
+        b.fsub(one, b.fmul(b.fimm(0.3989422804f),
+                           b.fmul(gauss, poly)));
+
+    const FReg result = b.newFReg();
+    b.ifThenElse(
+        negative, [&] { b.assign(result, b.fsub(b.fimm(1.0f), n)); },
+        [&] { b.assign(result, n); });
+    return result;
+}
+
+class BlackscholesWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "blackscholes"; }
+    std::string domain() const override { return "Financial Analysis"; }
+    std::string
+    description() const override
+    {
+        return "Calculates the price of European-style options";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "200K options";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        n_ = std::max<std::uint64_t>(
+            512, static_cast<std::uint64_t>(200000 * params.scale));
+        Rng rng(params.seed ^ (params.sampleSet ? 0x5a5a5a5aull : 0));
+
+        // Market snapshots quote a bounded book of instruments: options
+        // are drawn from a pool of distinct parameter tuples, so exact
+        // 24-byte repeats dominate (the paper's "repetitive input
+        // patterns needed for quantitative financial analysis").
+        const unsigned pool = params.sampleSet ? 800 : 1500;
+        struct Option
+        {
+            float s, k, r, v, t, type;
+        };
+        std::vector<Option> templates;
+        templates.reserve(pool);
+        for (unsigned p = 0; p < pool; ++p) {
+            Option o;
+            o.s = quantize(
+                static_cast<float>(rng.uniform(20.0, 120.0)), 0.25f);
+            o.k = quantize(
+                o.s * static_cast<float>(rng.uniform(0.8, 1.2)), 0.25f);
+            o.r = quantize(
+                static_cast<float>(rng.uniform(0.01, 0.06)), 0.0025f);
+            o.v = quantize(
+                static_cast<float>(rng.uniform(0.10, 0.60)), 0.005f);
+            o.t = quantize(
+                static_cast<float>(rng.uniform(0.2, 2.0)), 0.05f);
+            o.type = static_cast<float>(rng.below(2));
+            templates.push_back(o);
+        }
+
+        inBase_ = mem.allocate(n_ * 24);
+        outBase_ = mem.allocate(n_ * 4);
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            const Option &o = templates[rng.below(pool)];
+            const Addr a = inBase_ + i * 24;
+            mem.writeFloat(a + 0, o.s);
+            mem.writeFloat(a + 4, o.k);
+            mem.writeFloat(a + 8, o.r);
+            mem.writeFloat(a + 12, o.v);
+            mem.writeFloat(a + 16, o.t);
+            mem.writeFloat(a + 20, o.type);
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("blackscholes");
+        const IReg in = b.imm(static_cast<std::int64_t>(inBase_));
+        const IReg out = b.imm(static_cast<std::int64_t>(outBase_));
+
+        b.forRange(0, static_cast<std::int64_t>(n_), 1, [&](IReg i) {
+            const IReg addr = b.add(in, b.mul(i, 24));
+            const FReg s = b.ldf(addr, 0);
+            const FReg k = b.ldf(addr, 4);
+            const FReg r = b.ldf(addr, 8);
+            const FReg v = b.ldf(addr, 12);
+            const FReg t = b.ldf(addr, 16);
+            const FReg type = b.ldf(addr, 20);
+
+            b.regionBegin(kRegion);
+            const FReg sqrtT = b.fsqrt(t);
+            const FReg vSqrtT = b.fmul(v, sqrtT);
+            const FReg logSk = b.flog(b.fdiv(s, k));
+            const FReg halfV2 =
+                b.fmul(b.fimm(0.5f), b.fmul(v, v));
+            const FReg d1 = b.fdiv(
+                b.fadd(logSk, b.fmul(b.fadd(r, halfV2), t)), vSqrtT);
+            const FReg d2 = b.fsub(d1, vSqrtT);
+            const FReg n1 = emitCndf(b, d1);
+            const FReg n2 = emitCndf(b, d2);
+            const FReg discount =
+                b.fexp(b.fneg(b.fmul(r, t)));
+            const FReg kDisc = b.fmul(k, discount);
+
+            const FReg price = b.newFReg();
+            const IReg isPut = b.flt(b.fimm(0.5f), type);
+            b.ifThenElse(
+                isPut,
+                [&] {
+                    // put = K e^{-rt} (1 - N(d2)) - S (1 - N(d1))
+                    const FReg one = b.fimm(1.0f);
+                    b.assign(price,
+                             b.fsub(b.fmul(kDisc, b.fsub(one, n2)),
+                                    b.fmul(s, b.fsub(one, n1))));
+                },
+                [&] {
+                    // call = S N(d1) - K e^{-rt} N(d2)
+                    b.assign(price, b.fsub(b.fmul(s, n1),
+                                           b.fmul(kDisc, n2)));
+                });
+            b.regionEnd(kRegion);
+
+            const IReg oaddr = b.add(out, b.shl(i, 2));
+            b.stf(oaddr, 0, price);
+        });
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 0; // Table 2
+        spec.regions.push_back(region);
+        return spec;
+    }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        std::vector<double> out;
+        out.reserve(n_);
+        for (std::uint64_t i = 0; i < n_; ++i)
+            out.push_back(mem.readFloat(outBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+
+    std::uint64_t n_ = 0;
+    Addr inBase_ = 0;
+    Addr outBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBlackscholes()
+{
+    return std::make_unique<BlackscholesWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,124 @@
+#include "workloads/datasets.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace axmemo {
+
+float
+quantize(float x, float step)
+{
+    return std::floor(x / step) * step;
+}
+
+std::vector<float>
+synthImageGray(unsigned width, unsigned height, Rng &rng, float noise)
+{
+    std::vector<float> img(static_cast<std::size_t>(width) * height,
+                           128.0f);
+
+    // Background: a gentle vertical gradient.
+    for (unsigned y = 0; y < height; ++y) {
+        const float g =
+            64.0f + 96.0f * static_cast<float>(y) / height;
+        for (unsigned x = 0; x < width; ++x)
+            img[static_cast<std::size_t>(y) * width + x] =
+                quantize(g, 4.0f);
+    }
+
+    // Flat rectangles (the dominant content).
+    const unsigned numRects = 24;
+    for (unsigned r = 0; r < numRects; ++r) {
+        const unsigned rw = 8 + static_cast<unsigned>(
+                                    rng.below(width / 3 + 1));
+        const unsigned rh = 8 + static_cast<unsigned>(
+                                    rng.below(height / 3 + 1));
+        const unsigned rx = static_cast<unsigned>(rng.below(width));
+        const unsigned ry = static_cast<unsigned>(rng.below(height));
+        const float value = quantize(
+            static_cast<float>(rng.below(256)), 8.0f);
+        for (unsigned y = ry; y < std::min(ry + rh, height); ++y) {
+            for (unsigned x = rx; x < std::min(rx + rw, width); ++x)
+                img[static_cast<std::size_t>(y) * width + x] = value;
+        }
+    }
+
+    // A textured band (~10% of rows) with quantized noise.
+    const unsigned bandTop = height / 2;
+    const unsigned bandBot = std::min(height, bandTop + height / 10);
+    for (unsigned y = bandTop; y < bandBot; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const float noisy =
+                img[static_cast<std::size_t>(y) * width + x] +
+                static_cast<float>(rng.below(33)) - 16.0f;
+            img[static_cast<std::size_t>(y) * width + x] =
+                std::clamp(quantize(noisy, 2.0f), 0.0f, 255.0f);
+        }
+    }
+
+    // Continuous sensor jitter everywhere (see header comment).
+    if (noise > 0.0f) {
+        for (auto &p : img) {
+            p = std::clamp(
+                p + static_cast<float>(rng.uniform(-noise, noise)),
+                0.0f, 255.0f);
+        }
+    }
+    return img;
+}
+
+std::vector<float>
+synthImageRgb(unsigned width, unsigned height, Rng &rng, float noise)
+{
+    const std::size_t plane =
+        static_cast<std::size_t>(width) * height;
+    std::vector<float> img(3 * plane);
+    // Correlated channels: the gray structure shifted per channel.
+    const std::vector<float> gray =
+        synthImageGray(width, height, rng, noise);
+    for (std::size_t i = 0; i < plane; ++i) {
+        img[i] = gray[i];
+        img[plane + i] = std::clamp(gray[i] * 0.9f + 8.0f, 0.0f, 255.0f);
+        img[2 * plane + i] =
+            std::clamp(gray[i] * 1.1f - 8.0f, 0.0f, 255.0f);
+    }
+    return img;
+}
+
+std::vector<float>
+synthPaletteImage(unsigned width, unsigned height, unsigned paletteSize,
+                  Rng &rng)
+{
+    // Palette colors spread over the RGB cube.
+    std::vector<std::array<float, 3>> palette;
+    for (unsigned p = 0; p < paletteSize; ++p) {
+        palette.push_back({static_cast<float>(rng.below(256)),
+                           static_cast<float>(rng.below(256)),
+                           static_cast<float>(rng.below(256))});
+    }
+
+    std::vector<float> img(static_cast<std::size_t>(width) * height * 3);
+    // Blobby assignment: each 16x16 tile picks a palette color; pixels
+    // add small quantized noise around it.
+    for (unsigned y = 0; y < height; ++y) {
+        for (unsigned x = 0; x < width; ++x) {
+            const unsigned tile =
+                (y / 16) * ((width + 15) / 16) + (x / 16);
+            const auto &c = palette[(tile * 2654435761u) % paletteSize];
+            const std::size_t idx =
+                (static_cast<std::size_t>(y) * width + x) * 3;
+            for (unsigned ch = 0; ch < 3; ++ch) {
+                // Continuous noise around the palette color: exact
+                // repeats are rare, truncated repeats common.
+                const float noisy =
+                    c[ch] +
+                    static_cast<float>(rng.uniform(-2.0, 2.0));
+                img[idx + ch] = std::clamp(noisy, 1.0f, 255.0f);
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace axmemo

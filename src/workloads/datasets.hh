@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic dataset generators shaped like the benchmark suites' default
+ * inputs. The generators reproduce each input class's *redundancy
+ * structure* — the property AxMemo exploits — not the exact files:
+ * images are mosaics of flat regions, gradients and textured patches;
+ * option streams repeat templates the way market snapshots do; sensor
+ * angles are quantized to encoder resolution; particle lattices have
+ * crystal-like regular spacing.
+ */
+
+#ifndef AXMEMO_WORKLOADS_DATASETS_HH
+#define AXMEMO_WORKLOADS_DATASETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace axmemo {
+
+/**
+ * Grayscale image in [0, 255]: a mosaic of flat rectangles (majority),
+ * linear gradients, and a lightly textured band — the flat/smooth content
+ * that makes neighborhoods repeat after truncation. @p noise adds
+ * continuous (non-quantized) per-pixel jitter of the given amplitude:
+ * with it, exact repeats become rare but truncated repeats stay common,
+ * which is precisely the redundancy input approximation recovers
+ * (Fig. 11's contrast).
+ */
+std::vector<float> synthImageGray(unsigned width, unsigned height,
+                                  Rng &rng, float noise = 0.0f);
+
+/** RGB image as three planes concatenated (R plane, G plane, B plane). */
+std::vector<float> synthImageRgb(unsigned width, unsigned height,
+                                 Rng &rng, float noise = 0.0f);
+
+/**
+ * Image whose colors come from a small palette plus noise — clusterable
+ * content for K-means. Returns interleaved r,g,b triples in [0, 255].
+ */
+std::vector<float> synthPaletteImage(unsigned width, unsigned height,
+                                     unsigned paletteSize, Rng &rng);
+
+/** Round @p x down to a multiple of @p step (sensor quantization). */
+float quantize(float x, float step);
+
+} // namespace axmemo
+
+#endif // AXMEMO_WORKLOADS_DATASETS_HH

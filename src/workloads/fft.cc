@@ -1,0 +1,188 @@
+/**
+ * @file
+ * FFT (AxBench): radix-2 decimation-in-frequency Cooley-Tukey transform.
+ * The memoized region is the twiddle-factor computation — one 4-byte input
+ * (the angle, streamed with reg_crc since it is computed, not loaded;
+ * Section 4 motivates reg_crc with exactly this benchmark) and two float
+ * outputs (cos, sin) packed into an 8-byte LUT entry. Twiddle angles
+ * repeat heavily across butterfly groups and stages, giving the >90% hit
+ * rate the paper reports. Outputs are produced in bit-reversed order (no
+ * final permutation), identically in baseline and memoized runs.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+class FftWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "fft"; }
+    std::string domain() const override { return "Signal Processing"; }
+    std::string
+    description() const override
+    {
+        return "Radix-2 Cooley-Tukey FFT";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "4,096 floating-point data points";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        // Power-of-two size nearest the scaled target, at least 256.
+        std::uint64_t target = std::max<std::uint64_t>(
+            256, static_cast<std::uint64_t>(4096 * params.scale));
+        n_ = 1;
+        while (n_ * 2 <= target)
+            n_ *= 2;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0xf1f1ull : 0));
+        reBase_ = mem.allocate(n_ * 4);
+        imBase_ = mem.allocate(n_ * 4);
+
+        // A handful of tones plus quantized noise: a typical sampled
+        // signal.
+        const double f1 = 3.0 + static_cast<double>(rng.below(5));
+        const double f2 = 17.0 + static_cast<double>(rng.below(9));
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            const double phase =
+                2.0 * M_PI * static_cast<double>(i) /
+                static_cast<double>(n_);
+            const double v = std::sin(f1 * phase) +
+                             0.5 * std::sin(f2 * phase) +
+                             0.1 * rng.uniform(-1.0, 1.0);
+            mem.writeFloat(reBase_ + 4 * i,
+                           quantize(static_cast<float>(v), 1.0f / 256));
+            mem.writeFloat(imBase_ + 4 * i, 0.0f);
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("fft");
+        const IReg re = b.imm(static_cast<std::int64_t>(reBase_));
+        const IReg im = b.imm(static_cast<std::int64_t>(imBase_));
+        const IReg n = b.imm(static_cast<std::int64_t>(n_));
+        const FReg minusTwoPi =
+            b.fimm(static_cast<float>(-2.0 * M_PI));
+
+        // Stage loop: len = n, n/2, ..., 2.
+        const IReg len = b.newIReg();
+        b.assign(len, static_cast<std::int64_t>(n_));
+        const Label stageHead = b.newLabel();
+        const Label stageExit = b.newLabel();
+        b.bind(stageHead);
+        {
+            const IReg stageDone = b.slt(len, 2);
+            b.brTrue(stageDone, stageExit);
+
+            const IReg half = b.shr(len, 1);
+            const FReg angStep = b.fdiv(minusTwoPi, b.itof(len));
+
+            // Group loop: base = 0, len, 2*len, ...
+            const IReg base = b.newIReg();
+            b.assign(base, 0);
+            const Label groupHead = b.newLabel();
+            const Label groupExit = b.newLabel();
+            b.bind(groupHead);
+            {
+                const IReg groupCont = b.slt(base, n);
+                b.brFalse(groupCont, groupExit);
+
+                b.forRange(0, half, 1, [&](IReg j) {
+                    const FReg angle = b.fmul(b.itof(j), angStep);
+
+                    b.regionBegin(kRegion);
+                    const FReg c = b.fcos(angle);
+                    const FReg s = b.fsin(angle);
+                    b.regionEnd(kRegion);
+
+                    const IReg i1 = b.add(base, j);
+                    const IReg i2 = b.add(i1, half);
+                    const IReg a1 = b.add(re, b.shl(i1, 2));
+                    const IReg a2 = b.add(re, b.shl(i2, 2));
+                    const IReg b1 = b.add(im, b.shl(i1, 2));
+                    const IReg b2 = b.add(im, b.shl(i2, 2));
+                    const FReg re1 = b.ldf(a1, 0);
+                    const FReg re2 = b.ldf(a2, 0);
+                    const FReg im1 = b.ldf(b1, 0);
+                    const FReg im2 = b.ldf(b2, 0);
+
+                    const FReg tre = b.fsub(re1, re2);
+                    const FReg tim = b.fsub(im1, im2);
+                    b.stf(a1, 0, b.fadd(re1, re2));
+                    b.stf(b1, 0, b.fadd(im1, im2));
+                    b.stf(a2, 0,
+                          b.fsub(b.fmul(tre, c), b.fmul(tim, s)));
+                    b.stf(b2, 0,
+                          b.fadd(b.fmul(tre, s), b.fmul(tim, c)));
+                });
+
+                b.addTo(base, base, len);
+                b.br(groupHead);
+            }
+            b.bind(groupExit);
+
+            b.assign(len, half);
+            b.br(stageHead);
+        }
+        b.bind(stageExit);
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 0; // Table 2
+        spec.regions.push_back(region);
+        return spec;
+    }
+
+    unsigned monitorLanes() const override { return 2; }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        std::vector<double> out;
+        out.reserve(2 * n_);
+        for (std::uint64_t i = 0; i < n_; ++i)
+            out.push_back(mem.readFloat(reBase_ + 4 * i));
+        for (std::uint64_t i = 0; i < n_; ++i)
+            out.push_back(mem.readFloat(imBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+
+    std::uint64_t n_ = 0;
+    Addr reBase_ = 0;
+    Addr imBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft()
+{
+    return std::make_unique<FftWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Hotspot (Rodinia): transient thermal simulation of a chip die. Each time
+ * step updates every cell from its own temperature, its combined
+ * north+south and east+west neighbor temperatures, and its power draw —
+ * four float inputs (16 B, Table 2; the neighbor sums are pre-combined
+ * outside the region and streamed with reg_crc), 8 truncated bits, one
+ * float output (the new temperature). Time steps are unrolled at build
+ * time with ping-pong buffers; every step's region site shares one LUT.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+constexpr unsigned kSteps = 4;
+
+// Simplified Hotspot coefficients (per-step update weights).
+constexpr float kStepCoeff = 0.1f;
+constexpr float kNeighborW = 0.4f;
+constexpr float kPowerW = 12.0f;
+
+class HotspotWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "hotspot"; }
+    std::string domain() const override { return "Physics Simulation"; }
+    std::string
+    description() const override
+    {
+        return "Simulates the temperature map of an IC chip";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "512x512 maps of power and temperature";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        unsigned side = static_cast<unsigned>(
+            512.0 * std::sqrt(std::max(0.001, params.scale)));
+        side = std::max(32u, side);
+        w_ = side;
+        h_ = side;
+        const std::size_t cells =
+            static_cast<std::size_t>(w_) * h_;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0x4057ull : 0));
+
+        tempBase_[0] = mem.allocate(cells * 4);
+        tempBase_[1] = mem.allocate(cells * 4);
+        powerBase_ = mem.allocate(cells * 4);
+
+        // Initial temperature: ambient + hotspots blocks; power map:
+        // blocky functional units with distinct (quantized) activity.
+        const std::vector<float> blocks = synthImageGray(w_, h_, rng);
+        for (std::size_t i = 0; i < cells; ++i) {
+            const float t0 =
+                quantize(45.0f + blocks[i] / 16.0f, 0.25f);
+            mem.writeFloat(tempBase_[0] + 4 * i, t0);
+            mem.writeFloat(tempBase_[1] + 4 * i, t0);
+            mem.writeFloat(powerBase_ + 4 * i,
+                           quantize(blocks[i] / 512.0f, 1.0f / 64));
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("hotspot");
+        const IReg power = b.imm(static_cast<std::int64_t>(powerBase_));
+        const std::int64_t w = w_;
+
+        for (unsigned step = 0; step < kSteps; ++step) {
+            const IReg src = b.imm(
+                static_cast<std::int64_t>(tempBase_[step % 2]));
+            const IReg dst = b.imm(
+                static_cast<std::int64_t>(tempBase_[(step + 1) % 2]));
+            const int regionId = kFirstRegion + static_cast<int>(step);
+
+            b.forRange(
+                1, static_cast<std::int64_t>(h_) - 1, 1, [&](IReg y) {
+                    b.forRange(
+                        1, static_cast<std::int64_t>(w_) - 1, 1,
+                        [&](IReg x) {
+                            const IReg idx = b.add(b.mul(y, w), x);
+                            const IReg off = b.shl(idx, 2);
+                            const IReg ta = b.add(src, off);
+                            const FReg c = b.ldf(ta, 0);
+                            const FReg p =
+                                b.ldf(b.add(power, off), 0);
+                            const FReg north = b.ldf(ta, -4 * w);
+                            const FReg south = b.ldf(ta, 4 * w);
+                            const FReg west = b.ldf(ta, -4);
+                            const FReg east = b.ldf(ta, 4);
+                            const FReg ns = b.fadd(north, south);
+                            const FReg ew = b.fadd(east, west);
+
+                            b.regionBegin(regionId);
+                            const FReg twoC =
+                                b.fmul(b.fimm(2.0f), c);
+                            const FReg lap = b.fadd(
+                                b.fsub(ns, twoC), b.fsub(ew, twoC));
+                            const FReg delta = b.fmul(
+                                b.fimm(kStepCoeff),
+                                b.fadd(b.fmul(b.fimm(kNeighborW),
+                                              lap),
+                                       b.fmul(b.fimm(kPowerW), p)));
+                            const FReg fresh = b.fadd(c, delta);
+                            b.regionEnd(regionId);
+
+                            b.stf(b.add(dst, off), 0, fresh);
+                        });
+                });
+        }
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        for (unsigned step = 0; step < kSteps; ++step) {
+            RegionMemoSpec region;
+            region.regionId = kFirstRegion + static_cast<int>(step);
+            region.lut = 0; // all steps share the LUT
+            region.truncBits = 8; // Table 2
+            spec.regions.push_back(region);
+        }
+        return spec;
+    }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        // After kSteps ping-pongs the final grid is in buffer
+        // kSteps % 2.
+        const Addr final = tempBase_[kSteps % 2];
+        std::vector<double> out;
+        const std::size_t cells =
+            static_cast<std::size_t>(w_) * h_;
+        out.reserve(cells);
+        for (std::size_t i = 0; i < cells; ++i)
+            out.push_back(mem.readFloat(final + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kFirstRegion = 1;
+
+    unsigned w_ = 0;
+    unsigned h_ = 0;
+    Addr tempBase_[2] = {0, 0};
+    Addr powerBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeHotspot()
+{
+    return std::make_unique<HotspotWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * K-means (AxBench): clusters the pixels of an RGB image into k=6 colors.
+ * The memoized region is the nearest-centroid search: three float inputs
+ * (r, g, b; 12 B, Table 2) truncated by 16 bits, one integer output (the
+ * cluster index). The centroid table is read *inside* the region — it is
+ * slowly-varying state, so the compiler excludes its (loop-invariant) base
+ * address from the hash and instead plants an `invalidate` at the top of
+ * every outer iteration, where the centroids move. This benchmark is the
+ * reason the invalidate instruction exists.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+constexpr unsigned kClusters = 6;
+constexpr unsigned kIterations = 6;
+
+class KmeansWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "kmeans"; }
+    std::string domain() const override { return "Machine Learning"; }
+    std::string
+    description() const override
+    {
+        return "K-means clustering of an RGB image";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "512x512 pixel images";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        unsigned side = static_cast<unsigned>(
+            512.0 * std::sqrt(std::max(0.001, params.scale)));
+        side = std::max(32u, side);
+        w_ = side;
+        h_ = side;
+        n_ = static_cast<std::uint64_t>(w_) * h_;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0x6b6dull : 0));
+        const std::vector<float> img =
+            synthPaletteImage(w_, h_, 12, rng);
+
+        imgBase_ = mem.allocate(n_ * 12);
+        centBase_ = mem.allocate(kClusters * 12);
+        sumBase_ = mem.allocate(kClusters * 16);
+        outBase_ = mem.allocate(n_ * 12);
+
+        for (std::size_t i = 0; i < img.size(); ++i)
+            mem.writeFloat(imgBase_ + 4 * i, img[i]);
+
+        // Initial centroids: spread along the gray diagonal.
+        for (unsigned c = 0; c < kClusters; ++c) {
+            const float v = 255.0f * (c + 0.5f) / kClusters;
+            mem.writeFloat(centBase_ + 12 * c + 0, v);
+            mem.writeFloat(centBase_ + 12 * c + 4, v);
+            mem.writeFloat(centBase_ + 12 * c + 8, v);
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("kmeans");
+        const IReg img = b.imm(static_cast<std::int64_t>(imgBase_));
+        const IReg cent = b.imm(static_cast<std::int64_t>(centBase_));
+        const IReg sums = b.imm(static_cast<std::int64_t>(sumBase_));
+        const IReg out = b.imm(static_cast<std::int64_t>(outBase_));
+        centBaseReg_ = cent.id;
+
+        b.forRange(0, kIterations, 1, [&](IReg iter) {
+            // The centroids changed at the end of the previous
+            // iteration: flash-invalidate the distance LUT here.
+            b.regionBegin(kInvalidatePoint);
+            b.regionEnd(kInvalidatePoint);
+
+            const IReg isLast =
+                b.seq(iter, static_cast<std::int64_t>(kIterations - 1));
+
+            // --- assignment ---
+            b.forRange(0, static_cast<std::int64_t>(n_), 1, [&](IReg i) {
+                const IReg paddr = b.add(img, b.mul(i, 12));
+                const FReg r = b.ldf(paddr, 0);
+                const FReg g = b.ldf(paddr, 4);
+                const FReg bl = b.ldf(paddr, 8);
+
+                b.regionBegin(kRegion);
+                const IReg best = b.newIReg();
+                const FReg bestD = b.newFReg();
+                for (unsigned c = 0; c < kClusters; ++c) {
+                    const FReg cr = b.ldf(cent, 12 * c + 0);
+                    const FReg cg = b.ldf(cent, 12 * c + 4);
+                    const FReg cb = b.ldf(cent, 12 * c + 8);
+                    const FReg dr = b.fsub(r, cr);
+                    const FReg dg = b.fsub(g, cg);
+                    const FReg db = b.fsub(bl, cb);
+                    const FReg d = b.fadd(
+                        b.fmul(dr, dr),
+                        b.fadd(b.fmul(dg, dg), b.fmul(db, db)));
+                    if (c == 0) {
+                        b.assign(best, 0);
+                        b.assign(bestD, d);
+                    } else {
+                        const IReg closer = b.flt(d, bestD);
+                        b.ifThen(closer, [&] {
+                            b.assign(best,
+                                     static_cast<std::int64_t>(c));
+                            b.assign(bestD, d);
+                        });
+                    }
+                }
+                b.regionEnd(kRegion);
+
+                // Accumulate the cluster sums (memory accumulators).
+                const IReg saddr = b.add(sums, b.shl(best, 4));
+                b.stf(saddr, 0, b.fadd(b.ldf(saddr, 0), r));
+                b.stf(saddr, 4, b.fadd(b.ldf(saddr, 4), g));
+                b.stf(saddr, 8, b.fadd(b.ldf(saddr, 8), bl));
+                b.stf(saddr, 12,
+                      b.fadd(b.ldf(saddr, 12), b.fimm(1.0f)));
+
+                // Final iteration: emit the quantized image.
+                b.ifThen(isLast, [&] {
+                    const IReg caddr = b.add(cent, b.mul(best, 12));
+                    const IReg oaddr = b.add(out, b.mul(i, 12));
+                    b.stf(oaddr, 0, b.ldf(caddr, 0));
+                    b.stf(oaddr, 4, b.ldf(caddr, 4));
+                    b.stf(oaddr, 8, b.ldf(caddr, 8));
+                });
+            });
+
+            // --- centroid update ---
+            for (unsigned c = 0; c < kClusters; ++c) {
+                const FReg count = b.ldf(sums, 16 * c + 12);
+                const IReg nonEmpty = b.flt(b.fimm(0.5f), count);
+                b.ifThen(nonEmpty, [&] {
+                    b.stf(cent, 12 * c + 0,
+                          b.fdiv(b.ldf(sums, 16 * c + 0), count));
+                    b.stf(cent, 12 * c + 4,
+                          b.fdiv(b.ldf(sums, 16 * c + 4), count));
+                    b.stf(cent, 12 * c + 8,
+                          b.fdiv(b.ldf(sums, 16 * c + 8), count));
+                });
+                const FReg zero = b.fimm(0.0f);
+                b.stf(sums, 16 * c + 0, zero);
+                b.stf(sums, 16 * c + 4, zero);
+                b.stf(sums, 16 * c + 8, zero);
+                b.stf(sums, 16 * c + 12, zero);
+            }
+        });
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        if (centBaseReg_ == invalidReg)
+            axm_fatal("kmeans: memoSpec() requires build() first (the "
+                      "spec excludes the centroid base register)");
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 16; // Table 2
+        // The centroid base address is loop-invariant state, not a
+        // memoization input; the invalidate below covers its contents.
+        region.excludeInputs.insert(centBaseReg_);
+        spec.regions.push_back(region);
+        spec.invalidateAt[kInvalidatePoint] = {0};
+        return spec;
+    }
+
+    bool integerOutputs() const override { return true; }
+    bool imageOutput() const override { return true; }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        std::vector<double> out;
+        out.reserve(3 * n_);
+        for (std::uint64_t i = 0; i < 3 * n_; ++i)
+            out.push_back(mem.readFloat(outBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+    static constexpr int kInvalidatePoint = 99;
+
+    unsigned w_ = 0;
+    unsigned h_ = 0;
+    std::uint64_t n_ = 0;
+    Addr imgBase_ = 0;
+    Addr centBase_ = 0;
+    Addr sumBase_ = 0;
+    Addr outBase_ = 0;
+    mutable RegId centBaseReg_ = invalidReg;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKmeans()
+{
+    return std::make_unique<KmeansWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * LavaMD (Rodinia): particle interactions within a cut-off radius across
+ * neighboring boxes. The memoized region is the pair potential: three
+ * float inputs (the displacement vector dx,dy,dz; 12 B, Table 2) with no
+ * truncation, one float output (exp(-a2*r^2)); the charge factor is
+ * applied outside the region. Particle positions sit on a lattice (grid-
+ * initialized molecular systems), so displacement vectors repeat exactly —
+ * the redundancy that makes zero-truncation memoization pay off. The box
+ * neighborhood is 1-D (box i interacts with i-1, i, i+1), a documented
+ * simplification of Rodinia's 3-D 27-neighbor stencil that preserves the
+ * kernel and its reuse structure.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+constexpr float kA2 = 2.0f;
+
+class LavamdWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "lavamd"; }
+    std::string domain() const override { return "Molecular Dynamics"; }
+    std::string
+    description() const override
+    {
+        return "Simulates particle interactions with charge";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "16x100 particles of lattice initial position";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        boxes_ = std::max<unsigned>(
+            4, static_cast<unsigned>(16 * params.scale));
+        particles_ = std::max<unsigned>(
+            48, static_cast<unsigned>(
+                    100 * std::sqrt(std::max(0.01, params.scale))));
+        const std::size_t total =
+            static_cast<std::size_t>(boxes_) * particles_;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0x1a7aull : 0));
+        posBase_ = mem.allocate(total * 12);
+        chargeBase_ = mem.allocate(total * 4);
+        outBase_ = mem.allocate(total * 16);
+
+        // Lattice-quantized positions: box-local coordinates on a 1/8
+        // grid (crystal-like initialization), boxes spaced 1.0 apart
+        // along x; y/z confined to a slab so displacement vectors
+        // repeat across particle pairs.
+        const float grid = 1.0f / 8.0f;
+        for (unsigned bx = 0; bx < boxes_; ++bx) {
+            for (unsigned p = 0; p < particles_; ++p) {
+                const std::size_t i =
+                    static_cast<std::size_t>(bx) * particles_ + p;
+                const float lx = quantize(
+                    static_cast<float>(rng.uniform(0.0, 1.0)), grid);
+                const float ly = quantize(
+                    static_cast<float>(rng.uniform(0.0, 0.5)), grid);
+                const float lz = quantize(
+                    static_cast<float>(rng.uniform(0.0, 0.5)), grid);
+                mem.writeFloat(posBase_ + 12 * i + 0,
+                               static_cast<float>(bx) + lx);
+                mem.writeFloat(posBase_ + 12 * i + 4, ly);
+                mem.writeFloat(posBase_ + 12 * i + 8, lz);
+                mem.writeFloat(chargeBase_ + 4 * i,
+                               quantize(static_cast<float>(
+                                            rng.uniform(0.5, 1.5)),
+                                        0.125f));
+            }
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("lavamd");
+        const IReg pos = b.imm(static_cast<std::int64_t>(posBase_));
+        const IReg charge =
+            b.imm(static_cast<std::int64_t>(chargeBase_));
+        const IReg out = b.imm(static_cast<std::int64_t>(outBase_));
+        const std::int64_t numBoxes = boxes_;
+        const std::int64_t perBox = particles_;
+
+        b.forRange(0, numBoxes, 1, [&](IReg bx) {
+            b.forRange(0, perBox, 1, [&](IReg pi) {
+                const IReg i =
+                    b.add(b.mul(bx, perBox), pi);
+                const IReg ia = b.add(pos, b.mul(i, 12));
+                const FReg xi = b.ldf(ia, 0);
+                const FReg yi = b.ldf(ia, 4);
+                const FReg zi = b.ldf(ia, 8);
+
+                // Per-particle accumulators.
+                const FReg potE = b.newFReg();
+                const FReg fx = b.newFReg();
+                const FReg fy = b.newFReg();
+                const FReg fz = b.newFReg();
+                b.assign(potE, 0.0f);
+                b.assign(fx, 0.0f);
+                b.assign(fy, 0.0f);
+                b.assign(fz, 0.0f);
+
+                b.forRange(-1, 2, 1, [&](IReg d) {
+                    const IReg nb = b.add(bx, d);
+                    const IReg inRange =
+                        b.band(b.sle(b.imm(0), nb),
+                               b.slt(nb, b.imm(numBoxes)));
+                    b.ifThen(inRange, [&] {
+                        b.forRange(0, perBox, 1, [&](IReg pj) {
+                            const IReg j =
+                                b.add(b.mul(nb, perBox), pj);
+                            const IReg ja =
+                                b.add(pos, b.mul(j, 12));
+                            const FReg dx =
+                                b.fsub(xi, b.ldf(ja, 0));
+                            const FReg dy =
+                                b.fsub(yi, b.ldf(ja, 4));
+                            const FReg dz =
+                                b.fsub(zi, b.ldf(ja, 8));
+
+                            b.regionBegin(kRegion);
+                            const FReg r2 = b.fadd(
+                                b.fmul(dx, dx),
+                                b.fadd(b.fmul(dy, dy),
+                                       b.fmul(dz, dz)));
+                            const FReg u2 =
+                                b.fmul(b.fimm(kA2), r2);
+                            const FReg vij =
+                                b.fexp(b.fneg(u2));
+                            b.regionEnd(kRegion);
+
+                            // Charge factor applied outside the
+                            // memoized function.
+                            const FReg qj = b.ldf(
+                                b.add(charge, b.shl(j, 2)), 0);
+                            const FReg e = b.fmul(qj, vij);
+                            b.faddTo(potE, potE, e);
+                            const FReg fs = b.fmul(
+                                b.fimm(2.0f), e);
+                            b.faddTo(fx, fx, b.fmul(fs, dx));
+                            b.faddTo(fy, fy, b.fmul(fs, dy));
+                            b.faddTo(fz, fz, b.fmul(fs, dz));
+                        });
+                    });
+                });
+
+                const IReg oa = b.add(out, b.shl(i, 4));
+                b.stf(oa, 0, potE);
+                b.stf(oa, 4, fx);
+                b.stf(oa, 8, fy);
+                b.stf(oa, 12, fz);
+            });
+        });
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 0; // Table 2
+        spec.regions.push_back(region);
+        return spec;
+    }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        const std::size_t total =
+            static_cast<std::size_t>(boxes_) * particles_;
+        std::vector<double> out;
+        out.reserve(4 * total);
+        for (std::size_t i = 0; i < 4 * total; ++i)
+            out.push_back(mem.readFloat(outBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+
+    unsigned boxes_ = 0;
+    unsigned particles_ = 0;
+    Addr posBase_ = 0;
+    Addr chargeBase_ = 0;
+    Addr outBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeLavamd()
+{
+    return std::make_unique<LavamdWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,49 @@
+#include "workloads/workload.hh"
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+namespace {
+
+struct Factory
+{
+    const char *name;
+    std::unique_ptr<Workload> (*make)();
+};
+
+const Factory factories[] = {
+    {"blackscholes", makeBlackscholes},
+    {"fft", makeFft},
+    {"inversek2j", makeInversek2j},
+    {"jmeint", makeJmeint},
+    {"jpeg", makeJpeg},
+    {"kmeans", makeKmeans},
+    {"sobel", makeSobel},
+    {"hotspot", makeHotspot},
+    {"lavamd", makeLavamd},
+    {"srad", makeSrad},
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Factory &f : factories)
+        names.emplace_back(f.name);
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name)
+{
+    for (const Factory &f : factories) {
+        if (name == f.name)
+            return f.make();
+    }
+    axm_fatal("unknown workload '", name, "'");
+}
+
+} // namespace axmemo

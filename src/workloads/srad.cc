@@ -1,0 +1,235 @@
+/**
+ * @file
+ * SRAD (Rodinia): speckle-reducing anisotropic diffusion for ultrasound /
+ * medical-image denoising. Each iteration computes a global speckle
+ * statistic q0^2, then a per-pixel diffusion coefficient from the pixel,
+ * its four directional derivatives, and q0^2 — six float inputs (24 B,
+ * Table 2) truncated by 18 bits (the coefficient saturates quickly, so
+ * very coarse inputs suffice), one float output. q0^2 changes per
+ * iteration but is hashed directly, so no invalidation is needed.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/builder.hh"
+#include "workloads/datasets.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+constexpr unsigned kIterations = 2;
+constexpr float kLambda = 0.5f;
+
+class SradWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "srad"; }
+    std::string domain() const override { return "Medical Imaging"; }
+    std::string
+    description() const override
+    {
+        return "Speckle-reducing anisotropic diffusion denoising";
+    }
+    std::string
+    datasetDescription() const override
+    {
+        return "458x502 pixel medical images";
+    }
+
+    void
+    prepare(SimMemory &mem, const WorkloadParams &params) override
+    {
+        const double s = std::sqrt(std::max(0.001, params.scale));
+        w_ = std::max(32u, static_cast<unsigned>(458 * s));
+        h_ = std::max(32u, static_cast<unsigned>(502 * s));
+        const std::size_t cells =
+            static_cast<std::size_t>(w_) * h_;
+
+        Rng rng(params.seed ^ (params.sampleSet ? 0x5badull : 0));
+        const std::vector<float> img = synthImageGray(w_, h_, rng);
+
+        jBase_ = mem.allocate(cells * 4);
+        cBase_ = mem.allocate(cells * 4);
+        // Intensities in (0, 1]: exp(img/255) / e, speckled.
+        // Ultrasound frames are integer-valued: quantize intensities so
+        // flat-area derivatives are exactly zero and repeat.
+        for (std::size_t i = 0; i < cells; ++i) {
+            const float v = std::exp(img[i] / 255.0f - 1.0f);
+            mem.writeFloat(jBase_ + 4 * i, quantize(v, 1.0f / 2048));
+        }
+    }
+
+    Program
+    build() const override
+    {
+        KernelBuilder b("srad");
+        const IReg jArr = b.imm(static_cast<std::int64_t>(jBase_));
+        const IReg cArr = b.imm(static_cast<std::int64_t>(cBase_));
+        const std::int64_t w = w_;
+        const std::int64_t cells =
+            static_cast<std::int64_t>(w_) * h_;
+
+        b.forRange(0, kIterations, 1, [&](IReg) {
+            // --- global speckle statistic q0^2 = var / mean^2 ---
+            const FReg sum = b.newFReg();
+            const FReg sum2 = b.newFReg();
+            b.assign(sum, 0.0f);
+            b.assign(sum2, 0.0f);
+            b.forRange(0, cells, 1, [&](IReg i) {
+                const FReg v = b.ldf(b.add(jArr, b.shl(i, 2)), 0);
+                b.faddTo(sum, sum, v);
+                b.faddTo(sum2, sum2, b.fmul(v, v));
+            });
+            const FReg invN =
+                b.fdiv(b.fimm(1.0f),
+                       b.fimm(static_cast<float>(cells)));
+            const FReg mean = b.fmul(sum, invN);
+            const FReg var = b.fsub(b.fmul(sum2, invN),
+                                    b.fmul(mean, mean));
+            const FReg q0sqr =
+                b.fdiv(var, b.fmul(mean, mean));
+
+            // --- diffusion coefficient pass ---
+            b.forRange(
+                1, static_cast<std::int64_t>(h_) - 1, 1, [&](IReg y) {
+                    b.forRange(
+                        1, static_cast<std::int64_t>(w_) - 1, 1,
+                        [&](IReg x) {
+                            const IReg idx = b.add(b.mul(y, w), x);
+                            const IReg off = b.shl(idx, 2);
+                            const IReg ja = b.add(jArr, off);
+                            const FReg jc = b.ldf(ja, 0);
+                            const FReg dN =
+                                b.fsub(b.ldf(ja, -4 * w), jc);
+                            const FReg dS =
+                                b.fsub(b.ldf(ja, 4 * w), jc);
+                            const FReg dW =
+                                b.fsub(b.ldf(ja, -4), jc);
+                            const FReg dE =
+                                b.fsub(b.ldf(ja, 4), jc);
+
+                            b.regionBegin(kRegion);
+                            const FReg jc2 = b.fmul(jc, jc);
+                            const FReg g2 = b.fdiv(
+                                b.fadd(b.fadd(b.fmul(dN, dN),
+                                              b.fmul(dS, dS)),
+                                       b.fadd(b.fmul(dW, dW),
+                                              b.fmul(dE, dE))),
+                                jc2);
+                            const FReg l = b.fdiv(
+                                b.fadd(b.fadd(dN, dS),
+                                       b.fadd(dW, dE)),
+                                jc);
+                            const FReg num = b.fsub(
+                                b.fmul(b.fimm(0.5f), g2),
+                                b.fmul(b.fimm(1.0f / 16.0f),
+                                       b.fmul(l, l)));
+                            const FReg denBase = b.fadd(
+                                b.fimm(1.0f),
+                                b.fmul(b.fimm(0.25f), l));
+                            const FReg den =
+                                b.fmul(denBase, denBase);
+                            const FReg qsqr = b.fdiv(num, den);
+                            const FReg diff = b.fdiv(
+                                b.fsub(qsqr, q0sqr),
+                                b.fmul(q0sqr,
+                                       b.fadd(b.fimm(1.0f),
+                                              q0sqr)));
+                            const FReg cRaw = b.fdiv(
+                                b.fimm(1.0f),
+                                b.fadd(b.fimm(1.0f), diff));
+                            const FReg coeff = b.fmax(
+                                b.fimm(0.0f),
+                                b.fmin(b.fimm(1.0f), cRaw));
+                            b.regionEnd(kRegion);
+
+                            b.stf(b.add(cArr, off), 0, coeff);
+                        });
+                });
+
+            // --- divergence / update pass (in place) ---
+            b.forRange(
+                1, static_cast<std::int64_t>(h_) - 1, 1, [&](IReg y) {
+                    b.forRange(
+                        1, static_cast<std::int64_t>(w_) - 1, 1,
+                        [&](IReg x) {
+                            const IReg idx = b.add(b.mul(y, w), x);
+                            const IReg off = b.shl(idx, 2);
+                            const IReg ja = b.add(jArr, off);
+                            const IReg ca = b.add(cArr, off);
+                            const FReg jc = b.ldf(ja, 0);
+                            const FReg dN =
+                                b.fsub(b.ldf(ja, -4 * w), jc);
+                            const FReg dS =
+                                b.fsub(b.ldf(ja, 4 * w), jc);
+                            const FReg dW =
+                                b.fsub(b.ldf(ja, -4), jc);
+                            const FReg dE =
+                                b.fsub(b.ldf(ja, 4), jc);
+                            const FReg cC = b.ldf(ca, 0);
+                            const FReg cS = b.ldf(ca, 4 * w);
+                            const FReg cE = b.ldf(ca, 4);
+
+                            const FReg div = b.fadd(
+                                b.fadd(b.fmul(cC, dN),
+                                       b.fmul(cC, dW)),
+                                b.fadd(b.fmul(cS, dS),
+                                       b.fmul(cE, dE)));
+                            const FReg fresh = b.fadd(
+                                jc,
+                                b.fmul(b.fimm(0.25f * kLambda),
+                                       div));
+                            b.stf(ja, 0, fresh);
+                        });
+                });
+        });
+        return b.finish();
+    }
+
+    MemoSpec
+    memoSpec() const override
+    {
+        MemoSpec spec;
+        RegionMemoSpec region;
+        region.regionId = kRegion;
+        region.lut = 0;
+        region.truncBits = 18; // Table 2
+        spec.regions.push_back(region);
+        return spec;
+    }
+
+    bool imageOutput() const override { return true; }
+
+    std::vector<double>
+    readOutputs(const SimMemory &mem) const override
+    {
+        const std::size_t cells =
+            static_cast<std::size_t>(w_) * h_;
+        std::vector<double> out;
+        out.reserve(cells);
+        for (std::size_t i = 0; i < cells; ++i)
+            out.push_back(mem.readFloat(jBase_ + 4 * i));
+        return out;
+    }
+
+  private:
+    static constexpr int kRegion = 1;
+
+    unsigned w_ = 0;
+    unsigned h_ = 0;
+    Addr jBase_ = 0;
+    Addr cBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSrad()
+{
+    return std::make_unique<SradWorkload>();
+}
+
+} // namespace axmemo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The benchmark interface: every evaluated application (Table 2) is a
+ * Workload that synthesizes its dataset into simulated memory, builds its
+ * full AxIR program (with hinted regions), declares its memoization plan,
+ * and knows how to read back and score its outputs.
+ */
+
+#ifndef AXMEMO_WORKLOADS_WORKLOAD_HH
+#define AXMEMO_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/memo_spec.hh"
+#include "isa/program.hh"
+#include "memsys/sim_memory.hh"
+
+namespace axmemo {
+
+/** Dataset selection and sizing. */
+struct WorkloadParams
+{
+    /**
+     * Linear dataset scale: 1.0 reproduces the paper's input sizes
+     * (Table 2); benches default to 1/8 for runtime and accept
+     * AXMEMO_FULL=1 to restore full size.
+     */
+    double scale = 1.0;
+    /** RNG seed for dataset synthesis. */
+    std::uint64_t seed = 42;
+    /**
+     * Generate the *sample* input set (profiling) instead of the
+     * evaluation set — disjoint data from a different seed, as Section 5
+     * requires.
+     */
+    bool sampleSet = false;
+};
+
+/** Output scoring rule (Section 6). */
+enum class QualityMetric
+{
+    NormalizedSquaredError, ///< Equation 2
+    Misclassification       ///< Jmeint's boolean output
+};
+
+/** One benchmark; see file comment. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+    virtual std::string domain() const = 0;
+    virtual std::string description() const = 0;
+    /** Table 2's dataset column (at scale 1.0). */
+    virtual std::string datasetDescription() const = 0;
+
+    /**
+     * Synthesize the dataset into @p mem. Must be called before build();
+     * call again (on a fresh SimMemory) before every run.
+     */
+    virtual void prepare(SimMemory &mem, const WorkloadParams &params) = 0;
+
+    /** Build the baseline program (requires prepare() first). */
+    virtual Program build() const = 0;
+
+    /** The memoization plan with Table 2's truncation levels. */
+    virtual MemoSpec memoSpec() const = 0;
+
+    virtual QualityMetric qualityMetric() const
+    {
+        return QualityMetric::NormalizedSquaredError;
+    }
+
+    /** Float lanes in a LUT entry (for the quality monitor). */
+    virtual unsigned monitorLanes() const { return 1; }
+
+    /** True when LUT outputs are integers, not IEEE floats. */
+    virtual bool integerOutputs() const { return false; }
+
+    /** True when the output is an image (1% error bound, Section 5). */
+    virtual bool imageOutput() const { return false; }
+
+    /** Read the program's outputs back for scoring (after a run). */
+    virtual std::vector<double> readOutputs(const SimMemory &mem) const
+        = 0;
+};
+
+/** Names of all registered workloads, in Table 2 order. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name (fatal on unknown names). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name);
+
+// Per-benchmark factories.
+std::unique_ptr<Workload> makeBlackscholes();
+std::unique_ptr<Workload> makeFft();
+std::unique_ptr<Workload> makeInversek2j();
+std::unique_ptr<Workload> makeJmeint();
+std::unique_ptr<Workload> makeJpeg();
+std::unique_ptr<Workload> makeKmeans();
+std::unique_ptr<Workload> makeSobel();
+std::unique_ptr<Workload> makeHotspot();
+std::unique_ptr<Workload> makeLavamd();
+std::unique_ptr<Workload> makeSrad();
+
+} // namespace axmemo
+
+#endif // AXMEMO_WORKLOADS_WORKLOAD_HH

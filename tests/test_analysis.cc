@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Static-analysis tests: CFG successors, backward liveness, and the
+ * region-interface classification (inputs in first-use order, live
+ * outputs, store/escape detection) the memoization transform builds on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/analysis.hh"
+#include "isa/builder.hh"
+
+namespace axmemo {
+namespace {
+
+TEST(Successors, FallThroughAndBranch)
+{
+    KernelBuilder b("t");
+    const IReg c = b.imm(1);
+    const Label skip = b.newLabel();
+    b.brTrue(c, skip);
+    b.imm(2);
+    b.bind(skip);
+    b.imm(3);
+    const Program p = b.finish();
+
+    // Conditional branch at 1: falls through to 2 and targets 3.
+    const auto succs = successorsOf(p, 1);
+    EXPECT_EQ(succs, (std::vector<InstIndex>{2, 3}));
+    // Halt has no successors.
+    EXPECT_TRUE(successorsOf(p, p.size() - 1).empty());
+}
+
+TEST(Liveness, StraightLine)
+{
+    KernelBuilder b("t");
+    const IReg a = b.imm(1);      // 0
+    const IReg c = b.add(a, 2);   // 1
+    const IReg d = b.add(c, a);   // 2: last read of a and c
+    b.st(d, 0, d, 4);             // 3
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    EXPECT_TRUE(live.liveIn(1).count(a.id));
+    EXPECT_TRUE(live.liveIn(2).count(a.id));
+    EXPECT_TRUE(live.liveIn(2).count(c.id));
+    EXPECT_FALSE(live.liveIn(3).count(a.id));
+    EXPECT_FALSE(live.liveIn(3).count(c.id));
+    EXPECT_TRUE(live.liveIn(3).count(d.id));
+}
+
+TEST(Liveness, LoopCarriedValueStaysLive)
+{
+    KernelBuilder b("t");
+    const IReg sum = b.imm(0);
+    b.forRange(0, 4, 1, [&](IReg i) { b.addTo(sum, sum, i); });
+    const IReg sink = b.add(sum, 0);
+    (void)sink;
+    const Program p = b.finish();
+    const Liveness live(p);
+    // sum must be live throughout the loop body.
+    for (InstIndex i = 1; i < p.size() - 1; ++i) {
+        if (p.at(i).op == Op::Add &&
+            (p.at(i).dst == sum.id || p.at(i).src1 == sum.id)) {
+            EXPECT_TRUE(live.liveIn(i).count(sum.id))
+                << "at inst " << i;
+        }
+    }
+}
+
+TEST(AnalyzeRange, InputsInFirstUseOrder)
+{
+    KernelBuilder b("t");
+    const FReg x = b.fimm(1.0f);
+    const FReg y = b.fimm(2.0f);
+    const FReg z = b.fimm(3.0f);
+    b.regionBegin(1);
+    const FReg t1 = b.fmul(z, y); // first reads: z then y
+    const FReg t2 = b.fadd(t1, x);
+    b.regionEnd(1);
+    b.stf(b.imm(0x1000), 0, t2);
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    const RangeInterface iface =
+        analyzeRange(p, live, p.regions().at(1));
+    ASSERT_EQ(iface.inputs.size(), 3u);
+    EXPECT_EQ(iface.inputs[0], z.id);
+    EXPECT_EQ(iface.inputs[1], y.id);
+    EXPECT_EQ(iface.inputs[2], x.id);
+    ASSERT_EQ(iface.outputs.size(), 1u);
+    EXPECT_EQ(iface.outputs[0], t2.id);
+    EXPECT_FALSE(iface.hasStores);
+    EXPECT_FALSE(iface.escapes);
+}
+
+TEST(AnalyzeRange, InternalTemporariesAreNotOutputs)
+{
+    KernelBuilder b("t");
+    const FReg x = b.fimm(1.0f);
+    b.regionBegin(1);
+    const FReg tmp = b.fmul(x, x); // dead after the region
+    const FReg out = b.fadd(tmp, x);
+    b.regionEnd(1);
+    b.stf(b.imm(0x1000), 0, out);
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    const RangeInterface iface =
+        analyzeRange(p, live, p.regions().at(1));
+    ASSERT_EQ(iface.outputs.size(), 1u);
+    EXPECT_EQ(iface.outputs[0], out.id);
+}
+
+TEST(AnalyzeRange, RegisterWrittenBeforeReadIsNotInput)
+{
+    KernelBuilder b("t");
+    const FReg x = b.fimm(1.0f);
+    b.regionBegin(1);
+    const FReg local = b.fimm(5.0f); // defined inside
+    const FReg out = b.fadd(local, x);
+    b.regionEnd(1);
+    b.stf(b.imm(0x1000), 0, out);
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    const RangeInterface iface =
+        analyzeRange(p, live, p.regions().at(1));
+    ASSERT_EQ(iface.inputs.size(), 1u);
+    EXPECT_EQ(iface.inputs[0], x.id);
+}
+
+TEST(AnalyzeRange, DetectsStores)
+{
+    KernelBuilder b("t");
+    const IReg addr = b.imm(0x1000);
+    b.regionBegin(1);
+    const IReg v = b.add(addr, 1);
+    b.st(addr, 0, v, 4);
+    b.regionEnd(1);
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    EXPECT_TRUE(
+        analyzeRange(p, live, p.regions().at(1)).hasStores);
+}
+
+TEST(AnalyzeRange, InternalControlFlowAllowed)
+{
+    KernelBuilder b("t");
+    const FReg x = b.fimm(1.0f);
+    b.regionBegin(1);
+    const FReg out = b.newFReg();
+    const IReg cond = b.flt(x, b.fimm(0.0f));
+    b.ifThenElse(cond, [&] { b.assign(out, b.fneg(x)); },
+                 [&] { b.assign(out, x); });
+    b.regionEnd(1);
+    b.stf(b.imm(0x1000), 0, out);
+    const Program p = b.finish();
+
+    const Liveness live(p);
+    const RangeInterface iface =
+        analyzeRange(p, live, p.regions().at(1));
+    EXPECT_FALSE(iface.escapes);
+    ASSERT_EQ(iface.outputs.size(), 1u);
+    EXPECT_EQ(iface.outputs[0], out.id);
+}
+
+TEST(AnalyzeRange, DetectsEscapingBranch)
+{
+    // Hand-build a region whose branch jumps past range.end + 1.
+    Program p("escape");
+    p.append({.op = Op::RegionBegin, .imm = 1});          // 0
+    p.append({.op = Op::Br, .imm = 4});                   // 1 escapes
+    p.append({.op = Op::Movi, .dst = iregId(0), .imm = 1}); // 2
+    p.append({.op = Op::RegionEnd, .imm = 1});            // 3
+    p.append({.op = Op::Halt});                           // 4
+    p.setRegion(1, {.begin = 1, .end = 3});
+    p.verify();
+
+    const Liveness live(p);
+    EXPECT_TRUE(analyzeRange(p, live, {.begin = 1, .end = 3}).escapes);
+}
+
+TEST(AnalyzeRange, BranchToRangeEndIsNotEscape)
+{
+    Program p("exit");
+    p.append({.op = Op::Movi, .dst = iregId(0), .imm = 1}); // 0
+    p.append({.op = Op::Br, .imm = 2});                     // 1
+    p.append({.op = Op::Movi, .dst = iregId(1), .imm = 2}); // 2
+    p.append({.op = Op::Halt});                             // 3
+    p.verify();
+
+    const Liveness live(p);
+    EXPECT_FALSE(analyzeRange(p, live, {.begin = 0, .end = 2}).escapes);
+}
+
+} // namespace
+} // namespace axmemo

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit tests for the common substrate: bit utilities, RNG determinism,
+ * statistics containers, and the paper's quality metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bits.hh"
+#include "common/error_metrics.hh"
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace axmemo {
+namespace {
+
+// ---------------------------------------------------------------- bits
+
+TEST(Bits, MaskLow)
+{
+    EXPECT_EQ(maskLow(0), 0u);
+    EXPECT_EQ(maskLow(1), 1u);
+    EXPECT_EQ(maskLow(8), 0xffu);
+    EXPECT_EQ(maskLow(32), 0xffffffffull);
+    EXPECT_EQ(maskLow(64), ~0ull);
+}
+
+TEST(Bits, ExtractAndInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffff, 7, 0, 0), 0xff00u);
+}
+
+TEST(Bits, PowerOfTwoAndLogs)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(ceilLog2(64), 6u);
+    EXPECT_EQ(ceilLog2(65), 7u);
+}
+
+TEST(Bits, TruncateLsbs)
+{
+    EXPECT_EQ(truncateLsbs(0xff, 4), 0xf0u);
+    EXPECT_EQ(truncateLsbs(0xff, 0), 0xffu);
+    EXPECT_EQ(truncateLsbs(0x12345678, 16), 0x12340000u);
+    EXPECT_EQ(truncateLsbs(~0ull, 64), 0u);
+}
+
+TEST(Bits, FloatRoundTrip)
+{
+    const float values[] = {0.0f, 1.0f, -2.5f, 3.14159f, 1e-20f, 1e20f};
+    for (float v : values)
+        EXPECT_EQ(bitsToFloat(floatBits(v)), v);
+    EXPECT_EQ(floatBits(1.0f), 0x3f800000u);
+}
+
+TEST(Bits, TruncateFloatRoundsTowardZeroMagnitude)
+{
+    // Clearing mantissa LSBs never increases the magnitude.
+    const float v = 123.456f;
+    for (unsigned n : {0u, 4u, 8u, 16u}) {
+        const float t = truncateFloat(v, n);
+        EXPECT_LE(t, v);
+        EXPECT_GE(t, 0.0f);
+    }
+    // Truncating 16 of 23 mantissa bits keeps ~0.8% relative precision.
+    EXPECT_NEAR(truncateFloat(123.456f, 16), 123.456f, 1.0f);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 3.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformMeanRoughlyCentered)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    const RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, all;
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform(-3, 7);
+        (i % 2 ? a : b).add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_EQ(geometricMean({}), 0.0);
+}
+
+TEST(GeometricMean, RejectsNonPositive)
+{
+    EXPECT_THROW(geometricMean({1.0, 0.0}), std::logic_error);
+}
+
+TEST(EmpiricalCdf, FractionsAndQuantiles)
+{
+    EmpiricalCdf cdf;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        cdf.add(v);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(3.0), 0.6);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(10.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+}
+
+TEST(EmpiricalCdf, EvaluateMatchesPointQueries)
+{
+    EmpiricalCdf cdf;
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        cdf.add(rng.uniform());
+    const std::vector<double> pts = {0.1, 0.5, 0.9};
+    const auto fractions = cdf.evaluate(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_DOUBLE_EQ(fractions[i], cdf.fractionAtOrBelow(pts[i]));
+}
+
+TEST(CounterSet, AddGetMerge)
+{
+    CounterSet a;
+    a.add("x");
+    a.add("x", 4);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("missing"), 0u);
+    CounterSet b;
+    b.add("x", 10);
+    b.add("y", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 15u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+// ------------------------------------------------------ error metrics
+
+TEST(ErrorMetrics, NormalizedSquaredErrorEquation2)
+{
+    // E_r = sum((xhat-x)^2) / sum(x^2)
+    const std::vector<double> exact = {1.0, 2.0, 2.0};
+    const std::vector<double> approx = {1.0, 2.0, 5.0};
+    EXPECT_DOUBLE_EQ(normalizedSquaredError(exact, approx), 1.0);
+    EXPECT_DOUBLE_EQ(normalizedSquaredError(exact, exact), 0.0);
+}
+
+TEST(ErrorMetrics, NseZeroReference)
+{
+    EXPECT_DOUBLE_EQ(normalizedSquaredError({0.0}, {0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(normalizedSquaredError({0.0}, {1.0}), 1.0);
+}
+
+TEST(ErrorMetrics, NseSizeMismatchPanics)
+{
+    EXPECT_THROW(normalizedSquaredError({1.0}, {1.0, 2.0}),
+                 std::logic_error);
+}
+
+TEST(ErrorMetrics, Misclassification)
+{
+    const std::vector<double> exact = {0, 1, 1, 0};
+    const std::vector<double> approx = {0, 1, 0, 1};
+    EXPECT_DOUBLE_EQ(misclassificationRate(exact, approx), 0.5);
+    EXPECT_DOUBLE_EQ(misclassificationRate(exact, exact), 0.0);
+}
+
+TEST(ErrorMetrics, RelativeErrorFloor)
+{
+    EXPECT_DOUBLE_EQ(relativeError(10.0, 11.0), 0.1);
+    // Near-zero exact values are judged against the floor.
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.5, 1.0), 0.5);
+}
+
+TEST(ErrorMetrics, ElementwiseCdf)
+{
+    const std::vector<double> exact = {1.0, 1.0, 1.0, 1.0};
+    const std::vector<double> approx = {1.0, 1.1, 1.2, 2.0};
+    const EmpiricalCdf cdf =
+        elementwiseRelativeErrorCdf(exact, approx);
+    EXPECT_EQ(cdf.size(), 4u);
+    EXPECT_DOUBLE_EQ(cdf.fractionAtOrBelow(0.0), 0.25);
+    EXPECT_NEAR(cdf.fractionAtOrBelow(0.25), 0.75, 1e-12);
+}
+
+// ----------------------------------------------------------------- log
+
+TEST(Log, PanicThrowsLogicError)
+{
+    EXPECT_THROW(axm_panic("boom ", 42), std::logic_error);
+}
+
+TEST(Log, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(axm_fatal("bad config"), std::runtime_error);
+}
+
+} // namespace
+} // namespace axmemo

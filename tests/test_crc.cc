@@ -1,0 +1,239 @@
+/**
+ * @file
+ * CRC engine tests: published check values, bit-serial vs table-driven
+ * equivalence, streaming properties, avalanche behaviour, and the
+ * hardware cost model's calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hh"
+#include "crc/crc.hh"
+#include "crc/hw_model.hh"
+
+namespace axmemo {
+namespace {
+
+const char kCheck[] = "123456789";
+
+TEST(Crc, Crc32Bzip2CheckValue)
+{
+    // poly 0x04C11DB7, init/xorout 0xFFFFFFFF, unreflected: CRC-32/BZIP2.
+    const CrcEngine engine(CrcSpec::crc32());
+    EXPECT_EQ(engine.compute(kCheck, 9), 0xfc891918ull);
+}
+
+TEST(Crc, Crc16CcittFalseCheckValue)
+{
+    const CrcEngine engine(CrcSpec::crc16());
+    EXPECT_EQ(engine.compute(kCheck, 9), 0x29b1ull);
+}
+
+TEST(Crc, Crc8CheckValue)
+{
+    const CrcEngine engine(CrcSpec::crc8());
+    EXPECT_EQ(engine.compute(kCheck, 9), 0xf4ull);
+}
+
+TEST(Crc, Crc24OpenPgpCheckValue)
+{
+    const CrcEngine engine(CrcSpec::crc24());
+    EXPECT_EQ(engine.compute(kCheck, 9), 0x21cf02ull);
+}
+
+TEST(Crc, Crc64EcmaCheckValue)
+{
+    const CrcEngine engine(CrcSpec::crc64());
+    EXPECT_EQ(engine.compute(kCheck, 9), 0x6c40df5f0b497347ull);
+}
+
+TEST(Crc, EmptyInputIsInitXorOut)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    EXPECT_EQ(engine.compute(nullptr, 0),
+              (0xffffffffull ^ 0xffffffffull));
+}
+
+/** Parameterized over CRC widths. */
+class CrcWidthTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CrcWidthTest, SerialEqualsTableDriven)
+{
+    const CrcEngine engine(CrcSpec::ofWidth(GetParam()));
+    Rng rng(GetParam());
+    std::uint64_t serial = engine.initial();
+    std::uint64_t table = engine.initial();
+    for (int i = 0; i < 256; ++i) {
+        const auto byte = static_cast<std::uint8_t>(rng.below(256));
+        serial = engine.updateByteSerial(serial, byte);
+        table = engine.updateByte(table, byte);
+        ASSERT_EQ(serial, table) << "diverged at byte " << i;
+    }
+}
+
+TEST_P(CrcWidthTest, StreamingEqualsOneShot)
+{
+    const CrcEngine engine(CrcSpec::ofWidth(GetParam()));
+    Rng rng(GetParam() * 7);
+    std::vector<std::uint8_t> data(97);
+    for (auto &byte : data)
+        byte = static_cast<std::uint8_t>(rng.below(256));
+
+    // Chunked accumulation (how the HVRs use it) must equal one shot.
+    std::uint64_t state = engine.initial();
+    std::size_t pos = 0;
+    for (std::size_t chunk : {5u, 13u, 1u, 40u, 38u}) {
+        state = engine.update(state, data.data() + pos, chunk);
+        pos += chunk;
+    }
+    ASSERT_EQ(pos, data.size());
+    EXPECT_EQ(engine.finalize(state),
+              engine.compute(data.data(), data.size()));
+}
+
+TEST_P(CrcWidthTest, ResultFitsWidth)
+{
+    const unsigned width = GetParam();
+    const CrcEngine engine(CrcSpec::ofWidth(width));
+    const std::uint64_t crc = engine.compute(kCheck, 9);
+    if (width < 64)
+        EXPECT_EQ(crc >> width, 0u);
+}
+
+TEST_P(CrcWidthTest, EveryInputBitMatters)
+{
+    // Section 3.1 property 2: flipping any single input bit changes the
+    // checksum (linearity of CRC guarantees it).
+    const CrcEngine engine(CrcSpec::ofWidth(GetParam()));
+    std::uint8_t data[8] = {0x12, 0x34, 0x56, 0x78,
+                            0x9a, 0xbc, 0xde, 0xf0};
+    const std::uint64_t reference = engine.compute(data, 8);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        EXPECT_NE(engine.compute(data, 8), reference)
+            << "insensitive to bit " << bit;
+        data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CrcWidthTest,
+                         ::testing::Values(8u, 16u, 24u, 32u, 48u,
+                                           64u));
+
+TEST(Crc, UpdateWordMatchesLittleEndianBytes)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    const std::uint64_t word = 0x1122334455667788ull;
+    const std::uint8_t bytes[] = {0x88, 0x77, 0x66, 0x55,
+                                  0x44, 0x33, 0x22, 0x11};
+    for (unsigned n : {1u, 2u, 4u, 8u}) {
+        const std::uint64_t viaWord =
+            engine.updateWord(engine.initial(), word, n);
+        const std::uint64_t viaBytes =
+            engine.update(engine.initial(), bytes, n);
+        EXPECT_EQ(viaWord, viaBytes) << n << " bytes";
+    }
+}
+
+TEST(Crc, UpdateBitMatchesByteStep)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    std::uint64_t viaBits = engine.initial();
+    for (int i = 7; i >= 0; --i)
+        viaBits = engine.updateBit(viaBits, (0xa5 >> i) & 1);
+    EXPECT_EQ(viaBits, engine.updateByte(engine.initial(), 0xa5));
+}
+
+TEST(Crc, CollisionsRareAt32Bits)
+{
+    // 10k random 24-byte inputs (the Blackscholes shape) must not
+    // collide in a 32-bit CRC (expected collisions ~0.01).
+    const CrcEngine engine(CrcSpec::crc32());
+    Rng rng(42);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i) {
+        std::uint8_t data[24];
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+        seen.insert(engine.compute(data, 24));
+    }
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Crc, CollisionsCommonAt8Bits)
+{
+    const CrcEngine engine(CrcSpec::crc8());
+    Rng rng(43);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint8_t data[24];
+        for (auto &byte : data)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+        seen.insert(engine.compute(data, 24));
+    }
+    EXPECT_LE(seen.size(), 256u);
+}
+
+TEST(Crc, RejectsBadWidth)
+{
+    EXPECT_THROW(CrcSpec::ofWidth(0), std::runtime_error);
+    EXPECT_THROW(CrcSpec::ofWidth(65), std::runtime_error);
+}
+
+// ----------------------------------------------------------- hw model
+
+TEST(CrcHwModel, Table5Calibration)
+{
+    const CrcHwModel model{CrcHwConfig{}};
+    EXPECT_NEAR(model.areaMm2(), 0.0146, 1e-6);
+    EXPECT_NEAR(model.energyPerOpPj(), 2.9143, 1e-6);
+    EXPECT_NEAR(model.latencyNs(), 0.4133, 1e-6);
+    EXPECT_EQ(model.config().bytesPerCycle(), 4u);
+}
+
+TEST(CrcHwModel, CyclesForBytes)
+{
+    const CrcHwModel model{CrcHwConfig{}};
+    EXPECT_EQ(model.cyclesForBytes(0), 0u);
+    EXPECT_EQ(model.cyclesForBytes(1), 1u);
+    EXPECT_EQ(model.cyclesForBytes(4), 1u);
+    EXPECT_EQ(model.cyclesForBytes(5), 2u);
+    EXPECT_EQ(model.cyclesForBytes(36), 9u);
+}
+
+TEST(CrcHwModel, ScalesMonotonically)
+{
+    CrcHwConfig narrow;
+    narrow.width = 16;
+    CrcHwConfig wide;
+    wide.width = 64;
+    EXPECT_LT(CrcHwModel(narrow).areaMm2(),
+              CrcHwModel(wide).areaMm2());
+    EXPECT_LT(CrcHwModel(narrow).energyPerOpPj(),
+              CrcHwModel(wide).energyPerOpPj());
+    EXPECT_LT(CrcHwModel(narrow).latencyNs(),
+              CrcHwModel(wide).latencyNs());
+}
+
+TEST(CrcHwModel, ConstantRamSize)
+{
+    // 2^n x m bits per stage (Fig. 3), times the unroll factor.
+    const CrcHwModel model{CrcHwConfig{}};
+    EXPECT_EQ(model.constantRamBits(), 256u * 32u * 4u);
+}
+
+TEST(CrcHwModel, RejectsBadConfigs)
+{
+    CrcHwConfig bad;
+    bad.bitsPerStage = 3;
+    bad.unroll = 3; // 9 bits per cycle: not byte-sized
+    EXPECT_THROW(CrcHwModel{bad}, std::runtime_error);
+}
+
+} // namespace
+} // namespace axmemo

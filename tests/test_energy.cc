@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Energy/area model tests: Table 5 calibration, interpolation behaviour,
+ * the 2.1% area-overhead headline, and the event-based energy
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.hh"
+#include "energy/energy_model.hh"
+
+namespace axmemo {
+namespace {
+
+TEST(AreaModel, Table5LutCalibration)
+{
+    EXPECT_NEAR(AreaModel::lutAreaMm2(4 * 1024), 0.0217, 5e-4);
+    EXPECT_NEAR(AreaModel::lutAreaMm2(8 * 1024), 0.0364, 5e-4);
+    EXPECT_NEAR(AreaModel::lutAreaMm2(16 * 1024), 0.0666, 2e-3);
+    EXPECT_NEAR(AreaModel::lutEnergyPj(4 * 1024), 3.2556, 1e-6);
+    EXPECT_NEAR(AreaModel::lutEnergyPj(8 * 1024), 4.4221, 1e-6);
+    EXPECT_NEAR(AreaModel::lutEnergyPj(16 * 1024), 7.2340, 1e-6);
+    EXPECT_NEAR(AreaModel::lutLatencyNs(8 * 1024), 0.2175, 1e-6);
+}
+
+TEST(AreaModel, InterpolationIsMonotonic)
+{
+    double lastArea = 0, lastEnergy = 0, lastLatency = 0;
+    for (std::uint64_t kb = 1; kb <= 64; kb *= 2) {
+        const double area = AreaModel::lutAreaMm2(kb * 1024);
+        const double energy = AreaModel::lutEnergyPj(kb * 1024);
+        const double latency = AreaModel::lutLatencyNs(kb * 1024);
+        EXPECT_GT(area, lastArea);
+        EXPECT_GT(energy, lastEnergy);
+        EXPECT_GT(latency, lastLatency);
+        lastArea = area;
+        lastEnergy = energy;
+        lastLatency = latency;
+    }
+}
+
+TEST(AreaModel, ZeroSizeIsFree)
+{
+    EXPECT_EQ(AreaModel::lutAreaMm2(0), 0.0);
+    EXPECT_EQ(AreaModel::lutEnergyPj(0), 0.0);
+}
+
+TEST(AreaModel, PaperAreaOverhead)
+{
+    // Section 6.1: 16 KB L1 LUT config => 0.166 mm^2 total, 2.08% of
+    // the 7.97 mm^2 processor.
+    MemoUnitConfig config;
+    config.l1Lut.sizeBytes = 16 * 1024;
+    const double overhead = AreaModel::overheadFraction(config, 2);
+    EXPECT_NEAR(overhead, 0.0208, 0.002);
+    EXPECT_NEAR(2 * AreaModel::memoUnitAreaMm2(config), 0.166, 0.01);
+}
+
+TEST(AreaModel, L2LutAddsNoArea)
+{
+    MemoUnitConfig small;
+    MemoUnitConfig withL2 = small;
+    withL2.l2LutBytes = 512 * 1024;
+    EXPECT_EQ(AreaModel::memoUnitAreaMm2(small),
+              AreaModel::memoUnitAreaMm2(withL2));
+}
+
+TEST(EnergyModel, ZeroEventsIsLeakageOnly)
+{
+    const EnergyModel model;
+    SimStats stats;
+    stats.cycles = 1000;
+    stats.events.add("cycles", 1000);
+    const EnergyBreakdown e = model.compute(stats, nullptr);
+    EXPECT_EQ(e.corePj, 0.0);
+    EXPECT_EQ(e.cachePj, 0.0);
+    EXPECT_EQ(e.dramPj, 0.0);
+    EXPECT_EQ(e.memoPj, 0.0);
+    EXPECT_DOUBLE_EQ(e.leakagePj,
+                     1000 * model.params().leakagePerCycle);
+}
+
+TEST(EnergyModel, EventArithmetic)
+{
+    const EnergyModel model;
+    SimStats stats;
+    stats.cycles = 10;
+    stats.events.add("frontend_uops", 100);
+    stats.events.add("uop_int_alu", 60);
+    stats.events.add("l1d_hit", 7);
+    stats.events.add("dram_read", 2);
+    const EnergyBreakdown e = model.compute(stats, nullptr);
+    const EnergyParams &p = model.params();
+    EXPECT_DOUBLE_EQ(e.corePj,
+                     100 * p.frontendPerUop + 60 * p.intAlu);
+    EXPECT_DOUBLE_EQ(e.cachePj, 7 * p.l1dAccess);
+    EXPECT_DOUBLE_EQ(e.dramPj, 2 * p.dramAccess);
+    EXPECT_DOUBLE_EQ(e.totalPj(), e.corePj + e.cachePj + e.dramPj +
+                                      e.leakagePj);
+}
+
+TEST(EnergyModel, MemoUnitEnergyCounted)
+{
+    const EnergyModel model;
+    MemoUnitConfig memoConfig;
+    SimStats stats;
+    stats.cycles = 100;
+    stats.events.add("memo_crc_bytes", 40); // 10 x 4-byte ops
+    stats.events.add("memo_hvr_access", 5);
+    stats.events.add("memo_lut_l1_access", 3);
+    stats.events.add("memo_lut_l2_access", 2);
+
+    const EnergyBreakdown with = model.compute(stats, &memoConfig);
+    const EnergyBreakdown without = model.compute(stats, nullptr);
+    EXPECT_EQ(without.memoPj, 0.0);
+    const EnergyParams &p = model.params();
+    EXPECT_NEAR(with.memoPj,
+                10 * p.crcPer4Bytes + 5 * p.hvrAccess +
+                    3 * AreaModel::lutEnergyPj(
+                            memoConfig.l1Lut.sizeBytes) +
+                    2 * p.l2Access,
+                1e-9);
+    // Memo-equipped runs also pay the unit's leakage.
+    EXPECT_GT(with.leakagePj, without.leakagePj);
+}
+
+TEST(EnergyModel, BiggerLutCostsMorePerAccess)
+{
+    const EnergyModel model;
+    SimStats stats;
+    stats.events.add("memo_lut_l1_access", 100);
+    MemoUnitConfig small;
+    small.l1Lut.sizeBytes = 4 * 1024;
+    MemoUnitConfig large;
+    large.l1Lut.sizeBytes = 16 * 1024;
+    EXPECT_LT(model.compute(stats, &small).memoPj,
+              model.compute(stats, &large).memoPj);
+}
+
+} // namespace
+} // namespace axmemo

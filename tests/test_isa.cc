@@ -1,0 +1,299 @@
+/**
+ * @file
+ * ISA-layer tests: the KernelBuilder DSL, label patching, program
+ * verification, operand introspection, region recording, op traits, and
+ * the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "isa/builder.hh"
+#include "isa/disasm.hh"
+#include "isa/op_traits.hh"
+#include "isa/program.hh"
+
+namespace axmemo {
+namespace {
+
+TEST(Builder, EmitsExpectedOpcodes)
+{
+    KernelBuilder b("t");
+    const IReg a = b.imm(5);
+    const IReg c = b.add(a, 3);
+    const FReg f = b.fimm(1.5f);
+    const FReg g = b.fmul(f, f);
+    b.stf(a, 0, g);
+    (void)c;
+    const Program p = b.finish();
+
+    ASSERT_GE(p.size(), 6);
+    EXPECT_EQ(p.at(0).op, Op::Movi);
+    EXPECT_EQ(p.at(1).op, Op::Add);
+    EXPECT_EQ(p.at(1).imm, 3);
+    EXPECT_EQ(p.at(2).op, Op::Fmovi);
+    EXPECT_EQ(p.at(3).op, Op::Fmul);
+    EXPECT_EQ(p.at(4).op, Op::Stf);
+    EXPECT_EQ(p.at(p.size() - 1).op, Op::Halt);
+}
+
+TEST(Builder, RegisterSpacesAreSeparate)
+{
+    KernelBuilder b("t");
+    const IReg i = b.newIReg();
+    const FReg f = b.newFReg();
+    EXPECT_FALSE(isFloatReg(i.id));
+    EXPECT_TRUE(isFloatReg(f.id));
+    EXPECT_EQ(regIndex(i.id), 0u);
+    EXPECT_EQ(regIndex(f.id), 0u);
+}
+
+TEST(Builder, LabelsArePatched)
+{
+    KernelBuilder b("t");
+    const IReg cond = b.imm(1);
+    const Label target = b.newLabel();
+    b.brTrue(cond, target);
+    b.imm(99); // skipped
+    b.bind(target);
+    const InstIndex after = b.here();
+    const Program p = b.finish();
+
+    // The branch (index 1) must point at `after`.
+    EXPECT_EQ(p.at(1).op, Op::Bt);
+    EXPECT_EQ(p.at(1).imm, after);
+}
+
+TEST(Builder, BackwardBranch)
+{
+    KernelBuilder b("t");
+    const Label head = b.newLabel();
+    b.bind(head);
+    const IReg zero = b.imm(0);
+    b.brTrue(zero, head);
+    const Program p = b.finish();
+    EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(Builder, UnboundLabelPanics)
+{
+    KernelBuilder b("t");
+    const Label dangling = b.newLabel();
+    b.br(dangling);
+    EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+TEST(Builder, DoubleBindPanics)
+{
+    KernelBuilder b("t");
+    const Label l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), std::logic_error);
+}
+
+TEST(Builder, RegionsRecorded)
+{
+    KernelBuilder b("t");
+    b.regionBegin(3);
+    const FReg f = b.fimm(1.0f);
+    b.fadd(f, f);
+    b.regionEnd(3);
+    const Program p = b.finish();
+
+    ASSERT_TRUE(p.regions().count(3));
+    const InstRange range = p.regions().at(3);
+    EXPECT_EQ(range.length(), 2);
+    EXPECT_EQ(p.at(range.begin).op, Op::Fmovi);
+}
+
+TEST(Builder, DuplicateRegionIdFatal)
+{
+    KernelBuilder b("t");
+    b.regionBegin(1);
+    b.regionEnd(1);
+    b.regionBegin(1);
+    b.regionEnd(1);
+    EXPECT_THROW(b.finish(), std::runtime_error);
+}
+
+TEST(Builder, SextEmitsShiftPair)
+{
+    KernelBuilder b("t");
+    const IReg v = b.imm(0xffff);
+    b.sext(v, 16);
+    const Program p = b.finish();
+    EXPECT_EQ(p.at(1).op, Op::Shl);
+    EXPECT_EQ(p.at(1).imm, 48);
+    EXPECT_EQ(p.at(2).op, Op::Sra);
+    EXPECT_EQ(p.at(2).imm, 48);
+}
+
+TEST(Builder, FinishTwicePanics)
+{
+    KernelBuilder b("t");
+    b.imm(1);
+    b.finish();
+    EXPECT_THROW(b.finish(), std::logic_error);
+}
+
+// ------------------------------------------------------------ program
+
+TEST(Program, VerifyRejectsBadBranchTarget)
+{
+    Program p("bad");
+    p.append({.op = Op::Br, .imm = 500});
+    p.append({.op = Op::Halt});
+    EXPECT_THROW(p.verify(), std::runtime_error);
+}
+
+TEST(Program, VerifyRejectsMissingHalt)
+{
+    Program p("bad");
+    p.append({.op = Op::Movi, .dst = iregId(0), .imm = 1});
+    EXPECT_THROW(p.verify(), std::runtime_error);
+}
+
+TEST(Program, VerifyRejectsBadAccessSize)
+{
+    Program p("bad");
+    p.append({.op = Op::Ld, .dst = iregId(0), .src1 = iregId(1),
+              .size = 3});
+    p.append({.op = Op::Halt});
+    EXPECT_THROW(p.verify(), std::runtime_error);
+}
+
+TEST(Program, VerifyRejectsUnmatchedRegion)
+{
+    Program p("bad");
+    p.append({.op = Op::RegionBegin, .imm = 1});
+    p.append({.op = Op::Halt});
+    EXPECT_THROW(p.verify(), std::runtime_error);
+}
+
+TEST(Program, VerifyRejectsBadLutId)
+{
+    Program p("bad");
+    p.append({.op = Op::Lookup, .dst = iregId(0), .lut = 8});
+    p.append({.op = Op::Halt});
+    EXPECT_THROW(p.verify(), std::runtime_error);
+}
+
+TEST(Program, TracksRegisterCounts)
+{
+    KernelBuilder b("t");
+    b.imm(1);
+    b.fimm(2.0f);
+    b.fimm(3.0f);
+    const Program p = b.finish();
+    EXPECT_EQ(p.numIntRegs(), 1u);
+    EXPECT_EQ(p.numFloatRegs(), 2u);
+}
+
+// ----------------------------------------------------------- operands
+
+TEST(Operands, StoreReadsBaseAndValue)
+{
+    const Inst st{.op = Op::St, .src1 = iregId(1), .src2 = iregId(2)};
+    const OperandInfo info = operandsOf(st);
+    EXPECT_EQ(info.dest, invalidReg);
+    EXPECT_EQ(info.numSources, 2u);
+}
+
+TEST(Operands, LoadWritesDest)
+{
+    const Inst ld{.op = Op::Ld, .dst = iregId(0), .src1 = iregId(1)};
+    const OperandInfo info = operandsOf(ld);
+    EXPECT_EQ(info.dest, iregId(0));
+    EXPECT_EQ(info.numSources, 1u);
+}
+
+TEST(Operands, LookupWritesOnly)
+{
+    const Inst lk{.op = Op::Lookup, .dst = iregId(3)};
+    const OperandInfo info = operandsOf(lk);
+    EXPECT_EQ(info.dest, iregId(3));
+    EXPECT_EQ(info.numSources, 0u);
+}
+
+TEST(Operands, UpdateReadsOnly)
+{
+    const Inst up{.op = Op::Update, .src1 = iregId(3)};
+    const OperandInfo info = operandsOf(up);
+    EXPECT_EQ(info.dest, invalidReg);
+    EXPECT_EQ(info.numSources, 1u);
+}
+
+TEST(Operands, MoviHasNoSources)
+{
+    const Inst mv{.op = Op::Movi, .dst = iregId(0), .imm = 7};
+    const OperandInfo info = operandsOf(mv);
+    EXPECT_EQ(info.numSources, 0u);
+}
+
+// ------------------------------------------------------------- traits
+
+TEST(OpTraits, MarkersAreFree)
+{
+    EXPECT_EQ(opTraits(Op::RegionBegin).uops, 0u);
+    EXPECT_EQ(opTraits(Op::RegionBegin).latency, 0u);
+}
+
+TEST(OpTraits, IntrinsicsExpand)
+{
+    EXPECT_GT(opTraits(Op::Fexp).uops, 10u);
+    EXPECT_GT(opTraits(Op::Fsin).uops, opTraits(Op::Fexp).uops);
+    EXPECT_FALSE(opTraits(Op::Fexp).pipelined);
+}
+
+TEST(OpTraits, Table4MemoLatencies)
+{
+    EXPECT_EQ(opTraits(Op::Lookup).latency, 2u);
+    EXPECT_EQ(opTraits(Op::Update).latency, 2u);
+}
+
+TEST(OpTraits, EveryOpHasAName)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Op::NumOps); ++op) {
+        EXPECT_STRNE(opName(static_cast<Op>(op)), "???");
+    }
+}
+
+// -------------------------------------------------------------- disasm
+
+TEST(Disasm, BasicFormats)
+{
+    EXPECT_EQ(disassemble(Inst{.op = Op::Movi, .dst = iregId(2),
+                               .imm = 42}),
+              "movi r2, 42");
+    EXPECT_EQ(disassemble(Inst{.op = Op::Add, .dst = iregId(0),
+                               .src1 = iregId(1), .src2 = iregId(2)}),
+              "add r0, r1, r2");
+    EXPECT_EQ(disassemble(Inst{.op = Op::Halt}), "halt");
+}
+
+TEST(Disasm, MemoFormats)
+{
+    const Inst lookup{.op = Op::Lookup, .dst = iregId(5), .lut = 3};
+    EXPECT_EQ(disassemble(lookup), "lookup r5, lut3");
+    const Inst ldcrc{.op = Op::LdCrc, .dst = fregId(1),
+                     .src1 = iregId(0), .imm = 8, .size = 4, .lut = 2,
+                     .truncBits = 6};
+    EXPECT_EQ(disassemble(ldcrc), "ld_crc f1, [r0 + 8], lut2, n=6, 4");
+}
+
+TEST(Disasm, WholeProgramListsEveryInst)
+{
+    KernelBuilder b("listing");
+    b.imm(1);
+    b.imm(2);
+    const Program p = b.finish();
+    const std::string text = disassemble(p);
+    EXPECT_NE(text.find("listing"), std::string::npos);
+    EXPECT_NE(text.find("0:"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace axmemo

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Golden-model validation of the Jmeint kernel: re-implements the same
+ * Moller-style interval test on the host (same arithmetic, same case
+ * analysis) and checks the simulated classification of every pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/experiment.hh"
+
+namespace axmemo {
+namespace {
+
+using Vec3 = std::array<float, 3>;
+
+Vec3
+sub(const Vec3 &a, const Vec3 &b)
+{
+    return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0]};
+}
+
+/** Interval along the intersection line (mirrors the kernel's cases). */
+void
+interval(float d0, float d1, float d2, float p0, float p1, float p2,
+         float &tmin, float &tmax)
+{
+    auto edgeT = [](float pa, float pb, float da, float db) {
+        return pa + (pb - pa) * (da / (da - db));
+    };
+    float t1, t2;
+    if (d0 * d1 > 0.0f) {
+        t1 = edgeT(p0, p2, d0, d2);
+        t2 = edgeT(p1, p2, d1, d2);
+    } else if (d0 * d2 > 0.0f) {
+        t1 = edgeT(p0, p1, d0, d1);
+        t2 = edgeT(p2, p1, d2, d1);
+    } else {
+        t1 = edgeT(p1, p0, d1, d0);
+        t2 = edgeT(p2, p0, d2, d0);
+    }
+    tmin = std::fmin(t1, t2);
+    tmax = std::fmax(t1, t2);
+}
+
+bool
+hostIntersect(const Vec3 *v, const Vec3 *u)
+{
+    const Vec3 n2 = cross(sub(u[1], u[0]), sub(u[2], u[0]));
+    const float d2 = -dot(n2, u[0]);
+    const float dv0 = dot(n2, v[0]) + d2;
+    const float dv1 = dot(n2, v[1]) + d2;
+    const float dv2 = dot(n2, v[2]) + d2;
+    const bool vPos = dv0 > 0 && dv1 > 0 && dv2 > 0;
+    const bool vNeg = dv0 < 0 && dv1 < 0 && dv2 < 0;
+    if (vPos || vNeg)
+        return false;
+
+    const Vec3 n1 = cross(sub(v[1], v[0]), sub(v[2], v[0]));
+    const float d1 = -dot(n1, v[0]);
+    const float du0 = dot(n1, u[0]) + d1;
+    const float du1 = dot(n1, u[1]) + d1;
+    const float du2 = dot(n1, u[2]) + d1;
+    const bool uPos = du0 > 0 && du1 > 0 && du2 > 0;
+    const bool uNeg = du0 < 0 && du1 < 0 && du2 < 0;
+    if (uPos || uNeg)
+        return false;
+
+    const Vec3 dir = cross(n1, n2);
+    const float pv0 = dot(dir, v[0]);
+    const float pv1 = dot(dir, v[1]);
+    const float pv2 = dot(dir, v[2]);
+    const float pu0 = dot(dir, u[0]);
+    const float pu1 = dot(dir, u[1]);
+    const float pu2 = dot(dir, u[2]);
+
+    float bmin, bmax, amin, amax;
+    interval(du0, du1, du2, pu0, pu1, pu2, bmin, bmax);
+    interval(dv0, dv1, dv2, pv0, pv1, pv2, amin, amax);
+    return amin <= bmax && bmin <= amax;
+}
+
+TEST(Golden, JmeintMatchesHostMoller)
+{
+    auto workload = makeWorkload("jmeint");
+    ExperimentConfig config;
+    config.dataset.scale = 0.01;
+    SimMemory mem;
+    workload->prepare(mem, config.dataset);
+    const Program prog = workload->build();
+    Simulator sim(prog, mem, {});
+    sim.run();
+    const std::vector<double> out = workload->readOutputs(mem);
+
+    const Addr base = 0x10000;
+    unsigned intersecting = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        Vec3 v[3], u[3];
+        for (unsigned k = 0; k < 3; ++k) {
+            for (unsigned c = 0; c < 3; ++c) {
+                v[k][c] = mem.readFloat(base + 72 * i + 12 * k + 4 * c);
+                u[k][c] =
+                    mem.readFloat(base + 72 * i + 36 + 12 * k + 4 * c);
+            }
+        }
+        const bool expected = hostIntersect(v, u);
+        EXPECT_EQ(out[i] != 0.0, expected) << "pair " << i;
+        intersecting += expected;
+    }
+    // Sanity on the dataset itself: both classes are represented.
+    EXPECT_GT(intersecting, out.size() / 20);
+    EXPECT_LT(intersecting, out.size() * 19 / 20);
+}
+
+} // namespace
+} // namespace axmemo

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Memoization-hardware tests: the set-associative LUT (Fig. 4), the hash
+ * value registers (Section 3.2), the quality monitor, and the full
+ * memoization unit's lookup/update/invalidate protocol with its Table 4
+ * timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bits.hh"
+#include "memo/hash_value_registers.hh"
+#include "memo/lut.hh"
+#include "memo/memo_unit.hh"
+#include "memo/quality_monitor.hh"
+
+namespace axmemo {
+namespace {
+
+// ------------------------------------------------------------------ LUT
+
+TEST(Lut, GeometryFollowsFig4)
+{
+    // One set = one 64-byte LLC line: 8 x (4B tag + 4B data) or
+    // 4 x (4B tag + 8B data).
+    LookupTable narrow({.name = "n", .sizeBytes = 8192, .dataBytes = 4});
+    EXPECT_EQ(narrow.ways(), 8u);
+    EXPECT_EQ(narrow.numSets(), 128u);
+    LookupTable wide({.name = "w", .sizeBytes = 8192, .dataBytes = 8});
+    EXPECT_EQ(wide.ways(), 4u);
+    EXPECT_EQ(wide.numSets(), 128u);
+}
+
+TEST(Lut, InsertThenLookup)
+{
+    LookupTable lut({.name = "t", .sizeBytes = 4096, .dataBytes = 4});
+    EXPECT_FALSE(lut.lookup(0, 0x1234).has_value());
+    lut.insert(0, 0x1234, 99);
+    const auto hit = lut.lookup(0, 0x1234);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 99u);
+}
+
+TEST(Lut, LutIdDisambiguates)
+{
+    // Same hash in different logical LUTs must not alias (the LUT_ID is
+    // part of the tag, Section 3.3).
+    LookupTable lut({.name = "t", .sizeBytes = 4096, .dataBytes = 4});
+    lut.insert(0, 0x42, 1);
+    lut.insert(1, 0x42, 2);
+    EXPECT_EQ(*lut.lookup(0, 0x42), 1u);
+    EXPECT_EQ(*lut.lookup(1, 0x42), 2u);
+}
+
+TEST(Lut, OverwriteSameKey)
+{
+    LookupTable lut({.name = "t", .sizeBytes = 4096, .dataBytes = 4});
+    lut.insert(0, 7, 1);
+    EXPECT_FALSE(lut.insert(0, 7, 2).has_value()); // no victim
+    EXPECT_EQ(*lut.lookup(0, 7), 2u);
+    EXPECT_EQ(lut.validCount(), 1u);
+}
+
+TEST(Lut, LruEvictionWithinSet)
+{
+    LookupTable lut({.name = "t", .sizeBytes = 256, .dataBytes = 4});
+    const unsigned sets = lut.numSets(); // 4 sets, 8 ways
+    // Fill one set (hashes congruent mod sets), touch the first, add
+    // one more: the second-oldest is the victim.
+    for (unsigned i = 0; i < 8; ++i)
+        lut.insert(0, i * sets, i);
+    lut.lookup(0, 0); // refresh
+    const auto victim = lut.insert(0, 8 * sets, 8);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->hash, 1u * sets);
+    EXPECT_TRUE(lut.lookup(0, 0).has_value());
+}
+
+TEST(Lut, EraseAndInvalidateLut)
+{
+    LookupTable lut({.name = "t", .sizeBytes = 4096, .dataBytes = 4});
+    lut.insert(0, 1, 10);
+    lut.insert(0, 2, 20);
+    lut.insert(1, 3, 30);
+    lut.erase(0, 1);
+    EXPECT_FALSE(lut.contains(0, 1));
+    EXPECT_TRUE(lut.contains(0, 2));
+    lut.invalidateLut(0);
+    EXPECT_FALSE(lut.contains(0, 2));
+    EXPECT_TRUE(lut.contains(1, 3)); // other logical LUT untouched
+    lut.invalidateAll();
+    EXPECT_EQ(lut.validCount(), 0u);
+}
+
+TEST(Lut, BadConfigsFatal)
+{
+    EXPECT_THROW(LookupTable({.name = "bad", .sizeBytes = 4096,
+                              .dataBytes = 5}),
+                 std::runtime_error);
+    EXPECT_THROW(LookupTable({.name = "bad", .sizeBytes = 100,
+                              .dataBytes = 4}),
+                 std::runtime_error);
+}
+
+/** Capacity property: hit rate on a cyclic key stream grows with size. */
+class LutCapacityTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(LutCapacityTest, CyclicReuse)
+{
+    LookupTable lut({.name = "cap", .sizeBytes = GetParam(),
+                     .dataBytes = 4});
+    const std::uint64_t keys = 300;
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t k = 0; k < keys; ++k) {
+            if (!lut.lookup(0, k * 2654435761u))
+                lut.insert(0, k * 2654435761u, k);
+        }
+    }
+    const std::uint64_t entries = GetParam() / 64 * 8;
+    const double hitRate =
+        static_cast<double>(lut.hits()) /
+        static_cast<double>(lut.hits() + lut.misses());
+    if (entries >= 2 * keys)
+        EXPECT_GT(hitRate, 0.70);
+    else if (entries <= keys / 4)
+        EXPECT_LT(hitRate, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LutCapacityTest,
+                         ::testing::Values(256u, 512u, 1024u, 4096u,
+                                           8192u));
+
+// ------------------------------------------------------------------ HVR
+
+TEST(Hvr, AccumulatesAndResets)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    HashValueRegisters hvrs(engine, 8, 2);
+    EXPECT_EQ(hvrs.count(), 16u);
+
+    hvrs.feed(0, 0, 0xdeadbeef, 4);
+    const std::uint64_t expected = engine.finalize(
+        engine.updateWord(engine.initial(), 0xdeadbeef, 4));
+    EXPECT_EQ(hvrs.peek(0, 0), expected);
+    EXPECT_EQ(hvrs.pendingBytes(0, 0), 4u);
+    EXPECT_EQ(hvrs.readAndReset(0, 0), expected);
+    EXPECT_EQ(hvrs.pendingBytes(0, 0), 0u);
+    // After reset, the register starts a fresh hash.
+    hvrs.feed(0, 0, 0xdeadbeef, 4);
+    EXPECT_EQ(hvrs.readAndReset(0, 0), expected);
+}
+
+TEST(Hvr, ContextsAreIndependent)
+{
+    // Section 3.2: interleaved inputs of different LUTs/threads keep
+    // separate CRC contexts.
+    const CrcEngine engine(CrcSpec::crc32());
+    HashValueRegisters hvrs(engine, 8, 2);
+    hvrs.feed(0, 0, 0x11, 1);
+    hvrs.feed(3, 0, 0x22, 1);
+    hvrs.feed(0, 1, 0x33, 1);
+    const std::uint64_t a = hvrs.readAndReset(0, 0);
+    const std::uint64_t b = hvrs.readAndReset(3, 0);
+    const std::uint64_t c = hvrs.readAndReset(0, 1);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+}
+
+TEST(Hvr, InterleavingMatchesSequential)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    HashValueRegisters hvrs(engine, 8, 1);
+    // Stream {A1, A2} into lut 0 interleaved with lut 1 traffic.
+    hvrs.feed(0, 0, 0xaa, 1);
+    hvrs.feed(1, 0, 0xff, 1);
+    hvrs.feed(0, 0, 0xbb, 1);
+    const std::uint8_t bytes[2] = {0xaa, 0xbb};
+    EXPECT_EQ(hvrs.readAndReset(0, 0), engine.compute(bytes, 2));
+}
+
+TEST(Hvr, OutOfRangePanics)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    HashValueRegisters hvrs(engine, 8, 2);
+    EXPECT_THROW(hvrs.feed(8, 0, 0, 1), std::logic_error);
+    EXPECT_THROW(hvrs.feed(0, 2, 0, 1), std::logic_error);
+}
+
+// -------------------------------------------------------- QualityMonitor
+
+TEST(QualityMonitor, SamplesOneInN)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 100;
+    QualityMonitor monitor(config);
+    unsigned sampled = 0;
+    for (int i = 0; i < 1000; ++i)
+        sampled += monitor.shouldSample();
+    EXPECT_EQ(sampled, 10u);
+}
+
+TEST(QualityMonitor, TripsOnBadWindow)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 1;
+    config.windowSize = 100;
+    QualityMonitor monitor(config);
+    // Feed 100 comparisons where 20% are badly wrong.
+    for (int i = 0; i < 100; ++i) {
+        const float exact = 100.0f;
+        const float lut = (i % 5 == 0) ? 200.0f : 100.5f;
+        monitor.shouldSample();
+        monitor.verify(floatBits(lut), floatBits(exact));
+    }
+    EXPECT_TRUE(monitor.tripped());
+}
+
+TEST(QualityMonitor, StaysQuietOnGoodWindow)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 1;
+    config.windowSize = 50;
+    QualityMonitor monitor(config);
+    for (int i = 0; i < 500; ++i)
+        monitor.verify(floatBits(100.2f), floatBits(100.0f));
+    EXPECT_FALSE(monitor.tripped());
+    EXPECT_EQ(monitor.comparisons(), 500u);
+    EXPECT_LT(monitor.meanRelativeError(), 0.01);
+}
+
+TEST(QualityMonitor, TwoLaneWorstCase)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 1;
+    config.windowSize = 10;
+    config.floatLanes = 2;
+    QualityMonitor monitor(config);
+    // Lane 0 perfect, lane 1 badly wrong.
+    const std::uint64_t exact =
+        floatBits(1.0f) |
+        (static_cast<std::uint64_t>(floatBits(50.0f)) << 32);
+    const std::uint64_t lut =
+        floatBits(1.0f) |
+        (static_cast<std::uint64_t>(floatBits(100.0f)) << 32);
+    for (int i = 0; i < 10; ++i)
+        monitor.verify(lut, exact);
+    EXPECT_TRUE(monitor.tripped());
+}
+
+TEST(QualityMonitor, IntegerData)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 1;
+    config.windowSize = 10;
+    config.integerData = true;
+    QualityMonitor monitor(config);
+    for (int i = 0; i < 10; ++i)
+        monitor.verify(/*lut=*/40, /*exact=*/100);
+    EXPECT_TRUE(monitor.tripped());
+}
+
+TEST(QualityMonitor, AbsoluteFloorForgivesTinyOutputs)
+{
+    QualityMonitorConfig config;
+    config.sampleEvery = 1;
+    config.windowSize = 10;
+    config.absoluteFloor = 1.0;
+    QualityMonitor monitor(config);
+    // 0.01 vs 0.05: huge relative error, negligible vs the floor.
+    for (int i = 0; i < 50; ++i)
+        monitor.verify(floatBits(0.05f), floatBits(0.01f));
+    EXPECT_FALSE(monitor.tripped());
+}
+
+// ------------------------------------------------------ MemoizationUnit
+
+MemoUnitConfig
+unitConfig(std::uint64_t l2Bytes = 0)
+{
+    MemoUnitConfig config;
+    config.l2LutBytes = l2Bytes;
+    config.quality.enabled = false;
+    return config;
+}
+
+TEST(MemoUnit, MissUpdateHitFlow)
+{
+    MemoizationUnit unit(unitConfig());
+    unit.feed(0, 0, 0x12345678, 4, 0, 0);
+    const MemoLookupResult miss = unit.lookup(0, 0, 10);
+    EXPECT_FALSE(miss.hit);
+    unit.update(0, 0, 777);
+
+    unit.feed(0, 0, 0x12345678, 4, 0, 20);
+    const MemoLookupResult hit = unit.lookup(0, 0, 30);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.data, 777u);
+    EXPECT_EQ(unit.stats().l1Hits, 1u);
+    EXPECT_EQ(unit.stats().misses, 1u);
+}
+
+TEST(MemoUnit, TruncationMergesNearbyInputs)
+{
+    MemoizationUnit unit(unitConfig());
+    unit.feed(0, 0, 0x1000, 4, /*trunc=*/8, 0);
+    unit.lookup(0, 0, 10);
+    unit.update(0, 0, 1);
+    // 0x10ab truncates to 0x1000 as well.
+    unit.feed(0, 0, 0x10ab, 4, /*trunc=*/8, 20);
+    EXPECT_TRUE(unit.lookup(0, 0, 30).hit);
+    // But without truncation they differ.
+    unit.feed(0, 0, 0x10ab, 4, /*trunc=*/0, 40);
+    EXPECT_FALSE(unit.lookup(0, 0, 50).hit);
+}
+
+TEST(MemoUnit, LookupWaitsForCrc)
+{
+    MemoizationUnit unit(unitConfig());
+    // Stream 36 bytes at cycle 0: the 4 B/cycle unit finishes at 9.
+    for (int i = 0; i < 9; ++i)
+        unit.feed(0, 0, 0xabcd, 4, 0, 0);
+    const MemoLookupResult res = unit.lookup(0, 0, 0);
+    // Waits ~9 cycles for the CRC, then 2 for the L1 LUT.
+    EXPECT_GE(res.latency, 9u + 2u);
+}
+
+TEST(MemoUnit, QueueBackpressureStalls)
+{
+    MemoizationUnit unit(unitConfig());
+    Cycle stall = 0;
+    for (int i = 0; i < 10; ++i)
+        stall = unit.feed(0, 0, 0xff, 8, 0, /*now=*/0);
+    EXPECT_GT(stall, 0u);
+}
+
+TEST(MemoUnit, L2LutServesL1Evictions)
+{
+    // Tiny L1 LUT (64 B: one set of 8) + ample L2: keys evicted from L1
+    // must still hit, served by L2, and be promoted back.
+    MemoUnitConfig config = unitConfig(64 * 1024);
+    config.l1Lut.sizeBytes = 64;
+    MemoizationUnit unit(config);
+
+    for (std::uint64_t k = 0; k < 32; ++k) {
+        unit.feed(0, 0, k, 4, 0, 0);
+        const MemoLookupResult r = unit.lookup(0, 0, 10);
+        EXPECT_FALSE(r.hit);
+        unit.update(0, 0, k + 1000);
+    }
+    std::uint64_t l2Hits = 0;
+    for (std::uint64_t k = 0; k < 32; ++k) {
+        unit.feed(0, 0, k, 4, 0, 100);
+        const MemoLookupResult r = unit.lookup(0, 0, 110);
+        EXPECT_TRUE(r.hit) << "key " << k;
+        EXPECT_EQ(r.data, k + 1000);
+        l2Hits += r.fromL2;
+    }
+    EXPECT_GT(l2Hits, 0u);
+    EXPECT_EQ(unit.stats().l2Hits, l2Hits);
+}
+
+TEST(MemoUnit, L2ProbeAddsLatency)
+{
+    MemoUnitConfig with = unitConfig(256 * 1024);
+    MemoizationUnit unit(with);
+    unit.feed(0, 0, 0x9, 4, 0, 0);
+    const MemoLookupResult miss = unit.lookup(0, 0, 10);
+    // L1 (2) + L2 (13).
+    EXPECT_EQ(miss.latency, with.l1LutLatency + with.l2LutLatency);
+}
+
+TEST(MemoUnit, InvalidateClearsOneLut)
+{
+    MemoizationUnit unit(unitConfig());
+    for (LutId lut : {LutId{0}, LutId{1}}) {
+        unit.feed(lut, 0, 0x77, 4, 0, 0);
+        unit.lookup(lut, 0, 10);
+        unit.update(lut, 0, 5);
+    }
+    const Cycle latency = unit.invalidate(0, 0);
+    EXPECT_EQ(latency, unit.l1().ways());
+
+    unit.feed(0, 0, 0x77, 4, 0, 20);
+    EXPECT_FALSE(unit.lookup(0, 0, 30).hit);
+    unit.update(0, 0, 5);
+    unit.feed(1, 0, 0x77, 4, 0, 40);
+    EXPECT_TRUE(unit.lookup(1, 0, 50).hit);
+}
+
+TEST(MemoUnit, UpdateWithoutLookupPanics)
+{
+    MemoizationUnit unit(unitConfig());
+    EXPECT_THROW(unit.update(0, 0, 1), std::logic_error);
+}
+
+TEST(MemoUnit, DataMaskedToEntryWidth)
+{
+    MemoUnitConfig config = unitConfig();
+    config.l1Lut.dataBytes = 4;
+    MemoizationUnit unit(config);
+    unit.feed(0, 0, 0x5, 4, 0, 0);
+    unit.lookup(0, 0, 10);
+    unit.update(0, 0, 0xaabbccdd11223344ull);
+    unit.feed(0, 0, 0x5, 4, 0, 20);
+    EXPECT_EQ(unit.lookup(0, 0, 30).data, 0x11223344u);
+}
+
+TEST(MemoUnit, SampledHitVerifiesAndStillHitsLater)
+{
+    MemoUnitConfig config = unitConfig();
+    config.quality.enabled = true;
+    config.quality.sampleEvery = 1; // sacrifice every hit
+    MemoizationUnit unit(config);
+
+    unit.feed(0, 0, 0x1, 4, 0, 0);
+    unit.lookup(0, 0, 10);
+    unit.update(0, 0, floatBits(2.0f));
+
+    // This would be a hit; the monitor converts it to a verified miss.
+    unit.feed(0, 0, 0x1, 4, 0, 20);
+    EXPECT_FALSE(unit.lookup(0, 0, 30).hit);
+    EXPECT_EQ(unit.stats().sampledHits, 1u);
+    unit.update(0, 0, floatBits(2.0f)); // exact: no trip
+    EXPECT_TRUE(unit.enabled());
+    EXPECT_EQ(unit.monitor().comparisons(), 1u);
+}
+
+TEST(MemoUnit, ResetClearsEverything)
+{
+    MemoizationUnit unit(unitConfig());
+    unit.feed(0, 0, 0x1, 4, 0, 0);
+    unit.lookup(0, 0, 10);
+    unit.update(0, 0, 9);
+    unit.reset();
+    EXPECT_EQ(unit.stats().lookups, 0u);
+    unit.feed(0, 0, 0x1, 4, 0, 0);
+    EXPECT_FALSE(unit.lookup(0, 0, 10).hit);
+    unit.update(0, 0, 9);
+}
+
+TEST(MemoUnit, SeparateThreadsSeparateContexts)
+{
+    MemoizationUnit unit(unitConfig());
+    unit.feed(0, 0, 0xaaaa, 4, 0, 0);
+    unit.feed(0, 1, 0xbbbb, 4, 0, 0);
+    unit.lookup(0, 0, 10);
+    unit.update(0, 0, 1);
+    unit.lookup(0, 1, 10);
+    unit.update(0, 1, 2);
+    // Thread 1's key was different; thread 0's key still hits.
+    unit.feed(0, 0, 0xaaaa, 4, 0, 20);
+    EXPECT_EQ(unit.lookup(0, 0, 30).data, 1u);
+}
+
+} // namespace
+} // namespace axmemo

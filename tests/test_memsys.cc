@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Memory-system tests: sparse simulated memory, set-associative cache
+ * behaviour (LRU, write-back, way partitioning), the DRAM open-row
+ * model, and the two-level hierarchy's latencies and event counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "memsys/cache.hh"
+#include "memsys/dram.hh"
+#include "memsys/hierarchy.hh"
+#include "memsys/sim_memory.hh"
+
+namespace axmemo {
+namespace {
+
+// ---------------------------------------------------------- SimMemory
+
+TEST(SimMemory, ReadWriteWidths)
+{
+    SimMemory mem;
+    mem.write(0x1000, 0x1122334455667788ull, 8);
+    EXPECT_EQ(mem.read(0x1000, 8), 0x1122334455667788ull);
+    EXPECT_EQ(mem.read(0x1000, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x1000, 2), 0x7788u);
+    EXPECT_EQ(mem.read(0x1000, 1), 0x88u);
+}
+
+TEST(SimMemory, LittleEndianLayout)
+{
+    SimMemory mem;
+    mem.write32(0x2000, 0xdeadbeef);
+    EXPECT_EQ(mem.read8(0x2000), 0xef);
+    EXPECT_EQ(mem.read8(0x2003), 0xde);
+}
+
+TEST(SimMemory, UntouchedMemoryReadsZero)
+{
+    SimMemory mem;
+    EXPECT_EQ(mem.read64(0x123456789abcull), 0u);
+}
+
+TEST(SimMemory, CrossPageAccess)
+{
+    SimMemory mem;
+    const Addr addr = SimMemory::pageSize - 3;
+    mem.write64(addr, 0xa1b2c3d4e5f60718ull);
+    EXPECT_EQ(mem.read64(addr), 0xa1b2c3d4e5f60718ull);
+}
+
+TEST(SimMemory, SparsePages)
+{
+    SimMemory mem;
+    mem.write8(0, 1);
+    mem.write8(1ull << 30, 2); // 1 GB away: only 2 pages materialize
+    EXPECT_EQ(mem.pageCount(), 2u);
+}
+
+TEST(SimMemory, FloatHelpers)
+{
+    SimMemory mem;
+    mem.writeFloat(0x100, 3.25f);
+    EXPECT_EQ(mem.readFloat(0x100), 3.25f);
+    mem.writeDouble(0x108, -2.5);
+    EXPECT_EQ(mem.readDouble(0x108), -2.5);
+    mem.writeFloats(0x200, {1.0f, 2.0f, 3.0f});
+    const auto back = mem.readFloats(0x200, 3);
+    EXPECT_EQ(back, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(SimMemory, BulkLoadStore)
+{
+    SimMemory mem;
+    const std::uint8_t src[5] = {1, 2, 3, 4, 5};
+    mem.load(0x300, src, 5);
+    std::uint8_t dst[5] = {};
+    mem.store(0x300, dst, 5);
+    EXPECT_EQ(std::memcmp(src, dst, 5), 0);
+}
+
+TEST(SimMemory, AllocateAligned)
+{
+    SimMemory mem;
+    const Addr a = mem.allocate(10);
+    const Addr b = mem.allocate(100);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_GE(b, a + 10);
+}
+
+TEST(SimMemory, ClearResets)
+{
+    SimMemory mem;
+    mem.write8(0x40, 9);
+    const Addr first = mem.allocate(8);
+    mem.clear();
+    EXPECT_EQ(mem.read8(0x40), 0);
+    EXPECT_EQ(mem.allocate(8), first);
+}
+
+TEST(SimMemory, BadWidthPanics)
+{
+    SimMemory mem;
+    EXPECT_THROW(mem.read(0, 0), std::logic_error);
+    EXPECT_THROW(mem.read(0, 9), std::logic_error);
+}
+
+// --------------------------------------------------------------- cache
+
+CacheConfig
+smallCache()
+{
+    return {.name = "test", .sizeBytes = 1024, .assoc = 2,
+            .lineSize = 64, .hitLatency = 1};
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1010, false).hit); // same line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way set: fill both ways, touch the first, insert a third ->
+    // the second (least recently used) is evicted.
+    Cache cache(smallCache());
+    const unsigned setStride = 64 * cache.numSets();
+    cache.access(0 * setStride, false);
+    cache.access(1 * setStride, false);
+    cache.access(0 * setStride, false); // refresh way 0
+    cache.access(2 * setStride, false); // evicts address setStride
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(setStride));
+    EXPECT_TRUE(cache.contains(2 * setStride));
+}
+
+TEST(Cache, DirtyVictimWritesBack)
+{
+    Cache cache(smallCache());
+    const unsigned setStride = 64 * cache.numSets();
+    cache.access(0, true); // dirty
+    cache.access(setStride, false);
+    const CacheAccessResult r = cache.access(2 * setStride, false);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.writebackAddr, 0u);
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, CleanVictimSilent)
+{
+    Cache cache(smallCache());
+    const unsigned setStride = 64 * cache.numSets();
+    cache.access(0, false);
+    cache.access(setStride, false);
+    EXPECT_FALSE(cache.access(2 * setStride, false).writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache(smallCache());
+    const unsigned setStride = 64 * cache.numSets();
+    cache.access(0, false);
+    cache.access(0, true); // hit, now dirty
+    cache.access(setStride, false);
+    EXPECT_TRUE(cache.access(2 * setStride, false).writeback);
+}
+
+TEST(Cache, ReserveWaysShrinksCapacity)
+{
+    Cache cache({.name = "l2", .sizeBytes = 16 * 1024, .assoc = 16,
+                 .lineSize = 64, .hitLatency = 13});
+    EXPECT_EQ(cache.usableBytes(), 16u * 1024);
+    cache.reserveWays(8);
+    EXPECT_EQ(cache.usableWays(), 8u);
+    EXPECT_EQ(cache.usableBytes(), 8u * 1024);
+
+    // Thrash check: 9 distinct lines in one set now exceed capacity.
+    const unsigned setStride = 64 * cache.numSets();
+    for (unsigned i = 0; i < 9; ++i)
+        cache.access(i * setStride, false);
+    EXPECT_FALSE(cache.contains(0)); // the oldest got evicted
+}
+
+TEST(Cache, ReserveAllWaysFatal)
+{
+    Cache cache(smallCache());
+    EXPECT_THROW(cache.reserveWays(2), std::runtime_error);
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache cache(smallCache());
+    cache.access(0, true);
+    cache.invalidateAll();
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_FALSE(cache.access(0, false).writeback);
+}
+
+TEST(Cache, BadGeometryFatal)
+{
+    EXPECT_THROW(Cache({.name = "bad", .sizeBytes = 1000, .assoc = 2,
+                        .lineSize = 64, .hitLatency = 1}),
+                 std::runtime_error);
+    EXPECT_THROW(Cache({.name = "bad", .sizeBytes = 1024, .assoc = 0,
+                        .lineSize = 64, .hitLatency = 1}),
+                 std::runtime_error);
+}
+
+/** Property sweep: hits+misses add up and hit rate rises with size. */
+class CacheSweepTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheSweepTest, StreamingWorkingSet)
+{
+    Cache cache({.name = "sweep", .sizeBytes = GetParam(), .assoc = 4,
+                 .lineSize = 64, .hitLatency = 1});
+    // Two passes over a 8 KB working set.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (Addr a = 0; a < 8 * 1024; a += 64)
+            cache.access(a, false);
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), 2u * 128);
+    if (GetParam() >= 8 * 1024) {
+        // Second pass fully hits.
+        EXPECT_EQ(cache.hits(), 128u);
+    } else {
+        // Working set exceeds capacity: LRU streaming gets no hits.
+        EXPECT_EQ(cache.hits(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSweepTest,
+                         ::testing::Values(1024u, 2048u, 4096u, 8192u,
+                                           16384u, 32768u));
+
+// ---------------------------------------------------------------- dram
+
+TEST(Dram, RowHitFasterThanMiss)
+{
+    Dram dram;
+    const Cycle first = dram.access(0);
+    const Cycle second = dram.access(64);
+    EXPECT_GT(first, second); // same row: open-row hit
+    EXPECT_EQ(dram.rowMisses(), 1u);
+    EXPECT_EQ(dram.rowHits(), 1u);
+}
+
+TEST(Dram, DifferentRowsMiss)
+{
+    Dram dram;
+    const DramConfig &config = dram.config();
+    dram.access(0);
+    const std::uint64_t banks =
+        static_cast<std::uint64_t>(config.channels) *
+        config.banksPerChannel;
+    dram.access(config.rowBytes * banks); // same bank, different row
+    EXPECT_EQ(dram.rowMisses(), 2u);
+}
+
+// ----------------------------------------------------------- hierarchy
+
+TEST(Hierarchy, LatencyLevels)
+{
+    MemHierarchy hier;
+    const Cycle cold = hier.access(0x10000, false);
+    const Cycle l1Hit = hier.access(0x10000, false);
+    EXPECT_EQ(l1Hit, hier.config().l1d.hitLatency);
+    EXPECT_GT(cold, hier.config().l1d.hitLatency +
+                        hier.config().l2.hitLatency);
+    EXPECT_EQ(hier.events().get("l1d_miss"), 1u);
+    EXPECT_EQ(hier.events().get("l1d_hit"), 1u);
+    EXPECT_EQ(hier.events().get("dram_read"), 1u);
+}
+
+TEST(Hierarchy, L2HitLatency)
+{
+    MemHierarchy hier;
+    hier.access(0x20000, false); // cold fill into L1+L2
+    // Evict from tiny.. L1 is 32 KB 4-way: touch 5 conflicting lines.
+    const std::uint64_t l1SetStride =
+        hier.l1d().numSets() * hier.config().l1d.lineSize;
+    for (int i = 1; i <= 4; ++i)
+        hier.access(0x20000 + i * l1SetStride, false);
+    const Cycle l2Hit = hier.access(0x20000, false);
+    EXPECT_EQ(l2Hit, hier.config().l1d.hitLatency +
+                         hier.config().l2.hitLatency);
+}
+
+TEST(Hierarchy, ReserveL2WaysReducesCapacity)
+{
+    MemHierarchy hier;
+    const std::uint64_t before = hier.l2UsableBytes();
+    hier.reserveL2Ways(8);
+    EXPECT_EQ(hier.l2UsableBytes(), before / 2);
+}
+
+TEST(Hierarchy, WritebackPath)
+{
+    MemHierarchy hier;
+    // Dirty a line, then stream enough conflicting lines through the
+    // set to force the dirty victim down to L2.
+    hier.access(0x40000, true);
+    const std::uint64_t l1SetStride =
+        hier.l1d().numSets() * hier.config().l1d.lineSize;
+    for (int i = 1; i <= 4; ++i)
+        hier.access(0x40000 + i * l1SetStride, false);
+    EXPECT_GE(hier.events().get("l2_wb_access"), 1u);
+}
+
+} // namespace
+} // namespace axmemo
