@@ -32,21 +32,13 @@ main()
     const char *subset[] = {"inversek2j", "kmeans", "sobel", "hotspot",
                             "srad"};
 
+    SweepEngine engine;
     for (const char *name : subset) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
-
-        const Comparison staticRun = ExperimentRunner::score(
-            *workload, base,
-            ExperimentRunner(defaultConfig())
-                .run(*workload, Mode::AxMemo));
+        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
 
         ExperimentConfig shallow = defaultConfig();
         shallow.truncOverride = 2; // almost no approximation
-        const Comparison shallowRun = ExperimentRunner::score(
-            *workload, base,
-            ExperimentRunner(shallow).run(*workload, Mode::AxMemo));
+        engine.enqueueCompare(name, Mode::AxMemo, shallow);
 
         ExperimentConfig adaptive = shallow;
         adaptive.adaptive.enabled = true;
@@ -54,9 +46,15 @@ main()
         adaptive.adaptive.profileLength = 30;
         adaptive.adaptive.targetError = 0.01;
         adaptive.adaptive.maxExtraBits = 14;
-        const Comparison adaptiveRun = ExperimentRunner::score(
-            *workload, base,
-            ExperimentRunner(adaptive).run(*workload, Mode::AxMemo));
+        engine.enqueueCompare(name, Mode::AxMemo, adaptive);
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const char *name : subset) {
+        const Comparison &staticRun = outcomes[next++].cmp;
+        const Comparison &shallowRun = outcomes[next++].cmp;
+        const Comparison &adaptiveRun = outcomes[next++].cmp;
 
         table.row(
             {name, TextTable::times(staticRun.speedup),
@@ -75,5 +73,6 @@ main()
                 "rate; the runtime controller recovers a large part of "
                 "the statically-profiled benefit without offline "
                 "profiling, at bounded error\n");
+    finishSweep(engine, "ablate_adaptive_truncation");
     return 0;
 }

@@ -28,18 +28,22 @@ main()
     table.header({"benchmark", "width", "hit rate", "quality loss",
                   "speedup", "crc area (mm^2)"});
 
+    SweepEngine engine;
     for (const char *name : subset) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
         for (unsigned width : widths) {
             ExperimentConfig config = defaultConfig();
             config.crcBits = width;
             // Disable the kill switch so collision damage is visible.
             config.qualityMonitor = false;
-            const Comparison cmp = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(config).run(*workload, Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, config);
+        }
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const char *name : subset) {
+        for (unsigned width : widths) {
+            const Comparison &cmp = outcomes[next++].cmp;
             CrcHwConfig hw;
             hw.width = width;
             table.row({name, std::to_string(width),
@@ -54,5 +58,6 @@ main()
     std::printf("expectation: quality degrades sharply below 24 bits "
                 "(collisions return wrong entries); 32 vs 64 bits is "
                 "indistinguishable, matching the paper's choice\n");
+    finishSweep(engine, "ablate_crc_width");
     return 0;
 }

@@ -27,25 +27,26 @@ main()
     const char *subset[] = {"blackscholes", "fft", "inversek2j",
                             "kmeans"};
 
+    SweepEngine engine;
     for (const char *name : subset) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
-
         for (std::uint64_t l2 : {64ull * 1024, 256ull * 1024}) {
             ExperimentConfig inclusive = defaultConfig();
             inclusive.lut = {8 * 1024, l2};
             inclusive.l2Policy = L2LutPolicy::Inclusive;
-            const Comparison a = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(inclusive).run(*workload,
-                                                Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, inclusive);
 
             ExperimentConfig victim = inclusive;
             victim.l2Policy = L2LutPolicy::Victim;
-            const Comparison b = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(victim).run(*workload, Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, victim);
+        }
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const char *name : subset) {
+        for (std::uint64_t l2 : {64ull * 1024, 256ull * 1024}) {
+            const Comparison &a = outcomes[next++].cmp;
+            const Comparison &b = outcomes[next++].cmp;
 
             table.row({name, std::to_string(l2 / 1024) + "KB",
                        TextTable::percent(a.subject.hitRate()),
@@ -60,5 +61,6 @@ main()
                 "capacity matters when the working set is within "
                 "L1+L2 reach; with an ample L2 both converge, which is "
                 "why the paper's description can afford to be loose\n");
+    finishSweep(engine, "ablate_l2_policy");
     return 0;
 }

@@ -29,23 +29,25 @@ main()
                   "speedup (L1 only)", "hit (+L2 512KB)",
                   "speedup (+L2 512KB)", "L1 area (mm^2)"});
 
+    SweepEngine engine;
     for (const char *name : subset) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
         for (std::uint64_t size : sizes) {
             ExperimentConfig l1Only = defaultConfig();
             l1Only.lut = {size, 0};
-            const Comparison a = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(l1Only).run(*workload, Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, l1Only);
 
             ExperimentConfig twoLevel = defaultConfig();
             twoLevel.lut = {size, 512 * 1024};
-            const Comparison b = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(twoLevel).run(*workload,
-                                               Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, twoLevel);
+        }
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const char *name : subset) {
+        for (std::uint64_t size : sizes) {
+            const Comparison &a = outcomes[next++].cmp;
+            const Comparison &b = outcomes[next++].cmp;
 
             table.row({name, std::to_string(size / 1024) + "KB",
                        TextTable::percent(a.subject.hitRate()),
@@ -57,5 +59,6 @@ main()
     }
 
     std::printf("%s\n", table.render().c_str());
+    finishSweep(engine, "ablate_lut_geometry");
     return 0;
 }

@@ -28,19 +28,23 @@ main()
 
     std::vector<double> inOrderSpeedups, oooSpeedups;
 
+    // The two core models hash to distinct baseline-cache keys, so each
+    // benchmark gets a matching in-order and out-of-order baseline.
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
+        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
 
-        ExperimentConfig inOrderCfg = defaultConfig();
         ExperimentConfig oooCfg = defaultConfig();
         oooCfg.cpu.outOfOrder = true;
         oooCfg.cpu.robSize = 64;
+        engine.enqueueCompare(name, Mode::AxMemo, oooCfg);
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
 
-        const Comparison io =
-            ExperimentRunner(inOrderCfg).compare(*workload,
-                                                 Mode::AxMemo);
-        const Comparison ooo =
-            ExperimentRunner(oooCfg).compare(*workload, Mode::AxMemo);
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        const Comparison &io = outcomes[next++].cmp;
+        const Comparison &ooo = outcomes[next++].cmp;
 
         const double coreGain =
             static_cast<double>(io.baseline.stats.cycles) /
@@ -62,5 +66,6 @@ main()
     std::printf("expectation: the OoO core narrows but does not erase "
                 "AxMemo's benefit — eliminated instructions save front-"
                 "end work on any core\n");
+    finishSweep(engine, "ablate_ooo_core");
     return 0;
 }

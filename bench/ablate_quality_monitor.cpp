@@ -36,21 +36,22 @@ main()
         {21, true},   // heavy over-truncation, protected
     };
 
+    SweepEngine engine;
     for (const char *name : subset) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
         for (const Setting &s : settings) {
             ExperimentConfig config = defaultConfig();
             config.truncOverride = s.trunc;
             config.qualityMonitor = s.monitor;
-            // A strict monitor so the ablation's over-truncation is
-            // caught even on benign-looking benchmarks.
-            const ExperimentRunner runner(config);
-            RunResult subject = runner.run(*workload, Mode::AxMemo);
-            const bool tripped = subject.stats.memo.monitorTripped;
-            const Comparison cmp = ExperimentRunner::score(
-                *workload, base, std::move(subject));
+            engine.enqueueCompare(name, Mode::AxMemo, config);
+        }
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const char *name : subset) {
+        for (const Setting &s : settings) {
+            const Comparison &cmp = outcomes[next++].cmp;
+            const bool tripped = cmp.subject.stats.memo.monitorTripped;
             table.row({name,
                        s.trunc < 0 ? "Table2"
                                    : std::to_string(s.trunc),
@@ -66,5 +67,6 @@ main()
                 "disabled memoization); over-truncation without the "
                 "monitor corrupts quality; with it, quality is rescued "
                 "and the speedup collapses toward 1x\n");
+    finishSweep(engine, "ablate_quality_monitor");
     return 0;
 }

@@ -27,14 +27,17 @@ main()
 
     std::vector<double> atmSpeedups;
 
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-        const ExperimentRunner runner(defaultConfig());
-        const RunResult base = runner.run(*workload, Mode::Baseline);
-        const Comparison atm = ExperimentRunner::score(
-            *workload, base, runner.run(*workload, Mode::Atm));
-        const Comparison ax = ExperimentRunner::score(
-            *workload, base, runner.run(*workload, Mode::AxMemo));
+        engine.enqueueCompare(name, Mode::Atm, defaultConfig());
+        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        const Comparison &atm = outcomes[next++].cmp;
+        const Comparison &ax = outcomes[next++].cmp;
 
         table.row({name, TextTable::times(atm.speedup),
                    TextTable::percent(atm.subject.hitRate()),
@@ -48,5 +51,6 @@ main()
                 "on blackscholes 5.8x, fft 2.6x, inversek2j 1.3x, "
                 "k-means 1.3x)\n",
                 geometricMean(atmSpeedups));
+    finishSweep(engine, "atm_comparison");
     return 0;
 }

@@ -57,6 +57,18 @@ banner(const char *what)
                 scale);
 }
 
+/**
+ * Standard end-of-harness bookkeeping: write <label>_sweep.json and print
+ * the host-side performance line. The summary goes to stderr so the
+ * table output on stdout stays byte-identical across worker counts.
+ */
+inline void
+finishSweep(const SweepEngine &engine, const char *label)
+{
+    engine.writeReport(label);
+    std::fprintf(stderr, "[%s] %s\n", label, engine.summary().c_str());
+}
+
 } // namespace axmemo::bench
 
 #endif // AXMEMO_BENCH_BENCH_UTIL_HH

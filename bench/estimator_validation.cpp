@@ -26,8 +26,16 @@ main()
     table.header({"benchmark", "predicted", "simulated", "ratio",
                   "coverage"});
 
-    for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
+    // The per-benchmark flow (trace -> DDDG -> estimate -> simulate) is
+    // self-contained, so each runs whole on one worker.
+    const std::vector<std::string> names = workloadNames();
+    std::vector<double> predictions(names.size());
+    std::vector<double> coverages(names.size());
+    std::vector<Comparison> comparisons(names.size());
+    parallelFor(ThreadPool::jobsFromEnv(), names.size(), [&](
+                                                             std::size_t
+                                                                 i) {
+        auto workload = makeWorkload(names[i]);
 
         // Trace + DDDG on the sample set (compiler's view).
         SimMemory mem;
@@ -37,11 +45,11 @@ main()
         params.sampleSet = true;
         workload->prepare(mem, params);
         const Program prog = workload->build();
-        TraceRecorder recorder(1u << 18);
+        TraceBuffer buffer(1u << 18);
         Simulator sim(prog, mem, {});
-        sim.setTraceHook(recorder.hook());
+        sim.setTraceBuffer(&buffer);
         sim.run();
-        const Dddg graph(prog, recorder.entries());
+        const Dddg graph(prog, buffer.entries());
         const RegionAnalysis analysis = RegionFinder().analyze(graph);
 
         // Reuse hint: the measured unique-key count of a real memoized
@@ -65,16 +73,20 @@ main()
                 1, static_cast<std::uint64_t>(
                        missRatio * static_cast<double>(
                                        subgraph.dynamicCount))));
-        const double predicted = estimator.estimateProgram(
+        predictions[i] = estimator.estimateProgram(
             analysis, graph.totalWeight(), hints);
+        coverages[i] = analysis.coverage;
 
-        const Comparison cmp =
+        comparisons[i] =
             ExperimentRunner(config).compare(*workload, Mode::AxMemo);
+    });
 
-        table.row({name, TextTable::times(predicted),
-                   TextTable::times(cmp.speedup),
-                   TextTable::num(predicted / cmp.speedup),
-                   TextTable::percent(analysis.coverage)});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        table.row({names[i], TextTable::times(predictions[i]),
+                   TextTable::times(comparisons[i].speedup),
+                   TextTable::num(predictions[i] /
+                                  comparisons[i].speedup),
+                   TextTable::percent(coverages[i])});
     }
 
     std::printf("%s\n", table.render().c_str());

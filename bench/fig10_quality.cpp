@@ -40,18 +40,22 @@ main()
         cdfTable.header(head);
     }
 
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
-
-        std::vector<std::string> row{name};
         for (const auto &lut : luts) {
             ExperimentConfig config = defaultConfig();
             config.lut = lut;
-            const Comparison cmp = ExperimentRunner::score(
-                *workload, base,
-                ExperimentRunner(config).run(*workload, Mode::AxMemo));
+            engine.enqueueCompare(name, Mode::AxMemo, config);
+        }
+        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        std::vector<std::string> row{name};
+        for (const auto &lut : luts) {
+            const Comparison &cmp = outcomes[next++].cmp;
             row.push_back(TextTable::percent(cmp.qualityLoss, 3));
 
             if (lut.l1Bytes == bestLutConfig().l1Bytes &&
@@ -62,10 +66,7 @@ main()
                 cdfTable.row(cdfRow);
             }
         }
-        const Comparison sw = ExperimentRunner::score(
-            *workload, base,
-            ExperimentRunner(defaultConfig())
-                .run(*workload, Mode::SoftwareLut));
+        const Comparison &sw = outcomes[next++].cmp;
         row.push_back(TextTable::percent(sw.qualityLoss, 3));
         table.row(row);
     }
@@ -78,5 +79,6 @@ main()
     std::printf("paper: average E_r below 1%% across configurations; "
                 "0.2%% average quality loss headline; software has "
                 "higher error from its collision rate\n");
+    finishSweep(engine, "fig10");
     return 0;
 }

@@ -29,15 +29,18 @@ main()
     std::vector<double> speedGain;
     std::vector<double> energyGain;
 
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-        const ExperimentRunner runner(defaultConfig());
-        const RunResult base = runner.run(*workload, Mode::Baseline);
-        const Comparison with = ExperimentRunner::score(
-            *workload, base, runner.run(*workload, Mode::AxMemo));
-        const Comparison without = ExperimentRunner::score(
-            *workload, base,
-            runner.run(*workload, Mode::AxMemoNoTrunc));
+        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
+        engine.enqueueCompare(name, Mode::AxMemoNoTrunc,
+                              defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        const Comparison &with = outcomes[next++].cmp;
+        const Comparison &without = outcomes[next++].cmp;
 
         table.row({name, TextTable::times(with.speedup),
                    TextTable::times(without.speedup),
@@ -70,5 +73,6 @@ main()
     std::printf("paper: +14.1%% speedup / +17.4%% energy on average; "
                 "hit rate drops 76.1%% -> 47.2%%; JPEG, Sobel and SRAD "
                 "lose their wins without approximation\n");
+    finishSweep(engine, "fig11");
     return 0;
 }

@@ -37,37 +37,29 @@ main()
     std::vector<std::vector<double>> speedups(columns.size());
     std::vector<std::vector<double>> energies(columns.size());
 
+    // One baseline per benchmark serves every configuration (the sweep
+    // engine's baseline cache enforces that).
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
+        for (const auto &lut : luts) {
+            ExperimentConfig config = defaultConfig();
+            config.lut = lut;
+            engine.enqueueCompare(name, Mode::AxMemo, config);
+        }
+        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
         std::vector<std::string> srow{name};
         std::vector<std::string> erow{name};
-
-        // One baseline serves every configuration of this benchmark.
-        const RunResult base =
-            ExperimentRunner(defaultConfig())
-                .run(*workload, Mode::Baseline);
-
-        std::size_t column = 0;
-        auto record = [&](const Comparison &cmp) {
+        for (std::size_t column = 0; column < columns.size(); ++column) {
+            const Comparison &cmp = outcomes[next++].cmp;
             srow.push_back(TextTable::times(cmp.speedup));
             erow.push_back(TextTable::times(cmp.energyReduction));
             speedups[column].push_back(cmp.speedup);
             energies[column].push_back(cmp.energyReduction);
-            ++column;
-        };
-
-        for (const auto &lut : luts) {
-            ExperimentConfig config = defaultConfig();
-            config.lut = lut;
-            const ExperimentRunner runner(config);
-            record(ExperimentRunner::score(
-                *workload, base, runner.run(*workload, Mode::AxMemo)));
-        }
-        {
-            const ExperimentRunner runner(defaultConfig());
-            record(ExperimentRunner::score(
-                *workload, base,
-                runner.run(*workload, Mode::SoftwareLut)));
         }
         speedupTable.row(srow);
         energyTable.row(erow);
@@ -86,5 +78,6 @@ main()
                 speedupTable.render().c_str());
     std::printf("--- Fig. 7b: energy saving (E_base / E_axmemo) ---\n%s",
                 energyTable.render().c_str());
+    finishSweep(engine, "fig7");
     return 0;
 }

@@ -29,26 +29,23 @@ main()
     std::vector<double> bigTotals;
     std::vector<double> swTotals;
 
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-        const RunResult base = ExperimentRunner(defaultConfig())
-                                   .run(*workload, Mode::Baseline);
+        ExperimentConfig smallCfg = defaultConfig();
+        smallCfg.lut = {4 * 1024, 0};
+        engine.enqueueCompare(name, Mode::AxMemo, smallCfg);
+        ExperimentConfig bigCfg = defaultConfig();
+        bigCfg.lut = bestLutConfig();
+        engine.enqueueCompare(name, Mode::AxMemo, bigCfg);
+        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
 
-        auto normalized = [&](const LutSetup &lut) {
-            ExperimentConfig config = defaultConfig();
-            config.lut = lut;
-            const ExperimentRunner runner(config);
-            return ExperimentRunner::score(
-                *workload, base, runner.run(*workload, Mode::AxMemo));
-        };
-
-        const Comparison small = normalized({4 * 1024, 0});
-        const Comparison big = normalized(bestLutConfig());
-        const Comparison sw =
-            ExperimentRunner::score(*workload, base,
-                                    ExperimentRunner(defaultConfig())
-                                        .run(*workload,
-                                             Mode::SoftwareLut));
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        const Comparison &small = outcomes[next++].cmp;
+        const Comparison &big = outcomes[next++].cmp;
+        const Comparison &sw = outcomes[next++].cmp;
 
         table.row({name,
                    TextTable::percent(small.normalizedUops -
@@ -77,5 +74,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("paper: 20.0%% / 50.1%% average reduction for L1(4KB) /"
                 " L1(8KB)+L2(512KB); software ~2x increase\n");
+    finishSweep(engine, "fig8");
     return 0;
 }

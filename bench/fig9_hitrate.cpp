@@ -30,22 +30,25 @@ main()
 
     std::vector<std::vector<double>> rates(luts.size() + 1);
 
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-        std::vector<std::string> row{name};
-        std::size_t column = 0;
         for (const auto &lut : luts) {
             ExperimentConfig config = defaultConfig();
             config.lut = lut;
-            const RunResult r = ExperimentRunner(config).run(
-                *workload, Mode::AxMemo);
-            row.push_back(TextTable::percent(r.hitRate()));
-            rates[column++].push_back(r.hitRate());
+            engine.enqueueRun(name, Mode::AxMemo, config);
         }
-        const RunResult sw = ExperimentRunner(defaultConfig())
-                                 .run(*workload, Mode::SoftwareLut);
-        row.push_back(TextTable::percent(sw.hitRate()));
-        rates[column].push_back(sw.hitRate());
+        engine.enqueueRun(name, Mode::SoftwareLut, defaultConfig());
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        std::vector<std::string> row{name};
+        for (std::size_t column = 0; column < rates.size(); ++column) {
+            const RunResult &r = outcomes[next++].run;
+            row.push_back(TextTable::percent(r.hitRate()));
+            rates[column].push_back(r.hitRate());
+        }
         table.row(row);
     }
 
@@ -62,5 +65,6 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("paper: 37.1%% average for L1(4KB), 76.1%% for "
                 "L1(8KB)+L2(512KB), 81.1%% software\n");
+    finishSweep(engine, "fig9");
     return 0;
 }

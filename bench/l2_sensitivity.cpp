@@ -26,21 +26,24 @@ main()
 
     std::vector<double> degradations;
 
+    // Baselines use the matching cache so the comparison isolates
+    // AxMemo's sensitivity, like the paper's; the two hierarchies hash
+    // to distinct baseline-cache keys.
+    SweepEngine engine;
     for (const std::string &name : workloadNames()) {
-        auto workload = makeWorkload(name);
-
         ExperimentConfig bigCfg = defaultConfig();
         bigCfg.lut = {8 * 1024, 256 * 1024};
-
         ExperimentConfig smallCfg = bigCfg;
         smallCfg.hierarchy.l2.sizeBytes = 512 * 1024;
+        engine.enqueueCompare(name, Mode::AxMemo, bigCfg);
+        engine.enqueueCompare(name, Mode::AxMemo, smallCfg);
+    }
+    const std::vector<SweepOutcome> outcomes = engine.execute();
 
-        // Baselines use the matching cache so the comparison isolates
-        // AxMemo's sensitivity, like the paper's.
-        const Comparison big =
-            ExperimentRunner(bigCfg).compare(*workload, Mode::AxMemo);
-        const Comparison small =
-            ExperimentRunner(smallCfg).compare(*workload, Mode::AxMemo);
+    std::size_t next = 0;
+    for (const std::string &name : workloadNames()) {
+        const Comparison &big = outcomes[next++].cmp;
+        const Comparison &small = outcomes[next++].cmp;
 
         const double degradation = 1.0 - small.speedup / big.speedup;
         degradations.push_back(degradation);
@@ -60,5 +63,6 @@ main()
                 "fit in 768KB but not 256KB of cache, exaggerating the "
                 "cliff; the paper's full-size images stream through "
                 "either capacity (run with AXMEMO_FULL=1)\n");
+    finishSweep(engine, "l2_sensitivity");
     return 0;
 }

@@ -133,6 +133,62 @@ BM_SimulatorThroughput(benchmark::State &state)
 BENCHMARK(BM_SimulatorThroughput);
 
 void
+BM_SimulatorTraceCapture(benchmark::State &state)
+{
+    // Same dense loop with a reusable TraceBuffer attached: the delta
+    // against BM_SimulatorThroughput is the cost of trace capture.
+    SimMemory mem;
+    KernelBuilder b("trace");
+    const IReg acc = b.imm(0);
+    b.forRange(0, 4096, 1, [&](IReg i) {
+        const IReg t1 = b.add(acc, i);
+        const IReg t2 = b.mul(t1, 3);
+        b.assign(acc, b.add(t2, 1));
+    });
+    const Program prog = b.finish();
+
+    TraceBuffer buffer(1u << 16);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        buffer.reset();
+        Simulator sim(prog, mem, {});
+        sim.setTraceBuffer(&buffer);
+        const SimStats &stats = sim.run();
+        insts += stats.macroInsts;
+        benchmark::DoNotOptimize(buffer.entries().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulatorTraceCapture);
+
+void
+BM_SimulatorWorkloadThroughput(benchmark::State &state)
+{
+    // End-to-end simulated-instruction throughput on a real benchmark,
+    // through the sweep engine's prepared path: dataset synthesis and
+    // program build happen once, each run clones the memory image.
+    const auto workload = makeWorkload("blackscholes");
+    SimMemory master;
+    WorkloadParams params;
+    params.scale = 0.01;
+    workload->prepare(master, params);
+    const Program prog = workload->build();
+    const ExperimentConfig config;
+    const ExperimentRunner runner(config);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SimMemory mem = master.clone();
+        const RunResult r =
+            runner.runPrepared(*workload, Mode::Baseline, prog, mem);
+        insts += r.stats.macroInsts;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulatorWorkloadThroughput);
+
+void
 BM_MemoUnitLookupUpdate(benchmark::State &state)
 {
     MemoUnitConfig config;

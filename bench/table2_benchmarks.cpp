@@ -24,14 +24,44 @@ main()
                   "memo input (bytes)", "trunc bits (Table 2)",
                   "trunc bits (tuner)"});
 
-    for (const std::string &name : workloadNames()) {
+    const std::vector<std::string> names = workloadNames();
+
+    SweepEngine engine;
+    for (const std::string &name : names)
+        engine.enqueueRun(name, Mode::AxMemo, defaultConfig());
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    // Tuner column: each benchmark's profile-driven re-derivation is an
+    // independent serial search, so spread them across the same worker
+    // count the engine used.
+    std::vector<TuningResult> tuned(names.size());
+    parallelFor(engine.workers(), names.size(), [&](std::size_t i) {
+        auto workload = makeWorkload(names[i]);
+        ExperimentConfig tunerConfig = defaultConfig();
+        tunerConfig.dataset.scale =
+            std::max(0.01, tunerConfig.dataset.scale / 4.0);
+        const double bound = workload->imageOutput() ? 0.01 : 0.001;
+        TruncationTuner tuner(tunerConfig, bound);
+        tuned[i] = tuner.tune(*workload);
+    });
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
         auto workload = makeWorkload(name);
+        {
+            // memoSpec() needs a built program behind it (register
+            // assignments); a sample-set build is enough and cheap.
+            SimMemory scratch;
+            WorkloadParams params;
+            params.scale = 0.01;
+            params.sampleSet = true;
+            workload->prepare(scratch, params);
+            workload->build();
+        }
 
         // Input sizes come from the transform applied to the real
         // program.
-        ExperimentConfig config = defaultConfig();
-        const RunResult r =
-            ExperimentRunner(config).run(*workload, Mode::AxMemo);
+        const RunResult &r = outcomes[i].run;
 
         std::string inputBytes;
         std::string tableTrunc;
@@ -55,21 +85,14 @@ main()
             }
         }
 
-        // Tuner on the sample set at reduced scale.
-        ExperimentConfig tunerConfig = defaultConfig();
-        tunerConfig.dataset.scale =
-            std::max(0.01, tunerConfig.dataset.scale / 4.0);
-        const double bound = workload->imageOutput() ? 0.01 : 0.001;
-        TruncationTuner tuner(tunerConfig, bound);
-        const TuningResult tuned = tuner.tune(*workload);
-
         table.row({name, workload->domain(),
                    workload->datasetDescription(), inputBytes,
-                   tableTrunc, std::to_string(tuned.chosenBits)});
+                   tableTrunc, std::to_string(tuned[i].chosenBits)});
     }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("paper truncation column: 0, 0, 8, 6, (2,7), 16, 16, 8, "
                 "0, 18\n");
+    finishSweep(engine, "table2");
     return 0;
 }

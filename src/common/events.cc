@@ -1,0 +1,57 @@
+#include "common/events.hh"
+
+#include <cstring>
+
+namespace axmemo {
+
+const char *
+eventName(Ev ev)
+{
+    switch (ev) {
+      case Ev::FrontendUops: return "frontend_uops";
+      case Ev::UopIntAlu: return "uop_int_alu";
+      case Ev::UopIntMul: return "uop_int_mul";
+      case Ev::UopIntDiv: return "uop_int_div";
+      case Ev::UopFpSimple: return "uop_fp_simple";
+      case Ev::UopFpMul: return "uop_fp_mul";
+      case Ev::UopFpDiv: return "uop_fp_div";
+      case Ev::UopFpLong: return "uop_fp_long";
+      case Ev::UopMem: return "uop_mem";
+      case Ev::UopBranch: return "uop_branch";
+      case Ev::UopMemo: return "uop_memo";
+      case Ev::L1dHit: return "l1d_hit";
+      case Ev::L1dMiss: return "l1d_miss";
+      case Ev::L2Hit: return "l2_hit";
+      case Ev::L2Miss: return "l2_miss";
+      case Ev::L2WbAccess: return "l2_wb_access";
+      case Ev::DramRead: return "dram_read";
+      case Ev::DramWrite: return "dram_write";
+      case Ev::MemoCrcBytes: return "memo_crc_bytes";
+      case Ev::MemoHvrAccess: return "memo_hvr_access";
+      case Ev::MemoLutL1Access: return "memo_lut_l1_access";
+      case Ev::MemoLutL2Access: return "memo_lut_l2_access";
+      case Ev::NumEvents: break;
+    }
+    return "???";
+}
+
+std::uint64_t
+EventCounters::get(const char *name) const
+{
+    for (std::size_t i = 0; i < numEvents; ++i) {
+        if (std::strcmp(name, eventName(static_cast<Ev>(i))) == 0)
+            return counts_[i];
+    }
+    return 0;
+}
+
+void
+EventCounters::mergeInto(CounterSet &out) const
+{
+    for (std::size_t i = 0; i < numEvents; ++i) {
+        if (counts_[i])
+            out.add(eventName(static_cast<Ev>(i)), counts_[i]);
+    }
+}
+
+} // namespace axmemo

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-enum event counters for simulation hot paths.
+ *
+ * CounterSet (string-keyed, map-backed) is convenient for reports and the
+ * energy model but far too slow for code that fires on every simulated
+ * instruction or cache access: each add() costs a string construction and
+ * an O(log n) tree walk. Every event the timing model can emit is known at
+ * compile time, so the hot paths count into a flat array indexed by this
+ * enum and convert to a CounterSet exactly once, at end of run.
+ */
+
+#ifndef AXMEMO_COMMON_EVENTS_HH
+#define AXMEMO_COMMON_EVENTS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace axmemo {
+
+/** Every counter the simulator, hierarchy, and memo unit can emit. */
+enum class Ev : std::uint8_t
+{
+    // Core front end + per-class µop execution (energy model keys).
+    FrontendUops,
+    UopIntAlu,
+    UopIntMul,
+    UopIntDiv,
+    UopFpSimple,
+    UopFpMul,
+    UopFpDiv,
+    UopFpLong,
+    UopMem,
+    UopBranch,
+    UopMemo,
+
+    // Memory hierarchy.
+    L1dHit,
+    L1dMiss,
+    L2Hit,
+    L2Miss,
+    L2WbAccess,
+    DramRead,
+    DramWrite,
+
+    // Memoization-unit datapath.
+    MemoCrcBytes,
+    MemoHvrAccess,
+    MemoLutL1Access,
+    MemoLutL2Access,
+
+    NumEvents
+};
+
+constexpr std::size_t numEvents = static_cast<std::size_t>(Ev::NumEvents);
+
+/** @return the stable CounterSet/report name of @p ev. */
+const char *eventName(Ev ev);
+
+/** Flat-array event counters; the hot-path replacement for CounterSet. */
+class EventCounters
+{
+  public:
+    /** Add @p delta to @p ev. O(1), no allocation. */
+    void
+    add(Ev ev, std::uint64_t delta = 1)
+    {
+        counts_[static_cast<std::size_t>(ev)] += delta;
+    }
+
+    std::uint64_t
+    get(Ev ev) const
+    {
+        return counts_[static_cast<std::size_t>(ev)];
+    }
+
+    /** Name-based lookup for tests/reports (slow path; 0 if unknown). */
+    std::uint64_t get(const char *name) const;
+
+    /** Accumulate every nonzero counter into @p out under its name. */
+    void mergeInto(CounterSet &out) const;
+
+    /** Zero all counters. */
+    void reset() { counts_.fill(0); }
+
+  private:
+    std::array<std::uint64_t, numEvents> counts_{};
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_EVENTS_HH

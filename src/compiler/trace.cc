@@ -2,22 +2,15 @@
 
 namespace axmemo {
 
-TraceRecorder::TraceRecorder(std::size_t maxEntries)
-    : maxEntries_(maxEntries)
+TraceRecorder::TraceRecorder(std::size_t maxEntries) : buffer_(maxEntries)
 {
-    entries_.reserve(std::min<std::size_t>(maxEntries, 1u << 16));
 }
 
 std::function<void(InstIndex, const Inst &)>
 TraceRecorder::hook()
 {
     return [this](InstIndex staticId, const Inst &inst) {
-        ++observed_;
-        if (entries_.size() >= maxEntries_) {
-            truncated_ = true;
-            return;
-        }
-        entries_.push_back({staticId, inst.op});
+        buffer_.append(staticId, inst.op);
     };
 }
 

@@ -3,10 +3,13 @@
  * Dynamic AxIR trace capture — the reproduction's LLVM-Tracer (step 1 of
  * the compilation flow, Fig. 5).
  *
- * The recorder hooks the simulator's per-retired-instruction callback and
- * stores a bounded window of dynamic instruction records. Region markers
- * are kept in the trace so downstream analyses can attribute dynamic
- * instances to programmer-hinted scopes.
+ * The recorder wraps a reusable TraceBuffer (isa/dyn_trace.hh). The fast
+ * path hands the buffer straight to the simulator
+ * (`sim.setTraceBuffer(&recorder.buffer())`), which appends records with
+ * no per-instruction indirect call; hook() remains for callers that need
+ * an arbitrary std::function observer. Region markers are kept in the
+ * trace so downstream analyses can attribute dynamic instances to
+ * programmer-hinted scopes.
  */
 
 #ifndef AXMEMO_COMPILER_TRACE_HH
@@ -16,16 +19,10 @@
 #include <functional>
 #include <vector>
 
+#include "isa/dyn_trace.hh"
 #include "isa/program.hh"
 
 namespace axmemo {
-
-/** One dynamic instruction record. */
-struct TraceEntry
-{
-    InstIndex staticId = 0;
-    Op op = Op::Halt;
-};
 
 /** Bounded dynamic trace of one program execution. */
 class TraceRecorder
@@ -34,22 +31,28 @@ class TraceRecorder
     /** @param maxEntries stop recording after this many records. */
     explicit TraceRecorder(std::size_t maxEntries = 1u << 20);
 
-    /** Hook suitable for Simulator::setTraceHook. */
+    /** Hook suitable for Simulator::setTraceHook (slow, flexible path). */
     std::function<void(InstIndex, const Inst &)> hook();
 
-    const std::vector<TraceEntry> &entries() const { return entries_; }
+    /** The underlying buffer, for Simulator::setTraceBuffer (fast path). */
+    TraceBuffer &buffer() { return buffer_; }
+
+    const std::vector<TraceEntry> &entries() const
+    {
+        return buffer_.entries();
+    }
 
     /** True if the window filled before the program ended. */
-    bool truncated() const { return truncated_; }
+    bool truncated() const { return buffer_.truncated(); }
 
     /** Total dynamic instructions observed (even past the window). */
-    std::uint64_t observed() const { return observed_; }
+    std::uint64_t observed() const { return buffer_.observed(); }
+
+    /** Forget the recorded trace but keep the buffer's capacity. */
+    void reset() { buffer_.reset(); }
 
   private:
-    std::size_t maxEntries_;
-    std::vector<TraceEntry> entries_;
-    bool truncated_ = false;
-    std::uint64_t observed_ = 0;
+    TraceBuffer buffer_;
 };
 
 } // namespace axmemo

@@ -29,6 +29,7 @@
 #include "compiler/speedup_estimator.hh"
 #include "compiler/transform.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "core/table.hh"
 #include "core/truncation_tuner.hh"
 #include "energy/area_model.hh"

@@ -1,6 +1,9 @@
 #include "core/experiment.hh"
 
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <utility>
 
 #include "common/error_metrics.hh"
 #include "common/log.hh"
@@ -42,13 +45,31 @@ ExperimentRunner::memoConfigFor(const Workload &workload,
     return memo;
 }
 
+void
+ExperimentRunner::accumulateSwCounters(const Simulator &sim,
+                                       const SwTransformResult &tr,
+                                       RunResult &result)
+{
+    for (const auto &counter : tr.counters) {
+        result.lookups += sim.intReg(counter.lookups);
+        result.hits += sim.intReg(counter.hits);
+    }
+}
+
 RunResult
 ExperimentRunner::run(Workload &workload, Mode mode) const
 {
     SimMemory mem;
     workload.prepare(mem, config_.dataset);
     const Program baselineProg = workload.build();
+    return runPrepared(workload, mode, baselineProg, mem);
+}
 
+RunResult
+ExperimentRunner::runPrepared(const Workload &workload, Mode mode,
+                              const Program &baselineProg,
+                              SimMemory &mem) const
+{
     RunResult result;
     result.mode = mode;
 
@@ -73,8 +94,7 @@ ExperimentRunner::run(Workload &workload, Mode mode) const
         else if (config_.truncOverride >= 0)
             spec = spec.withUniformTruncation(
                 static_cast<unsigned>(config_.truncOverride));
-        const TransformResult tr =
-            MemoTransform::apply(baselineProg, spec);
+        TransformResult tr = MemoTransform::apply(baselineProg, spec);
         simConfig.memoEnabled = true;
         simConfig.memo = memoConfigFor(workload, tr.dataBytes);
         Simulator sim(tr.program, mem, simConfig);
@@ -83,7 +103,7 @@ ExperimentRunner::run(Workload &workload, Mode mode) const
             energyModel.compute(result.stats, &simConfig.memo);
         result.lookups = result.stats.memo.lookups;
         result.hits = result.stats.memo.hits();
-        result.regions = tr.regions;
+        result.regions = std::move(tr.regions);
         break;
       }
       case Mode::SoftwareLut:
@@ -98,11 +118,8 @@ ExperimentRunner::run(Workload &workload, Mode mode) const
         Simulator sim(tr.program, mem, simConfig);
         result.stats = sim.run();
         result.energy = energyModel.compute(result.stats, nullptr);
-        for (const auto &counter : tr.counters) {
-            result.lookups += sim.intReg(counter.lookups);
-            result.hits += sim.intReg(counter.hits);
-        }
-        result.regions = tr.regions;
+        accumulateSwCounters(sim, tr, result);
+        result.regions = std::move(tr.regions);
         break;
       }
     }
@@ -119,7 +136,7 @@ ExperimentRunner::compare(Workload &workload, Mode mode) const
 }
 
 Comparison
-ExperimentRunner::score(Workload &workload, RunResult baseline,
+ExperimentRunner::score(const Workload &workload, RunResult baseline,
                         RunResult subject)
 {
     Comparison cmp;
@@ -164,13 +181,25 @@ ExperimentRunner::score(Workload &workload, RunResult baseline,
 double
 ExperimentRunner::benchScaleFromEnv(double fallback)
 {
-    if (const char *full = std::getenv("AXMEMO_FULL");
-        full && full[0] == '1')
-        return 1.0;
-    if (const char *scale = std::getenv("AXMEMO_SCALE")) {
-        const double parsed = std::atof(scale);
-        if (parsed > 0.0)
+    // AXMEMO_FULL must be exactly "1" ("10", "1x", ... are mistakes, not
+    // requests for full scale) and anything but "", "0", "1" is warned
+    // about instead of silently ignored.
+    if (const char *full = std::getenv("AXMEMO_FULL"); full && *full) {
+        if (std::strcmp(full, "1") == 0)
+            return 1.0;
+        if (std::strcmp(full, "0") != 0)
+            axm_warn("ignoring malformed AXMEMO_FULL='", full,
+                     "' (want 0 or 1)");
+    }
+    if (const char *scale = std::getenv("AXMEMO_SCALE");
+        scale && *scale) {
+        char *end = nullptr;
+        const double parsed = std::strtod(scale, &end);
+        if (end != scale && *end == '\0' && parsed > 0.0 &&
+            std::isfinite(parsed))
             return parsed;
+        axm_warn("ignoring malformed AXMEMO_SCALE='", scale,
+                 "' (want a positive number); using ", fallback);
     }
     return fallback;
 }

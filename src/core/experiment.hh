@@ -126,15 +126,28 @@ class ExperimentRunner
     /** Execute @p workload once under @p mode. */
     RunResult run(Workload &workload, Mode mode) const;
 
+    /**
+     * Execute @p mode on an already-prepared workload: @p baselineProg
+     * must be the result of workload.build() after a prepare() with this
+     * config's dataset params, and @p mem a private copy of the prepared
+     * memory (it is mutated by the run). This is the sweep engine's
+     * entry point — prepare/build happen once, runs share them.
+     */
+    RunResult runPrepared(const Workload &workload, Mode mode,
+                          const Program &baselineProg,
+                          SimMemory &mem) const;
+
     /** Execute baseline + @p mode and score the pair. */
     Comparison compare(Workload &workload, Mode mode) const;
 
     /**
      * Score an already-run pair (reuse one baseline across many subject
      * configurations; the baseline must come from the same dataset
-     * parameters).
+     * parameters). Both results are taken by value and moved into the
+     * returned Comparison — std::move() arguments whose last use this
+     * is, to avoid copying the output vectors.
      */
-    static Comparison score(Workload &workload, RunResult baseline,
+    static Comparison score(const Workload &workload, RunResult baseline,
                             RunResult subject);
 
     /** The dataset scale from AXMEMO_FULL / AXMEMO_SCALE (bench use). */
@@ -143,6 +156,11 @@ class ExperimentRunner
   private:
     MemoUnitConfig memoConfigFor(const Workload &workload,
                                  unsigned dataBytes) const;
+
+    /** Fold a software transform's per-region counters into @p result. */
+    static void accumulateSwCounters(const Simulator &sim,
+                                     const SwTransformResult &tr,
+                                     RunResult &result);
 
     ExperimentConfig config_;
 };

@@ -1,0 +1,321 @@
+#include "core/sweep.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <type_traits>
+
+#include "common/log.hh"
+#include "core/json_export.hh"
+
+namespace axmemo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Append the raw bytes of one scalar field to a cache key. */
+template <typename T>
+void
+appendBytes(std::string &key, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    key.append(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+void
+appendCache(std::string &key, const CacheConfig &c)
+{
+    appendBytes(key, c.sizeBytes);
+    appendBytes(key, c.assoc);
+    appendBytes(key, c.lineSize);
+    appendBytes(key, c.hitLatency);
+}
+
+/** Key of the prepared-program cache: workload + dataset parameters. */
+std::string
+prepareKey(const std::string &workload, const WorkloadParams &d)
+{
+    std::string key = workload;
+    key.push_back('\0');
+    appendBytes(key, d.scale);
+    appendBytes(key, d.seed);
+    appendBytes(key, d.sampleSet);
+    return key;
+}
+
+/**
+ * Key of the baseline result cache: everything a Mode::Baseline run can
+ * observe. LUT geometry, CRC width, memo policies etc. deliberately do
+ * not participate — the baseline has no memoization unit, which is what
+ * lets one baseline serve a whole row of subject configurations.
+ */
+std::string
+baselineKey(const std::string &workload, const ExperimentConfig &cfg)
+{
+    std::string key = prepareKey(workload, cfg.dataset);
+    const CpuConfig &cpu = cfg.cpu;
+    appendBytes(key, cpu.issueWidth);
+    appendBytes(key, cpu.mispredictPenalty);
+    appendBytes(key, cpu.freqGhz);
+    appendBytes(key, cpu.numIntAlus);
+    appendBytes(key, cpu.predictorEntries);
+    appendBytes(key, cpu.outOfOrder);
+    appendBytes(key, cpu.robSize);
+    appendCache(key, cfg.hierarchy.l1d);
+    appendCache(key, cfg.hierarchy.l2);
+    const DramConfig &dram = cfg.hierarchy.dram;
+    appendBytes(key, dram.channels);
+    appendBytes(key, dram.banksPerChannel);
+    appendBytes(key, dram.rowBytes);
+    appendBytes(key, dram.rowHitLatency);
+    appendBytes(key, dram.rowMissLatency);
+    const EnergyParams &e = cfg.energy;
+    appendBytes(key, e.frontendPerUop);
+    appendBytes(key, e.intAlu);
+    appendBytes(key, e.intMul);
+    appendBytes(key, e.intDiv);
+    appendBytes(key, e.fpSimple);
+    appendBytes(key, e.fpMul);
+    appendBytes(key, e.fpDiv);
+    appendBytes(key, e.fpLongPerUop);
+    appendBytes(key, e.memAgen);
+    appendBytes(key, e.branch);
+    appendBytes(key, e.memoIssue);
+    appendBytes(key, e.l1dAccess);
+    appendBytes(key, e.l2Access);
+    appendBytes(key, e.dramAccess);
+    appendBytes(key, e.crcPer4Bytes);
+    appendBytes(key, e.hvrAccess);
+    appendBytes(key, e.leakagePerCycle);
+    appendBytes(key, e.memoLeakagePerCycle);
+    return key;
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(unsigned workers)
+    : workers_(workers == 0 ? 1 : workers),
+      pool_(std::make_unique<ThreadPool>(workers_))
+{
+}
+
+SweepEngine::~SweepEngine() = default;
+
+std::size_t
+SweepEngine::enqueueRun(const std::string &workload, Mode mode,
+                        const ExperimentConfig &config)
+{
+    jobs_.push_back({workload, mode, config, /*scored=*/false});
+    return jobs_.size() - 1;
+}
+
+std::size_t
+SweepEngine::enqueueCompare(const std::string &workload, Mode mode,
+                            const ExperimentConfig &config)
+{
+    jobs_.push_back({workload, mode, config, /*scored=*/true});
+    return jobs_.size() - 1;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::execute()
+{
+    const auto wallStart = Clock::now();
+    metrics_ = {};
+    metrics_.workers = workers_;
+    metrics_.jobs = jobs_.size();
+
+    // ---- Phase A: prepared-program cache fill. Entries are inserted
+    // serially so the map never rehashes under concurrency; the
+    // expensive prepare()/build() work runs on the pool, each worker
+    // touching only its own entry.
+    std::vector<PreparedEntry *> newPrepared;
+    std::vector<const SweepJob *> prepareSource;
+    for (const SweepJob &job : jobs_) {
+        const std::string key = prepareKey(job.workload,
+                                           job.config.dataset);
+        auto [it, inserted] = prepared_.try_emplace(key, nullptr);
+        if (inserted) {
+            it->second = std::make_unique<PreparedEntry>();
+            newPrepared.push_back(it->second.get());
+            prepareSource.push_back(&job);
+        }
+    }
+    {
+        const std::function<void(std::size_t)> fn =
+            [&](std::size_t i) {
+                PreparedEntry &entry = *newPrepared[i];
+                const SweepJob &job = *prepareSource[i];
+                const auto start = Clock::now();
+                entry.workload = makeWorkload(job.workload);
+                entry.workload->prepare(entry.mem, job.config.dataset);
+                entry.program = entry.workload->build();
+                entry.seconds = secondsSince(start);
+            };
+        for (std::size_t i = 0; i < newPrepared.size(); ++i)
+            pool_->submit([&fn, i] { fn(i); });
+        pool_->wait();
+    }
+    metrics_.preparedPrograms = newPrepared.size();
+
+    // ---- Phase B: baseline result cache fill, one simulation per
+    // distinct (workload, dataset, cpu, hierarchy, energy) key.
+    std::vector<BaselineEntry *> newBaselines;
+    std::vector<const SweepJob *> baselineSource;
+    for (const SweepJob &job : jobs_) {
+        if (!job.scored && job.mode != Mode::Baseline)
+            continue;
+        ++metrics_.baselineRequests;
+        const std::string key = baselineKey(job.workload, job.config);
+        auto [it, inserted] = baselines_.try_emplace(key, nullptr);
+        if (inserted) {
+            it->second = std::make_unique<BaselineEntry>();
+            it->second->prepared =
+                prepared_
+                    .at(prepareKey(job.workload, job.config.dataset))
+                    .get();
+            newBaselines.push_back(it->second.get());
+            baselineSource.push_back(&job);
+        }
+    }
+    {
+        const std::function<void(std::size_t)> fn =
+            [&](std::size_t i) {
+                BaselineEntry &entry = *newBaselines[i];
+                const SweepJob &job = *baselineSource[i];
+                const auto start = Clock::now();
+                SimMemory mem = entry.prepared->mem.clone();
+                const ExperimentRunner runner(job.config);
+                entry.result = runner.runPrepared(
+                    *entry.prepared->workload, Mode::Baseline,
+                    entry.prepared->program, mem);
+                entry.seconds = secondsSince(start);
+            };
+        for (std::size_t i = 0; i < newBaselines.size(); ++i)
+            pool_->submit([&fn, i] { fn(i); });
+        pool_->wait();
+    }
+    metrics_.baselineSimulations = newBaselines.size();
+
+    // ---- Phase C: subject runs, results in submission order.
+    std::vector<SweepOutcome> results(jobs_.size());
+    {
+        const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+            const SweepJob &job = jobs_[i];
+            SweepOutcome &out = results[i];
+            const PreparedEntry &prep = *prepared_.at(
+                prepareKey(job.workload, job.config.dataset));
+            const BaselineEntry *base = nullptr;
+            if (job.scored || job.mode == Mode::Baseline)
+                base = baselines_.at(baselineKey(job.workload,
+                                                 job.config))
+                           .get();
+
+            const auto start = Clock::now();
+            if (job.mode == Mode::Baseline) {
+                out.run = base->result; // simulated once, shared
+            } else {
+                SimMemory mem = prep.mem.clone();
+                const ExperimentRunner runner(job.config);
+                out.run = runner.runPrepared(*prep.workload, job.mode,
+                                             prep.program, mem);
+                out.seconds = secondsSince(start);
+            }
+            if (job.scored)
+                out.cmp = ExperimentRunner::score(*prep.workload,
+                                                  base->result, out.run);
+        };
+        for (std::size_t i = 0; i < jobs_.size(); ++i)
+            pool_->submit([&fn, i] { fn(i); });
+        pool_->wait();
+    }
+
+    // ---- Metrics: every simulation actually executed this sweep.
+    double serial = 0.0;
+    std::uint64_t macroInsts = 0;
+    for (const PreparedEntry *entry : newPrepared)
+        serial += entry->seconds;
+    for (const BaselineEntry *entry : newBaselines) {
+        serial += entry->seconds;
+        macroInsts += entry->result.stats.macroInsts;
+    }
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        serial += results[i].seconds;
+        if (jobs_[i].mode != Mode::Baseline)
+            macroInsts += results[i].run.stats.macroInsts;
+    }
+    metrics_.wallSeconds = secondsSince(wallStart);
+    metrics_.serialEstimateSeconds = serial;
+    metrics_.simulatedMacroInsts = macroInsts;
+    if (metrics_.wallSeconds > 0.0) {
+        metrics_.jobsPerSecond =
+            static_cast<double>(metrics_.jobs) / metrics_.wallSeconds;
+        metrics_.speedupVsSerial = serial / metrics_.wallSeconds;
+        metrics_.simulatedMinstrPerSecond =
+            static_cast<double>(macroInsts) / 1e6 /
+            metrics_.wallSeconds;
+    }
+
+    jobs_.clear();
+    return results;
+}
+
+std::string
+SweepEngine::summary() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << metrics_.jobs << " jobs on " << metrics_.workers
+       << " worker(s): " << metrics_.wallSeconds << "s wall, "
+       << metrics_.jobsPerSecond << " jobs/s, "
+       << metrics_.simulatedMinstrPerSecond << " simulated Minstr/s, "
+       << metrics_.speedupVsSerial << "x vs serial ("
+       << metrics_.baselineSimulations << "/"
+       << metrics_.baselineRequests << " baselines simulated)";
+    return os.str();
+}
+
+void
+SweepEngine::writeReport(const std::string &label) const
+{
+    const char *dir = std::getenv("AXMEMO_SWEEP_DIR");
+    const std::string path = (dir && *dir ? std::string(dir) + "/"
+                                          : std::string()) +
+                             label + "_sweep.json";
+    std::ofstream out(path);
+    if (!out) {
+        axm_warn("cannot write sweep report to ", path);
+        return;
+    }
+    out.precision(9);
+    out << "{\n"
+        << "  \"label\": \"" << JsonWriter::escape(label) << "\",\n"
+        << "  \"workers\": " << metrics_.workers << ",\n"
+        << "  \"jobs\": " << metrics_.jobs << ",\n"
+        << "  \"wall_seconds\": " << metrics_.wallSeconds << ",\n"
+        << "  \"serial_estimate_seconds\": "
+        << metrics_.serialEstimateSeconds << ",\n"
+        << "  \"speedup_vs_serial\": " << metrics_.speedupVsSerial
+        << ",\n"
+        << "  \"jobs_per_second\": " << metrics_.jobsPerSecond << ",\n"
+        << "  \"simulated_macro_insts\": "
+        << metrics_.simulatedMacroInsts << ",\n"
+        << "  \"simulated_minstr_per_second\": "
+        << metrics_.simulatedMinstrPerSecond << ",\n"
+        << "  \"baseline_requests\": " << metrics_.baselineRequests
+        << ",\n"
+        << "  \"baseline_simulations\": "
+        << metrics_.baselineSimulations << ",\n"
+        << "  \"prepared_programs\": " << metrics_.preparedPrograms
+        << "\n}\n";
+}
+
+} // namespace axmemo

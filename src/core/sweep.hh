@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The sweep execution engine: parallel evaluation of experiment matrices.
+ *
+ * Every paper artifact (Tables 1-5, Figs. 7-11, the ablations) is a sweep
+ * over {workloads} x {modes} x {configurations}. Each simulation is
+ * deterministic (seeded-xorshift datasets, single-threaded core model)
+ * and owns all of its mutable state, so whole runs are embarrassingly
+ * parallel. Callers enqueue (workload, mode, config) jobs; a fixed-size
+ * worker pool (AXMEMO_JOBS, default: hardware threads) runs each job in
+ * its own Simulator/SimMemory instance, and execute() returns results in
+ * deterministic submission order regardless of completion order.
+ *
+ * Two caches remove redundant work the serial harnesses used to repeat:
+ *
+ *  - Prepared-program cache, keyed by (workload, dataset params): the
+ *    dataset is synthesized and the baseline AxIR program built once;
+ *    every run clones the prepared memory image instead of re-running
+ *    prepare()/build().
+ *  - Baseline result cache, keyed by (workload, dataset params,
+ *    CpuConfig, HierarchyConfig, EnergyParams) — everything a baseline
+ *    run can observe. Each distinct baseline is simulated exactly once
+ *    per sweep and shared across the modes and LUT configurations scored
+ *    against it.
+ *
+ * The engine records wall-clock, per-job time, jobs/s and simulated
+ * Minstr/s; writeReport() emits them as <label>_sweep.json so the
+ * performance trajectory of the harnesses is machine-readable.
+ */
+
+#ifndef AXMEMO_CORE_SWEEP_HH
+#define AXMEMO_CORE_SWEEP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/experiment.hh"
+
+namespace axmemo {
+
+/** One enqueued simulation request. */
+struct SweepJob
+{
+    std::string workload;
+    Mode mode = Mode::Baseline;
+    ExperimentConfig config{};
+    /** Also score against the cached baseline (fills SweepOutcome.cmp). */
+    bool scored = false;
+};
+
+/** Result of one job, in submission order. */
+struct SweepOutcome
+{
+    /** The subject run (for Baseline jobs, the baseline itself). */
+    RunResult run;
+    /** Valid only when the job was enqueued via enqueueCompare(). */
+    Comparison cmp;
+    /** Host wall-clock seconds this job's simulation took. */
+    double seconds = 0.0;
+};
+
+/** Host-side performance record of one execute(). */
+struct SweepMetrics
+{
+    unsigned workers = 0;
+    std::size_t jobs = 0;
+    double wallSeconds = 0.0;
+    /** Sum of per-simulation host seconds = serial cost of this sweep. */
+    double serialEstimateSeconds = 0.0;
+    double jobsPerSecond = 0.0;
+    /** serialEstimateSeconds / wallSeconds (1.0 when serial). */
+    double speedupVsSerial = 1.0;
+    std::uint64_t simulatedMacroInsts = 0;
+    double simulatedMinstrPerSecond = 0.0;
+    /** Baselines needed vs actually simulated (cache effectiveness). */
+    std::size_t baselineRequests = 0;
+    std::size_t baselineSimulations = 0;
+    /** Distinct (workload, dataset) prepare()/build() executions. */
+    std::size_t preparedPrograms = 0;
+};
+
+/** Parallel sweep executor; see file comment. */
+class SweepEngine
+{
+  public:
+    /** @param workers pool size; 0 or 1 = serial (AXMEMO_JOBS default). */
+    explicit SweepEngine(unsigned workers = ThreadPool::jobsFromEnv());
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** Enqueue a raw run. @return the job's index into execute()'s
+     * result vector. */
+    std::size_t enqueueRun(const std::string &workload, Mode mode,
+                           const ExperimentConfig &config);
+
+    /** Enqueue a run that is also scored against the cached baseline of
+     * its (workload, dataset, cpu, hierarchy, energy) key. */
+    std::size_t enqueueCompare(const std::string &workload, Mode mode,
+                               const ExperimentConfig &config);
+
+    /**
+     * Run every job enqueued since the last execute(). Results are in
+     * submission order and bit-identical to a serial per-job
+     * ExperimentRunner::run()/compare() evaluation.
+     */
+    std::vector<SweepOutcome> execute();
+
+    unsigned workers() const { return workers_; }
+
+    /** Metrics of the most recent execute(). */
+    const SweepMetrics &metrics() const { return metrics_; }
+
+    /** One-line human-readable summary of metrics(). */
+    std::string summary() const;
+
+    /**
+     * Write metrics() as JSON to <label>_sweep.json in $AXMEMO_SWEEP_DIR
+     * (default: current directory).
+     */
+    void writeReport(const std::string &label) const;
+
+  private:
+    struct PreparedEntry
+    {
+        std::unique_ptr<Workload> workload;
+        SimMemory mem;   ///< master prepared image; jobs clone it
+        Program program; ///< built baseline program, shared read-only
+        double seconds = 0.0;
+    };
+    struct BaselineEntry
+    {
+        const PreparedEntry *prepared = nullptr;
+        RunResult result;
+        double seconds = 0.0;
+    };
+
+    std::vector<SweepJob> jobs_;
+    std::unordered_map<std::string, std::unique_ptr<PreparedEntry>>
+        prepared_;
+    std::unordered_map<std::string, std::unique_ptr<BaselineEntry>>
+        baselines_;
+    SweepMetrics metrics_;
+    unsigned workers_ = 1;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_SWEEP_HH

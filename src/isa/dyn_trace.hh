@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reusable dynamic-trace capture buffer.
+ *
+ * The simulator's original trace path invoked a std::function per retired
+ * instruction — an indirect call plus capture overhead on the hottest loop
+ * in the system. TraceBuffer is the allocation-free alternative: the
+ * simulator appends records directly into a caller-owned, bounded vector
+ * whose capacity survives reset(), so sweeping many traced runs reuses one
+ * buffer instead of reallocating per run.
+ */
+
+#ifndef AXMEMO_ISA_DYN_TRACE_HH
+#define AXMEMO_ISA_DYN_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/opcodes.hh"
+#include "isa/program.hh"
+
+namespace axmemo {
+
+/** One dynamic instruction record. */
+struct TraceEntry
+{
+    InstIndex staticId = 0;
+    Op op = Op::Halt;
+};
+
+/** Bounded, reusable dynamic trace of one program execution. */
+class TraceBuffer
+{
+  public:
+    /** @param maxEntries stop recording after this many records. */
+    explicit TraceBuffer(std::size_t maxEntries = 1u << 20)
+        : maxEntries_(maxEntries)
+    {
+        entries_.reserve(std::min<std::size_t>(maxEntries, 1u << 16));
+    }
+
+    /** Record one retired instruction (hot path: branch + push_back). */
+    void
+    append(InstIndex staticId, Op op)
+    {
+        ++observed_;
+        if (entries_.size() >= maxEntries_) {
+            truncated_ = true;
+            return;
+        }
+        entries_.push_back({staticId, op});
+    }
+
+    const std::vector<TraceEntry> &entries() const { return entries_; }
+
+    /** True if the window filled before the program ended. */
+    bool truncated() const { return truncated_; }
+
+    /** Total dynamic instructions observed (even past the window). */
+    std::uint64_t observed() const { return observed_; }
+
+    /** Forget the recorded trace but keep the buffer's capacity. */
+    void
+    reset()
+    {
+        entries_.clear();
+        truncated_ = false;
+        observed_ = 0;
+    }
+
+  private:
+    std::size_t maxEntries_;
+    std::vector<TraceEntry> entries_;
+    bool truncated_ = false;
+    std::uint64_t observed_ = 0;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_ISA_DYN_TRACE_HH

@@ -51,8 +51,8 @@ MemoizationUnit::feed(LutId lut, ThreadId tid, std::uint64_t word,
     hvrs_.feed(lut, tid, truncated, nbytes);
 
     stats_.inputBytesHashed += nbytes;
-    events_.add("memo_crc_bytes", nbytes);
-    events_.add("memo_hvr_access");
+    events_.add(Ev::MemoCrcBytes, nbytes);
+    events_.add(Ev::MemoHvrAccess);
 
     // Timing: the CRC unit drains the input queue at bytesPerCycle. The
     // producing instruction does not stall unless the backlog exceeds the
@@ -79,10 +79,10 @@ MemoizationUnit::lookup(LutId lut, ThreadId tid, Cycle now)
     result.latency = (ready > now ? ready - now : 0);
 
     const std::uint64_t hash = hvrs_.readAndReset(lut, tid);
-    events_.add("memo_hvr_access");
+    events_.add(Ev::MemoHvrAccess);
 
     result.latency += config_.l1LutLatency;
-    events_.add("memo_lut_l1_access");
+    events_.add(Ev::MemoLutL1Access);
 
     if (!enabled()) {
         // Kill switch tripped: everything is a miss and nothing is
@@ -96,13 +96,13 @@ MemoizationUnit::lookup(LutId lut, ThreadId tid, Cycle now)
 
     if (!data && l2_) {
         result.latency += config_.l2LutLatency;
-        events_.add("memo_lut_l2_access");
+        events_.add(Ev::MemoLutL2Access);
         data = l2_->lookup(lut, hash);
         if (data) {
             fromL2 = true;
             // Promote into L1.
             const auto victim = l1_.insert(lut, hash, *data);
-            events_.add("memo_lut_l1_access");
+            events_.add(Ev::MemoLutL1Access);
             if (config_.l2Policy == L2LutPolicy::Victim) {
                 // Exclusive: the entry moves up; the displaced L1
                 // entry spills down.
@@ -110,7 +110,7 @@ MemoizationUnit::lookup(LutId lut, ThreadId tid, Cycle now)
                 if (victim)
                     l2_->insert(victim->lutId, victim->hash,
                                 victim->data);
-                events_.add("memo_lut_l2_access");
+                events_.add(Ev::MemoLutL2Access);
             }
             // Inclusive: the L1 victim still lives in L2; drop it.
         }
@@ -271,7 +271,7 @@ MemoizationUnit::insertBoth(LutId lut, std::uint64_t hash,
                             std::uint64_t data)
 {
     const auto l1Victim = l1_.insert(lut, hash, data);
-    events_.add("memo_lut_l1_access");
+    events_.add(Ev::MemoLutL1Access);
     if (!l2_)
         return;
 
@@ -281,7 +281,7 @@ MemoizationUnit::insertBoth(LutId lut, std::uint64_t hash,
         // preserve inclusion and then dropped (LUT entries are never
         // written back to memory, Section 3.4).
         const auto victim = l2_->insert(lut, hash, data);
-        events_.add("memo_lut_l2_access");
+        events_.add(Ev::MemoLutL2Access);
         if (victim)
             l1_.erase(victim->lutId, victim->hash);
     } else {
@@ -290,7 +290,7 @@ MemoizationUnit::insertBoth(LutId lut, std::uint64_t hash,
         if (l1Victim) {
             l2_->insert(l1Victim->lutId, l1Victim->hash,
                         l1Victim->data);
-            events_.add("memo_lut_l2_access");
+            events_.add(Ev::MemoLutL2Access);
         }
     }
 }
@@ -331,9 +331,9 @@ MemoizationUnit::invalidate(LutId lut, ThreadId tid)
     // Discard any in-flight context for this LUT on this thread.
     hvrs_.readAndReset(lut, tid);
     pendingFor(lut, tid).active = false;
-    events_.add("memo_lut_l1_access");
+    events_.add(Ev::MemoLutL1Access);
     if (l2_)
-        events_.add("memo_lut_l2_access");
+        events_.add(Ev::MemoLutL2Access);
     // Dedicated flash-invalidate logic: one cycle per way in a set.
     return l1_.ways();
 }

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/events.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "crc/crc.hh"
@@ -196,7 +197,7 @@ class MemoizationUnit
     const LookupTable *l2() const { return l2_.get(); }
 
     /** Energy events: crc_bytes, hvr_access, lut_l1, lut_l2, ... */
-    const CounterSet &events() const { return events_; }
+    const EventCounters &events() const { return events_; }
 
     /** Extra truncation currently applied to approximable inputs. */
     unsigned extraTruncBits(LutId lut) const;
@@ -257,7 +258,7 @@ class MemoizationUnit
     std::vector<PendingUpdate> pending_;
     std::vector<AdaptiveState> adaptive_;
     MemoUnitStats stats_;
-    CounterSet events_;
+    EventCounters events_;
 };
 
 } // namespace axmemo

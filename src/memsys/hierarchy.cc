@@ -12,7 +12,7 @@ MemHierarchy::access(Addr addr, bool isWrite)
 {
     Cycle latency = config_.l1d.hitLatency;
     const CacheAccessResult l1 = l1d_.access(addr, isWrite);
-    events_.add(l1.hit ? "l1d_hit" : "l1d_miss");
+    events_.add(l1.hit ? Ev::L1dHit : Ev::L1dMiss);
     if (l1.hit)
         return latency;
 
@@ -20,26 +20,26 @@ MemHierarchy::access(Addr addr, bool isWrite)
     // critical path of the demand access but still generates L2 traffic.
     if (l1.writeback) {
         const CacheAccessResult wb = l2_.access(l1.writebackAddr, true);
-        events_.add("l2_wb_access");
+        events_.add(Ev::L2WbAccess);
         if (!wb.hit && wb.writeback) {
             dram_.access(wb.writebackAddr);
-            events_.add("dram_write");
+            events_.add(Ev::DramWrite);
         }
     }
 
     latency += config_.l2.hitLatency;
     const CacheAccessResult l2 = l2_.access(addr, isWrite);
-    events_.add(l2.hit ? "l2_hit" : "l2_miss");
+    events_.add(l2.hit ? Ev::L2Hit : Ev::L2Miss);
     if (l2.hit)
         return latency;
 
     if (l2.writeback) {
         dram_.access(l2.writebackAddr);
-        events_.add("dram_write");
+        events_.add(Ev::DramWrite);
     }
 
     latency += dram_.access(addr);
-    events_.add("dram_read");
+    events_.add(Ev::DramRead);
     return latency;
 }
 

@@ -14,7 +14,7 @@
 
 #include <cstdint>
 
-#include "common/stats.hh"
+#include "common/events.hh"
 #include "common/types.hh"
 #include "memsys/cache.hh"
 #include "memsys/dram.hh"
@@ -69,15 +69,15 @@ class MemHierarchy
     Dram &dram() { return dram_; }
     const Dram &dram() const { return dram_; }
 
-    /** Event counters: l1d_hit/l1d_miss/l2_hit/l2_miss/dram_access/... */
-    const CounterSet &events() const { return events_; }
+    /** Event counters: l1d_hit/l1d_miss/l2_hit/l2_miss/dram_read/... */
+    const EventCounters &events() const { return events_; }
 
   private:
     HierarchyConfig config_;
     Cache l1d_;
     Cache l2_;
     Dram dram_;
-    CounterSet events_;
+    EventCounters events_;
 };
 
 } // namespace axmemo

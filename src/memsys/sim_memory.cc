@@ -88,6 +88,17 @@ SimMemory::allocate(std::size_t len)
     return base;
 }
 
+SimMemory
+SimMemory::clone() const
+{
+    SimMemory copy;
+    copy.allocNext_ = allocNext_;
+    copy.pages_.reserve(pages_.size());
+    for (const auto &[pageNum, page] : pages_)
+        copy.pages_.emplace(pageNum, std::make_unique<Page>(*page));
+    return copy;
+}
+
 void
 SimMemory::clear()
 {

@@ -77,6 +77,13 @@ class SimMemory
     /** Number of physical pages materialized so far. */
     std::size_t pageCount() const { return pages_.size(); }
 
+    /**
+     * Deep copy: identical contents and allocator state, independent
+     * pages. The sweep engine prepares a workload's dataset once and
+     * clones it per run instead of re-synthesizing.
+     */
+    SimMemory clone() const;
+
     /** Drop all contents and reset the allocator. */
     void clear();
 

@@ -8,6 +8,25 @@
 
 namespace axmemo {
 
+namespace {
+
+/** EnergyClass -> µop event id (NumEvents = "charge nothing"). */
+constexpr Ev kUopEvent[] = {
+    Ev::UopIntAlu,    // EnergyClass::IntAlu
+    Ev::UopIntMul,    // EnergyClass::IntMul
+    Ev::UopIntDiv,    // EnergyClass::IntDiv
+    Ev::UopFpSimple,  // EnergyClass::FpSimple
+    Ev::UopFpMul,     // EnergyClass::FpMul
+    Ev::UopFpDiv,     // EnergyClass::FpDiv
+    Ev::UopFpLong,    // EnergyClass::FpLong
+    Ev::UopMem,       // EnergyClass::Mem
+    Ev::UopBranch,    // EnergyClass::Branch
+    Ev::UopMemo,      // EnergyClass::Memo
+    Ev::NumEvents,    // EnergyClass::None
+};
+
+} // namespace
+
 Simulator::Simulator(const Program &prog, SimMemory &mem,
                      const SimConfig &config)
     : prog_(prog), mem_(mem), config_(config),
@@ -16,10 +35,31 @@ Simulator::Simulator(const Program &prog, SimMemory &mem,
       intRegs_(prog.numIntRegs(), 0),
       floatRegs_(prog.numFloatRegs(), 0.0f),
       intRegReady_(prog.numIntRegs(), 0),
-      floatRegReady_(prog.numFloatRegs(), 0),
-      aluReady_(config.cpu.numIntAlus, 0)
+      floatRegReady_(prog.numFloatRegs(), 0)
 {
+    if (config_.cpu.numIntAlus == 0 ||
+        config_.cpu.numIntAlus > kMaxIntAlus)
+        axm_fatal("numIntAlus must be in [1, ", kMaxIntAlus, "]");
+    numAlus_ = config_.cpu.numIntAlus;
     slotsLeft_ = config_.cpu.issueWidth;
+
+    // Predecode: resolve everything about a static instruction that the
+    // cycle loop would otherwise recompute per dynamic instance.
+    decoded_.resize(prog.size());
+    for (InstIndex i = 0; i < prog.size(); ++i) {
+        const Inst &inst = prog.at(i);
+        const OpTraits &traits = opTraits(inst.op);
+        Decoded &d = decoded_[i];
+        d.ops = operandsOf(inst);
+        d.latency = traits.latency;
+        d.uops = std::max(1u, traits.uops);
+        d.fu = traits.fu;
+        d.issueFu =
+            traits.fu == FuClass::None ? FuClass::IntAlu : traits.fu;
+        d.pipelined = traits.pipelined;
+        d.memoCounted = inst.isMemoOp() && inst.op != Op::LdCrc;
+        d.uopEv = kUopEvent[static_cast<std::size_t>(traits.energy)];
+    }
     if (config_.cpu.outOfOrder) {
         if (config_.cpu.robSize == 0)
             axm_fatal("out-of-order mode needs a nonzero ROB");
@@ -84,48 +124,33 @@ Simulator::issueUops(Cycle earliest, unsigned uops)
         slotsLeft_ = config_.cpu.issueWidth;
     }
     const Cycle issued = frontCycle_;
-    unsigned remaining = uops;
-    while (remaining > 0) {
-        const unsigned take = std::min(slotsLeft_, remaining);
-        remaining -= take;
-        slotsLeft_ -= take;
-        if (slotsLeft_ == 0) {
-            ++frontCycle_;
-            slotsLeft_ = config_.cpu.issueWidth;
-        }
+    // Closed form of draining uops through issueWidth slots per cycle
+    // (replaces the per-chunk loop the libm intrinsics used to spin in).
+    if (uops >= slotsLeft_) {
+        const unsigned width = config_.cpu.issueWidth;
+        const unsigned rem = uops - slotsLeft_;
+        frontCycle_ += 1 + rem / width;
+        slotsLeft_ = width - rem % width;
+    } else {
+        slotsLeft_ -= uops;
     }
     return issued;
 }
 
-Cycle &
-Simulator::fuReady(FuClass fu, Cycle earliest)
+Cycle *
+Simulator::fuSlot(FuClass fu)
 {
     if (fu == FuClass::IntAlu) {
-        // Pick the ALU instance that frees up first.
+        // Pick the ALU instance that frees up first (lowest index wins
+        // ties, matching the original scoreboard scan).
         std::size_t best = 0;
-        for (std::size_t i = 1; i < aluReady_.size(); ++i) {
+        for (std::size_t i = 1; i < numAlus_; ++i) {
             if (aluReady_[i] < aluReady_[best])
                 best = i;
         }
-        if (aluReady_[best] < earliest)
-            aluReady_[best] = earliest;
-        return aluReady_[best];
+        return &aluReady_[best];
     }
-    Cycle &slot = unitReady_[static_cast<std::size_t>(fu)];
-    if (slot < earliest)
-        slot = earliest;
-    return slot;
-}
-
-void
-Simulator::chargeUop(const OpTraits &traits, unsigned uops)
-{
-    stats_.uops += uops;
-    stats_.events.add("frontend_uops", uops);
-    if (traits.energy != EnergyClass::None)
-        stats_.events.add(std::string("uop_") +
-                              energyClassName(traits.energy),
-                          uops);
+    return &unitReady_[static_cast<std::size_t>(fu)];
 }
 
 const SimStats &
@@ -143,10 +168,12 @@ Simulator::run()
 
     while (pc < prog_.size()) {
         const Inst &inst = prog_.at(pc);
-        const OpTraits &traits = opTraits(inst.op);
+        const Decoded &dec = decoded_[pc];
 
         if (inst.op == Op::RegionBegin || inst.op == Op::RegionEnd) {
-            if (traceHook_)
+            if (traceBuf_)
+                traceBuf_->append(pc, inst.op);
+            else if (traceHook_)
                 traceHook_(pc, inst);
             ++pc;
             continue;
@@ -157,7 +184,7 @@ Simulator::run()
                       config_.maxMacroInsts, ") — runaway loop?");
 
         // ---- timing: earliest execution start ----
-        const OperandInfo ops = operandsOf(inst);
+        const OperandInfo &ops = dec.ops;
         Cycle srcReady = 0;
         for (unsigned k = 0; k < ops.numSources; ++k) {
             const RegId src = ops.sources[k];
@@ -169,9 +196,7 @@ Simulator::run()
         if (inst.op == Op::BrHit || inst.op == Op::BrMiss)
             srcReady = std::max(srcReady, hitFlagReady_);
 
-        Cycle &unit = fuReady(traits.fu == FuClass::None ? FuClass::IntAlu
-                                                         : traits.fu,
-                              0);
+        Cycle *const unit = fuSlot(dec.issueFu);
 
         Cycle t;
         if (config_.cpu.outOfOrder) {
@@ -179,20 +204,21 @@ Simulator::run()
             // robSize back has not retired; execute as soon as operands
             // and a unit are free.
             const Cycle robReady = retireRing_[retireHead_];
-            const Cycle dispatch =
-                issueUops(robReady, std::max(1u, traits.uops));
-            t = std::max({dispatch, srcReady, unit});
+            const Cycle dispatch = issueUops(robReady, dec.uops);
+            t = std::max({dispatch, srcReady, *unit});
         } else {
             // In-order issue: the front end stalls on operand and
             // structural hazards.
-            t = issueUops(std::max(srcReady, unit),
-                          std::max(1u, traits.uops));
+            t = issueUops(std::max(srcReady, *unit), dec.uops);
         }
-        Cycle latency = traits.latency;
+        Cycle latency = dec.latency;
 
-        chargeUop(traits, std::max(1u, traits.uops));
-        if (inst.isMemoOp() && inst.op != Op::LdCrc)
-            stats_.memoUops += std::max(1u, traits.uops);
+        stats_.uops += dec.uops;
+        ev_.add(Ev::FrontendUops, dec.uops);
+        if (dec.uopEv != Ev::NumEvents)
+            ev_.add(dec.uopEv, dec.uops);
+        if (dec.memoCounted)
+            stats_.memoUops += dec.uops;
 
         // ---- functional execution (+ op-specific timing) ----
         InstIndex nextPc = pc + 1;
@@ -405,7 +431,9 @@ Simulator::run()
 
           case Op::Halt:
             endCycle = std::max(endCycle, t + latency);
-            if (traceHook_)
+            if (traceBuf_)
+                traceBuf_->append(pc, inst.op);
+            else if (traceHook_)
                 traceHook_(pc, inst);
             pc = prog_.size();
             continue;
@@ -514,11 +542,10 @@ Simulator::run()
 
         // Functional-unit occupancy (the same unit instance consulted at
         // issue; pipelined units free after one cycle).
-        if (traits.fu != FuClass::None) {
-            const Cycle busyUntil =
-                traits.pipelined ? t + 1 : resultReady;
-            if (unit < busyUntil)
-                unit = busyUntil;
+        if (dec.fu != FuClass::None) {
+            const Cycle busyUntil = dec.pipelined ? t + 1 : resultReady;
+            if (*unit < busyUntil)
+                *unit = busyUntil;
         }
 
         // In-order retirement bounds the OoO window.
@@ -530,19 +557,22 @@ Simulator::run()
 
         endCycle = std::max(endCycle, resultReady);
 
-        if (traceHook_)
+        if (traceBuf_)
+            traceBuf_->append(pc, inst.op);
+        else if (traceHook_)
             traceHook_(pc, inst);
 
         pc = nextPc;
     }
 
     stats_.cycles = std::max(endCycle, frontCycle_);
+    ev_.mergeInto(stats_.events);
     if (config_.memoEnabled) {
         stats_.memo = memoUnit_.stats();
         stats_.memo.monitorTripped = !memoUnit_.enabled();
-        stats_.events.merge(memoUnit_.events());
+        memoUnit_.events().mergeInto(stats_.events);
     }
-    stats_.events.merge(hierarchy_.events());
+    hierarchy_.events().mergeInto(stats_.events);
     stats_.events.add("cycles", stats_.cycles);
     return stats_;
 }

@@ -26,8 +26,10 @@
 #include <functional>
 #include <vector>
 
+#include "common/events.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "isa/dyn_trace.hh"
 #include "isa/op_traits.hh"
 #include "isa/program.hh"
 #include "memo/memo_unit.hh"
@@ -124,19 +126,44 @@ class Simulator
     float floatReg(FReg reg) const;
 
     /**
-     * Optional per-retired-instruction observer (static index). Used by
-     * the compiler's trace recorder; adds no timing cost.
+     * Optional per-retired-instruction observer (static index). Used for
+     * ad-hoc observers; adds no timing cost but pays a std::function
+     * call per retired instruction — prefer setTraceBuffer for capture.
      */
     void setTraceHook(std::function<void(InstIndex, const Inst &)> hook)
     {
         traceHook_ = std::move(hook);
     }
 
+    /**
+     * Reusable-buffer trace capture: retired instructions are appended
+     * straight into @p buffer (no indirect call, no allocation once the
+     * buffer's capacity is warm). Takes precedence over the hook.
+     * @p buffer must outlive the simulator.
+     */
+    void setTraceBuffer(TraceBuffer *buffer) { traceBuf_ = buffer; }
+
   private:
+    /**
+     * Per-static-instruction facts the cycle loop would otherwise
+     * recompute on every dynamic instance (operand shapes, µop counts,
+     * unit routing, energy event id). Built once at construction.
+     */
+    struct Decoded
+    {
+        OperandInfo ops;
+        Cycle latency = 1;
+        unsigned uops = 1; ///< max(1, traits.uops)
+        FuClass fu = FuClass::IntAlu;      ///< raw unit (None = marker)
+        FuClass issueFu = FuClass::IntAlu; ///< unit gating issue
+        bool pipelined = true;
+        bool memoCounted = false; ///< contributes to stats_.memoUops
+        Ev uopEv = Ev::NumEvents; ///< NumEvents when EnergyClass::None
+    };
+
     // --- timing helpers ---
     Cycle issueUops(Cycle earliest, unsigned uops);
-    Cycle &fuReady(FuClass fu, Cycle earliest);
-    void chargeUop(const OpTraits &traits, unsigned uops);
+    Cycle *fuSlot(FuClass fu);
 
     // --- functional helpers ---
     std::uint64_t readInt(RegId reg) const;
@@ -151,6 +178,8 @@ class Simulator
     MemoizationUnit memoUnit_;
     BranchPredictor predictor_;
 
+    std::vector<Decoded> decoded_;
+
     std::vector<std::uint64_t> intRegs_;
     std::vector<float> floatRegs_;
     std::vector<Cycle> intRegReady_;
@@ -160,8 +189,11 @@ class Simulator
     Cycle frontCycle_ = 0;
     unsigned slotsLeft_ = 0;
 
-    // Functional-unit availability (IntAlu has numIntAlus instances).
-    std::vector<Cycle> aluReady_;
+    // Functional-unit availability (IntAlu has numIntAlus instances,
+    // inline to keep the per-instruction min-scan off the heap).
+    static constexpr unsigned kMaxIntAlus = 16;
+    std::array<Cycle, kMaxIntAlus> aluReady_{};
+    unsigned numAlus_ = 2;
     std::array<Cycle, 8> unitReady_{};
 
     // Memoization condition flag (set by lookup).
@@ -175,7 +207,10 @@ class Simulator
     Cycle lastRetire_ = 0;
 
     SimStats stats_;
+    /** Hot-path event accumulator, folded into stats_.events at halt. */
+    EventCounters ev_;
     std::function<void(InstIndex, const Inst &)> traceHook_;
+    TraceBuffer *traceBuf_ = nullptr;
     bool ran_ = false;
 };
 

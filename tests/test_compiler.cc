@@ -312,7 +312,9 @@ TEST(MemoTransform, StoreInRegionFatal)
     b.regionEnd(1);
     const Program p = b.finish();
     MemoSpec spec;
-    spec.regions.push_back({.regionId = 1});
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
     EXPECT_THROW(MemoTransform::apply(p, spec), std::runtime_error);
 }
 
@@ -331,7 +333,9 @@ TEST(MemoTransform, TooManyOutputsFatal)
     b.stf(sink, 8, d);
     const Program p = b.finish();
     MemoSpec spec;
-    spec.regions.push_back({.regionId = 1});
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
     EXPECT_THROW(MemoTransform::apply(p, spec), std::runtime_error);
 }
 
@@ -355,7 +359,9 @@ TEST(MemoTransform, EarlyExitRoutesThroughUpdate)
     const Program p = b.finish();
 
     MemoSpec spec;
-    spec.regions.push_back({.regionId = 1});
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
     const TransformResult tr = MemoTransform::apply(p, spec);
 
     SimMemory mem;
@@ -386,7 +392,9 @@ TEST(MemoTransform, InvalidatePointsEmitInvalidate)
     }();
 
     MemoSpec spec;
-    spec.regions.push_back({.regionId = 1});
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
     spec.invalidateAt[9] = {0};
     const TransformResult tr = MemoTransform::apply(p, spec);
 
@@ -522,7 +530,9 @@ TEST(SoftwareTransform, GenerationInvalidation)
     const Program p = b.finish();
 
     MemoSpec spec;
-    spec.regions.push_back({.regionId = 1});
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
     spec.invalidateAt[9] = {0};
     const SwTransformResult tr =
         SoftwareMemoTransform::apply(p, spec, mem);

@@ -101,8 +101,9 @@ TEST_P(CrcWidthTest, ResultFitsWidth)
     const unsigned width = GetParam();
     const CrcEngine engine(CrcSpec::ofWidth(width));
     const std::uint64_t crc = engine.compute(kCheck, 9);
-    if (width < 64)
+    if (width < 64) {
         EXPECT_EQ(crc >> width, 0u);
+    }
 }
 
 TEST_P(CrcWidthTest, EveryInputBitMatters)

@@ -135,8 +135,9 @@ TEST(Experiment, TunerSweepsAndRespectsBound)
                   result.sweep[i - 1].hitRate);
     // The chosen level is the last one meeting the bound.
     for (const TuningPoint &point : result.sweep) {
-        if (point.truncBits <= result.chosenBits)
+        if (point.truncBits <= result.chosenBits) {
             EXPECT_LE(point.qualityLoss, 0.001);
+        }
     }
 }
 

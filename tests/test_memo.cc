@@ -124,10 +124,11 @@ TEST_P(LutCapacityTest, CyclicReuse)
     const double hitRate =
         static_cast<double>(lut.hits()) /
         static_cast<double>(lut.hits() + lut.misses());
-    if (entries >= 2 * keys)
+    if (entries >= 2 * keys) {
         EXPECT_GT(hitRate, 0.70);
-    else if (entries <= keys / 4)
+    } else if (entries <= keys / 4) {
         EXPECT_LT(hitRate, 0.35);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LutCapacityTest,

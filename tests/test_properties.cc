@@ -174,11 +174,13 @@ TEST_P(ReuseSweepTest, FewerDistinctKeysMoreHits)
         static_cast<double>(hits) / static_cast<double>(lookups);
     // With an 8 KB LUT (2048 entries), pools within capacity achieve
     // roughly 1 - pool/lookups; outside capacity the rate collapses.
-    if (pool <= 1024)
+    if (pool <= 1024) {
         EXPECT_GT(hitRate, 0.9 * (1.0 - static_cast<double>(pool) /
                                             lookups));
-    if (pool >= 1u << 16)
+    }
+    if (pool >= 1u << 16) {
         EXPECT_LT(hitRate, 0.1);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Pools, ReuseSweepTest,
