@@ -1,78 +1,13 @@
 /**
  * @file
- * Ablation: the runtime (dynamic) truncation controller of Section 3.1's
- * "dynamic approach" — the paper describes it as an alternative to
- * static profiling but never evaluates it. Each benchmark is started at
- * a deliberately shallow truncation level (as if no profiling data
- * existed); the controller's periodic profiling phases then deepen the
- * level while the measured error stays under target. Compared against
- * the static Table 2 levels and against the shallow level without the
- * controller.
+ * Standalone binary for the registered 'ablate_adaptive_truncation' artifact; the
+ * implementation lives in bench/artifacts/ablate_adaptive_truncation.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation: static profiling vs runtime truncation control");
-
-    TextTable table;
-    table.header({"benchmark", "static(Table2) speedup", "hit",
-                  "shallow speedup", "hit", "shallow+adaptive speedup",
-                  "hit", "raises", "quality"});
-
-    // Benchmarks whose Table 2 level is nonzero (the controller only
-    // deepens approximable inputs).
-    const char *subset[] = {"inversek2j", "kmeans", "sobel", "hotspot",
-                            "srad"};
-
-    SweepEngine engine;
-    for (const char *name : subset) {
-        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
-
-        ExperimentConfig shallow = defaultConfig();
-        shallow.truncOverride = 2; // almost no approximation
-        engine.enqueueCompare(name, Mode::AxMemo, shallow);
-
-        ExperimentConfig adaptive = shallow;
-        adaptive.adaptive.enabled = true;
-        adaptive.adaptive.profilePeriod = 2500;
-        adaptive.adaptive.profileLength = 30;
-        adaptive.adaptive.targetError = 0.01;
-        adaptive.adaptive.maxExtraBits = 14;
-        engine.enqueueCompare(name, Mode::AxMemo, adaptive);
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const char *name : subset) {
-        const Comparison &staticRun = outcomes[next++].cmp;
-        const Comparison &shallowRun = outcomes[next++].cmp;
-        const Comparison &adaptiveRun = outcomes[next++].cmp;
-
-        table.row(
-            {name, TextTable::times(staticRun.speedup),
-             TextTable::percent(staticRun.subject.hitRate(), 0),
-             TextTable::times(shallowRun.speedup),
-             TextTable::percent(shallowRun.subject.hitRate(), 0),
-             TextTable::times(adaptiveRun.speedup),
-             TextTable::percent(adaptiveRun.subject.hitRate(), 0),
-             std::to_string(
-                 adaptiveRun.subject.stats.memo.adaptiveRaises),
-             TextTable::percent(adaptiveRun.qualityLoss, 2)});
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("expectation: starting shallow costs most of the hit "
-                "rate; the runtime controller recovers a large part of "
-                "the statically-profiled benefit without offline "
-                "profiling, at bounded error\n");
-    finishSweep(engine, "ablate_adaptive_truncation");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_adaptive_truncation");
 }

@@ -1,63 +1,13 @@
 /**
  * @file
- * Ablation: CRC width (DESIGN.md AB1). The paper asserts that a 32-bit
- * CRC is "generally large enough to avoid collision" (Section 6). This
- * bench sweeps the hash width on a representative subset: narrow CRCs
- * alias distinct inputs onto the same tag, which shows up as inflated
- * hit rates and degraded output quality; wide CRCs buy nothing further.
- * The hardware cost of each width is printed alongside.
+ * Standalone binary for the registered 'ablate_crc_width' artifact; the
+ * implementation lives in bench/artifacts/ablate_crc_width.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation AB1: CRC width vs hit rate / quality / cost");
-
-    const unsigned widths[] = {8, 16, 24, 32, 64};
-    const char *subset[] = {"blackscholes", "sobel", "kmeans",
-                            "inversek2j"};
-
-    TextTable table;
-    table.header({"benchmark", "width", "hit rate", "quality loss",
-                  "speedup", "crc area (mm^2)"});
-
-    SweepEngine engine;
-    for (const char *name : subset) {
-        for (unsigned width : widths) {
-            ExperimentConfig config = defaultConfig();
-            config.crcBits = width;
-            // Disable the kill switch so collision damage is visible.
-            config.qualityMonitor = false;
-            engine.enqueueCompare(name, Mode::AxMemo, config);
-        }
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const char *name : subset) {
-        for (unsigned width : widths) {
-            const Comparison &cmp = outcomes[next++].cmp;
-            CrcHwConfig hw;
-            hw.width = width;
-            table.row({name, std::to_string(width),
-                       TextTable::percent(cmp.subject.hitRate()),
-                       TextTable::percent(cmp.qualityLoss, 3),
-                       TextTable::times(cmp.speedup),
-                       TextTable::num(CrcHwModel(hw).areaMm2(), 4)});
-        }
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("expectation: quality degrades sharply below 24 bits "
-                "(collisions return wrong entries); 32 vs 64 bits is "
-                "indistinguishable, matching the paper's choice\n");
-    finishSweep(engine, "ablate_crc_width");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_crc_width");
 }

@@ -1,66 +1,13 @@
 /**
  * @file
- * Ablation: inclusive vs victim (exclusive) L2 LUT (DESIGN.md AB2b).
- * Section 3 calls the L2 LUT "inclusive" while Section 3.4 describes L1
- * victims being "evicted to L2" — the two policies differ in effective
- * capacity and in L2 traffic. This bench compares them on the
- * benchmarks whose memoization working set actually exceeds the L1 LUT.
+ * Standalone binary for the registered 'ablate_l2_policy' artifact; the
+ * implementation lives in bench/artifacts/ablate_l2_policy.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation: inclusive vs victim L2 LUT policy");
-
-    TextTable table;
-    table.header({"benchmark", "L2 size", "hit (inclusive)",
-                  "speedup (inclusive)", "hit (victim)",
-                  "speedup (victim)"});
-
-    const char *subset[] = {"blackscholes", "fft", "inversek2j",
-                            "kmeans"};
-
-    SweepEngine engine;
-    for (const char *name : subset) {
-        for (std::uint64_t l2 : {64ull * 1024, 256ull * 1024}) {
-            ExperimentConfig inclusive = defaultConfig();
-            inclusive.lut = {8 * 1024, l2};
-            inclusive.l2Policy = L2LutPolicy::Inclusive;
-            engine.enqueueCompare(name, Mode::AxMemo, inclusive);
-
-            ExperimentConfig victim = inclusive;
-            victim.l2Policy = L2LutPolicy::Victim;
-            engine.enqueueCompare(name, Mode::AxMemo, victim);
-        }
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const char *name : subset) {
-        for (std::uint64_t l2 : {64ull * 1024, 256ull * 1024}) {
-            const Comparison &a = outcomes[next++].cmp;
-            const Comparison &b = outcomes[next++].cmp;
-
-            table.row({name, std::to_string(l2 / 1024) + "KB",
-                       TextTable::percent(a.subject.hitRate()),
-                       TextTable::times(a.speedup),
-                       TextTable::percent(b.subject.hitRate()),
-                       TextTable::times(b.speedup)});
-        }
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("expectation: the victim policy's extra effective "
-                "capacity matters when the working set is within "
-                "L1+L2 reach; with an ample L2 both converge, which is "
-                "why the paper's description can afford to be loose\n");
-    finishSweep(engine, "ablate_l2_policy");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_l2_policy");
 }

@@ -1,64 +1,13 @@
 /**
  * @file
- * Ablation: LUT capacity and levels (DESIGN.md AB2). Sweeps the L1 LUT
- * from 1 KB to 32 KB with and without a 512 KB L2 LUT and reports hit
- * rate and speedup, exposing each benchmark's memoization working set —
- * the effect Fig. 7's "similar to when the data cache outgrows the
- * working set" comment describes — and what the dedicated SRAM would
- * cost at each size.
+ * Standalone binary for the registered 'ablate_lut_geometry' artifact; the
+ * implementation lives in bench/artifacts/ablate_lut_geometry.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation AB2: LUT capacity sweep");
-
-    const std::uint64_t sizes[] = {1024, 2048, 4096, 8192, 16384, 32768};
-    const char *subset[] = {"blackscholes", "fft", "inversek2j",
-                            "sobel"};
-
-    TextTable table;
-    table.header({"benchmark", "L1 size", "hit (L1 only)",
-                  "speedup (L1 only)", "hit (+L2 512KB)",
-                  "speedup (+L2 512KB)", "L1 area (mm^2)"});
-
-    SweepEngine engine;
-    for (const char *name : subset) {
-        for (std::uint64_t size : sizes) {
-            ExperimentConfig l1Only = defaultConfig();
-            l1Only.lut = {size, 0};
-            engine.enqueueCompare(name, Mode::AxMemo, l1Only);
-
-            ExperimentConfig twoLevel = defaultConfig();
-            twoLevel.lut = {size, 512 * 1024};
-            engine.enqueueCompare(name, Mode::AxMemo, twoLevel);
-        }
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const char *name : subset) {
-        for (std::uint64_t size : sizes) {
-            const Comparison &a = outcomes[next++].cmp;
-            const Comparison &b = outcomes[next++].cmp;
-
-            table.row({name, std::to_string(size / 1024) + "KB",
-                       TextTable::percent(a.subject.hitRate()),
-                       TextTable::times(a.speedup),
-                       TextTable::percent(b.subject.hitRate()),
-                       TextTable::times(b.speedup),
-                       TextTable::num(AreaModel::lutAreaMm2(size), 4)});
-        }
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    finishSweep(engine, "ablate_lut_geometry");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_lut_geometry");
 }

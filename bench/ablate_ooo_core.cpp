@@ -1,71 +1,13 @@
 /**
  * @file
- * Ablation: host-core microarchitecture (DESIGN.md extension). The paper
- * evaluates an in-order HPI core but argues AxMemo also fits
- * out-of-order processors (Sections 3.2, 6.1). This bench runs both
- * core models: the OoO baseline is faster (it hides latency itself), so
- * AxMemo's *latency* benefit shrinks — but the dynamic-instruction
- * elimination and its energy benefit survive, which is the paper's
- * central von-Neumann-overhead argument.
+ * Standalone binary for the registered 'ablate_ooo_core' artifact; the
+ * implementation lives in bench/artifacts/ablate_ooo_core.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation: AxMemo on in-order vs out-of-order cores");
-
-    TextTable table;
-    table.header({"benchmark", "inorder speedup", "inorder energy",
-                  "ooo speedup", "ooo energy", "ooo/io baseline"});
-
-    std::vector<double> inOrderSpeedups, oooSpeedups;
-
-    // The two core models hash to distinct baseline-cache keys, so each
-    // benchmark gets a matching in-order and out-of-order baseline.
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
-
-        ExperimentConfig oooCfg = defaultConfig();
-        oooCfg.cpu.outOfOrder = true;
-        oooCfg.cpu.robSize = 64;
-        engine.enqueueCompare(name, Mode::AxMemo, oooCfg);
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        const Comparison &io = outcomes[next++].cmp;
-        const Comparison &ooo = outcomes[next++].cmp;
-
-        const double coreGain =
-            static_cast<double>(io.baseline.stats.cycles) /
-            static_cast<double>(ooo.baseline.stats.cycles);
-
-        table.row({name, TextTable::times(io.speedup),
-                   TextTable::times(io.energyReduction),
-                   TextTable::times(ooo.speedup),
-                   TextTable::times(ooo.energyReduction),
-                   TextTable::times(coreGain)});
-        inOrderSpeedups.push_back(io.speedup);
-        oooSpeedups.push_back(ooo.speedup);
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("geomean speedup: %.2fx in-order vs %.2fx out-of-order\n",
-                geometricMean(inOrderSpeedups),
-                geometricMean(oooSpeedups));
-    std::printf("expectation: the OoO core narrows but does not erase "
-                "AxMemo's benefit — eliminated instructions save front-"
-                "end work on any core\n");
-    finishSweep(engine, "ablate_ooo_core");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_ooo_core");
 }

@@ -1,72 +1,13 @@
 /**
  * @file
- * Ablation: the runtime quality monitor (DESIGN.md AB3). Over-truncating
- * a benchmark's inputs makes LUT hits return badly wrong values; with
- * the monitor on, sampled-hit verification trips the kill switch and
- * output quality is rescued at the cost of the speedup; with it off,
- * the error lands in the output. Normal Table 2 truncation must never
- * trip the monitor (the paper observes zero trips).
+ * Standalone binary for the registered 'ablate_quality_monitor' artifact; the
+ * implementation lives in bench/artifacts/ablate_quality_monitor.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Ablation AB3: quality monitor kill switch");
-
-    TextTable table;
-    table.header({"benchmark", "trunc", "monitor", "tripped",
-                  "speedup", "quality loss"});
-
-    const char *subset[] = {"inversek2j", "sobel", "srad"};
-    struct Setting
-    {
-        int trunc; // -1 = Table 2 defaults
-        bool monitor;
-    };
-    const Setting settings[] = {
-        {-1, true},   // normal operation: must not trip
-        {21, false},  // heavy over-truncation, unprotected
-        {21, true},   // heavy over-truncation, protected
-    };
-
-    SweepEngine engine;
-    for (const char *name : subset) {
-        for (const Setting &s : settings) {
-            ExperimentConfig config = defaultConfig();
-            config.truncOverride = s.trunc;
-            config.qualityMonitor = s.monitor;
-            engine.enqueueCompare(name, Mode::AxMemo, config);
-        }
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const char *name : subset) {
-        for (const Setting &s : settings) {
-            const Comparison &cmp = outcomes[next++].cmp;
-            const bool tripped = cmp.subject.stats.memo.monitorTripped;
-            table.row({name,
-                       s.trunc < 0 ? "Table2"
-                                   : std::to_string(s.trunc),
-                       s.monitor ? "on" : "off",
-                       tripped ? "yes" : "no",
-                       TextTable::times(cmp.speedup),
-                       TextTable::percent(cmp.qualityLoss, 3)});
-        }
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("expectation: row 1 never trips (paper: no execution "
-                "disabled memoization); over-truncation without the "
-                "monitor corrupts quality; with it, quality is rescued "
-                "and the speedup collapses toward 1x\n");
-    finishSweep(engine, "ablate_quality_monitor");
-    return 0;
+    return axmemo::artifactStandaloneMain("ablate_quality_monitor");
 }

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Shared includes for the registered paper artifacts. Each artifact
+ * lives in its own .cc file in this directory, defines an Artifact
+ * subclass whose reduce() reproduces the pre-registry harness output
+ * byte for byte, and self-registers with AXMEMO_REGISTER_ARTIFACT.
+ *
+ * Registration order groups the catalog: 1x tables, 2x figures,
+ * 3x Section 6.2 studies, 4x ablations, 5x micro-benchmarks.
+ */
+
+#ifndef AXMEMO_BENCH_ARTIFACTS_ARTIFACTS_HH
+#define AXMEMO_BENCH_ARTIFACTS_ARTIFACTS_HH
+
+#include "bench/bench_util.hh"
+#include "common/stats.hh"
+#include "core/artifact.hh"
+
+#endif // AXMEMO_BENCH_ARTIFACTS_ARTIFACTS_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the substrate components: CRC
+ * engine throughput (bit-serial vs 8-bit table step), LUT
+ * lookup/insert, cache access, sparse simulated memory, and whole
+ * simulator instruction throughput. Registered as the "micro" artifact
+ * so `axmemo run micro` works; the standalone binary runs the same
+ * registered benchmarks through BENCHMARK_MAIN-equivalent plumbing.
+ */
+
+#include <sstream>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/artifacts/artifacts.hh"
+#include "common/rng.hh"
+
+namespace {
+
+using namespace axmemo;
+
+void
+BM_CrcTableDriven(benchmark::State &state)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    std::vector<std::uint8_t> data(state.range(0));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.compute(data.data(),
+                                                data.size()));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CrcTableDriven)->Arg(4)->Arg(64)->Arg(4096);
+
+void
+BM_CrcBitSerial(benchmark::State &state)
+{
+    const CrcEngine engine(CrcSpec::crc32());
+    for (auto _ : state) {
+        std::uint64_t s = engine.initial();
+        for (unsigned i = 0; i < 64; ++i)
+            s = engine.updateByteSerial(s, static_cast<std::uint8_t>(i));
+        benchmark::DoNotOptimize(engine.finalize(s));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CrcBitSerial);
+
+void
+BM_LutLookupHit(benchmark::State &state)
+{
+    LookupTable lut({.name = "bench", .sizeBytes = 8 * 1024,
+                     .dataBytes = 4});
+    for (std::uint64_t i = 0; i < 512; ++i)
+        lut.insert(0, i * 2654435761u, i);
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            lut.lookup(0, (key % 512) * 2654435761u));
+        ++key;
+    }
+}
+BENCHMARK(BM_LutLookupHit);
+
+void
+BM_LutInsertEvict(benchmark::State &state)
+{
+    LookupTable lut({.name = "bench", .sizeBytes = 4 * 1024,
+                     .dataBytes = 4});
+    std::uint64_t key = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lut.insert(0, key * 0x9e3779b9u, key));
+        ++key;
+    }
+}
+BENCHMARK(BM_LutInsertEvict);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache({.name = "bench", .sizeBytes = 32 * 1024, .assoc = 4,
+                 .lineSize = 64, .hitLatency = 1});
+    Rng rng(7);
+    std::vector<Addr> addrs(4096);
+    for (auto &a : addrs)
+        a = rng.below(1 << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(addrs[i++ & 4095], false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_SimMemoryRw(benchmark::State &state)
+{
+    SimMemory mem;
+    Rng rng(9);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const Addr a = (i * 4099) & ((1 << 22) - 1);
+        mem.write32(a, static_cast<std::uint32_t>(i));
+        benchmark::DoNotOptimize(mem.read32(a));
+        ++i;
+    }
+}
+BENCHMARK(BM_SimMemoryRw);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Dense ALU loop: measures instructions simulated per second.
+    SimMemory mem;
+    KernelBuilder b("throughput");
+    const IReg acc = b.imm(0);
+    b.forRange(0, 4096, 1, [&](IReg i) {
+        const IReg t1 = b.add(acc, i);
+        const IReg t2 = b.mul(t1, 3);
+        const IReg t3 = b.bxor(t2, 0x55);
+        b.assign(acc, b.add(t3, 1));
+    });
+    const Program prog = b.finish();
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Simulator sim(prog, mem, {});
+        const SimStats &stats = sim.run();
+        insts += stats.macroInsts;
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+void
+BM_SimulatorTraceCapture(benchmark::State &state)
+{
+    // Same dense loop with a reusable TraceBuffer attached: the delta
+    // against BM_SimulatorThroughput is the cost of trace capture.
+    SimMemory mem;
+    KernelBuilder b("trace");
+    const IReg acc = b.imm(0);
+    b.forRange(0, 4096, 1, [&](IReg i) {
+        const IReg t1 = b.add(acc, i);
+        const IReg t2 = b.mul(t1, 3);
+        b.assign(acc, b.add(t2, 1));
+    });
+    const Program prog = b.finish();
+
+    TraceBuffer buffer(1u << 16);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        buffer.reset();
+        Simulator sim(prog, mem, {});
+        sim.setTraceBuffer(&buffer);
+        const SimStats &stats = sim.run();
+        insts += stats.macroInsts;
+        benchmark::DoNotOptimize(buffer.entries().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulatorTraceCapture);
+
+void
+BM_SimulatorWorkloadThroughput(benchmark::State &state)
+{
+    // End-to-end simulated-instruction throughput on a real benchmark,
+    // through the sweep engine's prepared path: dataset synthesis and
+    // program build happen once, each run clones the memory image.
+    const auto workload = makeWorkload("blackscholes");
+    SimMemory master;
+    WorkloadParams params;
+    params.scale = 0.01;
+    workload->prepare(master, params);
+    const Program prog = workload->build();
+    const ExperimentConfig config;
+    const ExperimentRunner runner(config);
+
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        SimMemory mem = master.clone();
+        const RunResult r =
+            runner.runPrepared(*workload, Mode::Baseline, prog, mem);
+        insts += r.stats.macroInsts;
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_SimulatorWorkloadThroughput);
+
+void
+BM_MemoUnitLookupUpdate(benchmark::State &state)
+{
+    MemoUnitConfig config;
+    config.quality.enabled = false;
+    MemoizationUnit unit(config);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        unit.feed(0, 0, i & 0xffff, 4, 0, i);
+        const MemoLookupResult res = unit.lookup(0, 0, i);
+        if (!res.hit)
+            unit.update(0, 0, i);
+        benchmark::DoNotOptimize(res.latency);
+        ++i;
+    }
+}
+BENCHMARK(BM_MemoUnitLookupUpdate);
+
+} // namespace
+
+namespace axmemo::bench {
+namespace {
+
+class MicroComponentsArtifact final : public Artifact
+{
+  public:
+    std::string name() const override { return "micro"; }
+    // No banner: the google-benchmark context header replaces it.
+    std::string title() const override { return {}; }
+    std::string
+    description() const override
+    {
+        return "google-benchmark micro-benchmarks of the substrate "
+               "components (CRC, LUT, caches, simulator)";
+    }
+
+    void
+    enqueue(SweepEngine &) override
+    {
+        // Wall-clock micro-benchmarks bypass the sweep engine.
+    }
+
+    ArtifactResult
+    reduce(const std::vector<SweepOutcome> &) override
+    {
+        int argc = 1;
+        char arg0[] = "axmemo-micro";
+        char *argv[] = {arg0, nullptr};
+        benchmark::Initialize(&argc, argv);
+
+        std::ostringstream out;
+        benchmark::ConsoleReporter reporter;
+        reporter.SetOutputStream(&out);
+        reporter.SetErrorStream(&out);
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+
+        ArtifactResult result;
+        result.text = out.str();
+        return result;
+    }
+};
+
+AXMEMO_REGISTER_ARTIFACT(50, MicroComponentsArtifact)
+
+} // namespace
+} // namespace axmemo::bench

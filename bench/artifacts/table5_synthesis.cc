@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Table 5: area / energy / latency of the synthesized memoization-unit
+ * components at 32 nm, plus the whole-processor area overhead (Section
+ * 6.1's 2.08% with the 16 KB L1 LUT) and the quality monitor's
+ * footprint.
+ */
+
+#include "bench/artifacts/artifacts.hh"
+
+namespace axmemo::bench {
+namespace {
+
+class Table5Artifact final : public Artifact
+{
+  public:
+    std::string name() const override { return "table5"; }
+    std::string
+    title() const override
+    {
+        return "Table 5: synthesis results (32 nm model)";
+    }
+    std::string
+    description() const override
+    {
+        return "area, energy and latency of the synthesized "
+               "memoization-unit components and the processor-level "
+               "area overhead";
+    }
+
+    void
+    enqueue(SweepEngine &) override
+    {
+        // Pure analytical models; no sweep jobs.
+    }
+
+    ArtifactResult
+    reduce(const std::vector<SweepOutcome> &) override
+    {
+        TextTable table;
+        table.header({"component", "area (mm^2)", "energy (pJ)",
+                      "latency (ns)"});
+
+        const CrcHwModel crc{CrcHwConfig{}};
+        table.row({"CRC32 unit (8-bit parallel, x4)",
+                   TextTable::num(crc.areaMm2(), 4),
+                   TextTable::num(crc.energyPerOpPj(), 4),
+                   TextTable::num(crc.latencyNs(), 4)});
+        table.row({"Hash registers (16 x 32-bit)",
+                   TextTable::num(AreaModel::hvrAreaMm2(), 4),
+                   TextTable::num(AreaModel::hvrEnergyPj(), 4),
+                   TextTable::num(AreaModel::hvrLatencyNs(), 4)});
+        for (std::uint64_t kb : {4, 8, 16}) {
+            table.row(
+                {"LUT (" + std::to_string(kb) + "KB, 8-way)",
+                 TextTable::num(AreaModel::lutAreaMm2(kb * 1024), 4),
+                 TextTable::num(AreaModel::lutEnergyPj(kb * 1024), 4),
+                 TextTable::num(AreaModel::lutLatencyNs(kb * 1024),
+                                4)});
+        }
+
+        ArtifactResult result;
+        appendf(result.text, "%s\n", table.render().c_str());
+
+        appendf(result.text,
+                "paper: CRC32 0.0146/2.9143/0.4133; HVR "
+                "0.0018/0.2634/0.1121; LUTs 0.0217/3.2556/0.1768, "
+                "0.0364/4.4221/0.2175, 0.0666/7.2340/0.2658\n\n");
+
+        // Area overhead for the largest (16 KB) configuration, two
+        // cores.
+        MemoUnitConfig big;
+        big.l1Lut.sizeBytes = 16 * 1024;
+        const double unitArea = AreaModel::memoUnitAreaMm2(big);
+        const double overhead = AreaModel::overheadFraction(big, 2);
+        appendf(result.text,
+                "memoization unit area (16KB L1 LUT): %.4f mm^2/core, "
+                "%.3f mm^2 for both cores\n",
+                unitArea, 2 * unitArea);
+        appendf(result.text,
+                "processor area (McPAT, dual-core HPI): %.2f mm^2\n",
+                AreaModel::processorAreaMm2());
+        appendf(result.text,
+                "area overhead: %.2f%%  (paper: 0.166 mm^2, 2.08%%)\n",
+                100.0 * overhead);
+        appendf(result.text,
+                "quality monitor: %.1f um^2, %.2f uW  (paper: 16.8 "
+                "um^2, 7.47 uW, 0.96 ns)\n",
+                AreaModel::qualityMonitorAreaMm2() * 1e6,
+                AreaModel::qualityMonitorPowerW() * 1e6);
+        return result;
+    }
+};
+
+AXMEMO_REGISTER_ARTIFACT(14, Table5Artifact)
+
+} // namespace
+} // namespace axmemo::bench

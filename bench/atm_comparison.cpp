@@ -1,56 +1,13 @@
 /**
  * @file
- * Regenerates the Section 6.2 "Comparison with prior work" experiment:
- * Approximate Task Memoization (ATM) applied to all ten benchmarks. ATM
- * hashes a shuffled sample of the concatenated input bytes, keeps its
- * LUT in software, and pays a task-runtime dispatch cost per memoized
- * invocation — the combination that drags small-kernel benchmarks into
- * slowdown (the paper measures a 0.8x geometric mean).
+ * Standalone binary for the registered 'atm_comparison' artifact; the
+ * implementation lives in bench/artifacts/atm_comparison.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Section 6.2: comparison with ATM");
-
-    TextTable table;
-    table.header({"benchmark", "ATM speedup", "ATM hit rate",
-                  "ATM quality loss", "AxMemo speedup"});
-
-    std::vector<double> atmSpeedups;
-
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        engine.enqueueCompare(name, Mode::Atm, defaultConfig());
-        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        const Comparison &atm = outcomes[next++].cmp;
-        const Comparison &ax = outcomes[next++].cmp;
-
-        table.row({name, TextTable::times(atm.speedup),
-                   TextTable::percent(atm.subject.hitRate()),
-                   TextTable::percent(atm.qualityLoss, 3),
-                   TextTable::times(ax.speedup)});
-        atmSpeedups.push_back(atm.speedup);
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("ATM geometric mean: %.2fx  (paper: 0.8x; speedups only "
-                "on blackscholes 5.8x, fft 2.6x, inversek2j 1.3x, "
-                "k-means 1.3x)\n",
-                geometricMean(atmSpeedups));
-    finishSweep(engine, "atm_comparison");
-    return 0;
+    return axmemo::artifactStandaloneMain("atm_comparison");
 }

@@ -1,97 +1,13 @@
 /**
  * @file
- * Validation of the compiler's analytic speedup estimator (Fig. 5 step
- * 3) against the cycle simulator: per benchmark, the DDDG-based estimate
- * (using the measured distinct-pattern counts as the reuse hint) next to
- * the simulated speedup at the best LUT configuration. The paper's
- * caveat — DDDG weights ignore superscalar overlap, so coverage "does
- * not always directly translate" — shows up as optimistic estimates;
- * what matters is that the *ranking* is right, since that is what the
- * candidate search keys on.
+ * Standalone binary for the registered 'estimator_validation' artifact; the
+ * implementation lives in bench/artifacts/estimator_validation.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Estimator validation: DDDG-predicted vs simulated speedup");
-
-    TextTable table;
-    table.header({"benchmark", "predicted", "simulated", "ratio",
-                  "coverage"});
-
-    // The per-benchmark flow (trace -> DDDG -> estimate -> simulate) is
-    // self-contained, so each runs whole on one worker.
-    const std::vector<std::string> names = workloadNames();
-    std::vector<double> predictions(names.size());
-    std::vector<double> coverages(names.size());
-    std::vector<Comparison> comparisons(names.size());
-    parallelFor(ThreadPool::jobsFromEnv(), names.size(), [&](
-                                                             std::size_t
-                                                                 i) {
-        auto workload = makeWorkload(names[i]);
-
-        // Trace + DDDG on the sample set (compiler's view).
-        SimMemory mem;
-        WorkloadParams params;
-        params.scale =
-            std::min(0.02, ExperimentRunner::benchScaleFromEnv());
-        params.sampleSet = true;
-        workload->prepare(mem, params);
-        const Program prog = workload->build();
-        TraceBuffer buffer(1u << 18);
-        Simulator sim(prog, mem, {});
-        sim.setTraceBuffer(&buffer);
-        sim.run();
-        const Dddg graph(prog, buffer.entries());
-        const RegionAnalysis analysis = RegionFinder().analyze(graph);
-
-        // Reuse hint: the measured unique-key count of a real memoized
-        // run at the same scale (what profiling would provide).
-        ExperimentConfig config = defaultConfig();
-        config.dataset = params;
-        const RunResult run =
-            ExperimentRunner(config).run(*workload, Mode::AxMemo);
-        // The profiled reuse *ratio* (misses per lookup) transfers to
-        // each subgraph's instance count.
-        const double missRatio =
-            run.lookups ? static_cast<double>(run.stats.memo.misses) /
-                              static_cast<double>(run.lookups)
-                        : 1.0;
-
-        const SpeedupEstimator estimator;
-        std::vector<std::uint64_t> hints;
-        hints.reserve(analysis.unique.size());
-        for (const UniqueSubgraph &subgraph : analysis.unique)
-            hints.push_back(std::max<std::uint64_t>(
-                1, static_cast<std::uint64_t>(
-                       missRatio * static_cast<double>(
-                                       subgraph.dynamicCount))));
-        predictions[i] = estimator.estimateProgram(
-            analysis, graph.totalWeight(), hints);
-        coverages[i] = analysis.coverage;
-
-        comparisons[i] =
-            ExperimentRunner(config).compare(*workload, Mode::AxMemo);
-    });
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        table.row({names[i], TextTable::times(predictions[i]),
-                   TextTable::times(comparisons[i].speedup),
-                   TextTable::num(predictions[i] /
-                                  comparisons[i].speedup),
-                   TextTable::percent(coverages[i])});
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("expectation: predictions are optimistic (DDDG ignores "
-                "ILP and non-covered overheads) but rank the "
-                "benchmarks like the simulator does\n");
-    return 0;
+    return axmemo::artifactStandaloneMain("estimator_validation");
 }

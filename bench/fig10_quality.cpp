@@ -1,84 +1,13 @@
 /**
  * @file
- * Regenerates Fig. 10: (a) whole-application output quality loss
- * (Equation 2; misclassification for Jmeint) under every AxMemo
- * configuration and the software LUT, and (b) the cumulative
- * distribution of element-wise relative error for the
- * L1(8KB)+L2(512KB) configuration.
+ * Standalone binary for the registered 'fig10' artifact; the
+ * implementation lives in bench/artifacts/fig10_quality.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Fig. 10: output quality degradation");
-
-    const auto luts = standardLutConfigs();
-    TextTable table;
-    {
-        std::vector<std::string> head{"benchmark"};
-        for (const auto &lut : luts)
-            head.push_back(lut.label());
-        head.emplace_back("SoftwareLUT");
-        table.header(head);
-    }
-
-    // CDF evaluation points for Fig. 10b.
-    const std::vector<double> cdfPoints = {0.0,  1e-5, 1e-4, 1e-3,
-                                           1e-2, 0.05, 0.10, 0.50};
-    TextTable cdfTable;
-    {
-        std::vector<std::string> head{"benchmark"};
-        for (double p : cdfPoints)
-            head.push_back("<=" + TextTable::num(p, 5));
-        cdfTable.header(head);
-    }
-
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        for (const auto &lut : luts) {
-            ExperimentConfig config = defaultConfig();
-            config.lut = lut;
-            engine.enqueueCompare(name, Mode::AxMemo, config);
-        }
-        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        std::vector<std::string> row{name};
-        for (const auto &lut : luts) {
-            const Comparison &cmp = outcomes[next++].cmp;
-            row.push_back(TextTable::percent(cmp.qualityLoss, 3));
-
-            if (lut.l1Bytes == bestLutConfig().l1Bytes &&
-                lut.l2Bytes == bestLutConfig().l2Bytes) {
-                std::vector<std::string> cdfRow{name};
-                for (double frac : cmp.errorCdf.evaluate(cdfPoints))
-                    cdfRow.push_back(TextTable::percent(frac, 1));
-                cdfTable.row(cdfRow);
-            }
-        }
-        const Comparison &sw = outcomes[next++].cmp;
-        row.push_back(TextTable::percent(sw.qualityLoss, 3));
-        table.row(row);
-    }
-
-    std::printf("--- Fig. 10a: whole-application quality loss ---\n%s\n",
-                table.render().c_str());
-    std::printf("--- Fig. 10b: CDF of element-wise relative error, "
-                "L1(8KB)+L2(512KB) ---\n%s\n",
-                cdfTable.render().c_str());
-    std::printf("paper: average E_r below 1%% across configurations; "
-                "0.2%% average quality loss headline; software has "
-                "higher error from its collision rate\n");
-    finishSweep(engine, "fig10");
-    return 0;
+    return axmemo::artifactStandaloneMain("fig10");
 }

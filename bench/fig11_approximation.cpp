@@ -1,78 +1,13 @@
 /**
  * @file
- * Regenerates Fig. 11: effectiveness of input approximation. Speedup and
- * energy saving of AxMemo with Table 2's truncation versus AxMemo with
- * truncation disabled, both on the L1(8KB)+L2(512KB) configuration, plus
- * the hit-rate collapse that drives the difference.
+ * Standalone binary for the registered 'fig11' artifact; the
+ * implementation lives in bench/artifacts/fig11_approximation.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Fig. 11: AxMemo with vs without input truncation");
-
-    TextTable table;
-    table.header({"benchmark", "speedup (trunc)", "speedup (no trunc)",
-                  "energy (trunc)", "energy (no trunc)", "hit (trunc)",
-                  "hit (no trunc)"});
-
-    std::vector<double> hitWith;
-    std::vector<double> hitWithout;
-    std::vector<double> speedGain;
-    std::vector<double> energyGain;
-
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
-        engine.enqueueCompare(name, Mode::AxMemoNoTrunc,
-                              defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        const Comparison &with = outcomes[next++].cmp;
-        const Comparison &without = outcomes[next++].cmp;
-
-        table.row({name, TextTable::times(with.speedup),
-                   TextTable::times(without.speedup),
-                   TextTable::times(with.energyReduction),
-                   TextTable::times(without.energyReduction),
-                   TextTable::percent(with.subject.hitRate()),
-                   TextTable::percent(without.subject.hitRate())});
-
-        hitWith.push_back(with.subject.hitRate());
-        hitWithout.push_back(without.subject.hitRate());
-        speedGain.push_back(with.speedup / without.speedup);
-        energyGain.push_back(with.energyReduction /
-                             without.energyReduction);
-    }
-
-    auto mean = [](const std::vector<double> &v) {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return s / static_cast<double>(v.size());
-    };
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("approximation improves speedup by %.1f%% and energy by "
-                "%.1f%% on average; hit rate %.1f%% -> %.1f%% without "
-                "truncation\n",
-                100.0 * (mean(speedGain) - 1.0),
-                100.0 * (mean(energyGain) - 1.0),
-                100.0 * mean(hitWith), 100.0 * mean(hitWithout));
-    std::printf("paper: +14.1%% speedup / +17.4%% energy on average; "
-                "hit rate drops 76.1%% -> 47.2%%; JPEG, Sobel and SRAD "
-                "lose their wins without approximation\n");
-    finishSweep(engine, "fig11");
-    return 0;
+    return axmemo::artifactStandaloneMain("fig11");
 }

@@ -1,83 +1,13 @@
 /**
  * @file
- * Regenerates Fig. 7 of the paper: (a) full-application speedup and
- * (b) energy saving for every benchmark under the four AxMemo LUT
- * configurations plus the software-LUT contender, all normalized to the
- * non-memoized ARM-HPI-like baseline.
+ * Standalone binary for the registered 'fig7' artifact; the
+ * implementation lives in bench/artifacts/fig7_speedup_energy.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Fig. 7: speedup and energy saving vs LUT configuration");
-
-    const auto luts = standardLutConfigs();
-    std::vector<std::string> columns;
-    for (const auto &lut : luts)
-        columns.push_back(lut.label());
-    columns.emplace_back("SoftwareLUT");
-
-    TextTable speedupTable;
-    TextTable energyTable;
-    {
-        std::vector<std::string> head{"benchmark"};
-        head.insert(head.end(), columns.begin(), columns.end());
-        speedupTable.header(head);
-        energyTable.header(head);
-    }
-
-    std::vector<std::vector<double>> speedups(columns.size());
-    std::vector<std::vector<double>> energies(columns.size());
-
-    // One baseline per benchmark serves every configuration (the sweep
-    // engine's baseline cache enforces that).
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        for (const auto &lut : luts) {
-            ExperimentConfig config = defaultConfig();
-            config.lut = lut;
-            engine.enqueueCompare(name, Mode::AxMemo, config);
-        }
-        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        std::vector<std::string> srow{name};
-        std::vector<std::string> erow{name};
-        for (std::size_t column = 0; column < columns.size(); ++column) {
-            const Comparison &cmp = outcomes[next++].cmp;
-            srow.push_back(TextTable::times(cmp.speedup));
-            erow.push_back(TextTable::times(cmp.energyReduction));
-            speedups[column].push_back(cmp.speedup);
-            energies[column].push_back(cmp.energyReduction);
-        }
-        speedupTable.row(srow);
-        energyTable.row(erow);
-    }
-
-    std::vector<std::string> sMean{"geomean"};
-    std::vector<std::string> eMean{"geomean"};
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-        sMean.push_back(TextTable::times(geometricMean(speedups[c])));
-        eMean.push_back(TextTable::times(geometricMean(energies[c])));
-    }
-    speedupTable.row(sMean);
-    energyTable.row(eMean);
-
-    std::printf("--- Fig. 7a: speedup over baseline ---\n%s\n",
-                speedupTable.render().c_str());
-    std::printf("--- Fig. 7b: energy saving (E_base / E_axmemo) ---\n%s",
-                energyTable.render().c_str());
-    finishSweep(engine, "fig7");
-    return 0;
+    return axmemo::artifactStandaloneMain("fig7");
 }

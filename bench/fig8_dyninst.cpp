@@ -1,79 +1,13 @@
 /**
  * @file
- * Regenerates Fig. 8: total dynamic instruction count normalized to the
- * no-memoization baseline, split into normal instructions and
- * memoization instructions (AxMemo ISA ops + the added hit/miss
- * branches; ld_crc counts as a normal load). Also prints the software
- * implementation's ~2x inflation.
+ * Standalone binary for the registered 'fig8' artifact; the
+ * implementation lives in bench/artifacts/fig8_dyninst.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Fig. 8: normalized dynamic instruction count");
-
-    TextTable table;
-    table.header({"benchmark", "L1(4KB) norm", "L1(4KB) memo",
-                  "L1(8KB)+L2(512KB) norm", "L1(8KB)+L2(512KB) memo",
-                  "software total"});
-
-    std::vector<double> smallTotals;
-    std::vector<double> bigTotals;
-    std::vector<double> swTotals;
-
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        ExperimentConfig smallCfg = defaultConfig();
-        smallCfg.lut = {4 * 1024, 0};
-        engine.enqueueCompare(name, Mode::AxMemo, smallCfg);
-        ExperimentConfig bigCfg = defaultConfig();
-        bigCfg.lut = bestLutConfig();
-        engine.enqueueCompare(name, Mode::AxMemo, bigCfg);
-        engine.enqueueCompare(name, Mode::SoftwareLut, defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        const Comparison &small = outcomes[next++].cmp;
-        const Comparison &big = outcomes[next++].cmp;
-        const Comparison &sw = outcomes[next++].cmp;
-
-        table.row({name,
-                   TextTable::percent(small.normalizedUops -
-                                      small.memoUopShare),
-                   TextTable::percent(small.memoUopShare),
-                   TextTable::percent(big.normalizedUops -
-                                      big.memoUopShare),
-                   TextTable::percent(big.memoUopShare),
-                   TextTable::percent(sw.normalizedUops)});
-        smallTotals.push_back(small.normalizedUops);
-        bigTotals.push_back(big.normalizedUops);
-        swTotals.push_back(sw.normalizedUops);
-    }
-
-    auto mean = [](const std::vector<double> &v) {
-        double s = 0;
-        for (double x : v)
-            s += x;
-        return s / static_cast<double>(v.size());
-    };
-    table.row({"average",
-               TextTable::percent(mean(smallTotals)), "-",
-               TextTable::percent(mean(bigTotals)), "-",
-               TextTable::percent(mean(swTotals))});
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("paper: 20.0%% / 50.1%% average reduction for L1(4KB) /"
-                " L1(8KB)+L2(512KB); software ~2x increase\n");
-    finishSweep(engine, "fig8");
-    return 0;
+    return axmemo::artifactStandaloneMain("fig8");
 }

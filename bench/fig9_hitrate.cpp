@@ -1,70 +1,13 @@
 /**
  * @file
- * Regenerates Fig. 9: total LUT hit rate (across both LUT levels) for
- * every benchmark under the four AxMemo configurations plus the software
- * LUT implementation.
+ * Standalone binary for the registered 'fig9' artifact; the
+ * implementation lives in bench/artifacts/fig9_hitrate.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Fig. 9: LUT hit rate by configuration");
-
-    const auto luts = standardLutConfigs();
-    TextTable table;
-    {
-        std::vector<std::string> head{"benchmark"};
-        for (const auto &lut : luts)
-            head.push_back(lut.label());
-        head.emplace_back("SoftwareLUT");
-        table.header(head);
-    }
-
-    std::vector<std::vector<double>> rates(luts.size() + 1);
-
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        for (const auto &lut : luts) {
-            ExperimentConfig config = defaultConfig();
-            config.lut = lut;
-            engine.enqueueRun(name, Mode::AxMemo, config);
-        }
-        engine.enqueueRun(name, Mode::SoftwareLut, defaultConfig());
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        std::vector<std::string> row{name};
-        for (std::size_t column = 0; column < rates.size(); ++column) {
-            const RunResult &r = outcomes[next++].run;
-            row.push_back(TextTable::percent(r.hitRate()));
-            rates[column].push_back(r.hitRate());
-        }
-        table.row(row);
-    }
-
-    std::vector<std::string> meanRow{"average"};
-    for (auto &column : rates) {
-        double s = 0;
-        for (double x : column)
-            s += x;
-        meanRow.push_back(
-            TextTable::percent(s / static_cast<double>(column.size())));
-    }
-    table.row(meanRow);
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("paper: 37.1%% average for L1(4KB), 76.1%% for "
-                "L1(8KB)+L2(512KB), 81.1%% software\n");
-    finishSweep(engine, "fig9");
-    return 0;
+    return axmemo::artifactStandaloneMain("fig9");
 }

@@ -1,68 +1,13 @@
 /**
  * @file
- * Regenerates the Section 6.2 L2-cache-size sensitivity study: with a
- * 256 KB L2 LUT, shrink the total L2 cache from 1 MB to 512 KB (cache
- * capacity available for data drops from 768 KB to 256 KB) and measure
- * the AxMemo performance degradation. The paper reports an average of
- * 0.44% with Hotspot worst at 1.55%.
+ * Standalone binary for the registered 'l2_sensitivity' artifact; the
+ * implementation lives in bench/artifacts/l2_sensitivity.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
-#include "common/stats.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Section 6.2: sensitivity to total L2 cache size");
-
-    TextTable table;
-    table.header({"benchmark", "speedup, 1MB L2", "speedup, 512KB L2",
-                  "degradation"});
-
-    std::vector<double> degradations;
-
-    // Baselines use the matching cache so the comparison isolates
-    // AxMemo's sensitivity, like the paper's; the two hierarchies hash
-    // to distinct baseline-cache keys.
-    SweepEngine engine;
-    for (const std::string &name : workloadNames()) {
-        ExperimentConfig bigCfg = defaultConfig();
-        bigCfg.lut = {8 * 1024, 256 * 1024};
-        ExperimentConfig smallCfg = bigCfg;
-        smallCfg.hierarchy.l2.sizeBytes = 512 * 1024;
-        engine.enqueueCompare(name, Mode::AxMemo, bigCfg);
-        engine.enqueueCompare(name, Mode::AxMemo, smallCfg);
-    }
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    std::size_t next = 0;
-    for (const std::string &name : workloadNames()) {
-        const Comparison &big = outcomes[next++].cmp;
-        const Comparison &small = outcomes[next++].cmp;
-
-        const double degradation = 1.0 - small.speedup / big.speedup;
-        degradations.push_back(degradation);
-        table.row({name, TextTable::times(big.speedup),
-                   TextTable::times(small.speedup),
-                   TextTable::percent(degradation, 2)});
-    }
-
-    double sum = 0;
-    for (double d : degradations)
-        sum += d;
-    std::printf("%s\n", table.render().c_str());
-    std::printf("average degradation: %.2f%%  (paper: 0.44%% average, "
-                "hotspot worst at 1.55%%)\n",
-                100.0 * sum / static_cast<double>(degradations.size()));
-    std::printf("note: at reduced dataset scales a workload's grid can "
-                "fit in 768KB but not 256KB of cache, exaggerating the "
-                "cliff; the paper's full-size images stream through "
-                "either capacity (run with AXMEMO_FULL=1)\n");
-    finishSweep(engine, "l2_sensitivity");
-    return 0;
+    return axmemo::artifactStandaloneMain("l2_sensitivity");
 }

@@ -1,70 +1,13 @@
 /**
  * @file
- * Regenerates Table 1: dynamic-data-dependence-graph analysis of every
- * benchmark. A bounded dynamic trace of each baseline program (on the
- * *sample* input set, as the compiler flow requires) feeds the DDDG
- * builder; the region finder then runs the transpose-BFS candidate
- * search, deduplicates by static signature, and reports the total number
- * of dynamic subgraphs, unique subgraphs, average Compute-to-Input
- * ratio, and memoization coverage.
+ * Standalone binary for the registered 'table1' artifact; the
+ * implementation lives in bench/artifacts/table1_dddg.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Table 1: DDDG candidate-subgraph analysis");
-
-    TextTable table;
-    table.header({"benchmark", "dynamic subgraphs", "unique subgraphs",
-                  "avg CI_Ratio", "coverage"});
-
-    // Each benchmark's trace + DDDG analysis is independent; run them
-    // across the AXMEMO_JOBS worker count with a reusable per-run
-    // TraceBuffer instead of the allocation-per-entry hook path.
-    const std::vector<std::string> names = workloadNames();
-    std::vector<RegionAnalysis> analyses(names.size());
-    parallelFor(ThreadPool::jobsFromEnv(), names.size(),
-                [&](std::size_t i) {
-                    auto workload = makeWorkload(names[i]);
-
-                    // Small sample dataset: the analysis needs loop
-                    // structure, not volume.
-                    SimMemory mem;
-                    WorkloadParams params;
-                    params.scale = std::min(
-                        0.01, ExperimentRunner::benchScaleFromEnv());
-                    params.sampleSet = true;
-                    workload->prepare(mem, params);
-                    const Program prog = workload->build();
-
-                    TraceBuffer buffer(1u << 18);
-                    Simulator sim(prog, mem, {});
-                    sim.setTraceBuffer(&buffer);
-                    sim.run();
-
-                    const Dddg graph(prog, buffer.entries());
-                    analyses[i] = RegionFinder().analyze(graph);
-                });
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const RegionAnalysis &analysis = analyses[i];
-        table.row({names[i],
-                   std::to_string(analysis.totalDynamicSubgraphs),
-                   std::to_string(analysis.unique.size()),
-                   TextTable::num(analysis.avgCiRatio),
-                   TextTable::percent(analysis.coverage)});
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("paper (on LLVM IR with suite datasets): e.g. "
-                "blackscholes 61114/8/48.41/75.24%%, fft "
-                "5376/3/43.85/93.83%%, jmeint 516/4/9.87/53.10%%\n");
-    return 0;
+    return axmemo::artifactStandaloneMain("table1");
 }

@@ -1,98 +1,13 @@
 /**
  * @file
- * Regenerates Table 2: the benchmark roster with each workload's domain,
- * dataset, measured memoization-input size (from the applied transform),
- * and the truncation level — both Table 2's shipped default and the
- * level the profile-driven tuner re-derives on the sample input set
- * under the paper's error bounds (0.1%, or 1% for image outputs).
+ * Standalone binary for the registered 'table2' artifact; the
+ * implementation lives in bench/artifacts/table2_benchmarks.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    setQuiet(true);
-    banner("Table 2: evaluated benchmarks and truncation levels");
-
-    TextTable table;
-    table.header({"benchmark", "domain", "dataset",
-                  "memo input (bytes)", "trunc bits (Table 2)",
-                  "trunc bits (tuner)"});
-
-    const std::vector<std::string> names = workloadNames();
-
-    SweepEngine engine;
-    for (const std::string &name : names)
-        engine.enqueueRun(name, Mode::AxMemo, defaultConfig());
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-
-    // Tuner column: each benchmark's profile-driven re-derivation is an
-    // independent serial search, so spread them across the same worker
-    // count the engine used.
-    std::vector<TuningResult> tuned(names.size());
-    parallelFor(engine.workers(), names.size(), [&](std::size_t i) {
-        auto workload = makeWorkload(names[i]);
-        ExperimentConfig tunerConfig = defaultConfig();
-        tunerConfig.dataset.scale =
-            std::max(0.01, tunerConfig.dataset.scale / 4.0);
-        const double bound = workload->imageOutput() ? 0.01 : 0.001;
-        TruncationTuner tuner(tunerConfig, bound);
-        tuned[i] = tuner.tune(*workload);
-    });
-
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        const std::string &name = names[i];
-        auto workload = makeWorkload(name);
-        {
-            // memoSpec() needs a built program behind it (register
-            // assignments); a sample-set build is enough and cheap.
-            SimMemory scratch;
-            WorkloadParams params;
-            params.scale = 0.01;
-            params.sampleSet = true;
-            workload->prepare(scratch, params);
-            workload->build();
-        }
-
-        // Input sizes come from the transform applied to the real
-        // program.
-        const RunResult &r = outcomes[i].run;
-
-        std::string inputBytes;
-        std::string tableTrunc;
-        {
-            // Distinct logical LUTs -> "(a, b)" style like the paper.
-            std::map<LutId, unsigned> bytesPerLut;
-            for (const auto &region : r.regions)
-                bytesPerLut[region.lut] = region.inputBytes;
-            for (const auto &[lut, bytes] : bytesPerLut) {
-                if (!inputBytes.empty())
-                    inputBytes += ", ";
-                inputBytes += std::to_string(bytes);
-            }
-            std::map<LutId, unsigned> truncPerLut;
-            for (const auto &spec : workload->memoSpec().regions)
-                truncPerLut[spec.lut] = spec.truncBits;
-            for (const auto &[lut, bits] : truncPerLut) {
-                if (!tableTrunc.empty())
-                    tableTrunc += ", ";
-                tableTrunc += std::to_string(bits);
-            }
-        }
-
-        table.row({name, workload->domain(),
-                   workload->datasetDescription(), inputBytes,
-                   tableTrunc, std::to_string(tuned[i].chosenBits)});
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("paper truncation column: 0, 0, 8, 6, (2,7), 16, 16, 8, "
-                "0, 18\n");
-    finishSweep(engine, "table2");
-    return 0;
+    return axmemo::artifactStandaloneMain("table2");
 }

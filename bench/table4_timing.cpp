@@ -1,77 +1,13 @@
 /**
  * @file
- * Regenerates Table 4: the timing of the five AxMemo instructions. The
- * configured parameters are cross-checked by driving a MemoizationUnit
- * directly and measuring the latency each operation reports, including
- * the lookup's wait for in-flight CRC work and the L2 LUT probe.
+ * Standalone binary for the registered 'table4' artifact; the
+ * implementation lives in bench/artifacts/table4_timing.cc.
  */
 
-#include "bench/bench_util.hh"
-#include "common/log.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    banner("Table 4: AxMemo instruction timing");
-
-    MemoUnitConfig config;
-    config.l2LutBytes = 512 * 1024;
-    config.quality.enabled = false;
-    MemoizationUnit unit(config);
-
-    TextTable table;
-    table.header({"instruction", "configured", "measured"});
-
-    // ld_crc / reg_crc: one cycle per byte of input through the 4 B/cycle
-    // hashing unit; no CPU stall while the queue has room.
-    {
-        const Cycle stall = unit.feed(0, 0, 0x1234, 4, 0, /*now=*/0);
-        table.row({"ld_crc/reg_crc (4B)",
-                   "1 cycle/byte, no stall unless queue full",
-                   "stall=" + std::to_string(stall) + " cycles"});
-    }
-    // Saturate the queue to demonstrate the stall.
-    {
-        Cycle stall = 0;
-        for (int i = 0; i < 12; ++i)
-            stall = unit.feed(1, 0, 0x55, 8, 0, /*now=*/0);
-        table.row({"reg_crc (queue full)", "stalls on backlog",
-                   "stall=" + std::to_string(stall) + " cycles"});
-    }
-    // lookup: waits for the pending CRC then 2 cycles (L1 LUT); an L1
-    // miss probes the L2 LUT for 13 more.
-    {
-        const MemoLookupResult miss = unit.lookup(0, 0, /*now=*/100);
-        table.row({"lookup (L1+L2 miss)", "2 + 13 cycles",
-                   std::to_string(miss.latency) + " cycles"});
-        unit.update(0, 0, 42);
-        unit.feed(0, 0, 0x1234, 4, 0, /*now=*/200);
-        const MemoLookupResult hit = unit.lookup(0, 0, /*now=*/300);
-        table.row({"lookup (L1 hit)", "2 cycles",
-                   std::to_string(hit.latency) + " cycles (hit=" +
-                       std::to_string(hit.hit) + ")"});
-    }
-    // update: 2 cycles into the pre-allocated entry.
-    {
-        unit.feed(2, 0, 0xbeef, 4, 0, 0);
-        unit.lookup(2, 0, 50);
-        const Cycle latency = unit.update(2, 0, 7);
-        table.row({"update", "2 cycles",
-                   std::to_string(latency) + " cycles"});
-    }
-    // invalidate: one cycle per way of a set.
-    {
-        const Cycle latency = unit.invalidate(2, 0);
-        table.row({"invalidate", "1 cycle/way",
-                   std::to_string(latency) + " cycles (" +
-                       std::to_string(unit.l1().ways()) + "-way)"});
-    }
-
-    std::printf("%s\n", table.render().c_str());
-    std::printf("paper: ld_crc/reg_crc 1 cycle/byte; lookup 2 (L1) / "
-                "13 (L2); update 2; invalidate 1/way\n");
-    return 0;
+    return axmemo::artifactStandaloneMain("table4");
 }

@@ -1,62 +1,13 @@
 /**
  * @file
- * Regenerates Table 5: area / energy / latency of the synthesized
- * memoization-unit components at 32 nm, plus the whole-processor area
- * overhead (Section 6.1's 2.08% with the 16 KB L1 LUT) and the quality
- * monitor's footprint.
+ * Standalone binary for the registered 'table5' artifact; the
+ * implementation lives in bench/artifacts/table5_synthesis.cc.
  */
 
-#include "bench/bench_util.hh"
+#include "core/artifact.hh"
 
 int
 main()
 {
-    using namespace axmemo;
-    using namespace axmemo::bench;
-
-    banner("Table 5: synthesis results (32 nm model)");
-
-    TextTable table;
-    table.header({"component", "area (mm^2)", "energy (pJ)",
-                  "latency (ns)"});
-
-    const CrcHwModel crc{CrcHwConfig{}};
-    table.row({"CRC32 unit (8-bit parallel, x4)",
-               TextTable::num(crc.areaMm2(), 4),
-               TextTable::num(crc.energyPerOpPj(), 4),
-               TextTable::num(crc.latencyNs(), 4)});
-    table.row({"Hash registers (16 x 32-bit)",
-               TextTable::num(AreaModel::hvrAreaMm2(), 4),
-               TextTable::num(AreaModel::hvrEnergyPj(), 4),
-               TextTable::num(AreaModel::hvrLatencyNs(), 4)});
-    for (std::uint64_t kb : {4, 8, 16}) {
-        table.row({"LUT (" + std::to_string(kb) + "KB, 8-way)",
-                   TextTable::num(AreaModel::lutAreaMm2(kb * 1024), 4),
-                   TextTable::num(AreaModel::lutEnergyPj(kb * 1024), 4),
-                   TextTable::num(AreaModel::lutLatencyNs(kb * 1024),
-                                  4)});
-    }
-    std::printf("%s\n", table.render().c_str());
-
-    std::printf("paper: CRC32 0.0146/2.9143/0.4133; HVR "
-                "0.0018/0.2634/0.1121; LUTs 0.0217/3.2556/0.1768, "
-                "0.0364/4.4221/0.2175, 0.0666/7.2340/0.2658\n\n");
-
-    // Area overhead for the largest (16 KB) configuration, two cores.
-    MemoUnitConfig big;
-    big.l1Lut.sizeBytes = 16 * 1024;
-    const double unitArea = AreaModel::memoUnitAreaMm2(big);
-    const double overhead = AreaModel::overheadFraction(big, 2);
-    std::printf("memoization unit area (16KB L1 LUT): %.4f mm^2/core, "
-                "%.3f mm^2 for both cores\n",
-                unitArea, 2 * unitArea);
-    std::printf("processor area (McPAT, dual-core HPI): %.2f mm^2\n",
-                AreaModel::processorAreaMm2());
-    std::printf("area overhead: %.2f%%  (paper: 0.166 mm^2, 2.08%%)\n",
-                100.0 * overhead);
-    std::printf("quality monitor: %.1f um^2, %.2f uW  (paper: 16.8 "
-                "um^2, 7.47 uW, 0.96 ns)\n",
-                AreaModel::qualityMonitorAreaMm2() * 1e6,
-                AreaModel::qualityMonitorPowerW() * 1e6);
-    return 0;
+    return axmemo::artifactStandaloneMain("table5");
 }

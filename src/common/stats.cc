@@ -70,6 +70,17 @@ geometricMean(const std::vector<double> &values)
     return std::exp(logSum / static_cast<double>(values.size()));
 }
 
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
 void
 EmpiricalCdf::ensureSorted() const
 {

@@ -52,6 +52,13 @@ class RunningStat
 double geometricMean(const std::vector<double> &values);
 
 /**
+ * Arithmetic mean, summed in element order (0 when empty). The bench
+ * artifacts' average rows all share this accumulator so their summary
+ * lines stay bit-identical across refactors.
+ */
+double arithmeticMean(const std::vector<double> &values);
+
+/**
  * Empirical cumulative distribution function over collected samples.
  *
  * Used to regenerate the element-wise relative-error CDFs of Fig. 10b.

@@ -1,0 +1,263 @@
+#include "core/artifact.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "common/log.hh"
+#include "core/config_io.hh"
+#include "core/json_export.hh"
+#include "core/output_paths.hh"
+
+namespace axmemo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** The standard bench banner (formerly bench_util.hh's banner()). */
+void
+printBanner(const std::string &title)
+{
+    const double scale = ExperimentRunner::benchScaleFromEnv();
+    std::printf("== %s ==\n", title.c_str());
+    std::printf("dataset scale %.4g (AXMEMO_FULL=1 for paper-size "
+                "inputs)\n\n",
+                scale);
+}
+
+/** Default result rows: one object per enqueued job. */
+std::vector<std::string>
+defaultRows(const std::vector<SweepJob> &jobs,
+            const std::vector<SweepOutcome> &outcomes)
+{
+    std::vector<std::string> rows;
+    rows.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::string row = "{\"workload\":\"";
+        row += JsonWriter::escape(jobs[i].workload);
+        row += "\",\"mode\":\"";
+        row += modeName(jobs[i].mode);
+        row += "\",\"scored\":";
+        row += jobs[i].scored ? "true" : "false";
+        row += ",\"config\":";
+        row += toJson(jobs[i].config);
+        if (jobs[i].scored) {
+            row += ",\"comparison\":";
+            row += JsonWriter::toJson(outcomes[i].cmp,
+                                      jobs[i].workload);
+        } else {
+            row += ",\"run\":";
+            row += JsonWriter::toJson(outcomes[i].run);
+        }
+        row += '}';
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/** Assemble the <name>.json document from rows. */
+std::string
+rowsDocument(const Artifact &artifact, const SweepEngine &engine,
+             const std::vector<std::string> &rows)
+{
+    std::string doc = "{\"artifact\":\"";
+    doc += JsonWriter::escape(artifact.name());
+    doc += "\",\"title\":\"";
+    doc += JsonWriter::escape(artifact.title());
+    doc += "\",\"scale\":";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g",
+                  ExperimentRunner::benchScaleFromEnv());
+    doc += buf;
+    doc += ",\"workers\":";
+    doc += std::to_string(engine.workers());
+    doc += ",\"rows\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += rows[i];
+    }
+    doc += "]}";
+    return doc;
+}
+
+/** Manifest entry: the exact serialized config of every job. */
+std::string
+manifestRun(const Artifact &artifact,
+            const std::vector<SweepJob> &jobs, double wallSeconds)
+{
+    std::string entry = "{\"artifact\":\"";
+    entry += JsonWriter::escape(artifact.name());
+    entry += "\",\"jobs\":";
+    entry += std::to_string(jobs.size());
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", wallSeconds);
+    entry += ",\"wall_seconds\":";
+    entry += buf;
+    entry += ",\"runs\":[";
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            entry += ',';
+        entry += "{\"workload\":\"";
+        entry += JsonWriter::escape(jobs[i].workload);
+        entry += "\",\"mode\":\"";
+        entry += modeName(jobs[i].mode);
+        entry += "\",\"scored\":";
+        entry += jobs[i].scored ? "true" : "false";
+        entry += ",\"config\":";
+        entry += toJson(jobs[i].config);
+        entry += '}';
+    }
+    entry += "]}";
+    return entry;
+}
+
+} // namespace
+
+ArtifactRegistry &
+ArtifactRegistry::instance()
+{
+    static ArtifactRegistry registry;
+    return registry;
+}
+
+void
+ArtifactRegistry::add(int order, Factory factory)
+{
+    const std::unique_ptr<Artifact> probe = factory();
+    Entry entry;
+    entry.order = order;
+    entry.name = probe->name();
+    entry.description = probe->description();
+    entry.factory = std::move(factory);
+    for (const Entry &existing : entries_)
+        if (existing.name == entry.name)
+            axm_panic("duplicate artifact registration '", entry.name,
+                      "'");
+    entries_.push_back(std::move(entry));
+}
+
+std::vector<ArtifactInfo>
+ArtifactRegistry::list() const
+{
+    std::vector<ArtifactInfo> infos;
+    infos.reserve(entries_.size());
+    for (const Entry &entry : entries_)
+        infos.push_back({entry.name, entry.description, entry.order});
+    std::sort(infos.begin(), infos.end(),
+              [](const ArtifactInfo &a, const ArtifactInfo &b) {
+                  return a.order != b.order ? a.order < b.order
+                                            : a.name < b.name;
+              });
+    return infos;
+}
+
+std::unique_ptr<Artifact>
+ArtifactRegistry::make(const std::string &name) const
+{
+    for (const Entry &entry : entries_)
+        if (entry.name == name)
+            return entry.factory();
+    return nullptr;
+}
+
+ArtifactRegistrar::ArtifactRegistrar(int order,
+                                     ArtifactRegistry::Factory factory)
+{
+    ArtifactRegistry::instance().add(order, std::move(factory));
+}
+
+int
+runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
+            ArtifactRunRecord *record)
+{
+    const auto wallStart = Clock::now();
+    const std::string title = artifact.title();
+    if (!options.rowsToStdout && !title.empty())
+        printBanner(title);
+
+    SweepEngine engine;
+    artifact.enqueue(engine);
+    const std::vector<SweepJob> jobs = engine.pending();
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+    ArtifactResult result = artifact.reduce(outcomes);
+
+    if (result.jsonRows.empty() && !jobs.empty())
+        result.jsonRows = defaultRows(jobs, outcomes);
+    const double wallSeconds =
+        std::chrono::duration<double>(Clock::now() - wallStart)
+            .count();
+
+    if (options.rowsToStdout) {
+        const std::string doc =
+            rowsDocument(artifact, engine, result.jsonRows);
+        std::fwrite(doc.data(), 1, doc.size(), stdout);
+        std::fputc('\n', stdout);
+    } else {
+        std::fwrite(result.text.data(), 1, result.text.size(),
+                    stdout);
+    }
+    std::fflush(stdout);
+
+    const std::string name = artifact.name();
+    if (options.writeSweepReport && !jobs.empty()) {
+        engine.writeReport(name, options.outDir);
+        std::fprintf(stderr, "[%s] %s\n", name.c_str(),
+                     engine.summary().c_str());
+    }
+
+    if (options.writeRows) {
+        const std::string path = joinPath(
+            resolveOutputDir(options.outDir), name + ".json");
+        std::ofstream out(path);
+        if (!out) {
+            axm_warn("cannot write result rows to ", path);
+        } else {
+            out << rowsDocument(artifact, engine, result.jsonRows)
+                << '\n';
+        }
+    }
+
+    if (record) {
+        record->wallSeconds = wallSeconds;
+        record->manifestRun = manifestRun(artifact, jobs, wallSeconds);
+    }
+    return 0;
+}
+
+int
+artifactStandaloneMain(const std::string &name)
+{
+    setQuiet(true);
+    const std::unique_ptr<Artifact> artifact =
+        ArtifactRegistry::instance().make(name);
+    if (!artifact) {
+        std::fprintf(stderr, "unknown artifact '%s'\n", name.c_str());
+        return 1;
+    }
+    return runArtifact(*artifact, ArtifactRunOptions{});
+}
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n > 0) {
+        const std::size_t base = out.size();
+        out.resize(base + static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data() + base,
+                       static_cast<std::size_t>(n) + 1, fmt, args);
+        out.resize(base + static_cast<std::size_t>(n));
+    }
+    va_end(args);
+}
+
+} // namespace axmemo

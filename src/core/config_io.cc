@@ -1,0 +1,864 @@
+#include "core/config_io.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/json_export.hh"
+
+namespace axmemo {
+
+namespace {
+
+// ---------------------------------------------------------------- writer
+
+/** Appends `"key":value` pairs in declaration order, compactly. */
+class Obj
+{
+  public:
+    Obj() { out_ << '{'; }
+
+    void
+    field(const char *key, double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        raw(key, buf);
+    }
+    void
+    field(const char *key, std::uint64_t v)
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+        raw(key, buf);
+    }
+    void
+    field(const char *key, std::uint32_t v)
+    {
+        field(key, static_cast<std::uint64_t>(v));
+    }
+    void
+    field(const char *key, int v)
+    {
+        raw(key, std::to_string(v));
+    }
+    void
+    field(const char *key, bool v)
+    {
+        raw(key, v ? "true" : "false");
+    }
+    void
+    field(const char *key, const std::string &v)
+    {
+        raw(key, '"' + JsonWriter::escape(v) + '"');
+    }
+    void
+    raw(const char *key, const std::string &json)
+    {
+        if (any_)
+            out_ << ',';
+        any_ = true;
+        out_ << '"' << key << "\":" << json;
+    }
+
+    std::string
+    close()
+    {
+        out_ << '}';
+        return out_.str();
+    }
+
+  private:
+    std::ostringstream out_;
+    bool any_ = false;
+};
+
+const char *
+l2PolicyName(L2LutPolicy policy)
+{
+    return policy == L2LutPolicy::Victim ? "victim" : "inclusive";
+}
+
+const char *
+swHashName(SwHashKind kind)
+{
+    return kind == SwHashKind::ByteSample ? "byte_sample" : "table_crc";
+}
+
+// ---------------------------------------------------------------- parser
+
+/** Parsed JSON value; numbers keep their raw token for lossless
+ * integer conversion (strtod would clip a 64-bit seed). */
+struct JValue
+{
+    enum class Kind { Null, Bool, Number, String, Object, Array };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string token; ///< raw number text, or decoded string
+    std::vector<std::pair<std::string, JValue>> members;
+    std::vector<JValue> elements;
+};
+
+/** Minimal strict recursive-descent JSON parser (RFC 8259 subset). */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(JValue &out, std::string &error)
+    {
+        skipWs();
+        if (!parseValue(out)) {
+            error = error_.empty() ? "malformed JSON" : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = "trailing characters after JSON value";
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return fail(std::string("expected '") + word + "'");
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JValue &out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind = JValue::Kind::String;
+            return parseString(out.token);
+          case 't':
+            out.kind = JValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+          case 'f':
+            out.kind = JValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+          case 'n':
+            out.kind = JValue::Kind::Null;
+            return literal("null");
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JValue &out)
+    {
+        out.kind = JValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JValue value;
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JValue &out)
+    {
+        out.kind = JValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JValue value;
+            if (!parseValue(value))
+                return false;
+            out.elements.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // '"'
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_ + 1];
+                pos_ += 2;
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_ + i];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code |= h - 'A' + 10;
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos_ += 4;
+                    // Config strings are ASCII; reject the rest rather
+                    // than silently mangling them.
+                    if (code > 0x7f)
+                        return fail("non-ASCII \\u escape unsupported");
+                    out += static_cast<char>(code);
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos_;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected value");
+        out.kind = JValue::Kind::Number;
+        out.token = text_.substr(start, pos_ - start);
+        // Validate by conversion.
+        char *end = nullptr;
+        errno = 0;
+        std::strtod(out.token.c_str(), &end);
+        if (end != out.token.c_str() + out.token.size())
+            return fail("malformed number '" + out.token + "'");
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+// ----------------------------------------------------- field application
+
+/** Applies parsed members onto config structs with strict key checks. */
+class Apply
+{
+  public:
+    bool ok = true;
+    std::string error;
+
+    void
+    fail(const std::string &what)
+    {
+        if (ok)
+            error = what;
+        ok = false;
+    }
+
+    bool
+    number(const JValue &v, const std::string &key, double &out)
+    {
+        if (v.kind != JValue::Kind::Number) {
+            fail("field '" + key + "' must be a number");
+            return false;
+        }
+        out = std::strtod(v.token.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    number(const JValue &v, const std::string &key, std::uint64_t &out)
+    {
+        if (v.kind != JValue::Kind::Number ||
+            v.token.find_first_of(".eE-") != std::string::npos) {
+            fail("field '" + key +
+                 "' must be a non-negative integer");
+            return false;
+        }
+        errno = 0;
+        out = std::strtoull(v.token.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+            fail("field '" + key + "' out of range");
+            return false;
+        }
+        return true;
+    }
+
+    template <typename T>
+        requires(std::is_unsigned_v<T> && !std::is_same_v<T, bool> &&
+                 !std::is_same_v<T, std::uint64_t>)
+    bool
+    number(const JValue &v, const std::string &key, T &out)
+    {
+        std::uint64_t wide = 0;
+        if (!number(v, key, wide))
+            return false;
+        if (wide > std::numeric_limits<T>::max()) {
+            fail("field '" + key + "' out of range");
+            return false;
+        }
+        out = static_cast<T>(wide);
+        return true;
+    }
+
+    bool
+    number(const JValue &v, const std::string &key, int &out)
+    {
+        if (v.kind != JValue::Kind::Number ||
+            v.token.find_first_of(".eE") != std::string::npos) {
+            fail("field '" + key + "' must be an integer");
+            return false;
+        }
+        errno = 0;
+        const long parsed = std::strtol(v.token.c_str(), nullptr, 10);
+        if (errno == ERANGE || parsed < std::numeric_limits<int>::min() ||
+            parsed > std::numeric_limits<int>::max()) {
+            fail("field '" + key + "' out of range");
+            return false;
+        }
+        out = static_cast<int>(parsed);
+        return true;
+    }
+
+    bool
+    boolean(const JValue &v, const std::string &key, bool &out)
+    {
+        if (v.kind != JValue::Kind::Bool) {
+            fail("field '" + key + "' must be a boolean");
+            return false;
+        }
+        out = v.boolean;
+        return true;
+    }
+
+    bool
+    string(const JValue &v, const std::string &key, std::string &out)
+    {
+        if (v.kind != JValue::Kind::String) {
+            fail("field '" + key + "' must be a string");
+            return false;
+        }
+        out = v.token;
+        return true;
+    }
+
+    /** Dispatch every member of @p v through @p setter(key, value);
+     * setter returns false for unknown keys. */
+    template <typename Setter>
+    void
+    object(const JValue &v, const std::string &what, Setter &&setter)
+    {
+        if (!ok)
+            return;
+        if (v.kind != JValue::Kind::Object) {
+            fail("'" + what + "' must be an object");
+            return;
+        }
+        for (const auto &[key, value] : v.members) {
+            if (!ok)
+                return;
+            if (!setter(key, value)) {
+                fail("unknown field '" + key + "' in " + what);
+                return;
+            }
+        }
+    }
+
+    void apply(const JValue &v, WorkloadParams &p);
+    void apply(const JValue &v, LutSetup &l);
+    void apply(const JValue &v, CacheConfig &c);
+    void apply(const JValue &v, DramConfig &d);
+    void apply(const JValue &v, HierarchyConfig &h);
+    void apply(const JValue &v, AdaptiveTruncationConfig &a);
+    void apply(const JValue &v, SwMemoConfig &s);
+    void apply(const JValue &v, AtmConfig &a);
+    void apply(const JValue &v, EnergyParams &e);
+    void apply(const JValue &v, CpuConfig &c);
+    void apply(const JValue &v, ExperimentConfig &config);
+};
+
+void
+Apply::apply(const JValue &v, WorkloadParams &p)
+{
+    object(v, "dataset", [&](const std::string &k, const JValue &j) {
+        if (k == "scale") return number(j, k, p.scale);
+        if (k == "seed") return number(j, k, p.seed);
+        if (k == "sample_set") return boolean(j, k, p.sampleSet);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, LutSetup &l)
+{
+    object(v, "lut", [&](const std::string &k, const JValue &j) {
+        if (k == "l1_bytes") return number(j, k, l.l1Bytes);
+        if (k == "l2_bytes") return number(j, k, l.l2Bytes);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, CacheConfig &c)
+{
+    object(v, "cache", [&](const std::string &k, const JValue &j) {
+        if (k == "name") return string(j, k, c.name);
+        if (k == "size_bytes") return number(j, k, c.sizeBytes);
+        if (k == "assoc") return number(j, k, c.assoc);
+        if (k == "line_size") return number(j, k, c.lineSize);
+        if (k == "hit_latency") return number(j, k, c.hitLatency);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, DramConfig &d)
+{
+    object(v, "dram", [&](const std::string &k, const JValue &j) {
+        if (k == "channels") return number(j, k, d.channels);
+        if (k == "banks_per_channel")
+            return number(j, k, d.banksPerChannel);
+        if (k == "row_bytes") return number(j, k, d.rowBytes);
+        if (k == "row_hit_latency")
+            return number(j, k, d.rowHitLatency);
+        if (k == "row_miss_latency")
+            return number(j, k, d.rowMissLatency);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, HierarchyConfig &h)
+{
+    object(v, "hierarchy", [&](const std::string &k, const JValue &j) {
+        if (k == "l1d") { apply(j, h.l1d); return true; }
+        if (k == "l2") { apply(j, h.l2); return true; }
+        if (k == "dram") { apply(j, h.dram); return true; }
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, AdaptiveTruncationConfig &a)
+{
+    object(v, "adaptive", [&](const std::string &k, const JValue &j) {
+        if (k == "enabled") return boolean(j, k, a.enabled);
+        if (k == "profile_period")
+            return number(j, k, a.profilePeriod);
+        if (k == "profile_length")
+            return number(j, k, a.profileLength);
+        if (k == "target_error") return number(j, k, a.targetError);
+        if (k == "raise_band") return number(j, k, a.raiseBand);
+        if (k == "hit_target") return number(j, k, a.hitTarget);
+        if (k == "max_extra_bits")
+            return number(j, k, a.maxExtraBits);
+        if (k == "absolute_floor")
+            return number(j, k, a.absoluteFloor);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, SwMemoConfig &s)
+{
+    object(v, "software", [&](const std::string &k, const JValue &j) {
+        if (k == "hash") {
+            std::string name;
+            if (!string(j, k, name))
+                return true;
+            if (name == "table_crc")
+                s.hash = SwHashKind::TableCrc;
+            else if (name == "byte_sample")
+                s.hash = SwHashKind::ByteSample;
+            else
+                fail("unknown software hash '" + name + "'");
+            return true;
+        }
+        if (k == "log2_entries") return number(j, k, s.log2Entries);
+        if (k == "sample_bytes") return number(j, k, s.sampleBytes);
+        if (k == "task_overhead_insts")
+            return number(j, k, s.taskOverheadInsts);
+        if (k == "seed") return number(j, k, s.seed);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, AtmConfig &a)
+{
+    object(v, "atm", [&](const std::string &k, const JValue &j) {
+        if (k == "sample_bytes") return number(j, k, a.sampleBytes);
+        if (k == "task_overhead_insts")
+            return number(j, k, a.taskOverheadInsts);
+        if (k == "log2_entries") return number(j, k, a.log2Entries);
+        if (k == "seed") return number(j, k, a.seed);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, EnergyParams &e)
+{
+    object(v, "energy", [&](const std::string &k, const JValue &j) {
+        if (k == "frontend_per_uop")
+            return number(j, k, e.frontendPerUop);
+        if (k == "int_alu") return number(j, k, e.intAlu);
+        if (k == "int_mul") return number(j, k, e.intMul);
+        if (k == "int_div") return number(j, k, e.intDiv);
+        if (k == "fp_simple") return number(j, k, e.fpSimple);
+        if (k == "fp_mul") return number(j, k, e.fpMul);
+        if (k == "fp_div") return number(j, k, e.fpDiv);
+        if (k == "fp_long_per_uop")
+            return number(j, k, e.fpLongPerUop);
+        if (k == "mem_agen") return number(j, k, e.memAgen);
+        if (k == "branch") return number(j, k, e.branch);
+        if (k == "memo_issue") return number(j, k, e.memoIssue);
+        if (k == "l1d_access") return number(j, k, e.l1dAccess);
+        if (k == "l2_access") return number(j, k, e.l2Access);
+        if (k == "dram_access") return number(j, k, e.dramAccess);
+        if (k == "crc_per_4_bytes")
+            return number(j, k, e.crcPer4Bytes);
+        if (k == "hvr_access") return number(j, k, e.hvrAccess);
+        if (k == "leakage_per_cycle")
+            return number(j, k, e.leakagePerCycle);
+        if (k == "memo_leakage_per_cycle")
+            return number(j, k, e.memoLeakagePerCycle);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, CpuConfig &c)
+{
+    object(v, "cpu", [&](const std::string &k, const JValue &j) {
+        if (k == "issue_width") return number(j, k, c.issueWidth);
+        if (k == "mispredict_penalty")
+            return number(j, k, c.mispredictPenalty);
+        if (k == "freq_ghz") return number(j, k, c.freqGhz);
+        if (k == "num_int_alus") return number(j, k, c.numIntAlus);
+        if (k == "predictor_entries")
+            return number(j, k, c.predictorEntries);
+        if (k == "out_of_order") return boolean(j, k, c.outOfOrder);
+        if (k == "rob_size") return number(j, k, c.robSize);
+        return false;
+    });
+}
+
+void
+Apply::apply(const JValue &v, ExperimentConfig &config)
+{
+    object(v, "config", [&](const std::string &k, const JValue &j) {
+        if (k == "dataset") { apply(j, config.dataset); return true; }
+        if (k == "lut") { apply(j, config.lut); return true; }
+        if (k == "crc_bits") return number(j, k, config.crcBits);
+        if (k == "hierarchy") {
+            apply(j, config.hierarchy);
+            return true;
+        }
+        if (k == "quality_monitor")
+            return boolean(j, k, config.qualityMonitor);
+        if (k == "trunc_override")
+            return number(j, k, config.truncOverride);
+        if (k == "adaptive") { apply(j, config.adaptive); return true; }
+        if (k == "l2_policy") {
+            std::string name;
+            if (!string(j, k, name))
+                return true;
+            if (name == "inclusive")
+                config.l2Policy = L2LutPolicy::Inclusive;
+            else if (name == "victim")
+                config.l2Policy = L2LutPolicy::Victim;
+            else
+                fail("unknown l2_policy '" + name + "'");
+            return true;
+        }
+        if (k == "software") { apply(j, config.software); return true; }
+        if (k == "atm") { apply(j, config.atm); return true; }
+        if (k == "energy") { apply(j, config.energy); return true; }
+        if (k == "cpu") { apply(j, config.cpu); return true; }
+        return false;
+    });
+}
+
+} // namespace
+
+std::string
+toJson(const WorkloadParams &p)
+{
+    Obj o;
+    o.field("scale", p.scale);
+    o.field("seed", p.seed);
+    o.field("sample_set", p.sampleSet);
+    return o.close();
+}
+
+std::string
+toJson(const LutSetup &l)
+{
+    Obj o;
+    o.field("l1_bytes", l.l1Bytes);
+    o.field("l2_bytes", l.l2Bytes);
+    return o.close();
+}
+
+std::string
+toJson(const CacheConfig &c)
+{
+    Obj o;
+    o.field("name", c.name);
+    o.field("size_bytes", c.sizeBytes);
+    o.field("assoc", c.assoc);
+    o.field("line_size", c.lineSize);
+    o.field("hit_latency", c.hitLatency);
+    return o.close();
+}
+
+std::string
+toJson(const DramConfig &d)
+{
+    Obj o;
+    o.field("channels", d.channels);
+    o.field("banks_per_channel", d.banksPerChannel);
+    o.field("row_bytes", d.rowBytes);
+    o.field("row_hit_latency", d.rowHitLatency);
+    o.field("row_miss_latency", d.rowMissLatency);
+    return o.close();
+}
+
+std::string
+toJson(const HierarchyConfig &h)
+{
+    Obj o;
+    o.raw("l1d", toJson(h.l1d));
+    o.raw("l2", toJson(h.l2));
+    o.raw("dram", toJson(h.dram));
+    return o.close();
+}
+
+std::string
+toJson(const AdaptiveTruncationConfig &a)
+{
+    Obj o;
+    o.field("enabled", a.enabled);
+    o.field("profile_period", a.profilePeriod);
+    o.field("profile_length", a.profileLength);
+    o.field("target_error", a.targetError);
+    o.field("raise_band", a.raiseBand);
+    o.field("hit_target", a.hitTarget);
+    o.field("max_extra_bits", a.maxExtraBits);
+    o.field("absolute_floor", a.absoluteFloor);
+    return o.close();
+}
+
+std::string
+toJson(const SwMemoConfig &s)
+{
+    Obj o;
+    o.field("hash", std::string(swHashName(s.hash)));
+    o.field("log2_entries", s.log2Entries);
+    o.field("sample_bytes", s.sampleBytes);
+    o.field("task_overhead_insts", s.taskOverheadInsts);
+    o.field("seed", s.seed);
+    return o.close();
+}
+
+std::string
+toJson(const AtmConfig &a)
+{
+    Obj o;
+    o.field("sample_bytes", a.sampleBytes);
+    o.field("task_overhead_insts", a.taskOverheadInsts);
+    o.field("log2_entries", a.log2Entries);
+    o.field("seed", a.seed);
+    return o.close();
+}
+
+std::string
+toJson(const EnergyParams &e)
+{
+    Obj o;
+    o.field("frontend_per_uop", e.frontendPerUop);
+    o.field("int_alu", e.intAlu);
+    o.field("int_mul", e.intMul);
+    o.field("int_div", e.intDiv);
+    o.field("fp_simple", e.fpSimple);
+    o.field("fp_mul", e.fpMul);
+    o.field("fp_div", e.fpDiv);
+    o.field("fp_long_per_uop", e.fpLongPerUop);
+    o.field("mem_agen", e.memAgen);
+    o.field("branch", e.branch);
+    o.field("memo_issue", e.memoIssue);
+    o.field("l1d_access", e.l1dAccess);
+    o.field("l2_access", e.l2Access);
+    o.field("dram_access", e.dramAccess);
+    o.field("crc_per_4_bytes", e.crcPer4Bytes);
+    o.field("hvr_access", e.hvrAccess);
+    o.field("leakage_per_cycle", e.leakagePerCycle);
+    o.field("memo_leakage_per_cycle", e.memoLeakagePerCycle);
+    return o.close();
+}
+
+std::string
+toJson(const CpuConfig &c)
+{
+    Obj o;
+    o.field("issue_width", c.issueWidth);
+    o.field("mispredict_penalty", c.mispredictPenalty);
+    o.field("freq_ghz", c.freqGhz);
+    o.field("num_int_alus", c.numIntAlus);
+    o.field("predictor_entries", c.predictorEntries);
+    o.field("out_of_order", c.outOfOrder);
+    o.field("rob_size", c.robSize);
+    return o.close();
+}
+
+std::string
+toJson(const ExperimentConfig &config)
+{
+    Obj o;
+    o.raw("dataset", toJson(config.dataset));
+    o.raw("lut", toJson(config.lut));
+    o.field("crc_bits", config.crcBits);
+    o.raw("hierarchy", toJson(config.hierarchy));
+    o.field("quality_monitor", config.qualityMonitor);
+    o.field("trunc_override", config.truncOverride);
+    o.raw("adaptive", toJson(config.adaptive));
+    o.field("l2_policy", std::string(l2PolicyName(config.l2Policy)));
+    o.raw("software", toJson(config.software));
+    o.raw("atm", toJson(config.atm));
+    o.raw("energy", toJson(config.energy));
+    o.raw("cpu", toJson(config.cpu));
+    return o.close();
+}
+
+bool
+parseConfig(const std::string &json, ExperimentConfig &config,
+            std::string *error)
+{
+    JValue root;
+    std::string parseError;
+    Parser parser(json);
+    if (!parser.parse(root, parseError)) {
+        if (error)
+            *error = parseError;
+        return false;
+    }
+    Apply apply;
+    apply.apply(root, config);
+    if (!apply.ok && error)
+        *error = apply.error;
+    return apply.ok;
+}
+
+bool
+configEquals(const ExperimentConfig &a, const ExperimentConfig &b)
+{
+    return toJson(a) == toJson(b);
+}
+
+} // namespace axmemo

@@ -1,0 +1,45 @@
+#include "core/output_paths.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+std::string
+resolveOutputDir(const std::string &override)
+{
+    std::string dir = override;
+    if (dir.empty()) {
+        if (const char *env = std::getenv("AXMEMO_SWEEP_DIR");
+            env && *env)
+            dir = env;
+    }
+    if (dir.empty())
+        return ".";
+
+    while (dir.size() > 1 && dir.back() == '/')
+        dir.pop_back();
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        axm_warn("cannot create output directory '", dir, "': ",
+                 ec.message(), "; writing to current directory");
+        return ".";
+    }
+    return dir;
+}
+
+std::string
+joinPath(const std::string &dir, const std::string &file)
+{
+    if (dir.empty() || dir == ".")
+        return file;
+    if (dir.back() == '/')
+        return dir + file;
+    return dir + "/" + file;
+}
+
+} // namespace axmemo

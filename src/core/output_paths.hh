@@ -1,0 +1,31 @@
+/**
+ * @file
+ * One resolution rule for where machine-readable outputs go, shared by
+ * SweepEngine::writeReport and the axmemo driver: an explicit override
+ * (--out) wins, then $AXMEMO_SWEEP_DIR, then the current directory.
+ * The directory is created if missing and trailing slashes are
+ * normalized, replacing the blind string concatenation each writer used
+ * to do on its own.
+ */
+
+#ifndef AXMEMO_CORE_OUTPUT_PATHS_HH
+#define AXMEMO_CORE_OUTPUT_PATHS_HH
+
+#include <string>
+
+namespace axmemo {
+
+/**
+ * Resolve the output directory: @p override (when non-empty), else
+ * $AXMEMO_SWEEP_DIR (when set and non-empty), else ".". The result has
+ * no trailing slash (except the root "/") and is created on disk if
+ * missing; failures to create fall back to "." with a warning.
+ */
+std::string resolveOutputDir(const std::string &override = {});
+
+/** Join @p dir and @p file with exactly one separator. */
+std::string joinPath(const std::string &dir, const std::string &file);
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_OUTPUT_PATHS_HH

@@ -1,13 +1,13 @@
 #include "core/sweep.hh"
 
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <type_traits>
 
 #include "common/log.hh"
+#include "core/config_io.hh"
 #include "core/json_export.hh"
+#include "core/output_paths.hh"
 
 namespace axmemo {
 
@@ -21,81 +21,37 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Append the raw bytes of one scalar field to a cache key. */
-template <typename T>
-void
-appendBytes(std::string &key, const T &value)
-{
-    static_assert(std::is_trivially_copyable_v<T>);
-    key.append(reinterpret_cast<const char *>(&value), sizeof(T));
-}
-
-void
-appendCache(std::string &key, const CacheConfig &c)
-{
-    appendBytes(key, c.sizeBytes);
-    appendBytes(key, c.assoc);
-    appendBytes(key, c.lineSize);
-    appendBytes(key, c.hitLatency);
-}
-
-/** Key of the prepared-program cache: workload + dataset parameters. */
+/**
+ * Key of the prepared-program cache: workload + dataset parameters, in
+ * the canonical config_io serialization. Because the serializer emits
+ * every field of the struct, a new WorkloadParams field automatically
+ * participates in the key (the old hand-appended byte keys silently
+ * went stale instead; the config_io field-count guard test enforces
+ * that the serializer itself keeps up).
+ */
 std::string
 prepareKey(const std::string &workload, const WorkloadParams &d)
 {
     std::string key = workload;
     key.push_back('\0');
-    appendBytes(key, d.scale);
-    appendBytes(key, d.seed);
-    appendBytes(key, d.sampleSet);
+    key += toJson(d);
     return key;
 }
 
 /**
  * Key of the baseline result cache: everything a Mode::Baseline run can
- * observe. LUT geometry, CRC width, memo policies etc. deliberately do
- * not participate — the baseline has no memoization unit, which is what
+ * observe — dataset, CPU, memory hierarchy and energy parameters. LUT
+ * geometry, CRC width, memo policies etc. deliberately do not
+ * participate — the baseline has no memoization unit, which is what
  * lets one baseline serve a whole row of subject configurations.
  */
 std::string
 baselineKey(const std::string &workload, const ExperimentConfig &cfg)
 {
     std::string key = prepareKey(workload, cfg.dataset);
-    const CpuConfig &cpu = cfg.cpu;
-    appendBytes(key, cpu.issueWidth);
-    appendBytes(key, cpu.mispredictPenalty);
-    appendBytes(key, cpu.freqGhz);
-    appendBytes(key, cpu.numIntAlus);
-    appendBytes(key, cpu.predictorEntries);
-    appendBytes(key, cpu.outOfOrder);
-    appendBytes(key, cpu.robSize);
-    appendCache(key, cfg.hierarchy.l1d);
-    appendCache(key, cfg.hierarchy.l2);
-    const DramConfig &dram = cfg.hierarchy.dram;
-    appendBytes(key, dram.channels);
-    appendBytes(key, dram.banksPerChannel);
-    appendBytes(key, dram.rowBytes);
-    appendBytes(key, dram.rowHitLatency);
-    appendBytes(key, dram.rowMissLatency);
-    const EnergyParams &e = cfg.energy;
-    appendBytes(key, e.frontendPerUop);
-    appendBytes(key, e.intAlu);
-    appendBytes(key, e.intMul);
-    appendBytes(key, e.intDiv);
-    appendBytes(key, e.fpSimple);
-    appendBytes(key, e.fpMul);
-    appendBytes(key, e.fpDiv);
-    appendBytes(key, e.fpLongPerUop);
-    appendBytes(key, e.memAgen);
-    appendBytes(key, e.branch);
-    appendBytes(key, e.memoIssue);
-    appendBytes(key, e.l1dAccess);
-    appendBytes(key, e.l2Access);
-    appendBytes(key, e.dramAccess);
-    appendBytes(key, e.crcPer4Bytes);
-    appendBytes(key, e.hvrAccess);
-    appendBytes(key, e.leakagePerCycle);
-    appendBytes(key, e.memoLeakagePerCycle);
+    key += toJson(cfg.cpu);
+    key += toJson(cfg.hierarchy);
+    key += toJson(cfg.energy);
     return key;
 }
 
@@ -284,12 +240,11 @@ SweepEngine::summary() const
 }
 
 void
-SweepEngine::writeReport(const std::string &label) const
+SweepEngine::writeReport(const std::string &label,
+                         const std::string &outDir) const
 {
-    const char *dir = std::getenv("AXMEMO_SWEEP_DIR");
-    const std::string path = (dir && *dir ? std::string(dir) + "/"
-                                          : std::string()) +
-                             label + "_sweep.json";
+    const std::string path =
+        joinPath(resolveOutputDir(outDir), label + "_sweep.json");
     std::ofstream out(path);
     if (!out) {
         axm_warn("cannot write sweep report to ", path);

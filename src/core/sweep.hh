@@ -120,10 +120,16 @@ class SweepEngine
     std::string summary() const;
 
     /**
-     * Write metrics() as JSON to <label>_sweep.json in $AXMEMO_SWEEP_DIR
-     * (default: current directory).
+     * Write metrics() as JSON to <label>_sweep.json in the resolved
+     * output directory (@p outDir override, else $AXMEMO_SWEEP_DIR,
+     * else the current directory; see core/output_paths.hh).
      */
-    void writeReport(const std::string &label) const;
+    void writeReport(const std::string &label,
+                     const std::string &outDir = {}) const;
+
+    /** Jobs enqueued since the last execute(), in submission order
+     * (the driver snapshots these into manifest.json). */
+    const std::vector<SweepJob> &pending() const { return jobs_; }
 
   private:
     struct PreparedEntry

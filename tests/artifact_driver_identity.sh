@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Golden cross-check for the artifact refactor: the unified driver's
+# `axmemo run fig9` stdout must be byte-identical to the legacy
+# fig9_hitrate harness, serial and parallel. Any drift in banner,
+# table layout or number formatting fails the diff.
+set -eu
+
+driver="$1"
+legacy="$2"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+export AXMEMO_SCALE=0.02
+unset AXMEMO_FULL 2>/dev/null || true
+
+for jobs in 1 4; do
+    export AXMEMO_JOBS=$jobs
+    "$legacy" >legacy.$jobs.out 2>/dev/null
+    "$driver" run fig9 --out "$workdir" >driver.$jobs.out 2>/dev/null
+    if ! cmp -s legacy.$jobs.out driver.$jobs.out; then
+        echo "driver and legacy stdout differ at AXMEMO_JOBS=$jobs:" >&2
+        diff legacy.$jobs.out driver.$jobs.out >&2 || true
+        exit 1
+    fi
+done
+
+# Serial and parallel runs of the same artifact must match too.
+cmp legacy.1.out legacy.4.out
+cmp driver.1.out driver.4.out
+
+# The driver must also have produced its sidecar files.
+test -s "$workdir/fig9_sweep.json"
+test -s "$workdir/fig9.json"
+test -s "$workdir/manifest.json"
+
+echo "fig9 driver/legacy stdout identical (serial and parallel)"

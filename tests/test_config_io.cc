@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Canonical config serialization (core/config_io.hh):
+ *  - serialize(parse(serialize(c))) == serialize(c), on defaults and on
+ *    thousands of randomized configurations;
+ *  - every field participates in the serialization (mutating any field
+ *    changes the canonical string), so two distinct configs can never
+ *    collide onto one sweep cache key;
+ *  - an aggregate field-count guard that fails when a struct grows a
+ *    field the serializer (and these mutators) do not cover yet;
+ *  - strict parsing: unknown keys, malformed documents and trailing
+ *    garbage are rejected with an error message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/config_io.hh"
+
+namespace axmemo {
+namespace {
+
+// ---------------------------------------------------------------------
+// Aggregate field counting (C++20): probe how many initializers an
+// aggregate accepts. Grows with the struct, independent of padding.
+
+struct AnyField
+{
+    template <typename T>
+    constexpr operator T() const;
+};
+
+template <typename T, typename... Args>
+constexpr std::size_t
+fieldCount()
+{
+    if constexpr (requires { T{Args{}..., AnyField{}}; })
+        return fieldCount<T, Args..., AnyField>();
+    else
+        return sizeof...(Args);
+}
+
+// When one of these fails: a field was added (or removed). Update
+// core/config_io.cc (serializer + parser), the mutator list below, and
+// then the expected count.
+TEST(ConfigFieldGuard, StructFieldCountsMatchSerializer)
+{
+    EXPECT_EQ((fieldCount<WorkloadParams>()), 3u);
+    EXPECT_EQ((fieldCount<LutSetup>()), 2u);
+    EXPECT_EQ((fieldCount<CacheConfig>()), 5u);
+    EXPECT_EQ((fieldCount<DramConfig>()), 5u);
+    EXPECT_EQ((fieldCount<HierarchyConfig>()), 3u);
+    EXPECT_EQ((fieldCount<AdaptiveTruncationConfig>()), 8u);
+    EXPECT_EQ((fieldCount<SwMemoConfig>()), 5u);
+    EXPECT_EQ((fieldCount<AtmConfig>()), 4u);
+    EXPECT_EQ((fieldCount<EnergyParams>()), 18u);
+    EXPECT_EQ((fieldCount<CpuConfig>()), 7u);
+    EXPECT_EQ((fieldCount<ExperimentConfig>()), 12u);
+}
+
+// ---------------------------------------------------------------------
+// Per-field mutators: drive both the sensitivity test (each mutation
+// must change the canonical string) and the randomized round-trip.
+
+struct Mutator
+{
+    const char *field;
+    std::function<void(ExperimentConfig &, Rng &)> apply;
+};
+
+std::vector<Mutator>
+mutators()
+{
+    auto d = [](Rng &rng) { return rng.uniform(0.001, 4096.0); };
+    return {
+        {"dataset.scale",
+         [&](ExperimentConfig &c, Rng &r) {
+             c.dataset.scale = r.uniform(0.001, 2.0);
+         }},
+        {"dataset.seed",
+         [](ExperimentConfig &c, Rng &r) {
+             c.dataset.seed = static_cast<std::uint32_t>(r.next());
+         }},
+        {"dataset.sampleSet",
+         [](ExperimentConfig &c, Rng &) {
+             c.dataset.sampleSet = !c.dataset.sampleSet;
+         }},
+        {"lut.l1Bytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.lut.l1Bytes = 1024 + r.below(1 << 20);
+         }},
+        {"lut.l2Bytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.lut.l2Bytes = r.below(1 << 22);
+         }},
+        {"crcBits",
+         [](ExperimentConfig &c, Rng &r) {
+             c.crcBits = 8 + static_cast<unsigned>(r.below(57));
+         }},
+        {"hierarchy.l1d.name",
+         [](ExperimentConfig &c, Rng &) {
+             c.hierarchy.l1d.name += "'\"\\x";
+         }},
+        {"hierarchy.l1d.sizeBytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.l1d.sizeBytes = 1024 + r.below(1 << 20);
+         }},
+        {"hierarchy.l1d.assoc",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.l1d.assoc =
+                 1 + static_cast<unsigned>(r.below(16));
+         }},
+        {"hierarchy.l1d.lineSize",
+         [](ExperimentConfig &c, Rng &) {
+             c.hierarchy.l1d.lineSize = 128;
+         }},
+        {"hierarchy.l1d.hitLatency",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.l1d.hitLatency = 1 + r.below(9);
+         }},
+        {"hierarchy.l2.sizeBytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.l2.sizeBytes = 65536 + r.below(1 << 22);
+         }},
+        {"hierarchy.dram.channels",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.dram.channels =
+                 1 + static_cast<unsigned>(r.below(8));
+         }},
+        {"hierarchy.dram.banksPerChannel",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.dram.banksPerChannel =
+                 1 + static_cast<unsigned>(r.below(16));
+         }},
+        {"hierarchy.dram.rowBytes",
+         [](ExperimentConfig &c, Rng &) {
+             c.hierarchy.dram.rowBytes = 16 * 1024;
+         }},
+        {"hierarchy.dram.rowHitLatency",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.dram.rowHitLatency = 50 + r.below(100);
+         }},
+        {"hierarchy.dram.rowMissLatency",
+         [](ExperimentConfig &c, Rng &r) {
+             c.hierarchy.dram.rowMissLatency = 120 + r.below(200);
+         }},
+        {"qualityMonitor",
+         [](ExperimentConfig &c, Rng &) {
+             c.qualityMonitor = !c.qualityMonitor;
+         }},
+        {"truncOverride",
+         [](ExperimentConfig &c, Rng &r) {
+             c.truncOverride = static_cast<int>(r.below(24));
+         }},
+        {"adaptive.enabled",
+         [](ExperimentConfig &c, Rng &) {
+             c.adaptive.enabled = !c.adaptive.enabled;
+         }},
+        {"adaptive.profilePeriod",
+         [](ExperimentConfig &c, Rng &r) {
+             c.adaptive.profilePeriod =
+                 100 + static_cast<std::uint32_t>(r.below(10000));
+         }},
+        {"adaptive.profileLength",
+         [](ExperimentConfig &c, Rng &r) {
+             c.adaptive.profileLength =
+                 1 + static_cast<std::uint32_t>(r.below(100));
+         }},
+        {"adaptive.targetError",
+         [d](ExperimentConfig &c, Rng &r) { c.adaptive.targetError = d(r); }},
+        {"adaptive.raiseBand",
+         [d](ExperimentConfig &c, Rng &r) { c.adaptive.raiseBand = d(r); }},
+        {"adaptive.hitTarget",
+         [d](ExperimentConfig &c, Rng &r) { c.adaptive.hitTarget = d(r); }},
+        {"adaptive.maxExtraBits",
+         [](ExperimentConfig &c, Rng &r) {
+             c.adaptive.maxExtraBits =
+                 1 + static_cast<unsigned>(r.below(24));
+         }},
+        {"adaptive.absoluteFloor",
+         [](ExperimentConfig &c, Rng &r) {
+             c.adaptive.absoluteFloor =
+                 static_cast<unsigned>(r.below(8)) + 2;
+         }},
+        {"l2Policy",
+         [](ExperimentConfig &c, Rng &) {
+             c.l2Policy = c.l2Policy == L2LutPolicy::Inclusive
+                              ? L2LutPolicy::Victim
+                              : L2LutPolicy::Inclusive;
+         }},
+        {"software.hash",
+         [](ExperimentConfig &c, Rng &) {
+             c.software.hash = c.software.hash == SwHashKind::TableCrc
+                                   ? SwHashKind::ByteSample
+                                   : SwHashKind::TableCrc;
+         }},
+        {"software.log2Entries",
+         [](ExperimentConfig &c, Rng &r) {
+             c.software.log2Entries =
+                 10 + static_cast<unsigned>(r.below(19));
+         }},
+        {"software.sampleBytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.software.sampleBytes =
+                 1 + static_cast<unsigned>(r.below(16));
+         }},
+        {"software.taskOverheadInsts",
+         [](ExperimentConfig &c, Rng &r) {
+             c.software.taskOverheadInsts =
+                 static_cast<unsigned>(r.below(200)) + 1;
+         }},
+        {"software.seed",
+         [](ExperimentConfig &c, Rng &r) {
+             c.software.seed = static_cast<std::uint32_t>(r.next());
+         }},
+        {"atm.sampleBytes",
+         [](ExperimentConfig &c, Rng &r) {
+             c.atm.sampleBytes = 1 + static_cast<unsigned>(r.below(16));
+         }},
+        {"atm.taskOverheadInsts",
+         [](ExperimentConfig &c, Rng &r) {
+             c.atm.taskOverheadInsts =
+                 static_cast<unsigned>(r.below(400)) + 1;
+         }},
+        {"atm.log2Entries",
+         [](ExperimentConfig &c, Rng &r) {
+             c.atm.log2Entries =
+                 10 + static_cast<unsigned>(r.below(19));
+         }},
+        {"atm.seed",
+         [](ExperimentConfig &c, Rng &r) {
+             c.atm.seed = static_cast<std::uint32_t>(r.next());
+         }},
+        {"energy.frontendPerUop",
+         [d](ExperimentConfig &c, Rng &r) {
+             c.energy.frontendPerUop = d(r);
+         }},
+        {"energy.intAlu",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.intAlu = d(r); }},
+        {"energy.intMul",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.intMul = d(r); }},
+        {"energy.intDiv",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.intDiv = d(r); }},
+        {"energy.fpSimple",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.fpSimple = d(r); }},
+        {"energy.fpMul",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.fpMul = d(r); }},
+        {"energy.fpDiv",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.fpDiv = d(r); }},
+        {"energy.fpLongPerUop",
+         [d](ExperimentConfig &c, Rng &r) {
+             c.energy.fpLongPerUop = d(r);
+         }},
+        {"energy.memAgen",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.memAgen = d(r); }},
+        {"energy.branch",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.branch = d(r); }},
+        {"energy.memoIssue",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.memoIssue = d(r); }},
+        {"energy.l1dAccess",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.l1dAccess = d(r); }},
+        {"energy.l2Access",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.l2Access = d(r); }},
+        {"energy.dramAccess",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.dramAccess = d(r); }},
+        {"energy.crcPer4Bytes",
+         [d](ExperimentConfig &c, Rng &r) {
+             c.energy.crcPer4Bytes = d(r);
+         }},
+        {"energy.hvrAccess",
+         [d](ExperimentConfig &c, Rng &r) { c.energy.hvrAccess = d(r); }},
+        {"energy.leakagePerCycle",
+         [d](ExperimentConfig &c, Rng &r) {
+             c.energy.leakagePerCycle = d(r);
+         }},
+        {"energy.memoLeakagePerCycle",
+         [d](ExperimentConfig &c, Rng &r) {
+             c.energy.memoLeakagePerCycle = d(r);
+         }},
+        {"cpu.issueWidth",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.issueWidth = 1 + static_cast<unsigned>(r.below(8));
+         }},
+        {"cpu.mispredictPenalty",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.mispredictPenalty = 1 + r.below(30);
+         }},
+        {"cpu.freqGhz",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.freqGhz = r.uniform(0.5, 5.0);
+         }},
+        {"cpu.numIntAlus",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.numIntAlus = 1 + static_cast<unsigned>(r.below(8));
+         }},
+        {"cpu.predictorEntries",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.predictorEntries =
+                 64u << static_cast<unsigned>(r.below(10));
+         }},
+        {"cpu.outOfOrder",
+         [](ExperimentConfig &c, Rng &) {
+             c.cpu.outOfOrder = !c.cpu.outOfOrder;
+         }},
+        {"cpu.robSize",
+         [](ExperimentConfig &c, Rng &r) {
+             c.cpu.robSize = 16 + static_cast<unsigned>(r.below(240));
+         }},
+    };
+}
+
+ExperimentConfig
+roundTrip(const ExperimentConfig &config)
+{
+    std::string error;
+    ExperimentConfig out;
+    const bool ok = parseConfig(toJson(config), out, &error);
+    EXPECT_TRUE(ok) << error;
+    return out;
+}
+
+TEST(ConfigIo, DefaultRoundTripsExactly)
+{
+    const ExperimentConfig config;
+    const std::string json = toJson(config);
+    EXPECT_EQ(json, toJson(roundTrip(config)));
+    EXPECT_TRUE(configEquals(config, roundTrip(config)));
+}
+
+TEST(ConfigIo, EveryFieldParticipatesInSerialization)
+{
+    const std::string base = toJson(ExperimentConfig{});
+    Rng rng(2024);
+    for (const Mutator &m : mutators()) {
+        // A random draw may legitimately land on the default value;
+        // only repeated identity means the field is not serialized.
+        bool changed = false;
+        for (int attempt = 0; attempt < 8 && !changed; ++attempt) {
+            ExperimentConfig config;
+            m.apply(config, rng);
+            changed = toJson(config) != base;
+        }
+        EXPECT_TRUE(changed)
+            << "mutating " << m.field
+            << " did not change the canonical serialization";
+    }
+}
+
+TEST(ConfigIo, RandomizedConfigsRoundTripExactly)
+{
+    const auto muts = mutators();
+    Rng rng(0xa8d3);
+    for (int iteration = 0; iteration < 2000; ++iteration) {
+        ExperimentConfig config;
+        // Perturb a random subset of fields, several times over.
+        const std::size_t edits = 1 + rng.below(muts.size());
+        for (std::size_t e = 0; e < edits; ++e)
+            muts[rng.below(muts.size())].apply(config, rng);
+
+        const std::string once = toJson(config);
+        const ExperimentConfig parsed = roundTrip(config);
+        ASSERT_EQ(once, toJson(parsed)) << "iteration " << iteration;
+        ASSERT_TRUE(configEquals(config, parsed));
+    }
+}
+
+TEST(ConfigIo, AdversarialDoublesRoundTrip)
+{
+    const double values[] = {0.0, -0.0, 1e-308, 1.7976931348623157e308,
+                             0.1, 1.0 / 3.0, 6.02214076e23,
+                             -123.456789012345678};
+    for (double v : values) {
+        ExperimentConfig config;
+        config.dataset.scale = v;
+        const ExperimentConfig parsed = roundTrip(config);
+        EXPECT_EQ(toJson(config), toJson(parsed)) << "value " << v;
+    }
+}
+
+TEST(ConfigIo, LargeU64RoundTripsLosslessly)
+{
+    // Values above 2^53 are not representable as doubles; the parser
+    // must keep the raw token.
+    ExperimentConfig config;
+    config.lut.l1Bytes = (1ull << 53) + 1;
+    config.lut.l2Bytes = 0xffffffffffffffffull;
+    const ExperimentConfig parsed = roundTrip(config);
+    EXPECT_EQ(parsed.lut.l1Bytes, (1ull << 53) + 1);
+    EXPECT_EQ(parsed.lut.l2Bytes, 0xffffffffffffffffull);
+    EXPECT_EQ(toJson(config), toJson(parsed));
+}
+
+TEST(ConfigIo, WhitespaceToleratedCanonicalFormRestored)
+{
+    ExperimentConfig config;
+    config.crcBits = 24;
+    std::string json = toJson(config);
+    // Inject whitespace after every comma/colon/brace.
+    std::string spaced;
+    for (char ch : json) {
+        spaced += ch;
+        if (ch == ',' || ch == ':' || ch == '{')
+            spaced += "\n  ";
+    }
+    ExperimentConfig parsed;
+    std::string error;
+    ASSERT_TRUE(parseConfig(spaced, parsed, &error)) << error;
+    EXPECT_EQ(toJson(parsed), json);
+}
+
+TEST(ConfigIo, RejectsMalformedDocuments)
+{
+    ExperimentConfig config;
+    std::string error;
+    EXPECT_FALSE(parseConfig("", config, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseConfig("{", config, &error));
+    EXPECT_FALSE(parseConfig("[]", config, &error));
+    EXPECT_FALSE(parseConfig("{\"crc_bits\":}", config, &error));
+    EXPECT_FALSE(parseConfig("{\"crc_bits\":32} trailing", config,
+                             &error));
+}
+
+TEST(ConfigIo, RejectsUnknownKeys)
+{
+    ExperimentConfig config;
+    std::string error;
+    EXPECT_FALSE(parseConfig("{\"crc_bitz\":32}", config, &error));
+    EXPECT_NE(error.find("crc_bitz"), std::string::npos) << error;
+    EXPECT_FALSE(parseConfig(
+        "{\"lut\":{\"l1_bytes\":4096,\"l3_bytes\":1}}", config,
+        &error));
+}
+
+TEST(ConfigIo, PartialDocumentsKeepDefaults)
+{
+    ExperimentConfig config;
+    std::string error;
+    ASSERT_TRUE(parseConfig("{\"crc_bits\":16}", config, &error))
+        << error;
+    EXPECT_EQ(config.crcBits, 16u);
+    const ExperimentConfig defaults;
+    EXPECT_EQ(config.lut.l1Bytes, defaults.lut.l1Bytes);
+    EXPECT_EQ(config.cpu.issueWidth, defaults.cpu.issueWidth);
+}
+
+TEST(ConfigIo, EnumsSerializeSymbolically)
+{
+    ExperimentConfig config;
+    config.l2Policy = L2LutPolicy::Victim;
+    config.software.hash = SwHashKind::ByteSample;
+    const std::string json = toJson(config);
+    EXPECT_NE(json.find("\"l2_policy\":\"victim\""), std::string::npos);
+    EXPECT_NE(json.find("\"hash\":\"byte_sample\""), std::string::npos);
+    const ExperimentConfig parsed = roundTrip(config);
+    EXPECT_EQ(parsed.l2Policy, L2LutPolicy::Victim);
+    EXPECT_EQ(parsed.software.hash, SwHashKind::ByteSample);
+}
+
+} // namespace
+} // namespace axmemo

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The unified paper-artifact driver. Every table, figure and ablation
+ * registers itself with the artifact registry (core/artifact.hh); this
+ * binary lists and runs them:
+ *
+ *   axmemo --list                      catalog of registered artifacts
+ *   axmemo run fig9                    one artifact, legacy-identical
+ *                                      stdout
+ *   axmemo run fig7 fig9 table2        several in sequence
+ *   axmemo run all                     the whole evaluation
+ *
+ * Options (apply to `run`):
+ *   --scale <f>   dataset scale (sets AXMEMO_SCALE)
+ *   --full        paper-size inputs (sets AXMEMO_FULL=1)
+ *   --jobs <n>    sweep worker count (sets AXMEMO_JOBS)
+ *   --out <dir>   output directory for all emitted files (overrides
+ *                 $AXMEMO_SWEEP_DIR; created if missing)
+ *   --json        print each artifact's result rows as one JSON
+ *                 document on stdout instead of the text report
+ *
+ * Besides stdout, each run emits <name>_sweep.json (host-side sweep
+ * performance) and <name>.json (result rows) into the output
+ * directory, plus one manifest.json recording the exact canonical
+ * serialized configuration of every simulated job — enough to rerun or
+ * diff any result without reading harness code.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/artifact.hh"
+#include "core/output_paths.hh"
+
+namespace {
+
+using namespace axmemo;
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: axmemo --list\n"
+        "       axmemo run <artifact>... | all "
+        "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n");
+    return to == stderr ? 2 : 0;
+}
+
+int
+listArtifacts()
+{
+    for (const ArtifactInfo &info : ArtifactRegistry::instance().list())
+        std::printf("%-28s %s\n", info.name.c_str(),
+                    info.description.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::vector<std::string> names;
+    std::string outDir;
+    bool json = false;
+    bool run = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list" || arg == "list") {
+            list = true;
+        } else if (arg == "run") {
+            run = true;
+        } else if (arg == "--scale") {
+            setenv("AXMEMO_SCALE", value(), 1);
+        } else if (arg == "--full") {
+            setenv("AXMEMO_FULL", "1", 1);
+        } else if (arg == "--jobs") {
+            setenv("AXMEMO_JOBS", value(), 1);
+        } else if (arg == "--out") {
+            outDir = value();
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(stdout);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            return usage(stderr);
+        } else if (run) {
+            names.push_back(arg);
+        } else {
+            std::fprintf(stderr, "unexpected argument %s\n",
+                         arg.c_str());
+            return usage(stderr);
+        }
+    }
+
+    if (list)
+        return listArtifacts();
+    if (!run || names.empty())
+        return usage(stderr);
+
+    ArtifactRegistry &registry = ArtifactRegistry::instance();
+    if (names.size() == 1 && names[0] == "all") {
+        names.clear();
+        for (const ArtifactInfo &info : registry.list())
+            names.push_back(info.name);
+    }
+
+    // Validate the whole list before simulating anything.
+    for (const std::string &name : names) {
+        if (!registry.make(name)) {
+            std::fprintf(stderr,
+                         "unknown artifact '%s' (try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+
+    ArtifactRunOptions options;
+    options.outDir = outDir;
+    options.writeRows = true;
+    options.rowsToStdout = json;
+
+    std::vector<std::string> manifestRuns;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (i && !json)
+            std::printf("\n");
+        const std::unique_ptr<Artifact> artifact =
+            registry.make(names[i]);
+        ArtifactRunRecord record;
+        const int rc = runArtifact(*artifact, options, &record);
+        if (rc)
+            return rc;
+        manifestRuns.push_back(std::move(record.manifestRun));
+    }
+
+    const std::string manifestPath =
+        joinPath(resolveOutputDir(outDir), "manifest.json");
+    std::ofstream manifest(manifestPath);
+    if (!manifest) {
+        axm_warn("cannot write manifest to ", manifestPath);
+    } else {
+        manifest << "{\"runs\":[";
+        for (std::size_t i = 0; i < manifestRuns.size(); ++i) {
+            if (i)
+                manifest << ',';
+            manifest << manifestRuns[i];
+        }
+        manifest << "]}\n";
+    }
+    return 0;
+}
