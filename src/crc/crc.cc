@@ -85,6 +85,49 @@ CrcEngine::CrcEngine(const CrcSpec &spec)
         }
         table_[b] = state;
     }
+
+    // Slice-by-8 tables for byte-multiple widths: slice k holds the
+    // register evolution of byte b followed by k zero bytes, so a block
+    // of up to 8 input bytes folds into independent lookups (the serial
+    // dependency chain of updateByte disappears). Non-byte widths keep
+    // the serial paths; results are identical either way by linearity.
+    if (spec_.width % 8 == 0) {
+        stateBytes_ = spec_.width / 8;
+        slice_.resize(8 * 256);
+        for (unsigned b = 0; b < 256; ++b)
+            slice_[b] = table_[b];
+        for (unsigned k = 1; k < 8; ++k) {
+            for (unsigned b = 0; b < 256; ++b) {
+                const std::uint64_t prev = slice_[(k - 1) * 256 + b];
+                slice_[k * 256 + b] =
+                    ((prev << 8) ^
+                     table_[static_cast<std::uint8_t>(
+                         prev >> (spec_.width - 8))]) &
+                    mask_;
+            }
+        }
+    }
+}
+
+std::uint64_t
+CrcEngine::updateBlock(std::uint64_t state, const std::uint8_t *data,
+                       unsigned n) const
+{
+    // Feeding n >= stateBytes_ bytes shifts the whole register out, so
+    // the new state is a pure XOR of per-byte contributions: state byte
+    // j exits after j+1 steps and then sees n-1-j zero bytes (slice
+    // n-1-j), merged with input byte j by linearity; the remaining
+    // input bytes contribute their own slices.
+    std::uint64_t acc = 0;
+    unsigned i = 0;
+    for (; i < stateBytes_; ++i) {
+        const auto s = static_cast<std::uint8_t>(
+            state >> (spec_.width - 8 * (i + 1)));
+        acc ^= sliceAt(n - 1 - i, s ^ data[i]);
+    }
+    for (; i < n; ++i)
+        acc ^= sliceAt(n - 1 - i, data[i]);
+    return acc;
 }
 
 std::uint64_t
@@ -123,6 +166,32 @@ CrcEngine::update(std::uint64_t state, const void *data,
                   std::size_t len) const
 {
     const auto *bytes = static_cast<const std::uint8_t *>(data);
+    if (stateBytes_ == 4) {
+        // Unrolled 32-bit hot case (the LUT-tag hash): constant slice
+        // indices let the compiler hoist the eight table bases.
+        for (; len >= 8; bytes += 8, len -= 8) {
+            const auto s = static_cast<std::uint32_t>(state);
+            state = sliceAt(7, static_cast<std::uint8_t>(s >> 24) ^
+                                   bytes[0]) ^
+                    sliceAt(6, static_cast<std::uint8_t>(s >> 16) ^
+                                   bytes[1]) ^
+                    sliceAt(5, static_cast<std::uint8_t>(s >> 8) ^
+                                   bytes[2]) ^
+                    sliceAt(4, static_cast<std::uint8_t>(s) ^
+                                   bytes[3]) ^
+                    sliceAt(3, bytes[4]) ^ sliceAt(2, bytes[5]) ^
+                    sliceAt(1, bytes[6]) ^ sliceAt(0, bytes[7]);
+        }
+        if (len >= 4)
+            return updateBlock(state, bytes,
+                               static_cast<unsigned>(len));
+    } else if (stateBytes_ != 0) {
+        for (; len >= 8; bytes += 8, len -= 8)
+            state = updateBlock(state, bytes, 8);
+        if (len >= stateBytes_)
+            return updateBlock(state, bytes,
+                               static_cast<unsigned>(len));
+    }
     for (std::size_t i = 0; i < len; ++i)
         state = updateByte(state, bytes[i]);
     return state;
@@ -132,6 +201,14 @@ std::uint64_t
 CrcEngine::updateWord(std::uint64_t state, std::uint64_t word,
                       unsigned nbytes) const
 {
+    if (nbytes > 8)
+        axm_panic("CrcEngine::updateWord of ", nbytes, " bytes");
+    if (stateBytes_ != 0 && nbytes >= stateBytes_) {
+        std::uint8_t bytes[8];
+        for (unsigned i = 0; i < nbytes; ++i)
+            bytes[i] = static_cast<std::uint8_t>(word >> (8 * i));
+        return updateBlock(state, bytes, nbytes);
+    }
     for (unsigned i = 0; i < nbytes; ++i)
         state = updateByte(state, static_cast<std::uint8_t>(word >> (8 * i)));
     return state;

@@ -13,6 +13,14 @@
  *    of the paper's 8-bit parallel hardware unit (the 256-entry table is the
  *    2^n x m-bit constant RAM of Fig. 3).
  *
+ * For byte-multiple widths the engine additionally builds slice-by-8
+ * tables (slice k = the byte table advanced by k zero bytes), and the
+ * bulk entry points update()/updateWord() consume up to 8 bytes per
+ * step as independent table lookups instead of 8 dependent register
+ * steps. CRC is GF(2)-linear, so the sliced step is bit-identical to
+ * the serial evolution by construction; narrow or odd widths simply
+ * fall back to the serial paths (DESIGN.md §7).
+ *
  * Streaming matters: the memoization unit accumulates inputs as they arrive
  * (property 1 in Section 3.1), so the engine exposes explicit state that the
  * hash-value registers can hold between ld_crc/reg_crc instructions.
@@ -80,7 +88,8 @@ class CrcEngine
     /** Advance @p state by one byte using the table (8-bit parallel). */
     std::uint64_t updateByte(std::uint64_t state, std::uint8_t byte) const;
 
-    /** Advance @p state over @p len bytes at @p data (table-driven). */
+    /** Advance @p state over @p len bytes at @p data (slice-by-8 for
+     * byte-multiple widths, else table-driven byte at a time). */
     std::uint64_t update(std::uint64_t state, const void *data,
                          std::size_t len) const;
 
@@ -100,11 +109,29 @@ class CrcEngine
     /** The 256-entry constant table (exposed for the hardware RAM model). */
     const std::vector<std::uint64_t> &table() const { return table_; }
 
+    /** True when the slice-by-8 bulk path is active for this width. */
+    bool sliced() const { return stateBytes_ != 0; }
+
   private:
+    /** Advance @p state over @p n bytes (stateBytes_ <= n <= 8) as one
+     * XOR of n slice-table lookups. Only valid when sliced(). */
+    std::uint64_t updateBlock(std::uint64_t state,
+                              const std::uint8_t *data,
+                              unsigned n) const;
+
+    std::uint64_t sliceAt(unsigned zeros, std::uint8_t byte) const
+    {
+        return slice_[zeros * 256u + byte];
+    }
+
     CrcSpec spec_;
     std::uint64_t mask_;
     std::uint64_t topBit_;
     std::vector<std::uint64_t> table_;
+    /** 8 x 256 slice tables; empty unless width is a byte multiple. */
+    std::vector<std::uint64_t> slice_;
+    /** width/8 when the slice path is active, else 0. */
+    unsigned stateBytes_ = 0;
 };
 
 } // namespace axmemo

@@ -5,30 +5,45 @@
 
 namespace axmemo {
 
-LookupTable::LookupTable(const LutConfig &config) : config_(config)
+LookupTable::LookupTable(const LutConfig &config)
+    : ways_(config.ways())
 {
-    if (config_.dataBytes != 4 && config_.dataBytes != 8)
-        axm_fatal(config_.name, ": LUT data must be 4 or 8 bytes");
-    if (config_.sizeBytes == 0 ||
-        config_.sizeBytes % LutConfig::setBytes != 0)
-        axm_fatal(config_.name, ": LUT size must be a multiple of ",
+    if (config.dataBytes != 4 && config.dataBytes != 8)
+        axm_fatal(config.name, ": LUT data must be 4 or 8 bytes");
+    if (config.sizeBytes == 0 ||
+        config.sizeBytes % LutConfig::setBytes != 0)
+        axm_fatal(config.name, ": LUT size must be a multiple of ",
                   LutConfig::setBytes, " bytes");
-    const std::uint64_t sets = config_.sizeBytes / LutConfig::setBytes;
+    const std::uint64_t sets = config.sizeBytes / LutConfig::setBytes;
     if (!isPowerOfTwo(sets))
-        axm_fatal(config_.name, ": LUT set count must be a power of two");
+        axm_fatal(config.name, ": LUT set count must be a power of two");
     numSets_ = static_cast<unsigned>(sets);
-    entries_.resize(static_cast<std::size_t>(numSets_) * ways());
+    entries_.resize(static_cast<std::size_t>(numSets_) * ways_);
+    mruWay_.assign(numSets_, 0);
 }
 
 std::optional<std::uint64_t>
 LookupTable::lookup(LutId lutId, std::uint64_t hash)
 {
     const unsigned set = setOf(hash);
-    for (unsigned w = 0; w < ways(); ++w) {
+
+    // MRU fast path: keys are unique within a set, so checking the
+    // hinted way first can never disagree with the scan below.
+    if (mruEnabled_) {
+        Entry *e = entryAt(set, mruWay_[set]);
+        if (e->valid && e->lutId == lutId && e->hash == hash) {
+            e->lruStamp = ++stamp_;
+            ++hits_;
+            return e->data;
+        }
+    }
+
+    for (unsigned w = 0; w < ways_; ++w) {
         Entry *e = entryAt(set, w);
         if (e->valid && e->lutId == lutId && e->hash == hash) {
             e->lruStamp = ++stamp_;
             ++hits_;
+            mruWay_[set] = static_cast<std::uint8_t>(w);
             return e->data;
         }
     }
@@ -40,7 +55,7 @@ bool
 LookupTable::contains(LutId lutId, std::uint64_t hash) const
 {
     const unsigned set = setOf(hash);
-    for (unsigned w = 0; w < ways(); ++w) {
+    for (unsigned w = 0; w < ways_; ++w) {
         const Entry *e = entryAt(set, w);
         if (e->valid && e->lutId == lutId && e->hash == hash)
             return true;
@@ -55,11 +70,12 @@ LookupTable::insert(LutId lutId, std::uint64_t hash, std::uint64_t data)
 
     // Overwrite an existing entry for the same key (a collision of
     // truncated inputs mapping to the same hash simply refreshes data).
-    for (unsigned w = 0; w < ways(); ++w) {
+    for (unsigned w = 0; w < ways_; ++w) {
         Entry *e = entryAt(set, w);
         if (e->valid && e->lutId == lutId && e->hash == hash) {
             e->data = data;
             e->lruStamp = ++stamp_;
+            mruWay_[set] = static_cast<std::uint8_t>(w);
             return std::nullopt;
         }
     }
@@ -67,7 +83,7 @@ LookupTable::insert(LutId lutId, std::uint64_t hash, std::uint64_t data)
     // Pick victim: first invalid way, else LRU.
     unsigned victimWay = 0;
     std::uint64_t oldest = ~0ull;
-    for (unsigned w = 0; w < ways(); ++w) {
+    for (unsigned w = 0; w < ways_; ++w) {
         Entry *e = entryAt(set, w);
         if (!e->valid) {
             victimWay = w;
@@ -89,6 +105,7 @@ LookupTable::insert(LutId lutId, std::uint64_t hash, std::uint64_t data)
     e->hash = hash;
     e->data = data;
     e->lruStamp = ++stamp_;
+    mruWay_[set] = static_cast<std::uint8_t>(victimWay);
     return victim;
 }
 
@@ -96,7 +113,7 @@ void
 LookupTable::erase(LutId lutId, std::uint64_t hash)
 {
     const unsigned set = setOf(hash);
-    for (unsigned w = 0; w < ways(); ++w) {
+    for (unsigned w = 0; w < ways_; ++w) {
         Entry *e = entryAt(set, w);
         if (e->valid && e->lutId == lutId && e->hash == hash) {
             e->valid = false;

@@ -42,15 +42,20 @@ struct LutConfig
     }
 };
 
-/** One level of memoization lookup table. */
+/**
+ * One level of memoization lookup table. The constructor validates
+ * against @p config and keeps only the scalar geometry — the config (and
+ * its name string) is not copied into every constructed level. A per-set
+ * MRU way hint accelerates the common repeated hit without changing
+ * hit/miss, LRU order, or victim choice (DESIGN.md §7).
+ */
 class LookupTable
 {
   public:
     explicit LookupTable(const LutConfig &config);
 
-    const LutConfig &config() const { return config_; }
     unsigned numSets() const { return numSets_; }
-    unsigned ways() const { return config_.ways(); }
+    unsigned ways() const { return ways_; }
 
     /**
      * Find the entry tagged {lutId, hash}; refreshes LRU on hit.
@@ -86,6 +91,10 @@ class LookupTable
     /** Number of currently valid entries. */
     std::uint64_t validCount() const;
 
+    /** Disable/enable the MRU way hint (equivalence tests and the perf
+     * harness; lookup/insert sequences are identical either way). */
+    void setMruHintEnabled(bool enabled) { mruEnabled_ = enabled; }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
@@ -107,19 +116,22 @@ class LookupTable
     }
     Entry *entryAt(unsigned set, unsigned way)
     {
-        return &entries_[static_cast<std::size_t>(set) * ways() + way];
+        return &entries_[static_cast<std::size_t>(set) * ways_ + way];
     }
     const Entry *entryAt(unsigned set, unsigned way) const
     {
-        return &entries_[static_cast<std::size_t>(set) * ways() + way];
+        return &entries_[static_cast<std::size_t>(set) * ways_ + way];
     }
 
-    LutConfig config_;
     unsigned numSets_;
+    unsigned ways_;
+    bool mruEnabled_ = true;
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::vector<Entry> entries_;
+    /** Most-recently-hit way per set (a hint, never authoritative). */
+    std::vector<std::uint8_t> mruWay_;
 };
 
 } // namespace axmemo

@@ -5,30 +5,33 @@
 
 namespace axmemo {
 
-Cache::Cache(const CacheConfig &config) : config_(config)
+Cache::Cache(const CacheConfig &config) : assoc_(config.assoc)
 {
-    if (!isPowerOfTwo(config_.lineSize))
-        axm_fatal(config_.name, ": line size must be a power of two");
-    if (config_.assoc == 0)
-        axm_fatal(config_.name, ": associativity must be nonzero");
-    const std::uint64_t lines = config_.sizeBytes / config_.lineSize;
-    if (lines == 0 || lines % config_.assoc != 0)
-        axm_fatal(config_.name, ": size/line/assoc mismatch");
-    const std::uint64_t sets = lines / config_.assoc;
+    if (!isPowerOfTwo(config.lineSize))
+        axm_fatal(config.name, ": line size must be a power of two");
+    if (config.assoc == 0)
+        axm_fatal(config.name, ": associativity must be nonzero");
+    const std::uint64_t lines = config.sizeBytes / config.lineSize;
+    if (lines == 0 || lines % config.assoc != 0)
+        axm_fatal(config.name, ": size/line/assoc mismatch");
+    const std::uint64_t sets = lines / config.assoc;
     if (!isPowerOfTwo(sets))
-        axm_fatal(config_.name, ": number of sets must be a power of two");
+        axm_fatal(config.name, ": number of sets must be a power of two");
+    if (config.assoc > 255)
+        axm_fatal(config.name, ": associativity above 255 unsupported");
     numSets_ = static_cast<unsigned>(sets);
-    lineShift_ = floorLog2(config_.lineSize);
+    lineShift_ = floorLog2(config.lineSize);
     tagShift_ = lineShift_ + floorLog2(sets);
     lines_.resize(lines);
+    mruWay_.assign(numSets_, 0);
 }
 
 void
 Cache::reserveWays(unsigned ways)
 {
-    if (ways >= config_.assoc)
-        axm_fatal(config_.name, ": cannot reserve ", ways, " of ",
-                  config_.assoc, " ways");
+    if (ways >= assoc_)
+        axm_fatal("cache: cannot reserve ", ways, " of ", assoc_,
+                  " ways");
     // Invalidate everything: the partition boundary moved, so any line
     // could now live in a reserved way.
     invalidateAll();
@@ -42,12 +45,31 @@ Cache::access(Addr addr, bool isWrite)
     const unsigned set = setOf(addr);
     const unsigned ways = usableWays();
 
+    const auto hitOn = [&](Line *line) {
+        line->lruStamp = ++stamp_;
+        line->dirty = line->dirty || isWrite;
+        ++hits_;
+    };
+
+    // MRU fast path: the common repeated hit is one tag compare. Tags
+    // are unique within a set, so checking the hinted way first can
+    // never report a different hit than the scan below would.
+    if (mruEnabled_) {
+        const unsigned hint = mruWay_[set];
+        if (hint < ways) {
+            Line *line = lineAt(set, hint);
+            if (line->valid && line->tag == tag) {
+                hitOn(line);
+                return {.hit = true};
+            }
+        }
+    }
+
     for (unsigned w = 0; w < ways; ++w) {
         Line *line = lineAt(set, w);
         if (line->valid && line->tag == tag) {
-            line->lruStamp = ++stamp_;
-            line->dirty = line->dirty || isWrite;
-            ++hits_;
+            hitOn(line);
+            mruWay_[set] = static_cast<std::uint8_t>(w);
             return {.hit = true};
         }
     }
@@ -83,6 +105,7 @@ Cache::access(Addr addr, bool isWrite)
     line->dirty = isWrite;
     line->tag = tag;
     line->lruStamp = ++stamp_;
+    mruWay_[set] = static_cast<std::uint8_t>(victim);
     return result;
 }
 
@@ -104,6 +127,7 @@ Cache::invalidateAll()
 {
     for (auto &line : lines_)
         line = Line{};
+    mruWay_.assign(numSets_, 0);
 }
 
 } // namespace axmemo

@@ -8,6 +8,11 @@
  * arrangement. Way partitioning (reserveWays) models the paper's L2 LUT,
  * which is carved out of a fixed number of last-level-cache ways
  * (Section 3.3): reserved ways are invisible to normal accesses.
+ *
+ * A per-set MRU way hint short-circuits the common repeated hit to one
+ * tag compare before falling back to the full way scan; it is a pure
+ * host-side accelerator and never changes hit/miss, LRU order, or victim
+ * choice (DESIGN.md §7).
  */
 
 #ifndef AXMEMO_MEMSYS_CACHE_HH
@@ -43,19 +48,24 @@ struct CacheAccessResult
     Addr writebackAddr = invalidAddr;
 };
 
-/** One level of tag-only set-associative cache. */
+/**
+ * One level of tag-only set-associative cache. The constructor validates
+ * against @p config and keeps only the scalar geometry — the config (and
+ * its name string) is not copied into every constructed level.
+ */
 class Cache
 {
   public:
     explicit Cache(const CacheConfig &config);
 
-    const CacheConfig &config() const { return config_; }
-
     /** Sets in the array. */
     unsigned numSets() const { return numSets_; }
 
     /** Ways visible to normal accesses (assoc minus reserved). */
-    unsigned usableWays() const { return config_.assoc - reservedWays_; }
+    unsigned usableWays() const { return assoc_ - reservedWays_; }
+
+    /** Line size in bytes. */
+    unsigned lineSize() const { return 1u << lineShift_; }
 
     /**
      * Reserve @p ways ways of every set (e.g., for an in-LLC LUT). All
@@ -71,7 +81,7 @@ class Cache
     std::uint64_t usableBytes() const
     {
         return static_cast<std::uint64_t>(numSets_) * usableWays() *
-               config_.lineSize;
+               lineSize();
     }
 
     /**
@@ -85,6 +95,10 @@ class Cache
 
     /** Invalidate every line (dirty contents are dropped). */
     void invalidateAll();
+
+    /** Disable/enable the MRU way hint (equivalence tests and the perf
+     * harness; access sequences are identical either way). */
+    void setMruHintEnabled(bool enabled) { mruEnabled_ = enabled; }
 
     /** Lifetime hit/miss counters. */
     std::uint64_t hits() const { return hits_; }
@@ -108,23 +122,26 @@ class Cache
     }
     Line *lineAt(unsigned set, unsigned way)
     {
-        return &lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+        return &lines_[static_cast<std::size_t>(set) * assoc_ + way];
     }
     const Line *lineAt(unsigned set, unsigned way) const
     {
-        return &lines_[static_cast<std::size_t>(set) * config_.assoc + way];
+        return &lines_[static_cast<std::size_t>(set) * assoc_ + way];
     }
 
-    CacheConfig config_;
+    unsigned assoc_;
     unsigned numSets_;
     unsigned lineShift_;
     unsigned tagShift_;
     unsigned reservedWays_ = 0;
+    bool mruEnabled_ = true;
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
     std::vector<Line> lines_;
+    /** Most-recently-hit way per set (a hint, never authoritative). */
+    std::vector<std::uint8_t> mruWay_;
 };
 
 } // namespace axmemo

@@ -7,12 +7,29 @@
  * are allocated lazily so the 1 GB software-LUT array of Section 6.2 costs
  * only the pages it actually touches. A bump allocator hands out
  * non-overlapping regions to workloads.
+ *
+ * Two host-side fast paths keep this off the simulator's critical path
+ * (DESIGN.md §7):
+ *
+ *  - A small direct-mapped page-translation cache in front of the page
+ *    map turns the common-case access into one compare instead of an
+ *    unordered_map probe, and every access translates once instead of
+ *    once per byte.
+ *  - Pages are copy-on-write: clone() shares pages via shared_ptr and a
+ *    write to a shared page copies it first. The sweep engine's per-job
+ *    clones of a prepared dataset are O(pages) pointer copies, and only
+ *    pages a run actually dirties are ever duplicated.
+ *
+ * Both are invisible to the simulated program: reads observe exactly the
+ * bytes written, clones diverge exactly as deep copies would.
  */
 
 #ifndef AXMEMO_MEMSYS_SIM_MEMORY_HH
 #define AXMEMO_MEMSYS_SIM_MEMORY_HH
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -30,6 +47,16 @@ class SimMemory
   public:
     static constexpr unsigned pageShift = 12;
     static constexpr std::size_t pageSize = 1ull << pageShift;
+    /** Translation-cache entries (direct-mapped, power of two). */
+    static constexpr std::size_t xlatEntries = 64;
+
+    SimMemory() = default;
+    /** Deep identity is per-object: accidental copies would alias the
+     * translation cache, so copying goes through clone() explicitly. */
+    SimMemory(const SimMemory &) = delete;
+    SimMemory &operator=(const SimMemory &) = delete;
+    SimMemory(SimMemory &&other) noexcept;
+    SimMemory &operator=(SimMemory &&other) noexcept;
 
     /** Read @p nbytes (1..8) little-endian starting at @p addr. */
     std::uint64_t read(Addr addr, unsigned nbytes) const;
@@ -70,7 +97,9 @@ class SimMemory
 
     /**
      * Reserve @p len bytes and return the base address. Allocations are
-     * 64-byte aligned so regions never share a cache line.
+     * 64-byte aligned so regions never share a cache line. Fails loudly
+     * if the bump allocator would wrap the address space (overlapping
+     * regions would silently corrupt workload data).
      */
     Addr allocate(std::size_t len);
 
@@ -78,22 +107,63 @@ class SimMemory
     std::size_t pageCount() const { return pages_.size(); }
 
     /**
-     * Deep copy: identical contents and allocator state, independent
-     * pages. The sweep engine prepares a workload's dataset once and
-     * clones it per run instead of re-synthesizing.
+     * Logical deep copy: identical contents and allocator state that
+     * diverge independently from this point on. Physically the pages are
+     * shared copy-on-write, so cloning costs O(pages) pointer copies and
+     * only written pages are ever duplicated. Safe to call concurrently
+     * on the same source (the sweep engine clones a prepared image from
+     * many workers).
      */
     SimMemory clone() const;
 
     /** Drop all contents and reset the allocator. */
     void clear();
 
+    /**
+     * Disable/enable the page-translation cache (perf harness and the
+     * equivalence tests; functional behaviour is identical either way).
+     */
+    void setTranslationCacheEnabled(bool enabled);
+
+    /** Pages physically copied by write faults since construction. */
+    std::uint64_t cowFaults() const { return cowFaults_; }
+
   private:
     using Page = std::array<std::uint8_t, pageSize>;
+    using PageRef = std::shared_ptr<Page>;
 
-    std::uint8_t *pageFor(Addr addr, bool createIfMissing) const;
+    struct XlatEntry
+    {
+        std::uint64_t pageNum = ~0ull;
+        std::uint8_t *data = nullptr;
+        /** Entry may serve writes iff writeEpoch == cowEpoch_. */
+        bool writable = false;
+        std::uint64_t writeEpoch = 0;
+    };
 
-    mutable std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+    XlatEntry &slotFor(std::uint64_t pageNum) const
+    {
+        return xlat_[pageNum & (xlatEntries - 1)];
+    }
+
+    /** @return the page holding @p pageNum, or nullptr if unmapped. */
+    const std::uint8_t *readPage(std::uint64_t pageNum) const;
+
+    /** @return an exclusively-owned page for @p pageNum, creating or
+     * copy-on-write-faulting as needed. */
+    std::uint8_t *writePage(std::uint64_t pageNum);
+
+    void flushXlat() const;
+
+    mutable std::unordered_map<std::uint64_t, PageRef> pages_;
+    mutable std::array<XlatEntry, xlatEntries> xlat_{};
+    /** Bumped by clone(): invalidates every cached write translation of
+     * the source, whose pages just became shared. Atomic so concurrent
+     * clones of one prepared image never race. */
+    mutable std::atomic<std::uint64_t> cowEpoch_{0};
     Addr allocNext_ = 0x10000; // keep address 0 unmapped to catch bugs
+    std::uint64_t cowFaults_ = 0;
+    bool xlatEnabled_ = true;
 };
 
 } // namespace axmemo

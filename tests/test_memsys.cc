@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <stdexcept>
 
+#include "common/rng.hh"
+#include "memo/lut.hh"
 #include "memsys/cache.hh"
 #include "memsys/dram.hh"
 #include "memsys/hierarchy.hh"
@@ -106,6 +109,188 @@ TEST(SimMemory, BadWidthPanics)
     SimMemory mem;
     EXPECT_THROW(mem.read(0, 0), std::logic_error);
     EXPECT_THROW(mem.read(0, 9), std::logic_error);
+}
+
+TEST(SimMemory, AllocateOverflowFatal)
+{
+    SimMemory mem;
+    // A length whose 64-byte round-up wraps.
+    EXPECT_THROW(mem.allocate(~0ull - 10), std::runtime_error);
+    // A length that survives rounding but wraps past the bump pointer.
+    mem.allocate(64);
+    EXPECT_THROW(mem.allocate(0xffffffffffffff00ull),
+                 std::runtime_error);
+    // A failed allocation must not have moved the allocator.
+    const Addr a = mem.allocate(64);
+    const Addr b = mem.allocate(64);
+    EXPECT_EQ(b, a + 64);
+}
+
+/** Trivially-correct reference: a flat byte map. */
+class ByteMapMemory
+{
+  public:
+    std::uint64_t
+    read(Addr addr, unsigned nbytes) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < nbytes; ++i) {
+            const auto it = bytes_.find(addr + i);
+            const std::uint8_t byte =
+                it == bytes_.end() ? 0 : it->second;
+            value |= static_cast<std::uint64_t>(byte) << (8 * i);
+        }
+        return value;
+    }
+
+    void
+    write(Addr addr, std::uint64_t value, unsigned nbytes)
+    {
+        for (unsigned i = 0; i < nbytes; ++i)
+            bytes_[addr + i] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+    }
+
+  private:
+    std::map<Addr, std::uint8_t> bytes_;
+};
+
+TEST(SimMemory, RandomizedEquivalenceWithReferenceModel)
+{
+    // Identical random access streams through the fast SimMemory (TLB
+    // on), a TLB-disabled SimMemory, and the byte-map reference must
+    // observe identical values — including cross-page accesses, bulk
+    // load/store, and reads of never-written memory.
+    SimMemory fast;
+    SimMemory plain;
+    plain.setTranslationCacheEnabled(false);
+    ByteMapMemory ref;
+
+    Rng rng(2024);
+    // Clustered addresses so the stream revisits pages (TLB hits) but
+    // also aliases translation-cache slots (64-entry direct-mapped).
+    const auto randomAddr = [&] {
+        const Addr page = rng.below(512) * SimMemory::pageSize;
+        return 0x10000 + page + rng.below(SimMemory::pageSize);
+    };
+
+    for (int op = 0; op < 20000; ++op) {
+        const Addr addr = randomAddr();
+        const auto nbytes = static_cast<unsigned>(1 + rng.below(8));
+        switch (rng.below(4)) {
+          case 0: {
+            const std::uint64_t value = rng.next();
+            fast.write(addr, value, nbytes);
+            plain.write(addr, value, nbytes);
+            ref.write(addr, value, nbytes);
+            break;
+          }
+          case 1: {
+            const std::uint64_t expect = ref.read(addr, nbytes);
+            ASSERT_EQ(fast.read(addr, nbytes), expect);
+            ASSERT_EQ(plain.read(addr, nbytes), expect);
+            break;
+          }
+          case 2: { // bulk load spanning up to two pages
+            std::uint8_t buf[96];
+            for (auto &b : buf)
+                b = static_cast<std::uint8_t>(rng.below(256));
+            fast.load(addr, buf, sizeof(buf));
+            plain.load(addr, buf, sizeof(buf));
+            for (unsigned i = 0; i < sizeof(buf); ++i)
+                ref.write(addr + i, buf[i], 1);
+            break;
+          }
+          default: { // bulk store
+            std::uint8_t a[96], b[96];
+            fast.store(addr, a, sizeof(a));
+            plain.store(addr, b, sizeof(b));
+            for (unsigned i = 0; i < sizeof(a); ++i) {
+                const auto expect = static_cast<std::uint8_t>(
+                    ref.read(addr + i, 1));
+                ASSERT_EQ(a[i], expect) << "store byte " << i;
+                ASSERT_EQ(b[i], expect) << "store byte " << i;
+            }
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(fast.pageCount(), plain.pageCount());
+}
+
+TEST(SimMemory, CloneDivergesLikeDeepCopy)
+{
+    SimMemory parent;
+    for (Addr a = 0x10000; a < 0x10000 + 4 * SimMemory::pageSize;
+         a += 8)
+        parent.write64(a, a * 3);
+
+    SimMemory child = parent.clone();
+    SimMemory grandchild = child.clone();
+
+    // Writes on any generation must be invisible to the others.
+    parent.write64(0x10000, 111);
+    child.write64(0x10000, 222);
+    grandchild.write64(0x10008, 333);
+
+    EXPECT_EQ(parent.read64(0x10000), 111u);
+    EXPECT_EQ(child.read64(0x10000), 222u);
+    EXPECT_EQ(grandchild.read64(0x10000), 0x10000ull * 3);
+    EXPECT_EQ(parent.read64(0x10008), 0x10008ull * 3);
+    EXPECT_EQ(child.read64(0x10008), 0x10008ull * 3);
+    EXPECT_EQ(grandchild.read64(0x10008), 333u);
+
+    // Untouched shared pages still read through identically.
+    const Addr far = 0x10000 + 3 * SimMemory::pageSize;
+    EXPECT_EQ(child.read64(far), far * 3);
+    EXPECT_EQ(grandchild.read64(far), far * 3);
+
+    // The clone also inherits the allocator cursor.
+    EXPECT_EQ(parent.allocate(8), child.allocate(8));
+}
+
+TEST(SimMemory, CowFaultsCountCopiedPages)
+{
+    SimMemory parent;
+    for (unsigned p = 0; p < 4; ++p)
+        parent.write64(0x10000 + p * SimMemory::pageSize, p);
+
+    SimMemory child = parent.clone();
+    EXPECT_EQ(child.cowFaults(), 0u);
+
+    child.write64(0x10000, 7); // first write to a shared page: copy
+    EXPECT_EQ(child.cowFaults(), 1u);
+    child.write64(0x10008, 8); // same page, now private: no copy
+    EXPECT_EQ(child.cowFaults(), 1u);
+    child.write64(0x10000 + SimMemory::pageSize, 9);
+    EXPECT_EQ(child.cowFaults(), 2u);
+
+    // The child's copies released the parent's pages: the parent owns
+    // pages 0 and 1 exclusively again and writes without faulting.
+    parent.write64(0x10000, 10);
+    EXPECT_EQ(parent.cowFaults(), 0u);
+}
+
+TEST(SimMemory, WritesAfterCloneDoNotLeakThroughStaleTranslations)
+{
+    // Regression guard for the translation cache x CoW interaction: a
+    // cached *write* translation from before clone() must not be used
+    // afterwards, or the write would corrupt the now-shared page.
+    SimMemory parent;
+    parent.write64(0x10000, 1); // caches a writable translation
+    SimMemory child = parent.clone();
+    parent.write64(0x10000, 2); // must fault a private copy
+    EXPECT_EQ(child.read64(0x10000), 1u);
+    EXPECT_EQ(parent.read64(0x10000), 2u);
+
+    // And the same in the other direction, repeatedly.
+    for (int i = 0; i < 4; ++i) {
+        SimMemory c = parent.clone();
+        c.write64(0x10000, 100 + i);
+        parent.write64(0x10000, 200 + i);
+        EXPECT_EQ(c.read64(0x10000), 100u + i);
+        EXPECT_EQ(parent.read64(0x10000), 200u + i);
+    }
 }
 
 // --------------------------------------------------------------- cache
@@ -242,6 +427,111 @@ TEST_P(CacheSweepTest, StreamingWorkingSet)
 INSTANTIATE_TEST_SUITE_P(Sizes, CacheSweepTest,
                          ::testing::Values(1024u, 2048u, 4096u, 8192u,
                                            16384u, 32768u));
+
+// ------------------------------------------------------- MRU way hints
+
+TEST(Cache, MruHintSequencesIdentical)
+{
+    // The MRU way hint is a pure host-side accelerator: with and without
+    // it, a random access stream must produce the exact same hit/miss,
+    // writeback and victim-address sequence, through way partitioning
+    // and invalidation.
+    const CacheConfig config{.name = "equiv", .sizeBytes = 4 * 1024,
+                             .assoc = 4, .lineSize = 64,
+                             .hitLatency = 1};
+    Cache hinted(config);
+    Cache scanned(config);
+    scanned.setMruHintEnabled(false);
+
+    Rng rng(31);
+    Addr last = 0;
+    const auto randomAddr = [&] {
+        // Bursty: revisit a recent line half the time so the hint is
+        // actually exercised, roam an 8 KB span otherwise.
+        if (rng.below(2) == 0)
+            return last;
+        last = rng.below(8 * 1024) & ~63ull;
+        return last;
+    };
+
+    for (int phase = 0; phase < 3; ++phase) {
+        for (int op = 0; op < 5000; ++op) {
+            const Addr addr = randomAddr();
+            const bool isWrite = rng.below(4) == 0;
+            const CacheAccessResult a = hinted.access(addr, isWrite);
+            const CacheAccessResult b = scanned.access(addr, isWrite);
+            ASSERT_EQ(a.hit, b.hit) << "op " << op;
+            ASSERT_EQ(a.writeback, b.writeback) << "op " << op;
+            ASSERT_EQ(a.writebackAddr, b.writebackAddr) << "op " << op;
+            ASSERT_EQ(hinted.contains(addr), scanned.contains(addr));
+        }
+        // Phase boundaries stress the hint across structural changes.
+        if (phase == 0) {
+            hinted.reserveWays(2);
+            scanned.reserveWays(2);
+        } else if (phase == 1) {
+            hinted.invalidateAll();
+            scanned.invalidateAll();
+        }
+    }
+    EXPECT_EQ(hinted.hits(), scanned.hits());
+    EXPECT_EQ(hinted.misses(), scanned.misses());
+    EXPECT_EQ(hinted.writebacks(), scanned.writebacks());
+}
+
+TEST(Lut, MruHintSequencesIdentical)
+{
+    // Same property for the memoization LUT: identical lookup results,
+    // identical insert victims, identical counters.
+    const LutConfig config{.name = "equiv", .sizeBytes = 1024,
+                           .dataBytes = 4};
+    LookupTable hinted(config);
+    LookupTable scanned(config);
+    scanned.setMruHintEnabled(false);
+
+    Rng rng(47);
+    std::vector<std::uint64_t> keys(64);
+    for (auto &k : keys)
+        k = rng.next();
+
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t hash = keys[rng.below(keys.size())];
+        const auto lutId = static_cast<LutId>(rng.below(2));
+        switch (rng.below(4)) {
+          case 0: {
+            const std::uint64_t data = rng.next() & 0xffffffffull;
+            const auto a = hinted.insert(lutId, hash, data);
+            const auto b = scanned.insert(lutId, hash, data);
+            ASSERT_EQ(a.has_value(), b.has_value()) << "op " << op;
+            if (a) {
+                ASSERT_EQ(a->lutId, b->lutId);
+                ASSERT_EQ(a->hash, b->hash);
+                ASSERT_EQ(a->data, b->data);
+            }
+            break;
+          }
+          case 1:
+            hinted.erase(lutId, hash);
+            scanned.erase(lutId, hash);
+            break;
+          case 2:
+            if (rng.below(64) == 0) {
+                hinted.invalidateLut(lutId);
+                scanned.invalidateLut(lutId);
+                break;
+            }
+            [[fallthrough]];
+          default:
+            ASSERT_EQ(hinted.lookup(lutId, hash),
+                      scanned.lookup(lutId, hash))
+                << "op " << op;
+            break;
+        }
+        ASSERT_EQ(hinted.validCount(), scanned.validCount());
+    }
+    EXPECT_EQ(hinted.hits(), scanned.hits());
+    EXPECT_EQ(hinted.misses(), scanned.misses());
+}
 
 // ---------------------------------------------------------------- dram
 

@@ -10,7 +10,11 @@
  *   axmemo run fig7 fig9 table2        several in sequence
  *   axmemo run all                     the whole evaluation
  *
- * Options (apply to `run`):
+ *   axmemo perf [--quick]              data-path microbenchmarks plus an
+ *                                      end-to-end fig7 run, appended to
+ *                                      BENCH_perf.json (tools/perf.hh)
+ *
+ * Options (apply to `run`; --scale/--jobs/--out also apply to `perf`):
  *   --scale <f>   dataset scale (sets AXMEMO_SCALE)
  *   --full        paper-size inputs (sets AXMEMO_FULL=1)
  *   --jobs <n>    sweep worker count (sets AXMEMO_JOBS)
@@ -18,6 +22,7 @@
  *                 $AXMEMO_SWEEP_DIR; created if missing)
  *   --json        print each artifact's result rows as one JSON
  *                 document on stdout instead of the text report
+ *   --quick       perf only: ~8x fewer iterations, CI-smoke sized
  *
  * Besides stdout, each run emits <name>_sweep.json (host-side sweep
  * performance) and <name>.json (result rows) into the output
@@ -36,6 +41,7 @@
 #include "common/log.hh"
 #include "core/artifact.hh"
 #include "core/output_paths.hh"
+#include "tools/perf.hh"
 
 namespace {
 
@@ -48,7 +54,9 @@ usage(FILE *to)
         to,
         "usage: axmemo --list\n"
         "       axmemo run <artifact>... | all "
-        "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n");
+        "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n"
+        "       axmemo perf "
+        "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n");
     return to == stderr ? 2 : 0;
 }
 
@@ -73,6 +81,9 @@ main(int argc, char **argv)
     bool json = false;
     bool run = false;
     bool list = false;
+    bool perf = false;
+    bool quick = false;
+    double scale = 0.0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -87,8 +98,14 @@ main(int argc, char **argv)
             list = true;
         } else if (arg == "run") {
             run = true;
+        } else if (arg == "perf") {
+            perf = true;
+        } else if (arg == "--quick") {
+            quick = true;
         } else if (arg == "--scale") {
-            setenv("AXMEMO_SCALE", value(), 1);
+            const char *v = value();
+            scale = std::atof(v);
+            setenv("AXMEMO_SCALE", v, 1);
         } else if (arg == "--full") {
             setenv("AXMEMO_FULL", "1", 1);
         } else if (arg == "--jobs") {
@@ -113,6 +130,19 @@ main(int argc, char **argv)
 
     if (list)
         return listArtifacts();
+    if (perf) {
+        if (run || !names.empty())
+            return usage(stderr);
+        PerfOptions options;
+        options.quick = quick;
+        options.outDir = outDir;
+        options.scale = scale;
+        return runPerf(options);
+    }
+    if (quick) {
+        std::fprintf(stderr, "--quick only applies to perf\n");
+        return usage(stderr);
+    }
     if (!run || names.empty())
         return usage(stderr);
 
