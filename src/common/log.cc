@@ -1,5 +1,7 @@
 #include "common/log.hh"
 
+#include "obs/trace.hh"
+
 #include <cstdio>
 #include <stdexcept>
 
@@ -7,6 +9,18 @@ namespace axmemo {
 
 namespace {
 bool quietFlag = false;
+
+/** Format "prefix: msg" and hand it to the shared obs sink, which takes
+ * the same mutex as the trace writer: warn/inform/trace lines from
+ * concurrent sweep workers never tear, and labelled worker threads get
+ * a "[w<n>] " prefix while main-thread output is byte-identical to the
+ * old fprintf path. */
+void
+emit(const char *prefix, const std::string &msg)
+{
+    obs::logLine(stderr, std::string(prefix) + ": " + msg);
+}
+
 } // namespace
 
 void
@@ -26,8 +40,9 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    char where[64];
+    std::snprintf(where, sizeof(where), ":%d)", line);
+    emit("panic", msg + " (" + file + where);
     // Throwing (rather than abort()) lets tests assert on panics; the
     // exception type is std::logic_error because a panic is always a bug.
     throw std::logic_error("panic: " + msg);
@@ -36,8 +51,9 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    char where[64];
+    std::snprintf(where, sizeof(where), ":%d)", line);
+    emit("fatal", msg + " (" + file + where);
     throw std::runtime_error("fatal: " + msg);
 }
 
@@ -45,14 +61,14 @@ void
 warnImpl(const std::string &msg)
 {
     if (!quietFlag)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        emit("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (!quietFlag)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+        emit("info", msg);
 }
 
 } // namespace detail

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -13,8 +14,12 @@ ThreadPool::ThreadPool(unsigned threads)
     if (threads_ == 1)
         return; // inline mode: no workers
     workers_.reserve(threads_);
-    for (unsigned i = 0; i < threads_; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < threads_; ++i) {
+        workers_.emplace_back([this, i] {
+            obs::setThreadLabel(i);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()

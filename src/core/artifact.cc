@@ -10,6 +10,9 @@
 #include "core/config_io.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
+#include "core/run_stats.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -84,10 +87,13 @@ rowsDocument(const Artifact &artifact, const SweepEngine &engine,
     return doc;
 }
 
-/** Manifest entry: the exact serialized config of every job. */
+/** Manifest entry: the exact serialized config — and per-run stats —
+ * of every job. */
 std::string
 manifestRun(const Artifact &artifact,
-            const std::vector<SweepJob> &jobs, double wallSeconds)
+            const std::vector<SweepJob> &jobs,
+            const std::vector<SweepOutcome> &outcomes,
+            double wallSeconds)
 {
     std::string entry = "{\"artifact\":\"";
     entry += JsonWriter::escape(artifact.name());
@@ -109,6 +115,8 @@ manifestRun(const Artifact &artifact,
         entry += jobs[i].scored ? "true" : "false";
         entry += ",\"config\":";
         entry += toJson(jobs[i].config);
+        entry += ",\"stats\":";
+        entry += runStatSet(jobs[i], outcomes[i]).renderJson();
         entry += '}';
     }
     entry += "]}";
@@ -180,10 +188,22 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
         printBanner(title);
 
     SweepEngine engine;
-    artifact.enqueue(engine);
+    {
+        AXM_PROF("artifact.enqueue");
+        artifact.enqueue(engine);
+    }
     const std::vector<SweepJob> jobs = engine.pending();
-    const std::vector<SweepOutcome> outcomes = engine.execute();
-    ArtifactResult result = artifact.reduce(outcomes);
+    std::vector<SweepOutcome> outcomes;
+    {
+        AXM_PROF("artifact.execute");
+        outcomes = engine.execute();
+    }
+    ArtifactResult result;
+    {
+        AXM_PROF("artifact.reduce");
+        result = artifact.reduce(outcomes);
+    }
+    AXM_PROF("artifact.emit");
 
     if (result.jsonRows.empty() && !jobs.empty())
         result.jsonRows = defaultRows(jobs, outcomes);
@@ -221,9 +241,26 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
         }
     }
 
+    if (options.writeStats && !jobs.empty()) {
+        const std::string path = joinPath(
+            resolveOutputDir(options.outDir), name + "_stats.txt");
+        std::ofstream out(path);
+        if (!out) {
+            axm_warn("cannot write run statistics to ", path);
+        } else {
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                out << runStatsSection(name + "/run" +
+                                           std::to_string(i),
+                                       jobs[i], outcomes[i]);
+                out << '\n';
+            }
+        }
+    }
+
     if (record) {
         record->wallSeconds = wallSeconds;
-        record->manifestRun = manifestRun(artifact, jobs, wallSeconds);
+        record->manifestRun =
+            manifestRun(artifact, jobs, outcomes, wallSeconds);
     }
     return 0;
 }
@@ -232,6 +269,7 @@ int
 artifactStandaloneMain(const std::string &name)
 {
     setQuiet(true);
+    trace::initFromEnv();
     const std::unique_ptr<Artifact> artifact =
         ArtifactRegistry::instance().make(name);
     if (!artifact) {

@@ -122,6 +122,9 @@ struct ArtifactRunOptions
     bool writeRows = false;
     /** Print the rows document to stdout instead of banner + tables. */
     bool rowsToStdout = false;
+    /** Write <name>_stats.txt: one gem5-like statistics section per
+     * run, with distribution stats next to their scalar twins. */
+    bool writeStats = false;
 };
 
 /** Driver-side record of one completed runArtifact. */

@@ -1,0 +1,84 @@
+#include "core/run_stats.hh"
+
+namespace axmemo {
+
+StatSet
+runStatSet(const SweepJob &job, const SweepOutcome &outcome)
+{
+    const RunResult &run = outcome.run;
+    const SimStats &s = run.stats;
+
+    StatSet set;
+    set.scalar("sim_cycles", s.cycles, "simulated core cycles");
+    set.scalar("macro_insts", s.macroInsts,
+               "macro AxIR instructions retired");
+    set.scalar("uops", s.uops, "micro-ops retired");
+    set.scalar("memo_uops", s.memoUops, "micro-ops of memo instructions");
+    set.scalar("branches", s.branches, "conditional branches retired");
+    set.scalar("mispredicts", s.mispredicts, "branch mispredictions");
+    set.scalar("loads", s.loads, "load instructions");
+    set.scalar("stores", s.stores, "store instructions");
+    set.scalar("memo_queue_stalls", s.memoQueueStalls,
+               "cycles stalled on a full memo input queue");
+    set.formula("ipc",
+                s.cycles ? static_cast<double>(s.uops) /
+                               static_cast<double>(s.cycles)
+                         : 0.0,
+                "retired micro-ops per cycle");
+
+    // Memoization-unit scalars and their distribution twins.
+    set.scalar("memo_lookups", s.memo.lookups, "lookup instructions");
+    set.scalar("memo_hits", s.memo.hits(),
+               "reported hits (l1 + l2, after sacrifices)");
+    set.scalar("memo_l1_hits", s.memo.l1Hits, "hits served by the L1 LUT");
+    set.scalar("memo_l2_hits", s.memo.l2Hits, "hits served by the L2 LUT");
+    set.scalar("memo_misses", s.memo.misses, "reported misses");
+    set.scalar("memo_sampled_hits", s.memo.sampledHits,
+               "hits sacrificed by the quality monitor");
+    set.scalar("memo_updates", s.memo.updates, "update instructions");
+    set.scalar("memo_invalidates", s.memo.invalidates,
+               "invalidate instructions");
+    set.formula("memo_hit_rate", s.memo.hitRate(),
+                "reported hits / lookups");
+    set.hist("memo_hit_streak", s.dists.memoHitStreak,
+             "consecutive reported hits (sum == memo_hits)");
+    set.dist("memo_lookup_latency", s.dists.memoLookupLatency,
+             "lookup latency, cycles (samples == memo_lookups)");
+
+    // Region activity.
+    set.scalar("region_entries", s.regionEntries,
+               "dynamic region_begin markers");
+    set.hist("region_invocations", s.dists.regionInvocations,
+             "entries per static region (sum == region_entries)");
+
+    // L2 data-cache residency at halt.
+    set.scalar("l2_valid_lines", s.dists.l2SetOccupancy.sum(),
+               "valid L2 data lines at halt");
+    set.dist("l2_set_occupancy", s.dists.l2SetOccupancy,
+             "valid lines per L2 set (sum == l2_valid_lines)");
+
+    // Energy and the comparison row, when the job was scored.
+    set.formula("energy_pj", run.energy.totalPj(), "total energy, pJ");
+    if (job.scored) {
+        set.formula("speedup", outcome.cmp.speedup,
+                    "baseline cycles / subject cycles");
+        set.formula("energy_reduction", outcome.cmp.energyReduction,
+                    "baseline energy / subject energy");
+        set.formula("quality_loss", outcome.cmp.qualityLoss,
+                    "output quality degradation (Eq. 2)");
+    }
+    set.formula("host_seconds", outcome.seconds,
+                "host wall-clock of this simulation");
+    return set;
+}
+
+std::string
+runStatsSection(const std::string &runName, const SweepJob &job,
+                const SweepOutcome &outcome)
+{
+    const std::string header =
+        runName + ": " + job.workload + " " + modeName(job.mode);
+    return runStatSet(job, outcome).renderSection(header);
+}
+
+} // namespace axmemo

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Per-run StatSet assembly: one gem5-like statistics section per sweep
+ * job, combining the scalar counters the report tables already use with
+ * the distribution stats the obs layer collects (hit-streak lengths,
+ * lookup latency, region invocation counts, L2 set occupancy) and
+ * derived formula stats (IPC, hit rate, energy).
+ *
+ * Every distribution is emitted next to its scalar twin so consumers
+ * can cross-check: memo_hit_streak::sum == memo_hits,
+ * memo_lookup_latency::samples == memo_lookups,
+ * region_invocations::sum == region_entries, and
+ * l2_set_occupancy::sum == l2_valid_lines. The driver writes the text
+ * form as <artifact>_stats.txt and embeds the JSON form per run in
+ * manifest.json.
+ */
+
+#ifndef AXMEMO_CORE_RUN_STATS_HH
+#define AXMEMO_CORE_RUN_STATS_HH
+
+#include <string>
+
+#include "core/sweep.hh"
+#include "obs/stats.hh"
+
+namespace axmemo {
+
+/** Assemble the full StatSet of one completed sweep job. */
+StatSet runStatSet(const SweepJob &job, const SweepOutcome &outcome);
+
+/** One "Begin/End Simulation Statistics" text section for the run,
+ * headed by "<runName>: <workload> <mode>". */
+std::string runStatsSection(const std::string &runName,
+                            const SweepJob &job,
+                            const SweepOutcome &outcome);
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_RUN_STATS_HH

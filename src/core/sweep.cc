@@ -8,6 +8,8 @@
 #include "core/config_io.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -105,9 +107,13 @@ SweepEngine::execute()
             prepareSource.push_back(&job);
         }
     }
+    AXM_TRACE(Sweep, "sweep", "phase prepare: ", newPrepared.size(),
+              " new program(s), ", jobs_.size(), " job(s) pending");
     {
+        AXM_PROF("sweep.prepare");
         const std::function<void(std::size_t)> fn =
             [&](std::size_t i) {
+                AXM_PROF("sweep.prepare.job");
                 PreparedEntry &entry = *newPrepared[i];
                 const SweepJob &job = *prepareSource[i];
                 const auto start = Clock::now();
@@ -115,6 +121,9 @@ SweepEngine::execute()
                 entry.workload->prepare(entry.mem, job.config.dataset);
                 entry.program = entry.workload->build();
                 entry.seconds = secondsSince(start);
+                // Host seconds stay out of the trace (byte-reproducible
+                // serial traces); timing lives in the phase profiler.
+                AXM_TRACE(Sweep, "sweep", "prepared ", job.workload);
             };
         for (std::size_t i = 0; i < newPrepared.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });
@@ -142,9 +151,15 @@ SweepEngine::execute()
             baselineSource.push_back(&job);
         }
     }
+    AXM_TRACE(Sweep, "sweep", "phase baseline: ", newBaselines.size(),
+              " simulated, ",
+              metrics_.baselineRequests - newBaselines.size(),
+              " served from cache");
     {
+        AXM_PROF("sweep.baseline");
         const std::function<void(std::size_t)> fn =
             [&](std::size_t i) {
+                AXM_PROF("sweep.baseline.job");
                 BaselineEntry &entry = *newBaselines[i];
                 const SweepJob &job = *baselineSource[i];
                 const auto start = Clock::now();
@@ -154,6 +169,8 @@ SweepEngine::execute()
                     *entry.prepared->workload, Mode::Baseline,
                     entry.prepared->program, mem);
                 entry.seconds = secondsSince(start);
+                AXM_TRACE(Sweep, "sweep", "baseline ", job.workload,
+                          " done");
             };
         for (std::size_t i = 0; i < newBaselines.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });
@@ -162,9 +179,12 @@ SweepEngine::execute()
     metrics_.baselineSimulations = newBaselines.size();
 
     // ---- Phase C: subject runs, results in submission order.
+    AXM_TRACE(Sweep, "sweep", "phase subject: ", jobs_.size(), " job(s)");
     std::vector<SweepOutcome> results(jobs_.size());
     {
+        AXM_PROF("sweep.subject");
         const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+            AXM_PROF("sweep.subject.job");
             const SweepJob &job = jobs_[i];
             SweepOutcome &out = results[i];
             const PreparedEntry &prep = *prepared_.at(
@@ -188,6 +208,8 @@ SweepEngine::execute()
             if (job.scored)
                 out.cmp = ExperimentRunner::score(*prep.workload,
                                                   base->result, out.run);
+            AXM_TRACE(Sweep, "sweep", "job ", i, " (", job.workload,
+                      ") done");
         };
         for (std::size_t i = 0; i < jobs_.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -98,8 +99,16 @@ LookupTable::insert(LutId lutId, std::uint64_t hash, std::uint64_t data)
 
     Entry *e = entryAt(set, victimWay);
     std::optional<Victim> victim;
-    if (e->valid)
+    if (e->valid) {
         victim = Victim{e->lutId, e->hash, e->data};
+        AXM_TRACE(Lut, "lut", "insert set ", set, " way ", victimWay,
+                  " hash=", trace::hex(hash), " evicts hash=",
+                  trace::hex(e->hash), " lut ",
+                  static_cast<int>(e->lutId));
+    } else {
+        AXM_TRACE(Lut, "lut", "insert set ", set, " way ", victimWay,
+                  " hash=", trace::hex(hash), " fills invalid way");
+    }
     e->valid = true;
     e->lutId = lutId;
     e->hash = hash;
@@ -117,6 +126,8 @@ LookupTable::erase(LutId lutId, std::uint64_t hash)
         Entry *e = entryAt(set, w);
         if (e->valid && e->lutId == lutId && e->hash == hash) {
             e->valid = false;
+            AXM_TRACE(Lut, "lut", "erase set ", set, " way ", w,
+                      " hash=", trace::hex(hash));
             return;
         }
     }
@@ -125,10 +136,15 @@ LookupTable::erase(LutId lutId, std::uint64_t hash)
 void
 LookupTable::invalidateLut(LutId lutId)
 {
+    std::uint64_t dropped = 0;
     for (auto &e : entries_) {
-        if (e.valid && e.lutId == lutId)
+        if (e.valid && e.lutId == lutId) {
             e.valid = false;
+            ++dropped;
+        }
     }
+    AXM_TRACE(Lut, "lut", "invalidate lut ", static_cast<int>(lutId),
+              " dropped ", dropped, " entries");
 }
 
 void

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -11,7 +12,8 @@ MemoizationUnit::MemoizationUnit(const MemoUnitConfig &config)
       monitor_(config.quality),
       pending_(static_cast<std::size_t>(config.numLuts) *
                config.numThreads),
-      adaptive_(config.numLuts)
+      adaptive_(config.numLuts),
+      lookupLatency_(0, 63, 1)
 {
     if (config_.l2LutBytes > 0) {
         LutConfig l2cfg;
@@ -64,11 +66,40 @@ MemoizationUnit::feed(LutId lut, ThreadId tid, std::uint64_t word,
     const Cycle backlog = done > now ? done - now : 0;
     const Cycle queueCycles =
         crcHw_.cyclesForBytes(config_.inputQueueBytes);
-    return backlog > queueCycles ? backlog - queueCycles : 0;
+    const Cycle stall = backlog > queueCycles ? backlog - queueCycles : 0;
+    AXM_TRACE(Memo, "memo", "feed lut ", static_cast<int>(lut), " tid ",
+              static_cast<int>(tid), " bytes=", nbytes,
+              " trunc=", truncBits, stall ? " stall=" : "",
+              stall ? std::to_string(stall) : std::string());
+    return stall;
 }
 
 MemoLookupResult
 MemoizationUnit::lookup(LutId lut, ThreadId tid, Cycle now)
+{
+    const MemoLookupResult result = lookupImpl(lut, tid, now);
+
+    // Distribution bookkeeping happens here, outside the many-return
+    // probe logic: latency per lookup, and streaks of the hits the CPU
+    // actually sees (a sacrificed hit reads as a miss and ends one).
+    lookupLatency_.sample(result.latency);
+    if (result.hit) {
+        ++curStreak_;
+    } else if (curStreak_ > 0) {
+        hitStreak_.sample(curStreak_);
+        curStreak_ = 0;
+    }
+
+    AXM_TRACE(Memo, "memo",
+              result.hit ? (result.fromL2 ? "hit(l2)" : "hit(l1)")
+                         : "miss",
+              " lut ", static_cast<int>(lut), " tid ",
+              static_cast<int>(tid), " lat=", result.latency);
+    return result;
+}
+
+MemoLookupResult
+MemoizationUnit::lookupImpl(LutId lut, ThreadId tid, Cycle now)
 {
     MemoLookupResult result;
     ++stats_.lookups;
@@ -318,6 +349,8 @@ MemoizationUnit::update(LutId lut, ThreadId tid, std::uint64_t data)
 
     insertBoth(lut, pend.hash, data);
     pend.active = false;
+    AXM_TRACE(Memo, "memo", "update lut ", static_cast<int>(lut), " tid ",
+              static_cast<int>(tid), " hash=", trace::hex(pend.hash));
     return config_.l1LutLatency;
 }
 
@@ -325,6 +358,8 @@ Cycle
 MemoizationUnit::invalidate(LutId lut, ThreadId tid)
 {
     ++stats_.invalidates;
+    AXM_TRACE(Memo, "memo", "invalidate lut ", static_cast<int>(lut),
+              " tid ", static_cast<int>(tid));
     l1_.invalidateLut(lut);
     if (l2_)
         l2_->invalidateLut(lut);
@@ -352,6 +387,18 @@ MemoizationUnit::reset()
     stats_ = {};
     events_ = {};
     monitor_ = QualityMonitor(config_.quality);
+    hitStreak_.reset();
+    lookupLatency_.reset();
+    curStreak_ = 0;
+}
+
+void
+MemoizationUnit::finalizeDists()
+{
+    if (curStreak_ > 0) {
+        hitStreak_.sample(curStreak_);
+        curStreak_ = 0;
+    }
 }
 
 } // namespace axmemo

@@ -31,6 +31,7 @@
 #include "memo/hash_value_registers.hh"
 #include "memo/lut.hh"
 #include "memo/quality_monitor.hh"
+#include "obs/stats.hh"
 
 namespace axmemo {
 
@@ -202,6 +203,20 @@ class MemoizationUnit
     /** Extra truncation currently applied to approximable inputs. */
     unsigned extraTruncBits(LutId lut) const;
 
+    /**
+     * Close the hit streak still open at end of run so hitStreaks()
+     * sums exactly to stats().hits(). Idempotent; the simulator calls
+     * it at halt before snapshotting the distributions.
+     */
+    void finalizeDists();
+
+    /** Lengths of runs of consecutive reported hits (a sacrificed hit
+     * reads as a miss to the CPU and therefore ends a streak). */
+    const Histogram &hitStreaks() const { return hitStreak_; }
+
+    /** Per-lookup latency in cycles (count == stats().lookups). */
+    const Distribution &lookupLatencies() const { return lookupLatency_; }
+
   private:
     enum class VerifyKind : std::uint8_t
     {
@@ -245,6 +260,8 @@ class MemoizationUnit
     void adaptiveObserve(LutId lut, std::uint64_t lutData,
                          std::uint64_t exactData);
 
+    MemoLookupResult lookupImpl(LutId lut, ThreadId tid, Cycle now);
+
     PendingUpdate &pendingFor(LutId lut, ThreadId tid);
     void insertBoth(LutId lut, std::uint64_t hash, std::uint64_t data);
 
@@ -259,6 +276,11 @@ class MemoizationUnit
     std::vector<AdaptiveState> adaptive_;
     MemoUnitStats stats_;
     EventCounters events_;
+
+    // Distribution stats (obs layer), maintained per lookup.
+    Histogram hitStreak_;
+    Distribution lookupLatency_;
+    std::uint64_t curStreak_ = 0;
 };
 
 } // namespace axmemo

@@ -109,6 +109,30 @@ Cache::access(Addr addr, bool isWrite)
     return result;
 }
 
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t valid = 0;
+    for (unsigned set = 0; set < numSets_; ++set) {
+        for (unsigned w = 0; w < usableWays(); ++w)
+            valid += lineAt(set, w)->valid ? 1 : 0;
+    }
+    return valid;
+}
+
+Distribution
+Cache::occupancy() const
+{
+    Distribution dist(0, usableWays(), 1);
+    for (unsigned set = 0; set < numSets_; ++set) {
+        std::uint64_t valid = 0;
+        for (unsigned w = 0; w < usableWays(); ++w)
+            valid += lineAt(set, w)->valid ? 1 : 0;
+        dist.sample(valid);
+    }
+    return dist;
+}
+
 bool
 Cache::contains(Addr addr) const
 {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "obs/stats.hh"
 
 namespace axmemo {
 
@@ -104,6 +105,13 @@ class Cache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Valid lines currently resident in usable (non-reserved) ways. */
+    std::uint64_t validLines() const;
+
+    /** Valid-lines-per-set distribution over usable ways (its sample
+     * sum equals validLines()). */
+    Distribution occupancy() const;
 
   private:
     struct Line

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/log.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -25,10 +26,14 @@ Dram::access(Addr addr)
     const auto row = static_cast<std::int64_t>(rowNum / openRow_.size());
     if (openRow_[bank] == row) {
         ++rowHits_;
+        AXM_TRACE(Dram, "dram", "row hit bank ", bank, " row ", row,
+                  " lat=", config_.rowHitLatency);
         return config_.rowHitLatency;
     }
     openRow_[bank] = row;
     ++rowMisses_;
+    AXM_TRACE(Dram, "dram", "row miss bank ", bank, " row ", row,
+              " lat=", config_.rowMissLatency);
     return config_.rowMissLatency;
 }
 

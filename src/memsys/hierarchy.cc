@@ -1,5 +1,7 @@
 #include "memsys/hierarchy.hh"
 
+#include "obs/trace.hh"
+
 namespace axmemo {
 
 MemHierarchy::MemHierarchy(const HierarchyConfig &config)
@@ -13,8 +15,11 @@ MemHierarchy::access(Addr addr, bool isWrite)
     Cycle latency = config_.l1d.hitLatency;
     const CacheAccessResult l1 = l1d_.access(addr, isWrite);
     events_.add(l1.hit ? Ev::L1dHit : Ev::L1dMiss);
-    if (l1.hit)
+    if (l1.hit) {
+        AXM_TRACE(Cache, "mem", isWrite ? "wr " : "rd ",
+                  trace::hex(addr), " l1d hit lat=", latency);
         return latency;
+    }
 
     // L1 victim writeback goes to L2 (write-back hierarchy); it is off the
     // critical path of the demand access but still generates L2 traffic.
@@ -30,8 +35,11 @@ MemHierarchy::access(Addr addr, bool isWrite)
     latency += config_.l2.hitLatency;
     const CacheAccessResult l2 = l2_.access(addr, isWrite);
     events_.add(l2.hit ? Ev::L2Hit : Ev::L2Miss);
-    if (l2.hit)
+    if (l2.hit) {
+        AXM_TRACE(Cache, "mem", isWrite ? "wr " : "rd ",
+                  trace::hex(addr), " l1d miss l2 hit lat=", latency);
         return latency;
+    }
 
     if (l2.writeback) {
         dram_.access(l2.writebackAddr);
@@ -40,6 +48,8 @@ MemHierarchy::access(Addr addr, bool isWrite)
 
     latency += dram_.access(addr);
     events_.add(Ev::DramRead);
+    AXM_TRACE(Cache, "mem", isWrite ? "wr " : "rd ", trace::hex(addr),
+              " l1d miss l2 miss dram lat=", latency);
     return latency;
 }
 

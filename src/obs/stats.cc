@@ -1,0 +1,449 @@
+#include "obs/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace axmemo {
+
+Distribution::Distribution(std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t bucketSize)
+{
+    init(lo, hi, bucketSize);
+}
+
+void
+Distribution::init(std::uint64_t lo, std::uint64_t hi,
+                   std::uint64_t bucketSize)
+{
+    lo_ = lo;
+    hi_ = std::max(hi, lo);
+    bucketSize_ = std::max<std::uint64_t>(bucketSize, 1);
+    const std::uint64_t span = hi_ - lo_ + 1;
+    buckets_.assign((span + bucketSize_ - 1) / bucketSize_, 0);
+    reset();
+}
+
+void
+Distribution::sample(std::uint64_t value, std::uint64_t count)
+{
+    if (!count)
+        return;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += count;
+    sum_ += value * count;
+    sumSq_ += static_cast<double>(value) * static_cast<double>(value) *
+              static_cast<double>(count);
+    if (value < lo_ || buckets_.empty()) {
+        underflow_ += count;
+    } else if (value > hi_) {
+        overflow_ += count;
+    } else {
+        buckets_[(value - lo_) / bucketSize_] += count;
+    }
+}
+
+void
+Distribution::merge(const Distribution &other)
+{
+    if (!other.count_)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    sumSq_ += other.sumSq_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    const std::size_t n = std::min(buckets_.size(), other.buckets_.size());
+    for (std::size_t i = 0; i < n; ++i)
+        buckets_[i] += other.buckets_[i];
+    // Geometry mismatch: anything beyond our last bucket is overflow.
+    for (std::size_t i = n; i < other.buckets_.size(); ++i)
+        overflow_ += other.buckets_[i];
+}
+
+void
+Distribution::reset()
+{
+    count_ = sum_ = 0;
+    sumSq_ = 0.0;
+    min_ = max_ = 0;
+    underflow_ = overflow_ = 0;
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = mean();
+    const double var = sumSq_ / n - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+namespace {
+
+std::size_t
+log2Bucket(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    std::size_t k = 1;
+    while (value > 1) {
+        value >>= 1;
+        ++k;
+    }
+    return k;
+}
+
+} // namespace
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t count)
+{
+    if (!count)
+        return;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += count;
+    sum_ += value * count;
+    buckets_[log2Bucket(value)] += count;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (!other.count_)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (std::size_t i = 0; i < numBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+}
+
+void
+Histogram::reset()
+{
+    count_ = sum_ = 0;
+    min_ = max_ = 0;
+    std::fill(buckets_, buckets_ + numBuckets, 0);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::uint64_t
+Histogram::bucketLow(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t
+Histogram::bucketHigh(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+}
+
+void
+StatSet::scalar(const std::string &name, std::uint64_t value,
+                const std::string &desc)
+{
+    Item item;
+    item.kind = Kind::Scalar;
+    item.name = name;
+    item.desc = desc;
+    item.scalar = value;
+    items_.push_back(std::move(item));
+}
+
+void
+StatSet::formula(const std::string &name, double value,
+                 const std::string &desc)
+{
+    Item item;
+    item.kind = Kind::Formula;
+    item.name = name;
+    item.desc = desc;
+    item.formula = value;
+    items_.push_back(std::move(item));
+}
+
+void
+StatSet::dist(const std::string &name, const Distribution &d,
+              const std::string &desc)
+{
+    Item item;
+    item.kind = Kind::Dist;
+    item.name = name;
+    item.desc = desc;
+    item.dist = d;
+    items_.push_back(std::move(item));
+}
+
+void
+StatSet::hist(const std::string &name, const Histogram &h,
+              const std::string &desc)
+{
+    Item item;
+    item.kind = Kind::Hist;
+    item.name = name;
+    item.desc = desc;
+    item.hist = h;
+    items_.push_back(std::move(item));
+}
+
+namespace {
+
+/** One gem5 stats.txt row: name, value column, optional "# desc". */
+void
+row(std::string &out, const std::string &name, const std::string &value,
+    const std::string &desc)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-44s %16s", name.c_str(),
+                  value.c_str());
+    out += buf;
+    if (!desc.empty()) {
+        out += " # ";
+        out += desc;
+    }
+    out += '\n';
+}
+
+std::string
+u64Str(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+dblStr(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+std::string
+jsonDbl(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+StatSet::renderText() const
+{
+    std::string out;
+    for (const Item &item : items_) {
+        switch (item.kind) {
+          case Kind::Scalar:
+            row(out, item.name, u64Str(item.scalar), item.desc);
+            break;
+          case Kind::Formula:
+            row(out, item.name, dblStr(item.formula), item.desc);
+            break;
+          case Kind::Dist: {
+            const Distribution &d = item.dist;
+            row(out, item.name + "::samples", u64Str(d.count()), item.desc);
+            row(out, item.name + "::sum", u64Str(d.sum()), {});
+            row(out, item.name + "::mean", dblStr(d.mean()), {});
+            row(out, item.name + "::stdev", dblStr(d.stddev()), {});
+            row(out, item.name + "::min_value", u64Str(d.sampleMin()), {});
+            row(out, item.name + "::max_value", u64Str(d.sampleMax()), {});
+            if (d.underflow())
+                row(out, item.name + "::underflows", u64Str(d.underflow()),
+                    {});
+            for (std::size_t i = 0; i < d.buckets().size(); ++i) {
+                if (!d.buckets()[i])
+                    continue;
+                const std::uint64_t blo = d.bucketLow(i);
+                std::string label = u64Str(blo);
+                if (d.bucketSize() > 1) {
+                    label += '-';
+                    label += u64Str(std::min(blo + d.bucketSize() - 1,
+                                             d.hi()));
+                }
+                row(out, item.name + "::" + label, u64Str(d.buckets()[i]),
+                    {});
+            }
+            if (d.overflow())
+                row(out, item.name + "::overflows", u64Str(d.overflow()),
+                    {});
+            row(out, item.name + "::total", u64Str(d.count()), {});
+            break;
+          }
+          case Kind::Hist: {
+            const Histogram &h = item.hist;
+            row(out, item.name + "::samples", u64Str(h.count()), item.desc);
+            row(out, item.name + "::sum", u64Str(h.sum()), {});
+            row(out, item.name + "::mean", dblStr(h.mean()), {});
+            row(out, item.name + "::min_value", u64Str(h.sampleMin()), {});
+            row(out, item.name + "::max_value", u64Str(h.sampleMax()), {});
+            for (std::size_t i = 0; i < Histogram::numBuckets; ++i) {
+                if (!h.buckets()[i])
+                    continue;
+                std::string label = u64Str(Histogram::bucketLow(i));
+                if (i > 1) {
+                    label += '-';
+                    label += u64Str(Histogram::bucketHigh(i));
+                }
+                row(out, item.name + "::" + label, u64Str(h.buckets()[i]),
+                    {});
+            }
+            row(out, item.name + "::total", u64Str(h.count()), {});
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+StatSet::renderSection(const std::string &header) const
+{
+    std::string out;
+    out += "---------- Begin Simulation Statistics ----------";
+    if (!header.empty()) {
+        out += " # ";
+        out += header;
+    }
+    out += '\n';
+    out += renderText();
+    out += "---------- End Simulation Statistics   ----------\n";
+    return out;
+}
+
+namespace {
+
+void
+jsonKey(std::string &out, bool &first, const std::string &name)
+{
+    if (!first)
+        out += ',';
+    first = false;
+    out += '"';
+    out += name; // stat names are identifier-like; no escaping needed
+    out += "\":";
+}
+
+template <typename Buckets>
+void
+jsonDistBody(std::string &out, std::uint64_t samples, std::uint64_t sum,
+             double mean, std::uint64_t mn, std::uint64_t mx,
+             const Buckets &labelled)
+{
+    out += "{\"samples\":" + u64Str(samples);
+    out += ",\"sum\":" + u64Str(sum);
+    out += ",\"mean\":" + jsonDbl(mean);
+    out += ",\"min\":" + u64Str(mn);
+    out += ",\"max\":" + u64Str(mx);
+    out += ",\"buckets\":{";
+    bool first = true;
+    for (const auto &kv : labelled) {
+        jsonKey(out, first, kv.first);
+        out += u64Str(kv.second);
+    }
+    out += "}}";
+}
+
+} // namespace
+
+std::string
+StatSet::renderJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const Item &item : items_) {
+        jsonKey(out, first, item.name);
+        switch (item.kind) {
+          case Kind::Scalar:
+            out += u64Str(item.scalar);
+            break;
+          case Kind::Formula:
+            out += jsonDbl(item.formula);
+            break;
+          case Kind::Dist: {
+            const Distribution &d = item.dist;
+            std::vector<std::pair<std::string, std::uint64_t>> labelled;
+            if (d.underflow())
+                labelled.emplace_back("underflow", d.underflow());
+            for (std::size_t i = 0; i < d.buckets().size(); ++i) {
+                if (d.buckets()[i])
+                    labelled.emplace_back(u64Str(d.bucketLow(i)),
+                                          d.buckets()[i]);
+            }
+            if (d.overflow())
+                labelled.emplace_back("overflow", d.overflow());
+            jsonDistBody(out, d.count(), d.sum(), d.mean(), d.sampleMin(),
+                         d.sampleMax(), labelled);
+            break;
+          }
+          case Kind::Hist: {
+            const Histogram &h = item.hist;
+            std::vector<std::pair<std::string, std::uint64_t>> labelled;
+            for (std::size_t i = 0; i < Histogram::numBuckets; ++i) {
+                if (h.buckets()[i])
+                    labelled.emplace_back(u64Str(Histogram::bucketLow(i)),
+                                          h.buckets()[i]);
+            }
+            jsonDistBody(out, h.count(), h.sum(), h.mean(), h.sampleMin(),
+                         h.sampleMax(), labelled);
+            break;
+          }
+        }
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace axmemo

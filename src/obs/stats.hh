@@ -1,0 +1,179 @@
+/**
+ * @file
+ * gem5-style distribution statistics and the stats.txt renderer.
+ *
+ * CounterSet (common/stats.hh) answers "how many": scalars suitable for
+ * the energy model and the report tables. The types here answer "how
+ * were they distributed": Distribution buckets integer samples linearly
+ * over a fixed range (with underflow/overflow bins), Histogram buckets
+ * them by power of two for values of unknown magnitude, and StatSet
+ * assembles named scalars, formulas and distributions into a gem5-like
+ * stats.txt section plus a machine-readable JSON object.
+ *
+ * Every container keeps exact count/sum alongside the buckets so a
+ * distribution can be cross-checked against its matching scalar counter
+ * (e.g. sum(hit-streak samples) == memo hits) — the consistency the
+ * trace-smoke CI stage asserts.
+ */
+
+#ifndef AXMEMO_OBS_STATS_HH
+#define AXMEMO_OBS_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axmemo {
+
+/**
+ * Linear-bucket distribution over [lo, hi] in steps of bucketSize, with
+ * dedicated underflow/overflow bins (gem5's Stats::Distribution).
+ * Count, sum and sample min/max are exact regardless of bucketing.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(std::uint64_t lo, std::uint64_t hi,
+                 std::uint64_t bucketSize);
+
+    /** (Re)configure the bucket range; drops all samples. */
+    void init(std::uint64_t lo, std::uint64_t hi,
+              std::uint64_t bucketSize);
+
+    /** Record @p count occurrences of @p value. */
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    /** Fold @p other (same geometry) into this distribution. */
+    void merge(const Distribution &other);
+
+    /** Drop all samples, keeping the geometry. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const;
+    /** Population standard deviation of the samples. */
+    double stddev() const;
+    std::uint64_t sampleMin() const { return count_ ? min_ : 0; }
+    std::uint64_t sampleMax() const { return count_ ? max_ : 0; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    std::uint64_t lo() const { return lo_; }
+    std::uint64_t hi() const { return hi_; }
+    std::uint64_t bucketSize() const { return bucketSize_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    /** Smallest value mapping into bucket @p i. */
+    std::uint64_t bucketLow(std::size_t i) const
+    {
+        return lo_ + i * bucketSize_;
+    }
+
+  private:
+    std::uint64_t lo_ = 0;
+    std::uint64_t hi_ = 0;
+    std::uint64_t bucketSize_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    double sumSq_ = 0.0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::vector<std::uint64_t> buckets_;
+};
+
+/**
+ * Power-of-two histogram for values of unknown magnitude (streak
+ * lengths, invocation counts). Bucket 0 holds value 0; bucket k >= 1
+ * holds [2^(k-1), 2^k). No configuration needed, merge always works.
+ */
+class Histogram
+{
+  public:
+    /** Record @p count occurrences of @p value. */
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    /** Fold @p other into this histogram. */
+    void merge(const Histogram &other);
+
+    /** Drop all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    double mean() const;
+    std::uint64_t sampleMin() const { return count_ ? min_ : 0; }
+    std::uint64_t sampleMax() const { return count_ ? max_ : 0; }
+
+    static constexpr std::size_t numBuckets = 65;
+    const std::uint64_t *buckets() const { return buckets_; }
+    /** Inclusive [low, high] value range of bucket @p i. */
+    static std::uint64_t bucketLow(std::size_t i);
+    static std::uint64_t bucketHigh(std::size_t i);
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t buckets_[numBuckets] = {};
+};
+
+/**
+ * An ordered set of named statistics rendered gem5-style. Scalars are
+ * exact integers, formulas are derived doubles (rates, ratios),
+ * distributions and histograms expand into ::samples/::mean/::<bucket>
+ * rows. renderText() emits one stats.txt section; renderJson() the
+ * equivalent JSON object for embedding in manifest.json.
+ */
+class StatSet
+{
+  public:
+    void scalar(const std::string &name, std::uint64_t value,
+                const std::string &desc = {});
+    void formula(const std::string &name, double value,
+                 const std::string &desc = {});
+    void dist(const std::string &name, const Distribution &d,
+              const std::string &desc = {});
+    void hist(const std::string &name, const Histogram &h,
+              const std::string &desc = {});
+
+    /** gem5 stats.txt body (no Begin/End markers; see renderSection). */
+    std::string renderText() const;
+
+    /** One full "---------- Begin ... ----------" section; @p header
+     * is appended to the Begin marker as a comment. */
+    std::string renderSection(const std::string &header) const;
+
+    /** Compact JSON object: scalars/formulas by name, distributions as
+     * {samples,sum,mean,min,max,buckets:{label:count}}. */
+    std::string renderJson() const;
+
+    bool empty() const { return items_.empty(); }
+
+  private:
+    enum class Kind
+    {
+        Scalar,
+        Formula,
+        Dist,
+        Hist
+    };
+    struct Item
+    {
+        Kind kind;
+        std::string name;
+        std::string desc;
+        std::uint64_t scalar = 0;
+        double formula = 0.0;
+        Distribution dist;
+        Histogram hist;
+    };
+    std::vector<Item> items_;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_OBS_STATS_HH

@@ -5,6 +5,7 @@
 #include "common/bits.hh"
 #include "common/log.hh"
 #include "isa/disasm.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -166,11 +167,25 @@ Simulator::run()
     InstIndex pc = 0;
     const ThreadId tid = 0;
 
+    // Hoisted trace guards: one relaxed atomic load each, here, instead
+    // of per instruction; both fold to constant false (and the trace
+    // blocks below to nothing) under AXMEMO_NO_TRACE.
+    const bool traceExec = trace::enabled(trace::Flag::Exec);
+    const bool traceAny = trace::anyEnabled();
+
     while (pc < prog_.size()) {
         const Inst &inst = prog_.at(pc);
         const Decoded &dec = decoded_[pc];
 
         if (inst.op == Op::RegionBegin || inst.op == Op::RegionEnd) {
+            if (inst.op == Op::RegionBegin) {
+                ++stats_.regionEntries;
+                ++regionCounts_[inst.imm];
+            }
+            if (traceExec) {
+                trace::setCycle(frontCycle_);
+                AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
+            }
             if (traceBuf_)
                 traceBuf_->append(pc, inst.op);
             else if (traceHook_)
@@ -212,6 +227,11 @@ Simulator::run()
             t = issueUops(std::max(srcReady, *unit), dec.uops);
         }
         Cycle latency = dec.latency;
+
+        // Stamp this thread's trace-cycle context so clock-less
+        // components (hierarchy, memo unit, DRAM) emit the issue cycle.
+        if (traceAny)
+            trace::setCycle(t);
 
         stats_.uops += dec.uops;
         ev_.add(Ev::FrontendUops, dec.uops);
@@ -431,6 +451,8 @@ Simulator::run()
 
           case Op::Halt:
             endCycle = std::max(endCycle, t + latency);
+            if (traceExec)
+                AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
             if (traceBuf_)
                 traceBuf_->append(pc, inst.op);
             else if (traceHook_)
@@ -557,6 +579,8 @@ Simulator::run()
 
         endCycle = std::max(endCycle, resultReady);
 
+        if (traceExec)
+            AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
         if (traceBuf_)
             traceBuf_->append(pc, inst.op);
         else if (traceHook_)
@@ -571,8 +595,15 @@ Simulator::run()
         stats_.memo = memoUnit_.stats();
         stats_.memo.monitorTripped = !memoUnit_.enabled();
         memoUnit_.events().mergeInto(stats_.events);
+        // Distribution views: flush the open hit streak, then snapshot.
+        memoUnit_.finalizeDists();
+        stats_.dists.memoHitStreak = memoUnit_.hitStreaks();
+        stats_.dists.memoLookupLatency = memoUnit_.lookupLatencies();
     }
     hierarchy_.events().mergeInto(stats_.events);
+    stats_.dists.l2SetOccupancy = hierarchy_.l2().occupancy();
+    for (const auto &kv : regionCounts_)
+        stats_.dists.regionInvocations.sample(kv.second);
     stats_.events.add("cycles", stats_.cycles);
     return stats_;
 }

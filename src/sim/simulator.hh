@@ -24,11 +24,13 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/events.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/stats.hh"
 #include "isa/dyn_trace.hh"
 #include "isa/op_traits.hh"
 #include "isa/program.hh"
@@ -89,8 +91,35 @@ struct SimStats
     std::uint64_t stores = 0;
     /** Extra cycles the CPU stalled on a full memo-unit input queue. */
     Cycle memoQueueStalls = 0;
+    /** Dynamic RegionBegin markers executed (the scalar twin of
+     * dists.regionInvocations: the distribution sums to this). */
+    std::uint64_t regionEntries = 0;
 
     MemoUnitStats memo{};
+
+    /**
+     * Distribution views of the run (obs layer), all collected off the
+     * per-instruction path: memo-side samples accumulate per lookup in
+     * the memoization unit, the rest are snapshots taken at halt. Each
+     * distribution has a scalar twin it must sum (or count) to —
+     * stats.txt consumers cross-check them.
+     */
+    struct Dists
+    {
+        /** Consecutive reported memo hits between misses; the sample
+         * sum equals memo.hits(). */
+        Histogram memoHitStreak{};
+        /** Lookup-instruction latency in cycles; the sample count
+         * equals memo.lookups. */
+        Distribution memoLookupLatency{};
+        /** Dynamic entries per static region id; sums to
+         * regionEntries. */
+        Histogram regionInvocations{};
+        /** Valid data lines per L2 set at halt (LUT-reserved ways
+         * excluded). */
+        Distribution l2SetOccupancy{};
+    };
+    Dists dists{};
 
     /** All energy-relevant events (uop classes, cache, dram, memo). */
     CounterSet events{};
@@ -209,6 +238,8 @@ class Simulator
     SimStats stats_;
     /** Hot-path event accumulator, folded into stats_.events at halt. */
     EventCounters ev_;
+    /** Dynamic entries per region id (RegionBegin hint, Section 5). */
+    std::unordered_map<std::int64_t, std::uint64_t> regionCounts_;
     std::function<void(InstIndex, const Inst &)> traceHook_;
     TraceBuffer *traceBuf_ = nullptr;
     bool ran_ = false;

@@ -7,10 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/bits.hh"
 #include "common/error_metrics.hh"
+#include "common/events.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -276,6 +282,36 @@ TEST(ErrorMetrics, ElementwiseCdf)
     EXPECT_NEAR(cdf.fractionAtOrBelow(0.25), 0.75, 1e-12);
 }
 
+// -------------------------------------------------------------- events
+
+TEST(Events, EveryEventHasUniqueNonNullName)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < numEvents; ++i) {
+        const char *name = eventName(static_cast<Ev>(i));
+        ASSERT_NE(name, nullptr) << "event " << i;
+        EXPECT_GT(std::strlen(name), 0u) << "event " << i;
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate event name '" << name << "'";
+    }
+}
+
+TEST(Events, NameLookupRoundTripsThroughMerge)
+{
+    EventCounters counters;
+    for (std::size_t i = 0; i < numEvents; ++i)
+        counters.add(static_cast<Ev>(i), i + 1);
+
+    CounterSet merged;
+    counters.mergeInto(merged);
+    for (std::size_t i = 0; i < numEvents; ++i) {
+        const char *name = eventName(static_cast<Ev>(i));
+        EXPECT_EQ(counters.get(name), i + 1) << name;
+        EXPECT_EQ(merged.get(name), i + 1) << name;
+    }
+    EXPECT_EQ(counters.get("no_such_event"), 0u);
+}
+
 // ----------------------------------------------------------------- log
 
 TEST(Log, PanicThrowsLogicError)
@@ -286,6 +322,80 @@ TEST(Log, PanicThrowsLogicError)
 TEST(Log, FatalThrowsRuntimeError)
 {
     EXPECT_THROW(axm_fatal("bad config"), std::runtime_error);
+}
+
+TEST(LogDeathTest, FatalExitsTheProcess)
+{
+    // The standard harness exit path: fatal() emits its stderr line
+    // through the obs sink before throwing, and main() turns the
+    // exception into a non-zero exit.
+    EXPECT_DEATH(
+        {
+            setQuiet(false);
+            try {
+                axm_fatal("unrecoverable ", 42);
+            } catch (const std::runtime_error &) {
+                std::exit(1);
+            }
+        },
+        "fatal: unrecoverable 42");
+}
+
+TEST(Log, SetQuietSuppressesWarnAndInform)
+{
+    const bool wasQuiet = quiet();
+    testing::internal::CaptureStderr();
+    setQuiet(true);
+    axm_warn("suppressed warn");
+    axm_inform("suppressed info");
+    setQuiet(false);
+    axm_warn("visible warn");
+    axm_inform("visible info");
+    setQuiet(wasQuiet);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find("suppressed"), std::string::npos) << err;
+    EXPECT_NE(err.find("warn: visible warn\n"), std::string::npos) << err;
+    EXPECT_NE(err.find("info: visible info\n"), std::string::npos) << err;
+}
+
+TEST(Log, ConcurrentWarnStormHasNoTornLines)
+{
+    constexpr int threadCount = 8;
+    constexpr int perThread = 200;
+    const std::string filler(40, '-');
+
+    const bool wasQuiet = quiet();
+    setQuiet(false);
+    testing::internal::CaptureStderr();
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threadCount; ++t)
+        pool.emplace_back([t, &filler] {
+            for (int i = 0; i < perThread; ++i)
+                axm_warn("storm thread ", t, " line ", i, " ", filler);
+        });
+    for (std::thread &th : pool)
+        th.join();
+    const std::string err = testing::internal::GetCapturedStderr();
+    setQuiet(wasQuiet);
+
+    // Every captured line must be one complete warn line: correct
+    // prefix, correct tail, nothing interleaved mid-line.
+    std::size_t lines = 0;
+    std::size_t pos = 0;
+    while (pos < err.size()) {
+        const std::size_t nl = err.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos) << "unterminated line";
+        const std::string line = err.substr(pos, nl - pos);
+        EXPECT_EQ(line.rfind("warn: storm thread ", 0), 0u) << line;
+        ASSERT_GE(line.size(), filler.size()) << line;
+        EXPECT_EQ(line.compare(line.size() - filler.size(),
+                               filler.size(), filler),
+                  0)
+            << line;
+        ++lines;
+        pos = nl + 1;
+    }
+    EXPECT_EQ(lines, static_cast<std::size_t>(threadCount * perThread));
 }
 
 } // namespace

@@ -14,7 +14,13 @@
  *                                      end-to-end fig7 run, appended to
  *                                      BENCH_perf.json (tools/perf.hh)
  *
- * Options (apply to `run`; --scale/--jobs/--out also apply to `perf`):
+ *   axmemo profile fig9                run artifacts like `run`, then
+ *                                      print the aggregated phase-timer
+ *                                      table (per phase and per sweep
+ *                                      worker) for each one
+ *
+ * Options (apply to `run` and `profile`; --scale/--jobs/--out also
+ * apply to `perf`):
  *   --scale <f>   dataset scale (sets AXMEMO_SCALE)
  *   --full        paper-size inputs (sets AXMEMO_FULL=1)
  *   --jobs <n>    sweep worker count (sets AXMEMO_JOBS)
@@ -24,15 +30,24 @@
  *                 document on stdout instead of the text report
  *   --quick       perf only: ~8x fewer iterations, CI-smoke sized
  *
+ * Observability (any subcommand; see DESIGN.md §8):
+ *   --debug-flags <spec>  enable gem5-style trace flags, e.g.
+ *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof or All
+ *                         (also: AXMEMO_DEBUG environment variable)
+ *   --trace-out <file>    write trace lines to <file> instead of stderr
+ *
  * Besides stdout, each run emits <name>_sweep.json (host-side sweep
- * performance) and <name>.json (result rows) into the output
- * directory, plus one manifest.json recording the exact canonical
- * serialized configuration of every simulated job — enough to rerun or
- * diff any result without reading harness code.
+ * performance), <name>.json (result rows) and <name>_stats.txt (one
+ * gem5-like statistics section per simulated job, distribution stats
+ * included) into the output directory, plus one manifest.json
+ * recording the exact canonical serialized configuration — and the
+ * per-run stats — of every simulated job, enough to rerun or diff any
+ * result without reading harness code.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -41,6 +56,8 @@
 #include "common/log.hh"
 #include "core/artifact.hh"
 #include "core/output_paths.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 #include "tools/perf.hh"
 
 namespace {
@@ -55,8 +72,11 @@ usage(FILE *to)
         "usage: axmemo --list\n"
         "       axmemo run <artifact>... | all "
         "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n"
+        "       axmemo profile <artifact>... | all [run options]\n"
         "       axmemo perf "
-        "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n");
+        "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
+        "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof|"
+        "All>  --trace-out <file>\n");
     return to == stderr ? 2 : 0;
 }
 
@@ -78,11 +98,13 @@ main(int argc, char **argv)
 
     std::vector<std::string> names;
     std::string outDir;
+    std::string traceOut;
     bool json = false;
     bool run = false;
     bool list = false;
     bool perf = false;
     bool quick = false;
+    bool profile = false;
     double scale = 0.0;
 
     for (int i = 1; i < argc; ++i) {
@@ -98,6 +120,9 @@ main(int argc, char **argv)
             list = true;
         } else if (arg == "run") {
             run = true;
+        } else if (arg == "profile") {
+            run = true;
+            profile = true;
         } else if (arg == "perf") {
             perf = true;
         } else if (arg == "--quick") {
@@ -114,6 +139,22 @@ main(int argc, char **argv)
             outDir = value();
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--debug-flags" ||
+                   arg.rfind("--debug-flags=", 0) == 0) {
+            const std::string spec =
+                arg == "--debug-flags" ? value()
+                                       : arg.substr(strlen("--debug-flags="));
+            std::string error;
+            if (!trace::enableFlags(spec, &error)) {
+                std::fprintf(stderr, "--debug-flags: %s\n",
+                             error.c_str());
+                return 2;
+            }
+        } else if (arg == "--trace-out" ||
+                   arg.rfind("--trace-out=", 0) == 0) {
+            traceOut = arg == "--trace-out"
+                           ? value()
+                           : arg.substr(strlen("--trace-out="));
         } else if (arg == "--help" || arg == "-h") {
             return usage(stdout);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -126,6 +167,13 @@ main(int argc, char **argv)
                          arg.c_str());
             return usage(stderr);
         }
+    }
+
+    trace::initFromEnv();
+    if (!traceOut.empty() && !trace::openTraceFile(traceOut)) {
+        std::fprintf(stderr, "cannot open trace file '%s'\n",
+                     traceOut.c_str());
+        return 2;
     }
 
     if (list)
@@ -167,6 +215,7 @@ main(int argc, char **argv)
     options.outDir = outDir;
     options.writeRows = true;
     options.rowsToStdout = json;
+    options.writeStats = true;
 
     std::vector<std::string> manifestRuns;
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -174,11 +223,19 @@ main(int argc, char **argv)
             std::printf("\n");
         const std::unique_ptr<Artifact> artifact =
             registry.make(names[i]);
+        // Per-artifact phase isolation: the manifest's "phases" and the
+        // profile view report this run only.
+        obs::Profiler::instance().reset();
         ArtifactRunRecord record;
         const int rc = runArtifact(*artifact, options, &record);
         if (rc)
             return rc;
         manifestRuns.push_back(std::move(record.manifestRun));
+        if (profile) {
+            std::printf("\n== profile %s ==\n%s", names[i].c_str(),
+                        obs::Profiler::instance().renderText().c_str());
+            std::fflush(stdout);
+        }
     }
 
     const std::string manifestPath =

@@ -33,6 +33,8 @@
 #include "memo/lut.hh"
 #include "memsys/cache.hh"
 #include "memsys/sim_memory.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
 
 namespace axmemo {
 
@@ -192,6 +194,12 @@ struct JsonObj
     {
         key(k);
         os << nested.str();
+    }
+    void
+    rawField(const std::string &k, const std::string &json)
+    {
+        key(k);
+        os << json;
     }
     std::string str() const { return os.str() + "}"; }
 };
@@ -396,6 +404,53 @@ benchCache(std::size_t iters)
 }
 
 JsonObj
+benchTrace(std::size_t iters)
+{
+    // Disabled-guard cost: the same arithmetic loop with and without a
+    // guarded trace point. With no flags enabled the trace point is one
+    // relaxed load + predictable branch (or nothing at all under
+    // AXMEMO_NO_TRACE) — this is the number backing the "zero overhead
+    // when disabled" claim in DESIGN.md §8.
+    trace::clearAllFlags();
+    const auto work = [&](bool traced) {
+        std::uint64_t a = 0x9e3779b97f4a7c15ull;
+        for (std::size_t i = 0; i < iters; ++i) {
+            if (traced)
+                AXM_TRACE(Exec, "perf", "never emitted ", i);
+            a = (a ^ i) * 0x100000001b3ull;
+        }
+        perfSink = a;
+    };
+    const double bareSec = bestSeconds([&] { work(false); });
+    const double guardedSec = bestSeconds([&] { work(true); });
+
+    // Enabled line cost, emitted to a null sink so the number measures
+    // formatting + the mutex-guarded write, not terminal throughput.
+    double lineSec = 0.0;
+    if (trace::openTraceFile("/dev/null")) {
+        trace::setFlag(trace::Flag::Exec, true);
+        const std::size_t lines = std::max<std::size_t>(iters / 64, 1);
+        lineSec = bestSeconds([&] {
+            for (std::size_t i = 0; i < lines; ++i)
+                AXM_TRACE(Exec, "perf", "line ", i, " of ", lines);
+        }) / static_cast<double>(lines);
+        trace::clearAllFlags();
+        trace::closeTraceFile();
+    }
+
+    const double perOp = 1e9 / static_cast<double>(iters);
+    JsonObj o;
+    o.field("ops", static_cast<std::uint64_t>(iters));
+    o.field("bare_ns_per_op", bareSec * perOp);
+    o.field("disabled_guard_ns_per_op", guardedSec * perOp);
+    o.field("disabled_overhead_pct",
+            bareSec > 0.0 ? (guardedSec - bareSec) / bareSec * 100.0
+                          : 0.0);
+    o.field("enabled_line_ns", lineSec * 1e9);
+    return o;
+}
+
+JsonObj
 benchFig7(double scale)
 {
     char scaleStr[32];
@@ -495,18 +550,30 @@ runPerf(const PerfOptions &options)
     entry.field("utc", utcNow());
     entry.field("quick", std::string(options.quick ? "true" : "false"));
 
-    const auto section = [&](const char *name, JsonObj o) {
+    // Every section runs under a phase timer; the aggregated snapshot
+    // (including the sweep.* phases benchFig7's execute() records, per
+    // worker) lands in the entry's "phases" object.
+    obs::Profiler::instance().reset();
+    const auto section = [&](const char *name, auto bench) {
+        JsonObj o;
+        {
+            AXM_PROF(name);
+            o = bench();
+        }
         std::printf("  %-10s %s\n", name, o.str().c_str());
         std::fflush(stdout);
         entry.field(name, o);
     };
 
-    section("simmemory", benchSimMemory(4'000'000 / scaleDown));
-    section("clone", benchClone(64 / scaleDown));
-    section("crc32", benchCrc((1u << 20) / scaleDown));
-    section("lut", benchLut(8'000'000 / scaleDown));
-    section("cache", benchCache(4'000'000 / scaleDown));
-    section("fig7", benchFig7(fig7Scale));
+    section("simmemory", [&] { return benchSimMemory(4'000'000 / scaleDown); });
+    section("clone", [&] { return benchClone(64 / scaleDown); });
+    section("crc32", [&] { return benchCrc((1u << 20) / scaleDown); });
+    section("lut", [&] { return benchLut(8'000'000 / scaleDown); });
+    section("cache", [&] { return benchCache(4'000'000 / scaleDown); });
+    section("trace", [&] { return benchTrace(8'000'000 / scaleDown); });
+    section("fig7", [&] { return benchFig7(fig7Scale); });
+
+    entry.rawField("phases", obs::Profiler::instance().renderJson());
 
     const std::string path =
         joinPath(resolveOutputDir(options.outDir), "BENCH_perf.json");
