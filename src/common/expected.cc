@@ -1,0 +1,47 @@
+#include "common/expected.hh"
+
+namespace axmemo {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::None: return "none";
+      case ErrorCode::Config: return "config";
+      case ErrorCode::Parse: return "parse";
+      case ErrorCode::Io: return "io";
+      case ErrorCode::Workload: return "workload";
+      case ErrorCode::Simulation: return "simulation";
+      case ErrorCode::Timeout: return "timeout";
+      case ErrorCode::Cancelled: return "cancelled";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "???";
+}
+
+std::string
+Error::describe() const
+{
+    if (ok())
+        return {};
+    std::string text = errorCodeName(code);
+    text += " error";
+    if (!component.empty()) {
+        text += " in ";
+        text += component;
+    }
+    if (!message.empty()) {
+        text += ": ";
+        text += message;
+    }
+    return text;
+}
+
+void
+raiseError(ErrorCode code, std::string component, std::string message)
+{
+    throw AxException(
+        {code, std::move(component), std::move(message)});
+}
+
+} // namespace axmemo

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Structured errors and the Expected<T> return channel.
+ *
+ * Library code used to report failure either with warn()+bool or by
+ * calling fatal(), which decides process policy (die) at the point of
+ * detection. Both lose information the caller needs: what kind of error
+ * it was, which component raised it, and whether it is worth retrying.
+ * This header replaces them with a small value-based error API:
+ *
+ *  - Error: (code, component, message). Codes classify the failure for
+ *    policy decisions (a Timeout is never retried, an Io error may be);
+ *    component names the subsystem for reports and traces.
+ *  - Expected<T>: either a T or an Error. Library functions return it;
+ *    the caller — ultimately the driver — decides what is fatal.
+ *  - AxException: an Error in flight. Code that cannot return (deep in a
+ *    simulation, inside a constructor) throws it via raiseError(); the
+ *    sweep engine catches it at the worker boundary and records the
+ *    structured Error in the job's outcome instead of killing the sweep.
+ *    It derives from std::runtime_error, so existing EXPECT_THROW
+ *    assertions and catch-sites keep working.
+ *
+ * Library code under src/core and src/memo must not call axm_fatal()
+ * for recoverable conditions (a bad per-job configuration, an
+ * unwritable output file): return an Expected or throw an AxException
+ * and let the process boundary pick the exit code.
+ */
+
+#ifndef AXMEMO_COMMON_EXPECTED_HH
+#define AXMEMO_COMMON_EXPECTED_HH
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+/** Failure classification; drives retry/exit policy, not text. */
+enum class ErrorCode
+{
+    None,       ///< no error (the Error default state)
+    Config,     ///< invalid configuration or arguments
+    Parse,      ///< malformed serialized input (JSON, journal lines)
+    Io,         ///< host I/O failure (open/write/rename)
+    Workload,   ///< dataset synthesis or program construction failed
+    Simulation, ///< the simulation itself failed
+    Timeout,    ///< job exceeded its watchdog deadline (never retried)
+    Cancelled,  ///< interrupted by the user (SIGINT/SIGTERM)
+    Internal,   ///< unclassified exception escaping a job
+};
+
+/** @return the stable lower-case name of @p code ("config", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** One structured error: classification, origin, human text. */
+struct Error
+{
+    ErrorCode code = ErrorCode::None;
+    std::string component; ///< subsystem that raised it ("lut", "sweep")
+    std::string message;
+
+    bool ok() const { return code == ErrorCode::None; }
+
+    /** "config error in lut: size must be ..." (empty when ok()). */
+    std::string describe() const;
+};
+
+/** An Error travelling as an exception; see file comment. */
+class AxException : public std::runtime_error
+{
+  public:
+    explicit AxException(Error error)
+        : std::runtime_error(error.describe()), error_(std::move(error))
+    {
+    }
+
+    const Error &error() const { return error_; }
+
+  private:
+    Error error_;
+};
+
+/** Throw @p code/@p component/@p message as an AxException. */
+[[noreturn]] void raiseError(ErrorCode code, std::string component,
+                             std::string message);
+
+/**
+ * A value or an Error. Deliberately minimal: no exceptions on access
+ * misuse beyond axm_panic (a caller reading the wrong arm is a bug, not
+ * a runtime condition), implicit construction from both arms so
+ * `return Error{...}` and `return value` both read naturally.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)), hasValue_(true) {}
+    Expected(Error error) : error_(std::move(error))
+    {
+        if (error_.ok())
+            axm_panic("Expected constructed from an ok() Error");
+    }
+
+    bool ok() const { return hasValue_; }
+    explicit operator bool() const { return hasValue_; }
+
+    const T &
+    value() const &
+    {
+        if (!hasValue_)
+            axm_panic("Expected::value() on error: ",
+                      error_.describe());
+        return value_;
+    }
+    T &
+    value() &
+    {
+        if (!hasValue_)
+            axm_panic("Expected::value() on error: ",
+                      error_.describe());
+        return value_;
+    }
+    T &&
+    value() &&
+    {
+        if (!hasValue_)
+            axm_panic("Expected::value() on error: ",
+                      error_.describe());
+        return std::move(value_);
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return hasValue_ ? value_ : std::move(fallback);
+    }
+
+    const Error &
+    error() const
+    {
+        if (hasValue_)
+            axm_panic("Expected::error() on a value");
+        return error_;
+    }
+
+  private:
+    T value_{};
+    Error error_{};
+    bool hasValue_ = false;
+};
+
+/** The no-payload arm: success, or an Error. */
+template <>
+class Expected<void>
+{
+  public:
+    Expected() = default;
+    Expected(Error error) : error_(std::move(error))
+    {
+        if (error_.ok())
+            axm_panic("Expected constructed from an ok() Error");
+    }
+
+    bool ok() const { return error_.ok(); }
+    explicit operator bool() const { return ok(); }
+
+    const Error &
+    error() const
+    {
+        if (ok())
+            axm_panic("Expected::error() on a value");
+        return error_;
+    }
+
+  private:
+    Error error_{};
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_EXPECTED_HH

@@ -1,0 +1,53 @@
+#include "common/interrupt.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace axmemo {
+
+namespace {
+
+std::atomic<int> receivedSignal{0};
+
+extern "C" void
+handleStopSignal(int signo)
+{
+    // Second signal: the user insists. _exit is async-signal-safe;
+    // skip destructors and leave with the conventional code.
+    if (receivedSignal.exchange(signo) != 0)
+        std::_Exit(128 + signo);
+}
+
+} // namespace
+
+void
+installSignalHandlers()
+{
+    struct sigaction action = {};
+    action.sa_handler = handleStopSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return receivedSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+interruptSignal()
+{
+    return receivedSignal.load(std::memory_order_relaxed);
+}
+
+void
+setInterruptForTest(int signal)
+{
+    receivedSignal.store(signal);
+}
+
+} // namespace axmemo

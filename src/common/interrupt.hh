@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Graceful-stop plumbing for SIGINT/SIGTERM.
+ *
+ * The driver installs the handlers once at startup; the sweep engine
+ * polls interruptRequested() before starting each job (marking the
+ * remainder Skipped) and threads it into the simulator's run control so
+ * in-flight simulations abort at the next check interval. The handler
+ * itself only records the signal — journal lines are already flushed as
+ * each job completes, so there is nothing unsafe to do in signal
+ * context. A second signal exits immediately (128 + signo), the
+ * traditional escalation for an unresponsive process.
+ */
+
+#ifndef AXMEMO_COMMON_INTERRUPT_HH
+#define AXMEMO_COMMON_INTERRUPT_HH
+
+namespace axmemo {
+
+/** Install SIGINT/SIGTERM handlers that request a graceful stop. */
+void installSignalHandlers();
+
+/** True once SIGINT or SIGTERM has been received. */
+bool interruptRequested();
+
+/** The received signal number (0 when none). */
+int interruptSignal();
+
+/** Test hook: simulate or clear an interrupt without raising a
+ * signal. */
+void setInterruptForTest(int signal);
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_INTERRUPT_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cooperative cancellation and deadline for one simulation.
+ *
+ * A simulation is a tight single-threaded loop that cannot be killed
+ * from outside without losing the whole process's state, so the
+ * watchdog is cooperative: the sweep engine hands the simulator a
+ * RunControl carrying the job's host-time deadline and a cancellation
+ * predicate, and the simulator polls it every few tens of thousands of
+ * macro-instructions (one branch on a counter in the common case). On
+ * expiry/cancellation the simulator raises a structured AxException
+ * (Timeout / Cancelled) that the worker boundary converts into the
+ * job's SweepOutcome status — the sweep survives, the job is recorded.
+ */
+
+#ifndef AXMEMO_COMMON_RUN_CONTROL_HH
+#define AXMEMO_COMMON_RUN_CONTROL_HH
+
+#include <chrono>
+
+#include "common/expected.hh"
+
+namespace axmemo {
+
+/** Deadline + cancellation context of one simulation; see file
+ * comment. Default-constructed = unbounded, uncancellable. */
+struct RunControl
+{
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+    /** Polled predicate (e.g. interruptRequested); null = never. */
+    bool (*cancelled)() = nullptr;
+
+    /** Throws AxException(Timeout/Cancelled) when expired/cancelled. */
+    void
+    check(const char *what) const
+    {
+        if (cancelled && cancelled())
+            raiseError(ErrorCode::Cancelled, what,
+                       "interrupted by signal");
+        if (hasDeadline &&
+            std::chrono::steady_clock::now() >= deadline)
+            raiseError(ErrorCode::Timeout, what,
+                       "job watchdog deadline expired");
+    }
+
+    bool
+    active() const
+    {
+        return hasDeadline || cancelled != nullptr;
+    }
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_RUN_CONTROL_HH

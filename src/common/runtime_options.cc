@@ -1,0 +1,186 @@
+#include "common/runtime_options.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+namespace {
+
+/** The frozen driver copy; null until setGlobal(). */
+RuntimeOptions *frozen = nullptr;
+
+const char *
+envOrNull(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value && *value ? value : nullptr;
+}
+
+/** Parse a positive double; warn and return false on malformed text. */
+bool
+parsePositiveDouble(const char *name, const char *text, double &out)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(text, &end);
+    if (end != text && *end == '\0' && parsed > 0.0 &&
+        std::isfinite(parsed)) {
+        out = parsed;
+        return true;
+    }
+    axm_warn("ignoring malformed ", name, "='", text,
+             "' (want a positive number)");
+    return false;
+}
+
+/** Parse an unsigned integer in [0, max]; warn on malformed text. */
+bool
+parseUnsigned(const char *name, const char *text, unsigned long max,
+              unsigned &out)
+{
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(text, &end, 10);
+    if (end != text && *end == '\0' && parsed <= max) {
+        out = static_cast<unsigned>(parsed);
+        return true;
+    }
+    axm_warn("ignoring malformed ", name, "='", text,
+             "' (want an integer in [0, ", max, "])");
+    return false;
+}
+
+} // namespace
+
+RuntimeOptions
+RuntimeOptions::fromEnv()
+{
+    RuntimeOptions options;
+
+    if (const char *env = envOrNull("AXMEMO_JOBS"))
+        parseUnsigned("AXMEMO_JOBS", env, 1024, options.jobs);
+
+    // AXMEMO_FULL must be exactly "1" ("10", "1x", ... are mistakes,
+    // not requests for full scale) and anything but "", "0", "1" is
+    // warned about instead of silently ignored.
+    if (const char *env = envOrNull("AXMEMO_FULL")) {
+        if (std::strcmp(env, "1") == 0)
+            options.full = true;
+        else if (std::strcmp(env, "0") != 0)
+            axm_warn("ignoring malformed AXMEMO_FULL='", env,
+                     "' (want 0 or 1)");
+    }
+    if (const char *env = envOrNull("AXMEMO_SCALE"))
+        options.scaleSet =
+            parsePositiveDouble("AXMEMO_SCALE", env, options.scale);
+
+    if (const char *env = envOrNull("AXMEMO_DEBUG"))
+        options.debugFlags = env;
+    if (const char *env = envOrNull("AXMEMO_SWEEP_DIR"))
+        options.outDir = env;
+
+    if (const char *env = envOrNull("AXMEMO_RETRIES"))
+        parseUnsigned("AXMEMO_RETRIES", env, 64, options.retries);
+    if (const char *env = envOrNull("AXMEMO_JOB_TIMEOUT"))
+        parsePositiveDouble("AXMEMO_JOB_TIMEOUT", env,
+                            options.jobTimeoutSeconds);
+
+    if (const char *env = std::getenv("AXMEMO_TIMING");
+        env && std::strcmp(env, "0") == 0)
+        options.reportTiming = false;
+    if (const char *env = envOrNull("AXMEMO_FAULT_INJECT"))
+        options.faultInject = env;
+
+    return options;
+}
+
+RuntimeOptions
+RuntimeOptions::global()
+{
+    if (frozen)
+        return *frozen;
+    return fromEnv();
+}
+
+void
+RuntimeOptions::setGlobal(const RuntimeOptions &options)
+{
+    if (!frozen)
+        frozen = new RuntimeOptions;
+    *frozen = options;
+}
+
+bool
+RuntimeOptions::globalFrozen()
+{
+    return frozen != nullptr;
+}
+
+unsigned
+RuntimeOptions::workerCount() const
+{
+    if (jobs > 0)
+        return jobs;
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+double
+RuntimeOptions::benchScale(double fallback) const
+{
+    if (full)
+        return 1.0;
+    if (scaleSet)
+        return scale;
+    return fallback;
+}
+
+std::string
+RuntimeOptions::faultWorkload() const
+{
+    const std::size_t colon = faultInject.find(':');
+    return faultInject.substr(0, colon);
+}
+
+unsigned
+RuntimeOptions::faultAttempts() const
+{
+    const std::size_t colon = faultInject.find(':');
+    if (colon == std::string::npos)
+        return ~0u;
+    const std::string count = faultInject.substr(colon + 1);
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0')
+        return ~0u;
+    return static_cast<unsigned>(parsed);
+}
+
+std::string
+RuntimeOptions::describeKnobs()
+{
+    return "runtime knobs (environment variable / driver flag / "
+           "default):\n"
+           "  AXMEMO_JOBS         --jobs <n>         hardware threads  "
+           "sweep worker count (0 = hardware threads)\n"
+           "  AXMEMO_SCALE        --scale <f>        0.125             "
+           "dataset scale factor\n"
+           "  AXMEMO_FULL         --full             0                 "
+           "paper-size inputs (forces scale 1.0)\n"
+           "  AXMEMO_SWEEP_DIR    --out <dir>        .                 "
+           "output directory for reports and manifest\n"
+           "  AXMEMO_DEBUG        --debug-flags <s>  (off)             "
+           "trace flags: Exec,Memo,Cache,Dram,Lut,Sweep,Prof|All\n"
+           "  AXMEMO_RETRIES      --retries <n>      1                 "
+           "per-job retries after a failure (not timeouts)\n"
+           "  AXMEMO_JOB_TIMEOUT  --job-timeout <s>  0 (off)           "
+           "per-job watchdog; expired jobs are marked timed-out\n"
+           "  AXMEMO_TIMING       --no-timing        1                 "
+           "0 zeroes host-timing fields in every report\n"
+           "  AXMEMO_FAULT_INJECT --fault-inject <s> (off)             "
+           "test hook: fail jobs matching <workload>[:<attempts>]\n";
+}
+
+} // namespace axmemo

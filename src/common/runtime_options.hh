@@ -1,0 +1,100 @@
+/**
+ * @file
+ * One struct for every host-side runtime knob.
+ *
+ * The environment variables that steer a run (worker count, dataset
+ * scale, output directory, retry/timeout policy, debug flags) used to
+ * be parsed ad hoc at each point of use — thread_pool read AXMEMO_JOBS,
+ * experiment read AXMEMO_SCALE/AXMEMO_FULL, output_paths read
+ * AXMEMO_SWEEP_DIR, and a new knob meant a new getenv scattered
+ * somewhere. RuntimeOptions consolidates them: fromEnv() parses every
+ * knob exactly once (with the same defensive warnings the scattered
+ * parsers used), the axmemo driver layers its command-line flags on top
+ * and freezes the result with setGlobal(), and the sweep/artifact APIs
+ * take the struct explicitly. Code that still needs ambient access
+ * (legacy bench helpers) goes through global(), which re-reads the
+ * environment until a driver freezes it — so tests that setenv() at
+ * runtime keep working.
+ *
+ * Knob inventory (flag equivalents are `axmemo` driver options; the
+ * driver's --help prints this table):
+ *
+ *   AXMEMO_JOBS         --jobs <n>        sweep workers; 0/unset = hw threads
+ *   AXMEMO_SCALE        --scale <f>       dataset scale (default 0.125)
+ *   AXMEMO_FULL         --full            paper-size inputs (scale 1.0)
+ *   AXMEMO_SWEEP_DIR    --out <dir>       output directory (default ".")
+ *   AXMEMO_DEBUG        --debug-flags     trace flags (obs/trace.hh)
+ *   AXMEMO_RETRIES      --retries <n>     per-job retries on failure (1)
+ *   AXMEMO_JOB_TIMEOUT  --job-timeout <s> per-job watchdog seconds (0 = off)
+ *   AXMEMO_TIMING       --no-timing       0 zeroes host-timing report fields
+ *   AXMEMO_FAULT_INJECT --fault-inject    test hook: fail matching jobs
+ */
+
+#ifndef AXMEMO_COMMON_RUNTIME_OPTIONS_HH
+#define AXMEMO_COMMON_RUNTIME_OPTIONS_HH
+
+#include <string>
+
+namespace axmemo {
+
+/** Every host-side runtime knob; see file comment. */
+struct RuntimeOptions
+{
+    /** Sweep worker count; 0 = hardware thread count. */
+    unsigned jobs = 0;
+    /** Dataset scale when scaleSet (AXMEMO_FULL forces 1.0). */
+    double scale = 0.0;
+    bool scaleSet = false;
+    bool full = false;
+    /** Trace-flag spec (comma-separated names, or "All"); empty = off. */
+    std::string debugFlags;
+    /** Output directory for reports/manifest; empty = current dir. */
+    std::string outDir;
+    /** Per-job retry budget for Failed jobs (not Timeout/Cancelled). */
+    unsigned retries = 1;
+    /** Per-job watchdog in host seconds; 0 disables the deadline. */
+    double jobTimeoutSeconds = 0.0;
+    /** When false, host-timing fields in every emitted report are
+     * zeroed so two runs of the same sweep are byte-comparable. */
+    bool reportTiming = true;
+    /** Fault-injection hook "<workload-substring>[:<attempts>]": jobs
+     * whose workload matches fail their first <attempts> attempts
+     * (default: all attempts). Test/CI use only; empty = off. */
+    std::string faultInject;
+
+    /** Parse every knob from the environment (defensive: malformed
+     * values warn and keep the default, same as the old parsers). */
+    static RuntimeOptions fromEnv();
+
+    /**
+     * The ambient options: the frozen driver copy when setGlobal() has
+     * been called, else a fresh fromEnv() parse. Returned by value so
+     * un-frozen callers always see the current environment.
+     */
+    static RuntimeOptions global();
+
+    /** Freeze @p options as the process-wide instance (driver startup;
+     * call again to update, e.g. after a scale change in perf mode). */
+    static void setGlobal(const RuntimeOptions &options);
+
+    /** True once setGlobal() has been called. */
+    static bool globalFrozen();
+
+    /** Resolved worker count (jobs, or the hardware thread count). */
+    unsigned workerCount() const;
+
+    /** Resolved dataset scale: full -> 1.0, else scale, else fallback. */
+    double benchScale(double fallback = 0.125) const;
+
+    /** Fault-injection target split out of faultInject ("" = off). */
+    std::string faultWorkload() const;
+    /** Number of attempts the injected fault survives (default: all). */
+    unsigned faultAttempts() const;
+
+    /** The --help knob table (env var, flag, default, description). */
+    static std::string describeKnobs();
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_RUNTIME_OPTIONS_HH

@@ -84,6 +84,10 @@ class EmpiricalCdf
      */
     std::vector<double> evaluate(const std::vector<double> &points) const;
 
+    /** Raw samples (journal serialization); order is unspecified once
+     * any query has sorted them, which does not affect the CDF. */
+    const std::vector<double> &samples() const { return samples_; }
+
   private:
     void ensureSorted() const;
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "common/runtime_options.hh"
 #include "obs/trace.hh"
 
 namespace axmemo {
@@ -83,19 +84,9 @@ ThreadPool::workerLoop()
 unsigned
 ThreadPool::jobsFromEnv()
 {
-    const unsigned fallback =
-        std::max(1u, std::thread::hardware_concurrency());
-    const char *env = std::getenv("AXMEMO_JOBS");
-    if (!env || !*env)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || parsed > 1024) {
-        axm_warn("ignoring malformed AXMEMO_JOBS='", env,
-                 "' (want an integer in [0, 1024]); using ", fallback);
-        return fallback;
-    }
-    return parsed == 0 ? fallback : static_cast<unsigned>(parsed);
+    // RuntimeOptions owns AXMEMO_JOBS parsing (with the same defensive
+    // warning); workerCount() resolves 0/unset to hardware threads.
+    return RuntimeOptions::global().workerCount();
 }
 
 void

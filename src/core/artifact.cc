@@ -4,12 +4,13 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
-#include <fstream>
 
+#include "common/interrupt.hh"
 #include "common/log.hh"
 #include "core/config_io.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
+#include "core/run_journal.hh"
 #include "core/run_stats.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
@@ -22,13 +23,44 @@ using Clock = std::chrono::steady_clock;
 
 /** The standard bench banner (formerly bench_util.hh's banner()). */
 void
-printBanner(const std::string &title)
+printBanner(const std::string &title, const RuntimeOptions &runtime)
 {
-    const double scale = ExperimentRunner::benchScaleFromEnv();
+    const double scale = runtime.benchScale();
     std::printf("== %s ==\n", title.c_str());
     std::printf("dataset scale %.4g (AXMEMO_FULL=1 for paper-size "
                 "inputs)\n\n",
                 scale);
+}
+
+/** Structured error as a compact JSON object. */
+std::string
+errorJson(const Error &fault)
+{
+    std::string out = "{\"code\":\"";
+    out += errorCodeName(fault.code);
+    out += "\",\"component\":\"";
+    out += JsonWriter::escape(fault.component);
+    out += "\",\"message\":\"";
+    out += JsonWriter::escape(fault.message);
+    out += "\"}";
+    return out;
+}
+
+/** The per-row status/attempts suffix: empty for a clean first-attempt
+ * success, so fully-successful runs keep their historical bytes. */
+std::string
+statusFields(const SweepOutcome &outcome)
+{
+    std::string out;
+    if (!outcome.ok()) {
+        out += ",\"status\":\"";
+        out += jobStatusName(outcome.status);
+        out += "\",\"error\":";
+        out += errorJson(outcome.fault);
+    }
+    if (outcome.attempts > 1)
+        out += ",\"attempts\":" + std::to_string(outcome.attempts);
+    return out;
 }
 
 /** Default result rows: one object per enqueued job. */
@@ -47,13 +79,17 @@ defaultRows(const std::vector<SweepJob> &jobs,
         row += jobs[i].scored ? "true" : "false";
         row += ",\"config\":";
         row += toJson(jobs[i].config);
-        if (jobs[i].scored) {
+        if (!outcomes[i].ok()) {
+            row += statusFields(outcomes[i]);
+        } else if (jobs[i].scored) {
             row += ",\"comparison\":";
             row += JsonWriter::toJson(outcomes[i].cmp,
                                       jobs[i].workload);
+            row += statusFields(outcomes[i]);
         } else {
             row += ",\"run\":";
             row += JsonWriter::toJson(outcomes[i].run);
+            row += statusFields(outcomes[i]);
         }
         row += '}';
         rows.push_back(std::move(row));
@@ -73,7 +109,7 @@ rowsDocument(const Artifact &artifact, const SweepEngine &engine,
     doc += "\",\"scale\":";
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.17g",
-                  ExperimentRunner::benchScaleFromEnv());
+                  engine.options().benchScale());
     doc += buf;
     doc += ",\"workers\":";
     doc += std::to_string(engine.workers());
@@ -93,7 +129,7 @@ std::string
 manifestRun(const Artifact &artifact,
             const std::vector<SweepJob> &jobs,
             const std::vector<SweepOutcome> &outcomes,
-            double wallSeconds)
+            double wallSeconds, const SweepMetrics &metrics)
 {
     std::string entry = "{\"artifact\":\"";
     entry += JsonWriter::escape(artifact.name());
@@ -103,6 +139,18 @@ manifestRun(const Artifact &artifact,
     std::snprintf(buf, sizeof(buf), "%.6f", wallSeconds);
     entry += ",\"wall_seconds\":";
     entry += buf;
+    // Fault counters appear only when something went wrong, so a clean
+    // run's manifest keeps its historical byte layout.
+    if (metrics.faultedJobs() || metrics.retriedJobs) {
+        entry += ",\"failed_jobs\":";
+        entry += std::to_string(metrics.failedJobs);
+        entry += ",\"timed_out_jobs\":";
+        entry += std::to_string(metrics.timedOutJobs);
+        entry += ",\"skipped_jobs\":";
+        entry += std::to_string(metrics.skippedJobs);
+        entry += ",\"retried_jobs\":";
+        entry += std::to_string(metrics.retriedJobs);
+    }
     entry += ",\"runs\":[";
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (i)
@@ -115,8 +163,14 @@ manifestRun(const Artifact &artifact,
         entry += jobs[i].scored ? "true" : "false";
         entry += ",\"config\":";
         entry += toJson(jobs[i].config);
-        entry += ",\"stats\":";
-        entry += runStatSet(jobs[i], outcomes[i]).renderJson();
+        entry += statusFields(outcomes[i]);
+        // A faulted run has no simulation results; its statistics
+        // section would be all zeros (and derived rates NaN), so the
+        // status/error object above replaces it.
+        if (outcomes[i].ok()) {
+            entry += ",\"stats\":";
+            entry += runStatSet(jobs[i], outcomes[i]).renderJson();
+        }
         entry += '}';
     }
     entry += "]}";
@@ -178,38 +232,57 @@ ArtifactRegistrar::ArtifactRegistrar(int order,
     ArtifactRegistry::instance().add(order, std::move(factory));
 }
 
-int
-runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
-            ArtifactRunRecord *record)
+Expected<ArtifactRunRecord>
+runArtifact(Artifact &artifact, const ArtifactRunOptions &options)
 {
     const auto wallStart = Clock::now();
+    const std::string name = artifact.name();
     const std::string title = artifact.title();
     if (!options.rowsToStdout && !title.empty())
-        printBanner(title);
+        printBanner(title, options.runtime);
 
-    SweepEngine engine;
-    {
+    SweepEngine engine(options.runtime);
+    try {
         AXM_PROF("artifact.enqueue");
         artifact.enqueue(engine);
+    } catch (const AxException &e) {
+        return e.error();
+    } catch (const std::exception &e) {
+        return Error{ErrorCode::Internal, "artifact",
+                     name + ": enqueue threw: " + e.what()};
     }
     const std::vector<SweepJob> jobs = engine.pending();
+    if ((options.journal || options.resume) && !jobs.empty())
+        engine.setJournal(SweepJournal::pathFor(name, options.outDir),
+                          options.resume);
     std::vector<SweepOutcome> outcomes;
     {
         AXM_PROF("artifact.execute");
         outcomes = engine.execute();
     }
+    // A fully successful sweep needs no checkpoint; anything faulted
+    // or interrupted keeps it so `--resume` can pick up the rest.
+    engine.closeJournal(engine.metrics().faultedJobs() == 0 &&
+                        !interruptRequested());
     ArtifactResult result;
-    {
+    try {
         AXM_PROF("artifact.reduce");
         result = artifact.reduce(outcomes);
+    } catch (const AxException &e) {
+        return e.error();
+    } catch (const std::exception &e) {
+        return Error{ErrorCode::Internal, "artifact",
+                     name + ": reduce threw: " + e.what()};
     }
     AXM_PROF("artifact.emit");
 
     if (result.jsonRows.empty() && !jobs.empty())
         result.jsonRows = defaultRows(jobs, outcomes);
     const double wallSeconds =
-        std::chrono::duration<double>(Clock::now() - wallStart)
-            .count();
+        options.runtime.reportTiming
+            ? std::chrono::duration<double>(Clock::now() - wallStart)
+                  .count()
+            : 0.0;
 
     if (options.rowsToStdout) {
         const std::string doc =
@@ -222,7 +295,6 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
     }
     std::fflush(stdout);
 
-    const std::string name = artifact.name();
     if (options.writeSweepReport && !jobs.empty()) {
         engine.writeReport(name, options.outDir);
         std::fprintf(stderr, "[%s] %s\n", name.c_str(),
@@ -232,37 +304,42 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
     if (options.writeRows) {
         const std::string path = joinPath(
             resolveOutputDir(options.outDir), name + ".json");
-        std::ofstream out(path);
-        if (!out) {
-            axm_warn("cannot write result rows to ", path);
-        } else {
-            out << rowsDocument(artifact, engine, result.jsonRows)
-                << '\n';
-        }
+        const Expected<void> wrote = atomicWriteFile(
+            path,
+            rowsDocument(artifact, engine, result.jsonRows) + '\n');
+        if (!wrote.ok())
+            axm_warn("cannot write result rows: ",
+                     wrote.error().describe());
     }
 
     if (options.writeStats && !jobs.empty()) {
+        std::string sections;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            sections += runStatsSection(
+                name + "/run" + std::to_string(i), jobs[i],
+                outcomes[i]);
+            sections += '\n';
+        }
         const std::string path = joinPath(
             resolveOutputDir(options.outDir), name + "_stats.txt");
-        std::ofstream out(path);
-        if (!out) {
-            axm_warn("cannot write run statistics to ", path);
-        } else {
-            for (std::size_t i = 0; i < jobs.size(); ++i) {
-                out << runStatsSection(name + "/run" +
-                                           std::to_string(i),
-                                       jobs[i], outcomes[i]);
-                out << '\n';
-            }
-        }
+        const Expected<void> wrote = atomicWriteFile(path, sections);
+        if (!wrote.ok())
+            axm_warn("cannot write run statistics: ",
+                     wrote.error().describe());
     }
 
-    if (record) {
-        record->wallSeconds = wallSeconds;
-        record->manifestRun =
-            manifestRun(artifact, jobs, outcomes, wallSeconds);
-    }
-    return 0;
+    const SweepMetrics &metrics = engine.metrics();
+    ArtifactRunRecord record;
+    record.wallSeconds = wallSeconds;
+    record.jobs = jobs.size();
+    record.failedJobs = metrics.failedJobs;
+    record.timedOutJobs = metrics.timedOutJobs;
+    record.skippedJobs = metrics.skippedJobs;
+    record.restoredJobs = metrics.restoredJobs;
+    record.retriedJobs = metrics.retriedJobs;
+    record.manifestRun =
+        manifestRun(artifact, jobs, outcomes, wallSeconds, metrics);
+    return record;
 }
 
 int
@@ -270,13 +347,26 @@ artifactStandaloneMain(const std::string &name)
 {
     setQuiet(true);
     trace::initFromEnv();
+    // stdout stays byte-identical to the pre-registry harness; the
+    // notice goes to stderr only.
+    std::fprintf(stderr,
+                 "note: the standalone '%s' binary is deprecated; "
+                 "use `axmemo run %s`\n",
+                 name.c_str(), name.c_str());
     const std::unique_ptr<Artifact> artifact =
         ArtifactRegistry::instance().make(name);
     if (!artifact) {
         std::fprintf(stderr, "unknown artifact '%s'\n", name.c_str());
         return 1;
     }
-    return runArtifact(*artifact, ArtifactRunOptions{});
+    const Expected<ArtifactRunRecord> record =
+        runArtifact(*artifact, ArtifactRunOptions{});
+    if (!record.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     record.error().describe().c_str());
+        return 1;
+    }
+    return record.value().faultedJobs() ? 1 : 0;
 }
 
 void

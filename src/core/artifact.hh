@@ -125,24 +125,54 @@ struct ArtifactRunOptions
     /** Write <name>_stats.txt: one gem5-like statistics section per
      * run, with distribution stats next to their scalar twins. */
     bool writeStats = false;
+    /** Engine sizing and fault policy (workers, retries, watchdog,
+     * timing); the driver passes its frozen copy. */
+    RuntimeOptions runtime = RuntimeOptions::global();
+    /** Checkpoint every completed job to <name>_sweep.ckpt; the file
+     * is deleted again after a fully successful run. */
+    bool journal = false;
+    /** Replay a matching checkpoint before simulating (implies
+     * journal). */
+    bool resume = false;
 };
 
 /** Driver-side record of one completed runArtifact. */
 struct ArtifactRunRecord
 {
     /** Manifest entry: artifact, wall seconds, every job's exact
-     * serialized config. */
+     * serialized config — plus per-run status when jobs faulted. */
     std::string manifestRun;
     double wallSeconds = 0.0;
+
+    // Job-status aggregation (mirrors SweepMetrics).
+    std::size_t jobs = 0;
+    std::size_t failedJobs = 0;
+    std::size_t timedOutJobs = 0;
+    std::size_t skippedJobs = 0;
+    std::size_t restoredJobs = 0;
+    std::size_t retriedJobs = 0;
+
+    std::size_t
+    faultedJobs() const
+    {
+        return failedJobs + timedOutJobs + skippedJobs;
+    }
 };
 
-/** Execute one artifact through the standard pipeline; 0 on success. */
-int runArtifact(Artifact &artifact, const ArtifactRunOptions &options,
-                ArtifactRunRecord *record = nullptr);
+/**
+ * Execute one artifact through the standard pipeline. Per-job faults
+ * are contained by the sweep engine and reported through the record's
+ * status counts (the driver turns faultedJobs() into a nonzero exit);
+ * the Error return covers artifact-level failures — enqueue/reduce
+ * threw, or an emitted file could not be written.
+ */
+Expected<ArtifactRunRecord>
+runArtifact(Artifact &artifact, const ArtifactRunOptions &options = {});
 
 /** Whole main() of a legacy standalone harness binary: quiet logging,
  * env-resolved output directory, stdout identical to the pre-registry
- * harness. @return process exit code. */
+ * harness (a one-line deprecation notice goes to stderr only).
+ * @return process exit code; nonzero when any job faulted. */
 int artifactStandaloneMain(const std::string &name);
 
 /** printf-append to a std::string (report-text building helper). */

@@ -25,6 +25,7 @@
 
 #include <string>
 
+#include "common/expected.hh"
 #include "core/experiment.hh"
 
 namespace axmemo {
@@ -43,16 +44,12 @@ std::string toJson(const CpuConfig &c);
 std::string toJson(const ExperimentConfig &config);
 
 /**
- * Parse a serialized ExperimentConfig. Fields absent from the JSON keep
- * their default values; unknown keys and malformed JSON are errors.
- *
- * @param json   serialized configuration (any JSON whitespace accepted)
- * @param config output; untouched fields keep defaults
- * @param error  optional; receives a description on failure
- * @return true on success
+ * Parse a serialized ExperimentConfig (any JSON whitespace accepted).
+ * Fields absent from the JSON keep their default values; unknown keys
+ * and malformed JSON are errors carrying ErrorCode::Parse — the caller
+ * decides whether that is fatal.
  */
-bool parseConfig(const std::string &json, ExperimentConfig &config,
-                 std::string *error = nullptr);
+Expected<ExperimentConfig> parseConfig(const std::string &json);
 
 /** Canonical equality: serializations compare equal. */
 bool configEquals(const ExperimentConfig &a, const ExperimentConfig &b);

@@ -7,6 +7,7 @@
 
 #include "common/error_metrics.hh"
 #include "common/log.hh"
+#include "common/runtime_options.hh"
 
 namespace axmemo {
 
@@ -68,7 +69,8 @@ ExperimentRunner::run(Workload &workload, Mode mode) const
 RunResult
 ExperimentRunner::runPrepared(const Workload &workload, Mode mode,
                               const Program &baselineProg,
-                              SimMemory &mem) const
+                              SimMemory &mem,
+                              const RunControl *control) const
 {
     RunResult result;
     result.mode = mode;
@@ -76,6 +78,8 @@ ExperimentRunner::runPrepared(const Workload &workload, Mode mode,
     SimConfig simConfig;
     simConfig.cpu = config_.cpu;
     simConfig.hierarchy = config_.hierarchy;
+    simConfig.control = control && control->active() ? control
+                                                     : nullptr;
 
     const EnergyModel energyModel(config_.energy);
 
@@ -181,27 +185,9 @@ ExperimentRunner::score(const Workload &workload, RunResult baseline,
 double
 ExperimentRunner::benchScaleFromEnv(double fallback)
 {
-    // AXMEMO_FULL must be exactly "1" ("10", "1x", ... are mistakes, not
-    // requests for full scale) and anything but "", "0", "1" is warned
-    // about instead of silently ignored.
-    if (const char *full = std::getenv("AXMEMO_FULL"); full && *full) {
-        if (std::strcmp(full, "1") == 0)
-            return 1.0;
-        if (std::strcmp(full, "0") != 0)
-            axm_warn("ignoring malformed AXMEMO_FULL='", full,
-                     "' (want 0 or 1)");
-    }
-    if (const char *scale = std::getenv("AXMEMO_SCALE");
-        scale && *scale) {
-        char *end = nullptr;
-        const double parsed = std::strtod(scale, &end);
-        if (end != scale && *end == '\0' && parsed > 0.0 &&
-            std::isfinite(parsed))
-            return parsed;
-        axm_warn("ignoring malformed AXMEMO_SCALE='", scale,
-                 "' (want a positive number); using ", fallback);
-    }
-    return fallback;
+    // One parser for every knob: RuntimeOptions keeps the defensive
+    // warnings the inline AXMEMO_FULL/AXMEMO_SCALE parsing had.
+    return RuntimeOptions::global().benchScale(fallback);
 }
 
 } // namespace axmemo

@@ -132,10 +132,12 @@ class ExperimentRunner
      * config's dataset params, and @p mem a private copy of the prepared
      * memory (it is mutated by the run). This is the sweep engine's
      * entry point — prepare/build happen once, runs share them.
+     * @p control, when non-null, is polled by the simulator so the
+     * watchdog/interrupt can abort a runaway run (common/run_control.hh).
      */
     RunResult runPrepared(const Workload &workload, Mode mode,
-                          const Program &baselineProg,
-                          SimMemory &mem) const;
+                          const Program &baselineProg, SimMemory &mem,
+                          const RunControl *control = nullptr) const;
 
     /** Execute baseline + @p mode and score the pair. */
     Comparison compare(Workload &workload, Mode mode) const;

@@ -1,9 +1,15 @@
 #include "core/output_paths.hh"
 
-#include <cstdlib>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "common/log.hh"
+#include "common/runtime_options.hh"
 
 namespace axmemo {
 
@@ -11,11 +17,8 @@ std::string
 resolveOutputDir(const std::string &override)
 {
     std::string dir = override;
-    if (dir.empty()) {
-        if (const char *env = std::getenv("AXMEMO_SWEEP_DIR");
-            env && *env)
-            dir = env;
-    }
+    if (dir.empty())
+        dir = RuntimeOptions::global().outDir;
     if (dir.empty())
         return ".";
 
@@ -40,6 +43,62 @@ joinPath(const std::string &dir, const std::string &file)
     if (dir.back() == '/')
         return dir + file;
     return dir + "/" + file;
+}
+
+Expected<void>
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    // The temp file must live in the destination's directory: rename()
+    // is only atomic within one filesystem.
+    const std::string tmp = path + ".tmp." + std::to_string(getpid());
+
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return Error{ErrorCode::Io, "output",
+                     "cannot open '" + tmp +
+                         "': " + std::strerror(errno)};
+
+    const auto fail = [&](const std::string &what) -> Expected<void> {
+        const int err = errno;
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return Error{ErrorCode::Io, "output",
+                     what + " '" + tmp + "': " + std::strerror(err)};
+    };
+
+    std::size_t written = 0;
+    while (written < content.size()) {
+        const ssize_t n = ::write(fd, content.data() + written,
+                                  content.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return fail("cannot write");
+        }
+        written += static_cast<std::size_t>(n);
+    }
+
+    // fsync before rename: otherwise a crash can leave the new name
+    // pointing at not-yet-durable content.
+    if (::fsync(fd) != 0)
+        return fail("cannot fsync");
+    if (::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        return Error{ErrorCode::Io, "output",
+                     "cannot close '" + tmp +
+                         "': " + std::strerror(errno)};
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        return Error{ErrorCode::Io, "output",
+                     "cannot rename '" + tmp + "' to '" + path +
+                         "': " + std::strerror(err)};
+    }
+    return {};
 }
 
 } // namespace axmemo

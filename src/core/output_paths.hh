@@ -2,16 +2,23 @@
  * @file
  * One resolution rule for where machine-readable outputs go, shared by
  * SweepEngine::writeReport and the axmemo driver: an explicit override
- * (--out) wins, then $AXMEMO_SWEEP_DIR, then the current directory.
- * The directory is created if missing and trailing slashes are
- * normalized, replacing the blind string concatenation each writer used
- * to do on its own.
+ * (--out) wins, then RuntimeOptions' output directory (the driver's
+ * --out / $AXMEMO_SWEEP_DIR), then the current directory. The directory
+ * is created if missing and trailing slashes are normalized, replacing
+ * the blind string concatenation each writer used to do on its own.
+ *
+ * Report/manifest/stats writers go through atomicWriteFile(): content
+ * is written to a temp file in the target directory, fsync'd, and
+ * renamed over the destination, so a reader (or a crash) never sees a
+ * torn report — the file is either the old version or the new one.
  */
 
 #ifndef AXMEMO_CORE_OUTPUT_PATHS_HH
 #define AXMEMO_CORE_OUTPUT_PATHS_HH
 
 #include <string>
+
+#include "common/expected.hh"
 
 namespace axmemo {
 
@@ -25,6 +32,14 @@ std::string resolveOutputDir(const std::string &override = {});
 
 /** Join @p dir and @p file with exactly one separator. */
 std::string joinPath(const std::string &dir, const std::string &file);
+
+/**
+ * Atomically replace @p path with @p content: write to a sibling temp
+ * file, fsync, rename. On failure (ErrorCode::Io) the destination is
+ * untouched and the temp file is cleaned up.
+ */
+Expected<void> atomicWriteFile(const std::string &path,
+                               const std::string &content);
 
 } // namespace axmemo
 

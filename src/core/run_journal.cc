@@ -1,0 +1,585 @@
+#include "core/run_journal.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/config_io.hh"
+#include "core/json_value.hh"
+#include "core/output_paths.hh"
+
+namespace axmemo {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Encoding. Compact JSON, doubles in %.17g (the same round-trip-exact
+// form the canonical config serializer uses), repeated fixed-shape
+// records as arrays to keep lines short.
+// ---------------------------------------------------------------------
+
+std::string
+fd(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+template <typename Buckets>
+void
+appendSparseBuckets(std::string &out, const Buckets &buckets,
+                    std::size_t n)
+{
+    out += '[';
+    bool first = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!buckets[i])
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '[' + std::to_string(i) + ',' +
+               std::to_string(buckets[i]) + ']';
+    }
+    out += ']';
+}
+
+void
+appendHistogram(std::string &out, const Histogram &h)
+{
+    out += '[' + std::to_string(h.count()) + ',' +
+           std::to_string(h.sum()) + ',' +
+           std::to_string(h.sampleMin()) + ',' +
+           std::to_string(h.sampleMax()) + ',';
+    appendSparseBuckets(out, h.buckets(), Histogram::numBuckets);
+    out += ']';
+}
+
+void
+appendDistribution(std::string &out, const Distribution &d)
+{
+    out += '[' + std::to_string(d.lo()) + ',' + std::to_string(d.hi()) +
+           ',' + std::to_string(d.bucketSize()) + ',' +
+           std::to_string(d.buckets().size()) + ',' +
+           std::to_string(d.count()) + ',' + std::to_string(d.sum()) +
+           ',' + fd(d.sumSq()) + ',' + std::to_string(d.sampleMin()) +
+           ',' + std::to_string(d.sampleMax()) + ',' +
+           std::to_string(d.underflow()) + ',' +
+           std::to_string(d.overflow()) + ',';
+    appendSparseBuckets(out, d.buckets(), d.buckets().size());
+    out += ']';
+}
+
+void
+appendSimStats(std::string &out, const SimStats &s)
+{
+    out += "{\"cycles\":" + std::to_string(s.cycles) +
+           ",\"macro\":" + std::to_string(s.macroInsts) +
+           ",\"uops\":" + std::to_string(s.uops) +
+           ",\"memoUops\":" + std::to_string(s.memoUops) +
+           ",\"branches\":" + std::to_string(s.branches) +
+           ",\"mispredicts\":" + std::to_string(s.mispredicts) +
+           ",\"loads\":" + std::to_string(s.loads) +
+           ",\"stores\":" + std::to_string(s.stores) +
+           ",\"stalls\":" + std::to_string(s.memoQueueStalls) +
+           ",\"regionEntries\":" + std::to_string(s.regionEntries);
+    out += ",\"memo\":[" + std::to_string(s.memo.lookups) + ',' +
+           std::to_string(s.memo.l1Hits) + ',' +
+           std::to_string(s.memo.l2Hits) + ',' +
+           std::to_string(s.memo.misses) + ',' +
+           std::to_string(s.memo.sampledHits) + ',' +
+           std::to_string(s.memo.profiledHits) + ',' +
+           std::to_string(s.memo.adaptiveRaises) + ',' +
+           std::to_string(s.memo.adaptiveLowers) + ',' +
+           std::to_string(s.memo.updates) + ',' +
+           std::to_string(s.memo.invalidates) + ',' +
+           std::to_string(s.memo.inputBytesHashed) + ',' +
+           (s.memo.monitorTripped ? "1]" : "0]");
+    out += ",\"hitStreak\":";
+    appendHistogram(out, s.dists.memoHitStreak);
+    out += ",\"lookupLatency\":";
+    appendDistribution(out, s.dists.memoLookupLatency);
+    out += ",\"regionInvocations\":";
+    appendHistogram(out, s.dists.regionInvocations);
+    out += ",\"l2SetOccupancy\":";
+    appendDistribution(out, s.dists.l2SetOccupancy);
+    out += ",\"events\":{";
+    bool first = true;
+    for (const auto &[name, value] : s.events.all()) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendEscaped(out, name);
+        out += ':' + std::to_string(value);
+    }
+    out += "}}";
+}
+
+void
+appendRunResult(std::string &out, const RunResult &r)
+{
+    out += "{\"mode\":" +
+           std::to_string(static_cast<unsigned>(r.mode)) +
+           ",\"lookups\":" + std::to_string(r.lookups) +
+           ",\"hits\":" + std::to_string(r.hits) + ",\"stats\":";
+    appendSimStats(out, r.stats);
+    out += ",\"energy\":[" + fd(r.energy.corePj) + ',' +
+           fd(r.energy.cachePj) + ',' + fd(r.energy.dramPj) + ',' +
+           fd(r.energy.memoPj) + ',' + fd(r.energy.leakagePj) + ']';
+    out += ",\"outputs\":[";
+    for (std::size_t i = 0; i < r.outputs.size(); ++i) {
+        if (i)
+            out += ',';
+        out += fd(r.outputs[i]);
+    }
+    out += "],\"regions\":[";
+    for (std::size_t i = 0; i < r.regions.size(); ++i) {
+        const RegionTransformInfo &g = r.regions[i];
+        if (i)
+            out += ',';
+        out += '[' + std::to_string(g.regionId) + ',' +
+               std::to_string(static_cast<unsigned>(g.lut)) + ',' +
+               std::to_string(g.numInputs) + ',' +
+               std::to_string(g.inputBytes) + ',' +
+               std::to_string(g.numOutputs) + ',' +
+               std::to_string(g.outputBytes) + ',' +
+               std::to_string(g.fusedLoads) + ']';
+    }
+    out += "]}";
+}
+
+void
+appendComparison(std::string &out, const Comparison &c)
+{
+    out += "{\"baseline\":";
+    appendRunResult(out, c.baseline);
+    out += ",\"subject\":";
+    appendRunResult(out, c.subject);
+    out += ",\"speedup\":" + fd(c.speedup) +
+           ",\"energyReduction\":" + fd(c.energyReduction) +
+           ",\"qualityLoss\":" + fd(c.qualityLoss) + ",\"cdf\":[";
+    const std::vector<double> &samples = c.errorCdf.samples();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i)
+            out += ',';
+        out += fd(samples[i]);
+    }
+    out += "],\"normalizedUops\":" + fd(c.normalizedUops) +
+           ",\"memoUopShare\":" + fd(c.memoUopShare) + '}';
+}
+
+// ---------------------------------------------------------------------
+// Decoding. Helpers raise AxException(Parse); decodeLine() catches at
+// its boundary, so one malformed field skips the whole line.
+// ---------------------------------------------------------------------
+
+const JValue &
+member(const JValue &v, const char *key)
+{
+    const JValue *m = v.find(key);
+    if (!m)
+        raiseError(ErrorCode::Parse, "journal",
+                   std::string("missing field '") + key + "'");
+    return *m;
+}
+
+std::uint64_t
+asU64(const JValue &v, const char *key)
+{
+    Expected<std::uint64_t> r = jsonU64(v, key);
+    if (!r.ok())
+        throw AxException(r.error());
+    return r.value();
+}
+
+double
+asDouble(const JValue &v, const char *key)
+{
+    Expected<double> r = jsonNumber(v, key);
+    if (!r.ok())
+        throw AxException(r.error());
+    return r.value();
+}
+
+std::int64_t
+asI64(const JValue &v, const char *key)
+{
+    if (v.kind != JValue::Kind::Number ||
+        v.token.find_first_of(".eE") != std::string::npos)
+        raiseError(ErrorCode::Parse, "journal",
+                   std::string("field '") + key +
+                       "' must be an integer");
+    return std::strtoll(v.token.c_str(), nullptr, 10);
+}
+
+const JValue &
+element(const JValue &v, std::size_t i, const char *key)
+{
+    if (v.kind != JValue::Kind::Array || i >= v.elements.size())
+        raiseError(ErrorCode::Parse, "journal",
+                   std::string("array '") + key + "' too short");
+    return v.elements[i];
+}
+
+std::vector<std::uint64_t>
+decodeSparseBuckets(const JValue &v, std::size_t n, const char *key)
+{
+    std::vector<std::uint64_t> buckets(n, 0);
+    if (v.kind != JValue::Kind::Array)
+        raiseError(ErrorCode::Parse, "journal",
+                   std::string("field '") + key + "' must be an array");
+    for (const JValue &pair : v.elements) {
+        const std::uint64_t index = asU64(element(pair, 0, key), key);
+        const std::uint64_t count = asU64(element(pair, 1, key), key);
+        if (index >= n)
+            raiseError(ErrorCode::Parse, "journal",
+                       std::string("bucket index out of range in '") +
+                           key + "'");
+        buckets[index] = count;
+    }
+    return buckets;
+}
+
+void
+decodeHistogram(const JValue &v, Histogram &h, const char *key)
+{
+    h.restore(asU64(element(v, 0, key), key),
+              asU64(element(v, 1, key), key),
+              asU64(element(v, 2, key), key),
+              asU64(element(v, 3, key), key),
+              decodeSparseBuckets(element(v, 4, key),
+                                  Histogram::numBuckets, key));
+}
+
+void
+decodeDistribution(const JValue &v, Distribution &d, const char *key)
+{
+    const std::uint64_t numBuckets = asU64(element(v, 3, key), key);
+    if (numBuckets > (1u << 24))
+        raiseError(ErrorCode::Parse, "journal",
+                   std::string("implausible bucket count in '") + key +
+                       "'");
+    d.restore(asU64(element(v, 0, key), key),
+              asU64(element(v, 1, key), key),
+              asU64(element(v, 2, key), key),
+              asU64(element(v, 4, key), key),
+              asU64(element(v, 5, key), key),
+              asDouble(element(v, 6, key), key),
+              asU64(element(v, 7, key), key),
+              asU64(element(v, 8, key), key),
+              asU64(element(v, 9, key), key),
+              asU64(element(v, 10, key), key),
+              decodeSparseBuckets(element(v, 11, key),
+                                  static_cast<std::size_t>(numBuckets),
+                                  key));
+}
+
+void
+decodeSimStats(const JValue &v, SimStats &s)
+{
+    s.cycles = asU64(member(v, "cycles"), "cycles");
+    s.macroInsts = asU64(member(v, "macro"), "macro");
+    s.uops = asU64(member(v, "uops"), "uops");
+    s.memoUops = asU64(member(v, "memoUops"), "memoUops");
+    s.branches = asU64(member(v, "branches"), "branches");
+    s.mispredicts = asU64(member(v, "mispredicts"), "mispredicts");
+    s.loads = asU64(member(v, "loads"), "loads");
+    s.stores = asU64(member(v, "stores"), "stores");
+    s.memoQueueStalls = asU64(member(v, "stalls"), "stalls");
+    s.regionEntries =
+        asU64(member(v, "regionEntries"), "regionEntries");
+
+    const JValue &m = member(v, "memo");
+    s.memo.lookups = asU64(element(m, 0, "memo"), "memo");
+    s.memo.l1Hits = asU64(element(m, 1, "memo"), "memo");
+    s.memo.l2Hits = asU64(element(m, 2, "memo"), "memo");
+    s.memo.misses = asU64(element(m, 3, "memo"), "memo");
+    s.memo.sampledHits = asU64(element(m, 4, "memo"), "memo");
+    s.memo.profiledHits = asU64(element(m, 5, "memo"), "memo");
+    s.memo.adaptiveRaises = asU64(element(m, 6, "memo"), "memo");
+    s.memo.adaptiveLowers = asU64(element(m, 7, "memo"), "memo");
+    s.memo.updates = asU64(element(m, 8, "memo"), "memo");
+    s.memo.invalidates = asU64(element(m, 9, "memo"), "memo");
+    s.memo.inputBytesHashed = asU64(element(m, 10, "memo"), "memo");
+    s.memo.monitorTripped = asU64(element(m, 11, "memo"), "memo") != 0;
+
+    decodeHistogram(member(v, "hitStreak"), s.dists.memoHitStreak,
+                    "hitStreak");
+    decodeDistribution(member(v, "lookupLatency"),
+                       s.dists.memoLookupLatency, "lookupLatency");
+    decodeHistogram(member(v, "regionInvocations"),
+                    s.dists.regionInvocations, "regionInvocations");
+    decodeDistribution(member(v, "l2SetOccupancy"),
+                       s.dists.l2SetOccupancy, "l2SetOccupancy");
+
+    s.events = CounterSet{};
+    const JValue &events = member(v, "events");
+    if (events.kind != JValue::Kind::Object)
+        raiseError(ErrorCode::Parse, "journal",
+                   "field 'events' must be an object");
+    for (const auto &[name, value] : events.members)
+        s.events.add(name, asU64(value, "events"));
+}
+
+void
+decodeRunResult(const JValue &v, RunResult &r)
+{
+    const std::uint64_t mode = asU64(member(v, "mode"), "mode");
+    if (mode > static_cast<std::uint64_t>(Mode::Atm))
+        raiseError(ErrorCode::Parse, "journal", "unknown mode");
+    r.mode = static_cast<Mode>(mode);
+    r.lookups = asU64(member(v, "lookups"), "lookups");
+    r.hits = asU64(member(v, "hits"), "hits");
+    decodeSimStats(member(v, "stats"), r.stats);
+
+    const JValue &e = member(v, "energy");
+    r.energy.corePj = asDouble(element(e, 0, "energy"), "energy");
+    r.energy.cachePj = asDouble(element(e, 1, "energy"), "energy");
+    r.energy.dramPj = asDouble(element(e, 2, "energy"), "energy");
+    r.energy.memoPj = asDouble(element(e, 3, "energy"), "energy");
+    r.energy.leakagePj = asDouble(element(e, 4, "energy"), "energy");
+
+    const JValue &outputs = member(v, "outputs");
+    if (outputs.kind != JValue::Kind::Array)
+        raiseError(ErrorCode::Parse, "journal",
+                   "field 'outputs' must be an array");
+    r.outputs.clear();
+    r.outputs.reserve(outputs.elements.size());
+    for (const JValue &o : outputs.elements)
+        r.outputs.push_back(asDouble(o, "outputs"));
+
+    const JValue &regions = member(v, "regions");
+    if (regions.kind != JValue::Kind::Array)
+        raiseError(ErrorCode::Parse, "journal",
+                   "field 'regions' must be an array");
+    r.regions.clear();
+    r.regions.reserve(regions.elements.size());
+    for (const JValue &g : regions.elements) {
+        RegionTransformInfo info;
+        info.regionId = static_cast<int>(
+            asI64(element(g, 0, "regions"), "regions"));
+        info.lut = static_cast<LutId>(
+            asU64(element(g, 1, "regions"), "regions"));
+        info.numInputs = static_cast<unsigned>(
+            asU64(element(g, 2, "regions"), "regions"));
+        info.inputBytes = static_cast<unsigned>(
+            asU64(element(g, 3, "regions"), "regions"));
+        info.numOutputs = static_cast<unsigned>(
+            asU64(element(g, 4, "regions"), "regions"));
+        info.outputBytes = static_cast<unsigned>(
+            asU64(element(g, 5, "regions"), "regions"));
+        info.fusedLoads = static_cast<unsigned>(
+            asU64(element(g, 6, "regions"), "regions"));
+        r.regions.push_back(info);
+    }
+}
+
+void
+decodeComparison(const JValue &v, Comparison &c)
+{
+    decodeRunResult(member(v, "baseline"), c.baseline);
+    decodeRunResult(member(v, "subject"), c.subject);
+    c.speedup = asDouble(member(v, "speedup"), "speedup");
+    c.energyReduction =
+        asDouble(member(v, "energyReduction"), "energyReduction");
+    c.qualityLoss = asDouble(member(v, "qualityLoss"), "qualityLoss");
+    const JValue &cdf = member(v, "cdf");
+    if (cdf.kind != JValue::Kind::Array)
+        raiseError(ErrorCode::Parse, "journal",
+                   "field 'cdf' must be an array");
+    c.errorCdf = EmpiricalCdf{};
+    for (const JValue &sample : cdf.elements)
+        c.errorCdf.add(asDouble(sample, "cdf"));
+    c.normalizedUops =
+        asDouble(member(v, "normalizedUops"), "normalizedUops");
+    c.memoUopShare =
+        asDouble(member(v, "memoUopShare"), "memoUopShare");
+}
+
+} // namespace
+
+SweepJournal::~SweepJournal()
+{
+    close();
+}
+
+std::string
+SweepJournal::pathFor(const std::string &label,
+                      const std::string &outDir)
+{
+    return joinPath(resolveOutputDir(outDir), label + "_sweep.ckpt");
+}
+
+std::string
+SweepJournal::jobKey(const SweepJob &job)
+{
+    std::string key = job.workload;
+    key += '|';
+    key += modeName(job.mode);
+    key += job.scored ? "|1|" : "|0|";
+    key += toJson(job.config);
+    return key;
+}
+
+std::string
+SweepJournal::encodeLine(const std::string &key,
+                         const SweepOutcome &outcome)
+{
+    std::string out = "{\"key\":";
+    appendEscaped(out, key);
+    out += ",\"seconds\":" + fd(outcome.seconds);
+    out += outcome.scored ? ",\"scored\":true" : ",\"scored\":false";
+    out += ",\"run\":";
+    appendRunResult(out, outcome.run);
+    if (outcome.scored) {
+        out += ",\"cmp\":";
+        appendComparison(out, outcome.cmp);
+    }
+    out += '}';
+    return out;
+}
+
+Expected<std::pair<std::string, SweepOutcome>>
+SweepJournal::decodeLine(const std::string &line)
+{
+    Expected<JValue> parsed = parseJsonValue(line);
+    if (!parsed.ok())
+        return parsed.error();
+    const JValue &root = parsed.value();
+    try {
+        std::pair<std::string, SweepOutcome> record;
+        Expected<std::string> key =
+            jsonString(member(root, "key"), "key");
+        if (!key.ok())
+            return key.error();
+        record.first = key.value();
+        SweepOutcome &outcome = record.second;
+        outcome.seconds = asDouble(member(root, "seconds"), "seconds");
+        Expected<bool> scored =
+            jsonBool(member(root, "scored"), "scored");
+        if (!scored.ok())
+            return scored.error();
+        outcome.scored = scored.value();
+        decodeRunResult(member(root, "run"), outcome.run);
+        if (outcome.scored)
+            decodeComparison(member(root, "cmp"), outcome.cmp);
+        outcome.restored = true;
+        return record;
+    } catch (const AxException &e) {
+        return e.error();
+    }
+}
+
+std::unordered_map<std::string, SweepOutcome>
+SweepJournal::load(const std::string &path, std::size_t *skipped)
+{
+    std::unordered_map<std::string, SweepOutcome> records;
+    if (skipped)
+        *skipped = 0;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return records;
+    std::string line;
+    char buf[1 << 16];
+    const auto consume = [&]() {
+        if (line.empty())
+            return;
+        // The version header ({"axmemo_sweep_journal":...}) has no
+        // "key" member and fails decode like any garbled line; it is
+        // not counted as skipped.
+        Expected<std::pair<std::string, SweepOutcome>> record =
+            decodeLine(line);
+        if (record.ok()) {
+            records[record.value().first] =
+                std::move(record.value().second);
+        } else if (skipped &&
+                   line.find("\"axmemo_sweep_journal\"") ==
+                       std::string::npos) {
+            ++*skipped;
+        }
+        line.clear();
+    };
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            if (buf[i] == '\n')
+                consume();
+            else
+                line += buf[i];
+        }
+    }
+    // No trailing newline = the final line was torn mid-write; still
+    // try it (it may just lack the newline) and drop it if garbled.
+    consume();
+    std::fclose(file);
+    return records;
+}
+
+Expected<void>
+SweepJournal::open(const std::string &path, bool fresh)
+{
+    close();
+    std::FILE *file = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+    if (!file)
+        return Error{ErrorCode::Io, "journal",
+                     "cannot open '" + path + "' for writing"};
+    file_ = file;
+    path_ = path;
+    if (fresh) {
+        std::fputs("{\"axmemo_sweep_journal\":1}\n", file_);
+        std::fflush(file_);
+    }
+    return {};
+}
+
+void
+SweepJournal::append(const std::string &key,
+                     const SweepOutcome &outcome)
+{
+    if (!file_)
+        return;
+    const std::string line = encodeLine(key, outcome);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    // Per-record flush: after this returns, losing the process costs
+    // only in-flight jobs, not completed ones.
+    std::fflush(file_);
+}
+
+void
+SweepJournal::close()
+{
+    if (file_) {
+        std::fflush(file_);
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+} // namespace axmemo

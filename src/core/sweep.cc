@@ -1,13 +1,18 @@
 #include "core/sweep.hh"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
+#include "common/interrupt.hh"
 #include "common/log.hh"
+#include "common/run_control.hh"
 #include "core/config_io.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
+#include "core/run_journal.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 
@@ -57,10 +62,123 @@ baselineKey(const std::string &workload, const ExperimentConfig &cfg)
     return key;
 }
 
+/** Outcome status for a fault propagated from a dependency. */
+JobStatus
+statusForError(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Timeout: return JobStatus::TimedOut;
+      case ErrorCode::Cancelled: return JobStatus::Skipped;
+      default: return JobStatus::Failed;
+    }
+}
+
+/** The watchdog/interrupt context of one simulation attempt. */
+RunControl
+makeControl(const RuntimeOptions &options)
+{
+    RunControl control;
+    if (options.jobTimeoutSeconds > 0.0) {
+        control.hasDeadline = true;
+        control.deadline =
+            Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(
+                    options.jobTimeoutSeconds));
+    }
+    control.cancelled = &interruptRequested;
+    return control;
+}
+
+struct Attempt
+{
+    JobStatus status = JobStatus::Ok;
+    Error fault{};
+    unsigned attempts = 0;
+};
+
+/**
+ * The worker boundary: run @p fn, containing any exception as a
+ * structured fault. Failed attempts are retried up to @p retries more
+ * times; Timeout and Cancelled are deterministic, so they never are.
+ */
+template <typename Fn>
+Attempt
+runWithRetry(Fn &&fn, unsigned retries)
+{
+    Attempt a;
+    for (;;) {
+        ++a.attempts;
+        try {
+            fn(a.attempts);
+            a.status = JobStatus::Ok;
+            a.fault = Error{};
+            return a;
+        } catch (const AxException &e) {
+            a.fault = e.error();
+            if (a.fault.code == ErrorCode::Timeout) {
+                a.status = JobStatus::TimedOut;
+                return a;
+            }
+            if (a.fault.code == ErrorCode::Cancelled) {
+                a.status = JobStatus::Skipped;
+                return a;
+            }
+            a.status = JobStatus::Failed;
+        } catch (const std::exception &e) {
+            a.fault =
+                Error{ErrorCode::Internal, "sweep", e.what()};
+            a.status = JobStatus::Failed;
+        }
+        if (a.attempts > retries)
+            return a;
+        AXM_TRACE(Sweep, "sweep", "retry (attempt ", a.attempts + 1,
+                  ") after: ", a.fault.describe());
+    }
+}
+
+/** The AXMEMO_FAULT_INJECT test hook; see RuntimeOptions. */
+void
+maybeInjectFault(const RuntimeOptions &options, const SweepJob &job,
+                 unsigned attempt)
+{
+    if (options.faultInject.empty() || job.mode == Mode::Baseline)
+        return;
+    const std::string target = options.faultWorkload();
+    if (target.empty() ||
+        job.workload.find(target) == std::string::npos)
+        return;
+    if (attempt <= options.faultAttempts())
+        raiseError(ErrorCode::Simulation, "fault-inject",
+                   "injected failure (attempt " +
+                       std::to_string(attempt) + " of workload " +
+                       job.workload + ")");
+}
+
 } // namespace
 
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::TimedOut: return "timed_out";
+      case JobStatus::Skipped: return "skipped";
+    }
+    return "unknown";
+}
+
 SweepEngine::SweepEngine(unsigned workers)
-    : workers_(workers == 0 ? 1 : workers),
+    : options_(RuntimeOptions::global()),
+      workers_(workers == 0 ? 1 : workers),
+      pool_(std::make_unique<ThreadPool>(workers_))
+{
+}
+
+SweepEngine::SweepEngine(const RuntimeOptions &options)
+    : options_(options),
+      workers_(options.workerCount() == 0 ? 1 : options.workerCount()),
       pool_(std::make_unique<ThreadPool>(workers_))
 {
 }
@@ -83,6 +201,48 @@ SweepEngine::enqueueCompare(const std::string &workload, Mode mode,
     return jobs_.size() - 1;
 }
 
+std::size_t
+SweepEngine::setJournal(const std::string &path, bool resume)
+{
+    journal_ = std::make_unique<SweepJournal>();
+    replay_.clear();
+    // Trace the basename only: trace output must not depend on where
+    // the output directory happens to live (tests diff trace streams
+    // of runs pointed at different directories).
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    std::size_t skipped = 0;
+    if (resume) {
+        replay_ = SweepJournal::load(path, &skipped);
+        if (skipped)
+            AXM_TRACE(Sweep, "sweep", "journal '", base, "': ", skipped,
+                      " undecodable line(s) ignored (torn write?)");
+    }
+    const Expected<void> opened = journal_->open(path, !resume);
+    if (!opened.ok()) {
+        axm_warn("sweep checkpointing disabled: ",
+                 opened.error().describe());
+        journal_.reset();
+    }
+    AXM_TRACE(Sweep, "sweep", "journal '", base, "': ", replay_.size(),
+              " outcome(s) loaded for replay");
+    return replay_.size();
+}
+
+void
+SweepEngine::closeJournal(bool removeFile)
+{
+    if (!journal_)
+        return;
+    const std::string path = journal_->path();
+    journal_->close();
+    journal_.reset();
+    replay_.clear();
+    if (removeFile)
+        std::remove(path.c_str());
+}
+
 std::vector<SweepOutcome>
 SweepEngine::execute()
 {
@@ -91,51 +251,125 @@ SweepEngine::execute()
     metrics_.workers = workers_;
     metrics_.jobs = jobs_.size();
 
+    std::vector<SweepOutcome> results(jobs_.size());
+    std::vector<char> handled(jobs_.size(), 0);
+
+    // ---- Phase R: replay journaled outcomes (resume). A replayed
+    // scored outcome carries its full baseline result, which also
+    // backfills the simulated-instruction accounting for baselines the
+    // replay makes unnecessary to re-simulate.
+    std::unordered_map<std::string, std::uint64_t> replayedBaseMacro;
+    if (!replay_.empty()) {
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            const auto it = replay_.find(SweepJournal::jobKey(jobs_[i]));
+            if (it == replay_.end())
+                continue;
+            results[i] = it->second;
+            results[i].scored = jobs_[i].scored;
+            if (!options_.reportTiming)
+                results[i].seconds = 0.0;
+            handled[i] = 1;
+            ++metrics_.restoredJobs;
+            const std::string bKey =
+                baselineKey(jobs_[i].workload, jobs_[i].config);
+            if (jobs_[i].mode == Mode::Baseline)
+                replayedBaseMacro[bKey] =
+                    results[i].run.stats.macroInsts;
+            else if (jobs_[i].scored)
+                replayedBaseMacro[bKey] =
+                    results[i].cmp.baseline.stats.macroInsts;
+            AXM_TRACE(Sweep, "sweep", "job ", i, " (",
+                      jobs_[i].workload, ") replayed from journal");
+        }
+        if (metrics_.restoredJobs)
+            AXM_TRACE(Sweep, "sweep", "resume: ", metrics_.restoredJobs,
+                      "/", jobs_.size(), " job(s) replayed");
+    }
+
     // ---- Phase A: prepared-program cache fill. Entries are inserted
     // serially so the map never rehashes under concurrency; the
     // expensive prepare()/build() work runs on the pool, each worker
-    // touching only its own entry.
+    // touching only its own entry. Entries are inserted for every job
+    // (including replayed ones, keeping the cache metrics identical to
+    // an uninterrupted run) but only prepared when a job that will
+    // actually simulate needs them.
     std::vector<PreparedEntry *> newPrepared;
+    std::vector<PreparedEntry *> toPrepare;
     std::vector<const SweepJob *> prepareSource;
-    for (const SweepJob &job : jobs_) {
-        const std::string key = prepareKey(job.workload,
-                                           job.config.dataset);
+    std::unordered_set<PreparedEntry *> prepareScheduled;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const SweepJob &job = jobs_[i];
+        const std::string key =
+            prepareKey(job.workload, job.config.dataset);
         auto [it, inserted] = prepared_.try_emplace(key, nullptr);
         if (inserted) {
             it->second = std::make_unique<PreparedEntry>();
             newPrepared.push_back(it->second.get());
+        }
+        PreparedEntry &entry = *it->second;
+        if (!handled[i] && !entry.workload && !entry.failed &&
+            prepareScheduled.insert(&entry).second) {
+            toPrepare.push_back(&entry);
             prepareSource.push_back(&job);
         }
     }
-    AXM_TRACE(Sweep, "sweep", "phase prepare: ", newPrepared.size(),
+    AXM_TRACE(Sweep, "sweep", "phase prepare: ", toPrepare.size(),
               " new program(s), ", jobs_.size(), " job(s) pending");
     {
         AXM_PROF("sweep.prepare");
         const std::function<void(std::size_t)> fn =
             [&](std::size_t i) {
                 AXM_PROF("sweep.prepare.job");
-                PreparedEntry &entry = *newPrepared[i];
+                PreparedEntry &entry = *toPrepare[i];
                 const SweepJob &job = *prepareSource[i];
+                if (interruptRequested()) {
+                    entry.failed = true;
+                    entry.fault = Error{ErrorCode::Cancelled, "sweep",
+                                        "interrupted before prepare"};
+                    return;
+                }
                 const auto start = Clock::now();
-                entry.workload = makeWorkload(job.workload);
-                entry.workload->prepare(entry.mem, job.config.dataset);
-                entry.program = entry.workload->build();
-                entry.seconds = secondsSince(start);
+                const Attempt a = runWithRetry(
+                    [&](unsigned) {
+                        entry.mem = SimMemory{}; // fresh on retry
+                        entry.workload = makeWorkload(job.workload);
+                        entry.workload->prepare(entry.mem,
+                                                job.config.dataset);
+                        entry.program = entry.workload->build();
+                    },
+                    options_.retries);
+                entry.attempts = a.attempts;
+                if (a.status != JobStatus::Ok) {
+                    entry.failed = true;
+                    entry.fault = a.fault;
+                    entry.workload.reset();
+                    AXM_TRACE(Sweep, "sweep", "prepare ", job.workload,
+                              " faulted: ", a.fault.describe());
+                    return;
+                }
+                entry.seconds = options_.reportTiming
+                                    ? secondsSince(start)
+                                    : 0.0;
                 // Host seconds stay out of the trace (byte-reproducible
                 // serial traces); timing lives in the phase profiler.
                 AXM_TRACE(Sweep, "sweep", "prepared ", job.workload);
             };
-        for (std::size_t i = 0; i < newPrepared.size(); ++i)
+        for (std::size_t i = 0; i < toPrepare.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });
         pool_->wait();
     }
     metrics_.preparedPrograms = newPrepared.size();
 
     // ---- Phase B: baseline result cache fill, one simulation per
-    // distinct (workload, dataset, cpu, hierarchy, energy) key.
+    // distinct (workload, dataset, cpu, hierarchy, energy) key that a
+    // to-be-simulated job still needs.
     std::vector<BaselineEntry *> newBaselines;
+    std::vector<std::string> newBaselineKeys;
+    std::vector<BaselineEntry *> toSimulate;
     std::vector<const SweepJob *> baselineSource;
-    for (const SweepJob &job : jobs_) {
+    std::unordered_set<BaselineEntry *> baselineScheduled;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        const SweepJob &job = jobs_[i];
         if (!job.scored && job.mode != Mode::Baseline)
             continue;
         ++metrics_.baselineRequests;
@@ -148,31 +382,66 @@ SweepEngine::execute()
                     .at(prepareKey(job.workload, job.config.dataset))
                     .get();
             newBaselines.push_back(it->second.get());
+            newBaselineKeys.push_back(key);
+        }
+        BaselineEntry &entry = *it->second;
+        if (!handled[i] && !entry.simulated && !entry.failed &&
+            baselineScheduled.insert(&entry).second) {
+            toSimulate.push_back(&entry);
             baselineSource.push_back(&job);
         }
     }
-    AXM_TRACE(Sweep, "sweep", "phase baseline: ", newBaselines.size(),
+    AXM_TRACE(Sweep, "sweep", "phase baseline: ", toSimulate.size(),
               " simulated, ",
-              metrics_.baselineRequests - newBaselines.size(),
-              " served from cache");
+              metrics_.baselineRequests - toSimulate.size(),
+              " served from cache or journal");
     {
         AXM_PROF("sweep.baseline");
         const std::function<void(std::size_t)> fn =
             [&](std::size_t i) {
                 AXM_PROF("sweep.baseline.job");
-                BaselineEntry &entry = *newBaselines[i];
+                BaselineEntry &entry = *toSimulate[i];
                 const SweepJob &job = *baselineSource[i];
+                if (entry.prepared->failed) {
+                    entry.failed = true;
+                    entry.fault = entry.prepared->fault;
+                    return;
+                }
+                if (interruptRequested()) {
+                    entry.failed = true;
+                    entry.fault = Error{ErrorCode::Cancelled, "sweep",
+                                        "interrupted before baseline"};
+                    return;
+                }
                 const auto start = Clock::now();
-                SimMemory mem = entry.prepared->mem.clone();
-                const ExperimentRunner runner(job.config);
-                entry.result = runner.runPrepared(
-                    *entry.prepared->workload, Mode::Baseline,
-                    entry.prepared->program, mem);
-                entry.seconds = secondsSince(start);
+                const Attempt a = runWithRetry(
+                    [&](unsigned) {
+                        SimMemory mem = entry.prepared->mem.clone();
+                        const ExperimentRunner runner(job.config);
+                        const RunControl control =
+                            makeControl(options_);
+                        entry.result = runner.runPrepared(
+                            *entry.prepared->workload, Mode::Baseline,
+                            entry.prepared->program, mem, &control);
+                    },
+                    options_.retries);
+                entry.attempts = a.attempts;
+                if (a.status != JobStatus::Ok) {
+                    entry.failed = true;
+                    entry.fault = a.fault;
+                    AXM_TRACE(Sweep, "sweep", "baseline ",
+                              job.workload,
+                              " faulted: ", a.fault.describe());
+                    return;
+                }
+                entry.simulated = true;
+                entry.seconds = options_.reportTiming
+                                    ? secondsSince(start)
+                                    : 0.0;
                 AXM_TRACE(Sweep, "sweep", "baseline ", job.workload,
                           " done");
             };
-        for (std::size_t i = 0; i < newBaselines.size(); ++i)
+        for (std::size_t i = 0; i < toSimulate.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });
         pool_->wait();
     }
@@ -180,57 +449,122 @@ SweepEngine::execute()
 
     // ---- Phase C: subject runs, results in submission order.
     AXM_TRACE(Sweep, "sweep", "phase subject: ", jobs_.size(), " job(s)");
-    std::vector<SweepOutcome> results(jobs_.size());
     {
         AXM_PROF("sweep.subject");
         const std::function<void(std::size_t)> fn = [&](std::size_t i) {
+            if (handled[i])
+                return; // replayed from the journal in phase R
             AXM_PROF("sweep.subject.job");
             const SweepJob &job = jobs_[i];
             SweepOutcome &out = results[i];
+            out.scored = job.scored;
             const PreparedEntry &prep = *prepared_.at(
                 prepareKey(job.workload, job.config.dataset));
+            if (prep.failed) {
+                out.status = statusForError(prep.fault.code);
+                out.fault = prep.fault;
+                AXM_TRACE(Sweep, "sweep", "job ", i, " (",
+                          job.workload, ") ", jobStatusName(out.status),
+                          ": dependency fault");
+                return;
+            }
             const BaselineEntry *base = nullptr;
-            if (job.scored || job.mode == Mode::Baseline)
+            if (job.scored || job.mode == Mode::Baseline) {
                 base = baselines_.at(baselineKey(job.workload,
                                                  job.config))
                            .get();
+                if (base->failed) {
+                    out.status = statusForError(base->fault.code);
+                    out.fault = base->fault;
+                    AXM_TRACE(Sweep, "sweep", "job ", i, " (",
+                              job.workload, ") ",
+                              jobStatusName(out.status),
+                              ": baseline fault");
+                    return;
+                }
+            }
+            if (interruptRequested()) {
+                out.status = JobStatus::Skipped;
+                out.fault = Error{ErrorCode::Cancelled, "sweep",
+                                  "interrupted before job start"};
+                return;
+            }
 
             const auto start = Clock::now();
-            if (job.mode == Mode::Baseline) {
-                out.run = base->result; // simulated once, shared
-            } else {
-                SimMemory mem = prep.mem.clone();
-                const ExperimentRunner runner(job.config);
-                out.run = runner.runPrepared(*prep.workload, job.mode,
-                                             prep.program, mem);
-                out.seconds = secondsSince(start);
-            }
-            if (job.scored)
+            const Attempt a = runWithRetry(
+                [&](unsigned attempt) {
+                    maybeInjectFault(options_, job, attempt);
+                    if (job.mode == Mode::Baseline) {
+                        out.run = base->result; // simulated once, shared
+                    } else {
+                        SimMemory mem = prep.mem.clone();
+                        const ExperimentRunner runner(job.config);
+                        const RunControl control =
+                            makeControl(options_);
+                        out.run = runner.runPrepared(
+                            *prep.workload, job.mode, prep.program,
+                            mem, &control);
+                    }
+                },
+                options_.retries);
+            out.attempts = a.attempts;
+            out.status = a.status;
+            out.fault = a.fault;
+            if (job.mode != Mode::Baseline && out.ok())
+                out.seconds = options_.reportTiming
+                                  ? secondsSince(start)
+                                  : 0.0;
+            if (out.ok() && job.scored)
                 out.cmp = ExperimentRunner::score(*prep.workload,
                                                   base->result, out.run);
+            if (out.ok() && journal_) {
+                const std::lock_guard<std::mutex> lock(journalMutex_);
+                journal_->append(SweepJournal::jobKey(job), out);
+            }
             AXM_TRACE(Sweep, "sweep", "job ", i, " (", job.workload,
-                      ") done");
+                      ") ", jobStatusName(out.status));
         };
         for (std::size_t i = 0; i < jobs_.size(); ++i)
             pool_->submit([&fn, i] { fn(i); });
         pool_->wait();
     }
 
-    // ---- Metrics: every simulation actually executed this sweep.
+    // ---- Metrics: every simulation this sweep accounts for. Replayed
+    // jobs contribute their journaled instruction counts so a resumed
+    // sweep reports the same simulated volume as an uninterrupted one.
     double serial = 0.0;
     std::uint64_t macroInsts = 0;
     for (const PreparedEntry *entry : newPrepared)
         serial += entry->seconds;
-    for (const BaselineEntry *entry : newBaselines) {
+    for (std::size_t i = 0; i < newBaselines.size(); ++i) {
+        const BaselineEntry *entry = newBaselines[i];
         serial += entry->seconds;
-        macroInsts += entry->result.stats.macroInsts;
+        if (entry->simulated) {
+            macroInsts += entry->result.stats.macroInsts;
+        } else {
+            // Never simulated: every consumer replayed. Charge the
+            // journaled baseline instead.
+            const auto it = replayedBaseMacro.find(newBaselineKeys[i]);
+            if (it != replayedBaseMacro.end())
+                macroInsts += it->second;
+        }
     }
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
-        serial += results[i].seconds;
+        const SweepOutcome &out = results[i];
+        serial += out.seconds;
         if (jobs_[i].mode != Mode::Baseline)
-            macroInsts += results[i].run.stats.macroInsts;
+            macroInsts += out.run.stats.macroInsts;
+        switch (out.status) {
+          case JobStatus::Ok: break;
+          case JobStatus::Failed: ++metrics_.failedJobs; break;
+          case JobStatus::TimedOut: ++metrics_.timedOutJobs; break;
+          case JobStatus::Skipped: ++metrics_.skippedJobs; break;
+        }
+        if (out.attempts > 1)
+            metrics_.retriedJobs += out.attempts - 1;
     }
-    metrics_.wallSeconds = secondsSince(wallStart);
+    metrics_.wallSeconds =
+        options_.reportTiming ? secondsSince(wallStart) : 0.0;
     metrics_.serialEstimateSeconds = serial;
     metrics_.simulatedMacroInsts = macroInsts;
     if (metrics_.wallSeconds > 0.0) {
@@ -258,6 +592,12 @@ SweepEngine::summary() const
        << metrics_.speedupVsSerial << "x vs serial ("
        << metrics_.baselineSimulations << "/"
        << metrics_.baselineRequests << " baselines simulated)";
+    if (metrics_.faultedJobs() || metrics_.restoredJobs) {
+        os << "; " << metrics_.failedJobs << " failed, "
+           << metrics_.timedOutJobs << " timed out, "
+           << metrics_.skippedJobs << " skipped, "
+           << metrics_.restoredJobs << " replayed";
+    }
     return os.str();
 }
 
@@ -267,11 +607,7 @@ SweepEngine::writeReport(const std::string &label,
 {
     const std::string path =
         joinPath(resolveOutputDir(outDir), label + "_sweep.json");
-    std::ofstream out(path);
-    if (!out) {
-        axm_warn("cannot write sweep report to ", path);
-        return;
-    }
+    std::ostringstream out;
     out.precision(9);
     out << "{\n"
         << "  \"label\": \"" << JsonWriter::escape(label) << "\",\n"
@@ -291,8 +627,22 @@ SweepEngine::writeReport(const std::string &label,
         << ",\n"
         << "  \"baseline_simulations\": "
         << metrics_.baselineSimulations << ",\n"
-        << "  \"prepared_programs\": " << metrics_.preparedPrograms
-        << "\n}\n";
+        << "  \"prepared_programs\": " << metrics_.preparedPrograms;
+    // Fault counters appear only when something faulted or retried, so
+    // a fully-successful sweep's report keeps its historical bytes.
+    // The replayed count deliberately stays out: a resumed and an
+    // uninterrupted run of the same sweep must render identically.
+    if (metrics_.faultedJobs() || metrics_.retriedJobs) {
+        out << ",\n  \"failed_jobs\": " << metrics_.failedJobs
+            << ",\n  \"timed_out_jobs\": " << metrics_.timedOutJobs
+            << ",\n  \"skipped_jobs\": " << metrics_.skippedJobs
+            << ",\n  \"retried_jobs\": " << metrics_.retriedJobs;
+    }
+    out << "\n}\n";
+    const Expected<void> written = atomicWriteFile(path, out.str());
+    if (!written.ok())
+        axm_warn("cannot write sweep report: ",
+                 written.error().describe());
 }
 
 } // namespace axmemo

@@ -23,6 +23,15 @@
  *    per sweep and shared across the modes and LUT configurations scored
  *    against it.
  *
+ * Fault tolerance (see DESIGN.md §9). A job that throws is caught at
+ * the worker boundary and recorded as its outcome's status — Failed
+ * jobs are retried up to RuntimeOptions::retries times, TimedOut
+ * (watchdog) and Skipped (interrupt) never — so one bad configuration
+ * costs one row, not the sweep. With setJournal(), every Ok outcome is
+ * checkpointed to an append-only JSONL file as it completes, and a
+ * resumed sweep replays journaled outcomes instead of re-simulating
+ * (core/run_journal.hh).
+ *
  * The engine records wall-clock, per-job time, jobs/s and simulated
  * Minstr/s; writeReport() emits them as <label>_sweep.json so the
  * performance trajectory of the harnesses is machine-readable.
@@ -33,14 +42,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/expected.hh"
+#include "common/runtime_options.hh"
 #include "common/thread_pool.hh"
 #include "core/experiment.hh"
 
 namespace axmemo {
+
+class SweepJournal;
 
 /** One enqueued simulation request. */
 struct SweepJob
@@ -52,15 +66,41 @@ struct SweepJob
     bool scored = false;
 };
 
+/** Terminal state of one job. */
+enum class JobStatus
+{
+    Ok,       ///< simulation completed (possibly after retries)
+    Failed,   ///< faulted on every allowed attempt
+    TimedOut, ///< watchdog deadline expired (never retried)
+    Skipped,  ///< not run: interrupted, or a dependency failed
+};
+
+/** @return the stable lower-case name of @p status ("ok", ...). */
+const char *jobStatusName(JobStatus status);
+
 /** Result of one job, in submission order. */
 struct SweepOutcome
 {
-    /** The subject run (for Baseline jobs, the baseline itself). */
+    /** The subject run (for Baseline jobs, the baseline itself).
+     * Meaningful only when status == Ok. */
     RunResult run;
-    /** Valid only when the job was enqueued via enqueueCompare(). */
+    /** Valid only when scored and status == Ok. */
     Comparison cmp;
-    /** Host wall-clock seconds this job's simulation took. */
+    /** Host wall-clock seconds this job's simulation took (0 when
+     * RuntimeOptions::reportTiming is off). */
     double seconds = 0.0;
+
+    JobStatus status = JobStatus::Ok;
+    /** The last attempt's error when status != Ok. */
+    Error fault{};
+    /** Simulation attempts made (attempts - 1 = retries). */
+    unsigned attempts = 0;
+    /** The job was enqueued via enqueueCompare(). */
+    bool scored = false;
+    /** Replayed from the checkpoint journal, not simulated. */
+    bool restored = false;
+
+    bool ok() const { return status == JobStatus::Ok; }
 };
 
 /** Host-side performance record of one execute(). */
@@ -81,14 +121,34 @@ struct SweepMetrics
     std::size_t baselineSimulations = 0;
     /** Distinct (workload, dataset) prepare()/build() executions. */
     std::size_t preparedPrograms = 0;
+
+    // Fault-tolerance accounting of the most recent execute().
+    std::size_t failedJobs = 0;
+    std::size_t timedOutJobs = 0;
+    std::size_t skippedJobs = 0;
+    /** Extra attempts spent on jobs that eventually resolved. */
+    std::size_t retriedJobs = 0;
+    /** Jobs replayed from the checkpoint journal. */
+    std::size_t restoredJobs = 0;
+
+    std::size_t
+    faultedJobs() const
+    {
+        return failedJobs + timedOutJobs + skippedJobs;
+    }
 };
 
 /** Parallel sweep executor; see file comment. */
 class SweepEngine
 {
   public:
-    /** @param workers pool size; 0 or 1 = serial (AXMEMO_JOBS default). */
+    /** @param workers pool size; 0 or 1 = serial (AXMEMO_JOBS default).
+     * Retry/timeout/timing policy comes from RuntimeOptions::global(). */
     explicit SweepEngine(unsigned workers = ThreadPool::jobsFromEnv());
+
+    /** Pool size and fault policy from @p options (the driver path). */
+    explicit SweepEngine(const RuntimeOptions &options);
+
     ~SweepEngine();
 
     SweepEngine(const SweepEngine &) = delete;
@@ -107,11 +167,27 @@ class SweepEngine
     /**
      * Run every job enqueued since the last execute(). Results are in
      * submission order and bit-identical to a serial per-job
-     * ExperimentRunner::run()/compare() evaluation.
+     * ExperimentRunner::run()/compare() evaluation. Job faults are
+     * contained: execute() itself only throws on engine-internal bugs.
      */
     std::vector<SweepOutcome> execute();
 
+    /**
+     * Enable checkpoint journaling to @p path. With @p resume, existing
+     * records are loaded for replay and new ones append after them;
+     * otherwise the file restarts empty.
+     * @return number of journaled outcomes loaded for replay.
+     */
+    std::size_t setJournal(const std::string &path, bool resume);
+
+    /** Stop journaling; delete the file when @p removeFile (a fully
+     * successful sweep needs no checkpoint). */
+    void closeJournal(bool removeFile);
+
     unsigned workers() const { return workers_; }
+
+    /** The fault policy this engine runs under. */
+    const RuntimeOptions &options() const { return options_; }
 
     /** Metrics of the most recent execute(). */
     const SweepMetrics &metrics() const { return metrics_; }
@@ -122,7 +198,9 @@ class SweepEngine
     /**
      * Write metrics() as JSON to <label>_sweep.json in the resolved
      * output directory (@p outDir override, else $AXMEMO_SWEEP_DIR,
-     * else the current directory; see core/output_paths.hh).
+     * else the current directory; see core/output_paths.hh). Fault
+     * counters are emitted only when nonzero, so fully-successful
+     * sweeps keep their historical byte layout.
      */
     void writeReport(const std::string &label,
                      const std::string &outDir = {}) const;
@@ -138,12 +216,21 @@ class SweepEngine
         SimMemory mem;   ///< master prepared image; jobs clone it
         Program program; ///< built baseline program, shared read-only
         double seconds = 0.0;
+        bool failed = false;
+        Error fault{};
+        unsigned attempts = 0;
     };
     struct BaselineEntry
     {
         const PreparedEntry *prepared = nullptr;
         RunResult result;
         double seconds = 0.0;
+        /** False for entries every consumer replayed from the journal
+         * (the baseline simulation itself was skipped). */
+        bool simulated = false;
+        bool failed = false;
+        Error fault{};
+        unsigned attempts = 0;
     };
 
     std::vector<SweepJob> jobs_;
@@ -152,8 +239,14 @@ class SweepEngine
     std::unordered_map<std::string, std::unique_ptr<BaselineEntry>>
         baselines_;
     SweepMetrics metrics_;
+    RuntimeOptions options_{};
     unsigned workers_ = 1;
     std::unique_ptr<ThreadPool> pool_;
+
+    // Checkpoint journal state (setJournal).
+    std::unique_ptr<SweepJournal> journal_;
+    std::unordered_map<std::string, SweepOutcome> replay_;
+    std::mutex journalMutex_;
 };
 
 } // namespace axmemo

@@ -1,5 +1,6 @@
 #include "memo/hash_value_registers.hh"
 
+#include "common/expected.hh"
 #include "common/log.hh"
 
 namespace axmemo {
@@ -11,7 +12,8 @@ HashValueRegisters::HashValueRegisters(const CrcEngine &engine,
       regs_(static_cast<std::size_t>(numLuts) * numThreads)
 {
     if (numLuts == 0 || numThreads == 0)
-        axm_fatal("HVR file needs at least one LUT and one thread");
+        raiseError(ErrorCode::Config, "hvr",
+                   "HVR file needs at least one LUT and one thread");
     resetAll();
 }
 

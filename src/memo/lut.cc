@@ -1,6 +1,7 @@
 #include "memo/lut.hh"
 
 #include "common/bits.hh"
+#include "common/expected.hh"
 #include "common/log.hh"
 #include "obs/trace.hh"
 
@@ -9,15 +10,22 @@ namespace axmemo {
 LookupTable::LookupTable(const LutConfig &config)
     : ways_(config.ways())
 {
+    // Configuration errors are recoverable at the sweep boundary:
+    // raiseError's AxException marks the one offending job Failed
+    // instead of tearing down the whole run.
     if (config.dataBytes != 4 && config.dataBytes != 8)
-        axm_fatal(config.name, ": LUT data must be 4 or 8 bytes");
+        raiseError(ErrorCode::Config, "lut",
+                   config.name + ": LUT data must be 4 or 8 bytes");
     if (config.sizeBytes == 0 ||
         config.sizeBytes % LutConfig::setBytes != 0)
-        axm_fatal(config.name, ": LUT size must be a multiple of ",
-                  LutConfig::setBytes, " bytes");
+        raiseError(ErrorCode::Config, "lut",
+                   config.name + ": LUT size must be a multiple of " +
+                       std::to_string(LutConfig::setBytes) + " bytes");
     const std::uint64_t sets = config.sizeBytes / LutConfig::setBytes;
     if (!isPowerOfTwo(sets))
-        axm_fatal(config.name, ": LUT set count must be a power of two");
+        raiseError(ErrorCode::Config, "lut",
+                   config.name +
+                       ": LUT set count must be a power of two");
     numSets_ = static_cast<unsigned>(sets);
     entries_.resize(static_cast<std::size_t>(numSets_) * ways_);
     mruWay_.assign(numSets_, 0);

@@ -1,6 +1,7 @@
 #include "memo/memo_unit.hh"
 
 #include "common/bits.hh"
+#include "common/expected.hh"
 #include "common/log.hh"
 #include "obs/trace.hh"
 
@@ -23,7 +24,8 @@ MemoizationUnit::MemoizationUnit(const MemoUnitConfig &config)
         l2_ = std::make_unique<LookupTable>(l2cfg);
     }
     if (config_.inputQueueBytes == 0)
-        axm_fatal("memoization unit needs a nonzero input queue");
+        raiseError(ErrorCode::Config, "memo-unit",
+                   "memoization unit needs a nonzero input queue");
 }
 
 MemoizationUnit::PendingUpdate &

@@ -2,6 +2,7 @@
 
 #include "common/bits.hh"
 #include "common/error_metrics.hh"
+#include "common/expected.hh"
 #include "common/log.hh"
 
 namespace axmemo {
@@ -10,9 +11,11 @@ QualityMonitor::QualityMonitor(const QualityMonitorConfig &config)
     : config_(config)
 {
     if (config_.floatLanes != 1 && config_.floatLanes != 2)
-        axm_fatal("quality monitor: floatLanes must be 1 or 2");
+        raiseError(ErrorCode::Config, "quality-monitor",
+                   "floatLanes must be 1 or 2");
     if (config_.sampleEvery == 0 || config_.windowSize == 0)
-        axm_fatal("quality monitor: sampleEvery/windowSize must be > 0");
+        raiseError(ErrorCode::Config, "quality-monitor",
+                   "sampleEvery/windowSize must be > 0");
 }
 
 bool

@@ -90,6 +90,30 @@ Distribution::mean() const
                   : 0.0;
 }
 
+void
+Distribution::restore(std::uint64_t lo, std::uint64_t hi,
+                      std::uint64_t bucketSize, std::uint64_t count,
+                      std::uint64_t sum, double sumSq,
+                      std::uint64_t min, std::uint64_t max,
+                      std::uint64_t underflow, std::uint64_t overflow,
+                      const std::vector<std::uint64_t> &buckets)
+{
+    // Direct assignment, not init(): a never-configured distribution
+    // (bucketSize 0, no buckets) must restore to exactly that state,
+    // and init() would invent a 1-wide bucket for it.
+    lo_ = lo;
+    hi_ = hi;
+    bucketSize_ = bucketSize;
+    count_ = count;
+    sum_ = sum;
+    sumSq_ = sumSq;
+    min_ = min;
+    max_ = max;
+    underflow_ = underflow;
+    overflow_ = overflow;
+    buckets_ = buckets;
+}
+
 double
 Distribution::stddev() const
 {
@@ -158,6 +182,22 @@ Histogram::reset()
     count_ = sum_ = 0;
     min_ = max_ = 0;
     std::fill(buckets_, buckets_ + numBuckets, 0);
+}
+
+void
+Histogram::restore(std::uint64_t count, std::uint64_t sum,
+                   std::uint64_t min, std::uint64_t max,
+                   const std::vector<std::uint64_t> &buckets)
+{
+    reset();
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    const std::size_t n =
+        std::min<std::size_t>(numBuckets, buckets.size());
+    for (std::size_t i = 0; i < n; ++i)
+        buckets_[i] = buckets[i];
 }
 
 double

@@ -60,6 +60,19 @@ class Distribution
     std::uint64_t underflow() const { return underflow_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /** Sum of squared samples (exact journal round-trip needs it). */
+    double sumSq() const { return sumSq_; }
+
+    /** Overwrite every field from journaled state — the exact inverse
+     * of the getters above, including the bucket vector verbatim (so a
+     * never-configured distribution restores as such). */
+    void restore(std::uint64_t lo, std::uint64_t hi,
+                 std::uint64_t bucketSize, std::uint64_t count,
+                 std::uint64_t sum, double sumSq, std::uint64_t min,
+                 std::uint64_t max, std::uint64_t underflow,
+                 std::uint64_t overflow,
+                 const std::vector<std::uint64_t> &buckets);
+
     std::uint64_t lo() const { return lo_; }
     std::uint64_t hi() const { return hi_; }
     std::uint64_t bucketSize() const { return bucketSize_; }
@@ -106,6 +119,12 @@ class Histogram
     double mean() const;
     std::uint64_t sampleMin() const { return count_ ? min_ : 0; }
     std::uint64_t sampleMax() const { return count_ ? max_ : 0; }
+
+    /** Overwrite every field from journaled state; @p buckets beyond
+     * numBuckets entries are ignored, missing ones are zero. */
+    void restore(std::uint64_t count, std::uint64_t sum,
+                 std::uint64_t min, std::uint64_t max,
+                 const std::vector<std::uint64_t> &buckets);
 
     static constexpr std::size_t numBuckets = 65;
     const std::uint64_t *buckets() const { return buckets_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/bits.hh"
+#include "common/expected.hh"
 #include "common/log.hh"
 #include "isa/disasm.hh"
 #include "obs/trace.hh"
@@ -195,8 +196,16 @@ Simulator::run()
         }
 
         if (++stats_.macroInsts > config_.maxMacroInsts)
-            axm_fatal(prog_.name(), ": exceeded max macro instructions (",
-                      config_.maxMacroInsts, ") — runaway loop?");
+            raiseError(ErrorCode::Simulation, "simulator",
+                       prog_.name() +
+                           ": exceeded max macro instructions (" +
+                           std::to_string(config_.maxMacroInsts) +
+                           ") — runaway loop?");
+        // Watchdog/interrupt poll: cheap enough to keep in the hot
+        // loop at 1/64K granularity, frequent enough that a timed-out
+        // job stops within milliseconds.
+        if (config_.control && (stats_.macroInsts & 0xFFFF) == 0)
+            config_.control->check("simulator");
 
         // ---- timing: earliest execution start ----
         const OperandInfo &ops = dec.ops;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/events.hh"
+#include "common/run_control.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/stats.hh"
@@ -72,6 +73,9 @@ struct SimConfig
     MemoUnitConfig memo{};
     /** Abort if the program executes more macro-instructions than this. */
     std::uint64_t maxMacroInsts = 4ull << 30;
+    /** Cooperative watchdog/interrupt control, polled every 64K macro
+     * instructions; null disables polling (common/run_control.hh). */
+    const RunControl *control = nullptr;
 };
 
 /** Aggregated results of one simulation run. */

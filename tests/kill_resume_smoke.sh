@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Kill/resume smoke: a sweep SIGKILLed mid-run and resumed with
+# --resume must emit byte-identical reports to an uninterrupted run,
+# and a fault-injected run must exit nonzero with per-job status in
+# the manifest.
+#
+# Usage: kill_resume_smoke.sh <axmemo-binary>
+#
+# Host-timing report fields are nondeterministic, so every run uses
+# --no-timing (they are zeroed; see RuntimeOptions::reportTiming).
+set -u
+
+AXMEMO=${1:?usage: kill_resume_smoke.sh <axmemo-binary>}
+ARTIFACT=fig9
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "kill_resume_smoke: $*" >&2
+    exit 1
+}
+
+# --- reference: one uninterrupted run --------------------------------
+"$AXMEMO" run $ARTIFACT --out "$WORK/ref" --no-timing \
+    > "$WORK/ref_stdout.txt" 2> "$WORK/ref_stderr.txt" \
+    || fail "reference run failed"
+[ -f "$WORK/ref/${ARTIFACT}_sweep.ckpt" ] &&
+    fail "successful run left its checkpoint behind"
+
+# --- interrupted run: SIGKILL mid-sweep ------------------------------
+# Serial worker keeps the sweep slow enough to land the kill while
+# jobs are still outstanding; retry with a shorter fuse if the run
+# wins the race and completes.
+interrupted=0
+for delay in 2.0 1.0 0.5 0.25 0.1; do
+    rm -rf "$WORK/part"
+    "$AXMEMO" run $ARTIFACT --out "$WORK/part" --no-timing --jobs 1 \
+        > /dev/null 2>&1 &
+    pid=$!
+    sleep "$delay"
+    if kill -KILL "$pid" 2>/dev/null; then
+        wait "$pid" 2>/dev/null
+        # A meaningful interruption leaves the checkpoint behind with
+        # at least one journaled record after the version header.
+        if [ -f "$WORK/part/${ARTIFACT}_sweep.ckpt" ] &&
+            [ "$(grep -c '"key"' \
+                "$WORK/part/${ARTIFACT}_sweep.ckpt")" -ge 1 ]; then
+            interrupted=1
+            break
+        fi
+    else
+        wait "$pid" 2>/dev/null
+    fi
+done
+[ "$interrupted" = 1 ] ||
+    fail "could not interrupt a run with a populated checkpoint"
+
+records=$(grep -c '"key"' "$WORK/part/${ARTIFACT}_sweep.ckpt")
+echo "kill_resume_smoke: killed mid-run with $records journaled job(s)"
+
+# --- resume and compare ----------------------------------------------
+"$AXMEMO" run $ARTIFACT --out "$WORK/part" --no-timing --resume \
+    > "$WORK/part_stdout.txt" 2> /dev/null \
+    || fail "resumed run failed"
+
+cmp -s "$WORK/ref_stdout.txt" "$WORK/part_stdout.txt" ||
+    fail "resumed stdout differs from uninterrupted run"
+for file in ${ARTIFACT}.json ${ARTIFACT}_sweep.json manifest.json; do
+    cmp -s "$WORK/ref/$file" "$WORK/part/$file" ||
+        fail "resumed $file differs from uninterrupted run"
+done
+[ -f "$WORK/part/${ARTIFACT}_sweep.ckpt" ] &&
+    fail "fully resumed run did not remove its checkpoint"
+
+# --- fault containment: injected failure must surface ----------------
+"$AXMEMO" run $ARTIFACT --out "$WORK/faulty" --no-timing --retries 0 \
+    --fault-inject blackscholes \
+    > /dev/null 2> "$WORK/faulty_stderr.txt"
+rc=$?
+[ "$rc" -ne 0 ] || fail "fault-injected run exited 0"
+grep -q '"status":"failed"' "$WORK/faulty/manifest.json" ||
+    fail "manifest lacks failed-job status records"
+grep -q '"failed_jobs"' "$WORK/faulty/manifest.json" ||
+    fail "manifest lacks aggregate fault counters"
+
+echo "kill_resume_smoke: OK (resume byte-identical, faults contained)"
+exit 0

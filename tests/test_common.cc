@@ -14,11 +14,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdlib>
+
 #include "common/bits.hh"
 #include "common/error_metrics.hh"
 #include "common/events.hh"
+#include "common/expected.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
+#include "common/runtime_options.hh"
 #include "common/stats.hh"
 
 namespace axmemo {
@@ -396,6 +400,152 @@ TEST(Log, ConcurrentWarnStormHasNoTornLines)
         pos = nl + 1;
     }
     EXPECT_EQ(lines, static_cast<std::size_t>(threadCount * perThread));
+}
+
+// ---------------------------------------------------- structured errors
+
+TEST(Expected, CarriesValueOrError)
+{
+    const Expected<int> good = 42;
+    ASSERT_TRUE(good.ok());
+    EXPECT_TRUE(static_cast<bool>(good));
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.valueOr(7), 42);
+
+    const Expected<int> bad =
+        Error{ErrorCode::Config, "test", "knob out of range"};
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.valueOr(7), 7);
+    EXPECT_EQ(bad.error().code, ErrorCode::Config);
+    EXPECT_EQ(bad.error().component, "test");
+    EXPECT_EQ(bad.error().message, "knob out of range");
+}
+
+TEST(Expected, VoidSpecialization)
+{
+    const Expected<void> good;
+    EXPECT_TRUE(good.ok());
+    const Expected<void> bad =
+        Error{ErrorCode::Io, "disk", "write failed"};
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Io);
+}
+
+TEST(Expected, MisuseIsAPanicNotUndefinedBehavior)
+{
+    const Expected<int> bad = Error{ErrorCode::Internal, "t", "x"};
+    EXPECT_THROW(bad.value(), std::logic_error);
+    const Expected<int> good = 1;
+    EXPECT_THROW(good.error(), std::logic_error);
+}
+
+TEST(Error, DescribeIsStableAndNamed)
+{
+    const Error error{ErrorCode::Timeout, "simulator",
+                      "job watchdog deadline expired"};
+    EXPECT_EQ(error.describe(),
+              "timeout error in simulator: job watchdog deadline "
+              "expired");
+    EXPECT_FALSE(error.ok());
+    EXPECT_TRUE(Error{}.ok());
+    EXPECT_STREQ(errorCodeName(ErrorCode::Parse), "parse");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Cancelled), "cancelled");
+}
+
+TEST(Error, RaiseErrorThrowsAxExceptionConvertibleToRuntimeError)
+{
+    // AxException derives from std::runtime_error so legacy
+    // EXPECT_THROW(..., std::runtime_error) call sites keep working.
+    try {
+        raiseError(ErrorCode::Workload, "registry",
+                   "unknown workload 'nope'");
+        FAIL() << "raiseError returned";
+    } catch (const std::runtime_error &e) {
+        const auto *ax = dynamic_cast<const AxException *>(&e);
+        ASSERT_NE(ax, nullptr);
+        EXPECT_EQ(ax->error().code, ErrorCode::Workload);
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos);
+    }
+}
+
+TEST(RuntimeOptions, FromEnvParsesEveryKnobDefensively)
+{
+    // Snapshot and clear the knobs this test touches.
+    const char *const knobs[] = {
+        "AXMEMO_JOBS",        "AXMEMO_SCALE",  "AXMEMO_FULL",
+        "AXMEMO_RETRIES",     "AXMEMO_TIMING", "AXMEMO_JOB_TIMEOUT",
+        "AXMEMO_FAULT_INJECT"};
+    std::vector<std::string> saved; // empty == was unset (or empty)
+    for (const char *knob : knobs) {
+        const char *value = std::getenv(knob);
+        saved.push_back(value ? value : "");
+        unsetenv(knob);
+    }
+
+    const RuntimeOptions defaults = RuntimeOptions::fromEnv();
+    EXPECT_EQ(defaults.jobs, 0u);
+    EXPECT_FALSE(defaults.scaleSet);
+    EXPECT_FALSE(defaults.full);
+    EXPECT_EQ(defaults.retries, 1u);
+    EXPECT_EQ(defaults.jobTimeoutSeconds, 0.0);
+    EXPECT_TRUE(defaults.reportTiming);
+    EXPECT_GE(defaults.workerCount(), 1u);
+    EXPECT_DOUBLE_EQ(defaults.benchScale(0.125), 0.125);
+
+    setenv("AXMEMO_JOBS", "5", 1);
+    setenv("AXMEMO_SCALE", "0.5", 1);
+    setenv("AXMEMO_RETRIES", "3", 1);
+    setenv("AXMEMO_JOB_TIMEOUT", "2.5", 1);
+    setenv("AXMEMO_TIMING", "0", 1);
+    setenv("AXMEMO_FAULT_INJECT", "sobel:2", 1);
+    const RuntimeOptions parsed = RuntimeOptions::fromEnv();
+    EXPECT_EQ(parsed.jobs, 5u);
+    EXPECT_EQ(parsed.workerCount(), 5u);
+    EXPECT_DOUBLE_EQ(parsed.benchScale(), 0.5);
+    EXPECT_EQ(parsed.retries, 3u);
+    EXPECT_DOUBLE_EQ(parsed.jobTimeoutSeconds, 2.5);
+    EXPECT_FALSE(parsed.reportTiming);
+    EXPECT_EQ(parsed.faultWorkload(), "sobel");
+    EXPECT_EQ(parsed.faultAttempts(), 2u);
+
+    // AXMEMO_FULL must be exactly "1" and wins over the scale.
+    setenv("AXMEMO_FULL", "1", 1);
+    EXPECT_DOUBLE_EQ(RuntimeOptions::fromEnv().benchScale(), 1.0);
+    setenv("AXMEMO_FULL", "1x", 1);
+    EXPECT_FALSE(RuntimeOptions::fromEnv().full);
+
+    // Malformed values warn and keep defaults, never crash.
+    setenv("AXMEMO_RETRIES", "lots", 1);
+    setenv("AXMEMO_JOB_TIMEOUT", "-4", 1);
+    setenv("AXMEMO_JOBS", "99999", 1);
+    const RuntimeOptions defensive = RuntimeOptions::fromEnv();
+    EXPECT_EQ(defensive.retries, 1u);
+    EXPECT_EQ(defensive.jobTimeoutSeconds, 0.0);
+    EXPECT_EQ(defensive.jobs, 0u);
+
+    for (std::size_t i = 0; i < saved.size(); ++i) {
+        if (saved[i].empty())
+            unsetenv(knobs[i]);
+        else
+            setenv(knobs[i], saved[i].c_str(), 1);
+    }
+}
+
+TEST(RuntimeOptions, DescribeKnobsMentionsEveryKnob)
+{
+    const std::string table = RuntimeOptions::describeKnobs();
+    for (const char *knob :
+         {"AXMEMO_JOBS", "AXMEMO_SCALE", "AXMEMO_FULL",
+          "AXMEMO_SWEEP_DIR", "AXMEMO_DEBUG", "AXMEMO_RETRIES",
+          "AXMEMO_JOB_TIMEOUT", "AXMEMO_TIMING",
+          "AXMEMO_FAULT_INJECT"})
+        EXPECT_NE(table.find(knob), std::string::npos) << knob;
+    for (const char *flag :
+         {"--jobs", "--scale", "--full", "--out", "--debug-flags",
+          "--retries", "--job-timeout", "--no-timing",
+          "--fault-inject"})
+        EXPECT_NE(table.find(flag), std::string::npos) << flag;
 }
 
 } // namespace

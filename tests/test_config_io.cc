@@ -316,11 +316,9 @@ mutators()
 ExperimentConfig
 roundTrip(const ExperimentConfig &config)
 {
-    std::string error;
-    ExperimentConfig out;
-    const bool ok = parseConfig(toJson(config), out, &error);
-    EXPECT_TRUE(ok) << error;
-    return out;
+    const Expected<ExperimentConfig> out = parseConfig(toJson(config));
+    EXPECT_TRUE(out.ok());
+    return out.ok() ? out.value() : ExperimentConfig{};
 }
 
 TEST(ConfigIo, DefaultRoundTripsExactly)
@@ -406,42 +404,42 @@ TEST(ConfigIo, WhitespaceToleratedCanonicalFormRestored)
         if (ch == ',' || ch == ':' || ch == '{')
             spaced += "\n  ";
     }
-    ExperimentConfig parsed;
-    std::string error;
-    ASSERT_TRUE(parseConfig(spaced, parsed, &error)) << error;
-    EXPECT_EQ(toJson(parsed), json);
+    const Expected<ExperimentConfig> parsed = parseConfig(spaced);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(toJson(parsed.value()), json);
 }
 
 TEST(ConfigIo, RejectsMalformedDocuments)
 {
-    ExperimentConfig config;
-    std::string error;
-    EXPECT_FALSE(parseConfig("", config, &error));
-    EXPECT_FALSE(error.empty());
-    EXPECT_FALSE(parseConfig("{", config, &error));
-    EXPECT_FALSE(parseConfig("[]", config, &error));
-    EXPECT_FALSE(parseConfig("{\"crc_bits\":}", config, &error));
-    EXPECT_FALSE(parseConfig("{\"crc_bits\":32} trailing", config,
-                             &error));
+    const Expected<ExperimentConfig> empty = parseConfig("");
+    EXPECT_FALSE(empty.ok());
+    EXPECT_EQ(empty.error().code, ErrorCode::Parse);
+    EXPECT_FALSE(empty.error().message.empty());
+    EXPECT_FALSE(parseConfig("{").ok());
+    EXPECT_FALSE(parseConfig("[]").ok());
+    EXPECT_FALSE(parseConfig("{\"crc_bits\":}").ok());
+    EXPECT_FALSE(parseConfig("{\"crc_bits\":32} trailing").ok());
 }
 
 TEST(ConfigIo, RejectsUnknownKeys)
 {
-    ExperimentConfig config;
-    std::string error;
-    EXPECT_FALSE(parseConfig("{\"crc_bitz\":32}", config, &error));
-    EXPECT_NE(error.find("crc_bitz"), std::string::npos) << error;
-    EXPECT_FALSE(parseConfig(
-        "{\"lut\":{\"l1_bytes\":4096,\"l3_bytes\":1}}", config,
-        &error));
+    const Expected<ExperimentConfig> bad =
+        parseConfig("{\"crc_bitz\":32}");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Parse);
+    EXPECT_NE(bad.error().message.find("crc_bitz"), std::string::npos)
+        << bad.error().describe();
+    EXPECT_FALSE(
+        parseConfig("{\"lut\":{\"l1_bytes\":4096,\"l3_bytes\":1}}")
+            .ok());
 }
 
 TEST(ConfigIo, PartialDocumentsKeepDefaults)
 {
-    ExperimentConfig config;
-    std::string error;
-    ASSERT_TRUE(parseConfig("{\"crc_bits\":16}", config, &error))
-        << error;
+    const Expected<ExperimentConfig> parsed =
+        parseConfig("{\"crc_bits\":16}");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    const ExperimentConfig &config = parsed.value();
     EXPECT_EQ(config.crcBits, 16u);
     const ExperimentConfig defaults;
     EXPECT_EQ(config.lut.l1Bytes, defaults.lut.l1Bytes);

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests of the fault-tolerant run lifecycle: checkpoint journaling and
+ * resume (run_journal), per-job fault containment and retry, watchdog
+ * timeout classification, and atomic output writes.
+ *
+ * The load-bearing property is byte-fidelity: a resumed sweep must
+ * produce outcomes — and therefore reports — identical to an
+ * uninterrupted run, so most tests execute the same job matrix twice
+ * (once journaled, once replayed) and demand equality down to the
+ * distribution buckets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/interrupt.hh"
+#include "common/run_control.hh"
+#include "core/output_paths.hh"
+#include "core/run_journal.hh"
+#include "core/sweep.hh"
+
+namespace axmemo {
+namespace {
+
+/** A unique temp path per test, removed on scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + "axmemo_" + name)
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig config;
+    config.dataset.scale = 0.01;
+    config.lut = {8 * 1024, 512 * 1024};
+    return config;
+}
+
+/** Fault policy used by every engine here: serial, deterministic,
+ * timing off so two runs are comparable field-by-field. */
+RuntimeOptions
+testOptions()
+{
+    RuntimeOptions options;
+    options.jobs = 2;
+    options.reportTiming = false;
+    return options;
+}
+
+void
+enqueueMatrix(SweepEngine &engine)
+{
+    engine.enqueueCompare("sobel", Mode::AxMemo, tinyConfig());
+    ExperimentConfig small = tinyConfig();
+    small.lut = {4 * 1024, 0};
+    engine.enqueueCompare("sobel", Mode::SoftwareLut, small);
+    engine.enqueueRun("sobel", Mode::Baseline, tinyConfig());
+}
+
+void
+expectStatsEqual(const SimStats &a, const SimStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.macroInsts, b.macroInsts) << what;
+    EXPECT_EQ(a.uops, b.uops) << what;
+    EXPECT_EQ(a.memo.lookups, b.memo.lookups) << what;
+    EXPECT_EQ(a.memo.hits(), b.memo.hits()) << what;
+}
+
+void
+expectOutcomesEqual(const SweepOutcome &a, const SweepOutcome &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.status, b.status) << what;
+    EXPECT_EQ(a.scored, b.scored) << what;
+    expectStatsEqual(a.run.stats, b.run.stats, what + " run");
+    EXPECT_EQ(a.run.lookups, b.run.lookups) << what;
+    EXPECT_EQ(a.run.hits, b.run.hits) << what;
+    EXPECT_DOUBLE_EQ(a.run.energyPj(), b.run.energyPj()) << what;
+    ASSERT_EQ(a.run.outputs.size(), b.run.outputs.size()) << what;
+    for (std::size_t i = 0; i < a.run.outputs.size(); ++i)
+        ASSERT_EQ(a.run.outputs[i], b.run.outputs[i])
+            << what << " output " << i;
+    if (a.scored) {
+        EXPECT_DOUBLE_EQ(a.cmp.speedup, b.cmp.speedup) << what;
+        EXPECT_DOUBLE_EQ(a.cmp.energyReduction, b.cmp.energyReduction)
+            << what;
+        EXPECT_DOUBLE_EQ(a.cmp.qualityLoss, b.cmp.qualityLoss) << what;
+        EXPECT_DOUBLE_EQ(a.cmp.normalizedUops, b.cmp.normalizedUops)
+            << what;
+        expectStatsEqual(a.cmp.baseline.stats, b.cmp.baseline.stats,
+                         what + " baseline");
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(SweepResume, JournalRecordsEveryCompletedJob)
+{
+    TempFile journal("journal_records.ckpt");
+    SweepEngine engine(testOptions());
+    engine.setJournal(journal.path(), /*resume=*/false);
+    enqueueMatrix(engine);
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+    engine.closeJournal(/*removeFile=*/false);
+
+    std::size_t skipped = 0;
+    const auto records = SweepJournal::load(journal.path(), &skipped);
+    EXPECT_EQ(skipped, 0u);
+    ASSERT_EQ(records.size(), outcomes.size());
+
+    // Every enqueued job's key must be present and decode to an
+    // outcome identical to the live one.
+    SweepEngine probe(testOptions());
+    enqueueMatrix(probe);
+    const std::vector<SweepJob> jobs = probe.pending();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto it = records.find(SweepJournal::jobKey(jobs[i]));
+        ASSERT_NE(it, records.end()) << "job " << i;
+        EXPECT_TRUE(it->second.restored);
+        expectOutcomesEqual(it->second, outcomes[i],
+                            "journaled job " + std::to_string(i));
+    }
+}
+
+TEST(SweepResume, EncodeDecodeLineRoundTrips)
+{
+    SweepEngine engine(testOptions());
+    enqueueMatrix(engine);
+    const std::vector<SweepJob> jobs = engine.pending();
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const std::string key = SweepJournal::jobKey(jobs[i]);
+        const std::string line =
+            SweepJournal::encodeLine(key, outcomes[i]);
+        const auto decoded = SweepJournal::decodeLine(line);
+        ASSERT_TRUE(decoded.ok()) << decoded.error().describe();
+        EXPECT_EQ(decoded.value().first, key);
+        expectOutcomesEqual(decoded.value().second, outcomes[i],
+                            "decoded line " + std::to_string(i));
+        // Re-encoding the decoded outcome must reproduce the exact
+        // line: the codec loses nothing the codec itself can see.
+        SweepOutcome copy = decoded.value().second;
+        copy.restored = false;
+        EXPECT_EQ(SweepJournal::encodeLine(key, copy), line);
+    }
+}
+
+TEST(SweepResume, ResumeMatchesUninterruptedRun)
+{
+    TempFile journal("resume_matches.ckpt");
+
+    SweepEngine first(testOptions());
+    first.setJournal(journal.path(), /*resume=*/false);
+    enqueueMatrix(first);
+    const std::vector<SweepOutcome> uninterrupted = first.execute();
+    const SweepMetrics firstMetrics = first.metrics();
+    first.closeJournal(/*removeFile=*/false);
+
+    SweepEngine second(testOptions());
+    EXPECT_EQ(second.setJournal(journal.path(), /*resume=*/true),
+              uninterrupted.size());
+    enqueueMatrix(second);
+    const std::vector<SweepOutcome> resumed = second.execute();
+    second.closeJournal(/*removeFile=*/false);
+
+    ASSERT_EQ(resumed.size(), uninterrupted.size());
+    EXPECT_EQ(second.metrics().restoredJobs, resumed.size());
+    for (std::size_t i = 0; i < resumed.size(); ++i) {
+        EXPECT_TRUE(resumed[i].restored) << i;
+        expectOutcomesEqual(resumed[i], uninterrupted[i],
+                            "resumed job " + std::to_string(i));
+    }
+
+    // The report-visible metrics must match the uninterrupted run:
+    // replayed jobs still account for the caches they would have
+    // populated, and restoredJobs is deliberately not report-visible.
+    EXPECT_EQ(second.metrics().jobs, firstMetrics.jobs);
+    EXPECT_EQ(second.metrics().preparedPrograms,
+              firstMetrics.preparedPrograms);
+    EXPECT_EQ(second.metrics().baselineRequests,
+              firstMetrics.baselineRequests);
+    EXPECT_EQ(second.metrics().baselineSimulations,
+              firstMetrics.baselineSimulations);
+    EXPECT_EQ(second.metrics().simulatedMacroInsts,
+              firstMetrics.simulatedMacroInsts);
+}
+
+TEST(SweepResume, TornFinalLineIsDroppedAndResimulated)
+{
+    TempFile journal("torn_line.ckpt");
+
+    SweepEngine first(testOptions());
+    first.setJournal(journal.path(), /*resume=*/false);
+    enqueueMatrix(first);
+    const std::vector<SweepOutcome> uninterrupted = first.execute();
+    first.closeJournal(/*removeFile=*/false);
+
+    // Tear the final record mid-line, as a SIGKILL mid-write would.
+    std::string contents = readFile(journal.path());
+    ASSERT_GT(contents.size(), 40u);
+    contents.resize(contents.size() - 25);
+    {
+        std::ofstream out(journal.path(),
+                          std::ios::binary | std::ios::trunc);
+        out << contents;
+    }
+
+    std::size_t skipped = 0;
+    const auto records = SweepJournal::load(journal.path(), &skipped);
+    EXPECT_EQ(skipped, 1u);
+    EXPECT_EQ(records.size(), uninterrupted.size() - 1);
+
+    // Resume: the torn job re-simulates, everything still matches.
+    SweepEngine second(testOptions());
+    EXPECT_EQ(second.setJournal(journal.path(), /*resume=*/true),
+              uninterrupted.size() - 1);
+    enqueueMatrix(second);
+    const std::vector<SweepOutcome> resumed = second.execute();
+    second.closeJournal(/*removeFile=*/false);
+
+    EXPECT_EQ(second.metrics().restoredJobs, uninterrupted.size() - 1);
+    for (std::size_t i = 0; i < resumed.size(); ++i)
+        expectOutcomesEqual(resumed[i], uninterrupted[i],
+                            "post-torn job " + std::to_string(i));
+}
+
+TEST(SweepResume, ConfigChangeInvalidatesJournaledJobs)
+{
+    TempFile journal("config_change.ckpt");
+
+    SweepEngine first(testOptions());
+    first.setJournal(journal.path(), /*resume=*/false);
+    first.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    first.execute();
+    first.closeJournal(/*removeFile=*/false);
+
+    // Any knob change alters the canonical config serialization, so
+    // the journaled record no longer keys to the re-enqueued job.
+    ExperimentConfig changed = tinyConfig();
+    changed.crcBits = 16;
+    SweepEngine second(testOptions());
+    EXPECT_EQ(second.setJournal(journal.path(), /*resume=*/true), 1u);
+    second.enqueueRun("sobel", Mode::AxMemo, changed);
+    const std::vector<SweepOutcome> outcomes = second.execute();
+    second.closeJournal(/*removeFile=*/false);
+
+    EXPECT_EQ(second.metrics().restoredJobs, 0u);
+    EXPECT_FALSE(outcomes[0].restored);
+    EXPECT_TRUE(outcomes[0].ok());
+}
+
+TEST(SweepResume, InjectedFaultIsRetriedThenSucceeds)
+{
+    RuntimeOptions options = testOptions();
+    options.retries = 1;
+    options.faultInject = "sobel:1"; // fail the first attempt only
+
+    SweepEngine engine(options);
+    engine.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_TRUE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[0].attempts, 2u);
+    EXPECT_EQ(engine.metrics().retriedJobs, 1u);
+    EXPECT_EQ(engine.metrics().failedJobs, 0u);
+
+    // The retried result must equal a clean run's.
+    SweepEngine clean(testOptions());
+    clean.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    expectOutcomesEqual(outcomes[0], clean.execute()[0],
+                        "retried vs clean");
+}
+
+TEST(SweepResume, PersistentFaultExhaustsRetriesAndIsContained)
+{
+    RuntimeOptions options = testOptions();
+    options.retries = 2;
+    options.faultInject = "sobel"; // fail every attempt
+
+    SweepEngine engine(options);
+    engine.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    engine.enqueueRun("fft", Mode::AxMemo, tinyConfig());
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Failed);
+    EXPECT_EQ(outcomes[0].attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(outcomes[0].fault.code, ErrorCode::Simulation);
+    EXPECT_FALSE(outcomes[0].fault.message.empty());
+    // The fault is contained: the other job still completes.
+    EXPECT_TRUE(outcomes[1].ok());
+    EXPECT_EQ(engine.metrics().failedJobs, 1u);
+    EXPECT_EQ(engine.metrics().faultedJobs(), 1u);
+}
+
+TEST(SweepResume, FailedJobsAreNotJournaled)
+{
+    TempFile journal("failed_not_journaled.ckpt");
+    RuntimeOptions options = testOptions();
+    options.retries = 0;
+    options.faultInject = "sobel";
+
+    SweepEngine engine(options);
+    engine.setJournal(journal.path(), /*resume=*/false);
+    engine.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    engine.enqueueRun("fft", Mode::AxMemo, tinyConfig());
+    engine.execute();
+    engine.closeJournal(/*removeFile=*/false);
+
+    // Only the successful job is checkpointed; resuming re-runs the
+    // failed one.
+    EXPECT_EQ(SweepJournal::load(journal.path()).size(), 1u);
+}
+
+TEST(SweepResume, ExpiredWatchdogClassifiesTimedOutWithoutRetry)
+{
+    RuntimeOptions options = testOptions();
+    options.retries = 3;
+    options.jobTimeoutSeconds = 1e-9; // expired by the first poll
+    ExperimentConfig config = tinyConfig();
+    config.dataset.scale = 1.0; // enough work to reach a poll point
+
+    SweepEngine engine(options);
+    engine.enqueueRun("blackscholes", Mode::AxMemo, config);
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::TimedOut);
+    EXPECT_EQ(outcomes[0].fault.code, ErrorCode::Timeout);
+    EXPECT_EQ(outcomes[0].attempts, 1u); // timeouts are never retried
+    EXPECT_EQ(engine.metrics().timedOutJobs, 1u);
+    EXPECT_EQ(engine.metrics().retriedJobs, 0u);
+}
+
+TEST(SweepResume, InterruptSkipsRemainingJobs)
+{
+    setInterruptForTest(2);
+    RuntimeOptions options = testOptions();
+    options.jobs = 1;
+    SweepEngine engine(options);
+    engine.enqueueRun("sobel", Mode::AxMemo, tinyConfig());
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+    setInterruptForTest(0);
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, JobStatus::Skipped);
+    EXPECT_EQ(outcomes[0].fault.code, ErrorCode::Cancelled);
+    EXPECT_EQ(engine.metrics().skippedJobs, 1u);
+}
+
+TEST(SweepResume, RunControlRaisesStructuredErrors)
+{
+    RunControl expired;
+    expired.hasDeadline = true;
+    expired.deadline = std::chrono::steady_clock::now() -
+                       std::chrono::seconds(1);
+    try {
+        expired.check("test");
+        FAIL() << "expired deadline did not throw";
+    } catch (const AxException &e) {
+        EXPECT_EQ(e.error().code, ErrorCode::Timeout);
+        EXPECT_EQ(e.error().component, "test");
+    }
+
+    RunControl cancelled;
+    cancelled.cancelled = [] { return true; };
+    try {
+        cancelled.check("test");
+        FAIL() << "cancelled control did not throw";
+    } catch (const AxException &e) {
+        EXPECT_EQ(e.error().code, ErrorCode::Cancelled);
+    }
+
+    const RunControl inert;
+    EXPECT_FALSE(inert.active());
+    EXPECT_NO_THROW(inert.check("test"));
+}
+
+TEST(SweepResume, AtomicWriteReplacesWholeFileOrNothing)
+{
+    TempFile target("atomic_write.json");
+    ASSERT_TRUE(atomicWriteFile(target.path(), "first version\n").ok());
+    EXPECT_EQ(readFile(target.path()), "first version\n");
+    ASSERT_TRUE(atomicWriteFile(target.path(), "second\n").ok());
+    EXPECT_EQ(readFile(target.path()), "second\n");
+
+    // An unwritable destination reports Io and leaves no temp litter.
+    const Expected<void> bad =
+        atomicWriteFile("/nonexistent-dir/axmemo.json", "x");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Io);
+}
+
+TEST(SweepResume, MissingJournalLoadsEmpty)
+{
+    std::size_t skipped = 7;
+    const auto records = SweepJournal::load(
+        std::string(::testing::TempDir()) + "axmemo_no_such.ckpt",
+        &skipped);
+    EXPECT_TRUE(records.empty());
+    EXPECT_EQ(skipped, 0u);
+}
+
+} // namespace
+} // namespace axmemo

@@ -30,6 +30,24 @@
  *                 document on stdout instead of the text report
  *   --quick       perf only: ~8x fewer iterations, CI-smoke sized
  *
+ * Fault tolerance (run/profile; see DESIGN.md §9):
+ *   --resume          replay each artifact's <name>_sweep.ckpt
+ *                     checkpoint journal instead of re-simulating jobs
+ *                     whose (workload, mode, config) already completed
+ *   --retries <n>     per-job retries after a failure (AXMEMO_RETRIES)
+ *   --job-timeout <s> per-job watchdog; expired jobs are marked
+ *                     timed-out, not retried (AXMEMO_JOB_TIMEOUT)
+ *   --no-timing       zero host-timing fields in every report so two
+ *                     runs are byte-comparable (AXMEMO_TIMING=0)
+ *   --fault-inject <workload[:n]>  test hook: fail matching jobs
+ *
+ * Per-job faults are contained: a failed/timed-out job costs its row
+ * (recorded with a structured error in manifest.json), the rest of the
+ * sweep completes, and the driver exits nonzero. SIGINT/SIGTERM stop
+ * gracefully — in-flight jobs abort at the next watchdog poll, the
+ * journal keeps everything finished so far, a partial manifest.json is
+ * still written, and the exit code is 128 + signal.
+ *
  * Observability (any subcommand; see DESIGN.md §8):
  *   --debug-flags <spec>  enable gem5-style trace flags, e.g.
  *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof or All
@@ -48,12 +66,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/interrupt.hh"
 #include "common/log.hh"
+#include "common/runtime_options.hh"
 #include "core/artifact.hh"
 #include "core/output_paths.hh"
 #include "obs/profiler.hh"
@@ -72,11 +91,15 @@ usage(FILE *to)
         "usage: axmemo --list\n"
         "       axmemo run <artifact>... | all "
         "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n"
+        "                 [--resume] [--retries <n>] "
+        "[--job-timeout <s>] [--no-timing] [--fault-inject <w[:n]>]\n"
         "       axmemo profile <artifact>... | all [run options]\n"
         "       axmemo perf "
         "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
         "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof|"
-        "All>  --trace-out <file>\n");
+        "All>  --trace-out <file>\n"
+        "%s",
+        RuntimeOptions::describeKnobs().c_str());
     return to == stderr ? 2 : 0;
 }
 
@@ -97,7 +120,6 @@ main(int argc, char **argv)
     setQuiet(true);
 
     std::vector<std::string> names;
-    std::string outDir;
     std::string traceOut;
     bool json = false;
     bool run = false;
@@ -105,7 +127,12 @@ main(int argc, char **argv)
     bool perf = false;
     bool quick = false;
     bool profile = false;
+    bool resume = false;
     double scale = 0.0;
+
+    // Every knob is parsed from the environment exactly once; the
+    // command line layers on top and the result is frozen below.
+    RuntimeOptions runtime = RuntimeOptions::fromEnv();
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -130,15 +157,34 @@ main(int argc, char **argv)
         } else if (arg == "--scale") {
             const char *v = value();
             scale = std::atof(v);
+            runtime.scale = scale;
+            runtime.scaleSet = scale > 0.0;
+            // Keep the environment in sync for child-style consumers
+            // (perf re-reads it when it changes the scale mid-run).
             setenv("AXMEMO_SCALE", v, 1);
         } else if (arg == "--full") {
+            runtime.full = true;
             setenv("AXMEMO_FULL", "1", 1);
         } else if (arg == "--jobs") {
-            setenv("AXMEMO_JOBS", value(), 1);
+            const char *v = value();
+            runtime.jobs =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+            setenv("AXMEMO_JOBS", v, 1);
         } else if (arg == "--out") {
-            outDir = value();
+            runtime.outDir = value();
         } else if (arg == "--json") {
             json = true;
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--retries") {
+            runtime.retries = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--job-timeout") {
+            runtime.jobTimeoutSeconds = std::atof(value());
+        } else if (arg == "--no-timing") {
+            runtime.reportTiming = false;
+        } else if (arg == "--fault-inject") {
+            runtime.faultInject = value();
         } else if (arg == "--debug-flags" ||
                    arg.rfind("--debug-flags=", 0) == 0) {
             const std::string spec =
@@ -169,6 +215,11 @@ main(int argc, char **argv)
         }
     }
 
+    // Freeze the resolved knobs as the process-wide options: ambient
+    // RuntimeOptions::global() callers now see CLI overrides too.
+    RuntimeOptions::setGlobal(runtime);
+    installSignalHandlers();
+
     trace::initFromEnv();
     if (!traceOut.empty() && !trace::openTraceFile(traceOut)) {
         std::fprintf(stderr, "cannot open trace file '%s'\n",
@@ -183,7 +234,7 @@ main(int argc, char **argv)
             return usage(stderr);
         PerfOptions options;
         options.quick = quick;
-        options.outDir = outDir;
+        options.outDir = runtime.outDir;
         options.scale = scale;
         return runPerf(options);
     }
@@ -212,12 +263,35 @@ main(int argc, char **argv)
     }
 
     ArtifactRunOptions options;
-    options.outDir = outDir;
+    options.outDir = runtime.outDir;
     options.writeRows = true;
     options.rowsToStdout = json;
     options.writeStats = true;
+    options.runtime = runtime;
+    options.journal = true;
+    options.resume = resume;
+
+    // Even an interrupted or partially failed invocation writes what it
+    // has: the manifest records every artifact that ran to completion.
+    auto writeManifest = [&](const std::vector<std::string> &runs) {
+        const std::string manifestPath = joinPath(
+            resolveOutputDir(runtime.outDir), "manifest.json");
+        std::string doc = "{\"runs\":[";
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            if (i)
+                doc += ',';
+            doc += runs[i];
+        }
+        doc += "]}\n";
+        const Expected<void> wrote =
+            atomicWriteFile(manifestPath, doc);
+        if (!wrote.ok())
+            axm_warn("cannot write manifest: ",
+                     wrote.error().describe());
+    };
 
     std::vector<std::string> manifestRuns;
+    std::size_t faultedJobs = 0;
     for (std::size_t i = 0; i < names.size(); ++i) {
         if (i && !json)
             std::printf("\n");
@@ -226,11 +300,18 @@ main(int argc, char **argv)
         // Per-artifact phase isolation: the manifest's "phases" and the
         // profile view report this run only.
         obs::Profiler::instance().reset();
-        ArtifactRunRecord record;
-        const int rc = runArtifact(*artifact, options, &record);
-        if (rc)
-            return rc;
-        manifestRuns.push_back(std::move(record.manifestRun));
+        const Expected<ArtifactRunRecord> record =
+            runArtifact(*artifact, options);
+        if (!record.ok()) {
+            std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
+                         record.error().describe().c_str());
+            writeManifest(manifestRuns);
+            return 1;
+        }
+        faultedJobs += record.value().faultedJobs();
+        manifestRuns.push_back(record.value().manifestRun);
+        if (interruptRequested())
+            break;
         if (profile) {
             std::printf("\n== profile %s ==\n%s", names[i].c_str(),
                         obs::Profiler::instance().renderText().c_str());
@@ -238,19 +319,20 @@ main(int argc, char **argv)
         }
     }
 
-    const std::string manifestPath =
-        joinPath(resolveOutputDir(outDir), "manifest.json");
-    std::ofstream manifest(manifestPath);
-    if (!manifest) {
-        axm_warn("cannot write manifest to ", manifestPath);
-    } else {
-        manifest << "{\"runs\":[";
-        for (std::size_t i = 0; i < manifestRuns.size(); ++i) {
-            if (i)
-                manifest << ',';
-            manifest << manifestRuns[i];
-        }
-        manifest << "]}\n";
+    writeManifest(manifestRuns);
+    if (interruptRequested()) {
+        std::fprintf(stderr,
+                     "interrupted by signal %d; partial results "
+                     "written (rerun with --resume to continue)\n",
+                     interruptSignal());
+        return 128 + interruptSignal();
+    }
+    if (faultedJobs) {
+        std::fprintf(stderr,
+                     "%zu job(s) did not complete; see manifest.json "
+                     "for per-job status\n",
+                     faultedJobs);
+        return 1;
     }
     return 0;
 }

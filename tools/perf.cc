@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/runtime_options.hh"
 #include "core/artifact.hh"
 #include "core/output_paths.hh"
 #include "crc/crc.hh"
@@ -457,6 +458,15 @@ benchFig7(double scale)
     std::snprintf(scaleStr, sizeof(scaleStr), "%g", scale);
     setenv("AXMEMO_SCALE", scaleStr, 1);
     unsetenv("AXMEMO_FULL");
+    // The driver froze RuntimeOptions at startup; mirror the scale
+    // change into the frozen copy so benchScale() consumers see it.
+    if (RuntimeOptions::globalFrozen()) {
+        RuntimeOptions updated = RuntimeOptions::global();
+        updated.scale = scale;
+        updated.scaleSet = scale > 0.0;
+        updated.full = false;
+        RuntimeOptions::setGlobal(updated);
+    }
 
     const std::unique_ptr<Artifact> artifact =
         ArtifactRegistry::instance().make("fig7");
