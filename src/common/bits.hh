@@ -57,6 +57,18 @@ ceilLog2(std::uint64_t value)
     return isPowerOfTwo(value) ? floorLog2(value) : floorLog2(value) + 1;
 }
 
+/** @return the low @p width bits of @p v in reverse order (bit 0 of
+ * the result is bit width-1 of the input); upper bits are dropped.
+ * Used to derive reflected CRC polynomials from their normal form. */
+constexpr std::uint64_t
+bitReverse(std::uint64_t v, unsigned width)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < width; ++i)
+        r = (r << 1) | ((v >> i) & 1);
+    return r;
+}
+
 /**
  * Truncate the low @p n bits of a raw word before hashing.
  *

@@ -56,6 +56,12 @@ enum class Ev : std::uint8_t
 
 constexpr std::size_t numEvents = static_cast<std::size_t>(Ev::NumEvents);
 
+/** Length of the front-end/µop-class prefix of Ev (FrontendUops through
+ * UopMemo) — the counters the simulator charges on every instruction
+ * and can therefore batch per basic block. */
+constexpr std::size_t numUopEvents =
+    static_cast<std::size_t>(Ev::UopMemo) + 1;
+
 /** @return the stable CounterSet/report name of @p ev. */
 const char *eventName(Ev ev);
 
@@ -74,6 +80,19 @@ class EventCounters
     get(Ev ev) const
     {
         return counts_[static_cast<std::size_t>(ev)];
+    }
+
+    /**
+     * Element-wise add of the first @p n counters from @p deltas (the
+     * structure-of-arrays form a block predecode produces): one tight
+     * loop per basic block instead of branchy per-instruction add()
+     * calls. @p n must not exceed numEvents.
+     */
+    void
+    addRange(const std::uint64_t *deltas, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            counts_[i] += deltas[i];
     }
 
     /** Name-based lookup for tests/reports (slow path; 0 if unknown). */

@@ -28,6 +28,14 @@
  *   AXMEMO_JOB_TIMEOUT  --job-timeout <s> per-job watchdog seconds (0 = off)
  *   AXMEMO_TIMING       --no-timing       0 zeroes host-timing report fields
  *   AXMEMO_FAULT_INJECT --fault-inject    test hook: fail matching jobs
+ *   AXMEMO_DISPATCH     --dispatch <m>    interpreter loop: auto|threaded|switch
+ *   AXMEMO_NO_BATCH     --no-batch        1 disables basic-block batching
+ *   AXMEMO_NO_SIMD      --no-simd         1 disables the SIMD CRC kernels
+ *
+ * The dispatch/batch/simd knobs select between bit-identical host data
+ * paths (DESIGN.md §10): they change simulation speed, never simulated
+ * results, so they are host-side options rather than ExperimentConfig
+ * fields and stay out of the canonical manifest serialization.
  */
 
 #ifndef AXMEMO_COMMON_RUNTIME_OPTIONS_HH
@@ -61,6 +69,16 @@ struct RuntimeOptions
      * whose workload matches fail their first <attempts> attempts
      * (default: all attempts). Test/CI use only; empty = off. */
     std::string faultInject;
+    /** Interpreter dispatch mode: "auto" (threaded when compiled in),
+     * "threaded" (computed goto; warns and falls back if the build
+     * lacks it) or "switch" (portable fallback loop). */
+    std::string dispatch = "auto";
+    /** Basic-block macro-op batching in the simulator inner loop;
+     * AXMEMO_NO_BATCH=1 / --no-batch turns it off. */
+    bool blockBatch = true;
+    /** SIMD CRC kernels (SSE4.2/PCLMUL) when the host supports them;
+     * AXMEMO_NO_SIMD=1 / --no-simd forces the portable slice paths. */
+    bool simd = true;
 
     /** Parse every knob from the environment (defensive: malformed
      * values warn and keep the default, same as the old parsers). */

@@ -1,0 +1,59 @@
+#include "crc/cpu_features.hh"
+
+namespace axmemo {
+
+namespace {
+
+struct Features
+{
+    bool sse42 = false;
+    bool pclmul = false;
+};
+
+Features
+detect()
+{
+    Features f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(AXMEMO_FORCE_PORTABLE)
+    f.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+    f.pclmul = __builtin_cpu_supports("pclmul") != 0;
+#endif
+    return f;
+}
+
+const Features &
+features()
+{
+    static const Features f = detect();
+    return f;
+}
+
+} // namespace
+
+bool
+cpuHasSse42()
+{
+    return features().sse42;
+}
+
+bool
+cpuHasPclmul()
+{
+    return features().pclmul;
+}
+
+const char *
+cpuSimdSummary()
+{
+    const Features &f = features();
+    if (f.sse42 && f.pclmul)
+        return "sse4.2+pclmul";
+    if (f.sse42)
+        return "sse4.2";
+    if (f.pclmul)
+        return "pclmul";
+    return "none";
+}
+
+} // namespace axmemo

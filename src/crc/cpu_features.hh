@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Runtime host-CPU feature detection for the accelerated CRC data paths.
+ *
+ * The simulator's *model* of the CRC unit (crc/hw_model.hh) is
+ * paper-facing; this header is host-facing: it answers "may this process
+ * execute SSE4.2 CRC32 / PCLMULQDQ instructions right now?". Detection
+ * is runtime (cpuid), so one binary runs correctly on hosts with and
+ * without the extensions — the engine falls back to the portable
+ * slice-by-8/table paths when a feature is missing, when the build was
+ * configured with -DAXMEMO_FORCE_PORTABLE=ON, or when the user disables
+ * SIMD with AXMEMO_NO_SIMD/--no-simd.
+ */
+
+#ifndef AXMEMO_CRC_CPU_FEATURES_HH
+#define AXMEMO_CRC_CPU_FEATURES_HH
+
+namespace axmemo {
+
+/** True when the host CPU executes SSE4.2 (the CRC32 instruction). */
+bool cpuHasSse42();
+
+/** True when the host CPU executes PCLMULQDQ (carry-less multiply). */
+bool cpuHasPclmul();
+
+/** Static summary for traces and perf entries: "sse4.2+pclmul",
+ * "sse4.2", "pclmul", or "none". Reflects detection only, not the
+ * runtime/compile-time disable knobs. */
+const char *cpuSimdSummary();
+
+} // namespace axmemo
+
+#endif // AXMEMO_CRC_CPU_FEATURES_HH

@@ -2,8 +2,19 @@
 
 #include "common/bits.hh"
 #include "common/log.hh"
+#include "common/runtime_options.hh"
+#include "crc/cpu_features.hh"
+#include "crc/crc_accel.hh"
 
 namespace axmemo {
+
+namespace {
+
+/** Buffers below this keep the slice path; the PCLMUL kernel's final
+ * reduction (16 portable byte steps) only amortizes on larger blocks. */
+constexpr std::size_t kClmulMinLen = 256;
+
+} // namespace
 
 CrcSpec
 CrcSpec::crc8()
@@ -27,6 +38,18 @@ CrcSpec
 CrcSpec::crc32()
 {
     return {32, 0x04c11db7ull, 0xffffffffull, 0xffffffffull};
+}
+
+CrcSpec
+CrcSpec::crc32c()
+{
+    return {32, 0x1edc6f41ull, 0xffffffffull, 0xffffffffull, true};
+}
+
+CrcSpec
+CrcSpec::crc32Reflected()
+{
+    return {32, 0x04c11db7ull, 0xffffffffull, 0xffffffffull, true};
 }
 
 CrcSpec
@@ -64,27 +87,20 @@ CrcSpec::ofWidth(unsigned width)
     return spec;
 }
 
-CrcEngine::CrcEngine(const CrcSpec &spec)
+CrcEngine::CrcEngine(const CrcSpec &spec, bool allowAccel)
     : spec_(spec), mask_(maskLow(spec.width)),
       topBit_(1ull << (spec.width - 1)), table_(256, 0)
 {
     if (spec.width == 0 || spec.width > 64)
         axm_fatal("unsupported CRC width ", spec.width);
-    // The table entry for byte b is the register evolution of b << (w-8);
-    // identical to running 8 bit-serial steps. For widths < 8 the standard
-    // construction still works by processing bits MSB-first.
-    for (unsigned b = 0; b < 256; ++b) {
-        std::uint64_t state = 0;
-        std::uint8_t byte = static_cast<std::uint8_t>(b);
-        for (int i = 7; i >= 0; --i) {
-            const bool inBit = (byte >> i) & 1;
-            const bool fbBit = (state & topBit_) != 0;
-            state = (state << 1) & mask_;
-            if (inBit ^ fbBit)
-                state ^= spec_.poly & mask_;
-        }
-        table_[b] = state;
-    }
+    rpoly_ = bitReverse(spec_.poly & mask_, spec_.width);
+
+    // The table entry for byte b is the register evolution of feeding b
+    // from a zero register; identical to running 8 bit-serial steps
+    // (MSB first, or LSB first for reflected specs). For widths < 8 the
+    // construction still works in both orders.
+    for (unsigned b = 0; b < 256; ++b)
+        table_[b] = updateByteSerial(0, static_cast<std::uint8_t>(b));
 
     // Slice-by-8 tables for byte-multiple widths: slice k holds the
     // register evolution of byte b followed by k zero bytes, so a block
@@ -100,13 +116,51 @@ CrcEngine::CrcEngine(const CrcSpec &spec)
             for (unsigned b = 0; b < 256; ++b) {
                 const std::uint64_t prev = slice_[(k - 1) * 256 + b];
                 slice_[k * 256 + b] =
-                    ((prev << 8) ^
-                     table_[static_cast<std::uint8_t>(
-                         prev >> (spec_.width - 8))]) &
-                    mask_;
+                    spec_.reflected
+                        ? (prev >> 8) ^
+                              table_[static_cast<std::uint8_t>(prev)]
+                        : ((prev << 8) ^
+                           table_[static_cast<std::uint8_t>(
+                               prev >> (spec_.width - 8))]) &
+                              mask_;
             }
         }
     }
+
+    // Hardware tiers: an engine only arms a SIMD kernel when the caller
+    // allows it, the kernel is compiled in, the AXMEMO_NO_SIMD knob is
+    // off, the host CPU has the instructions, and the spec is one the
+    // kernel is exact for. Everything else stays on the slice/table
+    // paths above.
+    if (allowAccel && accel::compiledIn() && RuntimeOptions::global().simd) {
+        if (spec_.reflected && spec_.width == 32 &&
+            (spec_.poly & mask_) == 0x1edc6f41ull && cpuHasSse42()) {
+            // The SSE4.2 crc32 instruction is reflected CRC-32C.
+            hwCrc32c_ = true;
+        } else if (!spec_.reflected && stateBytes_ != 0 &&
+                   cpuHasPclmul()) {
+            clmul_ = true;
+            foldK_[0] = xPowModPoly(128);
+            foldK_[1] = xPowModPoly(192);
+            foldK_[2] = xPowModPoly(512);
+            foldK_[3] = xPowModPoly(576);
+        }
+    }
+}
+
+std::uint64_t
+CrcEngine::xPowModPoly(unsigned n) const
+{
+    // Clock the (non-reflected) LFSR n times from polynomial 1: each
+    // step multiplies by x and reduces mod P.
+    std::uint64_t state = 1;
+    for (unsigned i = 0; i < n; ++i) {
+        const bool feedback = (state & topBit_) != 0;
+        state = (state << 1) & mask_;
+        if (feedback)
+            state ^= spec_.poly & mask_;
+    }
+    return state;
 }
 
 std::uint64_t
@@ -117,13 +171,21 @@ CrcEngine::updateBlock(std::uint64_t state, const std::uint8_t *data,
     // the new state is a pure XOR of per-byte contributions: state byte
     // j exits after j+1 steps and then sees n-1-j zero bytes (slice
     // n-1-j), merged with input byte j by linearity; the remaining
-    // input bytes contribute their own slices.
+    // input bytes contribute their own slices. Reflected specs exit the
+    // register low byte first, everything else is the mirror image.
     std::uint64_t acc = 0;
     unsigned i = 0;
-    for (; i < stateBytes_; ++i) {
-        const auto s = static_cast<std::uint8_t>(
-            state >> (spec_.width - 8 * (i + 1)));
-        acc ^= sliceAt(n - 1 - i, s ^ data[i]);
+    if (spec_.reflected) {
+        for (; i < stateBytes_; ++i) {
+            const auto s = static_cast<std::uint8_t>(state >> (8 * i));
+            acc ^= sliceAt(n - 1 - i, s ^ data[i]);
+        }
+    } else {
+        for (; i < stateBytes_; ++i) {
+            const auto s = static_cast<std::uint8_t>(
+                state >> (spec_.width - 8 * (i + 1)));
+            acc ^= sliceAt(n - 1 - i, s ^ data[i]);
+        }
     }
     for (; i < n; ++i)
         acc ^= sliceAt(n - 1 - i, data[i]);
@@ -133,6 +195,13 @@ CrcEngine::updateBlock(std::uint64_t state, const std::uint8_t *data,
 std::uint64_t
 CrcEngine::updateBit(std::uint64_t state, bool bit) const
 {
+    if (spec_.reflected) {
+        const bool feedback = (state & 1) != 0;
+        state >>= 1;
+        if (bit ^ feedback)
+            state ^= rpoly_;
+        return state;
+    }
     const bool feedback = (state & topBit_) != 0;
     state = (state << 1) & mask_;
     if (bit ^ feedback)
@@ -143,6 +212,11 @@ CrcEngine::updateBit(std::uint64_t state, bool bit) const
 std::uint64_t
 CrcEngine::updateByteSerial(std::uint64_t state, std::uint8_t byte) const
 {
+    if (spec_.reflected) {
+        for (int i = 0; i < 8; ++i)
+            state = updateBit(state, (byte >> i) & 1);
+        return state;
+    }
     for (int i = 7; i >= 0; --i)
         state = updateBit(state, (byte >> i) & 1);
     return state;
@@ -151,22 +225,29 @@ CrcEngine::updateByteSerial(std::uint64_t state, std::uint8_t byte) const
 std::uint64_t
 CrcEngine::updateByte(std::uint64_t state, std::uint8_t byte) const
 {
+    if (spec_.reflected) {
+        // Works for every width: for w < 8 the whole register exits
+        // during the 8 steps and combines with the low input bits, so
+        // the index (state ^ byte) & 0xff is exact by linearity.
+        const auto idx = static_cast<std::uint8_t>(state ^ byte);
+        return ((state >> 8) ^ table_[idx]) & mask_;
+    }
     if (spec_.width >= 8) {
         const auto idx = static_cast<std::uint8_t>(
             (state >> (spec_.width - 8)) ^ byte);
         return ((state << 8) ^ table_[idx]) & mask_;
     }
-    // Narrow CRCs cannot index the table with register bits alone; fall
-    // back to the (identical) serial evolution.
+    // Narrow non-reflected CRCs cannot index the table with register
+    // bits alone; fall back to the (identical) serial evolution.
     return updateByteSerial(state, byte);
 }
 
 std::uint64_t
-CrcEngine::update(std::uint64_t state, const void *data,
-                  std::size_t len) const
+CrcEngine::updatePortable(std::uint64_t state, const void *data,
+                          std::size_t len) const
 {
     const auto *bytes = static_cast<const std::uint8_t *>(data);
-    if (stateBytes_ == 4) {
+    if (stateBytes_ == 4 && !spec_.reflected) {
         // Unrolled 32-bit hot case (the LUT-tag hash): constant slice
         // indices let the compiler hoist the eight table bases.
         for (; len >= 8; bytes += 8, len -= 8) {
@@ -198,11 +279,36 @@ CrcEngine::update(std::uint64_t state, const void *data,
 }
 
 std::uint64_t
+CrcEngine::update(std::uint64_t state, const void *data,
+                  std::size_t len) const
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    if (hwCrc32c_)
+        return accel::crc32cUpdate(state, bytes, len);
+    if (clmul_ && len >= kClmulMinLen) {
+        const accel::FoldConsts k{foldK_[0], foldK_[1], foldK_[2],
+                                  foldK_[3]};
+        std::uint8_t residue[16];
+        const std::size_t consumed = accel::clmulFold(
+            k, spec_.width, state, bytes, len, residue);
+        // The residue's portable CRC from a zero register IS the folded
+        // state; reducing through the verified slice path keeps the
+        // whole pipeline bit-identical to the serial LFSR.
+        state = updatePortable(0, residue, 16);
+        bytes += consumed;
+        len -= consumed;
+    }
+    return updatePortable(state, bytes, len);
+}
+
+std::uint64_t
 CrcEngine::updateWord(std::uint64_t state, std::uint64_t word,
                       unsigned nbytes) const
 {
     if (nbytes > 8)
         axm_panic("CrcEngine::updateWord of ", nbytes, " bytes");
+    if (hwCrc32c_)
+        return accel::crc32cUpdateWord(state, word, nbytes);
     if (stateBytes_ != 0 && nbytes >= stateBytes_) {
         std::uint8_t bytes[8];
         for (unsigned i = 0; i < nbytes; ++i)
@@ -218,6 +324,20 @@ std::uint64_t
 CrcEngine::compute(const void *data, std::size_t len) const
 {
     return finalize(update(initial(), data, len));
+}
+
+const char *
+CrcEngine::bulkPathName() const
+{
+    if (hwCrc32c_)
+        return "sse4.2-crc32c";
+    if (clmul_)
+        return "pclmul";
+    if (sliced())
+        return "slice8";
+    if (spec_.width >= 8 || spec_.reflected)
+        return "table";
+    return "bit-serial";
 }
 
 } // namespace axmemo

@@ -4,8 +4,9 @@
  *
  * AxMemo hashes the (possibly truncated) memoization inputs with a CRC and
  * uses the checksum as the fixed-size LUT tag. The engine below supports any
- * width up to 64 bits and any generator polynomial, with two functionally
- * identical implementations:
+ * width up to 64 bits, any generator polynomial, and both the normal
+ * (MSB-first) and reflected (LSB-first) bit orders, with functionally
+ * identical implementations at every speed tier:
  *
  *  - updateBitSerial(): one input bit per step, the direct software model of
  *    the hardware LFSR-with-input-XOR of Fig. 3;
@@ -21,6 +22,16 @@
  * the serial evolution by construction; narrow or odd widths simply
  * fall back to the serial paths (DESIGN.md §7).
  *
+ * On x86-64 hosts two hardware tiers sit above slice-by-8, selected at
+ * run time by CPU detection (crc/cpu_features.hh) and disabled by
+ * AXMEMO_NO_SIMD / --no-simd or a -DAXMEMO_FORCE_PORTABLE=ON build:
+ * the SSE4.2 crc32 instruction for the one spec it implements
+ * (reflected CRC-32C), and PCLMUL carry-less-multiply folding for any
+ * non-reflected byte-multiple width (DESIGN.md §10). Both reduce
+ * through the portable path, so bit-identity follows from the same
+ * linearity argument; updatePortable() stays available as the
+ * reference implementation for tests.
+ *
  * Streaming matters: the memoization unit accumulates inputs as they arrive
  * (property 1 in Section 3.1), so the engine exposes explicit state that the
  * hash-value registers can hold between ld_crc/reg_crc instructions.
@@ -35,17 +46,22 @@
 
 namespace axmemo {
 
-/** Parameters of a CRC algorithm (Rocksoft model, non-reflected). */
+/** Parameters of a CRC algorithm (Rocksoft model). */
 struct CrcSpec
 {
     /** Checksum width in bits (1..64). */
     unsigned width = 32;
-    /** Generator polynomial, MSB-first, without the implicit x^width term. */
+    /** Generator polynomial in normal (MSB-first) form, without the
+     * implicit x^width term — also for reflected specs, where the
+     * engine bit-reverses it internally. */
     std::uint64_t poly = 0x04c11db7ull;
     /** Initial shift-register contents. */
     std::uint64_t init = 0xffffffffull;
     /** Value XORed into the register on finalize. */
     std::uint64_t xorOut = 0xffffffffull;
+    /** LSB-first (reflected) processing: input bytes enter low bit
+     * first and the register shifts right. */
+    bool reflected = false;
 
     /** CRC-8 (poly 0x07, as in SMBus). */
     static CrcSpec crc8();
@@ -55,6 +71,11 @@ struct CrcSpec
     static CrcSpec crc24();
     /** CRC-32 (IEEE 802.3 polynomial, non-reflected form). */
     static CrcSpec crc32();
+    /** CRC-32C (Castagnoli, poly 0x1edc6f41, reflected) — what the
+     * SSE4.2 crc32 instruction computes. */
+    static CrcSpec crc32c();
+    /** CRC-32/ISO-HDLC (the zlib/PNG CRC): IEEE polynomial, reflected. */
+    static CrcSpec crc32Reflected();
     /** CRC-64/ECMA-182. */
     static CrcSpec crc64();
 
@@ -66,8 +87,14 @@ struct CrcSpec
 class CrcEngine
 {
   public:
-    /** Build the 8-bit-parallel constant table for @p spec. */
-    explicit CrcEngine(const CrcSpec &spec = CrcSpec::crc32());
+    /**
+     * Build the 8-bit-parallel constant table for @p spec. When
+     * @p allowAccel (and the CPU supports it, and AXMEMO_NO_SIMD is not
+     * set), bulk updates may use the SSE4.2/PCLMUL kernels; pass false
+     * to force the portable paths regardless of host support.
+     */
+    explicit CrcEngine(const CrcSpec &spec = CrcSpec::crc32(),
+                       bool allowAccel = true);
 
     /** The algorithm parameters in use. */
     const CrcSpec &spec() const { return spec_; }
@@ -81,17 +108,24 @@ class CrcEngine
      */
     std::uint64_t updateBit(std::uint64_t state, bool bit) const;
 
-    /** Advance @p state by one byte using the bit-serial model (8 steps). */
+    /** Advance @p state by one byte using the bit-serial model (8 steps,
+     * LSB first when the spec is reflected). */
     std::uint64_t updateByteSerial(std::uint64_t state,
                                    std::uint8_t byte) const;
 
     /** Advance @p state by one byte using the table (8-bit parallel). */
     std::uint64_t updateByte(std::uint64_t state, std::uint8_t byte) const;
 
-    /** Advance @p state over @p len bytes at @p data (slice-by-8 for
-     * byte-multiple widths, else table-driven byte at a time). */
+    /** Advance @p state over @p len bytes at @p data through the fastest
+     * path active for this spec/host (see bulkPathName()). */
     std::uint64_t update(std::uint64_t state, const void *data,
                          std::size_t len) const;
+
+    /** Advance @p state over @p len bytes using only the portable
+     * table/slice paths — the reference the SIMD kernels are verified
+     * against, and the reduction step of the PCLMUL path. */
+    std::uint64_t updatePortable(std::uint64_t state, const void *data,
+                                 std::size_t len) const;
 
     /** Advance @p state over the low @p nbytes bytes of @p word (LE). */
     std::uint64_t updateWord(std::uint64_t state, std::uint64_t word,
@@ -112,6 +146,13 @@ class CrcEngine
     /** True when the slice-by-8 bulk path is active for this width. */
     bool sliced() const { return stateBytes_ != 0; }
 
+    /** True when update()/updateWord() may use a SIMD kernel. */
+    bool hwAccelerated() const { return hwCrc32c_ || clmul_; }
+
+    /** Name of the bulk data path update() uses for large buffers:
+     * "sse4.2-crc32c", "pclmul", "slice8", "table" or "bit-serial". */
+    const char *bulkPathName() const;
+
   private:
     /** Advance @p state over @p n bytes (stateBytes_ <= n <= 8) as one
      * XOR of n slice-table lookups. Only valid when sliced(). */
@@ -124,14 +165,27 @@ class CrcEngine
         return slice_[zeros * 256u + byte];
     }
 
+    /** x^n mod P, by clocking the bit-serial LFSR n times from state 1
+     * (PCLMUL folding constants). */
+    std::uint64_t xPowModPoly(unsigned n) const;
+
     CrcSpec spec_;
     std::uint64_t mask_;
     std::uint64_t topBit_;
+    /** spec_.poly bit-reversed into the low width bits (reflected). */
+    std::uint64_t rpoly_ = 0;
     std::vector<std::uint64_t> table_;
     /** 8 x 256 slice tables; empty unless width is a byte multiple. */
     std::vector<std::uint64_t> slice_;
     /** width/8 when the slice path is active, else 0. */
     unsigned stateBytes_ = 0;
+    /** SSE4.2 path: spec is exactly reflected CRC-32C and the host has
+     * the crc32 instruction. */
+    bool hwCrc32c_ = false;
+    /** PCLMUL folding path for non-reflected byte-multiple widths. */
+    bool clmul_ = false;
+    /** x^{128,192,512,576} mod P when clmul_ is set. */
+    std::uint64_t foldK_[4] = {0, 0, 0, 0};
 };
 
 } // namespace axmemo

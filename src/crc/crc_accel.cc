@@ -1,0 +1,191 @@
+/**
+ * @file
+ * SIMD CRC kernel implementations. This file is compiled with
+ * -msse4.2 -mpclmul on x86-64 (see src/crc/CMakeLists.txt); every
+ * other build configuration compiles the panicking stubs at the
+ * bottom, and CrcEngine never dispatches here because compiledIn()
+ * reports false.
+ *
+ * PCLMUL folding math (non-reflected convention, input bytes MSB
+ * first). Write the register state after consuming a byte prefix V as
+ * S = (V * x^w) mod P. The kernel keeps a 128-bit accumulator A with
+ * the invariant S = (A * x^w) mod P, seeded from the first 16-byte
+ * block D0 as A = D0 xor (S * x^(128-w)). Consuming the next block D:
+ *
+ *     A' = Ahi * (x^192 mod P)  xor  Alo * (x^128 mod P)  xor  D
+ *
+ * Both products have degree <= 63 + (w-1) <= 126, so A' fits 128 bits
+ * and the invariant is preserved (A' == A * x^128 xor D, mod P). For
+ * throughput, four accumulators run 64 bytes apart using x^512/x^576
+ * constants, then merge with three 16-byte fold steps. The final
+ * reduction (A * x^w) mod P is NOT done here: the accumulator is
+ * returned as 16 bytes whose portable-path CRC from a zero register is
+ * exactly that value, so the caller reuses code already proven
+ * bit-identical to the serial LFSR.
+ */
+
+#include "crc/crc_accel.hh"
+
+#include "common/log.hh"
+
+#if defined(__x86_64__) && defined(__SSE4_2__) && defined(__PCLMUL__) && \
+    !defined(AXMEMO_FORCE_PORTABLE)
+#define AXMEMO_CRC_ACCEL_IMPL 1
+#include <immintrin.h>
+#endif
+
+namespace axmemo {
+namespace accel {
+
+#ifdef AXMEMO_CRC_ACCEL_IMPL
+
+bool
+compiledIn()
+{
+    return true;
+}
+
+std::uint64_t
+crc32cUpdate(std::uint64_t state, const std::uint8_t *data,
+             std::size_t len)
+{
+    auto c = static_cast<std::uint32_t>(state);
+    for (; len >= 8; data += 8, len -= 8) {
+        std::uint64_t w;
+        __builtin_memcpy(&w, data, 8);
+        c = static_cast<std::uint32_t>(_mm_crc32_u64(c, w));
+    }
+    if (len >= 4) {
+        std::uint32_t w;
+        __builtin_memcpy(&w, data, 4);
+        c = _mm_crc32_u32(c, w);
+        data += 4;
+        len -= 4;
+    }
+    for (; len; ++data, --len)
+        c = _mm_crc32_u8(c, *data);
+    return c;
+}
+
+std::uint64_t
+crc32cUpdateWord(std::uint64_t state, std::uint64_t word, unsigned nbytes)
+{
+    auto c = static_cast<std::uint32_t>(state);
+    if (nbytes == 8)
+        return static_cast<std::uint32_t>(_mm_crc32_u64(c, word));
+    // Low bytes first, matching CrcEngine::updateWord's LE order.
+    if (nbytes & 4) {
+        c = _mm_crc32_u32(c, static_cast<std::uint32_t>(word));
+        word >>= 32;
+    }
+    if (nbytes & 2) {
+        c = _mm_crc32_u16(c, static_cast<std::uint16_t>(word));
+        word >>= 16;
+    }
+    if (nbytes & 1)
+        c = _mm_crc32_u8(c, static_cast<std::uint8_t>(word));
+    return c;
+}
+
+namespace {
+
+/** Reverse the 16 bytes of @p v: polynomial convention wants the first
+ * message byte in the most-significant lane. */
+inline __m128i
+byteRev(__m128i v)
+{
+    const __m128i rev =
+        _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+    return _mm_shuffle_epi8(v, rev);
+}
+
+inline __m128i
+loadRev(const std::uint8_t *p)
+{
+    return byteRev(
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(p)));
+}
+
+/** One fold step: A -> Ahi*Khi xor Alo*Klo (both carry-less). */
+inline __m128i
+fold16(__m128i a, __m128i k)
+{
+    return _mm_xor_si128(_mm_clmulepi64_si128(a, k, 0x11),
+                         _mm_clmulepi64_si128(a, k, 0x00));
+}
+
+} // namespace
+
+std::size_t
+clmulFold(const FoldConsts &k, unsigned width, std::uint64_t state,
+          const std::uint8_t *data, std::size_t len,
+          std::uint8_t residue[16])
+{
+    const __m128i k1 = _mm_set_epi64x(static_cast<long long>(k.k192),
+                                      static_cast<long long>(k.k128));
+    // state * x^(128-w): the register enters the top w bits of the
+    // first block, i.e. the high 64-bit lane (128-w >= 64 for w <= 64).
+    const __m128i top = _mm_set_epi64x(
+        static_cast<long long>(width < 64 ? state << (64 - width)
+                                          : state),
+        0);
+    std::size_t pos = 0;
+    __m128i b;
+    if (len >= 128) {
+        const __m128i k4 =
+            _mm_set_epi64x(static_cast<long long>(k.k576),
+                           static_cast<long long>(k.k512));
+        __m128i b0 = _mm_xor_si128(loadRev(data), top);
+        __m128i b1 = loadRev(data + 16);
+        __m128i b2 = loadRev(data + 32);
+        __m128i b3 = loadRev(data + 48);
+        for (pos = 64; len - pos >= 64; pos += 64) {
+            b0 = _mm_xor_si128(fold16(b0, k4), loadRev(data + pos));
+            b1 = _mm_xor_si128(fold16(b1, k4), loadRev(data + pos + 16));
+            b2 = _mm_xor_si128(fold16(b2, k4), loadRev(data + pos + 32));
+            b3 = _mm_xor_si128(fold16(b3, k4), loadRev(data + pos + 48));
+        }
+        b = _mm_xor_si128(fold16(b0, k1), b1);
+        b = _mm_xor_si128(fold16(b, k1), b2);
+        b = _mm_xor_si128(fold16(b, k1), b3);
+    } else {
+        b = _mm_xor_si128(loadRev(data), top);
+        pos = 16;
+    }
+    for (; len - pos >= 16; pos += 16)
+        b = _mm_xor_si128(fold16(b, k1), loadRev(data + pos));
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(residue), byteRev(b));
+    return pos;
+}
+
+#else // !AXMEMO_CRC_ACCEL_IMPL
+
+bool
+compiledIn()
+{
+    return false;
+}
+
+std::uint64_t
+crc32cUpdate(std::uint64_t, const std::uint8_t *, std::size_t)
+{
+    axm_panic("crc32cUpdate called in a portable build");
+}
+
+std::uint64_t
+crc32cUpdateWord(std::uint64_t, std::uint64_t, unsigned)
+{
+    axm_panic("crc32cUpdateWord called in a portable build");
+}
+
+std::size_t
+clmulFold(const FoldConsts &, unsigned, std::uint64_t,
+          const std::uint8_t *, std::size_t, std::uint8_t[16])
+{
+    axm_panic("clmulFold called in a portable build");
+}
+
+#endif // AXMEMO_CRC_ACCEL_IMPL
+
+} // namespace accel
+} // namespace axmemo

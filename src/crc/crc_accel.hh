@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SIMD CRC kernels (internal to the crc library).
+ *
+ * These are raw state-update kernels; CrcEngine owns all policy (spec
+ * matching, CPU detection, thresholds, the AXMEMO_NO_SIMD knob) and only
+ * calls in here once it has decided a kernel is both compiled in and
+ * legal for the active CrcSpec. Two kernels exist:
+ *
+ *  - crc32cUpdate()/crc32cUpdateWord(): SSE4.2 `crc32` instructions.
+ *    The instruction hard-wires one algorithm — reflected CRC-32C
+ *    (Castagnoli, poly 0x1edc6b41) — so these apply to exactly that
+ *    spec and to nothing else.
+ *
+ *  - clmulFold(): PCLMULQDQ carry-less-multiply folding for *any*
+ *    non-reflected byte-multiple width up to 64. Instead of a
+ *    width-specific Barrett reduction, the kernel returns a 16-byte
+ *    residue with the invariant that feeding it through the portable
+ *    byte path from a zero register yields the true CRC state; the
+ *    caller performs that final reduction with code that is already
+ *    proven bit-identical to the serial LFSR (DESIGN.md §10).
+ *
+ * On non-x86 hosts, or when built with -DAXMEMO_FORCE_PORTABLE=ON, the
+ * stubs report compiledIn() == false and the kernels panic if reached.
+ */
+
+#ifndef AXMEMO_CRC_CRC_ACCEL_HH
+#define AXMEMO_CRC_CRC_ACCEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace axmemo {
+namespace accel {
+
+/** True when this translation unit was built with SSE4.2+PCLMUL code.
+ * False on non-x86 targets and under AXMEMO_FORCE_PORTABLE. */
+bool compiledIn();
+
+/** Advance a reflected CRC-32C @p state over @p len bytes. */
+std::uint64_t crc32cUpdate(std::uint64_t state, const std::uint8_t *data,
+                           std::size_t len);
+
+/** Advance a reflected CRC-32C @p state over the low @p nbytes bytes of
+ * @p word (little-endian order, matching CrcEngine::updateWord). */
+std::uint64_t crc32cUpdateWord(std::uint64_t state, std::uint64_t word,
+                               unsigned nbytes);
+
+/** Folding constants for one non-reflected spec: x^n mod P for the
+ * 16-byte (k128/k192) and 64-byte (k512/k576) fold distances. The
+ * engine derives them by clocking its own bit-serial LFSR. */
+struct FoldConsts
+{
+    std::uint64_t k128 = 0;
+    std::uint64_t k192 = 0;
+    std::uint64_t k512 = 0;
+    std::uint64_t k576 = 0;
+};
+
+/**
+ * Fold an integral number of leading 16-byte blocks of @p data (at
+ * least one; caller guarantees @p len >= 16) into @p residue, starting
+ * from register @p state of the given @p width. Returns the number of
+ * bytes consumed (a multiple of 16). Postcondition: running the 16
+ * residue bytes through the portable update from a zero register, then
+ * the remaining len-consumed bytes, equals the portable update of the
+ * whole buffer from @p state.
+ */
+std::size_t clmulFold(const FoldConsts &k, unsigned width,
+                      std::uint64_t state, const std::uint8_t *data,
+                      std::size_t len, std::uint8_t residue[16]);
+
+} // namespace accel
+} // namespace axmemo
+
+#endif // AXMEMO_CRC_CRC_ACCEL_HH

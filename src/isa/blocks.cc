@@ -1,0 +1,61 @@
+#include "isa/blocks.hh"
+
+#include "common/log.hh"
+
+namespace axmemo {
+
+BlockMap
+partitionBlocks(const Program &prog)
+{
+    const auto n = static_cast<std::size_t>(prog.size());
+    BlockMap map;
+    if (n == 0)
+        return map;
+
+    // Leaders: entry, branch targets, and fallthroughs of terminators.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Inst &inst = prog.at(static_cast<InstIndex>(i));
+        if (inst.isBranch()) {
+            if (inst.imm < 0 ||
+                inst.imm >= static_cast<std::int64_t>(n))
+                axm_fatal(prog.name(), ": branch target ", inst.imm,
+                          " out of range (run Program::verify first)");
+            leader[static_cast<std::size_t>(inst.imm)] = true;
+        }
+        if ((inst.isBranch() || inst.op == Op::Halt) && i + 1 < n)
+            leader[i + 1] = true;
+    }
+
+    map.blockOf.resize(n, 0);
+    for (std::size_t i = 0; i < n;) {
+        BasicBlock bb;
+        bb.begin = static_cast<InstIndex>(i);
+        const auto blockIndex =
+            static_cast<std::uint32_t>(map.blocks.size());
+        do {
+            map.blockOf[i] = blockIndex;
+            const Inst &inst = prog.at(static_cast<InstIndex>(i));
+            ++i;
+            if (inst.op == Op::RegionBegin || inst.op == Op::RegionEnd)
+                continue; // markers ride along but cost nothing
+            const OpTraits &traits = opTraits(inst.op);
+            const std::uint64_t uops = std::max(1u, traits.uops);
+            ++bb.macroInsts;
+            bb.uops += uops;
+            bb.uopEvents[static_cast<std::size_t>(Ev::FrontendUops)] +=
+                uops;
+            const Ev ev = uopEventOf(traits.energy);
+            if (ev != Ev::NumEvents)
+                bb.uopEvents[static_cast<std::size_t>(ev)] += uops;
+            if (inst.isMemoOp() && inst.op != Op::LdCrc)
+                bb.memoUops += uops;
+        } while (i < n && !leader[i]);
+        bb.end = static_cast<InstIndex>(i);
+        map.blocks.push_back(bb);
+    }
+    return map;
+}
+
+} // namespace axmemo

@@ -17,22 +17,11 @@ HashValueRegisters::HashValueRegisters(const CrcEngine &engine,
     resetAll();
 }
 
-std::size_t
-HashValueRegisters::indexOf(LutId lut, ThreadId tid) const
-{
-    if (lut >= numLuts_ || tid >= numThreads_)
-        axm_panic("HVR index {lut=", static_cast<int>(lut), ", tid=",
-                  static_cast<int>(tid), "} out of range");
-    return static_cast<std::size_t>(tid) * numLuts_ + lut;
-}
-
 void
-HashValueRegisters::feed(LutId lut, ThreadId tid, std::uint64_t word,
-                         unsigned nbytes)
+HashValueRegisters::badIndex(LutId lut, ThreadId tid) const
 {
-    Reg &reg = regs_[indexOf(lut, tid)];
-    reg.state = engine_.updateWord(reg.state, word, nbytes);
-    reg.bytes += nbytes;
+    axm_panic("HVR index {lut=", static_cast<int>(lut), ", tid=",
+              static_cast<int>(tid), "} out of range");
 }
 
 std::uint64_t
@@ -65,18 +54,6 @@ HashValueRegisters::resetAll()
         reg.bytes = 0;
         reg.readyAt = 0;
     }
-}
-
-Cycle
-HashValueRegisters::readyAt(LutId lut, ThreadId tid) const
-{
-    return regs_[indexOf(lut, tid)].readyAt;
-}
-
-void
-HashValueRegisters::setReadyAt(LutId lut, ThreadId tid, Cycle cycle)
-{
-    regs_[indexOf(lut, tid)].readyAt = cycle;
 }
 
 } // namespace axmemo

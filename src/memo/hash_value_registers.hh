@@ -37,8 +37,15 @@ class HashValueRegisters
     /** Number of architectural registers in the file. */
     unsigned count() const { return static_cast<unsigned>(regs_.size()); }
 
-    /** Accumulate @p nbytes of @p word (little-endian) into {lut, tid}. */
-    void feed(LutId lut, ThreadId tid, std::uint64_t word, unsigned nbytes);
+    /** Accumulate @p nbytes of @p word (little-endian) into {lut, tid}.
+     * Inline: runs once per ld_crc/reg_crc instruction. */
+    void
+    feed(LutId lut, ThreadId tid, std::uint64_t word, unsigned nbytes)
+    {
+        Reg &reg = regs_[indexOf(lut, tid)];
+        reg.state = engine_.updateWord(reg.state, word, nbytes);
+        reg.bytes += nbytes;
+    }
 
     /** Total bytes accumulated since the last read (for timing/debug). */
     std::uint64_t pendingBytes(LutId lut, ThreadId tid) const;
@@ -58,10 +65,18 @@ class HashValueRegisters
     // --- timing side: when the unit finishes hashing queued bytes ---
 
     /** Cycle at which {lut, tid}'s last queued input byte is hashed. */
-    Cycle readyAt(LutId lut, ThreadId tid) const;
+    Cycle
+    readyAt(LutId lut, ThreadId tid) const
+    {
+        return regs_[indexOf(lut, tid)].readyAt;
+    }
 
     /** Record that hashing for {lut, tid} completes at @p cycle. */
-    void setReadyAt(LutId lut, ThreadId tid, Cycle cycle);
+    void
+    setReadyAt(LutId lut, ThreadId tid, Cycle cycle)
+    {
+        regs_[indexOf(lut, tid)].readyAt = cycle;
+    }
 
   private:
     struct Reg
@@ -71,7 +86,15 @@ class HashValueRegisters
         Cycle readyAt = 0;
     };
 
-    std::size_t indexOf(LutId lut, ThreadId tid) const;
+    std::size_t
+    indexOf(LutId lut, ThreadId tid) const
+    {
+        if (lut >= numLuts_ || tid >= numThreads_)
+            badIndex(lut, tid);
+        return static_cast<std::size_t>(tid) * numLuts_ + lut;
+    }
+
+    [[noreturn]] void badIndex(LutId lut, ThreadId tid) const;
 
     const CrcEngine &engine_;
     unsigned numLuts_;

@@ -26,6 +26,9 @@ MemoizationUnit::MemoizationUnit(const MemoUnitConfig &config)
     if (config_.inputQueueBytes == 0)
         raiseError(ErrorCode::Config, "memo-unit",
                    "memoization unit needs a nonzero input queue");
+    for (unsigned n = 0; n < feedCycles_.size(); ++n)
+        feedCycles_[n] = crcHw_.cyclesForBytes(n);
+    queueCycles_ = crcHw_.cyclesForBytes(config_.inputQueueBytes);
 }
 
 MemoizationUnit::PendingUpdate &
@@ -62,13 +65,15 @@ MemoizationUnit::feed(LutId lut, ThreadId tid, std::uint64_t word,
     // producing instruction does not stall unless the backlog exceeds the
     // queue capacity.
     const Cycle start = std::max(hvrs_.readyAt(lut, tid), now);
-    const Cycle done = start + crcHw_.cyclesForBytes(nbytes);
+    const Cycle drain = nbytes < feedCycles_.size()
+                            ? feedCycles_[nbytes]
+                            : crcHw_.cyclesForBytes(nbytes);
+    const Cycle done = start + drain;
     hvrs_.setReadyAt(lut, tid, done);
 
     const Cycle backlog = done > now ? done - now : 0;
-    const Cycle queueCycles =
-        crcHw_.cyclesForBytes(config_.inputQueueBytes);
-    const Cycle stall = backlog > queueCycles ? backlog - queueCycles : 0;
+    const Cycle stall =
+        backlog > queueCycles_ ? backlog - queueCycles_ : 0;
     AXM_TRACE(Memo, "memo", "feed lut ", static_cast<int>(lut), " tid ",
               static_cast<int>(tid), " bytes=", nbytes,
               " trunc=", truncBits, stall ? " stall=" : "",

@@ -18,6 +18,7 @@
 #ifndef AXMEMO_MEMO_MEMO_UNIT_HH
 #define AXMEMO_MEMO_MEMO_UNIT_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -165,6 +166,10 @@ class MemoizationUnit
 
     const MemoUnitConfig &config() const { return config_; }
 
+    /** The hashing engine (exposed for host-path introspection: the
+     * Host trace flag reports which CRC data path is active). */
+    const CrcEngine &engine() const { return engine_; }
+
     /** True while the quality monitor has not disabled memoization. */
     bool enabled() const { return !monitor_.tripped(); }
 
@@ -268,6 +273,11 @@ class MemoizationUnit
     MemoUnitConfig config_;
     CrcEngine engine_;
     CrcHwModel crcHw_;
+    /** crcHw_.cyclesForBytes(n) for the word-feed sizes (n <= 8) and
+     * for the input-queue capacity, precomputed once: feed() runs per
+     * ld_crc/reg_crc and must not rediscover these constants. */
+    std::array<Cycle, 9> feedCycles_{};
+    Cycle queueCycles_ = 0;
     HashValueRegisters hvrs_;
     LookupTable l1_;
     std::unique_ptr<LookupTable> l2_;

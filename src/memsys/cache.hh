@@ -91,6 +91,32 @@ class Cache
      */
     CacheAccessResult access(Addr addr, bool isWrite);
 
+    /**
+     * Inline MRU-hint probe: if @p addr hits in the hinted way, apply
+     * the exact hit side effects access() would (LRU stamp, dirty bit,
+     * hit counter) and return true; otherwise change nothing and return
+     * false. Lets callers keep the dominant repeated-hit case free of
+     * any out-of-line call; access() after a false return behaves as if
+     * this probe never happened.
+     */
+    bool
+    tryMruHit(Addr addr, bool isWrite)
+    {
+        if (!mruEnabled_)
+            return false;
+        const unsigned set = setOf(addr);
+        const unsigned hint = mruWay_[set];
+        if (hint >= usableWays())
+            return false;
+        Line *line = lineAt(set, hint);
+        if (!line->valid || line->tag != tagOf(addr))
+            return false;
+        line->lruStamp = ++stamp_;
+        line->dirty = line->dirty || isWrite;
+        ++hits_;
+        return true;
+    }
+
     /** Probe without side effects. */
     bool contains(Addr addr) const;
 

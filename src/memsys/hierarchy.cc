@@ -10,7 +10,7 @@ MemHierarchy::MemHierarchy(const HierarchyConfig &config)
 }
 
 Cycle
-MemHierarchy::access(Addr addr, bool isWrite)
+MemHierarchy::accessFull(Addr addr, bool isWrite)
 {
     Cycle latency = config_.l1d.hitLatency;
     const CacheAccessResult l1 = l1d_.access(addr, isWrite);

@@ -84,7 +84,7 @@ SimMemory::writePage(std::uint64_t pageNum)
 }
 
 std::uint64_t
-SimMemory::read(Addr addr, unsigned nbytes) const
+SimMemory::readSlow(Addr addr, unsigned nbytes) const
 {
     if (nbytes == 0 || nbytes > 8)
         axm_panic("SimMemory::read of ", nbytes, " bytes");
@@ -93,25 +93,7 @@ SimMemory::read(Addr addr, unsigned nbytes) const
         const std::uint8_t *page = readPage(addr >> pageShift);
         if (!page)
             return 0;
-        // The value is little-endian by definition, so on LE hosts the
-        // common full-word widths are a single load.
-        if constexpr (std::endian::native == std::endian::little) {
-            if (nbytes == 8) {
-                std::uint64_t value;
-                std::memcpy(&value, page + offset, 8);
-                return value;
-            }
-            if (nbytes == 4) {
-                std::uint32_t value;
-                std::memcpy(&value, page + offset, 4);
-                return value;
-            }
-        }
-        std::uint64_t value = 0;
-        for (unsigned i = 0; i < nbytes; ++i)
-            value |= static_cast<std::uint64_t>(page[offset + i])
-                     << (8 * i);
-        return value;
+        return loadLe(page + offset, nbytes);
     }
     // Straddles a page boundary: translate per byte.
     std::uint64_t value = 0;
@@ -125,27 +107,14 @@ SimMemory::read(Addr addr, unsigned nbytes) const
 }
 
 void
-SimMemory::write(Addr addr, std::uint64_t value, unsigned nbytes)
+SimMemory::writeSlow(Addr addr, std::uint64_t value, unsigned nbytes)
 {
     if (nbytes == 0 || nbytes > 8)
         axm_panic("SimMemory::write of ", nbytes, " bytes");
     const std::size_t offset = addr & (pageSize - 1);
     if (offset + nbytes <= pageSize) {
         std::uint8_t *page = writePage(addr >> pageShift);
-        if constexpr (std::endian::native == std::endian::little) {
-            if (nbytes == 8) {
-                std::memcpy(page + offset, &value, 8);
-                return;
-            }
-            if (nbytes == 4) {
-                const auto v32 = static_cast<std::uint32_t>(value);
-                std::memcpy(page + offset, &v32, 4);
-                return;
-            }
-        }
-        for (unsigned i = 0; i < nbytes; ++i)
-            page[offset + i] =
-                static_cast<std::uint8_t>(value >> (8 * i));
+        storeLe(page + offset, value, nbytes);
         return;
     }
     for (unsigned i = 0; i < nbytes; ++i) {

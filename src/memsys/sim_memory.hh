@@ -58,11 +58,47 @@ class SimMemory
     SimMemory(SimMemory &&other) noexcept;
     SimMemory &operator=(SimMemory &&other) noexcept;
 
-    /** Read @p nbytes (1..8) little-endian starting at @p addr. */
-    std::uint64_t read(Addr addr, unsigned nbytes) const;
+    /**
+     * Read @p nbytes (1..8) little-endian starting at @p addr.
+     *
+     * The in-page translation-cache hit stays inline (the interpreter
+     * issues one of these per simulated load); everything else —
+     * unmapped pages, cache fills, straddles, bad sizes — drops to the
+     * out-of-line slow path with identical semantics.
+     */
+    std::uint64_t
+    read(Addr addr, unsigned nbytes) const
+    {
+        const std::size_t offset = addr & (pageSize - 1);
+        if (xlatEnabled_ && nbytes - 1 < 8u &&
+            offset + nbytes <= pageSize) {
+            const std::uint64_t pageNum = addr >> pageShift;
+            const XlatEntry &entry = slotFor(pageNum);
+            if (entry.pageNum == pageNum)
+                return loadLe(entry.data + offset, nbytes);
+        }
+        return readSlow(addr, nbytes);
+    }
 
-    /** Write the low @p nbytes (1..8) of @p value at @p addr (LE). */
-    void write(Addr addr, std::uint64_t value, unsigned nbytes);
+    /** Write the low @p nbytes (1..8) of @p value at @p addr (LE).
+     * Inline on a writable translation-cache hit; see read(). */
+    void
+    write(Addr addr, std::uint64_t value, unsigned nbytes)
+    {
+        const std::size_t offset = addr & (pageSize - 1);
+        if (xlatEnabled_ && nbytes - 1 < 8u &&
+            offset + nbytes <= pageSize) {
+            const std::uint64_t pageNum = addr >> pageShift;
+            const XlatEntry &entry = slotFor(pageNum);
+            if (entry.pageNum == pageNum && entry.writable &&
+                entry.writeEpoch ==
+                    cowEpoch_.load(std::memory_order_relaxed)) {
+                storeLe(entry.data + offset, value, nbytes);
+                return;
+            }
+        }
+        writeSlow(addr, value, nbytes);
+    }
 
     /** Typed helpers. */
     std::uint8_t read8(Addr a) const
@@ -145,6 +181,51 @@ class SimMemory
     {
         return xlat_[pageNum & (xlatEntries - 1)];
     }
+
+    /** Little-endian scatter/gather of an in-page value; the common
+     * full-word widths are single loads/stores on LE hosts. */
+    static std::uint64_t
+    loadLe(const std::uint8_t *p, unsigned nbytes)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if (nbytes == 8) {
+                std::uint64_t value;
+                std::memcpy(&value, p, 8);
+                return value;
+            }
+            if (nbytes == 4) {
+                std::uint32_t value;
+                std::memcpy(&value, p, 4);
+                return value;
+            }
+        }
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        return value;
+    }
+
+    static void
+    storeLe(std::uint8_t *p, std::uint64_t value, unsigned nbytes)
+    {
+        if constexpr (std::endian::native == std::endian::little) {
+            if (nbytes == 8) {
+                std::memcpy(p, &value, 8);
+                return;
+            }
+            if (nbytes == 4) {
+                const auto v32 = static_cast<std::uint32_t>(value);
+                std::memcpy(p, &v32, 4);
+                return;
+            }
+        }
+        for (unsigned i = 0; i < nbytes; ++i)
+            p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+
+    /** Out-of-line remainders of read()/write(). */
+    std::uint64_t readSlow(Addr addr, unsigned nbytes) const;
+    void writeSlow(Addr addr, std::uint64_t value, unsigned nbytes);
 
     /** @return the page holding @p pageNum, or nullptr if unmapped. */
     const std::uint8_t *readPage(std::uint64_t pageNum) const;

@@ -43,6 +43,7 @@ flagName(Flag flag)
       case Flag::Lut: return "Lut";
       case Flag::Sweep: return "Sweep";
       case Flag::Prof: return "Prof";
+      case Flag::Host: return "Host";
       case Flag::NumFlags: break;
     }
     return "???";
@@ -110,7 +111,7 @@ enableFlags(const std::string &spec, std::string *error)
             if (error) {
                 *error = "unknown debug flag '" + name +
                          "' (known: Exec, Memo, Cache, Dram, Lut, "
-                         "Sweep, Prof, All)";
+                         "Sweep, Prof, Host, All)";
             }
             return false;
         }

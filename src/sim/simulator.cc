@@ -5,8 +5,23 @@
 #include "common/bits.hh"
 #include "common/expected.hh"
 #include "common/log.hh"
+#include "common/runtime_options.hh"
+#include "crc/cpu_features.hh"
 #include "isa/disasm.hh"
 #include "obs/trace.hh"
+
+/**
+ * Computed-goto (labels-as-values) threaded dispatch is a GNU
+ * extension; gate it on the compilers that provide it and leave
+ * -DAXMEMO_FORCE_PORTABLE a single switch that strips every
+ * non-standard fast path from the build (matching crc_accel.cc).
+ */
+#if (defined(__GNUC__) || defined(__clang__)) &&                             \
+    !defined(AXMEMO_FORCE_PORTABLE)
+#define AXMEMO_HAVE_COMPUTED_GOTO 1
+#else
+#define AXMEMO_HAVE_COMPUTED_GOTO 0
+#endif
 
 namespace axmemo {
 
@@ -35,9 +50,7 @@ Simulator::Simulator(const Program &prog, SimMemory &mem,
       hierarchy_(config.hierarchy), memoUnit_(config.memo),
       predictor_(config.cpu.predictorEntries),
       intRegs_(prog.numIntRegs(), 0),
-      floatRegs_(prog.numFloatRegs(), 0.0f),
-      intRegReady_(prog.numIntRegs(), 0),
-      floatRegReady_(prog.numFloatRegs(), 0)
+      floatRegs_(prog.numFloatRegs(), 0.0f)
 {
     if (config_.cpu.numIntAlus == 0 ||
         config_.cpu.numIntAlus > kMaxIntAlus)
@@ -45,14 +58,33 @@ Simulator::Simulator(const Program &prog, SimMemory &mem,
     numAlus_ = config_.cpu.numIntAlus;
     slotsLeft_ = config_.cpu.issueWidth;
 
+    // Unified readiness scoreboard: int regs, then float regs, then a
+    // write-only dummy slot that absorbs "no destination" writebacks.
+    const auto nInt = static_cast<std::uint32_t>(prog.numIntRegs());
+    dummyReadyIdx_ = nInt + prog.numFloatRegs();
+    zeroReadyIdx_ = dummyReadyIdx_ + 1;
+    regReady_.assign(zeroReadyIdx_ + 1, 0);
+    const auto readyIndex = [&](RegId reg) -> std::uint32_t {
+        if (reg == invalidReg)
+            return dummyReadyIdx_;
+        const auto idx = static_cast<std::uint32_t>(regIndex(reg));
+        return isFloatReg(reg) ? nInt + idx : idx;
+    };
+
     // Predecode: resolve everything about a static instruction that the
     // cycle loop would otherwise recompute per dynamic instance.
     decoded_.resize(prog.size());
     for (InstIndex i = 0; i < prog.size(); ++i) {
         const Inst &inst = prog.at(i);
         const OpTraits &traits = opTraits(inst.op);
-        Decoded &d = decoded_[i];
-        d.ops = operandsOf(inst);
+        Decoded &d = decoded_[static_cast<std::size_t>(i)];
+        const OperandInfo ops = operandsOf(inst);
+        d.nsrc = ops.numSources;
+        for (unsigned k = 0; k < 3; ++k)
+            d.src[k] = k < ops.numSources
+                           ? readyIndex(ops.sources[k])
+                           : zeroReadyIdx_;
+        d.dst = readyIndex(ops.dest);
         d.latency = traits.latency;
         d.uops = std::max(1u, traits.uops);
         d.fu = traits.fu;
@@ -61,6 +93,19 @@ Simulator::Simulator(const Program &prog, SimMemory &mem,
         d.pipelined = traits.pipelined;
         d.memoCounted = inst.isMemoOp() && inst.op != Op::LdCrc;
         d.uopEv = kUopEvent[static_cast<std::size_t>(traits.energy)];
+    }
+    blocks_ = partitionBlocks(prog);
+    // Mark fallthrough block boundaries: an instruction whose
+    // straight-line successor leads a different block (a branch
+    // target). Branches and Halt transfer control explicitly and
+    // handle block entry themselves.
+    for (InstIndex i = 0; i + 1 < prog.size(); ++i) {
+        const Inst &inst = prog.at(i);
+        if (inst.isBranch() || inst.op == Op::Halt)
+            continue;
+        const auto cur = static_cast<std::size_t>(i);
+        decoded_[cur].enterNext =
+            blocks_.blockOf[cur] != blocks_.blockOf[cur + 1];
     }
     if (config_.cpu.outOfOrder) {
         if (config_.cpu.robSize == 0)
@@ -155,6 +200,39 @@ Simulator::fuSlot(FuClass fu)
     return &unitReady_[static_cast<std::size_t>(fu)];
 }
 
+void
+Simulator::raiseRunaway()
+{
+    raiseError(ErrorCode::Simulation, "simulator",
+               prog_.name() + ": exceeded max macro instructions (" +
+                   std::to_string(config_.maxMacroInsts) +
+                   ") — runaway loop?");
+}
+
+Cycle
+Simulator::runSwitch()
+{
+#define AXM_THREADED 0
+#include "sim/interp_body.inc"
+#undef AXM_THREADED
+}
+
+#if AXMEMO_HAVE_COMPUTED_GOTO
+Cycle
+Simulator::runThreaded()
+{
+#define AXM_THREADED 1
+#include "sim/interp_body.inc"
+#undef AXM_THREADED
+}
+#else
+Cycle
+Simulator::runThreaded()
+{
+    return runSwitch(); // threaded dispatch not compiled in
+}
+#endif
+
 const SimStats &
 Simulator::run()
 {
@@ -164,439 +242,31 @@ Simulator::run()
     if (config_.memoEnabled)
         memoUnit_.reset();
 
-    Cycle endCycle = 0;
-    InstIndex pc = 0;
-    const ThreadId tid = 0;
-
-    // Hoisted trace guards: one relaxed atomic load each, here, instead
-    // of per instruction; both fold to constant false (and the trace
-    // blocks below to nothing) under AXMEMO_NO_TRACE.
-    const bool traceExec = trace::enabled(trace::Flag::Exec);
-    const bool traceAny = trace::anyEnabled();
-
-    while (pc < prog_.size()) {
-        const Inst &inst = prog_.at(pc);
-        const Decoded &dec = decoded_[pc];
-
-        if (inst.op == Op::RegionBegin || inst.op == Op::RegionEnd) {
-            if (inst.op == Op::RegionBegin) {
-                ++stats_.regionEntries;
-                ++regionCounts_[inst.imm];
-            }
-            if (traceExec) {
-                trace::setCycle(frontCycle_);
-                AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
-            }
-            if (traceBuf_)
-                traceBuf_->append(pc, inst.op);
-            else if (traceHook_)
-                traceHook_(pc, inst);
-            ++pc;
-            continue;
-        }
-
-        if (++stats_.macroInsts > config_.maxMacroInsts)
-            raiseError(ErrorCode::Simulation, "simulator",
-                       prog_.name() +
-                           ": exceeded max macro instructions (" +
-                           std::to_string(config_.maxMacroInsts) +
-                           ") — runaway loop?");
-        // Watchdog/interrupt poll: cheap enough to keep in the hot
-        // loop at 1/64K granularity, frequent enough that a timed-out
-        // job stops within milliseconds.
-        if (config_.control && (stats_.macroInsts & 0xFFFF) == 0)
-            config_.control->check("simulator");
-
-        // ---- timing: earliest execution start ----
-        const OperandInfo &ops = dec.ops;
-        Cycle srcReady = 0;
-        for (unsigned k = 0; k < ops.numSources; ++k) {
-            const RegId src = ops.sources[k];
-            const Cycle ready = isFloatReg(src)
-                                    ? floatRegReady_[regIndex(src)]
-                                    : intRegReady_[regIndex(src)];
-            srcReady = std::max(srcReady, ready);
-        }
-        if (inst.op == Op::BrHit || inst.op == Op::BrMiss)
-            srcReady = std::max(srcReady, hitFlagReady_);
-
-        Cycle *const unit = fuSlot(dec.issueFu);
-
-        Cycle t;
-        if (config_.cpu.outOfOrder) {
-            // Dispatch in order, stalling only when the instruction
-            // robSize back has not retired; execute as soon as operands
-            // and a unit are free.
-            const Cycle robReady = retireRing_[retireHead_];
-            const Cycle dispatch = issueUops(robReady, dec.uops);
-            t = std::max({dispatch, srcReady, *unit});
-        } else {
-            // In-order issue: the front end stalls on operand and
-            // structural hazards.
-            t = issueUops(std::max(srcReady, *unit), dec.uops);
-        }
-        Cycle latency = dec.latency;
-
-        // Stamp this thread's trace-cycle context so clock-less
-        // components (hierarchy, memo unit, DRAM) emit the issue cycle.
-        if (traceAny)
-            trace::setCycle(t);
-
-        stats_.uops += dec.uops;
-        ev_.add(Ev::FrontendUops, dec.uops);
-        if (dec.uopEv != Ev::NumEvents)
-            ev_.add(dec.uopEv, dec.uops);
-        if (dec.memoCounted)
-            stats_.memoUops += dec.uops;
-
-        // ---- functional execution (+ op-specific timing) ----
-        InstIndex nextPc = pc + 1;
-        bool taken = false;
-        bool isCondBranch = false;
-
-        switch (inst.op) {
-          case Op::Movi:
-            writeInt(inst.dst, static_cast<std::uint64_t>(inst.imm));
-            break;
-          case Op::Mov:
-            writeInt(inst.dst, readInt(inst.src1));
-            break;
-          case Op::Add:
-          case Op::Sub:
-          case Op::Mul:
-          case Op::Div:
-          case Op::Rem:
-          case Op::And:
-          case Op::Or:
-          case Op::Xor:
-          case Op::Shl:
-          case Op::Shr:
-          case Op::Sra:
-          case Op::Slt:
-          case Op::Sle:
-          case Op::Seq:
-          case Op::Sne:
-          case Op::MinI:
-          case Op::MaxI: {
-            const std::uint64_t a = readInt(inst.src1);
-            const std::uint64_t b =
-                inst.src2 != invalidReg
-                    ? readInt(inst.src2)
-                    : static_cast<std::uint64_t>(inst.imm);
-            const auto sa = static_cast<std::int64_t>(a);
-            const auto sb = static_cast<std::int64_t>(b);
-            std::uint64_t r = 0;
-            switch (inst.op) {
-              case Op::Add: r = a + b; break;
-              case Op::Sub: r = a - b; break;
-              case Op::Mul: r = a * b; break;
-              case Op::Div: r = sb == 0 ? 0 : static_cast<std::uint64_t>(
-                                                  sa / sb); break;
-              case Op::Rem: r = sb == 0 ? a : static_cast<std::uint64_t>(
-                                                  sa % sb); break;
-              case Op::And: r = a & b; break;
-              case Op::Or: r = a | b; break;
-              case Op::Xor: r = a ^ b; break;
-              case Op::Shl: r = a << (b & 63); break;
-              case Op::Shr: r = a >> (b & 63); break;
-              case Op::Sra: r = static_cast<std::uint64_t>(sa >> (b & 63));
-                            break;
-              case Op::Slt: r = sa < sb; break;
-              case Op::Sle: r = sa <= sb; break;
-              case Op::Seq: r = a == b; break;
-              case Op::Sne: r = a != b; break;
-              case Op::MinI: r = static_cast<std::uint64_t>(
-                                 std::min(sa, sb)); break;
-              case Op::MaxI: r = static_cast<std::uint64_t>(
-                                 std::max(sa, sb)); break;
-              default: break;
-            }
-            writeInt(inst.dst, r);
-            break;
-          }
-
-          case Op::Fmovi:
-            writeFloat(inst.dst, bitsToFloat(
-                                     static_cast<std::uint32_t>(inst.imm)));
-            break;
-          case Op::Fmov:
-            writeFloat(inst.dst, readFloat(inst.src1));
-            break;
-          case Op::Fadd:
-            writeFloat(inst.dst,
-                       readFloat(inst.src1) + readFloat(inst.src2));
-            break;
-          case Op::Fsub:
-            writeFloat(inst.dst,
-                       readFloat(inst.src1) - readFloat(inst.src2));
-            break;
-          case Op::Fmul:
-            writeFloat(inst.dst,
-                       readFloat(inst.src1) * readFloat(inst.src2));
-            break;
-          case Op::Fdiv:
-            writeFloat(inst.dst,
-                       readFloat(inst.src1) / readFloat(inst.src2));
-            break;
-          case Op::Fsqrt:
-            writeFloat(inst.dst, std::sqrt(readFloat(inst.src1)));
-            break;
-          case Op::Fneg:
-            writeFloat(inst.dst, -readFloat(inst.src1));
-            break;
-          case Op::Fabs:
-            writeFloat(inst.dst, std::fabs(readFloat(inst.src1)));
-            break;
-          case Op::Fmin:
-            writeFloat(inst.dst, std::fmin(readFloat(inst.src1),
-                                           readFloat(inst.src2)));
-            break;
-          case Op::Fmax:
-            writeFloat(inst.dst, std::fmax(readFloat(inst.src1),
-                                           readFloat(inst.src2)));
-            break;
-          case Op::Flt:
-            writeInt(inst.dst,
-                     readFloat(inst.src1) < readFloat(inst.src2));
-            break;
-          case Op::Fle:
-            writeInt(inst.dst,
-                     readFloat(inst.src1) <= readFloat(inst.src2));
-            break;
-          case Op::Feq:
-            writeInt(inst.dst,
-                     readFloat(inst.src1) == readFloat(inst.src2));
-            break;
-
-          case Op::CvtIF:
-            writeFloat(inst.dst,
-                       static_cast<float>(
-                           static_cast<std::int64_t>(readInt(inst.src1))));
-            break;
-          case Op::CvtFI:
-            writeInt(inst.dst,
-                     static_cast<std::uint64_t>(
-                         static_cast<std::int64_t>(readFloat(inst.src1))));
-            break;
-          case Op::FBits:
-            writeInt(inst.dst, floatBits(readFloat(inst.src1)));
-            break;
-          case Op::BitsF:
-            writeFloat(inst.dst,
-                       bitsToFloat(static_cast<std::uint32_t>(
-                           readInt(inst.src1))));
-            break;
-
-          case Op::Fexp:
-            writeFloat(inst.dst, std::exp(readFloat(inst.src1)));
-            break;
-          case Op::Flog:
-            writeFloat(inst.dst, std::log(readFloat(inst.src1)));
-            break;
-          case Op::Fsin:
-            writeFloat(inst.dst, std::sin(readFloat(inst.src1)));
-            break;
-          case Op::Fcos:
-            writeFloat(inst.dst, std::cos(readFloat(inst.src1)));
-            break;
-          case Op::Fatan2:
-            writeFloat(inst.dst, std::atan2(readFloat(inst.src1),
-                                            readFloat(inst.src2)));
-            break;
-          case Op::Facos:
-            writeFloat(inst.dst, std::acos(readFloat(inst.src1)));
-            break;
-          case Op::Fasin:
-            writeFloat(inst.dst, std::asin(readFloat(inst.src1)));
-            break;
-
-          case Op::Ld: {
-            const Addr addr = readInt(inst.src1) +
-                              static_cast<Addr>(inst.imm);
-            latency = hierarchy_.access(addr, false);
-            writeInt(inst.dst, mem_.read(addr, inst.size));
-            ++stats_.loads;
-            break;
-          }
-          case Op::Ldf: {
-            const Addr addr = readInt(inst.src1) +
-                              static_cast<Addr>(inst.imm);
-            latency = hierarchy_.access(addr, false);
-            writeFloat(inst.dst, mem_.readFloat(addr));
-            ++stats_.loads;
-            break;
-          }
-          case Op::St: {
-            const Addr addr = readInt(inst.src1) +
-                              static_cast<Addr>(inst.imm);
-            hierarchy_.access(addr, true);
-            latency = 1; // store buffer hides the hierarchy latency
-            mem_.write(addr, readInt(inst.src2), inst.size);
-            ++stats_.stores;
-            break;
-          }
-          case Op::Stf: {
-            const Addr addr = readInt(inst.src1) +
-                              static_cast<Addr>(inst.imm);
-            hierarchy_.access(addr, true);
-            latency = 1;
-            mem_.writeFloat(addr, readFloat(inst.src2));
-            ++stats_.stores;
-            break;
-          }
-
-          case Op::Br:
-            nextPc = inst.imm;
-            break;
-          case Op::Bt:
-          case Op::Bf: {
-            isCondBranch = true;
-            const bool cond = readInt(inst.src1) != 0;
-            taken = (inst.op == Op::Bt) ? cond : !cond;
-            if (taken)
-                nextPc = inst.imm;
-            break;
-          }
-
-          case Op::Halt:
-            endCycle = std::max(endCycle, t + latency);
-            if (traceExec)
-                AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
-            if (traceBuf_)
-                traceBuf_->append(pc, inst.op);
-            else if (traceHook_)
-                traceHook_(pc, inst);
-            pc = prog_.size();
-            continue;
-
-          // ---- AxMemo extension ----
-          case Op::LdCrc: {
-            if (!config_.memoEnabled)
-                axm_panic(prog_.name(), ": ld_crc without memo unit");
-            const Addr addr = readInt(inst.src1) +
-                              static_cast<Addr>(inst.imm);
-            latency = hierarchy_.access(addr, false);
-            const std::uint64_t raw = mem_.read(addr, inst.size);
-            if (isFloatReg(inst.dst))
-                writeFloat(inst.dst, bitsToFloat(
-                                         static_cast<std::uint32_t>(raw)));
-            else
-                writeInt(inst.dst, raw);
-            ++stats_.loads;
-            const Cycle stall = memoUnit_.feed(inst.lut, tid, raw,
-                                               inst.size, inst.truncBits,
-                                               t);
-            if (stall > 0) {
-                stats_.memoQueueStalls += stall;
-                issueUops(t + stall, 0); // push the front end forward
-            }
-            break;
-          }
-          case Op::RegCrc: {
-            if (!config_.memoEnabled)
-                axm_panic(prog_.name(), ": reg_crc without memo unit");
-            std::uint64_t raw;
-            unsigned nbytes = inst.size;
-            if (isFloatReg(inst.src1)) {
-                raw = floatBits(readFloat(inst.src1));
-                nbytes = 4;
-            } else {
-                raw = readInt(inst.src1);
-            }
-            const Cycle stall = memoUnit_.feed(inst.lut, tid, raw, nbytes,
-                                               inst.truncBits, t);
-            if (stall > 0) {
-                stats_.memoQueueStalls += stall;
-                issueUops(t + stall, 0);
-            }
-            break;
-          }
-          case Op::Lookup: {
-            if (!config_.memoEnabled)
-                axm_panic(prog_.name(), ": lookup without memo unit");
-            const MemoLookupResult res = memoUnit_.lookup(inst.lut, tid,
-                                                          t);
-            latency = res.latency;
-            writeInt(inst.dst, res.data);
-            hitFlag_ = res.hit;
-            hitFlagReady_ = t + latency;
-            break;
-          }
-          case Op::Update: {
-            if (!config_.memoEnabled)
-                axm_panic(prog_.name(), ": update without memo unit");
-            std::uint64_t data;
-            if (isFloatReg(inst.src1))
-                data = floatBits(readFloat(inst.src1));
-            else
-                data = readInt(inst.src1);
-            latency = memoUnit_.update(inst.lut, tid, data);
-            break;
-          }
-          case Op::Invalidate:
-            if (!config_.memoEnabled)
-                axm_panic(prog_.name(), ": invalidate without memo unit");
-            latency = memoUnit_.invalidate(inst.lut, tid);
-            break;
-          case Op::BrHit:
-          case Op::BrMiss:
-            isCondBranch = true;
-            taken = (inst.op == Op::BrHit) ? hitFlag_ : !hitFlag_;
-            if (taken)
-                nextPc = inst.imm;
-            break;
-
-          case Op::RegionBegin:
-          case Op::RegionEnd:
-          case Op::NumOps:
-            break;
-        }
-
-        // ---- branch prediction / result timing ----
-        if (isCondBranch) {
-            ++stats_.branches;
-            const bool correct =
-                predictor_.predict(static_cast<std::uint64_t>(pc), taken);
-            if (!correct) {
-                ++stats_.mispredicts;
-                issueUops(t + 1 + config_.cpu.mispredictPenalty, 0);
-            }
-        }
-
-        const Cycle resultReady = t + latency;
-        if (ops.dest != invalidReg) {
-            if (isFloatReg(ops.dest))
-                floatRegReady_[regIndex(ops.dest)] = resultReady;
-            else
-                intRegReady_[regIndex(ops.dest)] = resultReady;
-        }
-
-        // Functional-unit occupancy (the same unit instance consulted at
-        // issue; pipelined units free after one cycle).
-        if (dec.fu != FuClass::None) {
-            const Cycle busyUntil = dec.pipelined ? t + 1 : resultReady;
-            if (*unit < busyUntil)
-                *unit = busyUntil;
-        }
-
-        // In-order retirement bounds the OoO window.
-        if (config_.cpu.outOfOrder) {
-            lastRetire_ = std::max(lastRetire_, resultReady);
-            retireRing_[retireHead_] = lastRetire_;
-            retireHead_ = (retireHead_ + 1) % retireRing_.size();
-        }
-
-        endCycle = std::max(endCycle, resultReady);
-
-        if (traceExec)
-            AXM_TRACE(Exec, "exec", pc, ": ", disassemble(inst));
-        if (traceBuf_)
-            traceBuf_->append(pc, inst.op);
-        else if (traceHook_)
-            traceHook_(pc, inst);
-
-        pc = nextPc;
+    // Resolve the host-side execution strategy. These knobs select
+    // between bit-identical data paths (simulated state, stats, and
+    // traces match across all settings), so they are run-time options,
+    // not part of the experiment configuration.
+    const RuntimeOptions opts = RuntimeOptions::global();
+    batched_ = opts.blockBatch;
+    nextPoll_ = 0x10000;
+#if AXMEMO_HAVE_COMPUTED_GOTO
+    const bool threaded = opts.dispatch != "switch";
+#else
+    const bool threaded = false;
+    if (opts.dispatch == "threaded")
+        axm_warn("simulator: threaded dispatch not compiled in "
+                 "(portable build); falling back to switch");
+#endif
+    if (trace::enabled(trace::Flag::Host)) {
+        trace::setCycle(0);
+        AXM_TRACE(Host, "host",
+                  "dispatch=", threaded ? "threaded" : "switch",
+                  " batch=", batched_ ? "on" : "off",
+                  " crc=", memoUnit_.engine().bulkPathName(),
+                  " cpu=", cpuSimdSummary());
     }
+
+    const Cycle endCycle = threaded ? runThreaded() : runSwitch();
 
     stats_.cycles = std::max(endCycle, frontCycle_);
     ev_.mergeInto(stats_.events);

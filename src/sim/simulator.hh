@@ -16,6 +16,19 @@
  * reg_crc stream inputs into it (stalling only on a full input queue),
  * lookup waits for the pending CRC then probes the LUTs with Table 4
  * latencies, and br_hit/br_miss consume the condition flag it sets.
+ *
+ * Interpreter dispatch (DESIGN.md §10). The per-instruction handlers
+ * live once in sim/interp_body.inc and are instantiated twice: as a
+ * plain switch (the portable fallback) and as computed-goto threaded
+ * dispatch where labels-as-values is available (GCC/Clang, unless
+ * -DAXMEMO_FORCE_PORTABLE). AXMEMO_DISPATCH / --dispatch selects the
+ * mode at run time; both produce bit-identical simulated state, stats,
+ * and traces. Independently, macro-op batching (AXMEMO_NO_BATCH /
+ * --no-batch to disable) folds the purely static per-instruction
+ * counters — macro-instruction, µop, and per-class µop-event totals —
+ * into per-basic-block sums (isa/blocks.hh) added once per block
+ * entry, with the runaway guard and watchdog poll moving to block
+ * granularity. Dynamic stats and all timing stay per-instruction.
  */
 
 #ifndef AXMEMO_SIM_SIMULATOR_HH
@@ -32,6 +45,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/stats.hh"
+#include "isa/blocks.hh"
 #include "isa/dyn_trace.hh"
 #include "isa/op_traits.hh"
 #include "isa/program.hh"
@@ -181,28 +195,81 @@ class Simulator
      * Per-static-instruction facts the cycle loop would otherwise
      * recompute on every dynamic instance (operand shapes, µop counts,
      * unit routing, energy event id). Built once at construction.
+     * Operands are pre-resolved to indices into the unified regReady_
+     * scoreboard (int regs, then float regs, then one write-only dummy
+     * slot for "no destination"), so the hot loop indexes one array
+     * with no float/int/validity branching.
      */
     struct Decoded
     {
-        OperandInfo ops;
+        /** regReady_ indices; unused slots point at the read-only
+         * always-zero entry so readiness is an unconditional 3-way
+         * max with no per-operand count branching. */
+        std::uint32_t src[3] = {0, 0, 0};
+        std::uint32_t nsrc = 0;
+        std::uint32_t dst = 0; ///< regReady_ index (dummy if none)
         Cycle latency = 1;
         unsigned uops = 1; ///< max(1, traits.uops)
         FuClass fu = FuClass::IntAlu;      ///< raw unit (None = marker)
         FuClass issueFu = FuClass::IntAlu; ///< unit gating issue
         bool pipelined = true;
         bool memoCounted = false; ///< contributes to stats_.memoUops
+        /** Straight-line successor starts a new basic block (it is a
+         * branch target): batched mode must enterBlock() on
+         * fallthrough, not only at control transfers. */
+        bool enterNext = false;
         Ev uopEv = Ev::NumEvents; ///< NumEvents when EnergyClass::None
+        /** Handler address for threaded dispatch, resolved by the
+         * runThreaded() prelude (labels are function-local); unused by
+         * runSwitch(). Lives here so dispatch reads it from the same
+         * cache line as the rest of the decode. */
+        const void *label = nullptr;
     };
 
     // --- timing helpers ---
     Cycle issueUops(Cycle earliest, unsigned uops);
     Cycle *fuSlot(FuClass fu);
 
+    // --- interpreter cores (sim/interp_body.inc, see file comment) ---
+    Cycle runSwitch();
+    Cycle runThreaded();
+    /** Fold a block's static aggregates into the stats at block entry;
+     * runs the runaway guard and watchdog poll at block granularity.
+     * Inline: it fires once per basic block, and hot blocks are short. */
+    void
+    enterBlock(InstIndex leader)
+    {
+        const BasicBlock &bb = blocks_.at(leader);
+        stats_.macroInsts += bb.macroInsts;
+        stats_.uops += bb.uops;
+        stats_.memoUops += bb.memoUops;
+        ev_.addRange(bb.uopEvents.data(), numUopEvents);
+        // Guards move to block granularity: the runaway trip and the
+        // watchdog poll may overshoot by at most one block length.
+        if (stats_.macroInsts > config_.maxMacroInsts)
+            raiseRunaway();
+        if (config_.control && stats_.macroInsts >= nextPoll_) {
+            config_.control->check("simulator");
+            nextPoll_ = (stats_.macroInsts | 0xFFFF) + 1;
+        }
+    }
+    [[noreturn]] void raiseRunaway();
+
     // --- functional helpers ---
     std::uint64_t readInt(RegId reg) const;
     float readFloat(RegId reg) const;
     void writeInt(RegId reg, std::uint64_t value);
     void writeFloat(RegId reg, float value);
+    /** Unchecked operand reads for the interpreter hot path; operand
+     * shapes are guaranteed by Program::verify(). */
+    std::uint64_t srcInt(RegId reg) const
+    {
+        return intRegs_[regIndex(reg)];
+    }
+    float srcFloat(RegId reg) const
+    {
+        return floatRegs_[regIndex(reg)];
+    }
 
     const Program &prog_;
     SimMemory &mem_;
@@ -212,11 +279,21 @@ class Simulator
     BranchPredictor predictor_;
 
     std::vector<Decoded> decoded_;
+    /** Basic-block decomposition with static aggregates (batching). */
+    BlockMap blocks_;
 
     std::vector<std::uint64_t> intRegs_;
     std::vector<float> floatRegs_;
-    std::vector<Cycle> intRegReady_;
-    std::vector<Cycle> floatRegReady_;
+    /** Unified readiness scoreboard: [int regs | float regs |
+     * write-only dummy | read-only zero]. */
+    std::vector<Cycle> regReady_;
+    std::uint32_t dummyReadyIdx_ = 0;
+    std::uint32_t zeroReadyIdx_ = 0;
+
+    // Run-time interpreter mode (resolved from RuntimeOptions by run()).
+    bool batched_ = true;
+    /** Next stats_.macroInsts threshold for the batched watchdog poll. */
+    std::uint64_t nextPoll_ = 0;
 
     // Front-end slot accounting.
     Cycle frontCycle_ = 0;

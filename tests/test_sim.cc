@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
+#include "common/runtime_options.hh"
 #include "isa/builder.hh"
 #include "memsys/sim_memory.hh"
 #include "sim/branch_predictor.hh"
@@ -397,6 +400,100 @@ TEST(SimTiming, StatsAddUp)
     EXPECT_EQ(stats.macroInsts, 4u);
     EXPECT_EQ(stats.uops, 3u + opTraits(Op::Fexp).uops);
     EXPECT_EQ(stats.events.get("frontend_uops"), stats.uops);
+}
+
+/**
+ * The dispatch-mode and block-batching knobs (DESIGN.md §10) select
+ * host-side execution strategies only: every combination must retire
+ * the same instructions, charge the same cycles, and count the same
+ * events. This is the in-process twin of tests/dispatch_equivalence.sh,
+ * which diffs whole artifact runs across binaries.
+ */
+TEST(SimEquivalence, DispatchAndBatchModesAreBitIdentical)
+{
+    struct Outcome
+    {
+        SimStats stats;
+        std::uint64_t acc = 0;
+        float fval = 0.0f;
+    };
+
+    const auto runWith = [](const char *dispatch,
+                            bool batch) -> Outcome {
+        setenv("AXMEMO_DISPATCH", dispatch, 1);
+        setenv("AXMEMO_NO_BATCH", batch ? "0" : "1", 1);
+        if (RuntimeOptions::globalFrozen()) {
+            RuntimeOptions opts = RuntimeOptions::global();
+            opts.dispatch = dispatch;
+            opts.blockBatch = batch;
+            RuntimeOptions::setGlobal(opts);
+        }
+
+        // Loops, taken/not-taken branches, loads, stores, and float
+        // math: one of each thing the inner loop specializes on.
+        KernelBuilder b("equiv");
+        const IReg base = b.imm(0x2000);
+        const IReg acc = b.imm(0);
+        b.forRange(0, 24, 1, [&](IReg i) {
+            const IReg addr = b.add(base, b.shl(i, 2));
+            b.st(addr, 0, i, 4);
+            const IReg back = b.ld(addr, 0, 4);
+            b.addTo(acc, acc, back);
+            b.ifThenElse(b.band(i, 1), [&] { b.addTo(acc, acc, 1); },
+                         [&] { b.addTo(acc, acc, 2); });
+        });
+        const FReg x = b.fimm(1.5f);
+        const FReg y = b.fadd(b.fmul(x, x), x);
+
+        SimMemory mem;
+        const Program p = b.finish();
+        Simulator sim(p, mem, {});
+        Outcome out{sim.run(), sim.intReg(acc), sim.floatReg(y)};
+        return out;
+    };
+
+    const auto saveEnv = [](const char *name) -> std::string {
+        const char *value = std::getenv(name);
+        return value ? value : "";
+    };
+    const std::string savedDispatch = saveEnv("AXMEMO_DISPATCH");
+    const std::string savedNoBatch = saveEnv("AXMEMO_NO_BATCH");
+
+    const Outcome ref = runWith("switch", false);
+    EXPECT_EQ(ref.acc, 312u); // sum 0..23 twice + 12*1 + 12*2
+    for (const char *dispatch : {"switch", "threaded", "auto"}) {
+        for (const bool batch : {false, true}) {
+            const Outcome got = runWith(dispatch, batch);
+            SCOPED_TRACE(std::string("dispatch=") + dispatch +
+                         " batch=" + (batch ? "on" : "off"));
+            EXPECT_EQ(got.acc, ref.acc);
+            EXPECT_EQ(got.fval, ref.fval);
+            EXPECT_EQ(got.stats.cycles, ref.stats.cycles);
+            EXPECT_EQ(got.stats.macroInsts, ref.stats.macroInsts);
+            EXPECT_EQ(got.stats.uops, ref.stats.uops);
+            EXPECT_EQ(got.stats.memoUops, ref.stats.memoUops);
+            EXPECT_EQ(got.stats.branches, ref.stats.branches);
+            EXPECT_EQ(got.stats.mispredicts, ref.stats.mispredicts);
+            EXPECT_EQ(got.stats.loads, ref.stats.loads);
+            EXPECT_EQ(got.stats.stores, ref.stats.stores);
+            EXPECT_EQ(got.stats.memoQueueStalls,
+                      ref.stats.memoQueueStalls);
+            EXPECT_EQ(got.stats.regionEntries, ref.stats.regionEntries);
+            EXPECT_EQ(got.stats.events.all(), ref.stats.events.all());
+        }
+    }
+
+    const auto restoreEnv = [](const char *name,
+                               const std::string &value) {
+        if (value.empty())
+            unsetenv(name);
+        else
+            setenv(name, value.c_str(), 1);
+    };
+    restoreEnv("AXMEMO_DISPATCH", savedDispatch);
+    restoreEnv("AXMEMO_NO_BATCH", savedNoBatch);
+    if (RuntimeOptions::globalFrozen())
+        RuntimeOptions::setGlobal(RuntimeOptions::fromEnv());
 }
 
 } // namespace

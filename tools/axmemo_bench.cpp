@@ -50,9 +50,15 @@
  *
  * Observability (any subcommand; see DESIGN.md §8):
  *   --debug-flags <spec>  enable gem5-style trace flags, e.g.
- *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof or All
- *                         (also: AXMEMO_DEBUG environment variable)
+ *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof,Host or
+ *                         All (also: AXMEMO_DEBUG environment variable)
  *   --trace-out <file>    write trace lines to <file> instead of stderr
+ *
+ * Host data paths (any subcommand; bit-identical simulated results, only
+ * simulation speed changes — see DESIGN.md §10):
+ *   --dispatch <m>        interpreter loop: auto | threaded | switch
+ *   --no-batch            disable basic-block macro-op batching
+ *   --no-simd             disable the SSE4.2/PCLMUL CRC kernels
  *
  * Besides stdout, each run emits <name>_sweep.json (host-side sweep
  * performance), <name>.json (result rows) and <name>_stats.txt (one
@@ -96,8 +102,10 @@ usage(FILE *to)
         "       axmemo profile <artifact>... | all [run options]\n"
         "       axmemo perf "
         "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
-        "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof|"
-        "All>  --trace-out <file>\n"
+        "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof,"
+        "Host|All>  --trace-out <file>\n"
+        "         --dispatch <auto|threaded|switch>  --no-batch  "
+        "--no-simd\n"
         "%s",
         RuntimeOptions::describeKnobs().c_str());
     return to == stderr ? 2 : 0;
@@ -185,6 +193,21 @@ main(int argc, char **argv)
             runtime.reportTiming = false;
         } else if (arg == "--fault-inject") {
             runtime.faultInject = value();
+        } else if (arg == "--dispatch") {
+            const std::string mode = value();
+            if (mode != "auto" && mode != "threaded" &&
+                mode != "switch") {
+                std::fprintf(stderr,
+                             "--dispatch wants auto, threaded or "
+                             "switch (got '%s')\n",
+                             mode.c_str());
+                return 2;
+            }
+            runtime.dispatch = mode;
+        } else if (arg == "--no-batch") {
+            runtime.blockBatch = false;
+        } else if (arg == "--no-simd") {
+            runtime.simd = false;
         } else if (arg == "--debug-flags" ||
                    arg.rfind("--debug-flags=", 0) == 0) {
             const std::string spec =

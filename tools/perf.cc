@@ -190,6 +190,20 @@ struct JsonObj
         key(k);
         os << "\"" << v << "\"";
     }
+    /** Booleans serialize as JSON true/false, not "true"/"false".
+     * The const char* overload exists so string literals keep landing
+     * here instead of silently converting to bool. */
+    void
+    field(const std::string &k, bool v)
+    {
+        key(k);
+        os << (v ? "true" : "false");
+    }
+    void
+    field(const std::string &k, const char *v)
+    {
+        field(k, std::string(v));
+    }
     void
     field(const std::string &k, const JsonObj &nested)
     {
@@ -451,20 +465,40 @@ benchTrace(std::size_t iters)
     return o;
 }
 
+/**
+ * Host-side execution levers for one benchFig7 run. Every combination
+ * produces bit-identical simulated results (DESIGN.md §10); only the
+ * wall clock moves, which is exactly what the per-lever rows attribute.
+ */
+struct Fig7Levers
+{
+    const char *dispatch = "auto"; // auto | threaded | switch
+    bool blockBatch = true;
+    bool simd = true;
+};
+
 JsonObj
-benchFig7(double scale)
+benchFig7(double scale, const Fig7Levers &levers = {},
+          double baselineMinstr = 0.0, double *minstrOut = nullptr)
 {
     char scaleStr[32];
     std::snprintf(scaleStr, sizeof(scaleStr), "%g", scale);
     setenv("AXMEMO_SCALE", scaleStr, 1);
     unsetenv("AXMEMO_FULL");
-    // The driver froze RuntimeOptions at startup; mirror the scale
-    // change into the frozen copy so benchScale() consumers see it.
+    setenv("AXMEMO_DISPATCH", levers.dispatch, 1);
+    setenv("AXMEMO_NO_BATCH", levers.blockBatch ? "0" : "1", 1);
+    setenv("AXMEMO_NO_SIMD", levers.simd ? "0" : "1", 1);
+    // The driver froze RuntimeOptions at startup; mirror the scale and
+    // lever changes into the frozen copy so benchScale() consumers and
+    // the simulator's knob reads see them.
     if (RuntimeOptions::globalFrozen()) {
         RuntimeOptions updated = RuntimeOptions::global();
         updated.scale = scale;
         updated.scaleSet = scale > 0.0;
         updated.full = false;
+        updated.dispatch = levers.dispatch;
+        updated.blockBatch = levers.blockBatch;
+        updated.simd = levers.simd;
         RuntimeOptions::setGlobal(updated);
     }
 
@@ -490,6 +524,11 @@ benchFig7(double scale)
     o.field("wall_seconds", wall);
     o.field("simulated_macro_insts", m.simulatedMacroInsts);
     o.field("simulated_minstr_per_second", m.simulatedMinstrPerSecond);
+    if (baselineMinstr > 0.0)
+        o.field("speedup_vs_switch_nobatch",
+                m.simulatedMinstrPerSecond / baselineMinstr);
+    if (minstrOut)
+        *minstrOut = m.simulatedMinstrPerSecond;
     return o;
 }
 
@@ -558,7 +597,7 @@ runPerf(const PerfOptions &options)
 
     JsonObj entry;
     entry.field("utc", utcNow());
-    entry.field("quick", std::string(options.quick ? "true" : "false"));
+    entry.field("quick", options.quick);
 
     // Every section runs under a phase timer; the aggregated snapshot
     // (including the sweep.* phases benchFig7's execute() records, per
@@ -582,6 +621,38 @@ runPerf(const PerfOptions &options)
     section("cache", [&] { return benchCache(4'000'000 / scaleDown); });
     section("trace", [&] { return benchTrace(8'000'000 / scaleDown); });
     section("fig7", [&] { return benchFig7(fig7Scale); });
+
+    // Per-lever fig7 rows: the same sweep re-run with each host-side
+    // speed lever toggled, so the entry attributes the end-to-end gain
+    // to dispatch, block batching, and hardware CRC individually. All
+    // four produce bit-identical simulated results; the switch/no-batch
+    // row is the speedup baseline. The default "fig7" row above stays
+    // the scoreboard metric.
+    double leverBase = 0.0;
+    section("fig7_switch_nobatch", [&] {
+        return benchFig7(fig7Scale, {"switch", false, true}, 0.0,
+                         &leverBase);
+    });
+    section("fig7_threaded_nobatch", [&] {
+        return benchFig7(fig7Scale, {"threaded", false, true}, leverBase);
+    });
+    section("fig7_threaded_batch", [&] {
+        return benchFig7(fig7Scale, {"threaded", true, true}, leverBase);
+    });
+    section("fig7_portable_crc", [&] {
+        return benchFig7(fig7Scale, {"threaded", true, false}, leverBase);
+    });
+    // Put the lever knobs back so anything after us sees the defaults.
+    unsetenv("AXMEMO_DISPATCH");
+    unsetenv("AXMEMO_NO_BATCH");
+    unsetenv("AXMEMO_NO_SIMD");
+    if (RuntimeOptions::globalFrozen()) {
+        RuntimeOptions restored = RuntimeOptions::global();
+        restored.dispatch = "auto";
+        restored.blockBatch = true;
+        restored.simd = true;
+        RuntimeOptions::setGlobal(restored);
+    }
 
     entry.rawField("phases", obs::Profiler::instance().renderJson());
 
