@@ -33,8 +33,8 @@ class AtmComparisonArtifact final : public Artifact
     enqueue(SweepEngine &engine) override
     {
         for (const std::string &name : workloadNames()) {
-            engine.enqueueCompare(name, Mode::Atm, defaultConfig());
-            engine.enqueueCompare(name, Mode::AxMemo, defaultConfig());
+            engine.enqueueCompare(name, "atm", defaultConfig());
+            engine.enqueueCompare(name, "axmemo", defaultConfig());
         }
     }
 

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Backend comparison study: the three memoization strategies the
+ * literature actually proposes — AxMemo's hardware LUT (this paper),
+ * ATM's software task memoization (Brumar et al.), and iACT/HPAC-style
+ * similarity memoization (relative-error input matching in small
+ * per-thread pools) — run against the same ten benchmarks through the
+ * MemoBackend registry. Every job is an ordinary registry dispatch, so
+ * adding a backend extends this study without touching the sweep code.
+ *
+ * Per workload the matrix is
+ *   axmemo x LUT {4 KB, 8 KB + 512 KB}
+ *   atm    x log2_entries {18, 22}
+ *   iact   x log2_entries {4, 6} x threshold {0, 0.01, 0.05}
+ * (10 jobs x 10 workloads). The reduction prints the headline
+ * three-way table at each backend's best configuration, an iACT
+ * threshold x table-size sensitivity table, and the geometric-mean
+ * speedup line for all three backends.
+ */
+
+#include "bench/artifacts/artifacts.hh"
+
+namespace axmemo::bench {
+namespace {
+
+const unsigned kAtmLog2[] = {18, 22};
+const unsigned kIactLog2[] = {4, 6};
+const double kIactThresholds[] = {0.0, 0.01, 0.05};
+
+/** Jobs enqueued per workload; see the matrix in the file comment. */
+constexpr std::size_t kJobsPerWorkload = 2 + 2 + 2 * 3;
+
+class MemoBackendsArtifact final : public Artifact
+{
+  public:
+    std::string name() const override { return "memo_backends"; }
+    std::string
+    title() const override
+    {
+        return "Backend comparison: AxMemo vs ATM vs iACT";
+    }
+    std::string
+    description() const override
+    {
+        return "Three-way backend study (hardware LUT, software task "
+               "memoization, similarity memoization) across backend x "
+               "table size x threshold";
+    }
+
+    void
+    enqueue(SweepEngine &engine) override
+    {
+        for (const std::string &name : workloadNames()) {
+            ExperimentConfig small = defaultConfig();
+            small.lut = {4 * 1024, 0};
+            engine.enqueueCompare(name, "axmemo", small);
+            engine.enqueueCompare(name, "axmemo", defaultConfig());
+
+            for (unsigned log2 : kAtmLog2) {
+                ExperimentConfig config = defaultConfig();
+                config.atm.log2Entries = log2;
+                engine.enqueueCompare(name, "atm", config);
+            }
+
+            for (unsigned log2 : kIactLog2) {
+                for (double threshold : kIactThresholds) {
+                    ExperimentConfig config = defaultConfig();
+                    config.iact.log2Entries = log2;
+                    config.iact.threshold = threshold;
+                    engine.enqueueCompare(name, "iact", config);
+                }
+            }
+        }
+    }
+
+    ArtifactResult
+    reduce(const std::vector<SweepOutcome> &outcomes) override
+    {
+        // Offsets into each workload's job block; keep in sync with
+        // the enqueue order above.
+        const std::size_t axBest = 1;
+        const std::size_t atmBest = 3;
+        const auto iactAt = [](std::size_t li, std::size_t ti) {
+            return 4 + li * 3 + ti;
+        };
+        const std::size_t iactBest = iactAt(1, 1);
+
+        TextTable headline;
+        headline.header({"benchmark", "AxMemo speedup", "hit rate",
+                         "ATM speedup", "hit rate", "iACT speedup",
+                         "hit rate", "iACT quality loss"});
+
+        std::vector<double> axSpeedups, atmSpeedups, iactSpeedups;
+        const std::vector<std::string> names = workloadNames();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            const std::size_t base = w * kJobsPerWorkload;
+            const Comparison &ax = outcomes[base + axBest].cmp;
+            const Comparison &atm = outcomes[base + atmBest].cmp;
+            const Comparison &iact = outcomes[base + iactBest].cmp;
+
+            headline.row({names[w], TextTable::times(ax.speedup),
+                          TextTable::percent(ax.subject.hitRate()),
+                          TextTable::times(atm.speedup),
+                          TextTable::percent(atm.subject.hitRate()),
+                          TextTable::times(iact.speedup),
+                          TextTable::percent(iact.subject.hitRate()),
+                          TextTable::percent(iact.qualityLoss, 3)});
+            axSpeedups.push_back(ax.speedup);
+            atmSpeedups.push_back(atm.speedup);
+            iactSpeedups.push_back(iact.speedup);
+        }
+
+        ArtifactResult result;
+        appendf(result.text,
+                "headline configurations: AxMemo 8KB+512KB LUT, ATM "
+                "2^22 entries, iACT 2^6 entries @ threshold 0.01\n\n");
+        appendf(result.text, "%s\n", headline.render().c_str());
+
+        TextTable sensitivity;
+        sensitivity.header({"iACT configuration", "geomean speedup",
+                            "mean hit rate", "max quality loss"});
+        for (std::size_t li = 0; li < 2; ++li) {
+            for (std::size_t ti = 0; ti < 3; ++ti) {
+                std::vector<double> speedups;
+                double hitSum = 0.0, worstQuality = 0.0;
+                for (std::size_t w = 0; w < names.size(); ++w) {
+                    const Comparison &cmp =
+                        outcomes[w * kJobsPerWorkload + iactAt(li, ti)]
+                            .cmp;
+                    speedups.push_back(cmp.speedup);
+                    hitSum += cmp.subject.hitRate();
+                    if (cmp.qualityLoss > worstQuality)
+                        worstQuality = cmp.qualityLoss;
+                }
+                char label[48];
+                std::snprintf(label, sizeof(label),
+                              "2^%u entries, threshold %.2f",
+                              kIactLog2[li], kIactThresholds[ti]);
+                sensitivity.row(
+                    {label, TextTable::times(geometricMean(speedups)),
+                     TextTable::percent(
+                         hitSum / static_cast<double>(names.size())),
+                     TextTable::percent(worstQuality, 3)});
+            }
+        }
+        appendf(result.text,
+                "iACT sensitivity (threshold x table size):\n%s\n",
+                sensitivity.render().c_str());
+
+        appendf(result.text,
+                "geometric mean speedup: AxMemo %.2fx, ATM %.2fx, "
+                "iACT %.2fx\n",
+                geometricMean(axSpeedups), geometricMean(atmSpeedups),
+                geometricMean(iactSpeedups));
+        return result;
+    }
+};
+
+AXMEMO_REGISTER_ARTIFACT(31, MemoBackendsArtifact)
+
+} // namespace
+} // namespace axmemo::bench

@@ -9,7 +9,10 @@
  *   axmemo_cli --list
  *
  * Options:
- *   --mode <baseline|axmemo|axmemo-notrunc|software-lut|atm>
+ *   --mode <backend>    any registered memoization backend; --list
+ *                       prints the catalog (baseline, axmemo,
+ *                       axmemo-notrunc, software-lut, atm, iact, ...)
+ *   --threshold <f>     iact: relative-error match threshold
  *   --scale <f>         dataset scale (1.0 = paper size; default 0.1)
  *   --l1 <KB>           L1 LUT size in KB (default 8)
  *   --l2 <KB>           L2 LUT size in KB (default 512, 0 disables)
@@ -30,7 +33,9 @@
 #include <string>
 
 #include "core/axmemo.hh"
+#include "core/config_io.hh"
 #include "core/json_export.hh"
+#include "core/memo_backends.hh"
 #include "core/report.hh"
 
 using namespace axmemo;
@@ -49,15 +54,16 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-Mode
+std::string
 parseMode(const std::string &name)
 {
-    for (Mode mode : {Mode::Baseline, Mode::AxMemo, Mode::AxMemoNoTrunc,
-                      Mode::SoftwareLut, Mode::Atm}) {
-        if (name == modeName(mode))
-            return mode;
+    const Expected<const MemoBackend *> backend = parseBackend(name);
+    if (!backend.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     backend.error().describe().c_str());
+        std::exit(2);
     }
-    axm_fatal("unknown mode '", name, "'");
+    return backend.value()->name();
 }
 
 } // namespace
@@ -68,7 +74,7 @@ main(int argc, char **argv)
     ExperimentConfig config;
     config.dataset.scale = 0.1;
     config.lut = {8 * 1024, 512 * 1024};
-    Mode mode = Mode::AxMemo;
+    std::string backend = "axmemo";
     bool compare = false;
     bool json = false;
     std::string workloadName;
@@ -85,7 +91,9 @@ main(int argc, char **argv)
                 std::printf("%s\n", name.c_str());
             return 0;
         } else if (arg == "--mode") {
-            mode = parseMode(next());
+            backend = parseMode(next());
+        } else if (arg == "--threshold") {
+            config.iact.threshold = std::atof(next());
         } else if (arg == "--scale") {
             config.dataset.scale = std::atof(next());
         } else if (arg == "--l1") {
@@ -126,13 +134,13 @@ main(int argc, char **argv)
     const ExperimentRunner runner(config);
 
     if (json) {
-        if (compare && mode != Mode::Baseline) {
-            const Comparison cmp = runner.compare(*workload, mode);
+        if (compare && backend != "baseline") {
+            const Comparison cmp = runner.compare(*workload, backend);
             std::printf("%s\n",
                         JsonWriter::toJson(cmp, workload->name())
                             .c_str());
         } else {
-            const RunResult result = runner.run(*workload, mode);
+            const RunResult result = runner.run(*workload, backend);
             std::printf("%s\n", JsonWriter::toJson(result).c_str());
         }
         return 0;
@@ -149,14 +157,14 @@ main(int argc, char **argv)
                     ? ", victim L2"
                     : "");
 
-    if (compare && mode != Mode::Baseline) {
-        const Comparison cmp = runner.compare(*workload, mode);
+    if (compare && backend != "baseline") {
+        const Comparison cmp = runner.compare(*workload, backend);
         std::fputs(formatComparison(cmp, *workload).c_str(), stdout);
         std::fputs("\n", stdout);
         std::fputs(formatRunReport(cmp.subject, config).c_str(),
                    stdout);
     } else {
-        const RunResult result = runner.run(*workload, mode);
+        const RunResult result = runner.run(*workload, backend);
         std::fputs(formatRunReport(result, config).c_str(), stdout);
     }
     return 0;

@@ -74,7 +74,7 @@ defaultRows(const std::vector<SweepJob> &jobs,
         std::string row = "{\"workload\":\"";
         row += JsonWriter::escape(jobs[i].workload);
         row += "\",\"mode\":\"";
-        row += modeName(jobs[i].mode);
+        row += JsonWriter::escape(jobs[i].backend);
         row += "\",\"scored\":";
         row += jobs[i].scored ? "true" : "false";
         row += ",\"config\":";
@@ -158,7 +158,7 @@ manifestRun(const Artifact &artifact,
         entry += "{\"workload\":\"";
         entry += JsonWriter::escape(jobs[i].workload);
         entry += "\",\"mode\":\"";
-        entry += modeName(jobs[i].mode);
+        entry += JsonWriter::escape(jobs[i].backend);
         entry += "\",\"scored\":";
         entry += jobs[i].scored ? "true" : "false";
         entry += ",\"config\":";

@@ -23,12 +23,14 @@
 #include "common/stats.hh"
 #include "compiler/atm_transform.hh"
 #include "compiler/dddg.hh"
+#include "compiler/iact_transform.hh"
 #include "compiler/region_finder.hh"
 #include "compiler/software_transform.hh"
 #include "compiler/trace.hh"
 #include "compiler/speedup_estimator.hh"
 #include "compiler/transform.hh"
 #include "core/experiment.hh"
+#include "core/memo_backends.hh"
 #include "core/sweep.hh"
 #include "core/table.hh"
 #include "core/truncation_tuner.hh"
@@ -36,6 +38,7 @@
 #include "energy/energy_model.hh"
 #include "isa/builder.hh"
 #include "isa/disasm.hh"
+#include "memo/backend.hh"
 #include "memo/memo_unit.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"

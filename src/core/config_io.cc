@@ -14,6 +14,7 @@
 
 #include "core/json_export.hh"
 #include "core/json_value.hh"
+#include "core/memo_backends.hh"
 
 namespace axmemo {
 
@@ -228,6 +229,7 @@ class Apply
     void apply(const JValue &v, AdaptiveTruncationConfig &a);
     void apply(const JValue &v, SwMemoConfig &s);
     void apply(const JValue &v, AtmConfig &a);
+    void apply(const JValue &v, IactConfig &i);
     void apply(const JValue &v, EnergyParams &e);
     void apply(const JValue &v, CpuConfig &c);
     void apply(const JValue &v, ExperimentConfig &config);
@@ -353,6 +355,19 @@ Apply::apply(const JValue &v, AtmConfig &a)
 }
 
 void
+Apply::apply(const JValue &v, IactConfig &i)
+{
+    object(v, "iact", [&](const std::string &k, const JValue &j) {
+        if (k == "threshold") return number(j, k, i.threshold);
+        if (k == "log2_entries") return number(j, k, i.log2Entries);
+        if (k == "pools") return number(j, k, i.pools);
+        if (k == "task_overhead_insts")
+            return number(j, k, i.taskOverheadInsts);
+        return false;
+    });
+}
+
+void
 Apply::apply(const JValue &v, EnergyParams &e)
 {
     object(v, "energy", [&](const std::string &k, const JValue &j) {
@@ -430,6 +445,7 @@ Apply::apply(const JValue &v, ExperimentConfig &config)
         }
         if (k == "software") { apply(j, config.software); return true; }
         if (k == "atm") { apply(j, config.atm); return true; }
+        if (k == "iact") { apply(j, config.iact); return true; }
         if (k == "energy") { apply(j, config.energy); return true; }
         if (k == "cpu") { apply(j, config.cpu); return true; }
         return false;
@@ -530,6 +546,17 @@ toJson(const AtmConfig &a)
 }
 
 std::string
+toJson(const IactConfig &i)
+{
+    Obj o;
+    o.field("threshold", i.threshold);
+    o.field("log2_entries", i.log2Entries);
+    o.field("pools", i.pools);
+    o.field("task_overhead_insts", i.taskOverheadInsts);
+    return o.close();
+}
+
+std::string
 toJson(const EnergyParams &e)
 {
     Obj o;
@@ -582,6 +609,7 @@ toJson(const ExperimentConfig &config)
     o.field("l2_policy", std::string(l2PolicyName(config.l2Policy)));
     o.raw("software", toJson(config.software));
     o.raw("atm", toJson(config.atm));
+    o.raw("iact", toJson(config.iact));
     o.raw("energy", toJson(config.energy));
     o.raw("cpu", toJson(config.cpu));
     return o.close();
@@ -605,6 +633,12 @@ bool
 configEquals(const ExperimentConfig &a, const ExperimentConfig &b)
 {
     return toJson(a) == toJson(b);
+}
+
+Expected<const MemoBackend *>
+parseBackend(const std::string &name)
+{
+    return memoBackends().resolve(name);
 }
 
 } // namespace axmemo

@@ -39,6 +39,7 @@ std::string toJson(const HierarchyConfig &h);
 std::string toJson(const AdaptiveTruncationConfig &a);
 std::string toJson(const SwMemoConfig &s);
 std::string toJson(const AtmConfig &a);
+std::string toJson(const IactConfig &i);
 std::string toJson(const EnergyParams &e);
 std::string toJson(const CpuConfig &c);
 std::string toJson(const ExperimentConfig &config);
@@ -53,6 +54,17 @@ Expected<ExperimentConfig> parseConfig(const std::string &json);
 
 /** Canonical equality: serializations compare equal. */
 bool configEquals(const ExperimentConfig &a, const ExperimentConfig &b);
+
+class MemoBackend;
+
+/**
+ * Resolve a memoization backend by its registered name. Unknown names
+ * return an ErrorCode::Config error that lists every registered
+ * backend and, when the name is a near miss, a did-you-mean
+ * suggestion — configuration surfaces (CLI flags, config files)
+ * should report it and exit rather than crash.
+ */
+Expected<const MemoBackend *> parseBackend(const std::string &name);
 
 } // namespace axmemo
 

@@ -8,6 +8,7 @@
 #include "common/error_metrics.hh"
 #include "common/log.hh"
 #include "common/runtime_options.hh"
+#include "core/memo_backends.hh"
 
 namespace axmemo {
 
@@ -29,51 +30,30 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
 {
 }
 
-MemoUnitConfig
-ExperimentRunner::memoConfigFor(const Workload &workload,
-                                unsigned dataBytes) const
-{
-    MemoUnitConfig memo;
-    memo.crc = CrcSpec::ofWidth(config_.crcBits);
-    memo.l1Lut.sizeBytes = config_.lut.l1Bytes;
-    memo.l1Lut.dataBytes = dataBytes;
-    memo.l2LutBytes = config_.lut.l2Bytes;
-    memo.quality.enabled = config_.qualityMonitor;
-    memo.quality.floatLanes = workload.monitorLanes();
-    memo.quality.integerData = workload.integerOutputs();
-    memo.adaptive = config_.adaptive;
-    memo.l2Policy = config_.l2Policy;
-    return memo;
-}
-
-void
-ExperimentRunner::accumulateSwCounters(const Simulator &sim,
-                                       const SwTransformResult &tr,
-                                       RunResult &result)
-{
-    for (const auto &counter : tr.counters) {
-        result.lookups += sim.intReg(counter.lookups);
-        result.hits += sim.intReg(counter.hits);
-    }
-}
-
 RunResult
-ExperimentRunner::run(Workload &workload, Mode mode) const
+ExperimentRunner::run(Workload &workload,
+                      const std::string &backend) const
 {
     SimMemory mem;
     workload.prepare(mem, config_.dataset);
     const Program baselineProg = workload.build();
-    return runPrepared(workload, mode, baselineProg, mem);
+    return runPrepared(workload, backend, baselineProg, mem);
 }
 
 RunResult
-ExperimentRunner::runPrepared(const Workload &workload, Mode mode,
+ExperimentRunner::runPrepared(const Workload &workload,
+                              const std::string &backend,
                               const Program &baselineProg,
                               SimMemory &mem,
                               const RunControl *control) const
 {
+    const Expected<const MemoBackend *> resolved =
+        memoBackends().resolve(backend);
+    if (!resolved.ok())
+        throw AxException(resolved.error());
+
     RunResult result;
-    result.mode = mode;
+    result.backend = backend;
 
     SimConfig simConfig;
     simConfig.cpu = config_.cpu;
@@ -82,61 +62,20 @@ ExperimentRunner::runPrepared(const Workload &workload, Mode mode,
                                                      : nullptr;
 
     const EnergyModel energyModel(config_.energy);
-
-    switch (mode) {
-      case Mode::Baseline: {
-        Simulator sim(baselineProg, mem, simConfig);
-        result.stats = sim.run();
-        result.energy = energyModel.compute(result.stats, nullptr);
-        break;
-      }
-      case Mode::AxMemo:
-      case Mode::AxMemoNoTrunc: {
-        MemoSpec spec = workload.memoSpec();
-        if (mode == Mode::AxMemoNoTrunc)
-            spec = spec.withUniformTruncation(0);
-        else if (config_.truncOverride >= 0)
-            spec = spec.withUniformTruncation(
-                static_cast<unsigned>(config_.truncOverride));
-        TransformResult tr = MemoTransform::apply(baselineProg, spec);
-        simConfig.memoEnabled = true;
-        simConfig.memo = memoConfigFor(workload, tr.dataBytes);
-        Simulator sim(tr.program, mem, simConfig);
-        result.stats = sim.run();
-        result.energy =
-            energyModel.compute(result.stats, &simConfig.memo);
-        result.lookups = result.stats.memo.lookups;
-        result.hits = result.stats.memo.hits();
-        result.regions = std::move(tr.regions);
-        break;
-      }
-      case Mode::SoftwareLut:
-      case Mode::Atm: {
-        const MemoSpec spec = workload.memoSpec();
-        SwTransformResult tr =
-            mode == Mode::Atm
-                ? AtmTransform::apply(baselineProg, spec, mem,
-                                      config_.atm)
-                : SoftwareMemoTransform::apply(baselineProg, spec, mem,
-                                               config_.software);
-        Simulator sim(tr.program, mem, simConfig);
-        result.stats = sim.run();
-        result.energy = energyModel.compute(result.stats, nullptr);
-        accumulateSwCounters(sim, tr, result);
-        result.regions = std::move(tr.regions);
-        break;
-      }
-    }
+    const BackendRunContext ctx{workload,    config_, baselineProg,
+                                mem,         simConfig, energyModel};
+    resolved.value()->run(ctx, result);
 
     result.outputs = workload.readOutputs(mem);
     return result;
 }
 
 Comparison
-ExperimentRunner::compare(Workload &workload, Mode mode) const
+ExperimentRunner::compare(Workload &workload,
+                          const std::string &backend) const
 {
     return score(workload, run(workload, Mode::Baseline),
-                 run(workload, mode));
+                 run(workload, backend));
 }
 
 Comparison

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "compiler/atm_transform.hh"
+#include "compiler/iact_transform.hh"
 #include "compiler/software_transform.hh"
 #include "compiler/transform.hh"
 #include "energy/energy_model.hh"
@@ -24,7 +25,14 @@
 
 namespace axmemo {
 
-/** Execution flavor of one run. */
+/**
+ * Execution flavor of one run. Runs are dispatched through the
+ * MemoBackend registry by NAME (memo/backend.hh); this enum survives as
+ * compile-checked sugar for the builtin backends — modeName() maps each
+ * enumerator onto its registered backend name, and the Mode overloads
+ * of run()/runPrepared()/compare() forward through it. New backends do
+ * not get an enumerator: they are addressed by string only.
+ */
 enum class Mode
 {
     Baseline,      ///< unmodified program, no memoization hardware
@@ -34,7 +42,7 @@ enum class Mode
     Atm            ///< Approximate Task Memoization baseline
 };
 
-/** @return a short display name for @p mode. */
+/** @return the registered backend name of builtin @p mode. */
 const char *modeName(Mode mode);
 
 /** LUT sizing of one AxMemo configuration (Fig. 7's x-axis). */
@@ -71,6 +79,8 @@ struct ExperimentConfig
     L2LutPolicy l2Policy = L2LutPolicy::Inclusive;
     SwMemoConfig software{};
     AtmConfig atm{};
+    /** iACT-style similarity backend knobs (iact_transform.hh). */
+    IactConfig iact{};
     EnergyParams energy{};
     CpuConfig cpu{};
 };
@@ -78,7 +88,8 @@ struct ExperimentConfig
 /** Results of one simulated run. */
 struct RunResult
 {
-    Mode mode = Mode::Baseline;
+    /** Registered name of the backend that produced this run. */
+    std::string backend = "baseline";
     SimStats stats{};
     EnergyBreakdown energy{};
     /** Total LUT lookups and hits (hardware or software counters). */
@@ -123,24 +134,49 @@ class ExperimentRunner
 
     const ExperimentConfig &config() const { return config_; }
 
-    /** Execute @p workload once under @p mode. */
-    RunResult run(Workload &workload, Mode mode) const;
+    /** Execute @p workload once under the backend named @p backend
+     * (resolved through memoBackends(); unknown names throw the
+     * registry's structured Config error). */
+    RunResult run(Workload &workload, const std::string &backend) const;
 
     /**
-     * Execute @p mode on an already-prepared workload: @p baselineProg
-     * must be the result of workload.build() after a prepare() with this
-     * config's dataset params, and @p mem a private copy of the prepared
-     * memory (it is mutated by the run). This is the sweep engine's
-     * entry point — prepare/build happen once, runs share them.
-     * @p control, when non-null, is polled by the simulator so the
-     * watchdog/interrupt can abort a runaway run (common/run_control.hh).
+     * Execute @p backend on an already-prepared workload:
+     * @p baselineProg must be the result of workload.build() after a
+     * prepare() with this config's dataset params, and @p mem a private
+     * copy of the prepared memory (it is mutated by the run). This is
+     * the sweep engine's entry point — prepare/build happen once, runs
+     * share them. @p control, when non-null, is polled by the simulator
+     * so the watchdog/interrupt can abort a runaway run
+     * (common/run_control.hh).
      */
-    RunResult runPrepared(const Workload &workload, Mode mode,
+    RunResult runPrepared(const Workload &workload,
+                          const std::string &backend,
                           const Program &baselineProg, SimMemory &mem,
                           const RunControl *control = nullptr) const;
 
-    /** Execute baseline + @p mode and score the pair. */
-    Comparison compare(Workload &workload, Mode mode) const;
+    /** Execute baseline + @p backend and score the pair. */
+    Comparison compare(Workload &workload,
+                       const std::string &backend) const;
+
+    // Mode-enum sugar for the builtin backends.
+    RunResult
+    run(Workload &workload, Mode mode) const
+    {
+        return run(workload, std::string(modeName(mode)));
+    }
+    RunResult
+    runPrepared(const Workload &workload, Mode mode,
+                const Program &baselineProg, SimMemory &mem,
+                const RunControl *control = nullptr) const
+    {
+        return runPrepared(workload, std::string(modeName(mode)),
+                           baselineProg, mem, control);
+    }
+    Comparison
+    compare(Workload &workload, Mode mode) const
+    {
+        return compare(workload, std::string(modeName(mode)));
+    }
 
     /**
      * Score an already-run pair (reuse one baseline across many subject
@@ -156,14 +192,6 @@ class ExperimentRunner
     static double benchScaleFromEnv(double fallback = 0.125);
 
   private:
-    MemoUnitConfig memoConfigFor(const Workload &workload,
-                                 unsigned dataBytes) const;
-
-    /** Fold a software transform's per-region counters into @p result. */
-    static void accumulateSwCounters(const Simulator &sim,
-                                     const SwTransformResult &tr,
-                                     RunResult &result);
-
     ExperimentConfig config_;
 };
 

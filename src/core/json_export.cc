@@ -109,7 +109,7 @@ JsonWriter::toJson(const RunResult &result)
 {
     std::ostringstream os;
     ObjectBuilder obj(os);
-    obj.field("mode", std::string(modeName(result.mode)));
+    obj.field("mode", result.backend);
     obj.field("cycles", result.stats.cycles);
     obj.field("macro_insts", result.stats.macroInsts);
     obj.field("uops", result.stats.uops);

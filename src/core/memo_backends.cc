@@ -1,0 +1,236 @@
+#include "core/memo_backends.hh"
+
+#include <memory>
+#include <utility>
+
+#include "compiler/atm_transform.hh"
+#include "compiler/iact_transform.hh"
+#include "compiler/software_transform.hh"
+#include "compiler/transform.hh"
+#include "core/experiment.hh"
+#include "energy/energy_model.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+
+namespace {
+
+/** Hardware memo-unit configuration for one run (LUT geometry, CRC
+ * width, quality monitor wiring) — the glue between ExperimentConfig
+ * and the simulator's memo unit. */
+MemoUnitConfig
+memoConfigFor(const ExperimentConfig &config, const Workload &workload,
+              unsigned dataBytes)
+{
+    MemoUnitConfig memo;
+    memo.crc = CrcSpec::ofWidth(config.crcBits);
+    memo.l1Lut.sizeBytes = config.lut.l1Bytes;
+    memo.l1Lut.dataBytes = dataBytes;
+    memo.l2LutBytes = config.lut.l2Bytes;
+    memo.quality.enabled = config.qualityMonitor;
+    memo.quality.floatLanes = workload.monitorLanes();
+    memo.quality.integerData = workload.integerOutputs();
+    memo.adaptive = config.adaptive;
+    memo.l2Policy = config.l2Policy;
+    return memo;
+}
+
+/** Fold a software transform's per-region counter registers into the
+ * run's lookup/hit totals. */
+void
+accumulateSwCounters(const Simulator &sim, const SwTransformResult &tr,
+                     RunResult &result)
+{
+    for (const auto &counter : tr.counters) {
+        result.lookups += sim.intReg(counter.lookups);
+        result.hits += sim.intReg(counter.hits);
+    }
+}
+
+class BaselineBackend final : public MemoBackend
+{
+  public:
+    std::string name() const override { return "baseline"; }
+    std::string
+    description() const override
+    {
+        return "unmodified program; the reference every comparison is "
+               "scored against";
+    }
+    std::string
+    configSummary() const override
+    {
+        return "(shared cpu/hierarchy/energy config only)";
+    }
+
+    void
+    run(const BackendRunContext &ctx, RunResult &result) const override
+    {
+        Simulator sim(ctx.baselineProg, ctx.mem, ctx.sim);
+        result.stats = sim.run();
+        result.energy = ctx.energy.compute(result.stats, nullptr);
+    }
+};
+
+/** The hardware memoization unit, with or without input truncation. */
+class AxMemoBackend final : public MemoBackend
+{
+  public:
+    explicit AxMemoBackend(bool noTrunc) : noTrunc_(noTrunc) {}
+
+    std::string
+    name() const override
+    {
+        return noTrunc_ ? "axmemo-notrunc" : "axmemo";
+    }
+    std::string
+    description() const override
+    {
+        return noTrunc_ ? "hardware memoization with truncation "
+                          "disabled (Fig. 11 ablation)"
+                        : "hardware memoization unit with Table 2 "
+                          "truncation (the paper's design)";
+    }
+    std::string
+    configSummary() const override
+    {
+        return noTrunc_ ? "lut, crc_bits, quality_monitor, adaptive, "
+                          "l2_policy"
+                        : "lut, crc_bits, quality_monitor, "
+                          "trunc_override, adaptive, l2_policy";
+    }
+    bool hardwareMemo() const override { return true; }
+
+    void
+    run(const BackendRunContext &ctx, RunResult &result) const override
+    {
+        MemoSpec spec = ctx.workload.memoSpec();
+        if (noTrunc_)
+            spec = spec.withUniformTruncation(0);
+        else if (ctx.config.truncOverride >= 0)
+            spec = spec.withUniformTruncation(
+                static_cast<unsigned>(ctx.config.truncOverride));
+        TransformResult tr = MemoTransform::apply(ctx.baselineProg, spec);
+        ctx.sim.memoEnabled = true;
+        ctx.sim.memo = memoConfigFor(ctx.config, ctx.workload,
+                                     tr.dataBytes);
+        Simulator sim(tr.program, ctx.mem, ctx.sim);
+        result.stats = sim.run();
+        result.energy = ctx.energy.compute(result.stats, &ctx.sim.memo);
+        result.lookups = result.stats.memo.lookups;
+        result.hits = result.stats.memo.hits();
+        result.regions = std::move(tr.regions);
+    }
+
+  private:
+    const bool noTrunc_;
+};
+
+/** Shared driver for the pure-software rewriting backends. */
+class SoftwareBackendBase : public MemoBackend
+{
+  protected:
+    /** Run @p tr (a software rewrite of the baseline program). */
+    static void
+    simulate(const BackendRunContext &ctx, SwTransformResult tr,
+             RunResult &result)
+    {
+        Simulator sim(tr.program, ctx.mem, ctx.sim);
+        result.stats = sim.run();
+        result.energy = ctx.energy.compute(result.stats, nullptr);
+        accumulateSwCounters(sim, tr, result);
+        result.regions = std::move(tr.regions);
+    }
+};
+
+class SoftwareLutBackend final : public SoftwareBackendBase
+{
+  public:
+    std::string name() const override { return "software-lut"; }
+    std::string
+    description() const override
+    {
+        return "software CRC + direct-indexed array LUT contender "
+               "(Section 6.2)";
+    }
+    std::string configSummary() const override { return "software"; }
+
+    void
+    run(const BackendRunContext &ctx, RunResult &result) const override
+    {
+        simulate(ctx,
+                 SoftwareMemoTransform::apply(ctx.baselineProg,
+                                              ctx.workload.memoSpec(),
+                                              ctx.mem,
+                                              ctx.config.software),
+                 result);
+    }
+};
+
+class AtmBackend final : public SoftwareBackendBase
+{
+  public:
+    std::string name() const override { return "atm"; }
+    std::string
+    description() const override
+    {
+        return "Approximate Task Memoization: sampled-byte hash plus "
+               "task dispatch cost";
+    }
+    std::string configSummary() const override { return "atm"; }
+
+    void
+    run(const BackendRunContext &ctx, RunResult &result) const override
+    {
+        simulate(ctx,
+                 AtmTransform::apply(ctx.baselineProg,
+                                     ctx.workload.memoSpec(), ctx.mem,
+                                     ctx.config.atm),
+                 result);
+    }
+};
+
+class IactBackend final : public SoftwareBackendBase
+{
+  public:
+    std::string name() const override { return "iact"; }
+    std::string
+    description() const override
+    {
+        return "iACT/HPAC-style software memoization: relative-error "
+               "input matching in per-thread pools";
+    }
+    std::string configSummary() const override { return "iact"; }
+
+    void
+    run(const BackendRunContext &ctx, RunResult &result) const override
+    {
+        simulate(ctx,
+                 IactTransform::apply(ctx.baselineProg,
+                                      ctx.workload.memoSpec(), ctx.mem,
+                                      ctx.config.iact),
+                 result);
+    }
+};
+
+} // namespace
+
+MemoBackendRegistry &
+memoBackends()
+{
+    static const bool registered = [] {
+        MemoBackendRegistry &r = MemoBackendRegistry::instance();
+        r.add(0, std::make_unique<BaselineBackend>());
+        r.add(1, std::make_unique<AxMemoBackend>(false));
+        r.add(2, std::make_unique<AxMemoBackend>(true));
+        r.add(3, std::make_unique<SoftwareLutBackend>());
+        r.add(4, std::make_unique<AtmBackend>());
+        r.add(5, std::make_unique<IactBackend>());
+        return true;
+    }();
+    (void)registered;
+    return MemoBackendRegistry::instance();
+}
+
+} // namespace axmemo

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "core/memo_backends.hh"
+
 namespace axmemo {
 
 namespace {
@@ -31,7 +33,7 @@ formatRunReport(const RunResult &result, const ExperimentConfig &config)
 {
     const SimStats &s = result.stats;
     std::ostringstream os;
-    os << "---------- run report (" << modeName(result.mode)
+    os << "---------- run report (" << result.backend
        << ") ----------\n";
     line(os, "cycles", s.cycles);
     line(os, "seconds",
@@ -56,8 +58,8 @@ formatRunReport(const RunResult &result, const ExperimentConfig &config)
     line(os, "dram_reads", s.events.get("dram_read"));
     line(os, "dram_writes", s.events.get("dram_write"));
 
-    if (result.mode == Mode::AxMemo ||
-        result.mode == Mode::AxMemoNoTrunc) {
+    const MemoBackend *backend = memoBackends().find(result.backend);
+    if (backend && backend->hardwareMemo()) {
         os << "-- memoization unit --\n";
         line(os, "lookups", s.memo.lookups);
         line(os, "l1_lut_hits", s.memo.l1Hits);

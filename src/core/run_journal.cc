@@ -7,6 +7,7 @@
 
 #include "core/config_io.hh"
 #include "core/json_value.hh"
+#include "core/memo_backends.hh"
 #include "core/output_paths.hh"
 
 namespace axmemo {
@@ -214,7 +215,7 @@ void
 appendRunResult(std::string &out, const RunResult &r)
 {
     out += "{\"mode\":";
-    appendInt(out, static_cast<unsigned>(r.mode));
+    appendEscaped(out, r.backend);
     out += ",\"lookups\":";
     appendInt(out, r.lookups);
     out += ",\"hits\":";
@@ -445,10 +446,17 @@ decodeSimStats(const JValue &v, SimStats &s)
 void
 decodeRunResult(const JValue &v, RunResult &r)
 {
-    const std::uint64_t mode = asU64(member(v, "mode"), "mode");
-    if (mode > static_cast<std::uint64_t>(Mode::Atm))
-        raiseError(ErrorCode::Parse, "journal", "unknown mode");
-    r.mode = static_cast<Mode>(mode);
+    // Since journal version 2 the mode field holds the backend NAME;
+    // version-1 lines carried a Mode ordinal and fail here, which the
+    // tolerant load() turns into a re-simulation rather than an abort.
+    Expected<std::string> backend =
+        jsonString(member(v, "mode"), "mode");
+    if (!backend.ok())
+        throw AxException(backend.error());
+    if (!memoBackends().find(backend.value()))
+        raiseError(ErrorCode::Parse, "journal",
+                   "unknown backend '" + backend.value() + "'");
+    r.backend = std::move(backend).value();
     r.lookups = asU64(member(v, "lookups"), "lookups");
     r.hits = asU64(member(v, "hits"), "hits");
     decodeSimStats(member(v, "stats"), r.stats);
@@ -536,7 +544,7 @@ SweepJournal::jobKey(const SweepJob &job)
 {
     std::string key = job.workload;
     key += '|';
-    key += modeName(job.mode);
+    key += job.backend;
     key += job.scored ? "|1|" : "|0|";
     key += toJson(job.config);
     return key;
@@ -649,7 +657,7 @@ SweepJournal::open(const std::string &path, bool fresh)
     file_ = file;
     path_ = path;
     if (fresh) {
-        std::fputs("{\"axmemo_sweep_journal\":1}\n", file_);
+        std::fputs("{\"axmemo_sweep_journal\":2}\n", file_);
         std::fflush(file_);
     }
     return {};

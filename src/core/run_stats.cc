@@ -77,7 +77,7 @@ runStatsSection(const std::string &runName, const SweepJob &job,
                 const SweepOutcome &outcome)
 {
     const std::string header =
-        runName + ": " + job.workload + " " + modeName(job.mode);
+        runName + ": " + job.workload + " " + job.backend;
     return runStatSet(job, outcome).renderSection(header);
 }
 

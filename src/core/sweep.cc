@@ -137,12 +137,19 @@ runWithRetry(Fn &&fn, unsigned retries)
     }
 }
 
+/** A job under the baseline backend (shared-result fast path). */
+bool
+isBaseline(const SweepJob &job)
+{
+    return job.backend == modeName(Mode::Baseline);
+}
+
 /** The AXMEMO_FAULT_INJECT test hook; see RuntimeOptions. */
 void
 maybeInjectFault(const RuntimeOptions &options, const SweepJob &job,
                  unsigned attempt)
 {
-    if (options.faultInject.empty() || job.mode == Mode::Baseline)
+    if (options.faultInject.empty() || isBaseline(job))
         return;
     const std::string target = options.faultWorkload();
     if (target.empty() ||
@@ -186,18 +193,20 @@ SweepEngine::SweepEngine(const RuntimeOptions &options)
 SweepEngine::~SweepEngine() = default;
 
 std::size_t
-SweepEngine::enqueueRun(const std::string &workload, Mode mode,
+SweepEngine::enqueueRun(const std::string &workload,
+                        const std::string &backend,
                         const ExperimentConfig &config)
 {
-    jobs_.push_back({workload, mode, config, /*scored=*/false});
+    jobs_.push_back({workload, backend, config, /*scored=*/false});
     return jobs_.size() - 1;
 }
 
 std::size_t
-SweepEngine::enqueueCompare(const std::string &workload, Mode mode,
+SweepEngine::enqueueCompare(const std::string &workload,
+                            const std::string &backend,
                             const ExperimentConfig &config)
 {
-    jobs_.push_back({workload, mode, config, /*scored=*/true});
+    jobs_.push_back({workload, backend, config, /*scored=*/true});
     return jobs_.size() - 1;
 }
 
@@ -272,7 +281,7 @@ SweepEngine::execute()
             ++metrics_.restoredJobs;
             const std::string bKey =
                 baselineKey(jobs_[i].workload, jobs_[i].config);
-            if (jobs_[i].mode == Mode::Baseline)
+            if (isBaseline(jobs_[i]))
                 replayedBaseMacro[bKey] =
                     results[i].run.stats.macroInsts;
             else if (jobs_[i].scored)
@@ -370,7 +379,7 @@ SweepEngine::execute()
     std::unordered_set<BaselineEntry *> baselineScheduled;
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
         const SweepJob &job = jobs_[i];
-        if (!job.scored && job.mode != Mode::Baseline)
+        if (!job.scored && !isBaseline(job))
             continue;
         ++metrics_.baselineRequests;
         const std::string key = baselineKey(job.workload, job.config);
@@ -469,7 +478,7 @@ SweepEngine::execute()
                 return;
             }
             const BaselineEntry *base = nullptr;
-            if (job.scored || job.mode == Mode::Baseline) {
+            if (job.scored || isBaseline(job)) {
                 base = baselines_.at(baselineKey(job.workload,
                                                  job.config))
                            .get();
@@ -494,7 +503,7 @@ SweepEngine::execute()
             const Attempt a = runWithRetry(
                 [&](unsigned attempt) {
                     maybeInjectFault(options_, job, attempt);
-                    if (job.mode == Mode::Baseline) {
+                    if (isBaseline(job)) {
                         out.run = base->result; // simulated once, shared
                     } else {
                         SimMemory mem = prep.mem.clone();
@@ -502,7 +511,7 @@ SweepEngine::execute()
                         const RunControl control =
                             makeControl(options_);
                         out.run = runner.runPrepared(
-                            *prep.workload, job.mode, prep.program,
+                            *prep.workload, job.backend, prep.program,
                             mem, &control);
                     }
                 },
@@ -510,7 +519,7 @@ SweepEngine::execute()
             out.attempts = a.attempts;
             out.status = a.status;
             out.fault = a.fault;
-            if (job.mode != Mode::Baseline && out.ok())
+            if (!isBaseline(job) && out.ok())
                 out.seconds = options_.reportTiming
                                   ? secondsSince(start)
                                   : 0.0;
@@ -552,7 +561,7 @@ SweepEngine::execute()
     for (std::size_t i = 0; i < jobs_.size(); ++i) {
         const SweepOutcome &out = results[i];
         serial += out.seconds;
-        if (jobs_[i].mode != Mode::Baseline)
+        if (!isBaseline(jobs_[i]))
             macroInsts += out.run.stats.macroInsts;
         switch (out.status) {
           case JobStatus::Ok: break;

@@ -3,10 +3,10 @@
  * The sweep execution engine: parallel evaluation of experiment matrices.
  *
  * Every paper artifact (Tables 1-5, Figs. 7-11, the ablations) is a sweep
- * over {workloads} x {modes} x {configurations}. Each simulation is
+ * over {workloads} x {backends} x {configurations}. Each simulation is
  * deterministic (seeded-xorshift datasets, single-threaded core model)
  * and owns all of its mutable state, so whole runs are embarrassingly
- * parallel. Callers enqueue (workload, mode, config) jobs; a fixed-size
+ * parallel. Callers enqueue (workload, backend, config) jobs; a fixed-size
  * worker pool (AXMEMO_JOBS, default: hardware threads) runs each job in
  * its own Simulator/SimMemory instance, and execute() returns results in
  * deterministic submission order regardless of completion order.
@@ -60,7 +60,8 @@ class SweepJournal;
 struct SweepJob
 {
     std::string workload;
-    Mode mode = Mode::Baseline;
+    /** Registered MemoBackend name — the sweep's backend axis. */
+    std::string backend = "baseline";
     ExperimentConfig config{};
     /** Also score against the cached baseline (fills SweepOutcome.cmp). */
     bool scored = false;
@@ -154,15 +155,33 @@ class SweepEngine
     SweepEngine(const SweepEngine &) = delete;
     SweepEngine &operator=(const SweepEngine &) = delete;
 
-    /** Enqueue a raw run. @return the job's index into execute()'s
-     * result vector. */
-    std::size_t enqueueRun(const std::string &workload, Mode mode,
+    /** Enqueue a raw run under the backend named @p backend. @return
+     * the job's index into execute()'s result vector. */
+    std::size_t enqueueRun(const std::string &workload,
+                           const std::string &backend,
                            const ExperimentConfig &config);
 
     /** Enqueue a run that is also scored against the cached baseline of
      * its (workload, dataset, cpu, hierarchy, energy) key. */
-    std::size_t enqueueCompare(const std::string &workload, Mode mode,
+    std::size_t enqueueCompare(const std::string &workload,
+                               const std::string &backend,
                                const ExperimentConfig &config);
+
+    // Mode-enum sugar for the builtin backends.
+    std::size_t
+    enqueueRun(const std::string &workload, Mode mode,
+               const ExperimentConfig &config)
+    {
+        return enqueueRun(workload, std::string(modeName(mode)),
+                          config);
+    }
+    std::size_t
+    enqueueCompare(const std::string &workload, Mode mode,
+                   const ExperimentConfig &config)
+    {
+        return enqueueCompare(workload, std::string(modeName(mode)),
+                              config);
+    }
 
     /**
      * Run every job enqueued since the last execute(). Results are in

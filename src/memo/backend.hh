@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The MemoBackend seam: pluggable memoization strategies.
+ *
+ * Every execution flavor of a run — the plain baseline, the paper's
+ * hardware memoization unit, the Section 6.2 software contenders, and
+ * any future backend (faulty-LUT storage, a served memo table) — is a
+ * MemoBackend: a named strategy that takes a prepared workload and
+ * produces a RunResult. ExperimentRunner dispatches through the
+ * registry by name, config_io serializes backends symbolically, the
+ * sweep engine treats the backend name as a first-class sweep axis,
+ * and the checkpoint journal keys jobs by it.
+ *
+ * Adding a backend is one registration: implement the interface,
+ * register it (builtins via core/memo_backends.cc, out-of-tree ones
+ * via AXMEMO_REGISTER_MEMO_BACKEND), and every driver surface —
+ * `axmemo --list`, the cli's --mode flag, sweep journaling, manifest
+ * rows — picks it up with no enum sweep through the codebase.
+ *
+ * This header lives in the memo library (links only common + crc), so
+ * the run context uses forward declarations; the concrete builtin
+ * backends live in core where the simulator, transforms and energy
+ * model are all visible.
+ */
+
+#ifndef AXMEMO_MEMO_BACKEND_HH
+#define AXMEMO_MEMO_BACKEND_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/expected.hh"
+
+namespace axmemo {
+
+class Workload;
+class Program;
+class SimMemory;
+class EnergyModel;
+struct ExperimentConfig;
+struct SimConfig;
+struct RunResult;
+
+/** Everything a backend needs to execute one prepared run. */
+struct BackendRunContext
+{
+    const Workload &workload;
+    const ExperimentConfig &config;
+    /** The workload's baseline AxIR program (read-only, shared). */
+    const Program &baselineProg;
+    /** Private copy of the prepared memory image; mutated by the run. */
+    SimMemory &mem;
+    /** Prefilled with cpu/hierarchy/control; hardware backends attach
+     * their memo unit configuration here before simulating. */
+    SimConfig &sim;
+    const EnergyModel &energy;
+};
+
+/** One memoization strategy; see file comment. */
+class MemoBackend
+{
+  public:
+    virtual ~MemoBackend() = default;
+
+    /** Stable identifier: the sweep axis value, journal key component,
+     * config_io name and report label. Lower-case, no whitespace. */
+    virtual std::string name() const = 0;
+
+    /** One-line human description for `axmemo --list`. */
+    virtual std::string description() const = 0;
+
+    /** The ExperimentConfig sections this backend reads ("lut,
+     * crc_bits", "iact", ...) — its config schema, for --list. */
+    virtual std::string configSummary() const = 0;
+
+    /** True when the run attaches the hardware memoization unit (the
+     * run report renders the memo-unit section for these). */
+    virtual bool hardwareMemo() const { return false; }
+
+    /** Execute one run: transform and/or attach hardware as needed,
+     * simulate, and fill @p result (stats, energy, lookups/hits,
+     * regions). The caller owns result.backend and result.outputs. */
+    virtual void run(const BackendRunContext &ctx,
+                     RunResult &result) const = 0;
+};
+
+/** Name-keyed backend catalog; see file comment. */
+class MemoBackendRegistry
+{
+  public:
+    static MemoBackendRegistry &instance();
+
+    /** Register @p backend; @p order controls listing position.
+     * Duplicate names are a programming error (panics). */
+    void add(int order, std::unique_ptr<MemoBackend> backend);
+
+    /** @return the backend named @p name, or nullptr. */
+    const MemoBackend *find(const std::string &name) const;
+
+    /**
+     * find() with a structured error: unknown names produce an
+     * ErrorCode::Config Expected carrying a did-you-mean suggestion
+     * and the list of registered backends, for config_io and the
+     * driver surfaces to report verbatim.
+     */
+    Expected<const MemoBackend *> resolve(const std::string &name) const;
+
+    /** Registered backends in (order, name) order. */
+    std::vector<const MemoBackend *> list() const;
+
+  private:
+    struct Entry
+    {
+        int order = 0;
+        std::unique_ptr<MemoBackend> backend;
+    };
+    std::vector<Entry> entries_;
+};
+
+/** Static registrar for out-of-core backends (builtins register
+ * explicitly through core/memo_backends.cc instead, so no static-init
+ * order or linker dead-stripping issues apply to them). */
+struct MemoBackendRegistrar
+{
+    MemoBackendRegistrar(int order, std::unique_ptr<MemoBackend> backend);
+};
+
+#define AXMEMO_REGISTER_MEMO_BACKEND(order, cls)                          \
+    static const ::axmemo::MemoBackendRegistrar                           \
+        axmemoMemoBackendRegistrar_##cls{order, std::make_unique<cls>()};
+
+} // namespace axmemo
+
+#endif // AXMEMO_MEMO_BACKEND_HH

@@ -7,6 +7,7 @@ set -eu
 
 driver="$1"
 legacy="$2"
+legacy_atm="${3:-}"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -36,3 +37,18 @@ test -s "$workdir/fig9.json"
 test -s "$workdir/manifest.json"
 
 echo "fig9 driver/legacy stdout identical (serial and parallel)"
+
+# Same cross-check for atm_comparison, which dispatches through the
+# MemoBackend registry: the registry seam must not move a byte.
+if [ -n "$legacy_atm" ]; then
+    export AXMEMO_JOBS=1
+    "$legacy_atm" >legacy_atm.out 2>/dev/null
+    "$driver" run atm_comparison --out "$workdir" >driver_atm.out \
+        2>/dev/null
+    if ! cmp -s legacy_atm.out driver_atm.out; then
+        echo "driver and legacy atm_comparison stdout differ:" >&2
+        diff legacy_atm.out driver_atm.out >&2 || true
+        exit 1
+    fi
+    echo "atm_comparison driver/legacy stdout identical"
+fi

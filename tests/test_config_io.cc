@@ -20,6 +20,7 @@
 
 #include "common/rng.hh"
 #include "core/config_io.hh"
+#include "core/memo_backends.hh"
 
 namespace axmemo {
 namespace {
@@ -57,9 +58,10 @@ TEST(ConfigFieldGuard, StructFieldCountsMatchSerializer)
     EXPECT_EQ((fieldCount<AdaptiveTruncationConfig>()), 8u);
     EXPECT_EQ((fieldCount<SwMemoConfig>()), 5u);
     EXPECT_EQ((fieldCount<AtmConfig>()), 4u);
+    EXPECT_EQ((fieldCount<IactConfig>()), 4u);
     EXPECT_EQ((fieldCount<EnergyParams>()), 18u);
     EXPECT_EQ((fieldCount<CpuConfig>()), 7u);
-    EXPECT_EQ((fieldCount<ExperimentConfig>()), 12u);
+    EXPECT_EQ((fieldCount<ExperimentConfig>()), 13u);
 }
 
 // ---------------------------------------------------------------------
@@ -234,6 +236,23 @@ mutators()
         {"atm.seed",
          [](ExperimentConfig &c, Rng &r) {
              c.atm.seed = static_cast<std::uint32_t>(r.next());
+         }},
+        {"iact.threshold",
+         [](ExperimentConfig &c, Rng &r) {
+             c.iact.threshold = r.uniform(0.0001, 0.5);
+         }},
+        {"iact.log2Entries",
+         [](ExperimentConfig &c, Rng &r) {
+             c.iact.log2Entries = 1 + static_cast<unsigned>(r.below(8));
+         }},
+        {"iact.pools",
+         [](ExperimentConfig &c, Rng &r) {
+             c.iact.pools = 1u << static_cast<unsigned>(r.below(6));
+         }},
+        {"iact.taskOverheadInsts",
+         [](ExperimentConfig &c, Rng &r) {
+             c.iact.taskOverheadInsts =
+                 static_cast<unsigned>(r.below(200)) + 1;
          }},
         {"energy.frontendPerUop",
          [d](ExperimentConfig &c, Rng &r) {
@@ -444,6 +463,44 @@ TEST(ConfigIo, PartialDocumentsKeepDefaults)
     const ExperimentConfig defaults;
     EXPECT_EQ(config.lut.l1Bytes, defaults.lut.l1Bytes);
     EXPECT_EQ(config.cpu.issueWidth, defaults.cpu.issueWidth);
+}
+
+TEST(ParseBackend, ResolvesEveryRegisteredName)
+{
+    for (const MemoBackend *backend : memoBackends().list()) {
+        const Expected<const MemoBackend *> got =
+            parseBackend(backend->name());
+        ASSERT_TRUE(got.ok()) << backend->name();
+        EXPECT_EQ(got.value(), backend);
+    }
+}
+
+TEST(ParseBackend, UnknownNameIsStructuredErrorWithSuggestion)
+{
+    const Expected<const MemoBackend *> bad = parseBackend("axmeno");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::Config);
+    EXPECT_EQ(bad.error().component, "backend");
+    EXPECT_NE(bad.error().message.find("axmeno"), std::string::npos);
+    EXPECT_NE(bad.error().message.find("did you mean 'axmemo'"),
+              std::string::npos)
+        << bad.error().describe();
+    // Every registered backend is listed so the user can pick one.
+    for (const MemoBackend *backend : memoBackends().list())
+        EXPECT_NE(bad.error().message.find(backend->name()),
+                  std::string::npos);
+}
+
+TEST(ParseBackend, FarOffNameListsBackendsWithoutSuggestion)
+{
+    const Expected<const MemoBackend *> bad =
+        parseBackend("zzzzzzzzzzzz");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().message.find("did you mean"),
+              std::string::npos)
+        << bad.error().describe();
+    EXPECT_NE(bad.error().message.find("registered backends"),
+              std::string::npos);
 }
 
 TEST(ConfigIo, EnumsSerializeSymbolically)

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * iACT/HPAC-style similarity-memoization transform tests
+ * (compiler/iact_transform.hh): exact-match degeneracy at threshold 0,
+ * monotone hit-rate growth with the threshold, pool striping, FIFO
+ * eviction under capacity pressure, generation invalidation, and
+ * config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "compiler/iact_transform.hh"
+#include "isa/builder.hh"
+#include "sim/simulator.hh"
+
+namespace axmemo {
+namespace {
+
+/**
+ * The MiniKernel of test_compiler.cc with a configurable input
+ * pattern: per element, a hinted region computes two outputs from two
+ * loaded floats. `jitter` spreads otherwise-identical inputs apart by
+ * a small relative amount so similarity matching has something exact
+ * matching cannot catch.
+ */
+struct JitterKernel
+{
+    SimMemory mem;
+    Addr in = 0;
+    Addr out = 0;
+    unsigned n = 64;
+    MemoSpec spec;
+
+    explicit JitterKernel(double jitter = 0.0)
+    {
+        in = mem.allocate(n * 8);
+        out = mem.allocate(n * 8);
+        for (unsigned i = 0; i < n; ++i) {
+            const float wobble =
+                static_cast<float>(jitter) *
+                static_cast<float>(i % 7) / 7.0f;
+            mem.writeFloat(in + 8 * i,
+                           (1.0f + static_cast<float>(i % 5)) *
+                               (1.0f + wobble));
+            mem.writeFloat(in + 8 * i + 4,
+                           (2.0f + static_cast<float>(i % 3)) *
+                               (1.0f + wobble));
+        }
+        RegionMemoSpec region;
+        region.regionId = 1;
+        spec.regions.push_back(region);
+    }
+
+    Program
+    build() const
+    {
+        KernelBuilder b("jitter");
+        const IReg inReg = b.imm(static_cast<std::int64_t>(in));
+        const IReg outReg = b.imm(static_cast<std::int64_t>(out));
+        b.forRange(0, n, 1, [&](IReg i) {
+            const IReg addr = b.add(inReg, b.shl(i, 3));
+            const FReg x = b.ldf(addr, 0);
+            const FReg y = b.ldf(addr, 4);
+            b.regionBegin(1);
+            const FReg s = b.fadd(b.fmul(x, x), y);
+            const FReg t = b.fdiv(x, b.fadd(y, b.fimm(1.0f)));
+            b.regionEnd(1);
+            const IReg oaddr = b.add(outReg, b.shl(i, 3));
+            b.stf(oaddr, 0, s);
+            b.stf(oaddr, 4, t);
+        });
+        return b.finish();
+    }
+
+    std::vector<float>
+    outputs() const
+    {
+        return mem.readFloats(out, 2 * n);
+    }
+};
+
+struct IactRun
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::vector<float> outputs;
+};
+
+IactRun
+runIact(double jitter, const IactConfig &config)
+{
+    JitterKernel kernel(jitter);
+    const SwTransformResult tr = IactTransform::apply(
+        kernel.build(), kernel.spec, kernel.mem, config);
+    Simulator sim(tr.program, kernel.mem, {});
+    sim.run();
+    IactRun run;
+    for (const auto &counter : tr.counters) {
+        run.lookups += sim.intReg(counter.lookups);
+        run.hits += sim.intReg(counter.hits);
+    }
+    run.outputs = kernel.outputs();
+    return run;
+}
+
+TEST(IactTransform, ThresholdZeroDegeneratesToExactMatch)
+{
+    // 15 distinct (x, y) pairs over 64 invocations; one pool with 32
+    // entries holds them all, so exact matching hits 49 times — the
+    // same count the software-LUT transform measures on this kernel.
+    IactConfig config;
+    config.threshold = 0.0;
+    config.pools = 1;
+    config.log2Entries = 5;
+    const IactRun run = runIact(0.0, config);
+    EXPECT_EQ(run.lookups, 64u);
+    EXPECT_EQ(run.hits, 49u);
+
+    // Exact matches replay exact outputs: byte-identical to baseline.
+    JitterKernel base;
+    {
+        const Program p = base.build();
+        Simulator sim(p, base.mem, {});
+        sim.run();
+    }
+    EXPECT_EQ(run.outputs, base.outputs());
+}
+
+TEST(IactTransform, ThresholdMonotonicallyIncreasesHitRate)
+{
+    // With 3% input jitter, exact matching sees 64 distinct keys, but
+    // a growing relative-error threshold folds ever more of them
+    // together.
+    IactConfig config;
+    config.pools = 1;
+    config.log2Entries = 7;
+    std::uint64_t previous = 0;
+    for (double threshold : {0.0, 0.01, 0.05, 0.2}) {
+        config.threshold = threshold;
+        const IactRun run = runIact(0.03, config);
+        EXPECT_EQ(run.lookups, 64u);
+        EXPECT_GE(run.hits, previous) << "threshold " << threshold;
+        previous = run.hits;
+    }
+    // The loosest threshold must actually exploit the similarity the
+    // tightest cannot.
+    config.threshold = 0.0;
+    const std::uint64_t exact = runIact(0.03, config).hits;
+    config.threshold = 0.2;
+    EXPECT_GT(runIact(0.03, config).hits, exact);
+}
+
+TEST(IactTransform, IntegerInputsMatchApproximatelyToo)
+{
+    // An integer-input region under a fuzzy threshold: values within
+    // the relative band hit, values outside miss.
+    SimMemory mem;
+    const unsigned n = 32;
+    const Addr in = mem.allocate(n * 8);
+    const Addr out = mem.allocate(n * 8);
+    for (unsigned i = 0; i < n; ++i)
+        mem.write64(in + 8 * i, 1000 + (i % 8)); // within 0.7%
+
+    KernelBuilder b("ints");
+    const IReg inReg = b.imm(static_cast<std::int64_t>(in));
+    const IReg outReg = b.imm(static_cast<std::int64_t>(out));
+    b.forRange(0, n, 1, [&](IReg i) {
+        const IReg addr = b.add(inReg, b.shl(i, 3));
+        const IReg x = b.ld(addr, 0, 8);
+        b.regionBegin(1);
+        const IReg y = b.mul(x, x);
+        b.regionEnd(1);
+        b.st(b.add(outReg, b.shl(i, 3)), 0, y, 8);
+    });
+    MemoSpec spec;
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
+
+    IactConfig config;
+    config.pools = 1;
+    config.log2Entries = 5;
+    config.threshold = 0.01; // 1% band swallows the 0.7% spread
+    const SwTransformResult tr =
+        IactTransform::apply(b.finish(), spec, mem, config);
+    Simulator sim(tr.program, mem, {});
+    sim.run();
+    EXPECT_EQ(sim.intReg(tr.counters[0].lookups), 32u);
+    EXPECT_EQ(sim.intReg(tr.counters[0].hits), 31u);
+}
+
+TEST(IactTransform, PoolsStripeInvocations)
+{
+    // Striped across 4 pools the table still works; each pool sees
+    // every 4th invocation, so reuse drops but never disappears.
+    IactConfig config;
+    config.threshold = 0.0;
+    config.pools = 4;
+    config.log2Entries = 5;
+    const IactRun run = runIact(0.0, config);
+    EXPECT_EQ(run.lookups, 64u);
+    EXPECT_GT(run.hits, 0u);
+    IactConfig onePool = config;
+    onePool.pools = 1;
+    EXPECT_LE(run.hits, runIact(0.0, onePool).hits);
+}
+
+TEST(IactTransform, FifoEvictionUnderCapacityPressure)
+{
+    // 15 distinct keys against 2^3 = 8 slots: the FIFO rotor must
+    // evict, costing hits relative to a table that fits them all.
+    IactConfig small;
+    small.threshold = 0.0;
+    small.pools = 1;
+    small.log2Entries = 3;
+    IactConfig big = small;
+    big.log2Entries = 5;
+    const IactRun smallRun = runIact(0.0, small);
+    const IactRun bigRun = runIact(0.0, big);
+    EXPECT_EQ(smallRun.lookups, 64u);
+    EXPECT_LT(smallRun.hits, bigRun.hits);
+    // Outputs stay exact either way: eviction only forgets, never
+    // corrupts.
+    JitterKernel base;
+    {
+        const Program p = base.build();
+        Simulator sim(p, base.mem, {});
+        sim.run();
+    }
+    EXPECT_EQ(smallRun.outputs, base.outputs());
+}
+
+TEST(IactTransform, GenerationInvalidationForcesMisses)
+{
+    // Same structure as the software-transform invalidation test: a
+    // sentinel region 9 bumps the generation, so each of the 3 outer
+    // iterations re-misses its first inner lookup.
+    SimMemory mem;
+    const Addr out = mem.allocate(64);
+    KernelBuilder b("gen");
+    const IReg outReg = b.imm(static_cast<std::int64_t>(out));
+    b.forRange(0, 3, 1, [&](IReg iter) {
+        b.regionBegin(9);
+        b.regionEnd(9);
+        b.forRange(0, 8, 1, [&](IReg) {
+            const FReg x = b.fimm(2.0f);
+            b.regionBegin(1);
+            const FReg y = b.fmul(x, x);
+            b.regionEnd(1);
+            b.stf(b.add(outReg, b.shl(iter, 2)), 0, y);
+        });
+    });
+    const Program p = b.finish();
+
+    MemoSpec spec;
+    RegionMemoSpec region;
+    region.regionId = 1;
+    spec.regions.push_back(region);
+    spec.invalidateAt[9] = {0};
+
+    IactConfig config;
+    config.pools = 1;
+    config.log2Entries = 4;
+    const SwTransformResult tr =
+        IactTransform::apply(p, spec, mem, config);
+    Simulator sim(tr.program, mem, {});
+    sim.run();
+    EXPECT_EQ(sim.intReg(tr.counters[0].lookups), 24u);
+    EXPECT_EQ(sim.intReg(tr.counters[0].hits), 21u);
+}
+
+TEST(IactTransform, TaskOverheadCostsInstructions)
+{
+    IactConfig plain;
+    plain.pools = 1;
+    IactConfig taxed = plain;
+    taxed.taskOverheadInsts = 50;
+    JitterKernel a, bk;
+    const SwTransformResult trA =
+        IactTransform::apply(a.build(), a.spec, a.mem, plain);
+    const SwTransformResult trB =
+        IactTransform::apply(bk.build(), bk.spec, bk.mem, taxed);
+    Simulator simA(trA.program, a.mem, {});
+    Simulator simB(trB.program, bk.mem, {});
+    EXPECT_GT(simB.run().uops, simA.run().uops + 64 * 40);
+}
+
+TEST(IactTransform, RejectsInvalidConfig)
+{
+    const JitterKernel kernel;
+    const Program p = kernel.build();
+    const auto applyWith = [&](IactConfig config) {
+        SimMemory mem;
+        IactTransform::apply(p, kernel.spec, mem, config);
+    };
+    IactConfig config;
+    config.log2Entries = 0;
+    EXPECT_THROW(applyWith(config), AxException);
+    config = {};
+    config.log2Entries = 9;
+    EXPECT_THROW(applyWith(config), AxException);
+    config = {};
+    config.pools = 3;
+    EXPECT_THROW(applyWith(config), AxException);
+    config = {};
+    config.pools = 512;
+    EXPECT_THROW(applyWith(config), AxException);
+    config = {};
+    config.threshold = -0.5;
+    EXPECT_THROW(applyWith(config), AxException);
+    config = {};
+    config.threshold = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(applyWith(config), AxException);
+}
+
+} // namespace
+} // namespace axmemo

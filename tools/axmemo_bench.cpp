@@ -80,6 +80,7 @@
 #include "common/log.hh"
 #include "common/runtime_options.hh"
 #include "core/artifact.hh"
+#include "core/memo_backends.hh"
 #include "core/output_paths.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
@@ -111,12 +112,39 @@ usage(FILE *to)
     return to == stderr ? 2 : 0;
 }
 
+/** Catalog group for a registration order (see artifacts.hh). */
+const char *
+artifactGroup(int order)
+{
+    switch (order / 10) {
+      case 1: return "tables";
+      case 2: return "figures";
+      case 3: return "section 6.2 studies";
+      case 4: return "ablations";
+      case 5: return "micro-benchmarks";
+      default: return "other";
+    }
+}
+
 int
 listArtifacts()
 {
-    for (const ArtifactInfo &info : ArtifactRegistry::instance().list())
-        std::printf("%-28s %s\n", info.name.c_str(),
+    const char *group = nullptr;
+    for (const ArtifactInfo &info :
+         ArtifactRegistry::instance().list()) {
+        const char *next = artifactGroup(info.order);
+        if (!group || std::strcmp(group, next) != 0) {
+            std::printf("%s%s:\n", group ? "\n" : "", next);
+            group = next;
+        }
+        std::printf("  %-26s %s\n", info.name.c_str(),
                     info.description.c_str());
+    }
+    std::printf("\nmemoization backends (run `axmemo run "
+                "memo_backends` to compare):\n");
+    for (const MemoBackend *backend : memoBackends().list())
+        std::printf("  %-26s %s\n", backend->name().c_str(),
+                    backend->description().c_str());
     return 0;
 }
 
