@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Design-space exploration: the shard-queue's reason to exist. The
+ * full cross-product — AxMemo LUT geometry (L1 x L2 bytes) x static
+ * truncation depth x CRC width, plus the ATM and iACT backend grids —
+ * is ~8.3k scored configurations per workload, ~10^5 jobs over the ten
+ * benchmarks at --full. One process cannot drain that in reasonable
+ * time; N `axmemo run dse --shard-dir <dir>` workers can, and `axmemo
+ * merge` reduces their journal segments into this report.
+ *
+ * Below full scale the matrix drops to a CI-smoke grid (14 jobs per
+ * workload) that exercises every axis without the volume.
+ *
+ * The reduction is deliberately robust to faulted or foreign outcomes:
+ * it scans for each backend's best config per workload among Ok scored
+ * outcomes whose quality loss stays within the 10% budget, so a failed
+ * corner of the space costs that corner only.
+ */
+
+#include "bench/artifacts/artifacts.hh"
+
+namespace axmemo::bench {
+namespace {
+
+/** Per-job metadata recorded at enqueue time for the reduction. */
+struct DseJob
+{
+    std::size_t workload = 0; ///< index into workloadNames()
+    std::size_t backend = 0;  ///< index into kBackends
+    std::string label;        ///< human-readable config
+};
+
+const char *const kBackends[] = {"axmemo", "atm", "iact"};
+
+/** Quality budget: a config is admissible when its loss stays within
+ * the paper's 10% target. */
+constexpr double kQualityBudget = 0.10;
+
+class DseArtifact final : public Artifact
+{
+  public:
+    std::string name() const override { return "dse"; }
+    std::string
+    title() const override
+    {
+        return "Design-space exploration: LUT geometry x truncation x "
+               "CRC x backend";
+    }
+    std::string
+    description() const override
+    {
+        return "Cross-product DSE over LUT geometry, truncation depth, "
+               "CRC width and backend grids (~10^5 jobs at --full; "
+               "smoke grid below; built for --shard-dir runs)";
+    }
+
+    void
+    enqueue(SweepEngine &engine) override
+    {
+        const bool full =
+            RuntimeOptions::global().benchScale() >= 1.0;
+
+        // Axis grids. The smoke grid keeps one point per axis pair so
+        // every code path runs in CI; full scale sweeps the paper-size
+        // space.
+        std::vector<unsigned> l1Kb, l2Kb, crcBits;
+        std::vector<int> trunc;
+        std::vector<unsigned> atmLog2, iactLog2;
+        std::vector<double> iactThresholds;
+        if (full) {
+            for (unsigned kb = 1; kb <= 256; kb *= 2)
+                l1Kb.push_back(kb); // 9
+            l2Kb = {0, 32, 64, 128, 256, 512, 1024, 2048, 4096}; // 9
+            trunc.push_back(-1);
+            for (int t = 0; t <= 15; ++t)
+                trunc.push_back(t); // 17
+            crcBits = {8, 12, 16, 20, 24, 32}; // 6
+            for (unsigned log2 = 14; log2 <= 24; ++log2)
+                atmLog2.push_back(log2); // 11
+            for (unsigned log2 = 2; log2 <= 10; ++log2)
+                iactLog2.push_back(log2); // 9
+            iactThresholds = {0.0, 0.01, 0.02, 0.05,
+                              0.1, 0.2,  0.3}; // 7
+        } else {
+            l1Kb = {4, 8};
+            l2Kb = {0, 512};
+            trunc = {-1, 4};
+            crcBits = {16};
+            atmLog2 = {18, 22};
+            iactLog2 = {4, 6};
+            iactThresholds = {0.0, 0.05};
+        }
+
+        const std::vector<std::string> names = workloadNames();
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            for (const unsigned l1 : l1Kb) {
+                for (const unsigned l2 : l2Kb) {
+                    for (const int t : trunc) {
+                        for (const unsigned crc : crcBits) {
+                            ExperimentConfig config = defaultConfig();
+                            config.lut = {l1 * 1024, l2 * 1024};
+                            config.truncOverride = t;
+                            config.crcBits = crc;
+                            engine.enqueueCompare(names[w], "axmemo",
+                                                  config);
+                            char label[64];
+                            std::snprintf(label, sizeof(label),
+                                          "L1 %uKB, L2 %uKB, trunc "
+                                          "%d, crc%u",
+                                          l1, l2, t, crc);
+                            jobs_.push_back({w, 0, label});
+                        }
+                    }
+                }
+            }
+            for (const unsigned log2 : atmLog2) {
+                ExperimentConfig config = defaultConfig();
+                config.atm.log2Entries = log2;
+                engine.enqueueCompare(names[w], "atm", config);
+                jobs_.push_back(
+                    {w, 1, "2^" + std::to_string(log2) + " entries"});
+            }
+            for (const unsigned log2 : iactLog2) {
+                for (const double threshold : iactThresholds) {
+                    ExperimentConfig config = defaultConfig();
+                    config.iact.log2Entries = log2;
+                    config.iact.threshold = threshold;
+                    engine.enqueueCompare(names[w], "iact", config);
+                    char label[48];
+                    std::snprintf(label, sizeof(label),
+                                  "2^%u entries, threshold %.2f", log2,
+                                  threshold);
+                    jobs_.push_back({w, 2, label});
+                }
+            }
+        }
+    }
+
+    ArtifactResult
+    reduce(const std::vector<SweepOutcome> &outcomes) override
+    {
+        const std::vector<std::string> names = workloadNames();
+        constexpr std::size_t numBackends = 3;
+
+        // Best admissible config per (workload, backend); -1 = none.
+        std::vector<std::ptrdiff_t> best(
+            names.size() * numBackends, -1);
+        std::size_t unusable = 0;
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            const SweepOutcome &out = outcomes[i];
+            if (!out.ok()) {
+                ++unusable;
+                continue;
+            }
+            if (out.cmp.qualityLoss > kQualityBudget)
+                continue;
+            const std::size_t slot =
+                jobs_[i].workload * numBackends + jobs_[i].backend;
+            if (best[slot] < 0 ||
+                out.cmp.speedup >
+                    outcomes[static_cast<std::size_t>(best[slot])]
+                        .cmp.speedup)
+                best[slot] = static_cast<std::ptrdiff_t>(i);
+        }
+
+        TextTable table;
+        table.header({"benchmark", "backend", "best speedup",
+                      "quality loss", "configuration"});
+        std::vector<std::vector<double>> speedups(numBackends);
+        for (std::size_t w = 0; w < names.size(); ++w) {
+            for (std::size_t b = 0; b < numBackends; ++b) {
+                const std::ptrdiff_t idx = best[w * numBackends + b];
+                if (idx < 0) {
+                    table.row({names[w], kBackends[b], "-", "-",
+                               "no admissible config"});
+                    continue;
+                }
+                const Comparison &cmp =
+                    outcomes[static_cast<std::size_t>(idx)].cmp;
+                table.row(
+                    {names[w], kBackends[b],
+                     TextTable::times(cmp.speedup),
+                     TextTable::percent(cmp.qualityLoss, 3),
+                     jobs_[static_cast<std::size_t>(idx)].label});
+                speedups[b].push_back(cmp.speedup);
+            }
+        }
+
+        ArtifactResult result;
+        appendf(result.text,
+                "explored %zu configurations (%zu unusable), quality "
+                "budget %.0f%%\n\n",
+                outcomes.size(), unusable, kQualityBudget * 100.0);
+        appendf(result.text, "%s\n", table.render().c_str());
+        for (std::size_t b = 0; b < numBackends; ++b) {
+            if (speedups[b].empty())
+                appendf(result.text,
+                        "%s: no admissible configuration\n",
+                        kBackends[b]);
+            else
+                appendf(result.text,
+                        "%s: geomean best-config speedup %.2fx over "
+                        "%zu benchmark(s)\n",
+                        kBackends[b], geometricMean(speedups[b]),
+                        speedups[b].size());
+        }
+        return result;
+    }
+
+  private:
+    std::vector<DseJob> jobs_;
+};
+
+AXMEMO_REGISTER_ARTIFACT(33, DseArtifact)
+
+} // namespace
+} // namespace axmemo::bench

@@ -1,0 +1,98 @@
+#include "common/lease.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace axmemo {
+
+Expected<bool>
+createExclusive(const std::string &path, const std::string &content)
+{
+    const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                          0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        return Error{ErrorCode::Io, "lease",
+                     "cannot create '" + path +
+                         "': " + std::strerror(errno)};
+    }
+    const char *data = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // a short lease body is tolerated by readers
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return true;
+}
+
+bool
+touchFile(const std::string &path)
+{
+    return ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0;
+}
+
+double
+fileAgeSeconds(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1.0;
+    // Compare against the filesystem's idea of "now", not the process
+    // clock: several hosts sharing one directory only agree on the
+    // server's timestamps. A freshly touched probe file reads it back.
+    struct timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    const double mtime = static_cast<double>(st.st_mtim.tv_sec) +
+                         static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+    const double nowSec = static_cast<double>(now.tv_sec) +
+                          static_cast<double>(now.tv_nsec) * 1e-9;
+    return nowSec - mtime;
+}
+
+bool
+renameFile(const std::string &from, const std::string &to)
+{
+    return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void
+removeFileQuiet(const std::string &path)
+{
+    ::unlink(path.c_str());
+}
+
+Expected<void>
+ensureDir(const std::string &dir)
+{
+    if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST)
+        return {};
+    if (errno == ENOENT) {
+        const std::size_t slash = dir.find_last_of('/');
+        if (slash != std::string::npos && slash > 0) {
+            const Expected<void> parent =
+                ensureDir(dir.substr(0, slash));
+            if (!parent.ok())
+                return parent;
+            if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST)
+                return {};
+        }
+    }
+    return Error{ErrorCode::Io, "lease",
+                 "cannot create directory '" + dir +
+                     "': " + std::strerror(errno)};
+}
+
+} // namespace axmemo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Filesystem lease primitives for the shared work-queue.
+ *
+ * Multiple independent processes (possibly on different hosts sharing
+ * one directory) coordinate through lease files: O_CREAT|O_EXCL makes
+ * claim creation atomic — exactly one creator wins — and the file's
+ * mtime doubles as a heartbeat. A holder touches its leases while it
+ * works; a lease whose mtime is older than the expiry window belongs to
+ * a dead holder and may be stolen. Stealing is itself made single-winner
+ * by rename(2): the stealer first renames the stale lease to a unique
+ * tombstone (only one rename of the same source succeeds), then
+ * recreates the lease under its own identity.
+ *
+ * These helpers are policy-free: core/shard_queue.hh builds the actual
+ * claim/done/steal protocol on top.
+ */
+
+#ifndef AXMEMO_COMMON_LEASE_HH
+#define AXMEMO_COMMON_LEASE_HH
+
+#include <string>
+
+#include "common/expected.hh"
+
+namespace axmemo {
+
+/**
+ * Atomically create @p path with @p content (O_CREAT|O_EXCL, then a
+ * single write + close). @return true when this call created the file,
+ * false when it already existed; Error for any other failure.
+ */
+Expected<bool> createExclusive(const std::string &path,
+                               const std::string &content);
+
+/** Bump @p path's mtime to now (the heartbeat). @return false when the
+ * file is gone — the lease was stolen or released under us. */
+bool touchFile(const std::string &path);
+
+/** Seconds since @p path's last mtime, or a negative value when the
+ * file does not exist (already released/stolen). */
+double fileAgeSeconds(const std::string &path);
+
+/** Atomically rename @p from to @p to. @return false on any failure
+ * (most importantly ENOENT: someone else renamed it first). */
+bool renameFile(const std::string &from, const std::string &to);
+
+/** Unlink @p path; missing files are not an error. */
+void removeFileQuiet(const std::string &path);
+
+/** Create @p dir (and one parent level) if missing. */
+Expected<void> ensureDir(const std::string &dir);
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_LEASE_HH

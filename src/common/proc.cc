@@ -1,0 +1,284 @@
+#include "common/proc.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace axmemo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Write all of @p data to @p fd, retrying on EINTR/short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Pull the string member @p key out of the flat error object. A
+ * hand-rolled scanner keeps common/ free of the core/ JSON parser; the
+ * payload is produced by errorToJson only, so the shape is fixed.
+ */
+bool
+scanStringMember(const std::string &json, const char *key,
+                 std::string &out)
+{
+    const std::string needle = std::string("\"") + key + "\":\"";
+    const std::size_t start = json.find(needle);
+    if (start == std::string::npos)
+        return false;
+    out.clear();
+    for (std::size_t i = start + needle.size(); i < json.size(); ++i) {
+        const char c = json[i];
+        if (c == '"')
+            return true;
+        if (c != '\\') {
+            out += c;
+            continue;
+        }
+        if (++i >= json.size())
+            return false;
+        switch (json[i]) {
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (i + 4 < json.size()) {
+                out += static_cast<char>(
+                    std::strtoul(json.substr(i + 1, 4).c_str(),
+                                 nullptr, 16));
+                i += 4;
+            }
+            break;
+          default: out += json[i]; break;
+        }
+    }
+    return false;
+}
+
+ErrorCode
+errorCodeFromName(const std::string &name)
+{
+    static const std::pair<const char *, ErrorCode> table[] = {
+        {"none", ErrorCode::None},
+        {"config", ErrorCode::Config},
+        {"parse", ErrorCode::Parse},
+        {"io", ErrorCode::Io},
+        {"workload", ErrorCode::Workload},
+        {"simulation", ErrorCode::Simulation},
+        {"timeout", ErrorCode::Timeout},
+        {"cancelled", ErrorCode::Cancelled},
+        {"internal", ErrorCode::Internal},
+    };
+    for (const auto &[text, code] : table)
+        if (name == text)
+            return code;
+    return ErrorCode::Internal;
+}
+
+/** Reap @p pid and classify its exit as an Error (Ok = no error). */
+Error
+reapChild(pid_t pid)
+{
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR)
+            return Error{ErrorCode::Internal, "proc",
+                         std::string("waitpid failed: ") +
+                             std::strerror(errno)};
+    }
+    if (WIFSIGNALED(status))
+        return Error{ErrorCode::Simulation, "proc",
+                     std::string("isolated job killed by signal ") +
+                         std::to_string(WTERMSIG(status))};
+    if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+        return Error{ErrorCode::Simulation, "proc",
+                     std::string("isolated job exited with status ") +
+                         std::to_string(WEXITSTATUS(status))};
+    return Error{};
+}
+
+} // namespace
+
+std::string
+errorToJson(const Error &error)
+{
+    std::string out = "{\"code\":\"";
+    out += errorCodeName(error.code);
+    out += "\",\"component\":";
+    appendJsonEscaped(out, error.component);
+    out += ",\"message\":";
+    appendJsonEscaped(out, error.message);
+    out += '}';
+    return out;
+}
+
+Error
+errorFromJson(const std::string &json)
+{
+    Error error;
+    std::string code;
+    if (!scanStringMember(json, "code", code) ||
+        !scanStringMember(json, "component", error.component) ||
+        !scanStringMember(json, "message", error.message))
+        return Error{ErrorCode::Internal, "proc",
+                     "unparseable child error: " + json};
+    error.code = errorCodeFromName(code);
+    if (error.code == ErrorCode::None)
+        error.code = ErrorCode::Internal;
+    return error;
+}
+
+Expected<std::string>
+runInForkedChild(const std::function<std::string()> &fn,
+                 double timeoutSeconds)
+{
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return Error{ErrorCode::Io, "proc",
+                     std::string("pipe failed: ") +
+                         std::strerror(errno)};
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return Error{ErrorCode::Io, "proc",
+                     std::string("fork failed: ") +
+                         std::strerror(errno)};
+    }
+
+    if (pid == 0) {
+        // Child: run the job, ship one framed payload, and _exit —
+        // never unwind back into the (forked copy of the) pool thread.
+        ::close(fds[0]);
+        std::string frame;
+        try {
+            frame = "OK\n" + fn();
+        } catch (const AxException &e) {
+            frame = "ERR\n" + errorToJson(e.error());
+        } catch (const std::exception &e) {
+            frame = "ERR\n" + errorToJson(Error{ErrorCode::Internal,
+                                                "proc", e.what()});
+        } catch (...) {
+            frame = "ERR\n" + errorToJson(
+                                  Error{ErrorCode::Internal, "proc",
+                                        "non-exception throw in "
+                                        "isolated job"});
+        }
+        const bool wrote = writeAll(fds[1], frame.data(), frame.size());
+        ::close(fds[1]);
+        ::_exit(wrote ? 0 : 3);
+    }
+
+    // Parent: drain the pipe under the deadline. EOF (child closed its
+    // end) terminates the read loop; the exit status then decides.
+    ::close(fds[1]);
+    std::string frame;
+    bool timedOut = false;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               timeoutSeconds > 0 ? timeoutSeconds
+                                                  : 0.0));
+    char buf[1 << 16];
+    for (;;) {
+        int waitMs = -1;
+        if (timeoutSeconds > 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0) {
+                timedOut = true;
+                break;
+            }
+            waitMs = static_cast<int>(
+                std::min<long long>(left, 60 * 1000));
+        }
+        struct pollfd pfd = {fds[0], POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, waitMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (ready == 0)
+            continue; // poll slice elapsed; re-check the deadline
+        const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // EOF: the child is done writing
+        frame.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fds[0]);
+
+    if (timedOut) {
+        ::kill(pid, SIGKILL);
+        reapChild(pid); // ignore status: the kill is the verdict
+        return Error{ErrorCode::Timeout, "proc",
+                     "isolated job exceeded " +
+                         std::to_string(timeoutSeconds) +
+                         "s deadline (child killed)"};
+    }
+
+    const Error exit = reapChild(pid);
+    if (frame.rfind("OK\n", 0) == 0 && exit.ok())
+        return frame.substr(3);
+    if (frame.rfind("ERR\n", 0) == 0)
+        return errorFromJson(frame.substr(4));
+    if (!exit.ok())
+        return exit;
+    return Error{ErrorCode::Internal, "proc",
+                 "isolated job produced no result frame"};
+}
+
+} // namespace axmemo

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Process-level job isolation: run a closure in a forked child and read
+ * back one result payload over a pipe.
+ *
+ * The sweep engine's worker boundary (core/sweep) contains exceptions,
+ * but a job that scribbles over the heap or dies on a signal takes the
+ * whole process — and every in-flight sibling job — with it. Under
+ * `--isolate` each simulation runs in its own forked child: the child
+ * inherits the prepared program and memory image copy-on-write, runs
+ * the job, serializes its outcome, and writes it through a pipe; the
+ * parent turns a crashed, killed or wedged child into a structured
+ * Error at the same retry/watchdog seam an in-process exception uses.
+ *
+ * Protocol on the pipe: the child writes either `OK\n<payload>` or
+ * `ERR\n<error JSON: {code, component, message}>` and exits 0. Any
+ * other ending — nonzero exit, death by signal, deadline expiry (the
+ * parent SIGKILLs the child) — becomes an Error without a payload.
+ * Timeout maps to ErrorCode::Timeout so the engine's no-retry rule for
+ * wedged jobs applies at the process boundary too.
+ *
+ * Forking from pool threads is deliberate and Linux/glibc-specific:
+ * only the calling thread exists in the child, and glibc's atfork
+ * handlers reset the allocator locks, so the child can run the full
+ * simulation (which allocates) before _exit(). The child never returns
+ * into the pool.
+ */
+
+#ifndef AXMEMO_COMMON_PROC_HH
+#define AXMEMO_COMMON_PROC_HH
+
+#include <functional>
+#include <string>
+
+#include "common/expected.hh"
+
+namespace axmemo {
+
+/**
+ * Run @p fn in a forked child and return the payload string it
+ * produced. @p fn executes only in the child; exceptions it throws are
+ * serialized and re-surface here as the returned Error. A @p
+ * timeoutSeconds > 0 arms a parent-side watchdog that SIGKILLs the
+ * child and returns ErrorCode::Timeout when it expires.
+ */
+Expected<std::string>
+runInForkedChild(const std::function<std::string()> &fn,
+                 double timeoutSeconds);
+
+/** Serialize @p error as the compact JSON the ERR protocol carries. */
+std::string errorToJson(const Error &error);
+
+/** Inverse of errorToJson; malformed text yields an Internal error
+ * that carries the raw text, never a parse failure. */
+Error errorFromJson(const std::string &json);
+
+} // namespace axmemo
+
+#endif // AXMEMO_COMMON_PROC_HH

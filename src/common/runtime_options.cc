@@ -118,6 +118,20 @@ RuntimeOptions::fromEnv()
                      "' (want 0 or 1)");
     }
 
+    if (const char *env = envOrNull("AXMEMO_SHARD_DIR"))
+        options.shardDir = env;
+    if (const char *env = envOrNull("AXMEMO_WORKER_ID"))
+        options.workerId = env;
+    if (const char *env = envOrNull("AXMEMO_LEASE"))
+        parsePositiveDouble("AXMEMO_LEASE", env, options.leaseSeconds);
+    if (const char *env = envOrNull("AXMEMO_ISOLATE")) {
+        if (std::strcmp(env, "1") == 0)
+            options.isolate = true;
+        else if (std::strcmp(env, "0") != 0)
+            axm_warn("ignoring malformed AXMEMO_ISOLATE='", env,
+                     "' (want 0 or 1)");
+    }
+
     return options;
 }
 
@@ -210,7 +224,15 @@ RuntimeOptions::describeKnobs()
            "  AXMEMO_NO_BATCH     --no-batch         0                 "
            "1 disables basic-block macro-op batching\n"
            "  AXMEMO_NO_SIMD      --no-simd          0                 "
-           "1 disables the SSE4.2/PCLMUL CRC kernels\n";
+           "1 disables the SSE4.2/PCLMUL CRC kernels\n"
+           "  AXMEMO_SHARD_DIR    --shard-dir <d>    (off)             "
+           "shared work-queue directory: cooperate with other workers\n"
+           "  AXMEMO_WORKER_ID    --worker-id <s>    w<pid>            "
+           "this worker's identity inside the shard directory\n"
+           "  AXMEMO_LEASE        --lease <s>        30                "
+           "claim lease window; stale claims are stolen after this\n"
+           "  AXMEMO_ISOLATE      --isolate          0                 "
+           "1 forks every simulated job into a watchdogged child\n";
 }
 
 } // namespace axmemo

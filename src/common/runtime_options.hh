@@ -31,6 +31,10 @@
  *   AXMEMO_DISPATCH     --dispatch <m>    interpreter loop: auto|threaded|switch
  *   AXMEMO_NO_BATCH     --no-batch        1 disables basic-block batching
  *   AXMEMO_NO_SIMD      --no-simd         1 disables the SIMD CRC kernels
+ *   AXMEMO_SHARD_DIR    --shard-dir <d>   shared work-queue directory
+ *   AXMEMO_WORKER_ID    --worker-id <s>   shard worker identity
+ *   AXMEMO_LEASE        --lease <s>       claim lease window seconds (30)
+ *   AXMEMO_ISOLATE      --isolate         1 forks each job into a child
  *
  * The dispatch/batch/simd knobs select between bit-identical host data
  * paths (DESIGN.md §10): they change simulation speed, never simulated
@@ -79,6 +83,17 @@ struct RuntimeOptions
     /** SIMD CRC kernels (SSE4.2/PCLMUL) when the host supports them;
      * AXMEMO_NO_SIMD=1 / --no-simd forces the portable slice paths. */
     bool simd = true;
+    /** Shared work-queue directory (core/shard_queue.hh); empty = the
+     * sweep runs single-process with the plain resume journal. */
+    std::string shardDir;
+    /** Worker identity inside shardDir; empty = "w<pid>" at attach. */
+    std::string workerId;
+    /** Claim lease window in seconds: a claim whose heartbeat is older
+     * than this belongs to a dead worker and may be stolen. */
+    double leaseSeconds = 30.0;
+    /** Fork each simulated job into a child process so a crash or
+     * runaway loop is contained at the process boundary. */
+    bool isolate = false;
 
     /** Parse every knob from the environment (defensive: malformed
      * values warn and keep the default, same as the old parsers). */

@@ -9,9 +9,11 @@
 #include "common/log.hh"
 #include "core/config_io.hh"
 #include "core/json_export.hh"
+#include "core/json_value.hh"
 #include "core/output_paths.hh"
 #include "core/run_journal.hh"
 #include "core/run_stats.hh"
+#include "core/shard_queue.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 
@@ -177,6 +179,88 @@ manifestRun(const Artifact &artifact,
     return entry;
 }
 
+/** @p path's final component (reports must not leak directory names). */
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Whole file as a string; empty optional-style "" on failure. */
+std::string
+readWholeFile(const std::string &path)
+{
+    std::string content;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return content;
+    char buf[1 << 12];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        content.append(buf, got);
+    std::fclose(file);
+    return content;
+}
+
+/** One probed journal segment of a merge. */
+struct SegmentStatus
+{
+    std::string path;
+    Error fault{};
+    bool ok = false;
+};
+
+/**
+ * The merge-side shard report <name>_shards.json: per-segment probe
+ * status, the damaged count, and every per-worker shard manifest
+ * inlined. This is a separate file — the standard reports must stay
+ * byte-identical to a single-process run, and worker counters are
+ * inherently run-specific.
+ */
+std::string
+shardsDocument(const std::string &name,
+               const std::vector<SegmentStatus> &segments,
+               std::size_t damaged, const std::string &shardDir)
+{
+    std::string doc = "{\"artifact\":\"";
+    doc += JsonWriter::escape(name);
+    doc += "\",\"damaged_segments\":";
+    doc += std::to_string(damaged);
+    doc += ",\"segments\":[";
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += "{\"segment\":\"";
+        doc += JsonWriter::escape(baseName(segments[i].path));
+        if (segments[i].ok) {
+            doc += "\",\"status\":\"ok\"}";
+        } else {
+            doc += "\",\"status\":\"damaged\",\"error\":";
+            doc += errorJson(segments[i].fault);
+            doc += '}';
+        }
+    }
+    doc += "],\"workers\":[";
+    bool first = true;
+    for (const std::string &path : ShardQueue::shardManifests(shardDir)) {
+        std::string manifest = readWholeFile(path);
+        while (!manifest.empty() &&
+               (manifest.back() == '\n' || manifest.back() == '\r'))
+            manifest.pop_back();
+        if (!parseJsonValue(manifest).ok()) {
+            axm_warn("skipping unreadable shard manifest '", path, "'");
+            continue;
+        }
+        if (!first)
+            doc += ',';
+        first = false;
+        doc += manifest;
+    }
+    doc += "]}";
+    return doc;
+}
+
 } // namespace
 
 ArtifactRegistry &
@@ -238,7 +322,11 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options)
     const auto wallStart = Clock::now();
     const std::string name = artifact.name();
     const std::string title = artifact.title();
-    if (!options.rowsToStdout && !title.empty())
+    const bool worker = options.shardMode == ShardMode::Worker;
+    if (worker && !options.queue)
+        return Error{ErrorCode::Config, "artifact",
+                     "shard worker mode needs a work-queue"};
+    if (!options.rowsToStdout && !title.empty() && !worker)
         printBanner(title, options.runtime);
 
     SweepEngine engine(options.runtime);
@@ -252,18 +340,76 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options)
                      name + ": enqueue threw: " + e.what()};
     }
     const std::vector<SweepJob> jobs = engine.pending();
-    if ((options.journal || options.resume) && !jobs.empty())
+    std::vector<SegmentStatus> segments;
+    std::size_t damagedSegments = 0;
+    if (worker) {
+        engine.setShardQueue(options.queue);
+        // The worker's journal segment is shared across every artifact
+        // of the invocation and survives restarts: resume semantics
+        // replay this worker's own completed records after a crash.
+        if (!jobs.empty())
+            engine.setJournal(options.queue->journalPath(),
+                              /*resume=*/true);
+    } else if (options.shardMode == ShardMode::Merge) {
+        // Probe every segment before loading: a damaged shard is
+        // reported and skipped (its jobs re-simulate below) — one
+        // corrupt file never aborts the reduction.
+        std::vector<std::string> readable;
+        for (const std::string &path :
+             ShardQueue::journalSegments(options.shardDir)) {
+            SegmentStatus status;
+            status.path = path;
+            const Expected<SweepJournal::HeaderInfo> probed =
+                SweepJournal::probe(path);
+            status.ok = probed.ok();
+            if (probed.ok()) {
+                readable.push_back(path);
+            } else {
+                status.fault = probed.error();
+                ++damagedSegments;
+                axm_warn("merge: skipping damaged segment '", path,
+                         "': ", probed.error().describe());
+            }
+            segments.push_back(std::move(status));
+        }
+        engine.addReplaySegments(readable);
+    } else if ((options.journal || options.resume) && !jobs.empty()) {
         engine.setJournal(SweepJournal::pathFor(name, options.outDir),
                           options.resume);
+    }
     std::vector<SweepOutcome> outcomes;
     {
         AXM_PROF("artifact.execute");
         outcomes = engine.execute();
     }
     // A fully successful sweep needs no checkpoint; anything faulted
-    // or interrupted keeps it so `--resume` can pick up the rest.
-    engine.closeJournal(engine.metrics().faultedJobs() == 0 &&
+    // or interrupted keeps it so `--resume` can pick up the rest. A
+    // worker's segment always survives — merge consumes it.
+    engine.closeJournal(!worker &&
+                        engine.metrics().faultedJobs() == 0 &&
                         !interruptRequested());
+    if (worker) {
+        const SweepMetrics &metrics = engine.metrics();
+        ArtifactRunRecord record;
+        record.wallSeconds =
+            options.runtime.reportTiming
+                ? std::chrono::duration<double>(Clock::now() -
+                                                wallStart)
+                      .count()
+                : 0.0;
+        record.jobs = jobs.size();
+        record.failedJobs = metrics.failedJobs;
+        record.timedOutJobs = metrics.timedOutJobs;
+        record.skippedJobs = metrics.skippedJobs;
+        record.restoredJobs = metrics.restoredJobs;
+        record.retriedJobs = metrics.retriedJobs;
+        record.foreignJobs = metrics.foreignJobs;
+        record.simulatedMacroInsts = metrics.simulatedMacroInsts;
+        std::fprintf(stderr, "[%s %s] %s\n", name.c_str(),
+                     options.queue->workerId().c_str(),
+                     engine.summary().c_str());
+        return record;
+    }
     ArtifactResult result;
     try {
         AXM_PROF("artifact.reduce");
@@ -328,6 +474,19 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options)
                      wrote.error().describe());
     }
 
+    if (options.shardMode == ShardMode::Merge && !jobs.empty()) {
+        const std::string path = joinPath(
+            resolveOutputDir(options.outDir), name + "_shards.json");
+        const Expected<void> wrote = atomicWriteFile(
+            path,
+            shardsDocument(name, segments, damagedSegments,
+                           options.shardDir) +
+                '\n');
+        if (!wrote.ok())
+            axm_warn("cannot write shard report: ",
+                     wrote.error().describe());
+    }
+
     const SweepMetrics &metrics = engine.metrics();
     ArtifactRunRecord record;
     record.wallSeconds = wallSeconds;
@@ -337,6 +496,9 @@ runArtifact(Artifact &artifact, const ArtifactRunOptions &options)
     record.skippedJobs = metrics.skippedJobs;
     record.restoredJobs = metrics.restoredJobs;
     record.retriedJobs = metrics.retriedJobs;
+    record.foreignJobs = metrics.foreignJobs;
+    record.damagedSegments = damagedSegments;
+    record.simulatedMacroInsts = metrics.simulatedMacroInsts;
     record.manifestRun =
         manifestRun(artifact, jobs, outcomes, wallSeconds, metrics);
     return record;

@@ -111,6 +111,23 @@ struct ArtifactRegistrar
     static const ::axmemo::ArtifactRegistrar axmemoArtifactReg_##cls{        \
         order, [] { return std::make_unique<cls>(); }};
 
+/** Multi-process sharding role of one runArtifact() call. */
+enum class ShardMode
+{
+    /** Single process: the standard pipeline. */
+    Off,
+    /** Cooperating worker: claim jobs through the attached ShardQueue,
+     * journal outcomes to this worker's segment, and emit NO reports —
+     * no stdout, no <name>.json/_sweep.json/_stats, no manifest entry.
+     * Reports are the merge step's job. */
+    Worker,
+    /** Reduce a shard directory: union every readable journal segment
+     * into the replay map, re-simulate whatever is missing, and emit
+     * the full standard outputs — byte-identical to a single-process
+     * run of the same artifact (same --jobs, --no-timing). */
+    Merge,
+};
+
 /** How runArtifact emits its outputs. */
 struct ArtifactRunOptions
 {
@@ -134,6 +151,14 @@ struct ArtifactRunOptions
     /** Replay a matching checkpoint before simulating (implies
      * journal). */
     bool resume = false;
+    /** Sharding role; Worker requires queue, Merge requires shardDir. */
+    ShardMode shardMode = ShardMode::Off;
+    /** Worker mode: the shared work-queue (owned by the driver, shared
+     * across every artifact of the invocation). */
+    ShardQueue *queue = nullptr;
+    /** Merge mode: the shard directory holding journal segments and
+     * per-worker shard manifests. */
+    std::string shardDir;
 };
 
 /** Driver-side record of one completed runArtifact. */
@@ -151,6 +176,13 @@ struct ArtifactRunRecord
     std::size_t skippedJobs = 0;
     std::size_t restoredJobs = 0;
     std::size_t retriedJobs = 0;
+    /** Jobs another shard worker completed (Worker mode only). */
+    std::size_t foreignJobs = 0;
+    /** Journal segments probe() rejected (Merge mode only); their jobs
+     * were re-simulated, but the driver reports a nonzero exit. */
+    std::size_t damagedSegments = 0;
+    /** Simulated volume, for the per-worker shard manifest. */
+    std::uint64_t simulatedMacroInsts = 0;
 
     std::size_t
     faultedJobs() const

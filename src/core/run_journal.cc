@@ -601,6 +601,37 @@ SweepJournal::decodeLine(const std::string &line)
     }
 }
 
+Expected<SweepJournal::HeaderInfo>
+SweepJournal::probe(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return Error{ErrorCode::Io, "journal",
+                     "cannot open '" + path + "' for reading"};
+    std::string line;
+    int c = 0;
+    while ((c = std::fgetc(file)) != EOF && c != '\n' &&
+           line.size() < 256)
+        line += static_cast<char>(c);
+    std::fclose(file);
+    const Expected<JValue> parsed = parseJsonValue(line);
+    if (!parsed.ok() || parsed.value().kind != JValue::Kind::Object)
+        return Error{ErrorCode::Parse, "journal",
+                     "'" + path + "' has a garbled header line"};
+    const JValue *version = parsed.value().find("axmemo_sweep_journal");
+    if (!version)
+        return Error{ErrorCode::Parse, "journal",
+                     "'" + path + "' is not a sweep journal"};
+    const Expected<std::uint64_t> v =
+        jsonU64(*version, "axmemo_sweep_journal");
+    if (!v.ok() || v.value() < 2 || v.value() > 2)
+        return Error{ErrorCode::Parse, "journal",
+                     "'" + path + "' has unsupported journal version"};
+    HeaderInfo info;
+    info.version = static_cast<int>(v.value());
+    return info;
+}
+
 std::unordered_map<std::string, SweepOutcome>
 SweepJournal::load(const std::string &path, std::size_t *skipped)
 {
@@ -656,7 +687,13 @@ SweepJournal::open(const std::string &path, bool fresh)
                      "cannot open '" + path + "' for writing"};
     file_ = file;
     path_ = path;
-    if (fresh) {
+    // An append-mode open of a missing file creates it; it still needs
+    // the version header (first use of a worker's shard segment opens
+    // with resume semantics), else probe() would flag it as damaged.
+    // Append streams report position 0 until the first write, so seek.
+    if (!fresh)
+        std::fseek(file_, 0, SEEK_END);
+    if (fresh || std::ftell(file_) == 0) {
         std::fputs("{\"axmemo_sweep_journal\":2}\n", file_);
         std::fflush(file_);
     }

@@ -66,6 +66,22 @@ class SweepJournal
     static Expected<std::pair<std::string, SweepOutcome>>
     decodeLine(const std::string &line);
 
+    /** What probe() learned about a journal file's header. */
+    struct HeaderInfo
+    {
+        int version = 0;
+    };
+
+    /**
+     * Validate @p path's version header without loading records. A
+     * structured error — never a fatal — classifies damage: Io for a
+     * missing/unreadable file, Parse for a garbled header line or an
+     * unsupported version. `axmemo merge` probes every shard segment
+     * with this so one corrupt shard is reported and skipped (its jobs
+     * re-simulate) instead of aborting the whole reduction.
+     */
+    static Expected<HeaderInfo> probe(const std::string &path);
+
     /**
      * Load every decodable record of @p path into a key->outcome map.
      * A missing file is an empty map; torn or garbled lines (including

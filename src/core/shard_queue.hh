@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The filesystem-backed shared work-queue behind multi-process sweep
+ * sharding (DESIGN.md §12).
+ *
+ * N independent `axmemo run --shard-dir <dir>` processes — on one host
+ * or on several hosts mounting the same directory — cooperatively
+ * drain one sweep. There is no coordinator: the directory IS the
+ * queue, and every operation is an atomic filesystem primitive
+ * (common/lease.hh):
+ *
+ *   <dir>/claims/<h>.claim    lease: holder identity JSON; mtime is the
+ *                             heartbeat, refreshed by a background
+ *                             thread while the holder works
+ *   <dir>/claims/<h>.done     terminal marker: some worker journaled
+ *                             (or durably failed) this job
+ *   <dir>/journal.<w>.ckpt    per-worker checkpoint journal segment
+ *                             (core/run_journal.hh records, shared
+ *                             across every artifact the worker runs)
+ *   <dir>/shard.<w>.json      per-worker manifest: claim/steal/foreign
+ *                             counters, jobs run, simulated volume
+ *
+ * where <h> = FNV-1a hash of the job's full identity key and <w> = the
+ * worker id. Claiming is create-exclusive; a claim whose mtime is older
+ * than the lease window belongs to a SIGKILLed worker and is stolen via
+ * a rename tombstone, so exactly one stealer wins. Because every job is
+ * deterministic, the rare double-execution (worker killed between its
+ * journal append and the done marker) just writes an identical record
+ * into a second segment — `axmemo merge` deduplicates by key and the
+ * reduction stays byte-identical to a single-process run.
+ */
+
+#ifndef AXMEMO_CORE_SHARD_QUEUE_HH
+#define AXMEMO_CORE_SHARD_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/expected.hh"
+
+namespace axmemo {
+
+/** Per-worker lifetime counters, rendered into shard.<w>.json. */
+struct ShardCounters
+{
+    std::uint64_t claimed = 0;  ///< claims acquired (incl. steals)
+    std::uint64_t stolen = 0;   ///< claims reclaimed from dead workers
+    std::uint64_t foreign = 0;  ///< jobs skipped: done elsewhere
+    std::uint64_t completed = 0; ///< claimed jobs finished Ok
+    std::uint64_t failed = 0;   ///< claimed jobs finished faulted
+    std::uint64_t released = 0; ///< claims released unfinished
+};
+
+/** One worker's handle on a shard directory; see file comment. */
+class ShardQueue
+{
+  public:
+    /** Outcome of one claim attempt. */
+    enum class Claim
+    {
+        Acquired, ///< this worker owns the job now
+        Done,     ///< a done marker exists: completed elsewhere
+        Busy,     ///< live claim held by another worker
+    };
+
+    /**
+     * Attach to (creating if needed) shard directory @p dir as
+     * @p workerId. Claims older than @p leaseSeconds are considered
+     * abandoned. Starts the heartbeat thread.
+     */
+    ShardQueue(std::string dir, std::string workerId,
+               double leaseSeconds);
+
+    /** Stops the heartbeat. Held claims are NOT removed — normal
+     * operation releases them per job; after a crash the lease window
+     * recycles them. */
+    ~ShardQueue();
+
+    ShardQueue(const ShardQueue &) = delete;
+    ShardQueue &operator=(const ShardQueue &) = delete;
+
+    /** Try to claim the job identified by @p key (steal included). */
+    Claim tryClaim(const std::string &key);
+
+    /** Mark a held claim terminal: write the done marker, then release
+     * the claim. @p ok distinguishes completed from durably-failed in
+     * the marker (merge re-simulates failed jobs either way). */
+    void markDone(const std::string &key, bool ok);
+
+    /** Release a held claim without a done marker (interrupt path):
+     * any worker may claim the job again. */
+    void release(const std::string &key);
+
+    const std::string &dir() const { return dir_; }
+    const std::string &workerId() const { return workerId_; }
+    double leaseSeconds() const { return leaseSeconds_; }
+
+    /** This worker's checkpoint journal segment path. */
+    std::string journalPath() const;
+
+    /** Lifetime counters (consistent snapshot). */
+    ShardCounters counters() const;
+
+    /**
+     * Write shard.<worker>.json: identity, counters, and the caller's
+     * aggregate run totals.
+     */
+    Expected<void> writeShardManifest(std::size_t jobs,
+                                      std::uint64_t macroInsts,
+                                      double wallSeconds) const;
+
+    /** All journal segments in @p dir, sorted by name. */
+    static std::vector<std::string>
+    journalSegments(const std::string &dir);
+
+    /** All per-worker shard manifests in @p dir, sorted by name. */
+    static std::vector<std::string>
+    shardManifests(const std::string &dir);
+
+    /** FNV-1a-64 of @p key as fixed-width hex (claim file stem). */
+    static std::string hashKey(const std::string &key);
+
+  private:
+    std::string claimPath(const std::string &key) const;
+    std::string donePath(const std::string &key) const;
+    std::string leaseBody(const std::string &key) const;
+    void heartbeatLoop();
+
+    std::string dir_;
+    std::string claimsDir_;
+    std::string workerId_;
+    double leaseSeconds_ = 30.0;
+
+    mutable std::mutex mutex_;
+    std::unordered_set<std::string> held_; ///< claim paths we own
+    ShardCounters counters_;
+
+    std::thread heartbeat_;
+    std::condition_variable stopCv_;
+    bool stopping_ = false;
+};
+
+} // namespace axmemo
+
+#endif // AXMEMO_CORE_SHARD_QUEUE_HH

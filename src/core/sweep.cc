@@ -1,18 +1,22 @@
 #include "core/sweep.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
 
 #include "common/interrupt.hh"
 #include "common/log.hh"
+#include "common/proc.hh"
 #include "common/run_control.hh"
 #include "core/config_io.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
 #include "core/run_journal.hh"
+#include "core/shard_queue.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 
@@ -162,6 +166,36 @@ maybeInjectFault(const RuntimeOptions &options, const SweepJob &job,
                        job.workload + ")");
 }
 
+/**
+ * Run @p simulate in a forked child (--isolate): a crash, deadlock or
+ * runaway allocation in one job is contained at the process boundary.
+ * The child ships its RunResult back as a journal-codec line over a
+ * pipe; the parent's poll deadline (SIGKILL on expiry) becomes the
+ * watchdog, surfacing as ErrorCode::Timeout. All failures re-throw as
+ * AxException so the standard retry/timeout policy applies unchanged.
+ */
+RunResult
+simulateIsolated(const std::function<RunResult()> &simulate,
+                 const RuntimeOptions &options)
+{
+    const Expected<std::string> payload = runInForkedChild(
+        [&] {
+            SweepOutcome child;
+            child.run = simulate();
+            return SweepJournal::encodeLine("isolated", child);
+        },
+        options.jobTimeoutSeconds);
+    if (!payload.ok())
+        throw AxException(payload.error());
+    Expected<std::pair<std::string, SweepOutcome>> decoded =
+        SweepJournal::decodeLine(payload.value());
+    if (!decoded.ok())
+        throw AxException(Error{ErrorCode::Internal, "isolate",
+                                "undecodable child result: " +
+                                    decoded.error().describe()});
+    return std::move(decoded.value().second.run);
+}
+
 } // namespace
 
 const char *
@@ -172,6 +206,7 @@ jobStatusName(JobStatus status)
       case JobStatus::Failed: return "failed";
       case JobStatus::TimedOut: return "timed_out";
       case JobStatus::Skipped: return "skipped";
+      case JobStatus::Foreign: return "foreign";
     }
     return "unknown";
 }
@@ -237,6 +272,23 @@ SweepEngine::setJournal(const std::string &path, bool resume)
     AXM_TRACE(Sweep, "sweep", "journal '", base, "': ", replay_.size(),
               " outcome(s) loaded for replay");
     return replay_.size();
+}
+
+std::size_t
+SweepEngine::addReplaySegments(const std::vector<std::string> &paths)
+{
+    std::size_t loaded = 0;
+    for (const std::string &path : paths) {
+        std::size_t skipped = 0;
+        for (auto &[key, outcome] : SweepJournal::load(path, &skipped)) {
+            replay_[key] = std::move(outcome);
+            ++loaded;
+        }
+        if (skipped)
+            AXM_TRACE(Sweep, "sweep", "segment '", path, "': ", skipped,
+                      " undecodable line(s) ignored");
+    }
+    return loaded;
 }
 
 void
@@ -425,13 +477,22 @@ SweepEngine::execute()
                 const auto start = Clock::now();
                 const Attempt a = runWithRetry(
                     [&](unsigned) {
-                        SimMemory mem = entry.prepared->mem.clone();
-                        const ExperimentRunner runner(job.config);
-                        const RunControl control =
-                            makeControl(options_);
-                        entry.result = runner.runPrepared(
-                            *entry.prepared->workload, Mode::Baseline,
-                            entry.prepared->program, mem, &control);
+                        const auto simulate = [&] {
+                            SimMemory mem =
+                                entry.prepared->mem.clone();
+                            const ExperimentRunner runner(job.config);
+                            const RunControl control =
+                                makeControl(options_);
+                            return runner.runPrepared(
+                                *entry.prepared->workload,
+                                Mode::Baseline,
+                                entry.prepared->program, mem,
+                                &control);
+                        };
+                        entry.result =
+                            options_.isolate
+                                ? simulateIsolated(simulate, options_)
+                                : simulate();
                     },
                     options_.retries);
                 entry.attempts = a.attempts;
@@ -506,13 +567,19 @@ SweepEngine::execute()
                     if (isBaseline(job)) {
                         out.run = base->result; // simulated once, shared
                     } else {
-                        SimMemory mem = prep.mem.clone();
-                        const ExperimentRunner runner(job.config);
-                        const RunControl control =
-                            makeControl(options_);
-                        out.run = runner.runPrepared(
-                            *prep.workload, job.backend, prep.program,
-                            mem, &control);
+                        const auto simulate = [&] {
+                            SimMemory mem = prep.mem.clone();
+                            const ExperimentRunner runner(job.config);
+                            const RunControl control =
+                                makeControl(options_);
+                            return runner.runPrepared(
+                                *prep.workload, job.backend,
+                                prep.program, mem, &control);
+                        };
+                        out.run =
+                            options_.isolate
+                                ? simulateIsolated(simulate, options_)
+                                : simulate();
                     }
                 },
                 options_.retries);
@@ -533,9 +600,78 @@ SweepEngine::execute()
             AXM_TRACE(Sweep, "sweep", "job ", i, " (", job.workload,
                       ") ", jobStatusName(out.status));
         };
-        for (std::size_t i = 0; i < jobs_.size(); ++i)
-            pool_->submit([&fn, i] { fn(i); });
-        pool_->wait();
+        if (!shard_) {
+            for (std::size_t i = 0; i < jobs_.size(); ++i)
+                pool_->submit([&fn, i] { fn(i); });
+            pool_->wait();
+        } else {
+            // Shard drain: every unresolved job is claimed through the
+            // shared queue before it simulates. Jobs a sibling worker
+            // finished resolve as Foreign (their outcome lives in that
+            // worker's journal segment; merge unions it back). Jobs a
+            // sibling currently holds stay unresolved and are rescanned
+            // — when the holder dies, its lease expires and the claim
+            // is stolen, so the sweep always drains.
+            std::vector<std::string> keys(jobs_.size());
+            for (std::size_t i = 0; i < jobs_.size(); ++i)
+                keys[i] = SweepJournal::jobKey(jobs_[i]);
+            for (;;) {
+                std::atomic<std::size_t> busy{0};
+                std::atomic<std::size_t> progress{0};
+                for (std::size_t i = 0; i < jobs_.size(); ++i) {
+                    if (handled[i])
+                        continue;
+                    pool_->submit([&, i] {
+                        if (interruptRequested()) {
+                            results[i].scored = jobs_[i].scored;
+                            results[i].status = JobStatus::Skipped;
+                            results[i].fault =
+                                Error{ErrorCode::Cancelled, "sweep",
+                                      "interrupted before job start"};
+                            handled[i] = 1;
+                            ++progress;
+                            return;
+                        }
+                        switch (shard_->tryClaim(keys[i])) {
+                          case ShardQueue::Claim::Done:
+                            results[i].scored = jobs_[i].scored;
+                            results[i].status = JobStatus::Foreign;
+                            handled[i] = 1;
+                            ++progress;
+                            return;
+                          case ShardQueue::Claim::Busy:
+                            ++busy;
+                            return;
+                          case ShardQueue::Claim::Acquired:
+                            break;
+                        }
+                        fn(i);
+                        handled[i] = 1;
+                        ++progress;
+                        // Terminal statuses get a done marker (merge
+                        // re-simulates failures deterministically);
+                        // an interrupt releases the claim for any
+                        // worker to pick up.
+                        if (results[i].status == JobStatus::Skipped)
+                            shard_->release(keys[i]);
+                        else
+                            shard_->markDone(keys[i], results[i].ok());
+                    });
+                }
+                pool_->wait();
+                if (busy == 0)
+                    break;
+                // Brief back-off before rescanning jobs a sibling
+                // holds: long enough to stop a drained worker from
+                // hammering the claims directory, short enough that
+                // the tail wait after the last foreign job resolves
+                // stays well under one job's runtime.
+                if (progress == 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(std::min(
+                            shard_->leaseSeconds() / 4.0, 0.25)));
+            }
+        }
     }
 
     // ---- Metrics: every simulation this sweep accounts for. Replayed
@@ -568,6 +704,7 @@ SweepEngine::execute()
           case JobStatus::Failed: ++metrics_.failedJobs; break;
           case JobStatus::TimedOut: ++metrics_.timedOutJobs; break;
           case JobStatus::Skipped: ++metrics_.skippedJobs; break;
+          case JobStatus::Foreign: ++metrics_.foreignJobs; break;
         }
         if (out.attempts > 1)
             metrics_.retriedJobs += out.attempts - 1;
@@ -601,11 +738,15 @@ SweepEngine::summary() const
        << metrics_.speedupVsSerial << "x vs serial ("
        << metrics_.baselineSimulations << "/"
        << metrics_.baselineRequests << " baselines simulated)";
-    if (metrics_.faultedJobs() || metrics_.restoredJobs) {
+    if (metrics_.faultedJobs() || metrics_.restoredJobs ||
+        metrics_.foreignJobs) {
         os << "; " << metrics_.failedJobs << " failed, "
            << metrics_.timedOutJobs << " timed out, "
            << metrics_.skippedJobs << " skipped, "
            << metrics_.restoredJobs << " replayed";
+        if (metrics_.foreignJobs)
+            os << ", " << metrics_.foreignJobs
+               << " done by other workers";
     }
     return os.str();
 }

@@ -54,6 +54,7 @@
 
 namespace axmemo {
 
+class ShardQueue;
 class SweepJournal;
 
 /** One enqueued simulation request. */
@@ -74,6 +75,7 @@ enum class JobStatus
     Failed,   ///< faulted on every allowed attempt
     TimedOut, ///< watchdog deadline expired (never retried)
     Skipped,  ///< not run: interrupted, or a dependency failed
+    Foreign,  ///< not run here: another shard worker owns the result
 };
 
 /** @return the stable lower-case name of @p status ("ok", ...). */
@@ -131,10 +133,14 @@ struct SweepMetrics
     std::size_t retriedJobs = 0;
     /** Jobs replayed from the checkpoint journal. */
     std::size_t restoredJobs = 0;
+    /** Jobs another shard worker completed (shard mode only). */
+    std::size_t foreignJobs = 0;
 
     std::size_t
     faultedJobs() const
     {
+        // Foreign jobs are not faults: their results exist, in another
+        // worker's journal segment, and merge unions them back in.
         return failedJobs + timedOutJobs + skippedJobs;
     }
 };
@@ -203,6 +209,25 @@ class SweepEngine
      * successful sweep needs no checkpoint). */
     void closeJournal(bool removeFile);
 
+    /**
+     * Attach a shared work-queue (core/shard_queue.hh) for the next
+     * execute(): each job is claimed before it simulates, jobs a
+     * sibling worker owns or finished resolve as JobStatus::Foreign,
+     * and claimed jobs get a done marker (Ok/Failed/TimedOut) or a
+     * claim release (Skipped) when they resolve. The queue must
+     * outlive the engine; nullptr detaches.
+     */
+    void setShardQueue(ShardQueue *queue) { shard_ = queue; }
+
+    /**
+     * Union extra journal segments into the replay map (merge step:
+     * one segment per shard worker). Later segments win duplicate
+     * keys; records are deterministic, so duplicates are identical.
+     * @return records loaded from @p paths.
+     */
+    std::size_t
+    addReplaySegments(const std::vector<std::string> &paths);
+
     unsigned workers() const { return workers_; }
 
     /** The fault policy this engine runs under. */
@@ -266,6 +291,9 @@ class SweepEngine
     std::unique_ptr<SweepJournal> journal_;
     std::unordered_map<std::string, SweepOutcome> replay_;
     std::mutex journalMutex_;
+
+    /** Shared work-queue for shard mode; not owned (setShardQueue). */
+    ShardQueue *shard_ = nullptr;
 };
 
 } // namespace axmemo

@@ -24,6 +24,7 @@ Cache::Cache(const CacheConfig &config) : assoc_(config.assoc)
     tagShift_ = lineShift_ + floorLog2(sets);
     lines_.resize(lines);
     mruWay_.assign(numSets_, 0);
+    mruInScan_ = config.assoc >= kMruScanMinAssoc;
 }
 
 void
@@ -53,8 +54,11 @@ Cache::access(Addr addr, bool isWrite)
 
     // MRU fast path: the common repeated hit is one tag compare. Tags
     // are unique within a set, so checking the hinted way first can
-    // never report a different hit than the scan below would.
-    if (mruEnabled_) {
+    // never report a different hit than the scan below would. Only
+    // probed when the scan is wide enough for the extra dependent load
+    // to pay off (kMruScanMinAssoc); the hint array is still maintained
+    // below either way so tryMruHit() works at every associativity.
+    if (mruEnabled_ && mruInScan_) {
         const unsigned hint = mruWay_[set];
         if (hint < ways) {
             Line *line = lineAt(set, hint);

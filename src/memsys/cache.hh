@@ -12,7 +12,13 @@
  * A per-set MRU way hint short-circuits the common repeated hit to one
  * tag compare before falling back to the full way scan; it is a pure
  * host-side accelerator and never changes hit/miss, LRU order, or victim
- * choice (DESIGN.md §7).
+ * choice (DESIGN.md §7). Inside access() the hint probe only pays for
+ * itself once the way scan it replaces is long enough — below
+ * kMruScanMinAssoc ways the dependent mruWay_ load costs more than the
+ * handful of well-predicted tag compares it saves, so the probe is
+ * auto-disabled there. The hint array itself is always maintained, and
+ * the inline tryMruHit() fast path (which replaces an out-of-line call,
+ * a different trade-off) stays available at every associativity.
  */
 
 #ifndef AXMEMO_MEMSYS_CACHE_HH
@@ -57,6 +63,15 @@ struct CacheAccessResult
 class Cache
 {
   public:
+    /**
+     * Associativity at or above which access() probes the MRU hint
+     * before scanning. Measured crossover on the perf harness stream:
+     * at 8 ways the plain scan wins (~0.92x hinted/scan), at 16 ways
+     * the hint starts paying (~1.04x) and the gap widens with ways
+     * (~1.3x at 32, ~2x at 64).
+     */
+    static constexpr unsigned kMruScanMinAssoc = 16;
+
     explicit Cache(const CacheConfig &config);
 
     /** Sets in the array. */
@@ -169,6 +184,8 @@ class Cache
     unsigned tagShift_;
     unsigned reservedWays_ = 0;
     bool mruEnabled_ = true;
+    /** Probe the hint inside access()? (assoc_ >= kMruScanMinAssoc) */
+    bool mruInScan_ = false;
     std::uint64_t stamp_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -56,13 +56,13 @@ TEST(ArtifactRegistry, CatalogIsComplete)
     for (const char *expected :
          {"table1", "table2", "table3", "table4", "table5", "fig7",
           "fig8", "fig9", "fig10", "fig11", "atm_comparison",
-          "memo_backends", "l2_sensitivity", "estimator_validation",
-          "ablate_crc_width",
+          "memo_backends", "dse", "l2_sensitivity",
+          "estimator_validation", "ablate_crc_width",
           "ablate_lut_geometry", "ablate_quality_monitor",
           "ablate_ooo_core", "ablate_adaptive_truncation",
           "ablate_l2_policy", "micro"})
         EXPECT_TRUE(names.count(expected)) << expected;
-    EXPECT_EQ(infos.size(), 21u);
+    EXPECT_EQ(infos.size(), 22u);
 }
 
 TEST(ArtifactRegistry, ListingIsOrderedTablesFirst)

@@ -479,6 +479,65 @@ TEST(Cache, MruHintSequencesIdentical)
     EXPECT_EQ(hinted.writebacks(), scanned.writebacks());
 }
 
+TEST(Cache, MruScanProbeSequencesIdentical)
+{
+    // Same equivalence at an associativity above kMruScanMinAssoc,
+    // where access() really does probe the hint before scanning (below
+    // the gate both caches run the identical plain scan). A third cache
+    // driven through the inline tryMruHit()+access() fast path must
+    // also track the others exactly.
+    static_assert(Cache::kMruScanMinAssoc <= 16);
+    const CacheConfig config{.name = "equiv16", .sizeBytes = 16 * 1024,
+                             .assoc = 16, .lineSize = 64,
+                             .hitLatency = 1};
+    Cache hinted(config);
+    Cache scanned(config);
+    Cache fastpath(config);
+    scanned.setMruHintEnabled(false);
+
+    Rng rng(33);
+    Addr last = 0;
+    const auto randomAddr = [&] {
+        if (rng.below(2) == 0)
+            return last;
+        last = rng.below(32 * 1024) & ~63ull;
+        return last;
+    };
+
+    for (int phase = 0; phase < 3; ++phase) {
+        for (int op = 0; op < 5000; ++op) {
+            const Addr addr = randomAddr();
+            const bool isWrite = rng.below(4) == 0;
+            const CacheAccessResult a = hinted.access(addr, isWrite);
+            const CacheAccessResult b = scanned.access(addr, isWrite);
+            CacheAccessResult c{.hit = true};
+            if (!fastpath.tryMruHit(addr, isWrite))
+                c = fastpath.access(addr, isWrite);
+            ASSERT_EQ(a.hit, b.hit) << "op " << op;
+            ASSERT_EQ(a.writeback, b.writeback) << "op " << op;
+            ASSERT_EQ(a.writebackAddr, b.writebackAddr) << "op " << op;
+            ASSERT_EQ(a.hit, c.hit) << "op " << op;
+            ASSERT_EQ(a.writeback, c.writeback) << "op " << op;
+            ASSERT_EQ(a.writebackAddr, c.writebackAddr) << "op " << op;
+        }
+        if (phase == 0) {
+            hinted.reserveWays(4);
+            scanned.reserveWays(4);
+            fastpath.reserveWays(4);
+        } else if (phase == 1) {
+            hinted.invalidateAll();
+            scanned.invalidateAll();
+            fastpath.invalidateAll();
+        }
+    }
+    EXPECT_EQ(hinted.hits(), scanned.hits());
+    EXPECT_EQ(hinted.misses(), scanned.misses());
+    EXPECT_EQ(hinted.writebacks(), scanned.writebacks());
+    EXPECT_EQ(hinted.hits(), fastpath.hits());
+    EXPECT_EQ(hinted.misses(), fastpath.misses());
+    EXPECT_EQ(hinted.writebacks(), fastpath.writebacks());
+}
+
 TEST(Lut, MruHintSequencesIdentical)
 {
     // Same property for the memoization LUT: identical lookup results,

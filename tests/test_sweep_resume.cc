@@ -13,16 +13,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/interrupt.hh"
 #include "common/run_control.hh"
 #include "core/output_paths.hh"
 #include "core/run_journal.hh"
+#include "core/shard_queue.hh"
 #include "core/sweep.hh"
 
 namespace axmemo {
@@ -427,6 +432,258 @@ TEST(SweepResume, MissingJournalLoadsEmpty)
         &skipped);
     EXPECT_TRUE(records.empty());
     EXPECT_EQ(skipped, 0u);
+}
+
+// ------------------------------------------------------- shard queue
+
+/** A unique temp directory per test, removed recursively on exit. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &name)
+        : path_(std::string(::testing::TempDir()) + "axmemo_" + name)
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    ~TempDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(ShardQueue, ClaimIsSingleWinnerAndDoneResolvesForeign)
+{
+    TempDir dir("shard_single_winner");
+    ShardQueue a(dir.path(), "a", 30.0);
+    ShardQueue b(dir.path(), "b", 30.0);
+
+    EXPECT_EQ(a.tryClaim("job"), ShardQueue::Claim::Acquired);
+    EXPECT_EQ(b.tryClaim("job"), ShardQueue::Claim::Busy);
+
+    a.markDone("job", /*ok=*/true);
+    EXPECT_EQ(b.tryClaim("job"), ShardQueue::Claim::Done);
+    // A done marker is terminal for everyone, the holder included.
+    EXPECT_EQ(a.tryClaim("job"), ShardQueue::Claim::Done);
+
+    EXPECT_EQ(a.counters().claimed, 1u);
+    EXPECT_EQ(a.counters().completed, 1u);
+    EXPECT_EQ(b.counters().claimed, 0u);
+    EXPECT_EQ(b.counters().foreign, 1u);
+}
+
+TEST(ShardQueue, ConcurrentClaimsNeverDuplicate)
+{
+    TempDir dir("shard_concurrent");
+    ShardQueue a(dir.path(), "a", 30.0);
+    ShardQueue b(dir.path(), "b", 30.0);
+
+    // Two workers race over the same key set in opposite orders; the
+    // O_EXCL claim must hand each key to exactly one of them.
+    constexpr int kKeys = 64;
+    std::atomic<int> acquired{0};
+    const auto drain = [&](ShardQueue &queue, bool reverse) {
+        for (int i = 0; i < kKeys; ++i) {
+            const int k = reverse ? kKeys - 1 - i : i;
+            if (queue.tryClaim("job" + std::to_string(k)) ==
+                ShardQueue::Claim::Acquired)
+                ++acquired;
+        }
+    };
+    std::thread ta([&] { drain(a, false); });
+    std::thread tb([&] { drain(b, true); });
+    ta.join();
+    tb.join();
+
+    EXPECT_EQ(acquired.load(), kKeys);
+    EXPECT_EQ(a.counters().claimed + b.counters().claimed,
+              static_cast<std::uint64_t>(kKeys));
+    EXPECT_EQ(a.counters().stolen, 0u);
+    EXPECT_EQ(b.counters().stolen, 0u);
+}
+
+TEST(ShardQueue, ReleaseReturnsJobToTheQueue)
+{
+    TempDir dir("shard_release");
+    ShardQueue a(dir.path(), "a", 30.0);
+    ShardQueue b(dir.path(), "b", 30.0);
+
+    EXPECT_EQ(a.tryClaim("job"), ShardQueue::Claim::Acquired);
+    a.release("job");
+    EXPECT_EQ(a.counters().released, 1u);
+    EXPECT_EQ(b.tryClaim("job"), ShardQueue::Claim::Acquired);
+}
+
+TEST(ShardQueue, StaleClaimOfDeadWorkerIsStolen)
+{
+    TempDir dir("shard_steal");
+    // The victim claims and then dies (destruction stops the
+    // heartbeat; normal completion would have removed the claim).
+    {
+        ShardQueue victim(dir.path(), "victim", 0.2);
+        EXPECT_EQ(victim.tryClaim("job"),
+                  ShardQueue::Claim::Acquired);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+
+    ShardQueue thief(dir.path(), "thief", 0.2);
+    EXPECT_EQ(thief.tryClaim("job"), ShardQueue::Claim::Acquired);
+    EXPECT_EQ(thief.counters().claimed, 1u);
+    EXPECT_EQ(thief.counters().stolen, 1u);
+}
+
+TEST(ShardQueue, LiveClaimIsNotStolenWhileHeartbeatRuns)
+{
+    TempDir dir("shard_heartbeat");
+    ShardQueue holder(dir.path(), "holder", 0.3);
+    EXPECT_EQ(holder.tryClaim("job"), ShardQueue::Claim::Acquired);
+
+    // Well past the lease window; the heartbeat thread must have kept
+    // the claim's mtime fresh the whole time.
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    ShardQueue thief(dir.path(), "thief", 0.3);
+    EXPECT_EQ(thief.tryClaim("job"), ShardQueue::Claim::Busy);
+    EXPECT_EQ(thief.counters().stolen, 0u);
+}
+
+TEST(SweepResume, ProbeClassifiesJournalDamage)
+{
+    // Missing file: Io.
+    const std::string missing =
+        std::string(::testing::TempDir()) + "axmemo_probe_missing.ckpt";
+    std::remove(missing.c_str());
+    Expected<SweepJournal::HeaderInfo> result =
+        SweepJournal::probe(missing);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Io);
+
+    // Garbled header line: Parse.
+    TempFile garbled("probe_garbled.ckpt");
+    {
+        std::ofstream out(garbled.path());
+        out << "this is not a journal\n";
+    }
+    result = SweepJournal::probe(garbled.path());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Parse);
+
+    // Unsupported version: Parse.
+    TempFile versioned("probe_version.ckpt");
+    {
+        std::ofstream out(versioned.path());
+        out << "{\"axmemo_sweep_journal\":99}\n";
+    }
+    result = SweepJournal::probe(versioned.path());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().code, ErrorCode::Parse);
+
+    // A journal the append side just created: ok, current version.
+    TempFile good("probe_good.ckpt");
+    {
+        SweepJournal journal;
+        ASSERT_TRUE(journal.open(good.path(), /*fresh=*/true).ok());
+        journal.close();
+    }
+    result = SweepJournal::probe(good.path());
+    ASSERT_TRUE(result.ok()) << result.error().describe();
+    EXPECT_EQ(result.value().version, 2);
+}
+
+TEST(SweepResume, AppendOpenOnFreshPathWritesExactlyOneHeader)
+{
+    // Shard workers open their journal segment with fresh=false (the
+    // segment may hold records from an earlier incarnation). On a
+    // brand-new path that append-open must still write the version
+    // header — and a reopen must not write a second one.
+    TempFile journal("append_fresh.ckpt");
+    SweepEngine engine(testOptions());
+    engine.enqueueRun("sobel", Mode::Baseline, tinyConfig());
+    engine.enqueueRun("fft", Mode::Baseline, tinyConfig());
+    const std::vector<SweepJob> jobs = engine.pending();
+    const std::vector<SweepOutcome> outcomes = engine.execute();
+    ASSERT_EQ(outcomes.size(), 2u);
+
+    {
+        SweepJournal first;
+        ASSERT_TRUE(first.open(journal.path(), /*fresh=*/false).ok());
+        first.append(SweepJournal::jobKey(jobs[0]), outcomes[0]);
+        first.close();
+    }
+    {
+        SweepJournal second;
+        ASSERT_TRUE(second.open(journal.path(), /*fresh=*/false).ok());
+        second.append(SweepJournal::jobKey(jobs[1]), outcomes[1]);
+        second.close();
+    }
+
+    ASSERT_TRUE(SweepJournal::probe(journal.path()).ok());
+    std::size_t skipped = 0;
+    EXPECT_EQ(SweepJournal::load(journal.path(), &skipped).size(), 2u);
+    EXPECT_EQ(skipped, 0u);
+
+    const std::string contents = readFile(journal.path());
+    std::size_t headers = 0;
+    for (std::size_t at = contents.find("axmemo_sweep_journal");
+         at != std::string::npos;
+         at = contents.find("axmemo_sweep_journal", at + 1))
+        ++headers;
+    EXPECT_EQ(headers, 1u);
+    EXPECT_EQ(contents.rfind("{\"axmemo_sweep_journal\"", 0), 0u);
+}
+
+TEST(SweepResume, ShardedWorkersPlusSegmentReplayMatchSerialRun)
+{
+    // Serial reference.
+    SweepEngine serial(testOptions());
+    enqueueMatrix(serial);
+    const std::vector<SweepOutcome> reference = serial.execute();
+
+    // Worker a drains the whole queue; worker b arrives afterwards
+    // and finds only done markers.
+    TempDir dir("shard_merge");
+    ShardQueue qa(dir.path(), "a", 30.0);
+    SweepEngine ea(testOptions());
+    ea.setShardQueue(&qa);
+    EXPECT_EQ(ea.setJournal(qa.journalPath(), /*resume=*/true), 0u);
+    enqueueMatrix(ea);
+    const std::vector<SweepOutcome> aOutcomes = ea.execute();
+    ea.closeJournal(/*removeFile=*/false);
+
+    ShardQueue qb(dir.path(), "b", 30.0);
+    SweepEngine eb(testOptions());
+    eb.setShardQueue(&qb);
+    EXPECT_EQ(eb.setJournal(qb.journalPath(), /*resume=*/true), 0u);
+    enqueueMatrix(eb);
+    const std::vector<SweepOutcome> bOutcomes = eb.execute();
+    eb.closeJournal(/*removeFile=*/false);
+
+    ASSERT_EQ(aOutcomes.size(), reference.size());
+    EXPECT_EQ(ea.metrics().foreignJobs, 0u);
+    for (std::size_t i = 0; i < aOutcomes.size(); ++i)
+        expectOutcomesEqual(aOutcomes[i], reference[i],
+                            "worker-a job " + std::to_string(i));
+    EXPECT_EQ(eb.metrics().foreignJobs, reference.size());
+    for (const SweepOutcome &outcome : bOutcomes)
+        EXPECT_EQ(outcome.status, JobStatus::Foreign);
+
+    // Merge role: union every journal segment, replay instead of
+    // re-simulating, and match the serial run outcome-for-outcome.
+    SweepEngine merge(testOptions());
+    EXPECT_EQ(merge.addReplaySegments(
+                  ShardQueue::journalSegments(dir.path())),
+              reference.size());
+    enqueueMatrix(merge);
+    const std::vector<SweepOutcome> merged = merge.execute();
+    EXPECT_EQ(merge.metrics().restoredJobs, reference.size());
+    ASSERT_EQ(merged.size(), reference.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        expectOutcomesEqual(merged[i], reference[i],
+                            "merged job " + std::to_string(i));
 }
 
 } // namespace

@@ -40,6 +40,27 @@
  *   --no-timing       zero host-timing fields in every report so two
  *                     runs are byte-comparable (AXMEMO_TIMING=0)
  *   --fault-inject <workload[:n]>  test hook: fail matching jobs
+ *   --isolate         fork every simulated job into a child process:
+ *                     crashes and runaway jobs are contained at the
+ *                     process boundary, and the per-job watchdog kills
+ *                     the child outright on expiry
+ *
+ * Sharded runs (run/merge; see DESIGN.md §12): point any number of
+ * `axmemo run <...> --shard-dir <dir>` processes — same host or
+ * several hosts sharing one directory — at one shard directory and
+ * they cooperatively drain the sweep, claiming jobs through atomic
+ * lease files and journaling outcomes to per-worker segments. Then
+ * `axmemo merge <...> --shard-dir <dir>` reduces the segments into
+ * reports byte-identical to a single-process run (same --jobs,
+ * --no-timing), plus <name>_shards.json with per-worker counters.
+ *   --shard-dir <dir> the shared work-queue directory (run: become a
+ *                     cooperating worker; merge: reduce its segments)
+ *   --worker-id <s>   this worker's identity (default: w<pid>)
+ *   --lease <s>       claim lease window; a worker silent this long is
+ *                     presumed dead and its claims are stolen (30)
+ *   --workers <n>     convenience fan-out: fork <n> local workers over
+ *                     the shard directory (default <out>/shards), wait,
+ *                     then merge — all in one invocation
  *
  * Per-job faults are contained: a failed/timed-out job costs its row
  * (recorded with a structured error in manifest.json), the rest of the
@@ -69,6 +90,9 @@
  * result without reading harness code.
  */
 
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,12 +100,16 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "common/interrupt.hh"
 #include "common/log.hh"
 #include "common/runtime_options.hh"
 #include "core/artifact.hh"
 #include "core/memo_backends.hh"
 #include "core/output_paths.hh"
+#include "core/shard_queue.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "tools/perf.hh"
@@ -100,6 +128,10 @@ usage(FILE *to)
         "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n"
         "                 [--resume] [--retries <n>] "
         "[--job-timeout <s>] [--no-timing] [--fault-inject <w[:n]>]\n"
+        "                 [--isolate] [--shard-dir <d> "
+        "[--worker-id <s>] [--lease <s>] | --workers <n>]\n"
+        "       axmemo merge <artifact>... | all --shard-dir <d> "
+        "[run options]\n"
         "       axmemo profile <artifact>... | all [run options]\n"
         "       axmemo perf "
         "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
@@ -164,6 +196,8 @@ main(int argc, char **argv)
     bool quick = false;
     bool profile = false;
     bool resume = false;
+    bool merge = false;
+    unsigned fanout = 0;
     double scale = 0.0;
 
     // Every knob is parsed from the environment exactly once; the
@@ -186,8 +220,22 @@ main(int argc, char **argv)
         } else if (arg == "profile") {
             run = true;
             profile = true;
+        } else if (arg == "merge") {
+            run = true;
+            merge = true;
         } else if (arg == "perf") {
             perf = true;
+        } else if (arg == "--shard-dir") {
+            runtime.shardDir = value();
+        } else if (arg == "--worker-id") {
+            runtime.workerId = value();
+        } else if (arg == "--lease") {
+            runtime.leaseSeconds = std::atof(value());
+        } else if (arg == "--isolate") {
+            runtime.isolate = true;
+        } else if (arg == "--workers") {
+            fanout = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         } else if (arg == "--quick") {
             quick = true;
         } else if (arg == "--scale") {
@@ -341,49 +389,159 @@ main(int argc, char **argv)
                      wrote.error().describe());
     };
 
-    std::vector<std::string> manifestRuns;
-    std::size_t faultedJobs = 0;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        if (i && !json)
-            std::printf("\n");
-        const std::unique_ptr<Artifact> artifact =
-            registry.make(names[i]);
-        // Per-artifact phase isolation: the manifest's "phases" and the
-        // profile view report this run only.
-        obs::Profiler::instance().reset();
-        const Expected<ArtifactRunRecord> record =
-            runArtifact(*artifact, options);
-        if (!record.ok()) {
-            std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
-                         record.error().describe().c_str());
+    // The artifact loop, shared by the standard, worker and merge
+    // roles. Workers write no manifest.json (report emission is the
+    // merge step's job); they write their per-worker shard manifest.
+    const auto driveArtifacts = [&](const ArtifactRunOptions &opts)
+        -> int {
+        const bool worker = opts.shardMode == ShardMode::Worker;
+        const auto wallStart = std::chrono::steady_clock::now();
+        std::vector<std::string> manifestRuns;
+        std::size_t faultedJobs = 0;
+        std::size_t damagedSegments = 0;
+        std::size_t totalJobs = 0;
+        std::uint64_t totalMacro = 0;
+        const auto finishWorker = [&] {
+            if (!worker || !opts.queue)
+                return;
+            const double wall =
+                opts.runtime.reportTiming
+                    ? std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - wallStart)
+                          .count()
+                    : 0.0;
+            const Expected<void> wrote = opts.queue->writeShardManifest(
+                totalJobs, totalMacro, wall);
+            if (!wrote.ok())
+                axm_warn("cannot write shard manifest: ",
+                         wrote.error().describe());
+        };
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (i && !json && !worker)
+                std::printf("\n");
+            const std::unique_ptr<Artifact> artifact =
+                registry.make(names[i]);
+            // Per-artifact phase isolation: the manifest's "phases" and
+            // the profile view report this run only.
+            obs::Profiler::instance().reset();
+            const Expected<ArtifactRunRecord> record =
+                runArtifact(*artifact, opts);
+            if (!record.ok()) {
+                std::fprintf(stderr, "%s: %s\n", names[i].c_str(),
+                             record.error().describe().c_str());
+                if (!worker)
+                    writeManifest(manifestRuns);
+                finishWorker();
+                return 1;
+            }
+            faultedJobs += record.value().faultedJobs();
+            damagedSegments += record.value().damagedSegments;
+            totalJobs += record.value().jobs;
+            totalMacro += record.value().simulatedMacroInsts;
+            if (!worker)
+                manifestRuns.push_back(record.value().manifestRun);
+            if (interruptRequested())
+                break;
+            if (profile && !worker) {
+                std::printf(
+                    "\n== profile %s ==\n%s", names[i].c_str(),
+                    obs::Profiler::instance().renderText().c_str());
+                std::fflush(stdout);
+            }
+        }
+        if (!worker)
             writeManifest(manifestRuns);
+        finishWorker();
+        if (interruptRequested()) {
+            std::fprintf(stderr,
+                         "interrupted by signal %d; partial results "
+                         "written (rerun with --resume to continue)\n",
+                         interruptSignal());
+            return 128 + interruptSignal();
+        }
+        if (damagedSegments) {
+            std::fprintf(stderr,
+                         "%zu damaged journal segment(s) skipped; "
+                         "their jobs were re-simulated (see "
+                         "<name>_shards.json)\n",
+                         damagedSegments);
             return 1;
         }
-        faultedJobs += record.value().faultedJobs();
-        manifestRuns.push_back(record.value().manifestRun);
-        if (interruptRequested())
-            break;
-        if (profile) {
-            std::printf("\n== profile %s ==\n%s", names[i].c_str(),
-                        obs::Profiler::instance().renderText().c_str());
-            std::fflush(stdout);
+        if (faultedJobs) {
+            std::fprintf(stderr,
+                         "%zu job(s) did not complete; see "
+                         "manifest.json for per-job status\n",
+                         faultedJobs);
+            return 1;
         }
+        return 0;
+    };
+
+    // Convenience fan-out: fork N cooperating workers over one shard
+    // directory, wait for them, then fall through to the merge role.
+    // fork() happens before any thread exists in this process.
+    int workerExit = 0;
+    if (fanout > 1 && !merge) {
+        if (runtime.shardDir.empty())
+            runtime.shardDir = joinPath(
+                resolveOutputDir(runtime.outDir), "shards");
+        const std::string baseId =
+            runtime.workerId.empty()
+                ? "w" + std::to_string(::getpid())
+                : runtime.workerId;
+        std::vector<pid_t> children;
+        for (unsigned k = 0; k < fanout; ++k) {
+            std::fflush(stdout);
+            std::fflush(stderr);
+            const pid_t pid = ::fork();
+            if (pid < 0) {
+                std::fprintf(stderr, "fork: %s\n",
+                             std::strerror(errno));
+                return 1;
+            }
+            if (pid == 0) {
+                runtime.workerId =
+                    baseId + "-" + std::to_string(k);
+                RuntimeOptions::setGlobal(runtime);
+                ShardQueue queue(runtime.shardDir, runtime.workerId,
+                                 runtime.leaseSeconds);
+                ArtifactRunOptions workerOptions = options;
+                workerOptions.runtime = runtime;
+                workerOptions.shardMode = ShardMode::Worker;
+                workerOptions.queue = &queue;
+                std::exit(driveArtifacts(workerOptions));
+            }
+            children.push_back(pid);
+        }
+        for (const pid_t pid : children) {
+            int status = 0;
+            ::waitpid(pid, &status, 0);
+            if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+                workerExit = 1;
+        }
+        merge = true; // this process reduces what the workers drained
     }
 
-    writeManifest(manifestRuns);
-    if (interruptRequested()) {
-        std::fprintf(stderr,
-                     "interrupted by signal %d; partial results "
-                     "written (rerun with --resume to continue)\n",
-                     interruptSignal());
-        return 128 + interruptSignal();
+    if (merge) {
+        if (runtime.shardDir.empty()) {
+            std::fprintf(stderr, "merge needs --shard-dir\n");
+            return 2;
+        }
+        options.shardMode = ShardMode::Merge;
+        options.shardDir = runtime.shardDir;
+        const int code = driveArtifacts(options);
+        return code ? code : workerExit;
     }
-    if (faultedJobs) {
-        std::fprintf(stderr,
-                     "%zu job(s) did not complete; see manifest.json "
-                     "for per-job status\n",
-                     faultedJobs);
-        return 1;
+    if (!runtime.shardDir.empty()) {
+        const std::string workerId =
+            runtime.workerId.empty()
+                ? "w" + std::to_string(::getpid())
+                : runtime.workerId;
+        ShardQueue queue(runtime.shardDir, workerId,
+                         runtime.leaseSeconds);
+        options.shardMode = ShardMode::Worker;
+        options.queue = &queue;
+        return driveArtifacts(options);
     }
-    return 0;
+    return driveArtifacts(options);
 }
