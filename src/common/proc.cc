@@ -10,6 +10,8 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/trace.hh"
+
 namespace axmemo {
 
 namespace {
@@ -182,11 +184,27 @@ runInForkedChild(const std::function<std::string()> &fn,
         return Error{ErrorCode::Io, "proc",
                      std::string("pipe failed: ") +
                          std::strerror(errno)};
+    // Second pipe: the child's stderr. Warn/inform lines the child
+    // prints while simulating are relayed through the parent's obs sink
+    // one whole line at a time, so concurrent isolated children never
+    // tear each other's lines mid-write. The child's lines already
+    // carry the worker label (tlsLabel survives the fork), so the relay
+    // adds nothing.
+    int errFds[2];
+    if (::pipe(errFds) != 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return Error{ErrorCode::Io, "proc",
+                     std::string("pipe failed: ") +
+                         std::strerror(errno)};
+    }
 
     const pid_t pid = ::fork();
     if (pid < 0) {
         ::close(fds[0]);
         ::close(fds[1]);
+        ::close(errFds[0]);
+        ::close(errFds[1]);
         return Error{ErrorCode::Io, "proc",
                      std::string("fork failed: ") +
                          std::strerror(errno)};
@@ -196,6 +214,9 @@ runInForkedChild(const std::function<std::string()> &fn,
         // Child: run the job, ship one framed payload, and _exit —
         // never unwind back into the (forked copy of the) pool thread.
         ::close(fds[0]);
+        ::close(errFds[0]);
+        ::dup2(errFds[1], STDERR_FILENO);
+        ::close(errFds[1]);
         std::string frame;
         try {
             frame = "OK\n" + fn();
@@ -215,18 +236,31 @@ runInForkedChild(const std::function<std::string()> &fn,
         ::_exit(wrote ? 0 : 3);
     }
 
-    // Parent: drain the pipe under the deadline. EOF (child closed its
-    // end) terminates the read loop; the exit status then decides.
+    // Parent: drain both pipes under the deadline. EOF on both (the
+    // child closed its ends by exiting) terminates the read loop; the
+    // exit status then decides. Stderr bytes are buffered and relayed
+    // through the obs sink one complete line at a time.
     ::close(fds[1]);
+    ::close(errFds[1]);
     std::string frame;
+    std::string errPending;
     bool timedOut = false;
+    int resultFd = fds[0];
+    int errFd = errFds[0];
     const auto deadline =
         Clock::now() + std::chrono::duration_cast<Clock::duration>(
                            std::chrono::duration<double>(
                                timeoutSeconds > 0 ? timeoutSeconds
                                                   : 0.0));
     char buf[1 << 16];
-    for (;;) {
+    const auto relayErrLines = [&] {
+        std::size_t eol;
+        while ((eol = errPending.find('\n')) != std::string::npos) {
+            obs::forwardLine(stderr, errPending.substr(0, eol));
+            errPending.erase(0, eol + 1);
+        }
+    };
+    while (resultFd >= 0 || errFd >= 0) {
         int waitMs = -1;
         if (timeoutSeconds > 0) {
             const auto left =
@@ -240,8 +274,13 @@ runInForkedChild(const std::function<std::string()> &fn,
             waitMs = static_cast<int>(
                 std::min<long long>(left, 60 * 1000));
         }
-        struct pollfd pfd = {fds[0], POLLIN, 0};
-        const int ready = ::poll(&pfd, 1, waitMs);
+        struct pollfd pfds[2];
+        nfds_t nfds = 0;
+        if (resultFd >= 0)
+            pfds[nfds++] = {resultFd, POLLIN, 0};
+        if (errFd >= 0)
+            pfds[nfds++] = {errFd, POLLIN, 0};
+        const int ready = ::poll(pfds, nfds, waitMs);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -249,17 +288,36 @@ runInForkedChild(const std::function<std::string()> &fn,
         }
         if (ready == 0)
             continue; // poll slice elapsed; re-check the deadline
-        const ssize_t n = ::read(fds[0], buf, sizeof(buf));
-        if (n < 0) {
-            if (errno == EINTR)
+        for (nfds_t p = 0; p < nfds; ++p) {
+            if (!(pfds[p].revents & (POLLIN | POLLHUP | POLLERR)))
                 continue;
-            break;
+            const bool isErr = pfds[p].fd == errFd;
+            const ssize_t n = ::read(pfds[p].fd, buf, sizeof(buf));
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                ::close(pfds[p].fd);
+                (isErr ? errFd : resultFd) = -1;
+                continue;
+            }
+            if (isErr) {
+                errPending.append(buf, static_cast<std::size_t>(n));
+                relayErrLines();
+            } else {
+                frame.append(buf, static_cast<std::size_t>(n));
+            }
         }
-        if (n == 0)
-            break; // EOF: the child is done writing
-        frame.append(buf, static_cast<std::size_t>(n));
     }
-    ::close(fds[0]);
+    if (resultFd >= 0)
+        ::close(resultFd);
+    if (errFd >= 0)
+        ::close(errFd);
+    // A final partial line (the child died mid-write) still surfaces.
+    relayErrLines();
+    if (!errPending.empty()) {
+        obs::forwardLine(stderr, errPending);
+        errPending.clear();
+    }
 
     if (timedOut) {
         ::kill(pid, SIGKILL);

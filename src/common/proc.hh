@@ -19,6 +19,12 @@
  * Timeout maps to ErrorCode::Timeout so the engine's no-retry rule for
  * wedged jobs applies at the process boundary too.
  *
+ * The child's stderr is a second pipe: warn/inform lines it prints are
+ * relayed through the parent's obs sink one complete line at a time
+ * (obs::forwardLine), so concurrent isolated children never interleave
+ * mid-line. The child's lines already carry its worker label — tlsLabel
+ * survives the fork — so the relay forwards them verbatim.
+ *
  * Forking from pool threads is deliberate and Linux/glibc-specific:
  * only the calling thread exists in the child, and glibc's atfork
  * handlers reset the allocator locks, so the child can run the full

@@ -131,6 +131,8 @@ RuntimeOptions::fromEnv()
             axm_warn("ignoring malformed AXMEMO_ISOLATE='", env,
                      "' (want 0 or 1)");
     }
+    if (const char *env = envOrNull("AXMEMO_TIMELINE"))
+        options.timeline = env;
 
     return options;
 }
@@ -232,7 +234,9 @@ RuntimeOptions::describeKnobs()
            "  AXMEMO_LEASE        --lease <s>        30                "
            "claim lease window; stale claims are stolen after this\n"
            "  AXMEMO_ISOLATE      --isolate          0                 "
-           "1 forks every simulated job into a watchdogged child\n";
+           "1 forks every simulated job into a watchdogged child\n"
+           "  AXMEMO_TIMELINE     --trace-timeline <f> (off)           "
+           "write a Chrome-trace/Perfetto span timeline to <f>\n";
 }
 
 } // namespace axmemo

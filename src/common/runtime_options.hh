@@ -35,6 +35,7 @@
  *   AXMEMO_WORKER_ID    --worker-id <s>   shard worker identity
  *   AXMEMO_LEASE        --lease <s>       claim lease window seconds (30)
  *   AXMEMO_ISOLATE      --isolate         1 forks each job into a child
+ *   AXMEMO_TIMELINE     --trace-timeline  span timeline output file
  *
  * The dispatch/batch/simd knobs select between bit-identical host data
  * paths (DESIGN.md §10): they change simulation speed, never simulated
@@ -94,6 +95,11 @@ struct RuntimeOptions
     /** Fork each simulated job into a child process so a crash or
      * runaway loop is contained at the process boundary. */
     bool isolate = false;
+    /** Chrome-trace/Perfetto timeline output file (obs/telemetry.hh);
+     * non-empty arms span recording. Shard workers write per-worker
+     * timeline segments instead and `axmemo merge` stitches them into
+     * this file. */
+    std::string timeline;
 
     /** Parse every knob from the environment (defensive: malformed
      * values warn and keep the default, same as the old parsers). */

@@ -10,6 +10,7 @@
 #include "common/log.hh"
 #include "core/json_export.hh"
 #include "core/output_paths.hh"
+#include "obs/telemetry.hh"
 
 namespace axmemo {
 
@@ -53,6 +54,11 @@ ShardQueue::ShardQueue(std::string dir, std::string workerId,
     if (!made.ok())
         axm_warn("shard queue: ", made.error().describe(),
                  " (claims will fail)");
+    // Metrics snapshots ride the lease heartbeat: the first one lands
+    // as soon as the worker joins, so `axmemo status` sees it before
+    // any job completes.
+    telemetry::setSnapshotPath(
+        joinPath(dir_, "metrics." + workerId_ + ".jsonl"), workerId_);
     heartbeat_ = std::thread([this] { heartbeatLoop(); });
 }
 
@@ -111,6 +117,7 @@ ShardQueue::leaseBody(const std::string &key) const
 ShardQueue::Claim
 ShardQueue::tryClaim(const std::string &key)
 {
+    AXM_SPAN("shard", "claim");
     const std::string done = donePath(key);
     const std::string claim = claimPath(key);
     if (fileAgeSeconds(done) < 0.0) { // no done marker yet
@@ -158,6 +165,7 @@ ShardQueue::tryClaim(const std::string &key)
 void
 ShardQueue::markDone(const std::string &key, bool ok)
 {
+    AXM_SPAN("shard", "markDone");
     std::string body = "{\"key\":\"";
     body += JsonWriter::escape(key);
     body += "\",\"worker\":\"";
@@ -221,6 +229,9 @@ ShardQueue::writeShardManifest(std::size_t jobs,
     doc += ",\"wall_seconds\":";
     doc += buf;
     doc += "}\n";
+    // Flush a final metrics snapshot alongside the manifest so status
+    // readers see the terminal jobs_done/throughput figures.
+    telemetry::heartbeat();
     return atomicWriteFile(
         joinPath(dir_, "shard." + workerId_ + ".json"), doc);
 }
@@ -235,6 +246,24 @@ std::vector<std::string>
 ShardQueue::shardManifests(const std::string &dir)
 {
     return listMatching(dir, "shard.", ".json");
+}
+
+std::vector<std::string>
+ShardQueue::metricsFiles(const std::string &dir)
+{
+    return listMatching(dir, "metrics.", ".jsonl");
+}
+
+std::vector<std::string>
+ShardQueue::timelineSegments(const std::string &dir)
+{
+    return listMatching(dir, "timeline.", ".json");
+}
+
+std::string
+ShardQueue::timelinePath() const
+{
+    return joinPath(dir_, "timeline." + workerId_ + ".json");
 }
 
 void
@@ -256,6 +285,7 @@ ShardQueue::heartbeatLoop()
         lock.unlock();
         for (const std::string &path : held)
             touchFile(path); // gone = stolen/released; harmless
+        telemetry::heartbeat();
         lock.lock();
     }
 }

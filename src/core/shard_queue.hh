@@ -122,6 +122,17 @@ class ShardQueue
     static std::vector<std::string>
     shardManifests(const std::string &dir);
 
+    /** All per-worker metrics snapshot files in @p dir, sorted. */
+    static std::vector<std::string>
+    metricsFiles(const std::string &dir);
+
+    /** All per-worker timeline segments in @p dir, sorted. */
+    static std::vector<std::string>
+    timelineSegments(const std::string &dir);
+
+    /** This worker's timeline segment path (timeline.<w>.json). */
+    std::string timelinePath() const;
+
     /** FNV-1a-64 of @p key as fixed-width hex (claim file stem). */
     static std::string hashKey(const std::string &key);
 

@@ -18,6 +18,7 @@
 #include "core/run_journal.hh"
 #include "core/shard_queue.hh"
 #include "obs/profiler.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 namespace axmemo {
@@ -308,9 +309,12 @@ std::vector<SweepOutcome>
 SweepEngine::execute()
 {
     const auto wallStart = Clock::now();
+    AXM_SPAN("sweep", "execute");
     metrics_ = {};
     metrics_.workers = workers_;
     metrics_.jobs = jobs_.size();
+    telemetry::metrics().jobsTotal.fetch_add(jobs_.size(),
+                                             std::memory_order_relaxed);
 
     std::vector<SweepOutcome> results(jobs_.size());
     std::vector<char> handled(jobs_.size(), 0);
@@ -321,6 +325,7 @@ SweepEngine::execute()
     // replay makes unnecessary to re-simulate.
     std::unordered_map<std::string, std::uint64_t> replayedBaseMacro;
     if (!replay_.empty()) {
+        AXM_SPAN("sweep", "replay");
         for (std::size_t i = 0; i < jobs_.size(); ++i) {
             const auto it = replay_.find(SweepJournal::jobKey(jobs_[i]));
             if (it == replay_.end())
@@ -331,6 +336,8 @@ SweepEngine::execute()
                 results[i].seconds = 0.0;
             handled[i] = 1;
             ++metrics_.restoredJobs;
+            telemetry::metrics().jobsDone.fetch_add(
+                1, std::memory_order_relaxed);
             const std::string bKey =
                 baselineKey(jobs_[i].workload, jobs_[i].config);
             if (isBaseline(jobs_[i]))
@@ -508,6 +515,9 @@ SweepEngine::execute()
                 entry.seconds = options_.reportTiming
                                     ? secondsSince(start)
                                     : 0.0;
+                telemetry::metrics().macroInsts.fetch_add(
+                    entry.result.stats.macroInsts,
+                    std::memory_order_relaxed);
                 AXM_TRACE(Sweep, "sweep", "baseline ", job.workload,
                           " done");
             };
@@ -525,6 +535,7 @@ SweepEngine::execute()
             if (handled[i])
                 return; // replayed from the journal in phase R
             AXM_PROF("sweep.subject.job");
+            AXM_SPAN("job", jobs_[i].workload);
             const SweepJob &job = jobs_[i];
             SweepOutcome &out = results[i];
             out.scored = job.scored;
@@ -596,6 +607,28 @@ SweepEngine::execute()
             if (out.ok() && journal_) {
                 const std::lock_guard<std::mutex> lock(journalMutex_);
                 journal_->append(SweepJournal::jobKey(job), out);
+                telemetry::noteJournalAppend();
+            }
+            {
+                // Fleet-metrics accounting: one completed job, its
+                // simulated volume (baselines share one cached result,
+                // charged once in phase B), memo traffic and LUT
+                // occupancy for the status/snapshot rates.
+                telemetry::MetricsCounters &tm = telemetry::metrics();
+                tm.jobsDone.fetch_add(1, std::memory_order_relaxed);
+                if (!isBaseline(job) && out.ok()) {
+                    tm.macroInsts.fetch_add(out.run.stats.macroInsts,
+                                            std::memory_order_relaxed);
+                    tm.memoLookups.fetch_add(out.run.lookups,
+                                             std::memory_order_relaxed);
+                    tm.memoHits.fetch_add(out.run.hits,
+                                          std::memory_order_relaxed);
+                    const auto &occ = out.run.stats.dists.l2SetOccupancy;
+                    tm.lutLinesSum.fetch_add(occ.sum(),
+                                             std::memory_order_relaxed);
+                    tm.lutLinesSamples.fetch_add(
+                        occ.count(), std::memory_order_relaxed);
+                }
             }
             AXM_TRACE(Sweep, "sweep", "job ", i, " (", job.workload,
                       ") ", jobStatusName(out.status));
@@ -616,6 +649,7 @@ SweepEngine::execute()
             for (std::size_t i = 0; i < jobs_.size(); ++i)
                 keys[i] = SweepJournal::jobKey(jobs_[i]);
             for (;;) {
+                AXM_SPAN("sweep", "shard-round");
                 std::atomic<std::size_t> busy{0};
                 std::atomic<std::size_t> progress{0};
                 for (std::size_t i = 0; i < jobs_.size(); ++i) {

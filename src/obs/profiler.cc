@@ -192,7 +192,8 @@ Profiler::renderJson() const
 }
 
 ScopedPhase::ScopedPhase(const char *phase)
-    : phase_(phase), start_(std::chrono::steady_clock::now())
+    : phase_(phase), span_("phase", phase),
+      start_(std::chrono::steady_clock::now())
 {
     AXM_TRACE(Prof, "prof", "begin ", phase_);
 }

@@ -17,6 +17,8 @@
 #ifndef AXMEMO_OBS_PROFILER_HH
 #define AXMEMO_OBS_PROFILER_HH
 
+#include "obs/span.hh"
+
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -72,7 +74,9 @@ class Profiler
 /**
  * RAII phase scope: measures construction-to-destruction wall clock and
  * records it into Profiler::instance(). Emits Prof-flag trace lines at
- * both edges when that flag is enabled.
+ * both edges when that flag is enabled, and doubles as a "phase"
+ * timeline span, so every AXM_PROF point appears in --trace-timeline
+ * output while `axmemo profile` keeps reading the same aggregate.
  */
 class ScopedPhase
 {
@@ -85,6 +89,7 @@ class ScopedPhase
 
   private:
     const char *phase_;
+    telemetry::ScopedSpan span_;
     std::chrono::steady_clock::time_point start_;
 };
 

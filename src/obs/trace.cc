@@ -202,6 +202,17 @@ logLine(FILE *to, const std::string &line)
 }
 
 void
+forwardLine(FILE *to, const std::string &line)
+{
+    std::string out = line;
+    if (out.empty() || out.back() != '\n')
+        out += '\n';
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    std::fwrite(out.data(), 1, out.size(), to);
+    std::fflush(to);
+}
+
+void
 setThreadLabel(unsigned workerIndex)
 {
     std::snprintf(tlsLabel, sizeof(tlsLabel), "w%u", workerIndex);

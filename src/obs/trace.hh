@@ -184,6 +184,14 @@ namespace obs {
  */
 void logLine(FILE *to, const std::string &line);
 
+/**
+ * Write one already-formatted line through the sink without adding
+ * this thread's label. Used to relay stderr lines captured from
+ * --isolate child processes: the child formatted (and labelled) the
+ * line itself; the parent only guarantees it lands untorn.
+ */
+void forwardLine(FILE *to, const std::string &line);
+
 /** Tag this thread's log and trace lines with "[w<index>] " (sweep
  * workers call this once at startup). */
 void setThreadLabel(unsigned workerIndex);

@@ -233,6 +233,89 @@ TEST(StatSet, RenderJsonShapes)
     EXPECT_EQ(json.back(), '}');
 }
 
+TEST(Distribution, UnconfiguredRoutesEverythingToUnderflow)
+{
+    // A default-constructed distribution has no buckets; samples must
+    // still be counted exactly (count/sum/min/max), landing in the
+    // underflow bin rather than crashing or vanishing.
+    Distribution d;
+    d.sample(5);
+    d.sample(100, 2);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 205u);
+    EXPECT_EQ(d.underflow(), 3u);
+    EXPECT_EQ(d.overflow(), 0u);
+    EXPECT_EQ(d.sampleMin(), 5u);
+    EXPECT_EQ(d.sampleMax(), 100u);
+    EXPECT_TRUE(d.buckets().empty());
+}
+
+TEST(StatSet, EmptyDistributionRendersZeroRowsOnly)
+{
+    StatSet set;
+    Distribution d(0, 7, 2);
+    set.dist("empty", d, "never sampled");
+
+    const std::string text = set.renderText();
+    EXPECT_NE(text.find("empty::samples"), std::string::npos) << text;
+    EXPECT_NE(text.find("empty::total"), std::string::npos) << text;
+    // Zero-count bins are suppressed: no bucket, underflow or overflow
+    // rows for a distribution that never saw a sample.
+    EXPECT_EQ(text.find("empty::underflows"), std::string::npos) << text;
+    EXPECT_EQ(text.find("empty::overflows"), std::string::npos) << text;
+    EXPECT_EQ(text.find("empty::0-1"), std::string::npos) << text;
+
+    const std::string json = set.renderJson();
+    EXPECT_NE(json.find("\"empty\":{\"samples\":0,\"sum\":0"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"buckets\":{}"), std::string::npos) << json;
+}
+
+TEST(StatSet, SingleBucketHistogramLabels)
+{
+    // Histogram buckets 0 and 1 hold exactly one value each, so their
+    // stats.txt labels are a bare number — the range dash only appears
+    // from bucket 2 ([2,3]) upward.
+    StatSet set;
+    Histogram h;
+    h.sample(0, 3);
+    set.hist("streak", h);
+
+    const std::string text = set.renderText();
+    EXPECT_NE(text.find("streak::samples"), std::string::npos) << text;
+    EXPECT_NE(text.find("streak::0 "), std::string::npos) << text;
+    EXPECT_EQ(text.find("streak::0-"), std::string::npos) << text;
+
+    StatSet one;
+    Histogram h1;
+    h1.sample(1, 5);
+    one.hist("streak", h1);
+    const std::string text1 = one.renderText();
+    EXPECT_NE(text1.find("streak::1 "), std::string::npos) << text1;
+    EXPECT_EQ(text1.find("streak::1-"), std::string::npos) << text1;
+}
+
+TEST(StatSet, OverflowBucketCountingInTextAndJson)
+{
+    StatSet set;
+    Distribution d(10, 19, 5);
+    d.sample(2);      // below lo -> underflow
+    d.sample(25, 2);  // above hi -> overflow
+    d.sample(12);     // in range
+    set.dist("span", d);
+
+    const std::string text = set.renderText();
+    EXPECT_NE(text.find("span::underflows"), std::string::npos) << text;
+    EXPECT_NE(text.find("span::overflows"), std::string::npos) << text;
+    EXPECT_NE(text.find("span::10-14"), std::string::npos) << text;
+
+    const std::string json = set.renderJson();
+    EXPECT_NE(json.find("\"underflow\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"overflow\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"samples\":4"), std::string::npos) << json;
+}
+
 // ---------------------------------------------------------- debug flags
 
 TEST(TraceFlags, NamesAreUniqueAndParseable)

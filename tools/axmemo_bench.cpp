@@ -69,11 +69,25 @@
  * journal keeps everything finished so far, a partial manifest.json is
  * still written, and the exit code is 128 + signal.
  *
- * Observability (any subcommand; see DESIGN.md §8):
+ * Observability (any subcommand; see DESIGN.md §8 and §13):
  *   --debug-flags <spec>  enable gem5-style trace flags, e.g.
  *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof,Host or
  *                         All (also: AXMEMO_DEBUG environment variable)
  *   --trace-out <file>    write trace lines to <file> instead of stderr
+ *   --trace-timeline <f>  record hierarchical spans (sweep → job →
+ *                         phase) and write a Chrome-trace/Perfetto JSON
+ *                         timeline to <f>; shard workers write
+ *                         per-worker timeline segments which `merge`
+ *                         (or --workers) stitches into <f> with one
+ *                         lane per worker
+ *
+ *   axmemo status <shard-dir|run-dir> [--json] [--watch <s>]
+ *                         one-screen fleet view read from the shard
+ *                         directory: per-worker state (running / idle /
+ *                         done / dead), progress bar from done markers,
+ *                         EWMA throughput + ETA, slowest-claim
+ *                         watchlist. --watch re-renders every <s>
+ *                         seconds; --json emits one document per poll.
  *
  * Host data paths (any subcommand; bit-identical simulated results, only
  * simulation speed changes — see DESIGN.md §10):
@@ -103,14 +117,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <thread>
+
 #include "common/interrupt.hh"
 #include "common/log.hh"
 #include "common/runtime_options.hh"
 #include "core/artifact.hh"
+#include "core/fleet_status.hh"
 #include "core/memo_backends.hh"
 #include "core/output_paths.hh"
 #include "core/shard_queue.hh"
 #include "obs/profiler.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "tools/perf.hh"
 
@@ -133,12 +151,14 @@ usage(FILE *to)
         "       axmemo merge <artifact>... | all --shard-dir <d> "
         "[run options]\n"
         "       axmemo profile <artifact>... | all [run options]\n"
+        "       axmemo status <shard-dir|run-dir> "
+        "[--json] [--watch <s>] [--lease <s>]\n"
         "       axmemo perf "
-        "[--quick] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
+        "[--quick] [--check] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
         "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof,"
         "Host|All>  --trace-out <file>\n"
-        "         --dispatch <auto|threaded|switch>  --no-batch  "
-        "--no-simd\n"
+        "         --trace-timeline <file>  "
+        "--dispatch <auto|threaded|switch>  --no-batch  --no-simd\n"
         "%s",
         RuntimeOptions::describeKnobs().c_str());
     return to == stderr ? 2 : 0;
@@ -197,6 +217,10 @@ main(int argc, char **argv)
     bool profile = false;
     bool resume = false;
     bool merge = false;
+    bool status = false;
+    bool perfCheck = false;
+    std::string statusDir;
+    double watchSeconds = 0.0;
     unsigned fanout = 0;
     double scale = 0.0;
 
@@ -225,6 +249,14 @@ main(int argc, char **argv)
             merge = true;
         } else if (arg == "perf") {
             perf = true;
+        } else if (arg == "status") {
+            status = true;
+        } else if (arg == "--watch") {
+            watchSeconds = std::atof(value());
+        } else if (arg == "--check") {
+            perfCheck = true;
+        } else if (arg == "--trace-timeline") {
+            runtime.timeline = value();
         } else if (arg == "--shard-dir") {
             runtime.shardDir = value();
         } else if (arg == "--worker-id") {
@@ -307,6 +339,15 @@ main(int argc, char **argv)
             return usage(stderr);
         } else if (run) {
             names.push_back(arg);
+        } else if (status) {
+            if (!statusDir.empty()) {
+                std::fprintf(stderr,
+                             "status takes one directory (got '%s' "
+                             "and '%s')\n",
+                             statusDir.c_str(), arg.c_str());
+                return 2;
+            }
+            statusDir = arg;
         } else {
             std::fprintf(stderr, "unexpected argument %s\n",
                          arg.c_str());
@@ -325,17 +366,53 @@ main(int argc, char **argv)
                      traceOut.c_str());
         return 2;
     }
+    telemetry::setEnabled(!runtime.timeline.empty());
 
     if (list)
         return listArtifacts();
+    if (status) {
+        if (run || perf || statusDir.empty())
+            return usage(stderr);
+        for (;;) {
+            const FleetStatus fleet =
+                readFleetStatus(statusDir, runtime.leaseSeconds);
+            if (json) {
+                std::fputs(renderFleetJson(fleet).c_str(), stdout);
+            } else {
+                if (watchSeconds > 0.0)
+                    std::fputs("\033[2J\033[H", stdout); // re-home
+                std::fputs(renderFleetText(fleet).c_str(), stdout);
+            }
+            std::fflush(stdout);
+            if (watchSeconds <= 0.0)
+                return 0;
+            // Sleep in short slices so Ctrl-C lands promptly.
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(watchSeconds));
+            while (std::chrono::steady_clock::now() < until) {
+                if (interruptRequested())
+                    return 0;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+        }
+    }
     if (perf) {
         if (run || !names.empty())
             return usage(stderr);
         PerfOptions options;
         options.quick = quick;
+        options.check = perfCheck;
         options.outDir = runtime.outDir;
         options.scale = scale;
         return runPerf(options);
+    }
+    if (perfCheck) {
+        std::fprintf(stderr, "--check only applies to perf\n");
+        return usage(stderr);
     }
     if (quick) {
         std::fprintf(stderr, "--quick only applies to perf\n");
@@ -509,7 +586,15 @@ main(int argc, char **argv)
                 workerOptions.runtime = runtime;
                 workerOptions.shardMode = ShardMode::Worker;
                 workerOptions.queue = &queue;
-                std::exit(driveArtifacts(workerOptions));
+                const int code = driveArtifacts(workerOptions);
+                if (!runtime.timeline.empty()) {
+                    std::string error;
+                    if (!telemetry::writeTimeline(queue.timelinePath(),
+                                                  runtime.workerId,
+                                                  &error))
+                        axm_warn("timeline segment: ", error);
+                }
+                std::exit(code);
             }
             children.push_back(pid);
         }
@@ -530,6 +615,22 @@ main(int argc, char **argv)
         options.shardMode = ShardMode::Merge;
         options.shardDir = runtime.shardDir;
         const int code = driveArtifacts(options);
+        if (!runtime.timeline.empty()) {
+            // Stitch every worker's timeline segment — plus this merge
+            // process's own lane — into the one requested file.
+            std::size_t damaged = 0;
+            const std::string stitched = stitchTimelines(
+                ShardQueue::timelineSegments(runtime.shardDir),
+                telemetry::renderTimeline("merge"), &damaged);
+            if (damaged)
+                axm_warn(damaged,
+                         " damaged timeline segment(s) skipped");
+            const Expected<void> wrote =
+                atomicWriteFile(runtime.timeline, stitched);
+            if (!wrote.ok())
+                axm_warn("cannot write timeline: ",
+                         wrote.error().describe());
+        }
         return code ? code : workerExit;
     }
     if (!runtime.shardDir.empty()) {
@@ -541,7 +642,24 @@ main(int argc, char **argv)
                          runtime.leaseSeconds);
         options.shardMode = ShardMode::Worker;
         options.queue = &queue;
-        return driveArtifacts(options);
+        const int code = driveArtifacts(options);
+        if (!runtime.timeline.empty()) {
+            // A shard worker contributes a per-worker segment; the
+            // requested file is the merge step's to write.
+            std::string error;
+            if (!telemetry::writeTimeline(queue.timelinePath(),
+                                          workerId, &error))
+                axm_warn("timeline segment: ", error);
+        }
+        return code;
     }
-    return driveArtifacts(options);
+    const int code = driveArtifacts(options);
+    if (!runtime.timeline.empty()) {
+        std::string error;
+        if (!telemetry::writeTimeline(
+                runtime.timeline,
+                names.size() == 1 ? names[0] : "run", &error))
+            axm_warn("cannot write timeline: ", error);
+    }
+    return code;
 }

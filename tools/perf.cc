@@ -42,6 +42,7 @@
 #include "memsys/cache.hh"
 #include "memsys/sim_memory.hh"
 #include "obs/profiler.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 
 namespace axmemo {
@@ -500,6 +501,61 @@ benchTrace(std::size_t iters)
     return o;
 }
 
+JsonObj
+benchTelemetry(std::size_t iters)
+{
+    // Disabled-guard cost of a span scope: the same arithmetic loop
+    // with and without an AXM_SPAN inside. With telemetry disabled the
+    // scope is one relaxed load + predictable branch (or nothing under
+    // AXMEMO_NO_TRACE) — the number backing the trace-guard budget for
+    // the timeline instrumentation in DESIGN.md §13.
+    telemetry::setEnabled(false);
+    const auto work = [&](bool spanned) {
+        std::uint64_t a = 0x9e3779b97f4a7c15ull;
+        for (std::size_t i = 0; i < iters; ++i) {
+            if (spanned) {
+                AXM_SPAN("perf", "never-recorded");
+                a = (a ^ i) * 0x100000001b3ull;
+            } else {
+                a = (a ^ i) * 0x100000001b3ull;
+            }
+        }
+        perfSink = a;
+    };
+    const double bareSec = bestSeconds([&] { work(false); });
+    const double guardedSec = bestSeconds([&] { work(true); });
+
+    // Enabled span cost: open/close + ring push, drained periodically
+    // so the ring never saturates and the number measures the steady
+    // state rather than the dropped-event fast path.
+    double spanSec = 0.0;
+#ifndef AXMEMO_NO_TRACE
+    telemetry::resetForTest();
+    telemetry::setEnabled(true);
+    const std::size_t spans = std::max<std::size_t>(iters / 64, 1);
+    spanSec = bestSeconds([&] {
+        for (std::size_t i = 0; i < spans; ++i) {
+            AXM_SPAN("perf", "recorded");
+            if ((i & 0xfff) == 0)
+                telemetry::collect();
+        }
+    }) / static_cast<double>(spans);
+    telemetry::setEnabled(false);
+    telemetry::resetForTest();
+#endif
+
+    const double perOp = 1e9 / static_cast<double>(iters);
+    JsonObj o;
+    o.field("ops", static_cast<std::uint64_t>(iters));
+    o.field("bare_ns_per_op", bareSec * perOp);
+    o.field("disabled_guard_ns_per_op", guardedSec * perOp);
+    o.field("disabled_overhead_pct",
+            bareSec > 0.0 ? (guardedSec - bareSec) / bareSec * 100.0
+                          : 0.0);
+    o.field("enabled_span_ns", spanSec * 1e9);
+    return o;
+}
+
 /**
  * Host-side execution levers for one benchFig7 run. Every combination
  * produces bit-identical simulated results (DESIGN.md §10); only the
@@ -746,8 +802,12 @@ utcNow()
  * regression beyond 5% is flagged. Silent when there is no history yet;
  * rows whose metric is missing on either side are skipped, so old
  * entries predating a section never break the diff.
+ *
+ * @return the number of canonical metrics that regressed beyond 5%
+ * (0 when there is no history to diff against), so `perf --check` can
+ * turn the table into a gate.
  */
-void
+std::size_t
 printDeltaVsPrevious(const std::string &path,
                      const std::string &currentJson)
 {
@@ -755,7 +815,7 @@ printDeltaVsPrevious(const std::string &path,
     {
         std::ifstream in(path);
         if (!in)
-            return; // first entry ever: nothing to diff against
+            return 0; // first entry ever: nothing to diff against
         std::ostringstream ss;
         ss << in.rdbuf();
         existing = ss.str();
@@ -766,12 +826,12 @@ printDeltaVsPrevious(const std::string &path,
         history.value().elements.empty()) {
         std::printf("\nprevious %s unreadable; delta table skipped\n",
                     path.c_str());
-        return;
+        return 0;
     }
     const JValue &prev = history.value().elements.back();
     const Expected<JValue> current = parseJsonValue(currentJson);
     if (!current.ok())
-        return;
+        return 0;
 
     struct Row
     {
@@ -787,6 +847,7 @@ printDeltaVsPrevious(const std::string &path,
         {"cache", "mru_ns_per_access", false},
         {"cache", "speedup", true},
         {"trace", "disabled_guard_ns_per_op", false},
+        {"telemetry", "disabled_guard_ns_per_op", false},
         {"fig7", "simulated_minstr_per_second", true},
         {"dse_scaling", "workers_4_minstr_per_second", true},
     };
@@ -839,6 +900,7 @@ printDeltaVsPrevious(const std::string &path,
         std::printf("  %zu metric(s) regressed beyond 5%%\n",
                     regressions);
     std::fflush(stdout);
+    return regressions;
 }
 
 } // namespace
@@ -880,6 +942,8 @@ runPerf(const PerfOptions &options)
     section("lut", [&] { return benchLut(8'000'000 / scaleDown); });
     section("cache", [&] { return benchCache(4'000'000 / scaleDown); });
     section("trace", [&] { return benchTrace(8'000'000 / scaleDown); });
+    section("telemetry",
+            [&] { return benchTelemetry(8'000'000 / scaleDown); });
     section("fig7", [&] { return benchFig7(fig7Scale); });
 
     // Per-lever fig7 rows: the same sweep re-run with each host-side
@@ -928,12 +992,20 @@ runPerf(const PerfOptions &options)
 
     const std::string path =
         joinPath(resolveOutputDir(options.outDir), "BENCH_perf.json");
-    printDeltaVsPrevious(path, entry.str());
+    const std::size_t regressions =
+        printDeltaVsPrevious(path, entry.str());
     if (!appendEntry(path, entry.str())) {
         std::fprintf(stderr, "axmemo perf: cannot write %s\n", path.c_str());
         return 1;
     }
     std::printf("appended entry to %s\n", path.c_str());
+    if (options.check && regressions) {
+        std::fprintf(stderr,
+                     "axmemo perf --check: %zu metric(s) regressed "
+                     "beyond 5%% vs the previous entry\n",
+                     regressions);
+        return 1;
+    }
     return 0;
 }
 
