@@ -6,7 +6,8 @@
  * byte for byte, and self-registers with AXMEMO_REGISTER_ARTIFACT.
  *
  * Registration order groups the catalog: 1x tables, 2x figures,
- * 3x Section 6.2 studies, 4x ablations, 5x micro-benchmarks.
+ * 3x Section 6.2 studies, 4x ablations, 5x micro-benchmarks,
+ * 6x serving-mode artifacts.
  */
 
 #ifndef AXMEMO_BENCH_ARTIFACTS_ARTIFACTS_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * serve_traffic: the serving-mode artifact (DESIGN.md §14). Boots an
+ * in-process MemoServer (no listening socket — the client attaches
+ * over a socketpair, exactly like the gtest suite), generates the
+ * two-tenant Zipfian smoke trace, replays it through the full wire
+ * protocol, and reports per-tenant hit rates, table occupancy, shed
+ * counts and (timing on) service-latency percentiles.
+ *
+ * Everything except the latency rows is deterministic: the trace is a
+ * pure function of the seed and the server executes requests in
+ * arrival order over one connection, so hit/miss/quota counts are
+ * byte-stable run over run. Latency rows are zeroed under --no-timing
+ * (the byte-comparability contract every artifact honours).
+ *
+ * Knobs: --seed, --requests, --policy, --tenants, --quota,
+ * --lut-bytes (the shared serve knobs; see `axmemo help serve`).
+ */
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "bench/artifacts/artifacts.hh"
+#include "common/runtime_options.hh"
+#include "core/table.hh"
+#include "serve/replay.hh"
+#include "serve/server.hh"
+#include "workloads/request_trace.hh"
+
+namespace axmemo::bench {
+namespace {
+
+class ServeTrafficArtifact final : public Artifact
+{
+  public:
+    std::string name() const override { return "serve_traffic"; }
+    std::string
+    title() const override
+    {
+        return "Serving traffic: multi-tenant memo service under a "
+               "synthetic request trace";
+    }
+    std::string
+    description() const override
+    {
+        return "two-tenant Zipfian request trace replayed against an "
+               "in-process memo server (hit rates, occupancy, quota "
+               "and shed accounting, service-latency percentiles)";
+    }
+
+    void
+    enqueue(SweepEngine &) override
+    {
+        // Drives an in-process server directly; no sweep jobs.
+    }
+
+    ArtifactResult
+    reduce(const std::vector<SweepOutcome> &) override
+    {
+        const RuntimeOptions opts = RuntimeOptions::global();
+
+        serve::ServerConfig config;
+        config.table.policy = opts.servePolicy == "shared"
+                                  ? serve::PartitionPolicy::Shared
+                                  : serve::PartitionPolicy::Partitioned;
+        config.table.lutBytes = opts.serveLutBytes;
+        config.queueDepth = opts.serveQueue;
+        config.reportTiming = opts.reportTiming;
+
+        RequestTraceSpec spec = RequestTraceSpec::smoke(opts.traceSeed);
+        if (opts.traceRequests)
+            spec.requests = opts.traceRequests;
+        // The smoke spec is two tenants; honour --tenants by cloning
+        // the hot tenant's profile for extras (each gets its own name
+        // and key permutation, so traffic still differs).
+        while (spec.tenants.size() < opts.serveTenants) {
+            TenantTrafficSpec extra = spec.tenants[0];
+            extra.name = "tenant-" + std::to_string(spec.tenants.size());
+            spec.tenants.push_back(extra);
+        }
+        while (spec.tenants.size() > opts.serveTenants &&
+               spec.tenants.size() > 1)
+            spec.tenants.pop_back();
+        for (const TenantTrafficSpec &tenant : spec.tenants)
+            config.table.tenants.push_back(
+                {tenant.name, opts.serveQuota});
+
+        serve::MemoServer server(config);
+        const Expected<void> started = server.start();
+        if (!started.ok())
+            axm_fatal("serve_traffic: %s",
+                      started.error().describe().c_str());
+
+        int fds[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+            axm_fatal("serve_traffic: socketpair failed");
+        server.attachClient(fds[1]);
+
+        const std::vector<TraceRequest> trace =
+            generateRequestTrace(spec);
+        serve::ReplayConfig replayConfig;
+        replayConfig.reportTiming = opts.reportTiming;
+        replayConfig.drainAfter = true;
+        const Expected<serve::ReplayReport> got =
+            serve::replayTrace(fds[0], spec, trace, replayConfig);
+        ::close(fds[0]);
+        if (!got.ok())
+            axm_fatal("serve_traffic: %s",
+                      got.error().describe().c_str());
+        server.serveUntilDrained(false);
+        const serve::ReplayReport &report = got.value();
+
+        ArtifactResult result;
+        appendf(result.text,
+                "policy=%s tenants=%zu quota=%llu lut=%lluB "
+                "requests=%llu seed=%llu\n\n",
+                serve::partitionPolicyName(config.table.policy),
+                spec.tenants.size(),
+                static_cast<unsigned long long>(opts.serveQuota),
+                static_cast<unsigned long long>(opts.serveLutBytes),
+                static_cast<unsigned long long>(report.requests),
+                static_cast<unsigned long long>(opts.traceSeed));
+
+        TextTable table;
+        table.header({"tenant", "lookups", "hits", "hit rate",
+                      "updates", "quota rejects"});
+        for (const serve::ReplayTenantReport &t : report.tenants) {
+            table.row({t.name, std::to_string(t.lookups),
+                       std::to_string(t.hits),
+                       TextTable::percent(t.hitRate()),
+                       std::to_string(t.updates),
+                       std::to_string(t.quotaRejects)});
+            appendf(result.jsonRows.emplace_back(),
+                    "{\"row\":\"tenant\",\"tenant\":\"%s\","
+                    "\"lookups\":%llu,\"hits\":%llu,\"hit_rate\":%.6f,"
+                    "\"updates\":%llu,\"quota_rejects\":%llu}",
+                    t.name.c_str(),
+                    static_cast<unsigned long long>(t.lookups),
+                    static_cast<unsigned long long>(t.hits),
+                    t.hitRate(),
+                    static_cast<unsigned long long>(t.updates),
+                    static_cast<unsigned long long>(t.quotaRejects));
+        }
+        appendf(result.text, "%s\n", table.render().c_str());
+
+        const TenantTable &tenants = server.tenants();
+        appendf(result.text,
+                "occupancy: %llu / %llu entries; sheds=%llu "
+                "drain_refusals=%llu errors=%llu\n",
+                static_cast<unsigned long long>(tenants.occupancy()),
+                static_cast<unsigned long long>(
+                    tenants.capacityEntries()),
+                static_cast<unsigned long long>(report.sheds),
+                static_cast<unsigned long long>(report.drained),
+                static_cast<unsigned long long>(report.errors));
+        if (opts.reportTiming)
+            appendf(result.text,
+                    "service latency: mean=%.1fus p50=%.1fus "
+                    "p95=%.1fus p99=%.1fus\n",
+                    report.meanUs, report.p50Us, report.p95Us,
+                    report.p99Us);
+        else
+            appendf(result.text,
+                    "service latency: suppressed (--no-timing)\n");
+
+        appendf(result.jsonRows.emplace_back(),
+                "{\"row\":\"summary\",\"policy\":\"%s\","
+                "\"requests\":%llu,\"sheds\":%llu,\"errors\":%llu,"
+                "\"occupancy\":%llu,\"capacity\":%llu,"
+                "\"latency_us\":{\"mean\":%.3f,\"p50\":%.3f,"
+                "\"p95\":%.3f,\"p99\":%.3f}}",
+                serve::partitionPolicyName(config.table.policy),
+                static_cast<unsigned long long>(report.requests),
+                static_cast<unsigned long long>(report.sheds),
+                static_cast<unsigned long long>(report.errors),
+                static_cast<unsigned long long>(tenants.occupancy()),
+                static_cast<unsigned long long>(
+                    tenants.capacityEntries()),
+                report.meanUs, report.p50Us, report.p95Us,
+                report.p99Us);
+        return result;
+    }
+
+  private:
+    using TenantTable = serve::TenantTable;
+};
+
+AXMEMO_REGISTER_ARTIFACT(60, ServeTrafficArtifact)
+
+} // namespace
+} // namespace axmemo::bench

@@ -53,6 +53,21 @@ parseUnsigned(const char *name, const char *text, unsigned long max,
     return false;
 }
 
+/** Parse an unsigned 64-bit integer; warn on malformed text. */
+bool
+parseU64(const char *name, const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end != text && *end == '\0' && text[0] != '-') {
+        out = parsed;
+        return true;
+    }
+    axm_warn("ignoring malformed ", name, "='", text,
+             "' (want a non-negative integer)");
+    return false;
+}
+
 } // namespace
 
 RuntimeOptions
@@ -133,6 +148,40 @@ RuntimeOptions::fromEnv()
     }
     if (const char *env = envOrNull("AXMEMO_TIMELINE"))
         options.timeline = env;
+
+    if (const char *env = envOrNull("AXMEMO_SERVE_SOCKET"))
+        options.serveSocket = env;
+    if (const char *env = envOrNull("AXMEMO_SERVE_POLICY")) {
+        if (std::strcmp(env, "shared") == 0 ||
+            std::strcmp(env, "partitioned") == 0)
+            options.servePolicy = env;
+        else
+            axm_warn("ignoring malformed AXMEMO_SERVE_POLICY='", env,
+                     "' (want shared or partitioned)");
+    }
+    if (const char *env = envOrNull("AXMEMO_SERVE_TENANTS")) {
+        unsigned tenants = 0;
+        if (parseUnsigned("AXMEMO_SERVE_TENANTS", env, 4096, tenants) &&
+            tenants > 0)
+            options.serveTenants = tenants;
+    }
+    if (const char *env = envOrNull("AXMEMO_SERVE_QUOTA"))
+        parseU64("AXMEMO_SERVE_QUOTA", env, options.serveQuota);
+    if (const char *env = envOrNull("AXMEMO_SERVE_LUT")) {
+        std::uint64_t bytes = 0;
+        if (parseU64("AXMEMO_SERVE_LUT", env, bytes) && bytes > 0)
+            options.serveLutBytes = bytes;
+    }
+    if (const char *env = envOrNull("AXMEMO_SERVE_QUEUE")) {
+        unsigned depth = 0;
+        if (parseUnsigned("AXMEMO_SERVE_QUEUE", env, 1 << 20, depth) &&
+            depth > 0)
+            options.serveQueue = depth;
+    }
+    if (const char *env = envOrNull("AXMEMO_TRACE_SEED"))
+        parseU64("AXMEMO_TRACE_SEED", env, options.traceSeed);
+    if (const char *env = envOrNull("AXMEMO_TRACE_REQUESTS"))
+        parseU64("AXMEMO_TRACE_REQUESTS", env, options.traceRequests);
 
     return options;
 }
@@ -236,7 +285,23 @@ RuntimeOptions::describeKnobs()
            "  AXMEMO_ISOLATE      --isolate          0                 "
            "1 forks every simulated job into a watchdogged child\n"
            "  AXMEMO_TIMELINE     --trace-timeline <f> (off)           "
-           "write a Chrome-trace/Perfetto span timeline to <f>\n";
+           "write a Chrome-trace/Perfetto span timeline to <f>\n"
+           "  AXMEMO_SERVE_SOCKET --socket <path>    <out>/axmemo.sock "
+           "AF_UNIX socket the memo server binds / clients dial\n"
+           "  AXMEMO_SERVE_POLICY --policy <p>       partitioned       "
+           "tenant->LUT_ID mapping: partitioned | shared\n"
+           "  AXMEMO_SERVE_TENANTS --tenants <n>     2                 "
+           "tenants the server provisions (max 8 partitioned)\n"
+           "  AXMEMO_SERVE_QUOTA  --quota <n>        0 (unlimited)     "
+           "per-tenant LUT entry quota; excess updates are refused\n"
+           "  AXMEMO_SERVE_LUT    --lut-bytes <n>    65536             "
+           "physical serve LUT size in bytes\n"
+           "  AXMEMO_SERVE_QUEUE  --queue <n>        1024              "
+           "bounded request-queue depth; full queue sheds\n"
+           "  AXMEMO_TRACE_SEED   --seed <n>         42                "
+           "request-trace generator seed (replay / serve_traffic)\n"
+           "  AXMEMO_TRACE_REQUESTS --requests <n>   4000              "
+           "requests to replay (0 = the smoke trace default)\n";
 }
 
 } // namespace axmemo

@@ -46,6 +46,7 @@
 #ifndef AXMEMO_COMMON_RUNTIME_OPTIONS_HH
 #define AXMEMO_COMMON_RUNTIME_OPTIONS_HH
 
+#include <cstdint>
 #include <string>
 
 namespace axmemo {
@@ -100,6 +101,28 @@ struct RuntimeOptions
      * timeline segments instead and `axmemo merge` stitches them into
      * this file. */
     std::string timeline;
+
+    // `axmemo serve` / `axmemo replay` knobs (src/serve). Parsed here
+    // so the generated --help knob table stays complete and the shared
+    // CLI flag parser has one struct to fill.
+    /** AF_UNIX socket path; empty = "<outDir>/axmemo.sock". */
+    std::string serveSocket;
+    /** Tenant -> LUT_ID mapping: "partitioned" (isolated logical LUT
+     * per tenant) or "shared" (one LUT_ID, entries shared). */
+    std::string servePolicy = "partitioned";
+    /** Tenants the server provisions (max 8 under partitioned). */
+    unsigned serveTenants = 2;
+    /** Per-tenant LUT entry quota; 0 = unlimited. */
+    std::uint64_t serveQuota = 0;
+    /** Physical serve LUT size in bytes. */
+    std::uint64_t serveLutBytes = 64 * 1024;
+    /** Bounded request-queue depth; a full queue sheds (never blocks
+     * the accept loop). */
+    unsigned serveQueue = 1024;
+    /** Request-trace seed (replay / serve_traffic artifact). */
+    std::uint64_t traceSeed = 42;
+    /** Requests to replay; 0 = the smoke spec's default. */
+    std::uint64_t traceRequests = 0;
 
     /** Parse every knob from the environment (defensive: malformed
      * values warn and keep the default, same as the old parsers). */

@@ -7,8 +7,10 @@
 
 #include "common/error_metrics.hh"
 #include "common/log.hh"
+#include "common/run_control.hh"
 #include "common/runtime_options.hh"
 #include "core/memo_backends.hh"
+#include "obs/span.hh"
 
 namespace axmemo {
 
@@ -40,6 +42,53 @@ ExperimentRunner::run(Workload &workload,
     return runPrepared(workload, backend, baselineProg, mem);
 }
 
+RunSession::RunSession(const ExperimentConfig &config,
+                       const Workload &workload,
+                       const std::string &backend,
+                       const Program &baselineProg, SimMemory &mem,
+                       BackendSessionHooks hooks)
+    : workload_(workload), mem_(mem), backend_(backend),
+      energyModel_(config.energy),
+      ctx_{workload, config,     baselineProg, mem,
+           simConfig_, energyModel_, hooks}
+{
+    const Expected<const MemoBackend *> resolved =
+        memoBackends().resolve(backend);
+    if (!resolved.ok())
+        throw AxException(resolved.error());
+
+    simConfig_.cpu = config.cpu;
+    simConfig_.hierarchy = config.hierarchy;
+    simConfig_.control =
+        hooks.control && hooks.control->active() ? hooks.control
+                                                 : nullptr;
+    session_ = resolved.value()->prepare(ctx_);
+}
+
+RunSession::~RunSession() = default;
+
+bool
+RunSession::step()
+{
+    if (ctx_.session.control)
+        ctx_.session.control->check("backend");
+    if (ctx_.session.spanCategory) {
+        AXM_SPAN(ctx_.session.spanCategory, session_->phase());
+        return session_->step();
+    }
+    return session_->step();
+}
+
+RunResult
+RunSession::finish()
+{
+    RunResult result;
+    result.backend = backend_;
+    session_->finish(result);
+    result.outputs = workload_.readOutputs(mem_);
+    return result;
+}
+
 RunResult
 ExperimentRunner::runPrepared(const Workload &workload,
                               const std::string &backend,
@@ -47,27 +96,11 @@ ExperimentRunner::runPrepared(const Workload &workload,
                               SimMemory &mem,
                               const RunControl *control) const
 {
-    const Expected<const MemoBackend *> resolved =
-        memoBackends().resolve(backend);
-    if (!resolved.ok())
-        throw AxException(resolved.error());
-
-    RunResult result;
-    result.backend = backend;
-
-    SimConfig simConfig;
-    simConfig.cpu = config_.cpu;
-    simConfig.hierarchy = config_.hierarchy;
-    simConfig.control = control && control->active() ? control
-                                                     : nullptr;
-
-    const EnergyModel energyModel(config_.energy);
-    const BackendRunContext ctx{workload,    config_, baselineProg,
-                                mem,         simConfig, energyModel};
-    resolved.value()->run(ctx, result);
-
-    result.outputs = workload.readOutputs(mem);
-    return result;
+    RunSession session(config_, workload, backend, baselineProg, mem,
+                       BackendSessionHooks{control, nullptr});
+    while (session.step()) {
+    }
+    return session.finish();
 }
 
 Comparison

@@ -12,6 +12,7 @@
 #ifndef AXMEMO_CORE_EXPERIMENT_HH
 #define AXMEMO_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "compiler/software_transform.hh"
 #include "compiler/transform.hh"
 #include "energy/energy_model.hh"
+#include "memo/backend.hh"
 #include "sim/simulator.hh"
 #include "workloads/workload.hh"
 
@@ -124,6 +126,53 @@ struct Comparison
     /** Normalized dynamic µop count and its memoization share (Fig 8). */
     double normalizedUops = 1.0;
     double memoUopShare = 0.0;
+};
+
+/**
+ * One runPrepared() in flight, owning everything the backend session
+ * borrows (SimConfig, EnergyModel, the BackendRunContext) so an
+ * incremental driver — the serve worker thread — can hold a run open
+ * across its own event loop and advance it phase by phase, interleaving
+ * other work between steps. The batch path drives the identical object
+ * to completion in ExperimentRunner::runPrepared, so the two paths
+ * cannot diverge.
+ *
+ * The borrowed arguments (workload, baselineProg, mem) must outlive
+ * the session, exactly as for runPrepared().
+ */
+class RunSession
+{
+  public:
+    /** Opens the session; unknown @p backend names throw the registry's
+     * structured Config error. @p hooks are polled/applied between
+     * phases (see BackendSessionHooks). */
+    RunSession(const ExperimentConfig &config, const Workload &workload,
+               const std::string &backend, const Program &baselineProg,
+               SimMemory &mem, BackendSessionHooks hooks = {});
+    ~RunSession();
+
+    RunSession(const RunSession &) = delete;
+    RunSession &operator=(const RunSession &) = delete;
+
+    /** Execute the next phase (checking hooks first). @return true
+     * while phases remain. */
+    bool step();
+
+    /** Name of the phase the next step() runs. */
+    const char *phase() const { return session_->phase(); }
+
+    /** After the last step: fold the run and read the workload outputs.
+     * Call exactly once. */
+    RunResult finish();
+
+  private:
+    const Workload &workload_;
+    SimMemory &mem_;
+    std::string backend_;
+    SimConfig simConfig_;
+    EnergyModel energyModel_;
+    BackendRunContext ctx_;
+    std::unique_ptr<BackendSession> session_;
 };
 
 /** Runs benchmarks under a configuration; see file comment. */

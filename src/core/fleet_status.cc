@@ -263,6 +263,11 @@ readFleetStatus(const std::string &dir, double leaseSeconds)
                            fleet.aggregateJobsPerSecond;
     else if (fleet.jobsTotal && fleet.jobsDone >= fleet.jobsTotal)
         fleet.etaSeconds = 0.0;
+    else if (fleet.jobsTotal > fleet.jobsDone)
+        // Jobs remain but every EWMA rate has decayed to zero: the
+        // fleet is stalled, which is different from "no total yet"
+        // (etaSeconds stays -1 so existing consumers are unchanged).
+        fleet.stalled = true;
     return fleet;
 }
 
@@ -283,6 +288,8 @@ renderFleetText(const FleetStatus &fleet)
        << fleet.aggregateMinstrPerSecond << " Minstr/s";
     if (fleet.etaSeconds >= 0.0)
         os << ", ETA " << fleet.etaSeconds << "s";
+    else if (fleet.stalled)
+        os << ", ETA stalled";
     os << "\n";
 
     constexpr int barWidth = 40;
@@ -351,6 +358,8 @@ renderFleetJson(const FleetStatus &fleet)
     appendDouble(out, fleet.aggregateMinstrPerSecond);
     out += ",\"eta_seconds\":";
     appendDouble(out, fleet.etaSeconds);
+    out += ",\"stalled\":";
+    out += fleet.stalled ? "true" : "false";
     out += ",\"workers\":[";
     for (std::size_t i = 0; i < fleet.workers.size(); ++i) {
         const WorkerStatus &w = fleet.workers[i];

@@ -72,6 +72,11 @@ struct FleetStatus
     /** remaining / aggregate EWMA rate; -1 when unknowable (no rate
      * or no total yet). */
     double etaSeconds = -1.0;
+    /** Jobs remain but the aggregate EWMA throughput has decayed to
+     * zero — every live worker is wedged (or everything alive is
+     * dead). Rendered as "ETA stalled" instead of a finite ETA, so a
+     * hung fleet is not mistaken for one that is merely unmeasured. */
+    bool stalled = false;
     /** Live claims, oldest first — the slowest-job watchlist. */
     std::vector<ClaimStatus> watchlist;
 };

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/log.hh"
 #include "compiler/atm_transform.hh"
 #include "compiler/iact_transform.hh"
 #include "compiler/software_transform.hh"
@@ -48,6 +49,83 @@ accumulateSwCounters(const Simulator &sim, const SwTransformResult &tr,
     }
 }
 
+/**
+ * Two-phase session shared by all builtin backends: "build" applies
+ * the backend's transform and constructs the simulator, "simulate"
+ * runs it to halt; finish() folds energy and counters. The statement
+ * order within each phase is exactly the order of the pre-split
+ * monolithic run() bodies — the seam-equivalence suite holds the batch
+ * path to byte identity against the frozen legacy switch.
+ */
+class BuiltinSession : public BackendSession
+{
+  public:
+    explicit BuiltinSession(const BackendRunContext &ctx) : ctx_(ctx) {}
+
+    bool
+    step() override
+    {
+        if (phase_ == 0) {
+            build();
+            ++phase_;
+            return true;
+        }
+        if (phase_ == 1) {
+            stats_ = sim_->run();
+            ++phase_;
+        }
+        return false;
+    }
+
+    const char *
+    phase() const override
+    {
+        return phase_ == 0 ? "build" : phase_ == 1 ? "simulate" : "done";
+    }
+
+    void
+    finish(RunResult &result) override
+    {
+        if (phase_ < 2)
+            axm_panic("BackendSession::finish before completion (in "
+                      "phase '", phase(), "')");
+        result.stats = stats_;
+        fold(result);
+    }
+
+  protected:
+    /** Transform as needed and construct sim_. */
+    virtual void build() = 0;
+    /** Fold energy/lookups/regions into @p result (stats are set). */
+    virtual void fold(RunResult &result) = 0;
+
+    const BackendRunContext &ctx_;
+    std::unique_ptr<Simulator> sim_;
+    SimStats stats_{};
+
+  private:
+    int phase_ = 0;
+};
+
+class BaselineSession final : public BuiltinSession
+{
+  public:
+    using BuiltinSession::BuiltinSession;
+
+  protected:
+    void
+    build() override
+    {
+        sim_ = std::make_unique<Simulator>(ctx_.baselineProg, ctx_.mem,
+                                           ctx_.sim);
+    }
+    void
+    fold(RunResult &result) override
+    {
+        result.energy = ctx_.energy.compute(result.stats, nullptr);
+    }
+};
+
 class BaselineBackend final : public MemoBackend
 {
   public:
@@ -64,13 +142,51 @@ class BaselineBackend final : public MemoBackend
         return "(shared cpu/hierarchy/energy config only)";
     }
 
-    void
-    run(const BackendRunContext &ctx, RunResult &result) const override
+    std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const override
     {
-        Simulator sim(ctx.baselineProg, ctx.mem, ctx.sim);
-        result.stats = sim.run();
-        result.energy = ctx.energy.compute(result.stats, nullptr);
+        return std::make_unique<BaselineSession>(ctx);
     }
+};
+
+class AxMemoSession final : public BuiltinSession
+{
+  public:
+    AxMemoSession(const BackendRunContext &ctx, bool noTrunc)
+        : BuiltinSession(ctx), noTrunc_(noTrunc)
+    {
+    }
+
+  protected:
+    void
+    build() override
+    {
+        MemoSpec spec = ctx_.workload.memoSpec();
+        if (noTrunc_)
+            spec = spec.withUniformTruncation(0);
+        else if (ctx_.config.truncOverride >= 0)
+            spec = spec.withUniformTruncation(
+                static_cast<unsigned>(ctx_.config.truncOverride));
+        tr_ = MemoTransform::apply(ctx_.baselineProg, spec);
+        ctx_.sim.memoEnabled = true;
+        ctx_.sim.memo = memoConfigFor(ctx_.config, ctx_.workload,
+                                      tr_.dataBytes);
+        sim_ = std::make_unique<Simulator>(tr_.program, ctx_.mem,
+                                           ctx_.sim);
+    }
+    void
+    fold(RunResult &result) override
+    {
+        result.energy =
+            ctx_.energy.compute(result.stats, &ctx_.sim.memo);
+        result.lookups = result.stats.memo.lookups;
+        result.hits = result.stats.memo.hits();
+        result.regions = std::move(tr_.regions);
+    }
+
+  private:
+    const bool noTrunc_;
+    TransformResult tr_;
 };
 
 /** The hardware memoization unit, with or without input truncation. */
@@ -102,49 +218,51 @@ class AxMemoBackend final : public MemoBackend
     }
     bool hardwareMemo() const override { return true; }
 
-    void
-    run(const BackendRunContext &ctx, RunResult &result) const override
+    std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const override
     {
-        MemoSpec spec = ctx.workload.memoSpec();
-        if (noTrunc_)
-            spec = spec.withUniformTruncation(0);
-        else if (ctx.config.truncOverride >= 0)
-            spec = spec.withUniformTruncation(
-                static_cast<unsigned>(ctx.config.truncOverride));
-        TransformResult tr = MemoTransform::apply(ctx.baselineProg, spec);
-        ctx.sim.memoEnabled = true;
-        ctx.sim.memo = memoConfigFor(ctx.config, ctx.workload,
-                                     tr.dataBytes);
-        Simulator sim(tr.program, ctx.mem, ctx.sim);
-        result.stats = sim.run();
-        result.energy = ctx.energy.compute(result.stats, &ctx.sim.memo);
-        result.lookups = result.stats.memo.lookups;
-        result.hits = result.stats.memo.hits();
-        result.regions = std::move(tr.regions);
+        return std::make_unique<AxMemoSession>(ctx, noTrunc_);
     }
 
   private:
     const bool noTrunc_;
 };
 
-/** Shared driver for the pure-software rewriting backends. */
-class SoftwareBackendBase : public MemoBackend
+/** Session of the pure-software rewriting backends; the backend
+ * supplies its transform as a callable. */
+class SoftwareSession final : public BuiltinSession
 {
-  protected:
-    /** Run @p tr (a software rewrite of the baseline program). */
-    static void
-    simulate(const BackendRunContext &ctx, SwTransformResult tr,
-             RunResult &result)
+  public:
+    using TransformFn =
+        SwTransformResult (*)(const BackendRunContext &ctx);
+
+    SoftwareSession(const BackendRunContext &ctx, TransformFn transform)
+        : BuiltinSession(ctx), transform_(transform)
     {
-        Simulator sim(tr.program, ctx.mem, ctx.sim);
-        result.stats = sim.run();
-        result.energy = ctx.energy.compute(result.stats, nullptr);
-        accumulateSwCounters(sim, tr, result);
-        result.regions = std::move(tr.regions);
     }
+
+  protected:
+    void
+    build() override
+    {
+        tr_ = transform_(ctx_);
+        sim_ = std::make_unique<Simulator>(tr_.program, ctx_.mem,
+                                           ctx_.sim);
+    }
+    void
+    fold(RunResult &result) override
+    {
+        result.energy = ctx_.energy.compute(result.stats, nullptr);
+        accumulateSwCounters(*sim_, tr_, result);
+        result.regions = std::move(tr_.regions);
+    }
+
+  private:
+    TransformFn transform_;
+    SwTransformResult tr_;
 };
 
-class SoftwareLutBackend final : public SoftwareBackendBase
+class SoftwareLutBackend final : public MemoBackend
 {
   public:
     std::string name() const override { return "software-lut"; }
@@ -156,19 +274,19 @@ class SoftwareLutBackend final : public SoftwareBackendBase
     }
     std::string configSummary() const override { return "software"; }
 
-    void
-    run(const BackendRunContext &ctx, RunResult &result) const override
+    std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const override
     {
-        simulate(ctx,
-                 SoftwareMemoTransform::apply(ctx.baselineProg,
-                                              ctx.workload.memoSpec(),
-                                              ctx.mem,
-                                              ctx.config.software),
-                 result);
+        return std::make_unique<SoftwareSession>(
+            ctx, +[](const BackendRunContext &c) {
+                return SoftwareMemoTransform::apply(
+                    c.baselineProg, c.workload.memoSpec(), c.mem,
+                    c.config.software);
+            });
     }
 };
 
-class AtmBackend final : public SoftwareBackendBase
+class AtmBackend final : public MemoBackend
 {
   public:
     std::string name() const override { return "atm"; }
@@ -180,18 +298,19 @@ class AtmBackend final : public SoftwareBackendBase
     }
     std::string configSummary() const override { return "atm"; }
 
-    void
-    run(const BackendRunContext &ctx, RunResult &result) const override
+    std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const override
     {
-        simulate(ctx,
-                 AtmTransform::apply(ctx.baselineProg,
-                                     ctx.workload.memoSpec(), ctx.mem,
-                                     ctx.config.atm),
-                 result);
+        return std::make_unique<SoftwareSession>(
+            ctx, +[](const BackendRunContext &c) {
+                return AtmTransform::apply(c.baselineProg,
+                                           c.workload.memoSpec(),
+                                           c.mem, c.config.atm);
+            });
     }
 };
 
-class IactBackend final : public SoftwareBackendBase
+class IactBackend final : public MemoBackend
 {
   public:
     std::string name() const override { return "iact"; }
@@ -203,14 +322,15 @@ class IactBackend final : public SoftwareBackendBase
     }
     std::string configSummary() const override { return "iact"; }
 
-    void
-    run(const BackendRunContext &ctx, RunResult &result) const override
+    std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const override
     {
-        simulate(ctx,
-                 IactTransform::apply(ctx.baselineProg,
-                                      ctx.workload.memoSpec(), ctx.mem,
-                                      ctx.config.iact),
-                 result);
+        return std::make_unique<SoftwareSession>(
+            ctx, +[](const BackendRunContext &c) {
+                return IactTransform::apply(c.baselineProg,
+                                            c.workload.memoSpec(),
+                                            c.mem, c.config.iact);
+            });
     }
 };
 

@@ -3,14 +3,14 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/run_control.hh"
+#include "obs/span.hh"
 
 namespace axmemo {
 
-namespace {
-
-/** Plain Levenshtein distance for the did-you-mean suggestion. The
- * candidate set is a handful of short names, so the quadratic table is
- * nowhere near a hot path. */
+/** Plain Levenshtein distance for the did-you-mean suggestions. The
+ * candidate sets are a handful of short names, so the quadratic table
+ * is nowhere near a hot path. */
 std::size_t
 editDistance(const std::string &a, const std::string &b)
 {
@@ -30,7 +30,41 @@ editDistance(const std::string &a, const std::string &b)
     return prev[b.size()];
 }
 
-} // namespace
+std::string
+suggestClosest(const std::string &name,
+               const std::vector<std::string> &candidates)
+{
+    // Suggest the closest candidate when it is plausibly a typo:
+    // within 3 edits, and closer than "replace everything".
+    const std::string *best = nullptr;
+    std::size_t bestDist = 4;
+    for (const std::string &candidate : candidates) {
+        const std::size_t dist = editDistance(name, candidate);
+        if (dist < bestDist && dist < candidate.size()) {
+            bestDist = dist;
+            best = &candidate;
+        }
+    }
+    return best ? *best : std::string();
+}
+
+void
+MemoBackend::run(const BackendRunContext &ctx, RunResult &result) const
+{
+    const std::unique_ptr<BackendSession> session = prepare(ctx);
+    bool more = true;
+    while (more) {
+        if (ctx.session.control)
+            ctx.session.control->check("backend");
+        if (ctx.session.spanCategory) {
+            AXM_SPAN(ctx.session.spanCategory, session->phase());
+            more = session->step();
+        } else {
+            more = session->step();
+        }
+    }
+    session->finish(result);
+}
 
 MemoBackendRegistry &
 MemoBackendRegistry::instance()
@@ -68,23 +102,17 @@ MemoBackendRegistry::resolve(const std::string &name) const
     std::string message = "unknown memo backend '" + name + "'";
     const std::vector<const MemoBackend *> all = list();
 
-    // Suggest the closest registered name when it is plausibly a typo:
-    // within 3 edits, and closer than "replace everything".
-    const MemoBackend *best = nullptr;
-    std::size_t bestDist = 4;
-    for (const MemoBackend *backend : all) {
-        const std::size_t dist = editDistance(name, backend->name());
-        if (dist < bestDist && dist < backend->name().size()) {
-            bestDist = dist;
-            best = backend;
-        }
-    }
-    if (best)
-        message += " (did you mean '" + best->name() + "'?)";
+    std::vector<std::string> names;
+    names.reserve(all.size());
+    for (const MemoBackend *backend : all)
+        names.push_back(backend->name());
+    const std::string best = suggestClosest(name, names);
+    if (!best.empty())
+        message += " (did you mean '" + best + "'?)";
 
     message += "; registered backends:";
-    for (std::size_t i = 0; i < all.size(); ++i)
-        message += (i ? ", " : " ") + all[i]->name();
+    for (std::size_t i = 0; i < names.size(); ++i)
+        message += (i ? ", " : " ") + names[i];
     return Error{ErrorCode::Config, "backend", message};
 }
 

@@ -41,6 +41,22 @@ class EnergyModel;
 struct ExperimentConfig;
 struct SimConfig;
 struct RunResult;
+struct RunControl;
+
+/**
+ * Hooks an incremental driver threads through the run context. The
+ * batch path leaves them defaulted; `axmemo serve` sets them so the
+ * generic session driver polls for cancellation and labels each
+ * phase's timeline span with the server's lane.
+ */
+struct BackendSessionHooks
+{
+    /** Polled between session phases (on top of the simulator's own
+     * in-run polling via SimConfig::control). */
+    const RunControl *control = nullptr;
+    /** Span category for per-phase timeline spans; null = no spans. */
+    const char *spanCategory = nullptr;
+};
 
 /** Everything a backend needs to execute one prepared run. */
 struct BackendRunContext
@@ -55,6 +71,37 @@ struct BackendRunContext
      * their memo unit configuration here before simulating. */
     SimConfig &sim;
     const EnergyModel &energy;
+    BackendSessionHooks session{};
+};
+
+/**
+ * One run in flight, split at phase boundaries so a long-lived driver
+ * (the serve worker thread) can interleave other work between the
+ * expensive pieces. A session borrows its BackendRunContext — the
+ * context (and everything it references) must outlive the session.
+ *
+ * The contract: call step() until it returns false, then finish()
+ * exactly once. step() executes one whole phase (e.g. the memoization
+ * transform, or the simulation to halt); phase() names the phase the
+ * next step() will run. MemoBackend::run() is the canonical driver —
+ * the batch path and the server both execute sessions through the same
+ * code, which is what keeps their outputs identical.
+ */
+class BackendSession
+{
+  public:
+    virtual ~BackendSession() = default;
+
+    /** Execute the next phase. @return true while phases remain. */
+    virtual bool step() = 0;
+
+    /** Name of the phase the next step() runs ("build", "simulate"),
+     * or "done" after the last step. */
+    virtual const char *phase() const = 0;
+
+    /** Fold the completed run into @p result (stats, energy,
+     * lookups/hits, regions). Panics if phases remain. */
+    virtual void finish(RunResult &result) = 0;
 };
 
 /** One memoization strategy; see file comment. */
@@ -78,11 +125,19 @@ class MemoBackend
      * run report renders the memo-unit section for these). */
     virtual bool hardwareMemo() const { return false; }
 
-    /** Execute one run: transform and/or attach hardware as needed,
-     * simulate, and fill @p result (stats, energy, lookups/hits,
-     * regions). The caller owns result.backend and result.outputs. */
-    virtual void run(const BackendRunContext &ctx,
-                     RunResult &result) const = 0;
+    /** Open an incremental session over one prepared run; see
+     * BackendSession for the driving contract. */
+    virtual std::unique_ptr<BackendSession>
+    prepare(const BackendRunContext &ctx) const = 0;
+
+    /**
+     * Execute one run to completion: prepare(), step() until done
+     * (honoring ctx.session — cancellation poll and per-phase spans),
+     * finish() into @p result. The caller owns result.backend and
+     * result.outputs. Non-virtual: every backend runs through the
+     * session path, so batch and incremental drivers cannot diverge.
+     */
+    void run(const BackendRunContext &ctx, RunResult &result) const;
 };
 
 /** Name-keyed backend catalog; see file comment. */
@@ -117,6 +172,16 @@ class MemoBackendRegistry
     };
     std::vector<Entry> entries_;
 };
+
+/** Plain Levenshtein distance (shared by every did-you-mean surface:
+ * backend names here, subcommand and flag names in the CLI). */
+std::size_t editDistance(const std::string &a, const std::string &b);
+
+/** The closest of @p candidates to @p name when it is plausibly a typo
+ * (within 3 edits and closer than "replace everything"); empty string
+ * when none qualifies. */
+std::string suggestClosest(const std::string &name,
+                           const std::vector<std::string> &candidates);
 
 /** Static registrar for out-of-core backends (builtins register
  * explicitly through core/memo_backends.cc instead, so no static-init

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The `axmemo replay` client: drive a memo server with a synthetic
+ * request trace and measure what the paper's serving story needs —
+ * per-tenant hit rates, tail latency, shed rate, occupancy.
+ *
+ * The client is closed-loop per request: send `Lookup`, await the
+ * reply, and on a `Miss` immediately send the matching `Update`
+ * (workloads/request_trace.hh traceResultFor) — the memoize-on-miss
+ * protocol a real runtime would run. Trace timestamps order the
+ * requests but are not paced in host time, so replay throughput
+ * measures the server, not the generator's clock.
+ *
+ * After the trace the client issues one `Stats` request and embeds the
+ * server's own JSON (occupancy, quota rejects, queue totals) in the
+ * report, so a single replay artifact carries both sides' view.
+ */
+
+#ifndef AXMEMO_SERVE_REPLAY_HH
+#define AXMEMO_SERVE_REPLAY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hh"
+#include "serve/protocol.hh"
+#include "workloads/request_trace.hh"
+
+namespace axmemo {
+namespace serve {
+
+/** Dial the AF_UNIX socket at @p path. ErrorCode::Io on failure. */
+Expected<int> connectUnix(const std::string &path);
+
+/** One tenant's view of a finished replay. */
+struct ReplayTenantReport
+{
+    std::string name;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t quotaRejects = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** Results of one replayed trace. */
+struct ReplayReport
+{
+    std::uint64_t requests = 0; ///< trace requests attempted
+    std::uint64_t sheds = 0;    ///< replies with Status::Shed
+    std::uint64_t drained = 0;  ///< replies with Status::Draining
+    std::uint64_t errors = 0;   ///< BadRequest/Error replies
+    /** Round-trip latency percentiles over Lookup requests, µs
+     * (zeroed when timing is off). */
+    double p50Us = 0.0;
+    double p95Us = 0.0;
+    double p99Us = 0.0;
+    double meanUs = 0.0;
+    /** Host seconds spent replaying (zeroed when timing is off). */
+    double elapsedSeconds = 0.0;
+    std::vector<ReplayTenantReport> tenants;
+    /** The server's own Stats JSON, verbatim ("" if unavailable). */
+    std::string serverStats;
+
+    double
+    shedRate() const
+    {
+        return requests ? static_cast<double>(sheds) /
+                              static_cast<double>(requests)
+                        : 0.0;
+    }
+
+    /** Render the report as one JSON object. */
+    std::string toJson() const;
+};
+
+/** Replay knobs beyond the trace itself. */
+struct ReplayConfig
+{
+    /** When false, latency/elapsed fields are zeroed so reports are
+     * byte-comparable (the --no-timing contract). */
+    bool reportTiming = true;
+    /** Send a Drain request after the trace (CI smoke uses this to
+     * exercise the graceful-drain path from the client side). */
+    bool drainAfter = false;
+};
+
+/**
+ * Replay @p trace against the server on connected stream @p fd
+ * (closed-loop; see file comment). Does not close @p fd.
+ * ErrorCode::Io when the stream dies mid-replay.
+ */
+Expected<ReplayReport> replayTrace(int fd,
+                                   const RequestTraceSpec &spec,
+                                   const std::vector<TraceRequest> &trace,
+                                   const ReplayConfig &config = {});
+
+} // namespace serve
+} // namespace axmemo
+
+#endif // AXMEMO_SERVE_REPLAY_HH

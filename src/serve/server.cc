@@ -1,0 +1,592 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/interrupt.hh"
+#include "common/log.hh"
+#include "common/run_control.hh"
+#include "core/experiment.hh"
+#include "core/output_paths.hh"
+#include "obs/span.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+namespace serve {
+
+namespace {
+
+/** Service-latency distribution geometry: 0..5 ms in 10 µs buckets
+ * (overflow bin catches the stragglers; count/sum stay exact). */
+constexpr std::uint64_t latencyHiUs = 5000;
+constexpr std::uint64_t latencyBucketUs = 10;
+
+/** Approximate quantile from a Distribution's buckets (bucket
+ * midpoint of the bucket holding the q-th sample). */
+double
+distributionPercentile(const Distribution &d, double q)
+{
+    if (d.count() == 0)
+        return 0.0;
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        q * static_cast<double>(d.count() - 1));
+    std::uint64_t seen = d.underflow();
+    if (target < seen)
+        return static_cast<double>(d.lo());
+    for (std::size_t i = 0; i < d.buckets().size(); ++i) {
+        seen += d.buckets()[i];
+        if (target < seen)
+            return static_cast<double>(d.bucketLow(i)) +
+                   static_cast<double>(d.bucketSize()) / 2.0;
+    }
+    return static_cast<double>(d.sampleMax());
+}
+
+} // namespace
+
+MemoServer::MemoServer(const ServerConfig &config)
+    : config_(config), table_(config.table),
+      startTime_(std::chrono::steady_clock::now())
+{
+    latencyUs_.resize(table_.tenantCount());
+    for (Distribution &d : latencyUs_)
+        d.init(0, latencyHiUs, latencyBucketUs);
+}
+
+MemoServer::~MemoServer()
+{
+    if (reader_.joinable() || worker_.joinable()) {
+        requestDrain();
+        serveUntilDrained(false);
+    }
+    for (const auto &conn : connections_)
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        if (!config_.socketPath.empty())
+            ::unlink(config_.socketPath.c_str());
+    }
+    for (int fd : pendingFds_)
+        ::close(fd);
+    if (wakePipe_[0] >= 0)
+        ::close(wakePipe_[0]);
+    if (wakePipe_[1] >= 0)
+        ::close(wakePipe_[1]);
+}
+
+Expected<void>
+MemoServer::start()
+{
+    // A client that disconnects mid-reply must cost us an Io error on
+    // the write, not a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (::pipe(wakePipe_) != 0)
+        return Error{ErrorCode::Io, "serve",
+                     std::string("pipe: ") + std::strerror(errno)};
+
+    if (!config_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.socketPath.size() >= sizeof(addr.sun_path))
+            return Error{ErrorCode::Config, "serve",
+                         "socket path too long: " + config_.socketPath};
+        std::strncpy(addr.sun_path, config_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            return Error{ErrorCode::Io, "serve",
+                         std::string("socket: ") + std::strerror(errno)};
+        // A stale socket file from a dead server would fail the bind.
+        ::unlink(config_.socketPath.c_str());
+        if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(listenFd_, 64) != 0) {
+            const Error error{ErrorCode::Io, "serve",
+                              "bind/listen on '" + config_.socketPath +
+                                  "': " + std::strerror(errno)};
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return error;
+        }
+    }
+
+    reader_ = std::thread([this] { readerLoop(); });
+    worker_ = std::thread([this] { workerLoop(); });
+    return {};
+}
+
+void
+MemoServer::attachClient(int fd)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        pendingFds_.push_back(fd);
+    }
+    if (wakePipe_[1] >= 0) {
+        const char byte = 'c';
+        (void)!::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+MemoServer::requestDrain()
+{
+    draining_.store(true);
+    queueCv_.notify_all();
+    if (wakePipe_[1] >= 0) {
+        const char byte = 'd';
+        (void)!::write(wakePipe_[1], &byte, 1);
+    }
+}
+
+void
+MemoServer::serveUntilDrained(bool pollInterrupt)
+{
+    // Wait for a drain to be requested (signal, Drain opcode, or an
+    // earlier requestDrain()), then let the worker finish the queue.
+    while (!draining_.load()) {
+        if (pollInterrupt && interruptRequested()) {
+            requestDrain();
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (worker_.joinable())
+        worker_.join();
+    stop_.store(true);
+    if (wakePipe_[1] >= 0) {
+        const char byte = 's';
+        (void)!::write(wakePipe_[1], &byte, 1);
+    }
+    if (reader_.joinable())
+        reader_.join();
+    writeSnapshot();
+    drainedFlag_.store(true);
+}
+
+// ---------------------------------------------------------------------
+// Reader thread: owns every fd.
+
+void
+MemoServer::acceptPending()
+{
+    // The listen fd is blocking: accept exactly one (POLLIN guarantees
+    // it will not block); poll() fires again while more are pending.
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    ++totals_.accepted;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    connections_.push_back(std::move(conn));
+}
+
+void
+MemoServer::pumpConnection(const std::shared_ptr<Connection> &conn)
+{
+    // One read per poll round (the fd is blocking; POLLIN guarantees
+    // this read returns without blocking, and poll() fires again
+    // immediately while more bytes are pending).
+    char buffer[64 * 1024];
+    ssize_t n;
+    do {
+        n = ::read(conn->fd, buffer, sizeof(buffer));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) {
+        if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK))
+            conn->dead = true;
+        if (n < 0)
+            return;
+    } else {
+        conn->frames.feed(buffer, static_cast<std::size_t>(n));
+    }
+
+    std::string payload;
+    while (conn->frames.next(&payload)) {
+        Expected<Request> request = decodeRequest(payload);
+        if (!request.ok()) {
+            ++totals_.badFrames;
+            Reply bad;
+            bad.status = Status::BadRequest;
+            bad.text = request.error().message;
+            reply(conn, bad);
+            continue;
+        }
+        routeRequest(conn, std::move(request).value());
+    }
+    if (conn->frames.damaged()) {
+        ++totals_.badFrames;
+        conn->dead = true;
+    }
+}
+
+void
+MemoServer::routeRequest(const std::shared_ptr<Connection> &conn,
+                         Request request)
+{
+    if (draining_.load()) {
+        ++totals_.drained;
+        Reply refused;
+        refused.status = Status::Draining;
+        refused.seq = request.seq;
+        reply(conn, refused);
+        return;
+    }
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (queue_.size() < config_.queueDepth) {
+            queue_.push_back({conn, std::move(request),
+                              std::chrono::steady_clock::now()});
+            telemetry::counter("serve.queue_depth",
+                               static_cast<double>(queue_.size()));
+            lock.unlock();
+            queueCv_.notify_one();
+            return;
+        }
+    }
+
+    // Bounded queue is full: shed with status, never block the
+    // accept loop (the backpressure contract).
+    ++totals_.sheds;
+    Reply shed;
+    shed.status = Status::Shed;
+    shed.seq = request.seq;
+    reply(conn, shed);
+}
+
+void
+MemoServer::readerLoop()
+{
+    while (!stop_.load()) {
+        std::vector<std::shared_ptr<Connection>> conns;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            for (int fd : pendingFds_) {
+                auto conn = std::make_shared<Connection>();
+                conn->fd = fd;
+                ++totals_.accepted;
+                connections_.push_back(std::move(conn));
+            }
+            pendingFds_.clear();
+            conns = connections_;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({wakePipe_[0], POLLIN, 0});
+        if (listenFd_ >= 0)
+            fds.push_back({listenFd_, POLLIN, 0});
+        for (const auto &conn : conns)
+            fds.push_back({conn->fd, POLLIN, 0});
+
+        if (::poll(fds.data(), fds.size(), 100) < 0) {
+            if (errno == EINTR)
+                continue;
+            axm_warn("serve: poll failed: ", std::strerror(errno));
+            break;
+        }
+
+        std::size_t next = 0;
+        if (fds[next].revents & POLLIN) {
+            char drainBuf[64];
+            (void)!::read(wakePipe_[0], drainBuf, sizeof(drainBuf));
+        }
+        ++next;
+        if (listenFd_ >= 0) {
+            if (fds[next].revents & POLLIN)
+                acceptPending();
+            ++next;
+        }
+        for (std::size_t i = 0; i < conns.size(); ++i) {
+            if (fds[next + i].revents & (POLLIN | POLLHUP | POLLERR))
+                pumpConnection(conns[i]);
+        }
+
+        // Sweep dead connections.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = connections_.begin();
+             it != connections_.end();) {
+            if ((*it)->dead) {
+                ::close((*it)->fd);
+                (*it)->fd = -1;
+                it = connections_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker thread: executes requests against the tenant table.
+
+bool
+MemoServer::popRequest(QueuedRequest &out, int waitMs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty() && waitMs > 0)
+        queueCv_.wait_for(lock, std::chrono::milliseconds(waitMs),
+                          [this] { return !queue_.empty(); });
+    if (queue_.empty())
+        return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+}
+
+void
+MemoServer::workerLoop()
+{
+    while (true) {
+        QueuedRequest queued;
+        if (popRequest(queued, 50)) {
+            execute(queued);
+            continue;
+        }
+        if (draining_.load())
+            break; // queue empty and no new intake: drained
+    }
+}
+
+void
+MemoServer::reply(const std::shared_ptr<Connection> &conn,
+                  const Reply &r)
+{
+    const std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (conn->fd < 0)
+        return;
+    const Expected<void> written = writeFrame(conn->fd, encodeReply(r));
+    if (!written.ok())
+        conn->dead = true;
+}
+
+void
+MemoServer::execute(QueuedRequest &queued)
+{
+    AXM_SPAN("serve", opName(queued.request.op));
+    ++totals_.requests;
+    const Request &request = queued.request;
+
+    if (request.op == Op::Run) {
+        executeRun(queued);
+        return;
+    }
+
+    Reply r;
+    r.seq = request.seq;
+    switch (request.op) {
+    case Op::Lookup:
+    case Op::Update: {
+        if (!table_.validTenant(request.tenant)) {
+            r.status = Status::BadRequest;
+            r.text = "unknown tenant " + std::to_string(request.tenant);
+            break;
+        }
+        if (request.op == Op::Lookup) {
+            const TenantTable::LookupResult result = table_.lookup(
+                request.tenant, request.kernel, request.key);
+            r.status = result.hit ? Status::Hit : Status::Miss;
+            r.data = result.data;
+            r.simCycles = static_cast<std::uint32_t>(result.cycles);
+        } else {
+            Cycle cycles = 0;
+            const TenantTable::UpdateOutcome outcome =
+                table_.update(request.tenant, request.kernel,
+                              request.key, request.data, &cycles);
+            r.status = outcome == TenantTable::UpdateOutcome::Stored
+                           ? Status::Ok
+                           : Status::QuotaExceeded;
+            r.simCycles = static_cast<std::uint32_t>(cycles);
+        }
+        break;
+    }
+    case Op::Stats:
+        r.status = Status::Ok;
+        r.text = statsJson();
+        break;
+    case Op::Drain:
+        r.status = Status::Ok;
+        break;
+    case Op::Run:
+        break; // handled above
+    }
+    reply(queued.conn, r);
+
+    if ((request.op == Op::Lookup || request.op == Op::Update) &&
+        table_.validTenant(request.tenant)) {
+        const auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - queued.enqueued)
+                .count();
+        const std::lock_guard<std::mutex> lock(statsMutex_);
+        latencyUs_[request.tenant].sample(
+            static_cast<std::uint64_t>(us));
+    }
+
+    if (request.op == Op::Drain)
+        requestDrain();
+}
+
+void
+MemoServer::executeRun(QueuedRequest &queued)
+{
+    Reply r;
+    r.seq = queued.request.seq;
+
+    const std::string &spec = queued.request.text;
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        r.status = Status::BadRequest;
+        r.text = "run wants 'backend:workload', got '" + spec + "'";
+        reply(queued.conn, r);
+        return;
+    }
+    const std::string backend = spec.substr(0, colon);
+    const std::string workloadName = spec.substr(colon + 1);
+
+    bool known = false;
+    for (const std::string &name : workloadNames())
+        known |= name == workloadName;
+    if (!known) {
+        r.status = Status::BadRequest;
+        r.text = "unknown workload '" + workloadName + "'";
+        reply(queued.conn, r);
+        return;
+    }
+
+    try {
+        ExperimentConfig config;
+        config.dataset.scale = config_.runScale;
+        const std::unique_ptr<Workload> workload =
+            makeWorkload(workloadName);
+        SimMemory mem;
+        workload->prepare(mem, config.dataset);
+        const Program baselineProg = workload->build();
+
+        // The session split at work: the run advances phase by phase,
+        // and queued memo requests are serviced between phases so one
+        // batch run cannot starve lookup traffic. SIGINT/SIGTERM
+        // cancels between phases through the RunControl.
+        RunControl control;
+        control.cancelled = interruptRequested;
+        RunSession session(config, *workload, backend, baselineProg,
+                           mem, BackendSessionHooks{&control, "serve"});
+
+        std::deque<QueuedRequest> deferredRuns;
+        bool more = true;
+        while (more) {
+            more = session.step();
+            QueuedRequest interleaved;
+            while (popRequest(interleaved, 0)) {
+                if (interleaved.request.op == Op::Run)
+                    deferredRuns.push_back(std::move(interleaved));
+                else
+                    execute(interleaved);
+            }
+        }
+        const RunResult result = session.finish();
+        ++totals_.runs;
+
+        std::ostringstream out;
+        out << "{\"backend\":\"" << result.backend
+            << "\",\"workload\":\"" << workloadName
+            << "\",\"cycles\":" << result.stats.cycles
+            << ",\"lookups\":" << result.lookups
+            << ",\"hits\":" << result.hits
+            << ",\"hit_rate\":" << result.hitRate() << "}";
+        r.status = Status::Ok;
+        r.text = out.str();
+        reply(queued.conn, r);
+
+        for (QueuedRequest &deferred : deferredRuns)
+            executeRun(deferred);
+    } catch (const AxException &e) {
+        r.status = Status::Error;
+        r.text = e.error().describe();
+        reply(queued.conn, r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats and the drain snapshot.
+
+std::string
+MemoServer::statsJson() const
+{
+    std::ostringstream out;
+    std::size_t queueDepth = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        queueDepth = queue_.size();
+    }
+    out << "{\"server\":{\"accepted\":" << totals_.accepted
+        << ",\"requests\":" << totals_.requests
+        << ",\"sheds\":" << totals_.sheds
+        << ",\"drain_refusals\":" << totals_.drained
+        << ",\"bad_frames\":" << totals_.badFrames
+        << ",\"runs\":" << totals_.runs
+        << ",\"queue_depth\":" << queueDepth << "},";
+
+    out << "\"latency_us\":{";
+    {
+        const std::lock_guard<std::mutex> lock(statsMutex_);
+        for (std::size_t i = 0; i < latencyUs_.size(); ++i) {
+            const Distribution &d = latencyUs_[i];
+            if (i)
+                out << ",";
+            out << "\"" << table_.spec(static_cast<std::uint16_t>(i)).name
+                << "\":{\"samples\":" << d.count();
+            if (config_.reportTiming)
+                out << ",\"mean\":" << d.mean()
+                    << ",\"p50\":" << distributionPercentile(d, 0.50)
+                    << ",\"p95\":" << distributionPercentile(d, 0.95)
+                    << ",\"p99\":" << distributionPercentile(d, 0.99);
+            else
+                out << ",\"mean\":0,\"p50\":0,\"p95\":0,\"p99\":0";
+            out << "}";
+        }
+    }
+    out << "},";
+
+    out << "\"table\":" << table_.statsJson() << "}";
+    return out.str();
+}
+
+void
+MemoServer::writeSnapshot()
+{
+    if (config_.snapshotPath.empty())
+        return;
+    std::ostringstream out;
+    out << "{\"drained\":true,";
+    if (config_.reportTiming) {
+        const double uptime =
+            std::chrono::duration_cast<std::chrono::duration<double>>(
+                std::chrono::steady_clock::now() - startTime_)
+                .count();
+        out << "\"uptime_s\":" << uptime << ",";
+    } else {
+        out << "\"uptime_s\":0,";
+    }
+    out << "\"stats\":" << statsJson() << "}\n";
+    const Expected<void> written =
+        atomicWriteFile(config_.snapshotPath, out.str());
+    if (!written.ok())
+        axm_warn("serve: snapshot write failed: ",
+                 written.error().describe());
+}
+
+} // namespace serve
+} // namespace axmemo

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The long-lived memo server behind `axmemo serve` (DESIGN.md §14).
+ *
+ * Two threads split the work so slow requests can never wedge the
+ * transport:
+ *
+ *  - The **reader thread** owns every fd: it poll()s the listening
+ *    socket plus all client connections, splits the byte streams into
+ *    frames (protocol.hh FrameBuffer), decodes requests, and pushes
+ *    them onto a bounded queue. Backpressure is explicit: when the
+ *    queue is full the reader replies `Shed` immediately instead of
+ *    blocking — the accept loop keeps accepting, clients learn they
+ *    are being load-shed, and nothing is silently dropped. While
+ *    draining it replies `Draining` to everything new.
+ *
+ *  - The **worker thread** pops the queue and executes requests
+ *    against the TenantTable. A `Run` request opens a core RunSession
+ *    (the prepare()/step() backend split) and advances it phase by
+ *    phase, servicing queued memo requests between phases — one slow
+ *    batch run does not starve lookup traffic, which is exactly what
+ *    the session split exists for.
+ *
+ * Graceful drain: requestDrain() — called by the SIGTERM poll, the
+ * `Drain` opcode, or a test — stops the intake, lets the worker finish
+ * the queue, stamps a final stats snapshot (core atomicWriteFile, the
+ * PR 5 crash-safety contract), and serve() returns. In-flight Run
+ * sessions observe the drain through their RunControl between phases.
+ *
+ * Per-tenant observability: service-latency Distributions (obs/stats)
+ * per tenant, span lanes (category "serve") per request and per
+ * session phase, and a queue-depth counter track.
+ */
+
+#ifndef AXMEMO_SERVE_SERVER_HH
+#define AXMEMO_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/expected.hh"
+#include "obs/stats.hh"
+#include "serve/protocol.hh"
+#include "serve/tenant_table.hh"
+
+namespace axmemo {
+namespace serve {
+
+/** Configuration of one server instance. */
+struct ServerConfig
+{
+    /** AF_UNIX socket path; empty = no listening socket (clients
+     * attach via attachClient(), as the tests and perf harness do). */
+    std::string socketPath;
+    TenantTableConfig table{};
+    /** Bounded request-queue depth; a full queue sheds. */
+    std::size_t queueDepth = 1024;
+    /** Drain-snapshot file; empty = no snapshot. */
+    std::string snapshotPath;
+    /** Dataset scale for `Run` sessions. */
+    double runScale = 0.01;
+    /** When false, host-latency fields in stats/snapshot JSON are
+     * zeroed (the --no-timing byte-comparability contract). */
+    bool reportTiming = true;
+};
+
+/** Whole-process request counters. */
+struct ServerTotals
+{
+    std::uint64_t accepted = 0;  ///< connections accepted
+    std::uint64_t requests = 0;  ///< requests executed by the worker
+    std::uint64_t sheds = 0;     ///< requests refused with Shed
+    std::uint64_t drained = 0;   ///< requests refused with Draining
+    std::uint64_t badFrames = 0; ///< malformed frames / damaged streams
+    std::uint64_t runs = 0;      ///< Run sessions completed
+};
+
+/** The memo server; see file comment. */
+class MemoServer
+{
+  public:
+    explicit MemoServer(const ServerConfig &config);
+    ~MemoServer();
+
+    MemoServer(const MemoServer &) = delete;
+    MemoServer &operator=(const MemoServer &) = delete;
+
+    /** Bind the socket (when configured) and start both threads.
+     * ErrorCode::Io when the socket cannot be bound. */
+    Expected<void> start();
+
+    /**
+     * Adopt an already-connected stream fd (e.g. one end of a
+     * socketpair) as a client connection. Usable before or after
+     * start(); the server takes ownership of @p fd.
+     */
+    void attachClient(int fd);
+
+    /** Ask the server to drain: stop intake, finish the queue, write
+     * the snapshot. Idempotent, callable from any thread. */
+    void requestDrain();
+
+    /**
+     * Block until a drain completes. @p pollInterrupt, when true,
+     * also watches interruptRequested() (SIGINT/SIGTERM) and converts
+     * it into a drain — the `axmemo serve` foreground loop.
+     */
+    void serveUntilDrained(bool pollInterrupt);
+
+    /** True once the drain finished and both threads exited. */
+    bool drained() const { return drainedFlag_.load(); }
+
+    const ServerTotals &totals() const { return totals_; }
+    const TenantTable &tenants() const { return table_; }
+
+    /** Stats-reply / snapshot body: tenant table JSON plus server
+     * totals, queue depth and per-tenant latency percentiles. */
+    std::string statsJson() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        FrameBuffer frames;
+        std::mutex writeMutex;
+        bool dead = false;
+    };
+
+    struct QueuedRequest
+    {
+        std::shared_ptr<Connection> conn;
+        Request request;
+        /** telemetry::detail-free host stamp for service latency. */
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void readerLoop();
+    void workerLoop();
+    /** Accept one pending connection on the listen fd (poll() fires
+     * again immediately while more are waiting). */
+    void acceptPending();
+    /** Read one buffer's worth from @p conn; decode and route. */
+    void pumpConnection(const std::shared_ptr<Connection> &conn);
+    /** Route one decoded request: shed / drain-refuse / enqueue. */
+    void routeRequest(const std::shared_ptr<Connection> &conn,
+                      Request request);
+    /** Execute one queued request on the worker thread. */
+    void execute(QueuedRequest &queued);
+    /** Execute a Run request, draining memo requests between phases. */
+    void executeRun(QueuedRequest &queued);
+    void reply(const std::shared_ptr<Connection> &conn,
+               const Reply &reply);
+    /** Pop one request; false when the queue is empty and intake is
+     * closed (or @p waitMs elapsed with nothing to do). */
+    bool popRequest(QueuedRequest &out, int waitMs);
+    void writeSnapshot();
+
+    ServerConfig config_;
+    TenantTable table_;
+    ServerTotals totals_;
+
+    int listenFd_ = -1;
+    /** Reader-side wakeup pipe: attachClient()/requestDrain() write a
+     * byte so the poll() loop notices state changes immediately. */
+    int wakePipe_[2] = {-1, -1};
+
+    mutable std::mutex mutex_; ///< guards queue_, connections_, pendingFds_
+    std::condition_variable queueCv_;
+    std::deque<QueuedRequest> queue_;
+    std::vector<std::shared_ptr<Connection>> connections_;
+    std::vector<int> pendingFds_; ///< attachClient before reader picks up
+
+    std::atomic<bool> draining_{false};
+    std::atomic<bool> stop_{false}; ///< reader exit flag
+    std::atomic<bool> drainedFlag_{false};
+
+    /** Per-tenant service latency (enqueue -> reply written), µs. */
+    mutable std::mutex statsMutex_;
+    std::vector<Distribution> latencyUs_;
+
+    std::thread reader_;
+    std::thread worker_;
+    std::chrono::steady_clock::time_point startTime_;
+};
+
+} // namespace serve
+} // namespace axmemo
+
+#endif // AXMEMO_SERVE_SERVER_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Multi-tenant memo state of `axmemo serve` (DESIGN.md §14).
+ *
+ * The server keeps one physical LookupTable and carves it between
+ * tenants the way the hardware carves one LUT array between logical
+ * LUTs: every entry is tagged with a 3-bit LUT_ID. Two policies map
+ * tenants onto that tag:
+ *
+ *  - **Partitioned**: tenant i owns LUT_ID i. Tenants can never hit
+ *    each other's entries — full isolation, at most maxLutsPerThread
+ *    tenants, and an `invalidate` of one tenant is the hardware
+ *    flash-invalidate of one logical LUT.
+ *  - **Shared**: every tenant uses LUT_ID 0, so identical
+ *    (kernel, key) requests from different tenants share one entry —
+ *    higher effective capacity, no isolation.
+ *
+ * Orthogonally, each tenant may carry an entry quota. Occupancy is
+ * accounted exactly: an ownership map attributes every valid entry to
+ * the tenant that inserted it, evictions credit the victim's owner
+ * (LookupTable::insert reports the victim), and an update that would
+ * push a tenant past its quota is refused with QuotaExceeded — the
+ * entry simply is not memoized, which is always safe under
+ * approximate-memoization semantics.
+ *
+ * Requests are hashed exactly like the batch path: the CRC engine over
+ * the 9-byte message `kernel ‖ key` (little-endian), and the charged
+ * latency uses the MemoUnitConfig cycle model (hardware CRC feed rate +
+ * the Table 4 L1 LUT latency).
+ */
+
+#ifndef AXMEMO_SERVE_TENANT_TABLE_HH
+#define AXMEMO_SERVE_TENANT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "crc/crc.hh"
+#include "memo/lut.hh"
+
+namespace axmemo {
+namespace serve {
+
+/** How tenants map onto LUT_ID tags; see file comment. */
+enum class PartitionPolicy
+{
+    Shared,
+    Partitioned,
+};
+
+const char *partitionPolicyName(PartitionPolicy policy);
+
+/** One tenant's slice of the table. */
+struct TenantSpec
+{
+    std::string name = "tenant";
+    /** Max LUT entries this tenant may own; 0 = unlimited. */
+    std::uint64_t quotaEntries = 0;
+};
+
+/** Configuration of the shared memo state. */
+struct TenantTableConfig
+{
+    PartitionPolicy policy = PartitionPolicy::Partitioned;
+    /** Physical LUT geometry (64-bit data entries: serve results are
+     * opaque u64 values, the wide Fig. 4 layout). */
+    std::uint64_t lutBytes = 64 * 1024;
+    std::vector<TenantSpec> tenants;
+};
+
+/** Per-tenant request counters. */
+struct TenantStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t updates = 0;
+    /** Updates refused because the tenant was at quota. */
+    std::uint64_t quotaRejects = 0;
+    /** LUT entries currently owned (exact; see file comment). */
+    std::uint64_t entries = 0;
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** The shared memo state; see file comment. Not thread-safe — the
+ * server serializes access through its worker thread. */
+class TenantTable
+{
+  public:
+    /** Fatal (AxException, ErrorCode::Config) on no tenants or more
+     * tenants than LUT_IDs under the Partitioned policy. */
+    explicit TenantTable(const TenantTableConfig &config);
+
+    struct LookupResult
+    {
+        bool hit = false;
+        std::uint64_t data = 0;
+        /** Simulated memo-path cycles (CRC feed + LUT probe). */
+        Cycle cycles = 0;
+    };
+
+    /** The lookup instruction for (tenant, kernel, key). */
+    LookupResult lookup(std::uint16_t tenant, std::uint8_t kernel,
+                        std::uint64_t key);
+
+    enum class UpdateOutcome
+    {
+        Stored,
+        QuotaExceeded,
+    };
+
+    /** The update instruction; @p cycles (optional) receives the
+     * charged latency. */
+    UpdateOutcome update(std::uint16_t tenant, std::uint8_t kernel,
+                         std::uint64_t key, std::uint64_t data,
+                         Cycle *cycles = nullptr);
+
+    /** Drop every entry owned by @p tenant. */
+    void invalidateTenant(std::uint16_t tenant);
+
+    bool validTenant(std::uint16_t tenant) const
+    {
+        return tenant < tenants_.size();
+    }
+    std::size_t tenantCount() const { return tenants_.size(); }
+    const TenantSpec &spec(std::uint16_t tenant) const
+    {
+        return tenants_[tenant];
+    }
+    const TenantStats &stats(std::uint16_t tenant) const
+    {
+        return stats_[tenant];
+    }
+
+    /** Valid entries across all tenants. */
+    std::uint64_t occupancy() const { return lut_.validCount(); }
+    /** Total entry slots in the physical table. */
+    std::uint64_t capacityEntries() const;
+    PartitionPolicy policy() const { return config_.policy; }
+
+    /** Per-tenant stats as one JSON object (the Stats reply body). */
+    std::string statsJson() const;
+
+  private:
+    LutId lutIdFor(std::uint16_t tenant) const;
+    std::uint64_t hashFor(std::uint8_t kernel, std::uint64_t key) const;
+    /** Exact ownership-map key: LUT_ID above the 32-bit CRC hash. */
+    static std::uint64_t ownerKey(LutId lutId, std::uint64_t hash)
+    {
+        return (static_cast<std::uint64_t>(lutId) << 32) | hash;
+    }
+
+    TenantTableConfig config_;
+    CrcEngine crc_;
+    LookupTable lut_;
+    /** Cycles to feed the 9-byte request message into the CRC. */
+    Cycle feedCycles_;
+    Cycle lutLatency_;
+    std::vector<TenantSpec> tenants_;
+    std::vector<TenantStats> stats_;
+    /** (LUT_ID, hash) -> owning tenant, for exact quota accounting. */
+    std::unordered_map<std::uint64_t, std::uint16_t> owners_;
+};
+
+} // namespace serve
+} // namespace axmemo
+
+#endif // AXMEMO_SERVE_TENANT_TABLE_HH

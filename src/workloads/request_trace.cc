@@ -1,0 +1,207 @@
+#include "workloads/request_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace axmemo {
+
+namespace {
+
+/** splitmix64 finalizer: shuffle seeding and the miss-result
+ * function both need a cheap deterministic mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Per-tenant sampling state: Zipf CDF over key ranks. */
+struct TenantSampler
+{
+    std::vector<double> cdf; ///< cumulative popularity by rank
+    std::vector<std::uint64_t> perm; ///< rank -> key bijection
+    std::uint64_t keySpace = 1;
+
+    void
+    init(const TenantTrafficSpec &spec, std::uint64_t tenantSeed)
+    {
+        keySpace = std::max<std::uint64_t>(1, spec.keySpace);
+        // The CDF and permutation tables are O(keySpace); key spaces
+        // are serving working sets (10^3..10^6), not address spaces.
+        cdf.resize(static_cast<std::size_t>(keySpace));
+        double total = 0.0;
+        for (std::size_t r = 0; r < cdf.size(); ++r) {
+            total += 1.0 /
+                     std::pow(static_cast<double>(r + 1), spec.zipfAlpha);
+            cdf[r] = total;
+        }
+        for (double &c : cdf)
+            c /= total;
+
+        // Seeded Fisher-Yates: a true bijection, so rank-r mass lands
+        // on exactly one key and every key is reachable (a hash-mod
+        // scatter would collide ranks and starve ~1/e of the keys).
+        perm.resize(static_cast<std::size_t>(keySpace));
+        for (std::size_t i = 0; i < perm.size(); ++i)
+            perm[i] = i;
+        Rng shuffle(mix64(tenantSeed));
+        for (std::size_t i = perm.size(); i > 1; --i)
+            std::swap(perm[i - 1], perm[shuffle.below(i)]);
+    }
+
+    /** Sample a key: Zipf rank via CDF binary search, then permute the
+     * rank over the key space so hot keys are scattered. */
+    std::uint64_t
+    sampleKey(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const auto rank = static_cast<std::size_t>(
+            it == cdf.end() ? cdf.size() - 1 : it - cdf.begin());
+        return perm[rank];
+    }
+};
+
+double
+diurnal(const RequestTraceSpec &spec, double t)
+{
+    if (spec.diurnalAmplitude <= 0.0 || spec.diurnalPeriodSeconds <= 0.0)
+        return 1.0;
+    return 1.0 + spec.diurnalAmplitude *
+                     std::sin(2.0 * M_PI * t / spec.diurnalPeriodSeconds);
+}
+
+} // namespace
+
+RequestTraceSpec
+RequestTraceSpec::smoke(std::uint64_t seed)
+{
+    RequestTraceSpec spec;
+    spec.seed = seed;
+    spec.requests = 4000;
+    spec.ratePerSecond = 2000.0;
+    TenantTrafficSpec a;
+    a.name = "tenant-a";
+    a.weight = 2.0;
+    a.zipfAlpha = 0.99;
+    a.keySpace = 2048;
+    TenantTrafficSpec b;
+    b.name = "tenant-b";
+    b.weight = 1.0;
+    b.zipfAlpha = 0.7;
+    b.keySpace = 8192;
+    spec.tenants = {a, b};
+    return spec;
+}
+
+double
+traceRateCeiling(const RequestTraceSpec &spec, double t)
+{
+    const double burst =
+        spec.burstFactor > 1.0 ? spec.burstFactor : 1.0;
+    // The envelope uses the diurnal peak, not the instantaneous value:
+    // it must dominate the rate everywhere for thinning to be exact.
+    (void)t;
+    return spec.ratePerSecond * (1.0 + std::max(0.0, spec.diurnalAmplitude)) *
+           burst;
+}
+
+std::vector<TraceRequest>
+generateRequestTrace(const RequestTraceSpec &spec)
+{
+    if (spec.tenants.empty())
+        axm_fatal("request trace needs at least one tenant");
+    if (spec.ratePerSecond <= 0.0)
+        axm_fatal("request trace needs a positive rate");
+
+    // Independent streams per concern so adding tenants or toggling
+    // bursts never perturbs the arrival-time sequence.
+    Rng arrivalRng(spec.seed);
+    Rng burstRng(mix64(spec.seed ^ 0xb1c2d3e4f5a6ull));
+    Rng pickRng(mix64(spec.seed ^ 0x5eed5eed5eedull));
+
+    std::vector<TenantSampler> samplers(spec.tenants.size());
+    std::vector<double> tenantCdf(spec.tenants.size());
+    double weightTotal = 0.0;
+    for (std::size_t i = 0; i < spec.tenants.size(); ++i) {
+        samplers[i].init(spec.tenants[i], spec.seed ^ (i + 1));
+        weightTotal += std::max(0.0, spec.tenants[i].weight);
+        tenantCdf[i] = weightTotal;
+    }
+    if (weightTotal <= 0.0)
+        axm_fatal("request trace tenant weights sum to zero");
+    for (double &c : tenantCdf)
+        c /= weightTotal;
+
+    // Pre-sample the burst episode schedule (two-state MMPP): episode
+    // k starts after an Exp(burstEverySeconds) quiet gap and lasts
+    // Exp(burstLengthSeconds).
+    const bool bursty = spec.burstFactor > 1.0 &&
+                        spec.burstEverySeconds > 0.0 &&
+                        spec.burstLengthSeconds > 0.0;
+    double burstStart = 0.0, burstEnd = -1.0;
+    const auto nextEpisode = [&](double from) {
+        const double gap =
+            -std::log(1.0 - burstRng.uniform()) * spec.burstEverySeconds;
+        const double len =
+            -std::log(1.0 - burstRng.uniform()) * spec.burstLengthSeconds;
+        burstStart = from + gap;
+        burstEnd = burstStart + len;
+    };
+    if (bursty)
+        nextEpisode(0.0);
+
+    const double ceiling = traceRateCeiling(spec, 0.0);
+
+    std::vector<TraceRequest> trace;
+    trace.reserve(static_cast<std::size_t>(spec.requests));
+    double t = 0.0;
+    while (trace.size() < spec.requests) {
+        // Candidate arrival from the homogeneous envelope process.
+        t += -std::log(1.0 - arrivalRng.uniform()) / ceiling;
+        if (bursty && t > burstEnd)
+            nextEpisode(burstEnd < 0.0 ? t : burstEnd);
+        const bool inBurst = bursty && t >= burstStart && t < burstEnd;
+        double rate = spec.ratePerSecond * diurnal(spec, t);
+        if (inBurst)
+            rate *= spec.burstFactor;
+        // Thin: accept with probability rate(t) / ceiling.
+        if (arrivalRng.uniform() >= rate / ceiling)
+            continue;
+
+        TraceRequest request;
+        request.timeSeconds = t;
+        const double u = pickRng.uniform();
+        const auto it =
+            std::lower_bound(tenantCdf.begin(), tenantCdf.end(), u);
+        const auto tenant = static_cast<std::size_t>(
+            it == tenantCdf.end() ? tenantCdf.size() - 1
+                                  : it - tenantCdf.begin());
+        request.tenant = static_cast<std::uint16_t>(tenant);
+        const TenantTrafficSpec &profile = spec.tenants[tenant];
+        if (profile.kernels.empty()) {
+            request.kernel =
+                static_cast<std::uint8_t>(pickRng.below(10));
+        } else {
+            request.kernel = profile.kernels[static_cast<std::size_t>(
+                pickRng.below(profile.kernels.size()))];
+        }
+        request.key = samplers[tenant].sampleKey(pickRng);
+        trace.push_back(request);
+    }
+    return trace;
+}
+
+std::uint64_t
+traceResultFor(std::uint8_t kernel, std::uint64_t key)
+{
+    return mix64((static_cast<std::uint64_t>(kernel) << 56) ^ key);
+}
+
+} // namespace axmemo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Synthetic multi-tenant request traces (the serving-side workload
+ * class the ROADMAP's "millions of users" scenario asks for).
+ *
+ * A trace is a deterministic function of its spec: same seed, same
+ * spec, byte-identical request stream on every platform (all sampling
+ * goes through common/rng.hh). Three knobs shape realistic traffic:
+ *
+ *  - **Zipfian key popularity** per tenant: rank-r keys are requested
+ *    with probability proportional to 1/r^alpha, and ranks are mapped
+ *    onto keys by a seeded Fisher-Yates permutation so "hot" keys are
+ *    not numerically adjacent (a true bijection: rank-r mass lands on
+ *    exactly one key and every key is reachable).
+ *  - **Diurnal load curve**: the arrival rate is modulated by
+ *    1 + amplitude * sin(2*pi*t/period), the squashed day/night cycle
+ *    of production request logs.
+ *  - **Bursty arrivals**: a two-state Markov-modulated Poisson process
+ *    (quiet/burst) multiplies the rate by burstFactor during burst
+ *    episodes; arrivals are drawn by Lewis-Shedler thinning against
+ *    the rate envelope, so the stream is an exact nonhomogeneous
+ *    Poisson sample, not a binned approximation.
+ *
+ * Each request names a tenant (weighted choice), one of the tenant's
+ * kernels (the ten Table 2 workloads are the kernel universe), and a
+ * key. The serve layer (src/serve) hashes (kernel, key) into the memo
+ * LUT; the replay client turns misses into update requests, mirroring
+ * the lookup -> update protocol of the ISA extension.
+ */
+
+#ifndef AXMEMO_WORKLOADS_REQUEST_TRACE_HH
+#define AXMEMO_WORKLOADS_REQUEST_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace axmemo {
+
+/** One tenant's traffic profile within a trace. */
+struct TenantTrafficSpec
+{
+    std::string name = "tenant";
+    /** Relative share of the request stream (normalized over tenants). */
+    double weight = 1.0;
+    /** Kernel mix: indices into the ten registered workloads
+     * (workloadNames() order). Empty = all ten, uniformly. */
+    std::vector<std::uint8_t> kernels;
+    /** Zipf exponent of the key popularity (0 = uniform). */
+    double zipfAlpha = 0.99;
+    /** Distinct keys this tenant ever requests. */
+    std::uint64_t keySpace = 4096;
+};
+
+/** Full specification of one synthetic request trace. */
+struct RequestTraceSpec
+{
+    std::uint64_t seed = 42;
+    /** Total requests to generate. */
+    std::uint64_t requests = 10000;
+    /** Mean arrival rate in requests/second of simulated trace time
+     * (the replay client may replay faster than real time). */
+    double ratePerSecond = 2000.0;
+    /** Diurnal modulation amplitude in [0, 1) and period in seconds. */
+    double diurnalAmplitude = 0.4;
+    double diurnalPeriodSeconds = 60.0;
+    /** Burst episodes: rate multiplier while bursting, mean seconds
+     * between episode starts, mean episode length in seconds.
+     * burstFactor <= 1 disables bursts. */
+    double burstFactor = 4.0;
+    double burstEverySeconds = 10.0;
+    double burstLengthSeconds = 0.5;
+    std::vector<TenantTrafficSpec> tenants;
+
+    /** Two-tenant default mix over all ten kernels (smoke/CI sizing). */
+    static RequestTraceSpec smoke(std::uint64_t seed = 42);
+};
+
+/** One generated request. */
+struct TraceRequest
+{
+    /** Arrival time in seconds since trace start. */
+    double timeSeconds = 0.0;
+    std::uint16_t tenant = 0;
+    /** Kernel index (workloadNames() order). */
+    std::uint8_t kernel = 0;
+    std::uint64_t key = 0;
+};
+
+/**
+ * Generate the trace described by @p spec. Deterministic: equal specs
+ * (including seed) produce element-wise identical vectors. Requests
+ * are emitted in nondecreasing time order.
+ */
+std::vector<TraceRequest> generateRequestTrace(const RequestTraceSpec &spec);
+
+/**
+ * The instantaneous arrival-rate envelope at @p t (diurnal curve times
+ * burst ceiling, in requests/second) — the thinning bound used by the
+ * generator, exposed so tests can assert per-bucket arrival counts
+ * stay under it.
+ */
+double traceRateCeiling(const RequestTraceSpec &spec, double t);
+
+/**
+ * Deterministic "computed result" for a missed key: what the replay
+ * client sends back in the update request (a stand-in for re-running
+ * the kernel region). Pure function of (kernel, key).
+ */
+std::uint64_t traceResultFor(std::uint8_t kernel, std::uint64_t key);
+
+} // namespace axmemo
+
+#endif // AXMEMO_WORKLOADS_REQUEST_TRACE_HH

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Serve-mode smoke (DESIGN.md §14):
+#   1. Start `axmemo serve` in the background on an AF_UNIX socket with
+#      two quota'd tenants.
+#   2. Replay the two-tenant Zipfian smoke trace against it with
+#      `axmemo replay` and assert the emitted replay.json carries the
+#      latency percentiles, per-tenant hit rates and shed accounting.
+#   3. SIGTERM the server: it must drain gracefully, exit 0, and leave
+#      a serve_snapshot.json marked drained.
+set -eu
+
+driver="$1"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+unset AXMEMO_FULL 2>/dev/null || true
+unset AXMEMO_DEBUG 2>/dev/null || true
+
+"$driver" serve --socket "$workdir/axmemo.sock" --tenants 2 \
+    --quota 256 --out "$workdir" >"$workdir/serve_stdout.txt" 2>&1 &
+server_pid=$!
+
+# Wait for the socket to come up (the server binds before it prints).
+for _ in $(seq 1 100); do
+    [ -S "$workdir/axmemo.sock" ] && break
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "server died before binding:" >&2
+        cat "$workdir/serve_stdout.txt" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$workdir/axmemo.sock" ] || {
+    echo "server socket never appeared" >&2
+    exit 1
+}
+
+"$driver" replay --socket "$workdir/axmemo.sock" --requests 2000 \
+    --seed 42 --out "$workdir" >"$workdir/replay_stdout.txt" 2>&1 || {
+    echo "replay failed:" >&2
+    cat "$workdir/replay_stdout.txt" >&2
+    exit 1
+}
+
+python3 - "$workdir/replay.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["requests"] == 2000, report["requests"]
+assert report["errors"] == 0, report
+latency = report["latency_us"]
+for key in ("mean", "p50", "p95", "p99"):
+    assert key in latency, latency
+assert latency["p99"] >= latency["p50"] >= 0, latency
+assert "shed_rate" in report, report
+tenants = {t["name"]: t for t in report["tenants"]}
+assert len(tenants) == 2, tenants
+for t in tenants.values():
+    for key in ("lookups", "hits", "hit_rate", "updates",
+                "quota_rejects"):
+        assert key in t, t
+# The hot Zipf tenant must see repeated keys, hence hits.
+assert sum(t["hits"] for t in tenants.values()) > 0, tenants
+# The server-side view travels with the report.
+assert "server" in report and "table" in report["server"], report
+EOF
+
+# Graceful SIGTERM drain: exit 0 + drained snapshot.
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+if [ "$server_rc" -ne 0 ]; then
+    echo "server exited $server_rc after SIGTERM:" >&2
+    cat "$workdir/serve_stdout.txt" >&2
+    exit 1
+fi
+grep -q "drained" "$workdir/serve_stdout.txt" || {
+    echo "server stdout never reported the drain:" >&2
+    cat "$workdir/serve_stdout.txt" >&2
+    exit 1
+}
+
+python3 - "$workdir/serve_snapshot.json" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["drained"] is True, snap
+stats = snap["stats"]
+assert stats["server"]["requests"] > 0, stats
+assert "table" in stats, stats
+EOF
+
+echo "serve smoke ok"

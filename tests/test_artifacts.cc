@@ -60,9 +60,9 @@ TEST(ArtifactRegistry, CatalogIsComplete)
           "estimator_validation", "ablate_crc_width",
           "ablate_lut_geometry", "ablate_quality_monitor",
           "ablate_ooo_core", "ablate_adaptive_truncation",
-          "ablate_l2_policy", "micro"})
+          "ablate_l2_policy", "micro", "serve_traffic"})
         EXPECT_TRUE(names.count(expected)) << expected;
-    EXPECT_EQ(infos.size(), 22u);
+    EXPECT_EQ(infos.size(), 23u);
 }
 
 TEST(ArtifactRegistry, ListingIsOrderedTablesFirst)
@@ -70,7 +70,7 @@ TEST(ArtifactRegistry, ListingIsOrderedTablesFirst)
     const auto infos = ArtifactRegistry::instance().list();
     ASSERT_GE(infos.size(), 3u);
     EXPECT_EQ(infos.front().name, "table1");
-    EXPECT_EQ(infos.back().name, "micro");
+    EXPECT_EQ(infos.back().name, "serve_traffic");
     for (std::size_t i = 1; i < infos.size(); ++i)
         EXPECT_LE(infos[i - 1].order, infos[i].order);
 }

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Request-trace generator tests (DESIGN.md §14): seeded determinism,
+ * Zipfian rank-frequency shape, the nonhomogeneous-Poisson envelope
+ * bound, tenant weighting, and the miss-result function.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workloads/request_trace.hh"
+#include "workloads/workload.hh"
+
+namespace axmemo {
+namespace {
+
+TEST(RequestTrace, SameSeedSameTrace)
+{
+    const RequestTraceSpec spec = RequestTraceSpec::smoke(7);
+    const std::vector<TraceRequest> a = generateRequestTrace(spec);
+    const std::vector<TraceRequest> b = generateRequestTrace(spec);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_EQ(a.size(), spec.requests);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].timeSeconds, b[i].timeSeconds) << i;
+        EXPECT_EQ(a[i].tenant, b[i].tenant) << i;
+        EXPECT_EQ(a[i].kernel, b[i].kernel) << i;
+        EXPECT_EQ(a[i].key, b[i].key) << i;
+    }
+}
+
+TEST(RequestTrace, DifferentSeedsDiverge)
+{
+    const std::vector<TraceRequest> a =
+        generateRequestTrace(RequestTraceSpec::smoke(1));
+    const std::vector<TraceRequest> b =
+        generateRequestTrace(RequestTraceSpec::smoke(2));
+    ASSERT_EQ(a.size(), b.size());
+    std::size_t differing = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].key != b[i].key || a[i].tenant != b[i].tenant)
+            ++differing;
+    // Not every element must differ, but most should.
+    EXPECT_GT(differing, a.size() / 2);
+}
+
+TEST(RequestTrace, RequestsAreTimeOrderedAndValid)
+{
+    const RequestTraceSpec spec = RequestTraceSpec::smoke(42);
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+    const std::size_t kernelCount = workloadNames().size();
+    double last = 0.0;
+    for (const TraceRequest &r : trace) {
+        EXPECT_GE(r.timeSeconds, last);
+        last = r.timeSeconds;
+        ASSERT_LT(r.tenant, spec.tenants.size());
+        EXPECT_LT(r.kernel, kernelCount);
+        EXPECT_LT(r.key, spec.tenants[r.tenant].keySpace);
+    }
+}
+
+TEST(RequestTrace, ZipfianKeysAreHeavyHeaded)
+{
+    // One highly skewed tenant: the top 1% of distinct keys must
+    // absorb far more than 1% of the traffic, and the single hottest
+    // key must beat the median key by a wide margin.
+    RequestTraceSpec spec;
+    spec.seed = 11;
+    spec.requests = 20000;
+    spec.tenants.push_back(
+        {"skewed", 1.0, {0}, /*zipfAlpha=*/0.99, /*keySpace=*/4096});
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+
+    std::map<std::uint64_t, std::uint64_t> freq;
+    for (const TraceRequest &r : trace)
+        ++freq[r.key];
+    std::vector<std::uint64_t> counts;
+    counts.reserve(freq.size());
+    for (const auto &kv : freq)
+        counts.push_back(kv.second);
+    std::sort(counts.rbegin(), counts.rend());
+
+    std::uint64_t topShare = 0;
+    const std::size_t top = std::max<std::size_t>(1, counts.size() / 100);
+    for (std::size_t i = 0; i < top; ++i)
+        topShare += counts[i];
+    // Zipf(0.99) over 4k keys: the top 1% carries >20% of requests; a
+    // uniform draw would carry ~1%.
+    EXPECT_GT(static_cast<double>(topShare) / trace.size(), 0.2);
+    EXPECT_GT(counts.front(), 20 * counts[counts.size() / 2]);
+}
+
+TEST(RequestTrace, UniformAlphaZeroIsFlat)
+{
+    RequestTraceSpec spec;
+    spec.seed = 3;
+    spec.requests = 20000;
+    spec.tenants.push_back(
+        {"flat", 1.0, {0}, /*zipfAlpha=*/0.0, /*keySpace=*/64});
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+    std::vector<std::uint64_t> freq(64, 0);
+    for (const TraceRequest &r : trace)
+        ++freq[r.key];
+    const auto [lo, hi] = std::minmax_element(freq.begin(), freq.end());
+    // Uniform over 64 keys, ~312 hits each: min and max stay within a
+    // loose 2x band (binomial spread is ~±60 at 5 sigma).
+    EXPECT_GT(*lo, 0u);
+    EXPECT_LT(*hi, 2u * (*lo + 60));
+}
+
+TEST(RequestTrace, ArrivalsRespectTheRateEnvelope)
+{
+    // The generator thins against traceRateCeiling; per-bucket arrival
+    // counts must stay under the integrated ceiling (plus Poisson
+    // slack) in every bucket.
+    const RequestTraceSpec spec = RequestTraceSpec::smoke(42);
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+    ASSERT_FALSE(trace.empty());
+    const double bucketSeconds = 0.5;
+    std::map<std::uint64_t, std::uint64_t> buckets;
+    for (const TraceRequest &r : trace)
+        ++buckets[static_cast<std::uint64_t>(r.timeSeconds /
+                                             bucketSeconds)];
+    for (const auto &kv : buckets) {
+        const double t0 = kv.first * bucketSeconds;
+        // The ceiling is monotone within a bucket only piecewise; take
+        // the max over a fine sub-grid as the bound.
+        double ceiling = 0.0;
+        for (int i = 0; i <= 10; ++i)
+            ceiling = std::max(
+                ceiling, traceRateCeiling(spec, t0 + i * bucketSeconds / 10));
+        const double expected = ceiling * bucketSeconds;
+        // 6-sigma Poisson slack so the test is deterministic-safe.
+        EXPECT_LE(kv.second, expected + 6.0 * std::sqrt(expected) + 1.0)
+            << "bucket at t=" << t0;
+    }
+}
+
+TEST(RequestTrace, TenantWeightsShapeTheMix)
+{
+    RequestTraceSpec spec = RequestTraceSpec::smoke(9);
+    spec.requests = 10000;
+    ASSERT_EQ(spec.tenants.size(), 2u);
+    ASSERT_GT(spec.tenants[0].weight, spec.tenants[1].weight);
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+    std::uint64_t counts[2] = {0, 0};
+    for (const TraceRequest &r : trace)
+        ++counts[r.tenant];
+    const double share =
+        static_cast<double>(counts[0]) / (counts[0] + counts[1]);
+    const double want = spec.tenants[0].weight /
+                        (spec.tenants[0].weight + spec.tenants[1].weight);
+    EXPECT_NEAR(share, want, 0.05);
+}
+
+TEST(RequestTrace, MissResultIsAPureFunction)
+{
+    EXPECT_EQ(traceResultFor(3, 12345), traceResultFor(3, 12345));
+    EXPECT_NE(traceResultFor(3, 12345), traceResultFor(4, 12345));
+    EXPECT_NE(traceResultFor(3, 12345), traceResultFor(3, 12346));
+}
+
+} // namespace
+} // namespace axmemo

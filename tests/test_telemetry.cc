@@ -319,6 +319,38 @@ TEST(FleetStatus, ClassifiesWorkersFromShardArtifacts)
     EXPECT_NE(json.find("\"jobs_done\":2"), std::string::npos) << json;
 }
 
+TEST(FleetStatus, ReportsStalledWhenThroughputIsZero)
+{
+    TempDir dir("stalled");
+    std::filesystem::create_directories(dir.sub("claims"));
+    // A live worker with jobs remaining whose EWMA rate has decayed
+    // to zero: the ETA is unknowable yet the fleet is not done.
+    writeFile(dir.sub("metrics.w0.jsonl"),
+              snapshotLine("w0", 2, 8, 0.0));
+    writeFile(dir.sub("claims/abc123.done"), "{}");
+
+    const FleetStatus fleet = readFleetStatus(dir.path(), 30.0);
+    EXPECT_EQ(fleet.jobsTotal, 8u);
+    EXPECT_EQ(fleet.jobsDone, 1u);
+    EXPECT_DOUBLE_EQ(fleet.aggregateJobsPerSecond, 0.0);
+    EXPECT_TRUE(fleet.stalled);
+    EXPECT_DOUBLE_EQ(fleet.etaSeconds, -1.0);
+
+    const std::string text = renderFleetText(fleet);
+    EXPECT_NE(text.find("ETA stalled"), std::string::npos) << text;
+    const std::string json = renderFleetJson(fleet);
+    EXPECT_NE(json.find("\"stalled\":true"), std::string::npos) << json;
+
+    // A healthy fleet must not report the stall.
+    writeFile(dir.sub("metrics.w0.jsonl"),
+              snapshotLine("w0", 2, 8, 1.0));
+    const FleetStatus moving = readFleetStatus(dir.path(), 30.0);
+    EXPECT_FALSE(moving.stalled);
+    EXPECT_GT(moving.etaSeconds, 0.0);
+    EXPECT_NE(renderFleetJson(moving).find("\"stalled\":false"),
+              std::string::npos);
+}
+
 TEST(FleetStatus, StaleSnapshotWithoutManifestIsDead)
 {
     TempDir dir("dead");

@@ -1,107 +1,38 @@
 /**
  * @file
- * The unified paper-artifact driver. Every table, figure and ablation
- * registers itself with the artifact registry (core/artifact.hh); this
- * binary lists and runs them:
+ * The unified paper-artifact driver, dispatched through the
+ * table-driven command-line layer (tools/cli.hh). Every subcommand is
+ * one SubcommandRegistry row — `axmemo help` and `axmemo help <cmd>`
+ * are generated from the table, and every command parses the one
+ * shared flag table, so `--out/--jobs/--scale/--json` behave
+ * identically everywhere.
  *
- *   axmemo --list                      catalog of registered artifacts
+ *   axmemo list                        catalog of registered artifacts
  *   axmemo run fig9                    one artifact, legacy-identical
- *                                      stdout
- *   axmemo run fig7 fig9 table2        several in sequence
- *   axmemo run all                     the whole evaluation
+ *                                      stdout (run all = everything)
+ *   axmemo profile fig9                run + the aggregated phase-timer
+ *                                      table
+ *   axmemo merge fig9 --shard-dir <d>  reduce a sharded sweep
+ *   axmemo status <dir>                one-screen fleet view
+ *   axmemo perf [--quick]              data-path microbenchmarks ->
+ *                                      BENCH_perf.json
+ *   axmemo serve                       long-lived memo server on an
+ *                                      AF_UNIX socket (DESIGN.md §14)
+ *   axmemo replay                      drive a server with a synthetic
+ *                                      request trace; latency/hit-rate
+ *                                      JSON report
  *
- *   axmemo perf [--quick]              data-path microbenchmarks plus an
- *                                      end-to-end fig7 run, appended to
- *                                      BENCH_perf.json (tools/perf.hh)
- *
- *   axmemo profile fig9                run artifacts like `run`, then
- *                                      print the aggregated phase-timer
- *                                      table (per phase and per sweep
- *                                      worker) for each one
- *
- * Options (apply to `run` and `profile`; --scale/--jobs/--out also
- * apply to `perf`):
- *   --scale <f>   dataset scale (sets AXMEMO_SCALE)
- *   --full        paper-size inputs (sets AXMEMO_FULL=1)
- *   --jobs <n>    sweep worker count (sets AXMEMO_JOBS)
- *   --out <dir>   output directory for all emitted files (overrides
- *                 $AXMEMO_SWEEP_DIR; created if missing)
- *   --json        print each artifact's result rows as one JSON
- *                 document on stdout instead of the text report
- *   --quick       perf only: ~8x fewer iterations, CI-smoke sized
- *
- * Fault tolerance (run/profile; see DESIGN.md §9):
- *   --resume          replay each artifact's <name>_sweep.ckpt
- *                     checkpoint journal instead of re-simulating jobs
- *                     whose (workload, mode, config) already completed
- *   --retries <n>     per-job retries after a failure (AXMEMO_RETRIES)
- *   --job-timeout <s> per-job watchdog; expired jobs are marked
- *                     timed-out, not retried (AXMEMO_JOB_TIMEOUT)
- *   --no-timing       zero host-timing fields in every report so two
- *                     runs are byte-comparable (AXMEMO_TIMING=0)
- *   --fault-inject <workload[:n]>  test hook: fail matching jobs
- *   --isolate         fork every simulated job into a child process:
- *                     crashes and runaway jobs are contained at the
- *                     process boundary, and the per-job watchdog kills
- *                     the child outright on expiry
- *
- * Sharded runs (run/merge; see DESIGN.md §12): point any number of
- * `axmemo run <...> --shard-dir <dir>` processes — same host or
- * several hosts sharing one directory — at one shard directory and
- * they cooperatively drain the sweep, claiming jobs through atomic
- * lease files and journaling outcomes to per-worker segments. Then
- * `axmemo merge <...> --shard-dir <dir>` reduces the segments into
- * reports byte-identical to a single-process run (same --jobs,
- * --no-timing), plus <name>_shards.json with per-worker counters.
- *   --shard-dir <dir> the shared work-queue directory (run: become a
- *                     cooperating worker; merge: reduce its segments)
- *   --worker-id <s>   this worker's identity (default: w<pid>)
- *   --lease <s>       claim lease window; a worker silent this long is
- *                     presumed dead and its claims are stolen (30)
- *   --workers <n>     convenience fan-out: fork <n> local workers over
- *                     the shard directory (default <out>/shards), wait,
- *                     then merge — all in one invocation
- *
- * Per-job faults are contained: a failed/timed-out job costs its row
- * (recorded with a structured error in manifest.json), the rest of the
- * sweep completes, and the driver exits nonzero. SIGINT/SIGTERM stop
- * gracefully — in-flight jobs abort at the next watchdog poll, the
- * journal keeps everything finished so far, a partial manifest.json is
- * still written, and the exit code is 128 + signal.
- *
- * Observability (any subcommand; see DESIGN.md §8 and §13):
- *   --debug-flags <spec>  enable gem5-style trace flags, e.g.
- *                         Exec,Memo,Cache,Dram,Lut,Sweep,Prof,Host or
- *                         All (also: AXMEMO_DEBUG environment variable)
- *   --trace-out <file>    write trace lines to <file> instead of stderr
- *   --trace-timeline <f>  record hierarchical spans (sweep → job →
- *                         phase) and write a Chrome-trace/Perfetto JSON
- *                         timeline to <f>; shard workers write
- *                         per-worker timeline segments which `merge`
- *                         (or --workers) stitches into <f> with one
- *                         lane per worker
- *
- *   axmemo status <shard-dir|run-dir> [--json] [--watch <s>]
- *                         one-screen fleet view read from the shard
- *                         directory: per-worker state (running / idle /
- *                         done / dead), progress bar from done markers,
- *                         EWMA throughput + ETA, slowest-claim
- *                         watchlist. --watch re-renders every <s>
- *                         seconds; --json emits one document per poll.
- *
- * Host data paths (any subcommand; bit-identical simulated results, only
- * simulation speed changes — see DESIGN.md §10):
- *   --dispatch <m>        interpreter loop: auto | threaded | switch
- *   --no-batch            disable basic-block macro-op batching
- *   --no-simd             disable the SSE4.2/PCLMUL CRC kernels
+ * Fault tolerance (--resume/--retries/--job-timeout/--isolate), shard
+ * fleets (--shard-dir/--workers/--worker-id/--lease), observability
+ * (--debug-flags/--trace-out/--trace-timeline) and the host data-path
+ * knobs (--dispatch/--no-batch/--no-simd) are documented in the flag
+ * table, the runtime-knob table (`axmemo help`), and DESIGN.md §§8-14.
  *
  * Besides stdout, each run emits <name>_sweep.json (host-side sweep
  * performance), <name>.json (result rows) and <name>_stats.txt (one
- * gem5-like statistics section per simulated job, distribution stats
- * included) into the output directory, plus one manifest.json
- * recording the exact canonical serialized configuration — and the
- * per-run stats — of every simulated job, enough to rerun or diff any
- * result without reading harness code.
+ * gem5-like statistics section per simulated job) into the output
+ * directory, plus one manifest.json recording the exact canonical
+ * serialized configuration of every simulated job.
  */
 
 #include <cerrno>
@@ -130,39 +61,15 @@
 #include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "serve/replay.hh"
+#include "serve/server.hh"
+#include "tools/cli.hh"
 #include "tools/perf.hh"
+#include "workloads/request_trace.hh"
 
 namespace {
 
 using namespace axmemo;
-
-int
-usage(FILE *to)
-{
-    std::fprintf(
-        to,
-        "usage: axmemo --list\n"
-        "       axmemo run <artifact>... | all "
-        "[--scale <f>] [--full] [--jobs <n>] [--out <dir>] [--json]\n"
-        "                 [--resume] [--retries <n>] "
-        "[--job-timeout <s>] [--no-timing] [--fault-inject <w[:n]>]\n"
-        "                 [--isolate] [--shard-dir <d> "
-        "[--worker-id <s>] [--lease <s>] | --workers <n>]\n"
-        "       axmemo merge <artifact>... | all --shard-dir <d> "
-        "[run options]\n"
-        "       axmemo profile <artifact>... | all [run options]\n"
-        "       axmemo status <shard-dir|run-dir> "
-        "[--json] [--watch <s>] [--lease <s>]\n"
-        "       axmemo perf "
-        "[--quick] [--check] [--scale <f>] [--jobs <n>] [--out <dir>]\n"
-        "options: --debug-flags <Exec,Memo,Cache,Dram,Lut,Sweep,Prof,"
-        "Host|All>  --trace-out <file>\n"
-        "         --trace-timeline <file>  "
-        "--dispatch <auto|threaded|switch>  --no-batch  --no-simd\n"
-        "%s",
-        RuntimeOptions::describeKnobs().c_str());
-    return to == stderr ? 2 : 0;
-}
 
 /** Catalog group for a registration order (see artifacts.hh). */
 const char *
@@ -174,12 +81,13 @@ artifactGroup(int order)
       case 3: return "section 6.2 studies";
       case 4: return "ablations";
       case 5: return "micro-benchmarks";
+      case 6: return "serving";
       default: return "other";
     }
 }
 
 int
-listArtifacts()
+listEntry(cli::CommonArgs &)
 {
     const char *group = nullptr;
     for (const ArtifactInfo &info :
@@ -200,226 +108,23 @@ listArtifacts()
     return 0;
 }
 
-} // namespace
-
+/** The run/profile/merge artifact loop (one function, three roles). */
 int
-main(int argc, char **argv)
+artifactEntry(cli::CommonArgs &args, bool profile, bool merge)
 {
-    setQuiet(true);
-
-    std::vector<std::string> names;
-    std::string traceOut;
-    bool json = false;
-    bool run = false;
-    bool list = false;
-    bool perf = false;
-    bool quick = false;
-    bool profile = false;
-    bool resume = false;
-    bool merge = false;
-    bool status = false;
-    bool perfCheck = false;
-    std::string statusDir;
-    double watchSeconds = 0.0;
-    unsigned fanout = 0;
-    double scale = 0.0;
-
-    // Every knob is parsed from the environment exactly once; the
-    // command line layers on top and the result is frozen below.
-    RuntimeOptions runtime = RuntimeOptions::fromEnv();
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto value = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--list" || arg == "list") {
-            list = true;
-        } else if (arg == "run") {
-            run = true;
-        } else if (arg == "profile") {
-            run = true;
-            profile = true;
-        } else if (arg == "merge") {
-            run = true;
-            merge = true;
-        } else if (arg == "perf") {
-            perf = true;
-        } else if (arg == "status") {
-            status = true;
-        } else if (arg == "--watch") {
-            watchSeconds = std::atof(value());
-        } else if (arg == "--check") {
-            perfCheck = true;
-        } else if (arg == "--trace-timeline") {
-            runtime.timeline = value();
-        } else if (arg == "--shard-dir") {
-            runtime.shardDir = value();
-        } else if (arg == "--worker-id") {
-            runtime.workerId = value();
-        } else if (arg == "--lease") {
-            runtime.leaseSeconds = std::atof(value());
-        } else if (arg == "--isolate") {
-            runtime.isolate = true;
-        } else if (arg == "--workers") {
-            fanout = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
-        } else if (arg == "--quick") {
-            quick = true;
-        } else if (arg == "--scale") {
-            const char *v = value();
-            scale = std::atof(v);
-            runtime.scale = scale;
-            runtime.scaleSet = scale > 0.0;
-            // Keep the environment in sync for child-style consumers
-            // (perf re-reads it when it changes the scale mid-run).
-            setenv("AXMEMO_SCALE", v, 1);
-        } else if (arg == "--full") {
-            runtime.full = true;
-            setenv("AXMEMO_FULL", "1", 1);
-        } else if (arg == "--jobs") {
-            const char *v = value();
-            runtime.jobs =
-                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-            setenv("AXMEMO_JOBS", v, 1);
-        } else if (arg == "--out") {
-            runtime.outDir = value();
-        } else if (arg == "--json") {
-            json = true;
-        } else if (arg == "--resume") {
-            resume = true;
-        } else if (arg == "--retries") {
-            runtime.retries = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
-        } else if (arg == "--job-timeout") {
-            runtime.jobTimeoutSeconds = std::atof(value());
-        } else if (arg == "--no-timing") {
-            runtime.reportTiming = false;
-        } else if (arg == "--fault-inject") {
-            runtime.faultInject = value();
-        } else if (arg == "--dispatch") {
-            const std::string mode = value();
-            if (mode != "auto" && mode != "threaded" &&
-                mode != "switch") {
-                std::fprintf(stderr,
-                             "--dispatch wants auto, threaded or "
-                             "switch (got '%s')\n",
-                             mode.c_str());
-                return 2;
-            }
-            runtime.dispatch = mode;
-        } else if (arg == "--no-batch") {
-            runtime.blockBatch = false;
-        } else if (arg == "--no-simd") {
-            runtime.simd = false;
-        } else if (arg == "--debug-flags" ||
-                   arg.rfind("--debug-flags=", 0) == 0) {
-            const std::string spec =
-                arg == "--debug-flags" ? value()
-                                       : arg.substr(strlen("--debug-flags="));
-            std::string error;
-            if (!trace::enableFlags(spec, &error)) {
-                std::fprintf(stderr, "--debug-flags: %s\n",
-                             error.c_str());
-                return 2;
-            }
-        } else if (arg == "--trace-out" ||
-                   arg.rfind("--trace-out=", 0) == 0) {
-            traceOut = arg == "--trace-out"
-                           ? value()
-                           : arg.substr(strlen("--trace-out="));
-        } else if (arg == "--help" || arg == "-h") {
-            return usage(stdout);
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
-            return usage(stderr);
-        } else if (run) {
-            names.push_back(arg);
-        } else if (status) {
-            if (!statusDir.empty()) {
-                std::fprintf(stderr,
-                             "status takes one directory (got '%s' "
-                             "and '%s')\n",
-                             statusDir.c_str(), arg.c_str());
-                return 2;
-            }
-            statusDir = arg;
-        } else {
-            std::fprintf(stderr, "unexpected argument %s\n",
-                         arg.c_str());
-            return usage(stderr);
-        }
-    }
-
-    // Freeze the resolved knobs as the process-wide options: ambient
-    // RuntimeOptions::global() callers now see CLI overrides too.
-    RuntimeOptions::setGlobal(runtime);
-    installSignalHandlers();
-
-    trace::initFromEnv();
-    if (!traceOut.empty() && !trace::openTraceFile(traceOut)) {
-        std::fprintf(stderr, "cannot open trace file '%s'\n",
-                     traceOut.c_str());
+    if (args.quick || args.check) {
+        std::fprintf(stderr, "--quick/--check only apply to perf\n");
         return 2;
     }
-    telemetry::setEnabled(!runtime.timeline.empty());
-
-    if (list)
-        return listArtifacts();
-    if (status) {
-        if (run || perf || statusDir.empty())
-            return usage(stderr);
-        for (;;) {
-            const FleetStatus fleet =
-                readFleetStatus(statusDir, runtime.leaseSeconds);
-            if (json) {
-                std::fputs(renderFleetJson(fleet).c_str(), stdout);
-            } else {
-                if (watchSeconds > 0.0)
-                    std::fputs("\033[2J\033[H", stdout); // re-home
-                std::fputs(renderFleetText(fleet).c_str(), stdout);
-            }
-            std::fflush(stdout);
-            if (watchSeconds <= 0.0)
-                return 0;
-            // Sleep in short slices so Ctrl-C lands promptly.
-            const auto until =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(watchSeconds));
-            while (std::chrono::steady_clock::now() < until) {
-                if (interruptRequested())
-                    return 0;
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(100));
-            }
-        }
+    RuntimeOptions runtime = args.runtime;
+    std::vector<std::string> names = args.positional;
+    const bool json = args.json;
+    if (names.empty()) {
+        std::fprintf(stderr,
+                     "need at least one artifact name (or `all`); "
+                     "see `axmemo list`\n");
+        return 2;
     }
-    if (perf) {
-        if (run || !names.empty())
-            return usage(stderr);
-        PerfOptions options;
-        options.quick = quick;
-        options.check = perfCheck;
-        options.outDir = runtime.outDir;
-        options.scale = scale;
-        return runPerf(options);
-    }
-    if (perfCheck) {
-        std::fprintf(stderr, "--check only applies to perf\n");
-        return usage(stderr);
-    }
-    if (quick) {
-        std::fprintf(stderr, "--quick only applies to perf\n");
-        return usage(stderr);
-    }
-    if (!run || names.empty())
-        return usage(stderr);
 
     ArtifactRegistry &registry = ArtifactRegistry::instance();
     if (names.size() == 1 && names[0] == "all") {
@@ -432,7 +137,7 @@ main(int argc, char **argv)
     for (const std::string &name : names) {
         if (!registry.make(name)) {
             std::fprintf(stderr,
-                         "unknown artifact '%s' (try --list)\n",
+                         "unknown artifact '%s' (try `axmemo list`)\n",
                          name.c_str());
             return 2;
         }
@@ -445,7 +150,7 @@ main(int argc, char **argv)
     options.writeStats = true;
     options.runtime = runtime;
     options.journal = true;
-    options.resume = resume;
+    options.resume = args.resume;
 
     // Even an interrupted or partially failed invocation writes what it
     // has: the manifest records every artifact that ran to completion.
@@ -558,16 +263,16 @@ main(int argc, char **argv)
     // directory, wait for them, then fall through to the merge role.
     // fork() happens before any thread exists in this process.
     int workerExit = 0;
-    if (fanout > 1 && !merge) {
+    if (args.fanout > 1 && !merge) {
         if (runtime.shardDir.empty())
             runtime.shardDir = joinPath(
                 resolveOutputDir(runtime.outDir), "shards");
         const std::string baseId =
             runtime.workerId.empty()
-                ? "w" + std::to_string(::getpid())
+                ? std::string("w") + std::to_string(::getpid())
                 : runtime.workerId;
         std::vector<pid_t> children;
-        for (unsigned k = 0; k < fanout; ++k) {
+        for (unsigned k = 0; k < args.fanout; ++k) {
             std::fflush(stdout);
             std::fflush(stderr);
             const pid_t pid = ::fork();
@@ -636,7 +341,7 @@ main(int argc, char **argv)
     if (!runtime.shardDir.empty()) {
         const std::string workerId =
             runtime.workerId.empty()
-                ? "w" + std::to_string(::getpid())
+                ? std::string("w") + std::to_string(::getpid())
                 : runtime.workerId;
         ShardQueue queue(runtime.shardDir, workerId,
                          runtime.leaseSeconds);
@@ -662,4 +367,265 @@ main(int argc, char **argv)
             axm_warn("cannot write timeline: ", error);
     }
     return code;
+}
+
+int
+runEntry(cli::CommonArgs &args)
+{
+    return artifactEntry(args, false, false);
+}
+
+int
+profileEntry(cli::CommonArgs &args)
+{
+    return artifactEntry(args, true, false);
+}
+
+int
+mergeEntry(cli::CommonArgs &args)
+{
+    return artifactEntry(args, false, true);
+}
+
+int
+statusEntry(cli::CommonArgs &args)
+{
+    if (args.positional.size() != 1) {
+        std::fprintf(stderr,
+                     "status takes exactly one <shard-dir|run-dir>\n");
+        return 2;
+    }
+    const std::string statusDir = args.positional[0];
+    for (;;) {
+        const FleetStatus fleet =
+            readFleetStatus(statusDir, args.runtime.leaseSeconds);
+        if (args.json) {
+            std::fputs(renderFleetJson(fleet).c_str(), stdout);
+        } else {
+            if (args.watchSeconds > 0.0)
+                std::fputs("\033[2J\033[H", stdout); // re-home
+            std::fputs(renderFleetText(fleet).c_str(), stdout);
+        }
+        std::fflush(stdout);
+        if (args.watchSeconds <= 0.0)
+            return 0;
+        // Sleep in short slices so Ctrl-C lands promptly.
+        const auto until =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(args.watchSeconds));
+        while (std::chrono::steady_clock::now() < until) {
+            if (interruptRequested())
+                return 0;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(100));
+        }
+    }
+}
+
+int
+perfEntry(cli::CommonArgs &args)
+{
+    if (!args.positional.empty()) {
+        std::fprintf(stderr, "perf takes no positional arguments\n");
+        return 2;
+    }
+    PerfOptions options;
+    options.quick = args.quick;
+    options.check = args.check;
+    options.outDir = args.runtime.outDir;
+    options.scale = args.scale;
+    return runPerf(options);
+}
+
+/** Resolved serve/replay socket path: the knob, or <out>/axmemo.sock. */
+std::string
+serveSocketPath(const RuntimeOptions &runtime)
+{
+    if (!runtime.serveSocket.empty())
+        return runtime.serveSocket;
+    return joinPath(resolveOutputDir(runtime.outDir), "axmemo.sock");
+}
+
+int
+serveEntry(cli::CommonArgs &args)
+{
+    if (!args.positional.empty()) {
+        std::fprintf(stderr, "serve takes no positional arguments\n");
+        return 2;
+    }
+    const RuntimeOptions &runtime = args.runtime;
+    serve::ServerConfig config;
+    config.socketPath = serveSocketPath(runtime);
+    config.table.policy = runtime.servePolicy == "shared"
+                              ? serve::PartitionPolicy::Shared
+                              : serve::PartitionPolicy::Partitioned;
+    config.table.lutBytes = runtime.serveLutBytes;
+    for (unsigned i = 0; i < runtime.serveTenants; ++i)
+        config.table.tenants.push_back(
+            {"tenant-" + std::to_string(i), runtime.serveQuota});
+    config.queueDepth = runtime.serveQueue;
+    config.snapshotPath = joinPath(resolveOutputDir(runtime.outDir),
+                                   "serve_snapshot.json");
+    config.reportTiming = runtime.reportTiming;
+
+    try {
+        serve::MemoServer server(config);
+        const Expected<void> started = server.start();
+        if (!started.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         started.error().describe().c_str());
+            return 1;
+        }
+        std::printf("axmemo serve: listening on %s (%u tenants, %s "
+                    "policy, queue %u)\n",
+                    config.socketPath.c_str(), runtime.serveTenants,
+                    serve::partitionPolicyName(config.table.policy),
+                    runtime.serveQueue);
+        std::fflush(stdout);
+        server.serveUntilDrained(true);
+        const serve::ServerTotals &totals = server.totals();
+        std::printf("axmemo serve: drained (%llu requests, %llu "
+                    "sheds); snapshot %s\n",
+                    static_cast<unsigned long long>(totals.requests),
+                    static_cast<unsigned long long>(totals.sheds),
+                    config.snapshotPath.c_str());
+        return 0;
+    } catch (const AxException &e) {
+        std::fprintf(stderr, "%s\n", e.error().describe().c_str());
+        return 2;
+    }
+}
+
+int
+replayEntry(cli::CommonArgs &args)
+{
+    if (!args.positional.empty()) {
+        std::fprintf(stderr, "replay takes no positional arguments\n");
+        return 2;
+    }
+    const RuntimeOptions &runtime = args.runtime;
+
+    RequestTraceSpec spec = RequestTraceSpec::smoke(runtime.traceSeed);
+    if (runtime.traceRequests)
+        spec.requests = runtime.traceRequests;
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+
+    const std::string socket = serveSocketPath(runtime);
+    const Expected<int> fd = serve::connectUnix(socket);
+    if (!fd.ok()) {
+        std::fprintf(stderr, "%s\n", fd.error().describe().c_str());
+        return 1;
+    }
+
+    serve::ReplayConfig config;
+    config.reportTiming = runtime.reportTiming;
+    config.drainAfter = args.drain;
+    const Expected<serve::ReplayReport> report =
+        serve::replayTrace(fd.value(), spec, trace, config);
+    ::close(fd.value());
+    if (!report.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     report.error().describe().c_str());
+        return 1;
+    }
+
+    const std::string doc = report.value().toJson();
+    std::printf("%s\n", doc.c_str());
+    const Expected<void> wrote = atomicWriteFile(
+        joinPath(resolveOutputDir(runtime.outDir), "replay.json"),
+        doc + "\n");
+    if (!wrote.ok()) {
+        std::fprintf(stderr, "cannot write replay.json: %s\n",
+                     wrote.error().describe().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    cli::SubcommandRegistry registry;
+    registry.add({"list", "catalog of registered artifacts and memo "
+                          "backends",
+                  "",
+                  "Prints every registered paper artifact, grouped by "
+                  "kind, then the\nregistered memoization backends. "
+                  "`--list` is accepted as a legacy\nspelling.\n",
+                  listEntry});
+    registry.add(
+        {"run", "run paper artifacts (tables, figures, ablations)",
+         "<artifact>... | all [options]",
+         "Runs each named artifact (or every one with `all`): dataset\n"
+         "synthesis, the memoization transform, timing simulation, "
+         "energy\nmodel and quality scoring, with reports and "
+         "manifest.json in the\noutput directory.\n\n"
+         "Fault tolerance: --resume --retries --job-timeout "
+         "--fault-inject\n--isolate. Shard fleets: --shard-dir "
+         "--worker-id --lease, or\n--workers <n> to fork a local "
+         "fleet and merge in one invocation.\n",
+         runEntry});
+    registry.add({"profile", "run artifacts, then print the "
+                             "phase-timer table",
+                  "<artifact>... | all [options]",
+                  "Identical to `run`, then prints the aggregated "
+                  "phase timers (per\nphase and per sweep worker) for "
+                  "each artifact.\n",
+                  profileEntry});
+    registry.add({"merge", "reduce a sharded sweep into reports",
+                  "<artifact>... | all --shard-dir <d> [options]",
+                  "Reduces the per-worker journal segments of a "
+                  "sharded run into\nreports byte-identical to a "
+                  "single-process run (same --jobs,\n--no-timing), "
+                  "plus <name>_shards.json with per-worker counters.\n",
+                  mergeEntry});
+    registry.add({"status", "one-screen fleet view of a shard/run "
+                            "directory",
+                  "<shard-dir|run-dir> [--json] [--watch <s>]",
+                  "Reads worker heartbeats and metrics snapshots: "
+                  "per-worker state\n(running / idle / done / dead), "
+                  "progress, EWMA throughput and ETA\n(reports a "
+                  "stalled ETA when throughput has decayed to zero), "
+                  "and a\nslowest-claim watchlist.\n",
+                  statusEntry});
+    registry.add({"perf", "data-path microbenchmarks -> "
+                          "BENCH_perf.json",
+                  "[--quick] [--check] [options]",
+                  "Runs the microbenchmark suite plus an end-to-end "
+                  "fig7 run and a\nserve-loop throughput probe, "
+                  "appending one row per section to\nBENCH_perf.json. "
+                  "--check verifies required sections exist.\n",
+                  perfEntry});
+    registry.add({"serve", "long-lived memo server on an AF_UNIX "
+                           "socket",
+                  "[--socket <p>] [--policy <p>] [--tenants <n>] "
+                  "[--quota <n>] [options]",
+                  "Starts the multi-tenant memo server (DESIGN.md "
+                  "§14): per-tenant\nLUT_ID partitioning "
+                  "(--policy partitioned|shared, --quota), a\nbounded "
+                  "request queue that sheds under load (--queue), and "
+                  "a\ngraceful SIGTERM drain that writes "
+                  "serve_snapshot.json before\nexiting 0. Drive it "
+                  "with `axmemo replay`.\n",
+                  serveEntry});
+    registry.add({"replay", "drive a memo server with a synthetic "
+                            "trace",
+                  "[--socket <p>] [--seed <n>] [--requests <n>] "
+                  "[--drain] [options]",
+                  "Generates the deterministic two-tenant smoke trace "
+                  "(Zipfian keys,\ndiurnal + bursty arrivals; --seed, "
+                  "--requests) and replays it\nclosed-loop: lookup, "
+                  "then update on a miss. Prints and writes\n"
+                  "replay.json with p50/p95/p99 latency, per-tenant "
+                  "hit rates,\nshed rate and the server's own stats. "
+                  "--drain sends a Drain\nrequest afterwards.\n",
+                  replayEntry});
+
+    return cli::dispatch(argc, argv, registry);
 }

@@ -44,6 +44,11 @@
 #include "obs/profiler.hh"
 #include "obs/telemetry.hh"
 #include "obs/trace.hh"
+#include "serve/replay.hh"
+#include "serve/server.hh"
+#include "workloads/request_trace.hh"
+
+#include <sys/socket.h>
 
 namespace axmemo {
 
@@ -557,6 +562,62 @@ benchTelemetry(std::size_t iters)
 }
 
 /**
+ * Serve-loop throughput: an in-process MemoServer fed the two-tenant
+ * Zipfian smoke trace over a socketpair by the replay client — the
+ * closed-loop request rate `axmemo serve` sustains end to end (frame
+ * codec, reader poll loop, bounded queue, TenantTable, reply path),
+ * not a TenantTable microbench.
+ */
+JsonObj
+benchServe(std::size_t requests)
+{
+    serve::ServerConfig config;
+    config.table.policy = serve::PartitionPolicy::Partitioned;
+    config.table.tenants.push_back({"tenant-a", 0});
+    config.table.tenants.push_back({"tenant-b", 0});
+
+    RequestTraceSpec spec = RequestTraceSpec::smoke(42);
+    spec.requests = requests;
+    const std::vector<TraceRequest> trace = generateRequestTrace(spec);
+
+    JsonObj o;
+    o.field("requests", static_cast<std::uint64_t>(requests));
+
+    serve::MemoServer server(config);
+    if (!server.start().ok()) {
+        o.field("error", std::string("server start failed"));
+        return o;
+    }
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        o.field("error", std::string("socketpair failed"));
+        return o;
+    }
+    server.attachClient(fds[1]);
+
+    serve::ReplayConfig replayConfig;
+    replayConfig.drainAfter = true;
+    const Expected<serve::ReplayReport> got =
+        serve::replayTrace(fds[0], spec, trace, replayConfig);
+    ::close(fds[0]);
+    server.serveUntilDrained(false);
+    if (!got.ok()) {
+        o.field("error", got.error().describe());
+        return o;
+    }
+    const serve::ReplayReport &report = got.value();
+    o.field("requests_per_second",
+            report.elapsedSeconds > 0.0
+                ? static_cast<double>(report.requests) /
+                      report.elapsedSeconds
+                : 0.0);
+    o.field("p50_us", report.p50Us);
+    o.field("p99_us", report.p99Us);
+    o.field("sheds", report.sheds);
+    return o;
+}
+
+/**
  * Host-side execution levers for one benchFig7 run. Every combination
  * produces bit-identical simulated results (DESIGN.md §10); only the
  * wall clock moves, which is exactly what the per-lever rows attribute.
@@ -848,6 +909,7 @@ printDeltaVsPrevious(const std::string &path,
         {"cache", "speedup", true},
         {"trace", "disabled_guard_ns_per_op", false},
         {"telemetry", "disabled_guard_ns_per_op", false},
+        {"serve", "requests_per_second", true},
         {"fig7", "simulated_minstr_per_second", true},
         {"dse_scaling", "workers_4_minstr_per_second", true},
     };
@@ -944,6 +1006,7 @@ runPerf(const PerfOptions &options)
     section("trace", [&] { return benchTrace(8'000'000 / scaleDown); });
     section("telemetry",
             [&] { return benchTelemetry(8'000'000 / scaleDown); });
+    section("serve", [&] { return benchServe(32'000 / scaleDown); });
     section("fig7", [&] { return benchFig7(fig7Scale); });
 
     // Per-lever fig7 rows: the same sweep re-run with each host-side
